@@ -1,0 +1,162 @@
+//! Criterion benchmarks for the hot kernels every figure's wall-clock
+//! claims rest on: sketching, BayesLSH pair evaluation, triangle counting,
+//! LAM localization + mining, crossing counting, and the energy iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use plasma_data::datasets::corpus::CorpusSpec;
+use plasma_data::datasets::gaussian::GaussianSpec;
+use plasma_data::datasets::transactions::QuestSpec;
+use plasma_data::similarity::Similarity;
+use plasma_graph::builders::DensifyingSeries;
+use plasma_graph::measures::triangles;
+use plasma_lam::localize::{localize, LocalizeConfig};
+use plasma_lam::miner::{Lam, LamConfig};
+use plasma_lam::TransactionDb;
+use plasma_lsh::bayes::{BayesLsh, BayesParams};
+use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::Sketcher;
+use plasma_parcoords::crossings::count_crossings;
+use plasma_parcoords::energy::{EnergyConfig, EnergyModel};
+
+fn bench_sketching(c: &mut Criterion) {
+    let corpus = CorpusSpec::new("bench", 200, 4000, 6).generate(1);
+    let mut g = c.benchmark_group("sketching");
+    g.throughput(Throughput::Elements(corpus.records.len() as u64));
+    for &n_hashes in &[64usize, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("simhash", n_hashes),
+            &n_hashes,
+            |b, &n| {
+                let sk = Sketcher::new(LshFamily::SimHash, n, 7);
+                b.iter(|| sk.sketch_all(&corpus.records));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("minhash", n_hashes),
+            &n_hashes,
+            |b, &n| {
+                let sk = Sketcher::new(LshFamily::MinHash, n, 7);
+                b.iter(|| sk.sketch_all(&corpus.records));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_bayeslsh(c: &mut Criterion) {
+    let ds = GaussianSpec::new("bench", 200, 10, 4).generate(3);
+    let sketches = Sketcher::new(LshFamily::SimHash, 256, 5).sketch_all(&ds.records);
+    let engine = BayesLsh::new(LshFamily::SimHash, BayesParams::default());
+    let n = ds.records.len();
+
+    let mut g = c.benchmark_group("bayeslsh_pair_evaluation");
+    g.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+    g.bench_function("direct_posteriors", |b| {
+        b.iter(|| {
+            let mut alive = 0u32;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let e = engine.evaluate_pair(&sketches, i, j, 0.7);
+                    if e.decision != plasma_lsh::bayes::PairDecision::Pruned {
+                        alive += 1;
+                    }
+                }
+            }
+            alive
+        })
+    });
+    g.bench_function("probe_table", |b| {
+        b.iter(|| {
+            let mut table = engine.probe_table(0.7);
+            let mut alive = 0u32;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let e = table.evaluate_pair(&sketches, i, j);
+                    if e.decision != plasma_lsh::bayes::PairDecision::Pruned {
+                        alive += 1;
+                    }
+                }
+            }
+            alive
+        })
+    });
+    g.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let ds = GaussianSpec::new("bench", 300, 8, 4).generate(9);
+    let series = DensifyingSeries::new(&ds.records, Similarity::Cosine);
+    let mut g = c.benchmark_group("triangle_count");
+    for &edges in &[1_000usize, 8_000, 30_000] {
+        let graph = series.graph_with_edges(edges);
+        g.throughput(Throughput::Elements(graph.m() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(edges), &graph, |b, graph| {
+            b.iter(|| triangles::count_triangles(graph))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lam(c: &mut Criterion) {
+    let txs = QuestSpec::new("bench", 2_000, 500).generate(11);
+    let mut g = c.benchmark_group("lam");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(txs.len() as u64));
+    g.bench_function("localize_k16", |b| {
+        b.iter(|| localize(&txs, &LocalizeConfig::default()))
+    });
+    g.bench_function("full_pass", |b| {
+        b.iter(|| {
+            let mut db = TransactionDb::new(txs.clone());
+            Lam::with_passes(1).run(&mut db);
+            db.compression_ratio()
+        })
+    });
+    g.bench_function("five_passes", |b| {
+        b.iter(|| {
+            let mut db = TransactionDb::new(txs.clone());
+            Lam::new(LamConfig::default()).run(&mut db);
+            db.compression_ratio()
+        })
+    });
+    g.finish();
+}
+
+fn bench_crossings(c: &mut Criterion) {
+    let mut rng = plasma_data::rng::seeded(13);
+    use rand::Rng;
+    let mut g = c.benchmark_group("crossing_count");
+    for &n in &[1_000usize, 10_000] {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::new("fenwick_nlogn", n),
+            &(&x, &y),
+            |b, (x, y)| b.iter(|| count_crossings(x, y)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let ds = GaussianSpec::new("bench", 800, 2, 5).generate(21);
+    let labels = ds.labels.clone().expect("labeled");
+    let x: Vec<f64> = ds.records.iter().map(|r| r.get(0)).collect();
+    let y: Vec<f64> = ds.records.iter().map(|r| r.get(1)).collect();
+    let model = EnergyModel::new(EnergyConfig::default());
+    let mut g = c.benchmark_group("energy_reduction");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("optimize_800_lines", |b| {
+        b.iter(|| model.optimize(&x, &y, &labels))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sketching, bench_bayeslsh, bench_triangles, bench_lam, bench_crossings, bench_energy
+}
+criterion_main!(kernels);

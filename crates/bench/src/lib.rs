@@ -1,0 +1,47 @@
+//! Reproduction harness shared code.
+//!
+//! The `repro` binary (src/main.rs) exposes one subcommand per paper table
+//! and figure; the experiment implementations live in [`experiments`],
+//! organized by chapter. Each experiment prints a paper-style table to
+//! stdout and (when it has a figure shape) writes an SVG + data file under
+//! `results/`.
+
+pub mod experiments;
+pub mod report;
+
+/// Common experiment options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Global dataset scale factor in `(0, 1]`; 1.0 = paper-sized where
+    /// tractable. Experiments apply their own per-dataset scaling on top.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for SVGs and data files.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            scale: 0.12,
+            seed: 42,
+            out_dir: std::path::PathBuf::from("results"),
+        }
+    }
+}
+
+impl Opts {
+    /// Ensures the output directory exists and returns a path inside it.
+    pub fn out_path(&self, name: &str) -> std::path::PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        self.out_dir.join(name)
+    }
+
+    /// Writes a text or SVG artifact and logs where it went.
+    pub fn write_artifact(&self, name: &str, content: &str) {
+        let path = self.out_path(name);
+        std::fs::write(&path, content).expect("write artifact");
+        println!("  [artifact] {}", path.display());
+    }
+}

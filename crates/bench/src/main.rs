@@ -1,0 +1,88 @@
+//! `repro` — the PLASMA-HD reproduction harness.
+//!
+//! One subcommand per paper table/figure (see DESIGN.md's experiment
+//! index). Usage:
+//!
+//! ```text
+//! repro <experiment-id | all | list> [--scale S] [--seed N] [--out DIR]
+//! ```
+
+use plasma_bench::experiments::registry;
+use plasma_bench::Opts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut command: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number in (0, 1]"));
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = args
+                    .get(i)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| die("--out needs a directory"));
+            }
+            arg if command.is_none() => command = Some(arg.to_string()),
+            arg => die(&format!("unexpected argument: {arg}")),
+        }
+        i += 1;
+    }
+
+    let experiments = registry();
+    match command.as_deref() {
+        None | Some("list") => {
+            println!("PLASMA-HD reproduction harness. Experiments:");
+            for e in &experiments {
+                println!("  {:<10} {}", e.id, e.title);
+            }
+            println!("  {:<10} run every experiment in order", "all");
+            println!("\noptions: --scale S (default {}), --seed N, --out DIR", opts.scale);
+        }
+        Some("all") => {
+            let started = std::time::Instant::now();
+            for e in &experiments {
+                banner(e.id, e.title);
+                (e.run)(&opts);
+            }
+            println!(
+                "\nall {} experiments finished in {:.1}s",
+                experiments.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Some(id) => match experiments.iter().find(|e| e.id == id) {
+            Some(e) => {
+                banner(e.id, e.title);
+                (e.run)(&opts);
+            }
+            None => die(&format!("unknown experiment '{id}'; run `repro list`")),
+        },
+    }
+}
+
+fn banner(id: &str, title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("[{id}] {title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,275 @@
+//! All-pairs similarity search (APSS) over BayesLSH.
+//!
+//! One probe at threshold `t`: generate candidate pairs, evaluate each with
+//! BayesLSH's incremental pruning/concentration, and return the surviving
+//! pairs plus every memoized estimate (fuel for the knowledge cache and the
+//! Cumulative APSS Graph). Timing is split into *sketching* and
+//! *processing* because Fig. 2.9's point is exactly that split.
+
+use std::time::Instant;
+
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_lsh::bayes::{BayesLsh, PairDecision, PairEstimate};
+use plasma_lsh::candidates;
+use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::{SketchSet, Sketcher};
+use plasma_lsh::BayesParams;
+
+/// How candidate pairs are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// All `n·(n−1)/2` pairs — exact recall, used for small data and
+    /// ground-truth comparisons.
+    Exhaustive,
+    /// Banded LSH join: `bands` bands of `width` hashes.
+    Banded {
+        /// Number of bands.
+        bands: usize,
+        /// Hashes per band.
+        width: usize,
+    },
+}
+
+/// APSS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ApssConfig {
+    /// Hashes per sketch.
+    pub n_hashes: usize,
+    /// BayesLSH stopping parameters.
+    pub bayes: BayesParams,
+    /// Candidate generation strategy.
+    pub candidates: CandidateStrategy,
+    /// When true, accepted pairs get their similarity recomputed exactly
+    /// (BayesLSH; false = BayesLSH-Lite style estimates only).
+    pub exact_on_accept: bool,
+    /// RNG/hash seed.
+    pub seed: u64,
+}
+
+impl Default for ApssConfig {
+    fn default() -> Self {
+        Self {
+            n_hashes: 256,
+            bayes: BayesParams::default(),
+            candidates: CandidateStrategy::Exhaustive,
+            exact_on_accept: false,
+            seed: 0x9D_5A,
+        }
+    }
+}
+
+/// A reported similar pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarPair {
+    /// Record indices, `i < j`.
+    pub i: u32,
+    /// Second record index.
+    pub j: u32,
+    /// Similarity (estimate, or exact when `exact_on_accept`).
+    pub similarity: f64,
+}
+
+/// Outcome of one APSS probe.
+#[derive(Debug, Clone)]
+pub struct ApssResult {
+    /// The probe threshold.
+    pub threshold: f64,
+    /// Pairs whose (estimated or exact) similarity meets the threshold.
+    pub pairs: Vec<SimilarPair>,
+    /// Every candidate evaluated, with its memoized estimate — the
+    /// knowledge-cache payload.
+    pub estimates: Vec<(u32, u32, PairEstimate)>,
+    /// Counters and timings.
+    pub stats: ApssStats,
+}
+
+/// Probe statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApssStats {
+    /// Candidate pairs generated.
+    pub candidates: u64,
+    /// Candidates pruned by Eq. 2.1.
+    pub pruned: u64,
+    /// Candidates accepted by Eq. 2.2 (estimate concentrated).
+    pub accepted: u64,
+    /// Candidates that exhausted their sketches undecided.
+    pub exhausted: u64,
+    /// Total hashes compared.
+    pub hashes_compared: u64,
+    /// Seconds spent generating sketches.
+    pub sketch_seconds: f64,
+    /// Seconds spent generating + evaluating candidates.
+    pub process_seconds: f64,
+    /// Pair evaluations answered from a knowledge cache.
+    pub cache_hits: u64,
+}
+
+/// Builds sketches for a record set under a similarity measure.
+pub fn build_sketches(
+    records: &[SparseVector],
+    measure: Similarity,
+    cfg: &ApssConfig,
+) -> (SketchSet, f64) {
+    let start = Instant::now();
+    let family = LshFamily::for_measure(measure);
+    let sketcher = Sketcher::new(family, cfg.n_hashes, cfg.seed);
+    let sketches = sketcher.sketch_all(records);
+    (sketches, start.elapsed().as_secs_f64())
+}
+
+/// Generates candidate pairs per the configured strategy.
+pub fn generate_candidates(sketches: &SketchSet, cfg: &ApssConfig) -> Vec<(u32, u32)> {
+    match cfg.candidates {
+        CandidateStrategy::Exhaustive => candidates::exhaustive(sketches.len()),
+        CandidateStrategy::Banded { bands, width } => candidates::banded(sketches, bands, width),
+    }
+}
+
+/// Runs a full APSS probe from scratch (sketch + candidates + evaluate).
+pub fn apss(
+    records: &[SparseVector],
+    measure: Similarity,
+    threshold: f64,
+    cfg: &ApssConfig,
+) -> ApssResult {
+    let (sketches, sketch_seconds) = build_sketches(records, measure, cfg);
+    let mut result = apss_with_sketches(records, measure, &sketches, threshold, cfg);
+    result.stats.sketch_seconds = sketch_seconds;
+    result
+}
+
+/// Runs a probe reusing prebuilt sketches (the knowledge-cache fast path
+/// charges zero sketch time).
+pub fn apss_with_sketches(
+    records: &[SparseVector],
+    measure: Similarity,
+    sketches: &SketchSet,
+    threshold: f64,
+    cfg: &ApssConfig,
+) -> ApssResult {
+    let start = Instant::now();
+    let engine = BayesLsh::new(sketches.family(), cfg.bayes);
+    let mut table = engine.probe_table(threshold);
+    let cands = generate_candidates(sketches, cfg);
+    let mut stats = ApssStats {
+        candidates: cands.len() as u64,
+        ..Default::default()
+    };
+    let mut pairs = Vec::new();
+    let mut estimates = Vec::with_capacity(cands.len());
+    for (i, j) in cands {
+        let est = table.evaluate_pair(sketches, i as usize, j as usize);
+        stats.hashes_compared += est.hashes as u64;
+        match est.decision {
+            PairDecision::Pruned => stats.pruned += 1,
+            PairDecision::Accepted => stats.accepted += 1,
+            PairDecision::Exhausted => stats.exhausted += 1,
+        }
+        if est.decision != PairDecision::Pruned {
+            let similarity = if cfg.exact_on_accept {
+                measure.compute(&records[i as usize], &records[j as usize])
+            } else {
+                est.map_similarity
+            };
+            if similarity >= threshold {
+                pairs.push(SimilarPair { i, j, similarity });
+            }
+        }
+        estimates.push((i, j, est));
+    }
+    stats.process_seconds = start.elapsed().as_secs_f64();
+    ApssResult {
+        threshold,
+        pairs,
+        estimates,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::datasets::gaussian::GaussianSpec;
+    use plasma_data::similarity::all_pairs_exact;
+
+    fn small_dataset() -> Vec<SparseVector> {
+        GaussianSpec {
+            separation: 4.0,
+            spread: 0.6,
+            ..GaussianSpec::new("t", 60, 8, 3)
+        }
+        .generate(11)
+        .records
+    }
+
+    #[test]
+    fn apss_recall_and_precision_against_exact() {
+        let records = small_dataset();
+        let t = 0.7;
+        let cfg = ApssConfig {
+            exact_on_accept: true,
+            ..ApssConfig::default()
+        };
+        let result = apss(&records, Similarity::Cosine, t, &cfg);
+        let truth = all_pairs_exact(&records, Similarity::Cosine, t);
+        let found: std::collections::HashSet<(u32, u32)> =
+            result.pairs.iter().map(|p| (p.i, p.j)).collect();
+        let truth_set: std::collections::HashSet<(u32, u32)> =
+            truth.iter().map(|&(i, j, _)| (i, j)).collect();
+        // Precision is exact (exact_on_accept); recall bounded by ε misses.
+        assert!(found.is_subset(&truth_set), "no false positives allowed");
+        let recall = found.len() as f64 / truth_set.len().max(1) as f64;
+        assert!(recall > 0.9, "recall {recall} too low");
+    }
+
+    #[test]
+    fn pruning_reduces_hash_comparisons() {
+        let records = small_dataset();
+        let cfg = ApssConfig::default();
+        let result = apss(&records, Similarity::Cosine, 0.9, &cfg);
+        let max_possible =
+            result.stats.candidates * cfg.n_hashes as u64;
+        assert!(
+            result.stats.hashes_compared < max_possible / 2,
+            "pruning should compare far fewer hashes ({} of {max_possible})",
+            result.stats.hashes_compared
+        );
+        assert!(result.stats.pruned > 0);
+    }
+
+    #[test]
+    fn estimates_cover_all_candidates() {
+        let records = small_dataset();
+        let result = apss(&records, Similarity::Cosine, 0.8, &ApssConfig::default());
+        assert_eq!(result.estimates.len() as u64, result.stats.candidates);
+        assert_eq!(
+            result.stats.pruned + result.stats.accepted + result.stats.exhausted,
+            result.stats.candidates
+        );
+    }
+
+    #[test]
+    fn banded_strategy_cuts_candidates() {
+        let records = small_dataset();
+        let exh = apss(&records, Similarity::Cosine, 0.9, &ApssConfig::default());
+        let banded = apss(
+            &records,
+            Similarity::Cosine,
+            0.9,
+            &ApssConfig {
+                candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+                ..ApssConfig::default()
+            },
+        );
+        assert!(banded.stats.candidates < exh.stats.candidates);
+    }
+
+    #[test]
+    fn sketch_time_recorded() {
+        let records = small_dataset();
+        let result = apss(&records, Similarity::Cosine, 0.5, &ApssConfig::default());
+        assert!(result.stats.sketch_seconds > 0.0);
+        assert!(result.stats.process_seconds > 0.0);
+    }
+}

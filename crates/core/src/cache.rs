@@ -1,0 +1,227 @@
+//! The knowledge cache.
+//!
+//! §2.2.1: "The memoization can also be viewed as a knowledge cache,
+//! enabling one to speed up subsequent iterations of the algorithm by
+//! re-using previously computed and memoized information." Two layers are
+//! cached:
+//!
+//! 1. **Sketches** — built once per dataset; §2.3.3 shows initial sketch
+//!    generation dominates perceived latency, so skipping it on re-probes
+//!    is the big win.
+//! 2. **Pair estimates** — the `(m, n, MAP, variance)` record of every
+//!    evaluated candidate; a re-probe at a new threshold re-decides from
+//!    the cached hash prefix and only hashes further when inconclusive.
+
+use plasma_data::hash::FxHashMap;
+use plasma_lsh::bayes::{BayesLsh, PairDecision, PairEstimate};
+use plasma_lsh::sketch::SketchSet;
+
+use crate::apss::{ApssConfig, ApssResult, ApssStats, SimilarPair};
+
+/// Memoized state shared across probes of one dataset.
+pub struct KnowledgeCache {
+    sketches: SketchSet,
+    estimates: FxHashMap<(u32, u32), PairEstimate>,
+    /// Exact similarities computed for accepted pairs (when the probe ran
+    /// with `exact_on_accept`); re-probes reuse them instead of recomputing
+    /// dot products.
+    exact: FxHashMap<(u32, u32), f64>,
+    probes: Vec<f64>,
+}
+
+impl KnowledgeCache {
+    /// Wraps freshly built sketches with an empty estimate cache.
+    pub fn new(sketches: SketchSet) -> Self {
+        Self {
+            sketches,
+            estimates: FxHashMap::default(),
+            exact: FxHashMap::default(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// The cached sketches.
+    pub fn sketches(&self) -> &SketchSet {
+        &self.sketches
+    }
+
+    /// Number of memoized pair estimates.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// True when no estimates are memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// Thresholds probed so far, in order.
+    pub fn probe_history(&self) -> &[f64] {
+        &self.probes
+    }
+
+    /// Cached estimate for a pair, if any.
+    pub fn get(&self, i: u32, j: u32) -> Option<&PairEstimate> {
+        self.estimates.get(&(i.min(j), i.max(j)))
+    }
+
+    /// Iterates all memoized estimates.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &PairEstimate)> {
+        self.estimates.iter()
+    }
+
+    /// Runs a cached probe: candidates answered from the cache skip
+    /// sketch-prefix comparison entirely when the cached posterior already
+    /// decides at the new threshold.
+    pub fn probe(
+        &mut self,
+        records: &[plasma_data::vector::SparseVector],
+        measure: plasma_data::similarity::Similarity,
+        threshold: f64,
+        cfg: &ApssConfig,
+    ) -> ApssResult {
+        let start = std::time::Instant::now();
+        let engine = BayesLsh::new(self.sketches.family(), cfg.bayes);
+        let mut table = engine.probe_table(threshold);
+        let cands = crate::apss::generate_candidates(&self.sketches, cfg);
+        let mut stats = ApssStats {
+            candidates: cands.len() as u64,
+            ..Default::default()
+        };
+        let mut pairs = Vec::new();
+        let mut estimates = Vec::with_capacity(cands.len());
+        for (i, j) in cands {
+            let est = match self.estimates.get(&(i, j)) {
+                Some(&cached) => {
+                    stats.cache_hits += 1;
+                    let resumed =
+                        table.reevaluate_cached(&self.sketches, i as usize, j as usize, cached);
+                    // Only the newly compared hashes cost anything.
+                    stats.hashes_compared +=
+                        resumed.hashes.saturating_sub(cached.hashes) as u64;
+                    resumed
+                }
+                None => {
+                    let fresh = table.evaluate_pair(&self.sketches, i as usize, j as usize);
+                    stats.hashes_compared += fresh.hashes as u64;
+                    fresh
+                }
+            };
+            match est.decision {
+                PairDecision::Pruned => stats.pruned += 1,
+                PairDecision::Accepted => stats.accepted += 1,
+                PairDecision::Exhausted => stats.exhausted += 1,
+            }
+            if est.decision != PairDecision::Pruned {
+                let similarity = if cfg.exact_on_accept {
+                    // Exact similarities are the expensive part of probe
+                    // verification; the knowledge cache memoizes them.
+                    match self.exact.get(&(i, j)) {
+                        Some(&s) => s,
+                        None => {
+                            let s =
+                                measure.compute(&records[i as usize], &records[j as usize]);
+                            self.exact.insert((i, j), s);
+                            s
+                        }
+                    }
+                } else {
+                    est.map_similarity
+                };
+                if similarity >= threshold {
+                    pairs.push(SimilarPair { i, j, similarity });
+                }
+            }
+            estimates.push((i, j, est));
+            self.estimates.insert((i, j), est);
+        }
+        stats.process_seconds = start.elapsed().as_secs_f64();
+        self.probes.push(threshold);
+        ApssResult {
+            threshold,
+            pairs,
+            estimates,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apss::{apss, build_sketches};
+    use plasma_data::datasets::gaussian::GaussianSpec;
+    use plasma_data::similarity::Similarity;
+
+    fn dataset() -> Vec<plasma_data::vector::SparseVector> {
+        GaussianSpec {
+            separation: 4.0,
+            spread: 0.6,
+            ..GaussianSpec::new("t", 50, 8, 3)
+        }
+        .generate(21)
+        .records
+    }
+
+    #[test]
+    fn cached_probe_agrees_with_fresh_probe() {
+        let records = dataset();
+        let cfg = ApssConfig::default();
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+        let mut cache = KnowledgeCache::new(sketches);
+        let first = cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
+        let second = cache.probe(&records, Similarity::Cosine, 0.6, &cfg);
+        let fresh = apss(&records, Similarity::Cosine, 0.6, &cfg);
+        // Same pairs found (both paths read the same sketches).
+        let a: std::collections::HashSet<_> = second.pairs.iter().map(|p| (p.i, p.j)).collect();
+        let b: std::collections::HashSet<_> = fresh.pairs.iter().map(|p| (p.i, p.j)).collect();
+        let sym_diff = a.symmetric_difference(&b).count();
+        assert!(
+            sym_diff <= (a.len().max(b.len()) / 10).max(2),
+            "cached vs fresh differ by {sym_diff} pairs"
+        );
+        assert!(first.stats.cache_hits == 0);
+        assert!(second.stats.cache_hits > 0);
+    }
+
+    #[test]
+    fn cache_reduces_hash_work_on_reprobe() {
+        let records = dataset();
+        let cfg = ApssConfig::default();
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+        let mut cache = KnowledgeCache::new(sketches);
+        cache.probe(&records, Similarity::Cosine, 0.95, &cfg);
+        let cached = cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
+        let fresh = apss(&records, Similarity::Cosine, 0.9, &cfg);
+        assert!(
+            cached.stats.hashes_compared < fresh.stats.hashes_compared,
+            "cache should save hash comparisons: {} vs {}",
+            cached.stats.hashes_compared,
+            fresh.stats.hashes_compared
+        );
+    }
+
+    #[test]
+    fn probe_history_records_thresholds() {
+        let records = dataset();
+        let cfg = ApssConfig::default();
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+        let mut cache = KnowledgeCache::new(sketches);
+        cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
+        cache.probe(&records, Similarity::Cosine, 0.5, &cfg);
+        assert_eq!(cache.probe_history(), &[0.9, 0.5]);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn get_returns_memoized_estimate() {
+        let records = dataset();
+        let cfg = ApssConfig::default();
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+        let mut cache = KnowledgeCache::new(sketches);
+        let r = cache.probe(&records, Similarity::Cosine, 0.8, &cfg);
+        let (i, j, est) = r.estimates[0];
+        let cached = cache.get(i, j).expect("estimate must be memoized");
+        assert_eq!(cached.hashes, est.hashes);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dimensionless visual cues (§2.2.3, Fig. 2.5).
+//!
+//! Once a probe has run, these cues are computed from the resulting
+//! similarity graph without touching the source data `D`:
+//!
+//! * **Triangle vertex-cover histogram** — "the histogram of the number of
+//!   triangles incident on each vertex gives the user an estimate of how
+//!   clusterable the data is."
+//! * **Triangle/clique density plot** — "the density plot is the clique
+//!   distribution of the graph and flat peaks in the plot indicate
+//!   potential cliques."
+
+use plasma_graph::measures::{cliques, triangles};
+use plasma_graph::Graph;
+
+use crate::apss::SimilarPair;
+
+/// Builds the similarity graph induced by a probe's accepted pairs.
+pub fn pairs_to_graph(n: usize, pairs: &[SimilarPair]) -> Graph {
+    let edges: Vec<(u32, u32)> = pairs.iter().map(|p| (p.i, p.j)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The triangle-based cues of Fig. 2.5.
+#[derive(Debug, Clone)]
+pub struct TriangleCue {
+    /// Total triangles in the thresholded graph (Fig. 2.5a's y-value).
+    pub total_triangles: u64,
+    /// Triangles incident on each vertex.
+    pub per_vertex: Vec<u32>,
+    /// Histogram over per-vertex triangle counts: `histogram[b]` = number
+    /// of vertices whose incident-triangle count falls in bucket `b`.
+    pub histogram: Vec<u64>,
+    /// Upper edge of each histogram bucket (power-of-two buckets).
+    pub bucket_edges: Vec<u32>,
+}
+
+/// Computes the triangle cues for a probe's graph.
+pub fn triangle_cue(graph: &Graph) -> TriangleCue {
+    let per_vertex = triangles::per_vertex_triangles(graph);
+    let total = per_vertex.iter().map(|&t| t as u64).sum::<u64>() / 3;
+    // Power-of-two buckets: 0, 1, 2-3, 4-7, 8-15, …
+    let max = per_vertex.iter().copied().max().unwrap_or(0);
+    let mut edges = vec![0u32, 1];
+    let mut e = 2u32;
+    while e <= max.max(1) {
+        edges.push(e * 2 - 1);
+        e *= 2;
+    }
+    let mut histogram = vec![0u64; edges.len()];
+    for &t in &per_vertex {
+        let b = edges
+            .iter()
+            .position(|&hi| t <= hi)
+            .unwrap_or(edges.len() - 1);
+        histogram[b] += 1;
+    }
+    TriangleCue {
+        total_triangles: total,
+        per_vertex,
+        histogram,
+        bucket_edges: edges,
+    }
+}
+
+/// The clique-distribution density plot of Fig. 2.5c.
+#[derive(Debug, Clone)]
+pub struct DensityPlot {
+    /// `counts[k]` = number of maximal cliques of size `k`.
+    pub clique_sizes: Vec<u64>,
+    /// Largest clique size found.
+    pub max_clique: u32,
+    /// Whether enumeration was truncated by its budget.
+    pub truncated: bool,
+}
+
+impl DensityPlot {
+    /// Sizes `k` whose counts form a local plateau-or-peak — the "flat
+    /// peaks … indicate potential cliques" read-off.
+    pub fn peaks(&self) -> Vec<usize> {
+        let c = &self.clique_sizes;
+        let mut out = Vec::new();
+        for k in 1..c.len() {
+            let left = if k >= 1 { c[k - 1] } else { 0 };
+            let right = if k + 1 < c.len() { c[k + 1] } else { 0 };
+            if c[k] > 0 && c[k] >= left && c[k] >= right {
+                out.push(k);
+            }
+        }
+        out
+    }
+}
+
+/// Computes the density plot (budgeted maximal-clique enumeration).
+pub fn density_plot(graph: &Graph) -> DensityPlot {
+    let stats = cliques::maximal_cliques(graph, cliques::DEFAULT_BUDGET);
+    DensityPlot {
+        clique_sizes: stats.size_histogram,
+        max_clique: stats.max_size,
+        truncated: stats.truncated,
+    }
+}
+
+/// Clusterability score in `[0, 1]`: fraction of vertices participating in
+/// at least one triangle. A quick scalar summary of the histogram cue.
+pub fn clusterability(cue: &TriangleCue) -> f64 {
+    if cue.per_vertex.is_empty() {
+        return 0.0;
+    }
+    let covered = cue.per_vertex.iter().filter(|&&t| t > 0).count();
+    covered as f64 / cue.per_vertex.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(i: u32, j: u32) -> SimilarPair {
+        SimilarPair {
+            i,
+            j,
+            similarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn pairs_to_graph_builds_edges() {
+        let g = pairs_to_graph(4, &[pair(0, 1), pair(1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn triangle_cue_counts() {
+        // Two triangles sharing vertex 2.
+        let g = pairs_to_graph(
+            5,
+            &[
+                pair(0, 1),
+                pair(1, 2),
+                pair(0, 2),
+                pair(2, 3),
+                pair(3, 4),
+                pair(2, 4),
+            ],
+        );
+        let cue = triangle_cue(&g);
+        assert_eq!(cue.total_triangles, 2);
+        assert_eq!(cue.per_vertex[2], 2);
+        assert_eq!(cue.per_vertex[0], 1);
+        assert_eq!(cue.histogram.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn clusterability_bounds() {
+        let clustered = triangle_cue(&pairs_to_graph(
+            3,
+            &[pair(0, 1), pair(1, 2), pair(0, 2)],
+        ));
+        assert!((clusterability(&clustered) - 1.0).abs() < 1e-12);
+        let sparse = triangle_cue(&pairs_to_graph(3, &[pair(0, 1)]));
+        assert_eq!(clusterability(&sparse), 0.0);
+    }
+
+    #[test]
+    fn density_plot_of_clique() {
+        let mut pairs = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                pairs.push(pair(i, j));
+            }
+        }
+        let plot = density_plot(&pairs_to_graph(5, &pairs));
+        assert_eq!(plot.max_clique, 5);
+        assert_eq!(plot.clique_sizes[5], 1);
+        assert!(plot.peaks().contains(&5));
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_vertices() {
+        let g = pairs_to_graph(2, &[pair(0, 1)]);
+        let cue = triangle_cue(&g);
+        assert_eq!(cue.histogram.iter().sum::<u64>(), 2);
+        assert_eq!(cue.total_triangles, 0);
+    }
+}

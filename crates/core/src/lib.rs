@@ -1,0 +1,34 @@
+//! The PLASMA-HD engine.
+//!
+//! PLASMA-HD lets a user interactively probe the intrinsic connectivity and
+//! clusterability of a high-dimensional dataset across the whole spectrum
+//! of similarity thresholds (Ch. 2). The pieces:
+//!
+//! * [`apss`] — BayesLSH-backed all-pairs similarity search at a threshold,
+//!   with candidate generation, pruning/concentration, and timing breakdown
+//!   (sketching vs processing).
+//! * [`cache`] — the knowledge cache: sketches plus memoized per-pair
+//!   posterior summaries, reused across probes at different thresholds.
+//! * [`cumulative`] — the Cumulative APSS Graph: estimated number of
+//!   similar pairs at every threshold, with error bars, assembled from
+//!   memoized estimates.
+//! * [`incremental`] — streaming pair-count estimates after each fraction
+//!   of the dataset processed (Figs. 2.6–2.8).
+//! * [`cues`] — dimensionless visual cues: triangle vertex-cover histogram
+//!   and clique/triangle density plots (Fig. 2.5).
+//! * [`session`] — the interactive driver tying it all together.
+//! * [`plot`] — ASCII and SVG renderers for the cues and curves.
+
+pub mod apss;
+pub mod cache;
+pub mod cues;
+pub mod cumulative;
+pub mod incremental;
+pub mod plot;
+pub mod session;
+pub mod topk;
+
+pub use apss::{ApssConfig, ApssResult, CandidateStrategy};
+pub use cache::KnowledgeCache;
+pub use cumulative::CumulativeCurve;
+pub use session::{ProbeReport, Session};

@@ -1,0 +1,231 @@
+//! Plot rendering: ASCII charts for terminal output and SVG line charts.
+//!
+//! The demo system's GUI is replaced by headless renderers (see DESIGN.md's
+//! substitution table): every visual cue is a data structure, and these
+//! functions turn them into something a human can look at.
+
+use std::fmt::Write as _;
+
+/// Renders one or more named series as a fixed-size ASCII chart.
+///
+/// All series share the x-grid `xs`; y values are scaled together. NaN/∞
+/// values are skipped.
+pub fn ascii_chart(xs: &[f64], series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    if xs.is_empty() || series.is_empty() {
+        return out;
+    }
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, ys) in series {
+        for &y in ys.iter().filter(|y| y.is_finite()) {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !ymin.is_finite() || ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let marks = ['*', '+', 'o', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (k, &y) in ys.iter().enumerate() {
+            if !y.is_finite() || k >= xs.len() {
+                continue;
+            }
+            let col = ((k as f64 / (xs.len().max(2) - 1) as f64) * (width - 1) as f64) as usize;
+            let row = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = mark;
+        }
+    }
+    let _ = writeln!(out, "  {ymax:>12.4e} ┐");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "               │{line}");
+    }
+    let _ = writeln!(out, "  {ymin:>12.4e} ┘");
+    let _ = writeln!(
+        out,
+        "               x: [{:.3} … {:.3}]",
+        xs[0],
+        xs[xs.len() - 1]
+    );
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "               {} {}", marks[si % marks.len()], name);
+    }
+    out
+}
+
+/// Renders named series as an SVG line chart with axis labels.
+pub fn svg_chart(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, &[f64])],
+    log_y: bool,
+) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 400.0;
+    const ML: f64 = 70.0; // left margin
+    const MB: f64 = 50.0; // bottom margin
+    const MT: f64 = 40.0;
+    const MR: f64 = 20.0;
+    let colors = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+    let map_y = |y: f64| -> f64 {
+        if log_y {
+            y.max(1e-12).log10()
+        } else {
+            y
+        }
+    };
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, ys) in series {
+        for &y in ys.iter().filter(|y| y.is_finite()) {
+            let v = map_y(y);
+            ymin = ymin.min(v);
+            ymax = ymax.max(v);
+        }
+    }
+    if !ymin.is_finite() || ymax <= ymin {
+        ymin = 0.0;
+        ymax = 1.0;
+    }
+    let (xmin, xmax) = (
+        xs.first().copied().unwrap_or(0.0),
+        xs.last().copied().unwrap_or(1.0),
+    );
+    let xspan = (xmax - xmin).max(1e-12);
+    let px = |x: f64| ML + (x - xmin) / xspan * (W - ML - MR);
+    let py = |y: f64| H - MB - (map_y(y) - ymin) / (ymax - ymin) * (H - MB - MT);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+        W / 2.0,
+        xml_escape(title)
+    );
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+        H - MB,
+        W - MR,
+        H - MB,
+        H - MB
+    );
+    // Y tick labels.
+    for k in 0..=4 {
+        let v = ymin + (ymax - ymin) * k as f64 / 4.0;
+        let label = if log_y {
+            format!("1e{v:.1}")
+        } else {
+            format!("{v:.3}")
+        };
+        let y = H - MB - (H - MB - MT) * k as f64 / 4.0;
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="end" font-family="sans-serif">{label}</text>"#,
+            ML - 6.0,
+            y + 3.0
+        );
+    }
+    // X tick labels.
+    for k in 0..=4 {
+        let v = xmin + (xmax - xmin) * k as f64 / 4.0;
+        let x = ML + (W - ML - MR) * k as f64 / 4.0;
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x}" y="{}" font-size="10" text-anchor="middle" font-family="sans-serif">{v:.2}</text>"#,
+            H - MB + 16.0
+        );
+    }
+    for (si, (name, ys)) in series.iter().enumerate() {
+        let color = colors[si % colors.len()];
+        let mut d = String::new();
+        let mut first = true;
+        for (k, &y) in ys.iter().enumerate() {
+            if !y.is_finite() || k >= xs.len() {
+                continue;
+            }
+            let cmd = if first { 'M' } else { 'L' };
+            first = false;
+            let _ = write!(d, "{cmd}{:.1},{:.1} ", px(xs[k]), py(y));
+        }
+        let _ = writeln!(
+            svg,
+            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.6"/>"#
+        );
+        let ly = MT + 14.0 * si as f64;
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{}" y="{}" width="10" height="3" fill="{color}"/><text x="{}" y="{}" font-size="11" font-family="sans-serif">{}</text>"#,
+            W - MR - 150.0,
+            ly,
+            W - MR - 135.0,
+            ly + 5.0,
+            xml_escape(name)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a histogram as ASCII bars, one line per bucket.
+pub fn ascii_histogram(labels: &[String], counts: &[u64], width: usize) -> String {
+    let mut out = String::new();
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (label, &c) in labels.iter().zip(counts) {
+        let bar = "█".repeat(((c as f64 / max as f64) * width as f64).round() as usize);
+        let _ = writeln!(out, "{label:>12} │{bar} {c}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_chart_contains_marks_and_legend() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let s = ascii_chart(&xs, &[("up", &ys)], 40, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains("up"));
+    }
+
+    #[test]
+    fn ascii_chart_empty_inputs() {
+        assert_eq!(ascii_chart(&[], &[], 10, 5), "");
+    }
+
+    #[test]
+    fn svg_chart_is_wellformed_ish() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [1.0, 10.0, 100.0];
+        let svg = svg_chart("test & chart", &xs, &[("series<1>", &ys)], true);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("&amp;"));
+        assert!(svg.contains("&lt;"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn histogram_scales_bars() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let s = ascii_histogram(&labels, &[1, 10], 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].matches('█').count() > lines[0].matches('█').count());
+    }
+}

@@ -1,0 +1,262 @@
+//! The interactive session driver (Fig. 2.1's workflow).
+//!
+//! A [`Session`] owns a dataset and its knowledge cache. Each
+//! [`probe`](Session::probe) runs BayesLSH APSS at a threshold, memoizes
+//! everything, and returns a [`ProbeReport`] carrying the pair count, the
+//! updated Cumulative APSS Graph (with error bars), the triangle/density
+//! cues, and timing — the full feedback loop a user iterates on. Probes
+//! after the first reuse sketches and pair memos, so they are cheap; that
+//! asymmetry is the knowledge-caching result of §2.3.3.
+
+use std::time::Instant;
+
+use plasma_data::datasets::Dataset;
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_lsh::family::LshFamily;
+
+use crate::apss::{build_sketches, ApssConfig, SimilarPair};
+use crate::cache::KnowledgeCache;
+use crate::cues::{self, DensityPlot, TriangleCue};
+use crate::cumulative::CumulativeCurve;
+
+/// An interactive PLASMA-HD session over one dataset.
+pub struct Session {
+    records: Vec<SparseVector>,
+    measure: Similarity,
+    cfg: ApssConfig,
+    cache: Option<KnowledgeCache>,
+    grid: Vec<f64>,
+    sketch_seconds: f64,
+    curve: Option<CumulativeCurve>,
+}
+
+/// What one probe returns to the user.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// The probed threshold.
+    pub threshold: f64,
+    /// Pairs meeting the threshold.
+    pub pairs: Vec<SimilarPair>,
+    /// Updated Cumulative APSS Graph estimate (merged across probes).
+    pub curve: CumulativeCurve,
+    /// Seconds spent on this probe (sketching charged to the first).
+    pub seconds: f64,
+    /// Sketch seconds charged to this probe (non-zero only on the first).
+    pub sketch_seconds: f64,
+    /// Candidates evaluated / pruned / cache hits.
+    pub candidates: u64,
+    /// Candidates pruned by Eq. 2.1.
+    pub pruned: u64,
+    /// Pair evaluations answered from the knowledge cache.
+    pub cache_hits: u64,
+    /// Hashes compared during this probe.
+    pub hashes_compared: u64,
+}
+
+impl Session {
+    /// Opens a session over a dataset.
+    pub fn new(dataset: &Dataset, cfg: ApssConfig) -> Self {
+        Self::from_records(dataset.records.clone(), dataset.measure, cfg)
+    }
+
+    /// Opens a session over raw records.
+    pub fn from_records(
+        records: Vec<SparseVector>,
+        measure: Similarity,
+        cfg: ApssConfig,
+    ) -> Self {
+        let lo = match measure {
+            Similarity::Jaccard => 0.05,
+            Similarity::Cosine => 0.05,
+        };
+        Self {
+            records,
+            measure,
+            cfg,
+            cache: None,
+            grid: crate::cumulative::default_grid(lo),
+            sketch_seconds: 0.0,
+            curve: None,
+        }
+    }
+
+    /// Overrides the threshold grid for the cumulative curve.
+    pub fn with_grid(mut self, grid: Vec<f64>) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Number of records in the session's dataset.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The similarity measure in use.
+    pub fn measure(&self) -> Similarity {
+        self.measure
+    }
+
+    /// The records (read-only).
+    pub fn records(&self) -> &[SparseVector] {
+        &self.records
+    }
+
+    /// Probes the data at `threshold`, reusing the knowledge cache.
+    pub fn probe(&mut self, threshold: f64) -> ProbeReport {
+        let start = Instant::now();
+        let mut sketch_secs = 0.0;
+        if self.cache.is_none() {
+            let (sketches, secs) = build_sketches(&self.records, self.measure, &self.cfg);
+            sketch_secs = secs;
+            self.sketch_seconds = secs;
+            self.cache = Some(KnowledgeCache::new(sketches));
+        }
+        let cache = self.cache.as_mut().expect("cache initialized above");
+        let result = cache.probe(&self.records, self.measure, threshold, &self.cfg);
+
+        // Fold this probe's estimates into the cumulative curve.
+        let family = LshFamily::for_measure(self.measure);
+        let ests: Vec<plasma_lsh::bayes::PairEstimate> =
+            result.estimates.iter().map(|&(_, _, e)| e).collect();
+        let probe_curve =
+            CumulativeCurve::from_estimates(family, self.cfg.bayes, ests.iter(), &self.grid);
+        let merged = match &self.curve {
+            Some(prev) => prev.merge_min_variance(&probe_curve),
+            None => probe_curve,
+        };
+        self.curve = Some(merged.clone());
+
+        ProbeReport {
+            threshold,
+            pairs: result.pairs,
+            curve: merged,
+            seconds: start.elapsed().as_secs_f64(),
+            sketch_seconds: sketch_secs,
+            candidates: result.stats.candidates,
+            pruned: result.stats.pruned,
+            cache_hits: result.stats.cache_hits,
+            hashes_compared: result.stats.hashes_compared,
+        }
+    }
+
+    /// The current Cumulative APSS Graph, if any probe has run.
+    pub fn curve(&self) -> Option<&CumulativeCurve> {
+        self.curve.as_ref()
+    }
+
+    /// Suggests the next threshold to probe: the knee of the current curve
+    /// (§2.2.2's "the user then notices the knee … and investigating it,
+    /// selects a new similarity threshold").
+    pub fn suggest_next_threshold(&self) -> Option<f64> {
+        let curve = self.curve.as_ref()?;
+        curve.knee().map(|k| curve.thresholds[k])
+    }
+
+    /// Triangle cue for the graph induced by a probe's pairs.
+    pub fn triangle_cue(&self, pairs: &[SimilarPair]) -> TriangleCue {
+        cues::triangle_cue(&cues::pairs_to_graph(self.records.len(), pairs))
+    }
+
+    /// Density plot for the graph induced by a probe's pairs.
+    pub fn density_plot(&self, pairs: &[SimilarPair]) -> DensityPlot {
+        cues::density_plot(&cues::pairs_to_graph(self.records.len(), pairs))
+    }
+
+    /// Seconds spent building sketches (0 until the first probe).
+    pub fn sketch_seconds(&self) -> f64 {
+        self.sketch_seconds
+    }
+
+    /// The knowledge cache, if initialized.
+    pub fn cache(&self) -> Option<&KnowledgeCache> {
+        self.cache.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::datasets::gaussian::GaussianSpec;
+    use plasma_data::similarity::pair_counts_at_thresholds;
+
+    fn dataset() -> Dataset {
+        GaussianSpec {
+            separation: 4.0,
+            spread: 0.6,
+            ..GaussianSpec::new("session-test", 60, 8, 3)
+        }
+        .generate(41)
+    }
+
+    #[test]
+    fn first_probe_pays_sketch_cost_later_probes_do_not() {
+        let ds = dataset();
+        let mut s = Session::new(&ds, ApssConfig::default());
+        let r1 = s.probe(0.9);
+        let r2 = s.probe(0.7);
+        assert!(r1.sketch_seconds > 0.0);
+        assert_eq!(r2.sketch_seconds, 0.0);
+        assert!(r2.cache_hits > 0);
+    }
+
+    #[test]
+    fn curve_estimate_tracks_ground_truth_at_probed_threshold() {
+        let ds = dataset();
+        let mut s = Session::new(&ds, ApssConfig::default());
+        let r = s.probe(0.7);
+        // Ground truth at the probed threshold.
+        let truth = pair_counts_at_thresholds(&ds.records, ds.measure, &[0.7])[0];
+        let idx = r
+            .curve
+            .thresholds
+            .iter()
+            .position(|&t| (t - 0.7).abs() < 0.026)
+            .expect("grid covers 0.7");
+        let est = r.curve.expected[idx];
+        let rel = (est - truth as f64).abs() / (truth as f64).max(1.0);
+        assert!(rel < 0.35, "estimate {est} vs truth {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn suggestion_points_at_knee() {
+        let ds = dataset();
+        let mut s = Session::new(&ds, ApssConfig::default());
+        s.probe(0.8);
+        let next = s.suggest_next_threshold();
+        assert!(next.is_some());
+        let t = next.expect("some");
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn cues_computed_from_pairs() {
+        let ds = dataset();
+        let mut s = Session::new(&ds, ApssConfig::default());
+        let r = s.probe(0.6);
+        let cue = s.triangle_cue(&r.pairs);
+        // Well-separated clusters at threshold 0.6 → triangles exist.
+        assert!(cue.total_triangles > 0);
+        let dp = s.density_plot(&r.pairs);
+        assert!(dp.max_clique >= 3);
+    }
+
+    #[test]
+    fn merged_curve_tightens_with_second_probe() {
+        let ds = dataset();
+        let mut s = Session::new(&ds, ApssConfig::default());
+        let r1 = s.probe(0.9);
+        let sum_sd_before: f64 = r1.curve.std_dev.iter().sum();
+        let r2 = s.probe(0.5);
+        let sum_sd_after: f64 = r2.curve.std_dev.iter().sum();
+        assert!(
+            sum_sd_after <= sum_sd_before + 1e-9,
+            "min-variance merge can only tighten: {sum_sd_before} → {sum_sd_after}"
+        );
+    }
+}

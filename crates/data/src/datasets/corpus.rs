@@ -1,0 +1,181 @@
+//! Zipfian topic-model corpus generator (RCV1 / Wikipedia stand-in).
+//!
+//! Documents draw terms from a mixture of per-topic multinomials whose rank
+//! ordering is a topic-specific permutation of a global Zipf distribution.
+//! A near-duplicate knob models wire-copy / template articles — the mass of
+//! ≥0.9-cosine pairs that Chapter 2's high-threshold probes find in RCV1.
+
+use rand::Rng;
+
+use crate::datasets::{Dataset, DatasetKind};
+use crate::prep::tf_idf;
+use crate::rng;
+use crate::similarity::Similarity;
+use crate::vector::SparseVector;
+use crate::zipf::Zipf;
+
+/// Specification for a synthetic document corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Dataset name for reporting.
+    pub name: &'static str,
+    /// Number of documents.
+    pub docs: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Number of latent topics.
+    pub topics: usize,
+    /// Mean document length (terms drawn, with repetition).
+    pub doc_len_mean: usize,
+    /// Zipf exponent for term frequencies.
+    pub zipf_s: f64,
+    /// Fraction of documents that are near-duplicates of an earlier one.
+    pub near_dup_rate: f64,
+}
+
+impl CorpusSpec {
+    /// Reasonable defaults for a medium corpus.
+    pub fn new(name: &'static str, docs: usize, vocab: usize, topics: usize) -> Self {
+        Self {
+            name,
+            docs,
+            vocab,
+            topics,
+            doc_len_mean: 80,
+            zipf_s: 1.05,
+            near_dup_rate: 0.02,
+        }
+    }
+
+    /// Generates the corpus as TF-IDF weighted sparse vectors (cosine).
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let mut master = rng::seeded(seed);
+        let zipf = Zipf::new(self.vocab, self.zipf_s);
+
+        // Each topic permutes the vocabulary so its Zipf head differs.
+        let topic_perms: Vec<Vec<u32>> = (0..self.topics)
+            .map(|t| {
+                let mut r = rng::substream(seed, t as u64 + 1);
+                rng::permutation(&mut r, self.vocab)
+            })
+            .collect();
+
+        let mut counts_docs: Vec<Vec<u32>> = Vec::with_capacity(self.docs);
+        let mut labels: Vec<u32> = Vec::with_capacity(self.docs);
+        for _ in 0..self.docs {
+            if !counts_docs.is_empty() && master.gen::<f64>() < self.near_dup_rate {
+                let src = master.gen_range(0..counts_docs.len());
+                let mut dup = counts_docs[src].clone();
+                // Perturb a few terms so the pair is near- not exact-duplicate.
+                for _ in 0..3 {
+                    let rank = zipf.sample(&mut master);
+                    dup.push(topic_perms[labels[src] as usize][rank]);
+                }
+                labels.push(labels[src]);
+                counts_docs.push(dup);
+                continue;
+            }
+            let topic = master.gen_range(0..self.topics);
+            // Document length ~ uniform around the mean (±50%).
+            let lo = (self.doc_len_mean / 2).max(1);
+            let hi = self.doc_len_mean * 3 / 2;
+            let len = master.gen_range(lo..=hi.max(lo));
+            let mut terms = Vec::with_capacity(len);
+            for _ in 0..len {
+                // 85% topic terms, 15% background (identity permutation).
+                let rank = zipf.sample(&mut master);
+                let term = if master.gen::<f64>() < 0.85 {
+                    topic_perms[topic][rank]
+                } else {
+                    rank as u32
+                };
+                terms.push(term);
+            }
+            labels.push(topic as u32);
+            counts_docs.push(terms);
+        }
+
+        // Term lists → count vectors.
+        let raw: Vec<SparseVector> = counts_docs
+            .into_iter()
+            .map(|terms| {
+                let pairs = terms.into_iter().map(|t| (t, 1.0)).collect();
+                SparseVector::from_pairs(pairs)
+            })
+            .collect();
+        let weighted = tf_idf(&raw);
+
+        Dataset {
+            name: self.name.to_string(),
+            kind: DatasetKind::Corpus,
+            records: weighted,
+            labels: Some(labels),
+            measure: Similarity::Cosine,
+            dim: self.vocab,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+    use crate::stats::mean;
+
+    #[test]
+    fn corpus_shape() {
+        let ds = CorpusSpec::new("c", 100, 2000, 5).generate(1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.dim, 2000);
+        assert!(ds.avg_len() > 10.0, "documents should be non-trivial");
+        assert!(ds.avg_len() < 200.0, "documents should be sparse");
+    }
+
+    #[test]
+    fn same_topic_docs_are_more_similar() {
+        let ds = CorpusSpec::new("c", 120, 3000, 4).generate(2);
+        let labels = ds.labels.as_ref().expect("labeled");
+        let (mut intra, mut inter) = (Vec::new(), Vec::new());
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let s = cosine(&ds.records[i], &ds.records[j]);
+                if labels[i] == labels[j] {
+                    intra.push(s);
+                } else {
+                    inter.push(s);
+                }
+            }
+        }
+        assert!(
+            mean(&intra) > mean(&inter) + 0.05,
+            "intra {} vs inter {}",
+            mean(&intra),
+            mean(&inter)
+        );
+    }
+
+    #[test]
+    fn near_duplicates_present() {
+        let spec = CorpusSpec {
+            near_dup_rate: 0.3,
+            ..CorpusSpec::new("c", 80, 2000, 3)
+        };
+        let ds = spec.generate(3);
+        let mut high = 0;
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                if cosine(&ds.records[i], &ds.records[j]) > 0.9 {
+                    high += 1;
+                }
+            }
+        }
+        assert!(high >= 5, "expected high-similarity mass, got {high}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CorpusSpec::new("c", 40, 500, 3).generate(7);
+        let b = CorpusSpec::new("c", 40, 500, 3).generate(7);
+        assert_eq!(a.records, b.records);
+    }
+}

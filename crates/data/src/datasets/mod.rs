@@ -1,0 +1,145 @@
+//! Synthetic dataset generators standing in for the paper's evaluation data.
+//!
+//! The dissertation evaluates on UCI tables, TF-IDF text corpora, social
+//! graphs, FIMI transactional sets, and LAW web crawls. None are available
+//! offline, so each generator here reproduces the statistical properties the
+//! algorithms are sensitive to — cluster structure and pair-similarity
+//! distributions for APSS/graph-growth, power-law term/degree distributions
+//! for LSH pruning, and pattern redundancy for LAM. See DESIGN.md
+//! ("Simulated inputs") for the per-family rationale.
+
+pub mod catalog;
+pub mod corpus;
+pub mod gaussian;
+pub mod social;
+pub mod transactions;
+pub mod webgraph;
+
+use crate::similarity::Similarity;
+use crate::vector::SparseVector;
+
+/// Broad family of a dataset, used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Dense numeric table (UCI-like), cosine over z-normed columns.
+    NumericTable,
+    /// Sparse TF-IDF document corpus.
+    Corpus,
+    /// Graph-derived neighbor-list vectors.
+    SocialGraph,
+}
+
+/// A named collection of records plus optional class labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short name, e.g. `"wine-like"`.
+    pub name: String,
+    /// Family tag.
+    pub kind: DatasetKind,
+    /// The records, ready for the configured similarity measure
+    /// (z-normed / TF-IDF'd as appropriate).
+    pub records: Vec<SparseVector>,
+    /// Ground-truth class / cluster labels when the generator planted them.
+    pub labels: Option<Vec<u32>>,
+    /// Similarity measure the paper uses for this dataset.
+    pub measure: Similarity,
+    /// Nominal dimensionality (vocabulary size for corpora).
+    pub dim: usize,
+}
+
+impl Dataset {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of non-zero entries across all records ("Nnz" in the
+    /// paper's dataset tables).
+    pub fn nnz(&self) -> u64 {
+        self.records.iter().map(|r| r.nnz() as u64).sum()
+    }
+
+    /// Average record length (non-zeros per record).
+    pub fn avg_len(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Number of distinct classes, if labeled.
+    pub fn num_classes(&self) -> Option<usize> {
+        self.labels
+            .as_ref()
+            .map(|ls| ls.iter().copied().max().map_or(0, |m| m as usize + 1))
+    }
+
+    /// Returns a row-subsampled copy with at most `n` records (keeping
+    /// labels aligned), mimicking the paper's "8000 of 32561" subsampling.
+    pub fn subsample(&self, n: usize, seed: u64) -> Dataset {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut rng = crate::rng::seeded(seed);
+        let idx = crate::rng::sample_without_replacement(&mut rng, self.len(), n);
+        Dataset {
+            name: self.name.clone(),
+            kind: self.kind,
+            records: idx.iter().map(|&i| self.records[i as usize].clone()).collect(),
+            labels: self
+                .labels
+                .as_ref()
+                .map(|ls| idx.iter().map(|&i| ls[i as usize]).collect()),
+            measure: self.measure,
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            kind: DatasetKind::NumericTable,
+            records: vec![
+                SparseVector::from_dense(&[1.0, 0.0]),
+                SparseVector::from_dense(&[0.0, 1.0]),
+                SparseVector::from_dense(&[1.0, 1.0]),
+            ],
+            labels: Some(vec![0, 1, 1]),
+            measure: Similarity::Cosine,
+            dim: 2,
+        }
+    }
+
+    #[test]
+    fn nnz_and_avg_len() {
+        let d = tiny();
+        assert_eq!(d.nnz(), 4);
+        assert!((d.avg_len() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn num_classes_from_labels() {
+        assert_eq!(tiny().num_classes(), Some(2));
+    }
+
+    #[test]
+    fn subsample_keeps_labels_aligned() {
+        let d = tiny();
+        let s = d.subsample(2, 7);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels.as_ref().map(|l| l.len()), Some(2));
+        // Oversized request returns everything.
+        assert_eq!(d.subsample(10, 7).len(), 3);
+    }
+}

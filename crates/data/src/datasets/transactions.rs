@@ -1,0 +1,266 @@
+//! Transactional dataset generators (FIMI stand-ins) for LAM and baselines.
+//!
+//! Two families cover the paper's Table 4.4 spectrum:
+//!
+//! * **Quest-style** (IBM synthetic-market-basket model): a pool of source
+//!   patterns with Zipfian popularity; each transaction stitches together a
+//!   few (possibly corrupted) patterns plus noise items. This yields the
+//!   frequent-itemset structure sparse sets like Kosarak/Accidents have.
+//! * **One-hot categorical**: every transaction has exactly one item per
+//!   attribute (mushroom/adult-like "dense" sets), which is where
+//!   code-table methods like Krimp shine.
+
+use rand::Rng;
+
+use crate::rng;
+use crate::zipf::Zipf;
+
+/// A transaction database: each row is a sorted, deduplicated item list.
+pub type Transactions = Vec<Vec<u32>>;
+
+/// Specification for a Quest-style sparse transactional dataset.
+#[derive(Debug, Clone)]
+pub struct QuestSpec {
+    /// Dataset name for reporting.
+    pub name: &'static str,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Number of source patterns in the pool.
+    pub patterns: usize,
+    /// Mean source-pattern length.
+    pub pattern_len: usize,
+    /// Mean number of patterns composed into one transaction.
+    pub patterns_per_tx: usize,
+    /// Probability each pattern item is dropped when instantiated
+    /// (corruption, per the Quest model).
+    pub corruption: f64,
+    /// Mean count of uniform-random noise items appended.
+    pub noise_items: usize,
+}
+
+impl QuestSpec {
+    /// Balanced defaults for a medium sparse set.
+    pub fn new(name: &'static str, transactions: usize, items: usize) -> Self {
+        Self {
+            name,
+            transactions,
+            items,
+            patterns: (items / 10).max(8),
+            pattern_len: 6,
+            patterns_per_tx: 3,
+            corruption: 0.25,
+            noise_items: 2,
+        }
+    }
+
+    /// Generates the transaction database.
+    pub fn generate(&self, seed: u64) -> Transactions {
+        let mut rng = rng::seeded(seed);
+        // Pattern pool: Zipfian popularity so a few patterns dominate, which
+        // is what makes these datasets compressible.
+        let pool: Vec<Vec<u32>> = (0..self.patterns)
+            .map(|_| {
+                let len = rng.gen_range(2..=self.pattern_len * 2 - 2);
+                let mut p: Vec<u32> = (0..len)
+                    .map(|_| rng.gen_range(0..self.items as u32))
+                    .collect();
+                p.sort_unstable();
+                p.dedup();
+                p
+            })
+            .collect();
+        let popularity = Zipf::new(self.patterns, 1.0);
+
+        (0..self.transactions)
+            .map(|_| {
+                let k = rng.gen_range(1..=self.patterns_per_tx * 2 - 1);
+                let mut tx: Vec<u32> = Vec::new();
+                for _ in 0..k {
+                    let p = &pool[popularity.sample(&mut rng)];
+                    for &item in p {
+                        if rng.gen::<f64>() >= self.corruption {
+                            tx.push(item);
+                        }
+                    }
+                }
+                for _ in 0..self.noise_items {
+                    tx.push(rng.gen_range(0..self.items as u32));
+                }
+                tx.sort_unstable();
+                tx.dedup();
+                if tx.is_empty() {
+                    tx.push(rng.gen_range(0..self.items as u32));
+                }
+                tx
+            })
+            .collect()
+    }
+}
+
+/// Specification for a one-hot categorical table (dense transactional set).
+#[derive(Debug, Clone)]
+pub struct CategoricalSpec {
+    /// Dataset name for reporting.
+    pub name: &'static str,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of categorical attributes.
+    pub attributes: usize,
+    /// Number of values per attribute.
+    pub values_per_attr: usize,
+    /// Number of latent classes driving value correlations.
+    pub classes: usize,
+    /// Probability a cell takes its class's modal value (vs uniform noise).
+    pub coherence: f64,
+}
+
+impl CategoricalSpec {
+    /// Defaults giving a mushroom-like dense set.
+    pub fn new(name: &'static str, rows: usize, attributes: usize) -> Self {
+        Self {
+            name,
+            rows,
+            attributes,
+            values_per_attr: 4,
+            classes: 2,
+            coherence: 0.8,
+        }
+    }
+
+    /// Generates transactions plus class labels.
+    ///
+    /// Item ids are `attr * values_per_attr + value`, so every transaction
+    /// has exactly `attributes` items — the dense one-hot encoding the
+    /// paper's Adult/Mushroom rows use.
+    pub fn generate(&self, seed: u64) -> (Transactions, Vec<u32>) {
+        let mut rng = rng::seeded(seed);
+        // Per-class modal value for each attribute.
+        let modal: Vec<Vec<u32>> = (0..self.classes)
+            .map(|_| {
+                (0..self.attributes)
+                    .map(|_| rng.gen_range(0..self.values_per_attr as u32))
+                    .collect()
+            })
+            .collect();
+        let mut txs = Vec::with_capacity(self.rows);
+        let mut labels = Vec::with_capacity(self.rows);
+        for _ in 0..self.rows {
+            let class = rng.gen_range(0..self.classes);
+            let tx: Vec<u32> = (0..self.attributes)
+                .map(|a| {
+                    let val = if rng.gen::<f64>() < self.coherence {
+                        modal[class][a]
+                    } else {
+                        rng.gen_range(0..self.values_per_attr as u32)
+                    };
+                    (a * self.values_per_attr) as u32 + val
+                })
+                .collect();
+            txs.push(tx); // already sorted: attribute-major ids
+            labels.push(class as u32);
+        }
+        (txs, labels)
+    }
+}
+
+/// Summary stats for reporting transactional datasets (Table 4.4 style).
+pub struct TxStats {
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Total item occurrences ("size" in the paper's byte-ish units).
+    pub size: u64,
+    /// Number of distinct items.
+    pub distinct_items: usize,
+    /// Mean transaction length.
+    pub avg_len: f64,
+}
+
+/// Computes summary statistics of a transaction database.
+pub fn tx_stats(txs: &Transactions) -> TxStats {
+    let size: u64 = txs.iter().map(|t| t.len() as u64).sum();
+    let distinct = {
+        let mut set = crate::hash::FxHashSet::default();
+        for t in txs {
+            set.extend(t.iter().copied());
+        }
+        set.len()
+    };
+    TxStats {
+        transactions: txs.len(),
+        size,
+        distinct_items: distinct,
+        avg_len: if txs.is_empty() {
+            0.0
+        } else {
+            size as f64 / txs.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quest_transactions_sorted_unique_nonempty() {
+        let txs = QuestSpec::new("q", 300, 200).generate(1);
+        assert_eq!(txs.len(), 300);
+        for t in &txs {
+            assert!(!t.is_empty());
+            for w in t.windows(2) {
+                assert!(w[0] < w[1], "must be strictly sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn quest_has_repeated_patterns() {
+        // The whole point: some item pairs co-occur far above chance.
+        let txs = QuestSpec::new("q", 500, 300).generate(2);
+        let mut pair_counts: crate::hash::FxHashMap<(u32, u32), u32> =
+            crate::hash::FxHashMap::default();
+        for t in &txs {
+            for i in 0..t.len().min(12) {
+                for j in (i + 1)..t.len().min(12) {
+                    *pair_counts.entry((t[i], t[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        let max = pair_counts.values().copied().max().unwrap_or(0);
+        assert!(max > 25, "expected strongly co-occurring pair, max {max}");
+    }
+
+    #[test]
+    fn categorical_rows_have_fixed_length() {
+        let (txs, labels) = CategoricalSpec::new("c", 100, 15).generate(3);
+        assert_eq!(txs.len(), 100);
+        assert_eq!(labels.len(), 100);
+        for t in &txs {
+            assert_eq!(t.len(), 15);
+        }
+    }
+
+    #[test]
+    fn categorical_items_partition_by_attribute() {
+        let spec = CategoricalSpec::new("c", 50, 6);
+        let (txs, _) = spec.generate(4);
+        for t in &txs {
+            for (a, &item) in t.iter().enumerate() {
+                let attr = item as usize / spec.values_per_attr;
+                assert_eq!(attr, a, "item {item} not in attribute slot {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn tx_stats_counts() {
+        let txs = vec![vec![1, 2, 3], vec![2, 3], vec![9]];
+        let s = tx_stats(&txs);
+        assert_eq!(s.transactions, 3);
+        assert_eq!(s.size, 6);
+        assert_eq!(s.distinct_items, 4);
+        assert!((s.avg_len - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fast non-cryptographic hashing.
+//!
+//! Hot paths (LSH sketching, LAM localization, dedup sets keyed by small
+//! integers) need a hasher much faster than SipHash. This module provides an
+//! FxHash-style multiplicative hasher and type aliases, avoiding an external
+//! dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: fast multiplicative mixing, not HashDoS-resistant.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Stateless 64-bit integer mix (SplitMix64 finalizer). Used where a keyed
+/// hash function family is needed (min-wise hashing draws one key per
+/// permutation).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Keyed hash of a 32-bit item: `h_key(item)`. Each distinct `key` induces
+/// an (approximately) min-wise independent permutation of the item space,
+/// following Bohman et al.'s practical construction referenced in §4.4.1.
+#[inline]
+pub fn keyed_hash(key: u64, item: u32) -> u64 {
+    mix64(key ^ (item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx_map_works() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&40), Some(&80));
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Injectivity spot check: no collisions over a contiguous range.
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn keyed_hash_differs_by_key() {
+        let a = keyed_hash(1, 42);
+        let b = keyed_hash(2, 42);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keyed_hash_minwise_probability_matches_jaccard() {
+        // For sets A, B the probability that argmin_h over A∪B lands in A∩B
+        // equals |A∩B|/|A∪B|. Check empirically across many keys.
+        let a: Vec<u32> = (0..30).collect(); // A = {0..29}
+        let b: Vec<u32> = (15..45).collect(); // B = {15..44}, |∩|=15, |∪|=45
+        let expected = 15.0 / 45.0;
+        let trials = 4000;
+        let mut agree = 0;
+        for key in 0..trials {
+            let min_a = a.iter().map(|&x| keyed_hash(key, x)).min().unwrap();
+            let min_b = b.iter().map(|&x| keyed_hash(key, x)).min().unwrap();
+            if min_a == min_b {
+                agree += 1;
+            }
+        }
+        let p = agree as f64 / trials as f64;
+        assert!(
+            (p - expected).abs() < 0.03,
+            "min-hash agreement {p} vs expected {expected}"
+        );
+    }
+}

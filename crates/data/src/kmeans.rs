@@ -1,0 +1,194 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used by Chapter 3's *stratified sampling* method ("the data is divided
+//! into 10 clusters using K-means clustering; each cluster serves as a
+//! strata") and by parallel-coordinates experiments that need discovered
+//! clusters to visualize.
+
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignment of each input row to a centroid index.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs k-means on dense rows.
+///
+/// `k` is clamped to the number of rows. Empty clusters are re-seeded with
+/// the point farthest from its centroid, so all `k` clusters stay non-empty.
+pub fn kmeans<R: Rng>(rows: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R) -> KMeans {
+    assert!(!rows.is_empty(), "kmeans needs at least one row");
+    let k = k.clamp(1, rows.len());
+    let d = rows[0].len();
+
+    let mut centroids = kmeans_pp_init(rows, k, rng);
+    let mut assignments = vec![0usize; rows.len()];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for (i, row) in rows.iter().enumerate() {
+            let (best, dist) = nearest(row, &centroids);
+            assignments[i] = best;
+            new_inertia += dist;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (row, &a) in rows.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fit point.
+                let far = rows
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                            .expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty rows");
+                centroids[c] = rows[far].clone();
+            } else {
+                for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+        // Convergence check: inertia stopped improving.
+        if (inertia - new_inertia).abs() <= 1e-9 * inertia.max(1.0) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+fn kmeans_pp_init<R: Rng>(rows: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(rows[rng.gen_range(0..rows.len())].clone());
+    let mut dists: Vec<f64> = rows
+        .iter()
+        .map(|r| sq_dist(r, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..rows.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = rows.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(rows[next].clone());
+        for (i, r) in rows.iter().enumerate() {
+            let d = sq_dist(r, centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = sq_dist(row, cent);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![0.0 + (i % 3) as f64 * 0.01, 0.0]);
+            rows.push(vec![10.0 + (i % 3) as f64 * 0.01, 10.0]);
+        }
+        rows
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let rows = two_blobs();
+        let mut rng = seeded(5);
+        let km = kmeans(&rows, 2, 50, &mut rng);
+        // All even-indexed rows (blob A) share a label distinct from odds.
+        let a = km.assignments[0];
+        let b = km.assignments[1];
+        assert_ne!(a, b);
+        for (i, &asg) in km.assignments.iter().enumerate() {
+            assert_eq!(asg, if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let mut rng = seeded(1);
+        let km = kmeans(&rows, 10, 10, &mut rng);
+        assert_eq!(km.centroids.len(), 2);
+    }
+
+    #[test]
+    fn inertia_zero_for_k_equals_n() {
+        let rows = vec![vec![1.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]];
+        let mut rng = seeded(2);
+        let km = kmeans(&rows, 3, 30, &mut rng);
+        assert!(km.inertia < 1e-9);
+    }
+
+    #[test]
+    fn assignments_cover_all_rows() {
+        let rows = two_blobs();
+        let mut rng = seeded(9);
+        let km = kmeans(&rows, 4, 25, &mut rng);
+        assert_eq!(km.assignments.len(), rows.len());
+        assert!(km.assignments.iter().all(|&a| a < 4));
+    }
+}

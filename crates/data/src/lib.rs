@@ -1,0 +1,25 @@
+//! Data substrate for PLASMA-HD.
+//!
+//! This crate provides everything the higher layers consume as "a dataset":
+//! sparse and dense vector types, exact similarity measures (cosine and
+//! Jaccard), feature preparation (z-normalization, TF-IDF), summary
+//! statistics, ordinary least squares regression, k-means clustering, and a
+//! catalog of seeded synthetic dataset generators that stand in for the
+//! UCI / text-corpus / social-graph / transactional datasets used in the
+//! paper's evaluation (see DESIGN.md for the substitution rationale).
+
+pub mod datasets;
+pub mod hash;
+pub mod io;
+pub mod kmeans;
+pub mod prep;
+pub mod regression;
+pub mod rng;
+pub mod similarity;
+pub mod stats;
+pub mod vector;
+pub mod zipf;
+
+pub use datasets::{Dataset, DatasetKind};
+pub use similarity::{cosine, jaccard, Similarity};
+pub use vector::SparseVector;

@@ -1,0 +1,106 @@
+//! Feature preparation: column z-normalization and TF-IDF weighting.
+//!
+//! Chapter 3 z-norms every numeric column ("each used column was z-normed to
+//! center and normalize variance") before computing cosine similarities;
+//! Chapters 2 and 4 use TF-IDF weighted document/neighbor vectors.
+
+use crate::hash::FxHashMap;
+use crate::stats::{mean, std_dev};
+use crate::vector::SparseVector;
+
+/// Z-normalizes each column of a dense row-major table in place.
+///
+/// Columns with zero variance are centered only (left at 0), matching the
+/// standard convention so constant attributes do not produce NaNs.
+pub fn z_normalize_columns(rows: &mut [Vec<f64>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let d = rows[0].len();
+    debug_assert!(rows.iter().all(|r| r.len() == d), "ragged table");
+    for col in 0..d {
+        let column: Vec<f64> = rows.iter().map(|r| r[col]).collect();
+        let m = mean(&column);
+        let s = std_dev(&column);
+        for r in rows.iter_mut() {
+            r[col] = if s > 0.0 { (r[col] - m) / s } else { 0.0 };
+        }
+    }
+}
+
+/// Converts a dense table to sparse vectors (one per row).
+pub fn rows_to_vectors(rows: &[Vec<f64>]) -> Vec<SparseVector> {
+    rows.iter().map(|r| SparseVector::from_dense(r)).collect()
+}
+
+/// Applies TF-IDF weighting to a collection of raw term-count vectors.
+///
+/// `tfidf(t, d) = tf(t, d) * ln(N / df(t))`, the classic formulation. Terms
+/// appearing in every document get weight 0 and drop out.
+pub fn tf_idf(docs: &[SparseVector]) -> Vec<SparseVector> {
+    let n = docs.len() as f64;
+    let mut df: FxHashMap<u32, u32> = FxHashMap::default();
+    for d in docs {
+        for (t, _) in d.iter() {
+            *df.entry(t).or_insert(0) += 1;
+        }
+    }
+    docs.iter()
+        .map(|d| {
+            let pairs: Vec<(u32, f64)> = d
+                .iter()
+                .map(|(t, tf)| {
+                    let idf = (n / df[&t] as f64).ln();
+                    (t, tf * idf)
+                })
+                .collect();
+            SparseVector::from_pairs(pairs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znorm_centers_and_scales() {
+        let mut rows = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]];
+        z_normalize_columns(&mut rows);
+        let col0: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        assert!(mean(&col0).abs() < 1e-12);
+        assert!((std_dev(&col0) - 1.0).abs() < 1e-12);
+        // Constant column becomes all-zero, not NaN.
+        assert!(rows.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn znorm_empty_table_ok() {
+        let mut rows: Vec<Vec<f64>> = vec![];
+        z_normalize_columns(&mut rows);
+    }
+
+    #[test]
+    fn tfidf_zeroes_ubiquitous_terms() {
+        let docs = vec![
+            SparseVector::from_pairs(vec![(0, 2.0), (1, 1.0)]),
+            SparseVector::from_pairs(vec![(0, 1.0), (2, 3.0)]),
+        ];
+        let w = tf_idf(&docs);
+        // Term 0 appears in both docs: idf = ln(1) = 0 → dropped.
+        assert_eq!(w[0].get(0), 0.0);
+        assert!(w[0].get(1) > 0.0);
+        assert!(w[1].get(2) > 0.0);
+    }
+
+    #[test]
+    fn tfidf_weights_scale_with_tf() {
+        let docs = vec![
+            SparseVector::from_pairs(vec![(1, 4.0)]),
+            SparseVector::from_pairs(vec![(2, 1.0)]),
+        ];
+        let w = tf_idf(&docs);
+        let idf = (2.0f64).ln();
+        assert!((w[0].get(1) - 4.0 * idf).abs() < 1e-12);
+    }
+}

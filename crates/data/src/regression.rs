@@ -1,0 +1,193 @@
+//! Ordinary least squares linear regression.
+//!
+//! Chapter 3's Regression predictor fits
+//! `realy = b0 + b1·synthx + b2·synthy + b3·realx`
+//! by minimizing the sum of squared deviations (§3.4). This module solves
+//! the normal equations with Gaussian elimination plus ridge jitter when the
+//! design matrix is singular — plenty for the ≤4-predictor models the paper
+//! uses, without pulling in a linear-algebra dependency.
+
+/// A fitted linear model `y = b0 + Σ b_i x_i`.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// Coefficients: `coef[0]` is the intercept.
+    pub coef: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fits OLS on rows of predictors `xs` against responses `ys`.
+    ///
+    /// Each row of `xs` is one observation's predictor vector (without the
+    /// intercept column; it is added internally).
+    ///
+    /// # Panics
+    /// Panics if `xs` and `ys` lengths differ or `xs` is empty.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "predictor/response length mismatch");
+        assert!(!xs.is_empty(), "cannot fit a model on zero observations");
+        let p = xs[0].len() + 1; // +1 intercept
+        debug_assert!(xs.iter().all(|r| r.len() + 1 == p), "ragged predictors");
+
+        // Normal equations: (XᵀX) b = Xᵀy.
+        let mut xtx = vec![vec![0.0f64; p]; p];
+        let mut xty = vec![0.0f64; p];
+        let mut row = vec![0.0f64; p];
+        for (x, &y) in xs.iter().zip(ys) {
+            row[0] = 1.0;
+            row[1..p].copy_from_slice(x);
+            for i in 0..p {
+                xty[i] += row[i] * y;
+                for j in 0..p {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        let coef = solve_spd(xtx, xty);
+        Self { coef }
+    }
+
+    /// Predicts the response for one predictor vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len() + 1, self.coef.len());
+        self.coef[0]
+            + self.coef[1..]
+                .iter()
+                .zip(x)
+                .map(|(b, v)| b * v)
+                .sum::<f64>()
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r_squared(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let e = y - self.predict(x);
+                e * e
+            })
+            .sum();
+        if ss_tot == 0.0 {
+            if ss_res == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+/// Solves `A x = b` for symmetric positive semi-definite `A` using Gaussian
+/// elimination with partial pivoting; adds ridge jitter on near-singular
+/// pivots (collinear predictors appear when a sampled curve is flat).
+fn solve_spd(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    // Scale-aware singularity threshold.
+    let scale = a
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1.0);
+    let ridge = scale * 1e-12;
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty column range");
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        if pivot.abs() < scale * 1e-14 {
+            continue; // leave coefficient at whatever back-substitution gives
+        }
+        for row in (col + 1)..n {
+            let f = a[row][col] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            let (pivot_rows, tail) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (k, cell) in tail[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < scale * 1e-14 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert!((m.coef[0] - 3.0).abs() < 1e-6);
+        assert!((m.coef[1] - 2.0).abs() < 1e-6);
+        assert!((m.r_squared(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                xs.push(vec![i as f64, j as f64]);
+                ys.push(1.0 - 0.5 * i as f64 + 4.0 * j as f64);
+            }
+        }
+        let m = LinearModel::fit(&xs, &ys);
+        assert!((m.coef[0] - 1.0).abs() < 1e-7);
+        assert!((m.coef[1] + 0.5).abs() < 1e-7);
+        assert!((m.coef[2] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tolerates_collinear_predictors() {
+        // Second predictor duplicates the first; fit must not blow up and
+        // predictions must still be accurate.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 5.0 + 3.0 * i as f64).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert!((m.predict(x) - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn r_squared_of_noise_is_low() {
+        // Responses independent of predictor → R² near zero.
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let ys = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let m = LinearModel::fit(&xs, &ys);
+        assert!(m.r_squared(&xs, &ys) < 0.2);
+    }
+}

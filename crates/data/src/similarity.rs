@@ -1,0 +1,171 @@
+//! Exact pairwise similarity measures.
+//!
+//! PLASMA-HD is parameterized by a "similarity measure-of-interest"
+//! (§2.1). The dissertation uses cosine similarity for weighted data and
+//! Jaccard for unweighted sets (Orkut is the one unweighted dataset in
+//! Table 4.6); both are exposed behind the [`Similarity`] enum so the APSS
+//! engine, LSH sketches, and ground-truth computations agree on semantics.
+
+use crate::vector::SparseVector;
+
+/// The similarity measure used to form edges between records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Similarity {
+    /// Cosine of the angle between weighted vectors, mapped to `[0, 1]`
+    /// for z-normed data via the convention below.
+    Cosine,
+    /// Jaccard set overlap `|A ∩ B| / |A ∪ B|` over dimension sets.
+    Jaccard,
+}
+
+impl Similarity {
+    /// Computes the similarity of two records in `[−1, 1]` (cosine) or
+    /// `[0, 1]` (Jaccard).
+    pub fn compute(self, a: &SparseVector, b: &SparseVector) -> f64 {
+        match self {
+            Similarity::Cosine => cosine(a, b),
+            Similarity::Jaccard => jaccard(a, b),
+        }
+    }
+
+    /// Human-readable name as used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Similarity::Cosine => "cosine",
+            Similarity::Jaccard => "jaccard",
+        }
+    }
+}
+
+/// Cosine similarity. Returns 0.0 when either vector has zero norm.
+pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a.dot(b) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Jaccard similarity over the dimension *sets* (weights ignored).
+/// Returns 0.0 when both vectors are empty.
+pub fn jaccard(a: &SparseVector, b: &SparseVector) -> f64 {
+    let inter = a.intersection_size(b);
+    let union = a.nnz() + b.nnz() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Exact all-pairs similarity: returns every unordered pair `(i, j, sim)`
+/// with `sim >= threshold`. Quadratic; used for ground truth on small data.
+pub fn all_pairs_exact(
+    records: &[SparseVector],
+    measure: Similarity,
+    threshold: f64,
+) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::new();
+    for i in 0..records.len() {
+        for j in (i + 1)..records.len() {
+            let s = measure.compute(&records[i], &records[j]);
+            if s >= threshold {
+                out.push((i as u32, j as u32, s));
+            }
+        }
+    }
+    out
+}
+
+/// Exact count of pairs meeting each of a sorted list of thresholds.
+///
+/// Returns `counts[k]` = number of pairs with similarity ≥ `thresholds[k]`.
+/// This is the ground truth behind the Cumulative APSS Graph (Fig. 2.3/2.4).
+pub fn pair_counts_at_thresholds(
+    records: &[SparseVector],
+    measure: Similarity,
+    thresholds: &[f64],
+) -> Vec<u64> {
+    let mut counts = vec![0u64; thresholds.len()];
+    for i in 0..records.len() {
+        for j in (i + 1)..records.len() {
+            let s = measure.compute(&records[i], &records[j]);
+            for (k, &t) in thresholds.iter().enumerate() {
+                if s >= t {
+                    counts[k] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(d: &[f64]) -> SparseVector {
+        SparseVector::from_dense(d)
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let a = v(&[1.0, 1.0]);
+        let b = v(&[-1.0, -1.0]);
+        assert!((cosine(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let a = v(&[1.0]);
+        let z = SparseVector::new();
+        assert_eq!(cosine(&a, &z), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let a = SparseVector::from_set(vec![1, 2, 3]);
+        let b = SparseVector::from_set(vec![2, 3, 4]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_pair_is_zero() {
+        let e = SparseVector::new();
+        assert_eq!(jaccard(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn all_pairs_exact_respects_threshold() {
+        let recs = vec![v(&[1.0, 0.0]), v(&[1.0, 0.1]), v(&[0.0, 1.0])];
+        let pairs = all_pairs_exact(&recs, Similarity::Cosine, 0.9);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (0, 1));
+    }
+
+    #[test]
+    fn pair_counts_monotone_in_threshold() {
+        let recs: Vec<_> = (0..8)
+            .map(|i| v(&[1.0, i as f64 * 0.2]))
+            .collect();
+        let th = [0.2, 0.5, 0.8, 0.99];
+        let counts = pair_counts_at_thresholds(&recs, Similarity::Cosine, &th);
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "counts must be non-increasing in threshold");
+        }
+    }
+}

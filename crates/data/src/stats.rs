@@ -1,0 +1,205 @@
+//! Summary statistics used by experiments and estimators.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation percentile, `q` in `[0, 1]`. Sorts a copy.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 0.5)
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets.
+///
+/// Values outside the range are clamped into the first/last bucket, which is
+/// the behavior wanted for similarity values that may be exactly `hi`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Cumulative count of observations at or above each bucket's lower
+    /// edge, i.e. a survival curve. `survival()[i]` = #observations in
+    /// buckets `i..`. This is exactly the shape of the Cumulative APSS
+    /// Graph (§2.1) when buckets are similarity thresholds.
+    pub fn survival(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.counts.len()];
+        let mut acc = 0u64;
+        for i in (0..self.counts.len()).rev() {
+            acc += self.counts[i];
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+/// Mean relative error of `pred` vs `truth`: mean(|p−t| / max(|t|, eps)).
+pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs() / t.abs().max(eps))
+        .sum();
+    total / pred.len() as f64
+}
+
+/// Relative errors per element (used for mean/σ reporting in Table 3.2).
+pub fn relative_errors(pred: &[f64], truth: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), truth.len());
+    let eps = 1e-12;
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs() / t.abs().max(eps))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), 0.0);
+        assert_eq!(percentile(&xs, 1.0), 10.0);
+    }
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(0.1);
+        h.add(0.3);
+        h.add(0.9);
+        h.add(-5.0); // clamped into first bin
+        h.add(2.0); // clamped into last bin
+        assert_eq!(h.counts(), &[2, 1, 0, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_survival_is_nonincreasing() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..50 {
+            h.add(i as f64 / 50.0);
+        }
+        let s = h.survival();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(s[0], 50);
+    }
+
+    #[test]
+    fn bin_center_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-12);
+        assert!((h.bin_center(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_basics() {
+        let e = mean_relative_error(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!((e - 0.05).abs() < 1e-9);
+    }
+}

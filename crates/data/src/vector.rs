@@ -1,0 +1,238 @@
+//! Sparse vector representation used throughout PLASMA-HD.
+//!
+//! Records are stored as sorted `(dimension, weight)` pairs. The paper's
+//! datasets range from dense 13-dimensional UCI tables to 47k-dimensional
+//! TF-IDF document vectors; a single sorted-pair representation serves both
+//! since dense data simply has one entry per dimension.
+
+/// A sparse vector: strictly increasing dimension indices with `f64` weights.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    dims: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vector from unsorted `(dim, weight)` pairs.
+    ///
+    /// Pairs are sorted by dimension; duplicate dimensions have their
+    /// weights summed; zero weights are dropped.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(d, _)| d);
+        let mut dims = Vec::with_capacity(pairs.len());
+        let mut weights = Vec::with_capacity(pairs.len());
+        for (d, w) in pairs {
+            if w == 0.0 {
+                continue;
+            }
+            if dims.last() == Some(&d) {
+                *weights.last_mut().expect("weights parallel to dims") += w;
+            } else {
+                dims.push(d);
+                weights.push(w);
+            }
+        }
+        Self { dims, weights }
+    }
+
+    /// Builds a dense vector: entry `i` gets weight `values[i]`.
+    pub fn from_dense(values: &[f64]) -> Self {
+        let pairs = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        Self::from_pairs(pairs)
+    }
+
+    /// Builds an unweighted set vector (weight 1.0 for each member).
+    pub fn from_set(mut members: Vec<u32>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        let weights = vec![1.0; members.len()];
+        Self {
+            dims: members,
+            weights,
+        }
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True if the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Sorted dimension indices.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Weights parallel to [`dims`](Self::dims).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Iterates `(dim, weight)` pairs in dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.dims.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Weight at `dim`, or 0.0 when absent.
+    pub fn get(&self, dim: u32) -> f64 {
+        match self.dims.binary_search(&dim) {
+            Ok(i) => self.weights[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.weights.iter().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product via a linear merge of the two sorted dimension lists.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.dims.len() && j < other.dims.len() {
+            match self.dims[i].cmp(&other.dims[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.weights[i] * other.weights[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Size of the intersection of the two dimension sets.
+    pub fn intersection_size(&self, other: &SparseVector) -> usize {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0usize;
+        while i < self.dims.len() && j < other.dims.len() {
+            match self.dims[i].cmp(&other.dims[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Scales every weight so the vector has unit L2 norm.
+    ///
+    /// Vectors with zero norm are left unchanged.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for w in &mut self.weights {
+                *w /= n;
+            }
+        }
+    }
+
+    /// Returns a unit-norm copy.
+    pub fn normalized(&self) -> SparseVector {
+        let mut v = self.clone();
+        v.normalize();
+        v
+    }
+
+    /// Largest dimension index plus one, or 0 for an empty vector.
+    pub fn dim_bound(&self) -> u32 {
+        self.dims.last().map_or(0, |d| d + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = SparseVector::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5), (2, 0.0)]);
+        assert_eq!(v.dims(), &[1, 3]);
+        assert_eq!(v.weights(), &[2.0, 1.5]);
+    }
+
+    #[test]
+    fn from_dense_skips_zeros() {
+        let v = SparseVector::from_dense(&[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(v.dims(), &[1, 3]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn from_set_dedups() {
+        let v = SparseVector::from_set(vec![5, 1, 5, 2]);
+        assert_eq!(v.dims(), &[1, 2, 5]);
+        assert_eq!(v.weights(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_of_disjoint_is_zero() {
+        let a = SparseVector::from_pairs(vec![(0, 1.0), (2, 1.0)]);
+        let b = SparseVector::from_pairs(vec![(1, 1.0), (3, 1.0)]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_dense_computation() {
+        let a = SparseVector::from_dense(&[1.0, 2.0, 3.0]);
+        let b = SparseVector::from_dense(&[4.0, 5.0, 6.0]);
+        assert!((a.dot(&b) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut v = SparseVector::from_dense(&[3.0, 4.0]);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = SparseVector::new();
+        v.normalize();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn get_present_and_absent() {
+        let v = SparseVector::from_pairs(vec![(2, 7.0)]);
+        assert_eq!(v.get(2), 7.0);
+        assert_eq!(v.get(3), 0.0);
+    }
+
+    #[test]
+    fn intersection_size_counts_common_dims() {
+        let a = SparseVector::from_set(vec![1, 2, 3, 4]);
+        let b = SparseVector::from_set(vec![3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+    }
+
+    #[test]
+    fn dim_bound_is_max_plus_one() {
+        let v = SparseVector::from_set(vec![0, 9]);
+        assert_eq!(v.dim_bound(), 10);
+        assert_eq!(SparseVector::new().dim_bound(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Zipfian sampling for synthetic text corpora.
+//!
+//! Real term-frequency distributions are heavy-tailed; the corpus generators
+//! standing in for RCV1/Wikipedia draw terms from Zipf(s) over a vocabulary,
+//! which preserves the sparsity and near-duplicate structure BayesLSH's
+//! pruning behavior depends on.
+
+use rand::Rng;
+
+/// Precomputed Zipf(s) sampler over ranks `0..n` (rank 0 most probable).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples one rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = seeded(11);
+        let mut head = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks should carry a large share of the mass.
+        assert!(head as f64 / n as f64 > 0.35, "head share {head}/{n}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn rank_frequencies_decay() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = seeded(17);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[60]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the data substrate's core invariants.
+
+use proptest::prelude::*;
+
+use plasma_data::similarity::{cosine, jaccard};
+use plasma_data::stats::{mean, percentile, std_dev, Histogram};
+use plasma_data::vector::SparseVector;
+
+fn sparse_vec() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..500, -10.0f64..10.0), 0..40)
+        .prop_map(SparseVector::from_pairs)
+}
+
+fn item_set() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec(0u32..200, 0..40).prop_map(SparseVector::from_set)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric(a in sparse_vec(), b in sparse_vec()) {
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_with_self_is_norm_squared(a in sparse_vec()) {
+        let n = a.norm();
+        prop_assert!((a.dot(&a) - n * n).abs() < 1e-6 * (1.0 + n * n));
+    }
+
+    #[test]
+    fn cosine_bounded_and_symmetric(a in sparse_vec(), b in sparse_vec()) {
+        let s = cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+        prop_assert!((s - cosine(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_self_is_one_for_nonzero(a in sparse_vec()) {
+        if a.norm() > 1e-9 {
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jaccard_bounded_and_symmetric(a in item_set(), b in item_set()) {
+        let s = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - jaccard(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_distance_satisfies_triangle_inequality(
+        a in item_set(),
+        b in item_set(),
+        c in item_set()
+    ) {
+        // 1 − jaccard is a metric (Steinhaus); verify on random triples.
+        let dab = 1.0 - jaccard(&a, &b);
+        let dbc = 1.0 - jaccard(&b, &c);
+        let dac = 1.0 - jaccard(&a, &c);
+        prop_assert!(dac <= dab + dbc + 1e-9);
+    }
+
+    #[test]
+    fn normalize_yields_unit_norm(a in sparse_vec()) {
+        if a.norm() > 1e-9 {
+            let n = a.normalized();
+            prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+            // Direction preserved: cosine(a, normalized(a)) = 1.
+            prop_assert!((cosine(&a, &n) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn intersection_size_bounds(a in item_set(), b in item_set()) {
+        let i = a.intersection_size(&b);
+        prop_assert!(i <= a.nnz().min(b.nnz()));
+    }
+
+    #[test]
+    fn histogram_conserves_observations(values in proptest::collection::vec(-5.0f64..5.0, 0..200)) {
+        let mut h = Histogram::new(-1.0, 1.0, 10);
+        for &v in &values {
+            h.add(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let surv = h.survival();
+        prop_assert_eq!(surv.first().copied().unwrap_or(0), values.len() as u64);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(values in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
+        let p25 = percentile(&values, 0.25);
+        let p50 = percentile(&values, 0.5);
+        let p75 = percentile(&values, 0.75);
+        prop_assert!(p25 <= p50 + 1e-12);
+        prop_assert!(p50 <= p75 + 1e-12);
+    }
+
+    #[test]
+    fn std_dev_zero_iff_constant(x in -50.0f64..50.0, n in 2usize..20) {
+        let values = vec![x; n];
+        prop_assert!(std_dev(&values) < 1e-12);
+        prop_assert!((mean(&values) - x).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Graph builders: similarity-threshold graphs and densifying series.
+//!
+//! Chapter 3 generates "a series of networks of increasing density from
+//! real-world data … by connecting items with a decreasing similarity
+//! threshold", with edge counts growing as `|E_i| = 2^i · N`. These
+//! builders compute the exact pairwise similarities once, sort them, and
+//! slice prefixes — so one `O(n²)` pass yields the entire series.
+
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+
+use crate::csr::Graph;
+
+/// Exact similarity graph: all pairs with `sim ≥ threshold` are edges.
+pub fn similarity_graph(
+    records: &[SparseVector],
+    measure: Similarity,
+    threshold: f64,
+) -> Graph {
+    let edges: Vec<(u32, u32)> =
+        plasma_data::similarity::all_pairs_exact(records, measure, threshold)
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect();
+    Graph::from_edges(records.len(), &edges)
+}
+
+/// All pair similarities sorted descending: `(similarity, i, j)`.
+///
+/// The backbone of a densifying series: the graph with `k` edges is the
+/// first `k` entries.
+pub fn sorted_pairs(records: &[SparseVector], measure: Similarity) -> Vec<(f64, u32, u32)> {
+    let n = records.len();
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = measure.compute(&records[i], &records[j]);
+            pairs.push((s, i as u32, j as u32));
+        }
+    }
+    pairs.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("similarities are finite"));
+    pairs
+}
+
+/// A series of graphs of strictly increasing edge counts over a fixed
+/// vertex set, each a prefix of the similarity-sorted pair list.
+pub struct DensifyingSeries {
+    /// Number of vertices.
+    pub n: usize,
+    /// Pairs sorted by descending similarity.
+    pub pairs: Vec<(f64, u32, u32)>,
+}
+
+impl DensifyingSeries {
+    /// Precomputes the series backbone for a record set.
+    pub fn new(records: &[SparseVector], measure: Similarity) -> Self {
+        Self {
+            n: records.len(),
+            pairs: sorted_pairs(records, measure),
+        }
+    }
+
+    /// Maximum possible edge count, `n·(n−1)/2`.
+    pub fn max_edges(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Graph with (up to) the `k` highest-similarity edges.
+    pub fn graph_with_edges(&self, k: usize) -> Graph {
+        let k = k.min(self.pairs.len());
+        let edges: Vec<(u32, u32)> = self.pairs[..k].iter().map(|&(_, i, j)| (i, j)).collect();
+        Graph::from_edges(self.n, &edges)
+    }
+
+    /// Similarity threshold realized by the `k`-edge graph (the similarity
+    /// of its weakest edge), or `1.0` when `k == 0`.
+    pub fn threshold_for_edges(&self, k: usize) -> f64 {
+        if k == 0 || self.pairs.is_empty() {
+            1.0
+        } else {
+            self.pairs[k.min(self.pairs.len()) - 1].0
+        }
+    }
+
+    /// The paper's geometric edge-count schedule `2^i · N`, `i = 0..`,
+    /// truncated at the complete graph (whose count is appended last).
+    pub fn geometric_schedule(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut k = self.n.max(1);
+        while k < self.max_edges() {
+            out.push(k);
+            k *= 2;
+        }
+        out.push(self.max_edges());
+        out
+    }
+
+    /// All pairwise similarity values (for distribution plots, Fig. 3.18).
+    pub fn similarities(&self) -> Vec<f64> {
+        self.pairs.iter().map(|&(s, _, _)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<SparseVector> {
+        vec![
+            SparseVector::from_dense(&[1.0, 0.0]),
+            SparseVector::from_dense(&[0.9, 0.1]),
+            SparseVector::from_dense(&[0.0, 1.0]),
+            SparseVector::from_dense(&[0.1, 0.9]),
+        ]
+    }
+
+    #[test]
+    fn similarity_graph_thresholds() {
+        let g = similarity_graph(&records(), Similarity::Cosine, 0.95);
+        // Only (0,1) and (2,3) are ≥ 0.95.
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn sorted_pairs_descending() {
+        let ps = sorted_pairs(&records(), Similarity::Cosine);
+        assert_eq!(ps.len(), 6);
+        for w in ps.windows(2) {
+            assert!(w[0].0 >= w[1].0);
+        }
+    }
+
+    #[test]
+    fn series_prefix_matches_threshold_graph() {
+        let recs = records();
+        let series = DensifyingSeries::new(&recs, Similarity::Cosine);
+        let g2 = series.graph_with_edges(2);
+        let t = series.threshold_for_edges(2);
+        let gt = similarity_graph(&recs, Similarity::Cosine, t);
+        assert_eq!(g2.m(), gt.m());
+    }
+
+    #[test]
+    fn geometric_schedule_doubles_and_caps() {
+        let recs: Vec<SparseVector> = (0..20)
+            .map(|i| SparseVector::from_dense(&[1.0, i as f64 * 0.05]))
+            .collect();
+        let series = DensifyingSeries::new(&recs, Similarity::Cosine);
+        let sched = series.geometric_schedule();
+        assert_eq!(sched[0], 20);
+        assert_eq!(sched[1], 40);
+        assert_eq!(*sched.last().expect("non-empty"), 190);
+        for w in sched.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn graph_with_edges_clamps() {
+        let recs = records();
+        let series = DensifyingSeries::new(&recs, Similarity::Cosine);
+        let g = series.graph_with_edges(1_000);
+        assert_eq!(g.m(), 6);
+    }
+}

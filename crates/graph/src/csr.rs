@@ -1,0 +1,169 @@
+//! Compressed sparse row (CSR) undirected graph.
+//!
+//! Immutable after construction; neighbor lists are sorted, enabling
+//! merge-based triangle counting and `O(log d)` adjacency tests.
+
+/// An undirected simple graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    /// Self-loops are dropped; duplicate edges are merged.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            debug_assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        Self::from_adjacency(adj)
+    }
+
+    /// Builds from per-vertex adjacency lists (symmetry is enforced by the
+    /// caller for `from_edges`; this constructor sorts and dedups only).
+    pub fn from_adjacency(mut adj: Vec<Vec<u32>>) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0u32);
+        let total: usize = adj.iter().map(|a| a.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether edge `(u, v)` exists. `O(log deg(u))`.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates each undirected edge once as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Edge density `2m / (n(n−1))`.
+    pub fn density(&self) -> f64 {
+        let n = self.n() as f64;
+        if n < 2.0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / (n * (n - 1.0))
+        }
+    }
+
+    /// Induced subgraph on the given (sorted or unsorted) vertex set;
+    /// returns the subgraph and the mapping from new ids to old ids.
+    pub fn induced_subgraph(&self, vertices: &[u32]) -> (Graph, Vec<u32>) {
+        let mut order: Vec<u32> = vertices.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        let mut remap = plasma_data::hash::FxHashMap::default();
+        for (new, &old) in order.iter().enumerate() {
+            remap.insert(old, new as u32);
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); order.len()];
+        for (new, &old) in order.iter().enumerate() {
+            for &nb in self.neighbors(old) {
+                if let Some(&nn) = remap.get(&nb) {
+                    adj[new].push(nn);
+                }
+            }
+        }
+        (Graph::from_adjacency(adj), order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_isolate() -> Graph {
+        // 0-1-2 triangle, 3 isolated.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_isolate();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_cleaned() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 0), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn has_edge_symmetry() {
+        let g = triangle_plus_isolate();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterator_unique() {
+        let g = triangle_plus_isolate();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle_plus_isolate();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 1); // only 0-1 survives
+        assert_eq!(map, vec![0, 1, 3]);
+    }
+}

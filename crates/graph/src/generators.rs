@@ -1,0 +1,244 @@
+//! Reference graph generators: Erdős–Rényi, preferential attachment, and
+//! random geometric — the three models Chapter 3 contrasts real data with
+//! ("to focus our study we restrict ourselves to the three more intuitive
+//! and widely known models of ER, PA, and Geom"). Each model exposes a
+//! *target edge count* parameterization because the growth study's only
+//! requirement is "the ability to control approximate edge count".
+
+use rand::Rng;
+
+use plasma_data::hash::FxHashSet;
+use plasma_data::rng;
+
+use crate::csr::Graph;
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform random edges.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max_m = n * n.saturating_sub(1) / 2;
+    let m = m.min(max_m);
+    let mut chosen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    // Dense case: enumerate and sample; sparse case: rejection-sample.
+    if m * 3 > max_m && n <= 4000 {
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(max_m);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                all.push((i, j));
+            }
+        }
+        for k in 0..m {
+            let swap = rng.gen_range(k..all.len());
+            all.swap(k, swap);
+        }
+        all.truncate(m);
+        edges = all;
+    } else {
+        while edges.len() < m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if chosen.insert(key) {
+                edges.push(key);
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Preferential attachment targeting roughly `m_target` edges: vertices
+/// arrive one at a time and attach `k ≈ m_target / n` edges to endpoints
+/// sampled proportionally to degree (Barabási–Albert).
+pub fn preferential_attachment<R: Rng>(n: usize, m_target: usize, rng: &mut R) -> Graph {
+    assert!(n >= 2, "preferential attachment needs at least 2 vertices");
+    let k = (m_target / n.max(1)).max(1);
+    let mut pool: Vec<u32> = Vec::with_capacity(m_target * 2 + 4);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m_target + n);
+    // Seed: a single edge.
+    edges.push((0, 1));
+    pool.extend_from_slice(&[0, 1]);
+    for v in 2..n as u32 {
+        let mut targets: FxHashSet<u32> = FxHashSet::default();
+        let mut guard = 0;
+        while targets.len() < k.min(v as usize) && guard < 20 * k {
+            guard += 1;
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for t in targets {
+            edges.push((v, t));
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    // Top up with preferential extra edges to approach m_target.
+    let mut have: FxHashSet<(u32, u32)> = edges
+        .iter()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    let mut guard = 0;
+    while have.len() < m_target && guard < m_target * 20 {
+        guard += 1;
+        let u = pool[rng.gen_range(0..pool.len())];
+        let v = pool[rng.gen_range(0..pool.len())];
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if have.insert(key) {
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    let final_edges: Vec<(u32, u32)> = have.into_iter().collect();
+    Graph::from_edges(n, &final_edges)
+}
+
+/// Random geometric graph on the unit square with exactly (up to ties) the
+/// `m` closest pairs connected — equivalent to choosing the radius that
+/// yields `m` edges, which is how the growth study controls density.
+pub fn random_geometric<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    geometric_from_points(&pts, m)
+}
+
+/// Geometric graph from fixed points: connect the `m` closest pairs.
+pub fn geometric_from_points(pts: &[(f64, f64)], m: usize) -> Graph {
+    let n = pts.len();
+    let mut pairs: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            pairs.push((dx * dx + dy * dy, i as u32, j as u32));
+        }
+    }
+    let m = m.min(pairs.len());
+    if m > 0 {
+        let nth = m - 1;
+        pairs.select_nth_unstable_by(nth, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+    }
+    let edges: Vec<(u32, u32)> = pairs[..m].iter().map(|&(_, i, j)| (i, j)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// LFR-style planted-partition benchmark graph: power-law-ish degrees with
+/// a configurable fraction `mu` of inter-community edges. Returns the graph
+/// and ground-truth community labels (§2.3.4 uses LFR networks to generate
+/// clusterable vector data).
+pub fn lfr_like(
+    n: usize,
+    communities: usize,
+    avg_degree: usize,
+    mu: f64,
+    seed: u64,
+) -> (Graph, Vec<u32>) {
+    let mut rng = rng::seeded(seed);
+    let labels: Vec<u32> = (0..n).map(|i| (i % communities) as u32).collect();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); communities];
+    for (i, &c) in labels.iter().enumerate() {
+        members[c as usize].push(i as u32);
+    }
+    let mut have: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let target_m = n * avg_degree / 2;
+    let mut guard = 0;
+    while have.len() < target_m && guard < target_m * 50 {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        // Power-law-ish: square the uniform to bias toward low indices
+        // within the chosen pool, giving hubs.
+        let v = if rng.gen::<f64>() < mu {
+            rng.gen_range(0..n as u32)
+        } else {
+            let pool = &members[labels[u as usize] as usize];
+            let t = rng.gen::<f64>();
+            pool[((t * t) * pool.len() as f64) as usize]
+        };
+        if u == v {
+            continue;
+        }
+        have.insert((u.min(v), u.max(v)));
+    }
+    let edges: Vec<(u32, u32)> = have.into_iter().collect();
+    (Graph::from_edges(n, &edges), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::rng::seeded;
+
+    #[test]
+    fn er_hits_edge_target() {
+        let mut rng = seeded(1);
+        let g = erdos_renyi(100, 300, &mut rng);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 300);
+    }
+
+    #[test]
+    fn er_dense_path() {
+        let mut rng = seeded(2);
+        let g = erdos_renyi(40, 700, &mut rng); // max is 780 → dense path
+        assert_eq!(g.m(), 700);
+    }
+
+    #[test]
+    fn er_caps_at_complete() {
+        let mut rng = seeded(3);
+        let g = erdos_renyi(10, 1000, &mut rng);
+        assert_eq!(g.m(), 45);
+    }
+
+    #[test]
+    fn pa_produces_hubs() {
+        let mut rng = seeded(4);
+        let g = preferential_attachment(500, 1500, &mut rng);
+        let mut degs: Vec<usize> = (0..500).map(|v| g.degree(v as u32)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let mean = 2.0 * g.m() as f64 / 500.0;
+        assert!(degs[0] as f64 > 3.0 * mean, "hub degree {} vs mean {mean}", degs[0]);
+        // Edge count within 20% of target.
+        assert!((g.m() as f64 - 1500.0).abs() / 1500.0 < 0.2, "m = {}", g.m());
+    }
+
+    #[test]
+    fn geometric_connects_closest_pairs() {
+        let pts = vec![(0.0, 0.0), (0.01, 0.0), (0.5, 0.5), (0.51, 0.5), (0.9, 0.9)];
+        let g = geometric_from_points(&pts, 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn random_geometric_edge_count() {
+        let mut rng = seeded(5);
+        let g = random_geometric(80, 200, &mut rng);
+        assert_eq!(g.m(), 200);
+    }
+
+    #[test]
+    fn lfr_like_is_assortative() {
+        let (g, labels) = lfr_like(400, 4, 10, 0.1, 6);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(
+            intra > inter * 3,
+            "low mu must give mostly intra-community edges ({intra} vs {inter})"
+        );
+    }
+}

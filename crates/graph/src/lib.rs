@@ -1,0 +1,17 @@
+//! Graph substrate for PLASMA-HD.
+//!
+//! PLASMA-HD turns a high-dimensional dataset into a similarity graph and
+//! interrogates it with network-analytic measures. This crate provides the
+//! CSR graph type, builders (edge lists, similarity thresholds, densifying
+//! series), the measure suite of Chapter 3 (triangles, cliques, cores,
+//! components, diameter, betweenness, spectra, …) and the reference
+//! generators (Erdős–Rényi, preferential attachment, random geometric)
+//! Chapter 3 compares real data against.
+
+pub mod builders;
+pub mod csr;
+pub mod generators;
+pub mod measures;
+
+pub use csr::Graph;
+pub use measures::MeasureKind;

@@ -1,0 +1,225 @@
+//! Maximal clique enumeration (Bron–Kerbosch with pivoting) and the
+//! clique-distribution "density plot" visual cue.
+//!
+//! Fig. 2.5c's triangle/clique *density plot* visualizes the clique
+//! distribution of a graph; flat peaks indicate potential cliques (§2.2.3).
+//! Enumeration is budgeted: on pathological inputs the walk stops after a
+//! configurable number of recursion steps and reports a partial count
+//! (saturating), which keeps the measure sweep's runtime bounded exactly
+//! like the paper's timeout-based harness.
+
+use crate::csr::Graph;
+
+/// Result of a budgeted clique enumeration.
+#[derive(Debug, Clone)]
+pub struct CliqueStats {
+    /// Number of maximal cliques found.
+    pub count: u64,
+    /// Size of the largest clique found.
+    pub max_size: u32,
+    /// Histogram: `sizes[k]` = number of maximal cliques of size `k`.
+    pub size_histogram: Vec<u64>,
+    /// True if the enumeration budget was exhausted (results are lower
+    /// bounds).
+    pub truncated: bool,
+}
+
+/// Enumerates maximal cliques with a recursion budget.
+pub fn maximal_cliques(g: &Graph, budget: u64) -> CliqueStats {
+    let n = g.n();
+    let mut stats = CliqueStats {
+        count: 0,
+        max_size: 0,
+        size_histogram: vec![0; 4],
+        truncated: false,
+    };
+    if n == 0 {
+        return stats;
+    }
+    // Degeneracy ordering shrinks the candidate sets (standard trick).
+    let order = degeneracy_order(g);
+    let mut rank = vec![0u32; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    let mut budget_left = budget;
+    for &v in &order {
+        let mut p: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] > rank[v as usize])
+            .collect();
+        let mut x: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] < rank[v as usize])
+            .collect();
+        let mut r = vec![v];
+        bron_kerbosch(g, &mut r, &mut p, &mut x, &mut stats, &mut budget_left);
+        if budget_left == 0 {
+            stats.truncated = true;
+            break;
+        }
+    }
+    stats
+}
+
+fn bron_kerbosch(
+    g: &Graph,
+    r: &mut Vec<u32>,
+    p: &mut Vec<u32>,
+    x: &mut Vec<u32>,
+    stats: &mut CliqueStats,
+    budget: &mut u64,
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    if p.is_empty() && x.is_empty() {
+        stats.count += 1;
+        let k = r.len() as u32;
+        if k > stats.max_size {
+            stats.max_size = k;
+        }
+        if stats.size_histogram.len() <= k as usize {
+            stats.size_histogram.resize(k as usize + 1, 0);
+        }
+        stats.size_histogram[k as usize] += 1;
+        return;
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&w| g.has_edge(u, w)).count())
+        .expect("P ∪ X non-empty here");
+    let candidates: Vec<u32> = p
+        .iter()
+        .copied()
+        .filter(|&u| !g.has_edge(pivot, u))
+        .collect();
+    for u in candidates {
+        let np: Vec<u32> = p.iter().copied().filter(|&w| g.has_edge(u, w)).collect();
+        let nx: Vec<u32> = x.iter().copied().filter(|&w| g.has_edge(u, w)).collect();
+        r.push(u);
+        let (mut np, mut nx) = (np, nx);
+        bron_kerbosch(g, r, &mut np, &mut nx, stats, budget);
+        r.pop();
+        p.retain(|&w| w != u);
+        x.push(u);
+        if *budget == 0 {
+            return;
+        }
+    }
+}
+
+/// Degeneracy (min-degree peeling) order.
+fn degeneracy_order(g: &Graph) -> Vec<u32> {
+    let cores = super::cores::core_numbers(g);
+    let mut order: Vec<u32> = (0..g.n() as u32).collect();
+    order.sort_unstable_by_key(|&v| (cores[v as usize], v));
+    order
+}
+
+/// Clique number (size of the largest clique), budgeted.
+pub fn clique_number(g: &Graph) -> u32 {
+    maximal_cliques(g, DEFAULT_BUDGET).max_size
+}
+
+/// Number of maximal cliques, budgeted.
+pub fn count_maximal_cliques(g: &Graph) -> u64 {
+    maximal_cliques(g, DEFAULT_BUDGET).count
+}
+
+/// Default recursion budget for the measure sweep.
+pub const DEFAULT_BUDGET: u64 = 3_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn complete_graph_single_clique() {
+        let stats = maximal_cliques(&complete(6), DEFAULT_BUDGET);
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.max_size, 6);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn triangle_plus_edge() {
+        // Triangle {0,1,2} and maximal edge {2,3}.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let stats = maximal_cliques(&g, DEFAULT_BUDGET);
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.max_size, 3);
+        assert_eq!(stats.size_histogram[2], 1);
+        assert_eq!(stats.size_histogram[3], 1);
+    }
+
+    #[test]
+    fn edgeless_graph_singletons() {
+        let g = Graph::from_edges(3, &[]);
+        let stats = maximal_cliques(&g, DEFAULT_BUDGET);
+        // Each isolated vertex is a maximal 1-clique.
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.max_size, 1);
+    }
+
+    #[test]
+    fn moon_moser_counts() {
+        // K_{3,3,3} complement-style: 3 groups of 3, edges between groups
+        // only → 27 maximal cliques (one per cross-group triple).
+        let mut edges = Vec::new();
+        for a in 0..3u32 {
+            for b in 3..6u32 {
+                edges.push((a, b));
+            }
+        }
+        for a in 0..3u32 {
+            for c in 6..9u32 {
+                edges.push((a, c));
+            }
+        }
+        for b in 3..6u32 {
+            for c in 6..9u32 {
+                edges.push((b, c));
+            }
+        }
+        let g = Graph::from_edges(9, &edges);
+        let stats = maximal_cliques(&g, DEFAULT_BUDGET);
+        assert_eq!(stats.count, 27);
+        assert_eq!(stats.max_size, 3);
+    }
+
+    #[test]
+    fn budget_truncation_flags() {
+        let g = complete(12);
+        let stats = maximal_cliques(&g, 2);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn clique_number_of_random_graph_at_least_triangle() {
+        use crate::generators::erdos_renyi;
+        let mut rng = plasma_data::rng::seeded(8);
+        let g = erdos_renyi(40, 200, &mut rng);
+        if super::super::triangles::count_triangles(&g) > 0 {
+            assert!(clique_number(&g) >= 3);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Community-quality measures: modularity and conductance.
+//!
+//! PLASMA-HD's whole premise is that some thresholds reveal "clusterable"
+//! graphs; these are the standard quantities for scoring a candidate
+//! partition against the similarity graph (used by the Fig. 2.2-style
+//! analyses and available to downstream users evaluating the communities
+//! a probe exposes).
+
+use crate::csr::Graph;
+
+/// Newman modularity of a vertex partition:
+/// `Q = Σ_c (e_c/m − (deg_c / 2m)²)` where `e_c` is the number of
+/// intra-community edges and `deg_c` the total degree of community `c`.
+/// Returns 0 for empty graphs.
+pub fn modularity(g: &Graph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), g.n(), "one label per vertex");
+    let m = g.m() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().map_or(0, |x| x as usize + 1);
+    let mut intra = vec![0u64; k];
+    let mut degree = vec![0u64; k];
+    for v in 0..g.n() as u32 {
+        degree[labels[v as usize] as usize] += g.degree(v) as u64;
+    }
+    for (u, v) in g.edges() {
+        if labels[u as usize] == labels[v as usize] {
+            intra[labels[u as usize] as usize] += 1;
+        }
+    }
+    (0..k)
+        .map(|c| {
+            let e_c = intra[c] as f64 / m;
+            let d_c = degree[c] as f64 / (2.0 * m);
+            e_c - d_c * d_c
+        })
+        .sum()
+}
+
+/// Conductance of a vertex set: `cut(S, V∖S) / min(vol(S), vol(V∖S))`.
+/// Lower is better (a well-separated cluster). Returns 1.0 when either
+/// side has zero volume.
+pub fn conductance(g: &Graph, set: &[u32]) -> f64 {
+    let member: plasma_data::hash::FxHashSet<u32> = set.iter().copied().collect();
+    let mut cut = 0u64;
+    let mut vol_in = 0u64;
+    let mut vol_out = 0u64;
+    for v in 0..g.n() as u32 {
+        let inside = member.contains(&v);
+        let d = g.degree(v) as u64;
+        if inside {
+            vol_in += d;
+        } else {
+            vol_out += d;
+        }
+        if inside {
+            for &u in g.neighbors(v) {
+                if !member.contains(&u) {
+                    cut += 1;
+                }
+            }
+        }
+    }
+    let denom = vol_in.min(vol_out);
+    if denom == 0 {
+        1.0
+    } else {
+        cut as f64 / denom as f64
+    }
+}
+
+/// Mean conductance over the communities of a labeling — a scalar
+/// "clusterability at this threshold" summary.
+pub fn mean_conductance(g: &Graph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), g.n());
+    let k = labels.iter().copied().max().map_or(0, |x| x as usize + 1);
+    if k == 0 {
+        return 1.0;
+    }
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (v, &l) in labels.iter().enumerate() {
+        members[l as usize].push(v as u32);
+    }
+    let present: Vec<&Vec<u32>> = members.iter().filter(|m| !m.is_empty()).collect();
+    if present.is_empty() {
+        return 1.0;
+    }
+    present.iter().map(|m| conductance(g, m)).sum::<f64>() / present.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by one edge.
+    fn barbell() -> (Graph, Vec<u32>) {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        (g, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn barbell_modularity_is_high_for_true_partition() {
+        let (g, labels) = barbell();
+        let q = modularity(&g, &labels);
+        assert!(q > 0.3, "true partition modularity {q}");
+        // Random-ish partition scores worse.
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        assert!(modularity(&g, &bad) < q);
+    }
+
+    #[test]
+    fn single_community_modularity_is_zero() {
+        let (g, _) = barbell();
+        let one = vec![0u32; 6];
+        assert!(modularity(&g, &one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_good_cluster_is_low() {
+        let (g, _) = barbell();
+        let c = conductance(&g, &[0, 1, 2]);
+        // One cut edge over volume 7.
+        assert!((c - 1.0 / 7.0).abs() < 1e-12, "conductance {c}");
+    }
+
+    #[test]
+    fn conductance_of_random_half_is_higher() {
+        let (g, _) = barbell();
+        let good = conductance(&g, &[0, 1, 2]);
+        let bad = conductance(&g, &[0, 3, 5]);
+        assert!(bad > good);
+    }
+
+    #[test]
+    fn conductance_degenerate_sets() {
+        let (g, _) = barbell();
+        assert_eq!(conductance(&g, &[]), 1.0);
+        let all: Vec<u32> = (0..6).collect();
+        assert_eq!(conductance(&g, &all), 1.0);
+    }
+
+    #[test]
+    fn mean_conductance_tracks_partition_quality() {
+        let (g, labels) = barbell();
+        let good = mean_conductance(&g, &labels);
+        let bad = mean_conductance(&g, &[0, 1, 0, 1, 0, 1]);
+        assert!(good < bad, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn empty_graph_is_neutral() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(modularity(&g, &[]), 0.0);
+        assert_eq!(mean_conductance(&g, &[]), 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Connected components via union–find with path halving + union by size.
+
+use crate::csr::Graph;
+
+/// Disjoint-set forest over vertex ids.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Finds the representative of `x` (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+fn build_uf(g: &Graph) -> UnionFind {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf
+}
+
+/// Number of connected components (isolated vertices count).
+pub fn count_components(g: &Graph) -> usize {
+    let mut uf = build_uf(g);
+    let mut roots = plasma_data::hash::FxHashSet::default();
+    for v in 0..g.n() as u32 {
+        roots.insert(uf.find(v));
+    }
+    roots.len()
+}
+
+/// Vertex count of the largest connected component (0 for empty graphs).
+pub fn largest_component_size(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    let mut uf = build_uf(g);
+    (0..g.n() as u32)
+        .map(|v| uf.set_size(v) as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Vertex ids of the largest connected component.
+pub fn largest_component(g: &Graph) -> Vec<u32> {
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let mut uf = build_uf(g);
+    let best_root = (0..g.n() as u32)
+        .max_by_key(|&v| uf.set_size(v))
+        .expect("non-empty graph");
+    let best_root = uf.find(best_root);
+    (0..g.n() as u32).filter(|&v| uf.find(v) == best_root).collect()
+}
+
+/// Component label per vertex (labels are arbitrary but consistent).
+pub fn component_labels(g: &Graph) -> Vec<u32> {
+    let mut uf = build_uf(g);
+    let mut next = 0u32;
+    let mut remap = plasma_data::hash::FxHashMap::default();
+    (0..g.n() as u32)
+        .map(|v| {
+            let r = uf.find(v);
+            *remap.entry(r).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_isolate() -> Graph {
+        Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+    }
+
+    #[test]
+    fn counts_components() {
+        assert_eq!(count_components(&two_triangles_and_isolate()), 3);
+    }
+
+    #[test]
+    fn largest_component_of_tie_is_three() {
+        assert_eq!(largest_component_size(&two_triangles_and_isolate()), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(count_components(&g), 0);
+        assert_eq!(largest_component_size(&g), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_components() {
+        let g = Graph::from_edges(5, &[]);
+        assert_eq!(count_components(&g), 5);
+        assert_eq!(largest_component_size(&g), 1);
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        let g = two_triangles_and_isolate();
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[6], labels[0]);
+    }
+
+    #[test]
+    fn largest_component_members() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let comp = largest_component(&g);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+}

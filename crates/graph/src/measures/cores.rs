@@ -1,0 +1,123 @@
+//! k-core decomposition (Batagelj–Zaveršnik bucket peeling, `O(n + m)`).
+
+use crate::csr::Graph;
+
+/// Core number of every vertex: the largest `k` such that the vertex
+/// belongs to a subgraph where all degrees are ≥ `k`.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut pos = vec![0u32; n];
+    let mut vert = vec![0u32; n];
+    let mut fill = bin.clone();
+    for v in 0..n as u32 {
+        let d = degree[v as usize] as usize;
+        pos[v as usize] = fill[d];
+        vert[fill[d] as usize] = v;
+        fill[d] += 1;
+    }
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        for &u in g.neighbors(v) {
+            if degree[u as usize] > degree[v as usize] {
+                let du = degree[u as usize] as usize;
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = vert[pw as usize];
+                if u != w {
+                    vert.swap(pu as usize, pw as usize);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Mean core number over all vertices.
+pub fn mean_core_number(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    core_numbers(g).iter().map(|&c| c as f64).sum::<f64>() / g.n() as f64
+}
+
+/// Maximum core number (degeneracy).
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle 0-1-2 (core 2), tail 2-3 (vertex 3 core 1).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn path_graph_cores_are_one() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn complete_graph_cores() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(6, &edges);
+        assert!(core_numbers(&g).iter().all(|&c| c == 5));
+        assert!((mean_core_number(&g) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(mean_core_number(&g), 0.0);
+    }
+
+    #[test]
+    fn core_le_degree_invariant() {
+        use crate::generators::erdos_renyi;
+        let mut rng = plasma_data::rng::seeded(4);
+        let g = erdos_renyi(60, 240, &mut rng);
+        let cores = core_numbers(&g);
+        for v in 0..g.n() as u32 {
+            assert!(cores[v as usize] <= g.degree(v) as u32);
+        }
+    }
+}

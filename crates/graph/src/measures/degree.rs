@@ -1,0 +1,103 @@
+//! Degree-based measures.
+
+use crate::csr::Graph;
+
+/// Degree of each vertex.
+pub fn degrees(g: &Graph) -> Vec<u32> {
+    (0..g.n() as u32).map(|v| g.degree(v) as u32).collect()
+}
+
+/// Mean degree.
+pub fn mean_degree(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        0.0
+    } else {
+        2.0 * g.m() as f64 / g.n() as f64
+    }
+}
+
+/// Mean degree centrality: mean of `deg(v) / (n−1)`.
+pub fn mean_degree_centrality(g: &Graph) -> f64 {
+    let n = g.n();
+    if n < 2 {
+        return 0.0;
+    }
+    mean_degree(g) / (n as f64 - 1.0)
+}
+
+/// Average neighbor degree of each vertex (0 for isolated vertices).
+pub fn average_neighbor_degree(g: &Graph) -> Vec<f64> {
+    (0..g.n() as u32)
+        .map(|v| {
+            let ns = g.neighbors(v);
+            if ns.is_empty() {
+                0.0
+            } else {
+                ns.iter().map(|&u| g.degree(u) as f64).sum::<f64>() / ns.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Mean over vertices of the average neighbor degree.
+pub fn mean_average_neighbor_degree(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    average_neighbor_degree(g).iter().sum::<f64>() / g.n() as f64
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<u32> {
+    let degs = degrees(g);
+    let max = degs.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u32; max + 1];
+    for d in degs {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star();
+        assert_eq!(degrees(&g), vec![4, 1, 1, 1, 1]);
+        assert!((mean_degree(&g) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_neighbor_degrees() {
+        let g = star();
+        let and = average_neighbor_degree(&g);
+        assert_eq!(and[0], 1.0); // hub's neighbors are leaves
+        assert_eq!(and[1], 4.0); // leaf's neighbor is the hub
+    }
+
+    #[test]
+    fn degree_centrality_of_complete_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!((mean_degree_centrality(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let g = star();
+        assert_eq!(degree_histogram(&g), vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_zeroes() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(mean_degree(&g), 0.0);
+        assert_eq!(mean_average_neighbor_degree(&g), 0.0);
+        assert_eq!(mean_degree_centrality(&g), 0.0);
+    }
+}

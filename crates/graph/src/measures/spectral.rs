@@ -1,0 +1,212 @@
+//! Spectral measures: top adjacency eigenvalues via power iteration with
+//! deflation, and Laplacian spectral embedding (used by the §2.3.4 LFR →
+//! vector construction).
+
+use crate::csr::Graph;
+
+/// Largest adjacency eigenvalue (by magnitude; non-negative for adjacency
+/// matrices of non-empty graphs by Perron–Frobenius).
+pub fn largest_eigenvalue(g: &Graph) -> f64 {
+    top_eigenvalues(g, 1, 200).first().copied().unwrap_or(0.0)
+}
+
+/// Top-`k` adjacency eigenvalues via power iteration with deflation.
+///
+/// Deterministic start vectors; `iters` power steps per eigenpair. Accuracy
+/// is plenty for the measure sweep (the paper itself plots library-computed
+/// eigenvalues only as a runtime datapoint).
+pub fn top_eigenvalues(g: &Graph, k: usize, iters: usize) -> Vec<f64> {
+    let n = g.n();
+    if n == 0 || g.m() == 0 {
+        return vec![0.0; k.min(n)];
+    }
+    let mut eigvals = Vec::with_capacity(k);
+    let mut eigvecs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    // Power-iterate on A + cI so bipartite spectra (λ and −λ tied in
+    // magnitude) still have a strictly dominant eigenvalue; report the
+    // Rayleigh quotient on A itself.
+    let shift = 1.0 + 2.0 * g.m() as f64 / n as f64;
+    for comp in 0..k.min(n) {
+        // Deterministic pseudo-random start.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let h = plasma_data::hash::mix64((i as u64 + 1) * (comp as u64 + 13));
+                (h as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        orthogonalize(&mut v, &eigvecs);
+        normalize(&mut v);
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            let mut w = matvec(g, &v);
+            for (wi, &vi) in w.iter_mut().zip(&v) {
+                *wi += shift * vi;
+            }
+            orthogonalize(&mut w, &eigvecs);
+            let norm = normalize(&mut w);
+            if norm < 1e-14 {
+                break;
+            }
+            lambda = dot(&w, &matvec(g, &w));
+            v = w;
+        }
+        eigvals.push(lambda);
+        eigvecs.push(v);
+    }
+    eigvals
+}
+
+/// Spectral embedding: rows are vertices, columns the eigenvectors of the
+/// normalized Laplacian associated with the `k` smallest non-trivial
+/// eigenvalues (approximated via power iteration on `2I − L`).
+pub fn laplacian_embedding(g: &Graph, k: usize, iters: usize) -> Vec<Vec<f64>> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Power iteration on M = 2I − L_sym finds L's smallest eigenvectors
+    // (M's largest). The all-ones direction (trivial eigenvector) is
+    // deflated first.
+    let deg: Vec<f64> = (0..n as u32).map(|v| g.degree(v).max(1) as f64).collect();
+    let trivial: Vec<f64> = {
+        let mut t: Vec<f64> = deg.iter().map(|d| d.sqrt()).collect();
+        normalize(&mut t);
+        t
+    };
+    let mut vecs: Vec<Vec<f64>> = vec![trivial];
+    for comp in 0..k {
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let h = plasma_data::hash::mix64((i as u64 + 7) * (comp as u64 + 3));
+                (h as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        orthogonalize(&mut v, &vecs);
+        normalize(&mut v);
+        for _ in 0..iters {
+            // w = M v = 2v − L_sym v, where
+            // L_sym v = v − D^{-1/2} A D^{-1/2} v.
+            let mut av = vec![0.0f64; n];
+            for u in 0..n as u32 {
+                let vu = v[u as usize] / deg[u as usize].sqrt();
+                for &nb in g.neighbors(u) {
+                    av[nb as usize] += vu;
+                }
+            }
+            let mut w: Vec<f64> = (0..n)
+                .map(|i| v[i] + av[i] / deg[i].sqrt())
+                .collect();
+            orthogonalize(&mut w, &vecs);
+            if normalize(&mut w) < 1e-14 {
+                break;
+            }
+            v = w;
+        }
+        vecs.push(v);
+    }
+    // Rows of the embedding = per-vertex coordinates in the k vectors
+    // (skipping the trivial one).
+    (0..n)
+        .map(|i| vecs[1..].iter().map(|v| v[i]).collect())
+        .collect()
+}
+
+fn matvec(g: &Graph, v: &[f64]) -> Vec<f64> {
+    let n = g.n();
+    let mut out = vec![0.0f64; n];
+    for u in 0..n as u32 {
+        let vu = v[u as usize];
+        for &nb in g.neighbors(u) {
+            out[nb as usize] += vu;
+        }
+    }
+    out
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let proj = dot(v, b);
+        for (x, &bx) in v.iter_mut().zip(b) {
+            *x -= proj * bx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn complete_graph_top_eigenvalue() {
+        // K_n has top adjacency eigenvalue n−1.
+        let g = complete(6);
+        assert!((largest_eigenvalue(&g) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_eigenvalue_is_sqrt_leaves() {
+        // Star S_k has top eigenvalue sqrt(k).
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!((largest_eigenvalue(&g) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_two_of_complete_graph() {
+        // K_n spectrum: {n−1, −1, …, −1}; magnitudes {5, 1, …}.
+        let vals = top_eigenvalues(&complete(6), 2, 400);
+        assert!((vals[0] - 5.0).abs() < 1e-6);
+        assert!((vals[1].abs() - 1.0).abs() < 0.05, "second {vals:?}");
+    }
+
+    #[test]
+    fn empty_graph_eigenvalue_zero() {
+        let g = Graph::from_edges(4, &[]);
+        assert_eq!(largest_eigenvalue(&g), 0.0);
+    }
+
+    #[test]
+    fn embedding_separates_two_cliques() {
+        // Two 5-cliques joined by one edge: the Fiedler coordinate must
+        // separate them.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+                edges.push((i + 5, j + 5));
+            }
+        }
+        edges.push((0, 5));
+        let g = Graph::from_edges(10, &edges);
+        let emb = laplacian_embedding(&g, 1, 300);
+        let left: f64 = (0..5).map(|i| emb[i][0]).sum::<f64>() / 5.0;
+        let right: f64 = (5..10).map(|i| emb[i][0]).sum::<f64>() / 5.0;
+        assert!(
+            left.signum() != right.signum(),
+            "Fiedler coordinate should split the cliques: {left} vs {right}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Triangle count is the growth study's focus measure (§3.1 gives four
+//! reasons). The exact counter uses the standard degree-ordered
+//! edge-iterator: orient each edge toward the higher-degree endpoint and
+//! merge sorted out-neighborhoods, `O(m^{3/2})` worst case.
+
+use crate::csr::Graph;
+
+/// Exact global triangle count.
+pub fn count_triangles(g: &Graph) -> u64 {
+    per_vertex_triangles(g).iter().map(|&t| t as u64).sum::<u64>() / 3
+}
+
+/// Number of triangles incident on each vertex (each triangle contributes
+/// 1 to each of its three corners). This is the "triangle vertex cover
+/// histogram" raw data of Fig. 2.5b.
+pub fn per_vertex_triangles(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    let mut counts = vec![0u32; n];
+    // rank = degree-ordered position; orient edges low rank → high rank.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (g.degree(v), v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    // Forward adjacency: neighbors with higher rank, sorted by vertex id.
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        for &u in g.neighbors(v) {
+            if rank[u as usize] > rank[v as usize] {
+                fwd[v as usize].push(u);
+            }
+        }
+    }
+    for v in 0..n as u32 {
+        let fv = &fwd[v as usize];
+        for &u in fv.iter() {
+            let fu = &fwd[u as usize];
+            // Common forward neighbors of v and u complete a triangle whose
+            // rank-middle vertex is u; merge the two id-sorted lists.
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < fv.len() && b < fu.len() {
+                match fv[a].cmp(&fu[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = fv[a];
+                        counts[v as usize] += 1;
+                        counts[u as usize] += 1;
+                        counts[w as usize] += 1;
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Local clustering coefficient of each vertex: triangles at `v` divided by
+/// `deg(v)·(deg(v)−1)/2`; 0 for degree < 2.
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    let tri = per_vertex_triangles(g);
+    (0..g.n() as u32)
+        .map(|v| {
+            let d = g.degree(v) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * tri[v as usize] as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Mean local clustering coefficient (NetworkX `average_clustering`).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    local_clustering(g).iter().sum::<f64>() / g.n() as f64
+}
+
+/// Global transitivity: `3·triangles / #connected-triples`.
+pub fn transitivity(g: &Graph) -> f64 {
+    let triples: u64 = (0..g.n() as u32)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if triples == 0 {
+        0.0
+    } else {
+        3.0 * count_triangles(g) as f64 / triples as f64
+    }
+}
+
+/// Naive `O(n³)`-ish triangle counter over vertex triples with adjacency
+/// tests; retained as a differential-testing oracle.
+pub fn count_triangles_naive(g: &Graph) -> u64 {
+    let n = g.n() as u32;
+    let mut count = 0u64;
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if w <= v {
+                    continue;
+                }
+                if g.has_edge(u, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::rng::seeded;
+
+    #[test]
+    fn triangle_graph_counts_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(count_triangles(&g), 1);
+        assert_eq!(per_vertex_triangles(&g), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn complete_graph_counts_choose_three() {
+        let mut edges = Vec::new();
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        assert_eq!(count_triangles(&g), 56); // C(8,3)
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        use crate::generators::erdos_renyi;
+        let mut rng = seeded(7);
+        for &(n, m) in &[(30usize, 60usize), (50, 200), (40, 300)] {
+            let g = erdos_renyi(n, m, &mut rng);
+            assert_eq!(count_triangles(&g), count_triangles_naive(&g));
+        }
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_clustering() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

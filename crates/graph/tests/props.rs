@@ -1,0 +1,128 @@
+//! Property tests for graph measures: fast implementations against oracles
+//! and structural invariants on arbitrary graphs.
+
+use proptest::prelude::*;
+
+use plasma_graph::measures::{betweenness, cliques, components, cores, degree, diameter, triangles};
+use plasma_graph::Graph;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn triangle_counter_matches_naive(g in arb_graph()) {
+        prop_assert_eq!(
+            triangles::count_triangles(&g),
+            triangles::count_triangles_naive(&g)
+        );
+    }
+
+    #[test]
+    fn per_vertex_triangles_sum_to_three_times_total(g in arb_graph()) {
+        let per = triangles::per_vertex_triangles(&g);
+        let total: u64 = per.iter().map(|&t| t as u64).sum();
+        prop_assert_eq!(total, 3 * triangles::count_triangles(&g));
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degree_and_degeneracy_consistent(g in arb_graph()) {
+        let cores = cores::core_numbers(&g);
+        for v in 0..g.n() as u32 {
+            prop_assert!(cores[v as usize] <= g.degree(v) as u32);
+        }
+        let degeneracy = cores.iter().copied().max().unwrap_or(0);
+        // Every graph has a vertex of degree ≤ degeneracy in some subgraph;
+        // spot-check the global bound 2m/n ≤ max_core bound direction:
+        if g.n() > 0 && g.m() > 0 {
+            prop_assert!(degeneracy >= 1);
+        }
+    }
+
+    #[test]
+    fn component_counts_consistent(g in arb_graph()) {
+        let count = components::count_components(&g);
+        let largest = components::largest_component_size(&g);
+        let labels = components::component_labels(&g);
+        prop_assert!(count >= 1);
+        prop_assert!(largest <= g.n());
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        prop_assert_eq!(distinct.len(), count);
+        // Largest component size matches the biggest label class.
+        let mut sizes = std::collections::HashMap::new();
+        for &l in &labels {
+            *sizes.entry(l).or_insert(0usize) += 1;
+        }
+        prop_assert_eq!(sizes.values().copied().max().unwrap_or(0), largest);
+    }
+
+    #[test]
+    fn diameter_bounded_by_component_size(g in arb_graph()) {
+        let d = diameter::diameter_of_largest_component(&g);
+        let largest = components::largest_component_size(&g);
+        prop_assert!((d as usize) < largest.max(1));
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_exact_diameter(g in arb_graph()) {
+        let comp = components::largest_component(&g);
+        if comp.len() >= 2 {
+            let exact = diameter::diameter_of_largest_component(&g);
+            let ds = diameter::double_sweep(&g, comp[0]);
+            prop_assert!(ds <= exact, "double sweep {ds} exceeds exact {exact}");
+        }
+    }
+
+    #[test]
+    fn betweenness_values_are_normalized(g in arb_graph()) {
+        let bc = betweenness::betweenness(&g);
+        for &b in &bc {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&b), "betweenness {b} out of range");
+        }
+    }
+
+    #[test]
+    fn clique_stats_internally_consistent(g in arb_graph()) {
+        let stats = cliques::maximal_cliques(&g, 500_000);
+        if !stats.truncated {
+            let hist_total: u64 = stats.size_histogram.iter().sum();
+            prop_assert_eq!(hist_total, stats.count);
+            if stats.count > 0 {
+                prop_assert!(stats.max_size >= 1);
+                prop_assert!(stats.size_histogram[stats.max_size as usize] > 0);
+            }
+            // A graph with an edge has a clique of size ≥ 2.
+            if g.m() > 0 {
+                prop_assert!(stats.max_size >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_degree_matches_handshake(g in arb_graph()) {
+        let d = degree::mean_degree(&g);
+        prop_assert!((d - 2.0 * g.m() as f64 / g.n() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph()) {
+        let keep: Vec<u32> = (0..g.n() as u32).step_by(2).collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        for a in 0..sub.n() as u32 {
+            for b in 0..sub.n() as u32 {
+                if a != b {
+                    prop_assert_eq!(
+                        sub.has_edge(a, b),
+                        g.has_edge(map[a as usize], map[b as usize])
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Graph Growth: predicting measures of densifying graphs (Ch. 3).
+//!
+//! The question: can expensive measures of *dense* similarity graphs be
+//! predicted from cheap measurements on (a) the sparse prefixes of the real
+//! graph and (b) a small node-sampled graph measured across all densities?
+//!
+//! Pipeline (Algorithm 1): node-sample `p` records → build densifying
+//! series for both sample and full data (edge schedule `2^i · N`) → measure
+//! `γ` on the whole sample series and the sparse half of the real series →
+//! train a predictor → predict the dense half → evaluate in log space.
+//!
+//! * [`sampling`] — the three node-sampling methods (§3.3): random,
+//!   concentrated, stratified.
+//! * [`series`] — measure curves over densifying series (real data and the
+//!   ER / PA / Geom reference models).
+//! * [`predict`] — the two predictors (§3.4): Translation–Scaling and
+//!   piecewise-linear Regression.
+//! * [`eval`] — the end-to-end experiment harness and log-space error
+//!   metrics (Table 3.2).
+
+pub mod eval;
+pub mod predict;
+pub mod sampling;
+pub mod series;
+
+pub use eval::{run_growth_experiment, GrowthOutcome};
+pub use sampling::SamplingMethod;
+pub use series::MeasureCurve;

@@ -1,0 +1,243 @@
+//! The two prediction methods of §3.4.
+//!
+//! Both operate on measure curves resampled to `q` piecewise-linear points
+//! over normalized schedule progress, and both work in `log10(y+1)` space —
+//! the paper plots and scores triangle counts in log space because counts
+//! grow cubically and high-density errors would otherwise swamp everything.
+//!
+//! * **Translation–Scaling** — map the sample curve onto the real curve by
+//!   matching endpoints. The dense endpoint of the real curve is *known
+//!   analytically* (complete-graph measure), which is the trick that makes
+//!   this method free.
+//! * **Regression** — OLS on predictors `(synthx, synthy, realx)` against
+//!   `realy`, trained on the sparse half where `realy` is cheap, following
+//!   the paper's `realy = b0 + b1·synthx + b2·synthy + b3·realx`. The `x`
+//!   predictors are the density parameters `log2(edges/n)` of the two
+//!   curves (§3.4's "graph density parameter"), which are linear in the
+//!   geometric schedule and therefore extrapolate stably.
+
+use plasma_data::regression::LinearModel;
+
+use crate::series::MeasureCurve;
+
+/// Transforms a raw measure value into prediction space.
+fn to_log(y: f64) -> f64 {
+    (y + 1.0).log10()
+}
+
+/// Inverse of [`to_log`].
+fn from_log(ly: f64) -> f64 {
+    10f64.powf(ly.clamp(-12.0, 300.0)) - 1.0
+}
+
+/// A predicted curve: `(progress, predicted value)` over the dense half.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Normalized progress points predicted.
+    pub progress: Vec<f64>,
+    /// Predicted measure values (raw space).
+    pub predicted: Vec<f64>,
+}
+
+/// Translation–Scaling (§3.4).
+///
+/// `real_first_value` supplies the real curve's known sparse endpoint;
+/// `real_complete_value` is the analytic measure of the complete real
+/// graph. The sample curve is affinely mapped so its endpoints land on
+/// those values, then evaluated at the requested progress points.
+pub fn translation_scaling(
+    sample: &MeasureCurve,
+    real_first_value: f64,
+    real_complete_value: f64,
+    predict_at: &[f64],
+) -> Prediction {
+    let sx_min = sample.points.first().map_or(0.0, |p| p.progress);
+    let sx_max = sample.points.last().map_or(1.0, |p| p.progress);
+    let sy_min = to_log(sample.points.first().map_or(0.0, |p| p.value));
+    let sy_max = to_log(sample.points.last().map_or(1.0, |p| p.value));
+    let ry_min = to_log(real_first_value);
+    let ry_max = to_log(real_complete_value);
+    let (rx_min, rx_max) = (0.0, 1.0);
+
+    let predicted = predict_at
+        .iter()
+        .map(|&u| {
+            // Invert the x map: which sample progress corresponds to real
+            // progress u?
+            let sx = if rx_max > rx_min {
+                sx_min + (u - rx_min) * (sx_max - sx_min) / (rx_max - rx_min)
+            } else {
+                sx_min
+            };
+            let sy = to_log(sample.value_at(sx));
+            let ry = if sy_max > sy_min {
+                ry_min + (sy - sy_min) * (ry_max - ry_min) / (sy_max - sy_min)
+            } else {
+                ry_min
+            };
+            from_log(ry)
+        })
+        .collect();
+    Prediction {
+        progress: predict_at.to_vec(),
+        predicted,
+    }
+}
+
+/// Regression (§3.4): fit `realy ~ synthx + synthy + realx` on the sparse
+/// training half, predict the dense half.
+///
+/// `q` controls the piecewise-linear discretization of the training curves.
+pub fn regression(
+    sample: &MeasureCurve,
+    real_train: &MeasureCurve,
+    q: usize,
+    predict_at: &[f64],
+) -> Prediction {
+    let train_max = real_train
+        .points
+        .last()
+        .map_or(0.5, |p| p.progress)
+        .max(1e-9);
+    let q = q.max(2);
+    let mut xs = Vec::with_capacity(q);
+    let mut ys = Vec::with_capacity(q);
+    for k in 0..q {
+        let u = train_max * k as f64 / (q - 1) as f64;
+        xs.push(predictors(sample, real_train, u));
+        ys.push(to_log(real_train.value_at(u)));
+    }
+    let model = LinearModel::fit(&xs, &ys);
+    let predicted = predict_at
+        .iter()
+        .map(|&u| from_log(model.predict(&predictors(sample, real_train, u))))
+        .collect();
+    Prediction {
+        progress: predict_at.to_vec(),
+        predicted,
+    }
+}
+
+/// Predictor vector at progress `u`: `(synthx, synthy, realx)`.
+///
+/// Density parameters are known for every `u` without measuring anything
+/// (the similarity schedule fixes the edge counts), so the dense half's
+/// `realx` is available at prediction time.
+fn predictors(sample: &MeasureCurve, real: &MeasureCurve, u: f64) -> Vec<f64> {
+    // `real.density_at` extrapolates linearly past the training range
+    // because the geometric schedule is linear in the doubling index.
+    let real_density = if u <= real.points.last().map_or(1.0, |p| p.progress) {
+        real.density_at(u)
+    } else {
+        let last = real.points.last().expect("non-empty curve");
+        let slope = density_slope(real);
+        (last.edges.max(1) as f64 / real.n.max(1) as f64).log2()
+            + slope * (u - last.progress)
+    };
+    vec![sample.density_at(u), to_log(sample.value_at(u)), real_density]
+}
+
+/// Average density-parameter increase per unit progress.
+fn density_slope(curve: &MeasureCurve) -> f64 {
+    if curve.points.len() < 2 {
+        return 0.0;
+    }
+    let n = curve.n.max(1) as f64;
+    let first = curve.points.first().expect("non-empty");
+    let last = curve.points.last().expect("non-empty");
+    let span = (last.progress - first.progress).max(1e-9);
+    ((last.edges.max(1) as f64 / n).log2() - (first.edges.max(1) as f64 / n).log2()) / span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{CurvePoint, MeasureCurve};
+    use plasma_graph::measures::MeasureKind;
+
+    /// Synthetic curve: value = a · 10^(b·progress), edges double per step.
+    fn curve(a: f64, b: f64, n_pts: usize, max_progress: f64, n: usize) -> MeasureCurve {
+        let points = (0..n_pts)
+            .map(|i| {
+                let u = max_progress * i as f64 / (n_pts - 1) as f64;
+                CurvePoint {
+                    progress: u,
+                    edges: (n as f64 * 2f64.powf(u * 8.0)) as usize,
+                    threshold: 1.0 - u,
+                    value: a * 10f64.powf(b * u),
+                    seconds: 0.0,
+                }
+            })
+            .collect();
+        MeasureCurve {
+            measure: MeasureKind::Triangles,
+            n,
+            points,
+        }
+    }
+
+    #[test]
+    fn ts_maps_endpoints_exactly() {
+        let sample = curve(10.0, 2.0, 20, 1.0, 100);
+        let real_first = 100.0;
+        let real_complete = 1_000_000.0;
+        let pred = translation_scaling(&sample, real_first, real_complete, &[0.0, 1.0]);
+        assert!((pred.predicted[0] - real_first).abs() / real_first < 1e-6);
+        assert!((pred.predicted[1] - real_complete).abs() / real_complete < 1e-6);
+    }
+
+    #[test]
+    fn ts_interpolates_monotonically_for_monotone_samples() {
+        let sample = curve(1.0, 3.0, 25, 1.0, 100);
+        let grid: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+        let pred = translation_scaling(&sample, 10.0, 1e9, &grid);
+        for w in pred.predicted.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn regression_recovers_proportional_curves() {
+        // Real curve = 100 × sample curve (raw space) → exact linear
+        // relation in log space; regression must nail the dense half.
+        let sample = curve(1.0, 3.0, 30, 1.0, 100);
+        let real_full = curve(100.0, 3.0, 30, 1.0, 500);
+        let real_train = MeasureCurve {
+            measure: MeasureKind::Triangles,
+            n: 500,
+            points: real_full
+                .points
+                .iter()
+                .copied()
+                .filter(|p| p.progress <= 0.5)
+                .collect(),
+        };
+        let grid: Vec<f64> = (0..=10).map(|k| 0.5 + 0.05 * k as f64).collect();
+        let pred = regression(&sample, &real_train, 50, &grid);
+        for (u, p) in grid.iter().zip(&pred.predicted) {
+            let truth = real_full.value_at(*u);
+            let rel_log = ((p + 1.0).log10() - (truth + 1.0).log10()).abs()
+                / (truth + 1.0).log10().max(1e-9);
+            assert!(rel_log < 0.05, "at {u}: predicted {p} vs truth {truth}");
+        }
+    }
+
+    #[test]
+    fn regression_extrapolation_stays_bounded() {
+        // Even with imperfect proportionality, log-space predictions must
+        // stay within a few decades of the training range's trend.
+        let sample = curve(1.0, 2.5, 30, 1.0, 100);
+        let real_full = curve(40.0, 3.1, 30, 1.0, 800);
+        let real_train = MeasureCurve {
+            measure: MeasureKind::Triangles,
+            n: 800,
+            points: real_full.points[..15].to_vec(),
+        };
+        let pred = regression(&sample, &real_train, 60, &[0.7, 1.0]);
+        for (&p, &u) in pred.predicted.iter().zip(&[0.7, 1.0]) {
+            let truth = real_full.value_at(u);
+            let gap = ((p + 1.0).log10() - (truth + 1.0).log10()).abs();
+            assert!(gap < 1.0, "at {u}: predicted {p} vs truth {truth}");
+        }
+    }
+}

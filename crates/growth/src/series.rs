@@ -1,0 +1,306 @@
+//! Measure curves over densifying graph series.
+//!
+//! A [`MeasureCurve`] records, for each step of the geometric edge schedule
+//! `|E_i| = 2^i · N`, the realized similarity threshold, edge count, the
+//! measure value, and the seconds it took to compute — the raw material for
+//! Figs. 3.1–3.6 (measure shapes) and 3.19–3.21 (runtimes).
+
+use std::time::Instant;
+
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_graph::builders::DensifyingSeries;
+use plasma_graph::generators;
+use plasma_graph::measures::MeasureKind;
+use plasma_graph::Graph;
+
+/// One point of a measure-vs-density curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CurvePoint {
+    /// Normalized schedule progress in `[0, 1]`.
+    pub progress: f64,
+    /// Edge count of the graph at this step.
+    pub edges: usize,
+    /// Realized similarity threshold (for data-driven series; the model
+    /// series store a density parameter here).
+    pub threshold: f64,
+    /// Measure value.
+    pub value: f64,
+    /// Seconds spent computing the measure.
+    pub seconds: f64,
+}
+
+/// A measure evaluated along a densifying series.
+#[derive(Debug, Clone)]
+pub struct MeasureCurve {
+    /// The measure.
+    pub measure: MeasureKind,
+    /// Number of vertices in every graph of the series.
+    pub n: usize,
+    /// Curve points, sparse → dense.
+    pub points: Vec<CurvePoint>,
+}
+
+impl MeasureCurve {
+    /// y-values of the curve.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Total measure-computation seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.points.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Linear interpolation of the value at normalized progress `u`.
+    pub fn value_at(&self, u: f64) -> f64 {
+        interp(
+            &self
+                .points
+                .iter()
+                .map(|p| (p.progress, p.value))
+                .collect::<Vec<_>>(),
+            u,
+        )
+    }
+
+    /// Linear interpolation of the *density parameter* `log2(edges / n)`
+    /// at normalized progress `u`. Under the geometric schedule this is the
+    /// doubling index — the paper's "graph density parameter (larger being
+    /// more dense)" x-axis, and a well-conditioned regression predictor.
+    pub fn density_at(&self, u: f64) -> f64 {
+        let n = self.n.max(1) as f64;
+        interp(
+            &self
+                .points
+                .iter()
+                .map(|p| (p.progress, (p.edges.max(1) as f64 / n).log2()))
+                .collect::<Vec<_>>(),
+            u,
+        )
+    }
+
+    /// Linear interpolation of the threshold at normalized progress `u`.
+    pub fn threshold_at(&self, u: f64) -> f64 {
+        interp(
+            &self
+                .points
+                .iter()
+                .map(|p| (p.progress, p.threshold))
+                .collect::<Vec<_>>(),
+            u,
+        )
+    }
+}
+
+/// Piecewise-linear interpolation over `(x, y)` points with ascending `x`.
+pub fn interp(pts: &[(f64, f64)], x: f64) -> f64 {
+    if pts.is_empty() {
+        return 0.0;
+    }
+    if x <= pts[0].0 {
+        return pts[0].1;
+    }
+    if x >= pts[pts.len() - 1].0 {
+        return pts[pts.len() - 1].1;
+    }
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+            return y0 + t * (y1 - y0);
+        }
+    }
+    pts[pts.len() - 1].1
+}
+
+/// Evaluates a measure along a data-driven densifying series.
+///
+/// `schedule` defaults (when `None`) to the geometric `2^i · N` schedule.
+pub fn measure_series(
+    records: &[SparseVector],
+    measure_fn: MeasureKind,
+    similarity: Similarity,
+    schedule: Option<&[usize]>,
+) -> MeasureCurve {
+    let series = DensifyingSeries::new(records, similarity);
+    let default_schedule;
+    let schedule = match schedule {
+        Some(s) => s,
+        None => {
+            default_schedule = series.geometric_schedule();
+            &default_schedule
+        }
+    };
+    let last = schedule.len().max(2) - 1;
+    let points = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let g = series.graph_with_edges(k);
+            let threshold = series.threshold_for_edges(k);
+            let start = Instant::now();
+            let value = measure_fn.compute(&g);
+            CurvePoint {
+                progress: i as f64 / last as f64,
+                edges: g.m(),
+                threshold,
+                value,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    MeasureCurve {
+        measure: measure_fn,
+        n: records.len(),
+        points,
+    }
+}
+
+/// The reference generation models of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthModel {
+    /// Erdős–Rényi `G(n, m)`.
+    ErdosRenyi,
+    /// Preferential attachment.
+    PreferentialAttachment,
+    /// Random geometric.
+    Geometric,
+}
+
+impl GrowthModel {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrowthModel::ErdosRenyi => "Erdos-Renyi",
+            GrowthModel::PreferentialAttachment => "Preferential Attachment",
+            GrowthModel::Geometric => "Random Geometric",
+        }
+    }
+
+    /// Generates the model graph with (approximately) `m` edges.
+    pub fn generate(self, n: usize, m: usize, seed: u64) -> Graph {
+        let mut rng = plasma_data::rng::seeded(seed);
+        match self {
+            GrowthModel::ErdosRenyi => generators::erdos_renyi(n, m, &mut rng),
+            GrowthModel::PreferentialAttachment => {
+                generators::preferential_attachment(n, m, &mut rng)
+            }
+            GrowthModel::Geometric => generators::random_geometric(n, m, &mut rng),
+        }
+    }
+}
+
+/// Evaluates a measure along a model-generated densifying series using the
+/// same geometric schedule as a data series of `n` vertices.
+pub fn model_series(
+    model: GrowthModel,
+    n: usize,
+    measure_fn: MeasureKind,
+    schedule: &[usize],
+    seed: u64,
+) -> MeasureCurve {
+    let last = schedule.len().max(2) - 1;
+    let points = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let g = model.generate(n, k, seed ^ (i as u64) << 32);
+            let start = Instant::now();
+            let value = measure_fn.compute(&g);
+            CurvePoint {
+                progress: i as f64 / last as f64,
+                edges: g.m(),
+                threshold: i as f64, // density parameter stand-in
+                value,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    MeasureCurve {
+        measure: measure_fn,
+        n,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::datasets::gaussian::GaussianSpec;
+
+    fn records(n: usize) -> Vec<SparseVector> {
+        GaussianSpec {
+            separation: 3.0,
+            spread: 0.8,
+            ..GaussianSpec::new("t", n, 6, 3)
+        }
+        .generate(61)
+        .records
+    }
+
+    #[test]
+    fn triangle_curve_is_monotone_nondecreasing() {
+        let recs = records(60);
+        let curve = measure_series(&recs, MeasureKind::Triangles, Similarity::Cosine, None);
+        for w in curve.points.windows(2) {
+            assert!(
+                w[1].value >= w[0].value,
+                "triangles cannot decrease as edges are added"
+            );
+        }
+        // Last point is the complete graph: C(60, 3).
+        let last = curve.points.last().expect("non-empty");
+        assert_eq!(last.value, 60.0 * 59.0 * 58.0 / 6.0);
+    }
+
+    #[test]
+    fn progress_spans_zero_to_one() {
+        let recs = records(40);
+        let curve = measure_series(&recs, MeasureKind::Triangles, Similarity::Cosine, None);
+        assert_eq!(curve.points[0].progress, 0.0);
+        assert!((curve.points.last().expect("non-empty").progress - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds_decrease_along_series() {
+        let recs = records(50);
+        let curve = measure_series(&recs, MeasureKind::Triangles, Similarity::Cosine, None);
+        for w in curve.points.windows(2) {
+            assert!(w[0].threshold >= w[1].threshold);
+        }
+    }
+
+    #[test]
+    fn interp_endpoints_and_middle() {
+        let pts = [(0.0, 0.0), (1.0, 10.0)];
+        assert_eq!(interp(&pts, -1.0), 0.0);
+        assert_eq!(interp(&pts, 2.0), 10.0);
+        assert!((interp(&pts, 0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_series_runs_all_models() {
+        let schedule = [50usize, 100, 200];
+        for model in [
+            GrowthModel::ErdosRenyi,
+            GrowthModel::PreferentialAttachment,
+            GrowthModel::Geometric,
+        ] {
+            let c = model_series(model, 50, MeasureKind::Triangles, &schedule, 3);
+            assert_eq!(c.points.len(), 3);
+            assert!(c.points.iter().all(|p| p.value.is_finite()));
+        }
+    }
+
+    #[test]
+    fn value_at_interpolates_curve() {
+        let recs = records(40);
+        let curve = measure_series(&recs, MeasureKind::Triangles, Similarity::Cosine, None);
+        let mid = curve.value_at(0.5);
+        let lo = curve.value_at(0.0);
+        let hi = curve.value_at(1.0);
+        assert!(lo <= mid && mid <= hi);
+    }
+}

@@ -1,0 +1,129 @@
+//! CDB-Hyper-style compression: closed itemsets consumed greedily.
+//!
+//! Xiang et al.'s CDB (the paper's reference 109) starts from closed frequent
+//! itemsets and greedily covers the database with overlapped
+//! hyper-rectangles. Following the paper's comparison protocol, this
+//! reproduction feeds the closed sets to the same LocalOptimal greedy
+//! consumption LAM uses, giving an apples-to-apples cell-count ratio.
+
+use std::time::Instant;
+
+use crate::baselines::closed::{mine_closed, DEFAULT_BUDGET};
+use crate::db::TransactionDb;
+use crate::utility::Utility;
+
+/// CDB configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CdbConfig {
+    /// Absolute minimum support for the closed-set mining step.
+    pub min_support: usize,
+    /// Cap on consumed candidate sets.
+    pub max_candidates: usize,
+}
+
+impl Default for CdbConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 2,
+            max_candidates: 5_000,
+        }
+    }
+}
+
+/// Result of a CDB run.
+#[derive(Debug, Clone)]
+pub struct CdbResult {
+    /// Cell-level compression ratio.
+    pub cell_ratio: f64,
+    /// Number of closed sets mined.
+    pub mined: usize,
+    /// Number of patterns consumed into the code table.
+    pub consumed: usize,
+    /// Seconds spent mining closed sets.
+    pub mine_seconds: f64,
+    /// Seconds spent compressing with them.
+    pub compress_seconds: f64,
+}
+
+/// Runs CDB-style compression on a transaction database.
+pub fn cdb(transactions: &[Vec<u32>], cfg: &CdbConfig) -> CdbResult {
+    let t0 = Instant::now();
+    let mined = mine_closed(transactions, cfg.min_support, DEFAULT_BUDGET);
+    let mine_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut db = TransactionDb::new(transactions.to_vec());
+    // Order candidates by Area utility, descending (LocalOptimal).
+    let mut sets: Vec<(f64, Vec<u32>, Vec<u32>)> = mined
+        .sets
+        .into_iter()
+        .filter(|s| s.items.len() >= 2)
+        .map(|s| {
+            let area = Utility::Area.score_fast(s.items.len(), s.tids.len(), 0.0);
+            (area, s.items, s.tids)
+        })
+        .collect();
+    sets.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite utilities"));
+    sets.truncate(cfg.max_candidates);
+
+    let mined_count = sets.len();
+    let mut consumed = 0usize;
+    for (_, items, tids) in sets {
+        if db.consume(&items, &tids, 0) > 0 {
+            consumed += 1;
+        }
+    }
+    CdbResult {
+        cell_ratio: db.compression_ratio(),
+        mined: mined_count,
+        consumed,
+        mine_seconds,
+        compress_seconds: t1.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::datasets::transactions::{CategoricalSpec, QuestSpec};
+
+    #[test]
+    fn cdb_compresses_structured_data() {
+        let (txs, _) = CategoricalSpec::new("c", 300, 10).generate(3);
+        let r = cdb(&txs, &CdbConfig::default());
+        assert!(r.cell_ratio > 1.2, "ratio {}", r.cell_ratio);
+        assert!(r.consumed > 0);
+    }
+
+    #[test]
+    fn higher_support_mines_fewer_sets() {
+        let txs = QuestSpec::new("q", 300, 150).generate(5);
+        let low = cdb(
+            &txs,
+            &CdbConfig {
+                min_support: 2,
+                ..CdbConfig::default()
+            },
+        );
+        let high = cdb(
+            &txs,
+            &CdbConfig {
+                min_support: 20,
+                ..CdbConfig::default()
+            },
+        );
+        assert!(high.mined <= low.mined);
+        // Greedy consumption is not monotone in the candidate pool, but
+        // both runs must at least not inflate the data.
+        assert!(high.cell_ratio >= 1.0);
+        assert!(low.cell_ratio >= 1.0);
+    }
+
+    #[test]
+    fn timings_split_mine_and_compress() {
+        let txs = QuestSpec::new("q", 200, 120).generate(7);
+        let r = cdb(&txs, &CdbConfig::default());
+        assert!(r.mine_seconds >= 0.0);
+        assert!(r.compress_seconds >= 0.0);
+    }
+}

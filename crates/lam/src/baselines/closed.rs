@@ -1,0 +1,267 @@
+//! Closed frequent itemset mining (Eclat-style DFS with closure checks).
+//!
+//! A frequent itemset is *closed* when no superset has the same support.
+//! The miner uses the vertical (tid-list) representation, extends prefixes
+//! in item order, computes closures, and deduplicates by tid-set hash.
+//! Work is budgeted: web-scale supports that would explode (the paper's
+//! "execution abruptly halted" at σ=45) instead stop at the budget and
+//! report truncation.
+
+use plasma_data::hash::{FxHashMap, FxHashSet};
+
+/// A closed itemset with its occurrence list.
+#[derive(Debug, Clone)]
+pub struct ClosedSet {
+    /// Items, ascending.
+    pub items: Vec<u32>,
+    /// Transaction ids containing the itemset, ascending.
+    pub tids: Vec<u32>,
+}
+
+impl ClosedSet {
+    /// Support (occurrence count).
+    pub fn support(&self) -> usize {
+        self.tids.len()
+    }
+}
+
+/// Result of a (possibly truncated) closed-set mining run.
+#[derive(Debug, Clone)]
+pub struct ClosedMineResult {
+    /// The closed itemsets found (length ≥ 1).
+    pub sets: Vec<ClosedSet>,
+    /// True when the search budget ran out.
+    pub truncated: bool,
+}
+
+/// Mines closed frequent itemsets with absolute support ≥ `min_support`.
+///
+/// `budget` caps DFS expansions.
+pub fn mine_closed(
+    transactions: &[Vec<u32>],
+    min_support: usize,
+    budget: u64,
+) -> ClosedMineResult {
+    let min_support = min_support.max(1);
+    // Vertical representation of frequent items.
+    let mut tidlists: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for (tid, t) in transactions.iter().enumerate() {
+        for &it in t {
+            tidlists.entry(it).or_default().push(tid as u32);
+        }
+    }
+    let mut items: Vec<(u32, Vec<u32>)> = tidlists
+        .into_iter()
+        .filter(|(_, tl)| tl.len() >= min_support)
+        .collect();
+    items.sort_unstable_by_key(|(it, _)| *it);
+
+    let mut out = Vec::new();
+    let mut seen_tidsets: FxHashSet<u64> = FxHashSet::default();
+    let mut budget_left = budget;
+    let mut truncated = false;
+
+    // DFS over prefix extensions.
+    let item_ids: Vec<u32> = items.iter().map(|(it, _)| *it).collect();
+    let item_tids: Vec<&Vec<u32>> = items.iter().map(|(_, tl)| tl).collect();
+
+    fn tidset_hash(tids: &[u32]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &t in tids {
+            h = (h ^ t as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ (tids.len() as u64)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        start: usize,
+        prefix_tids: &[u32],
+        prefix_items: &mut Vec<u32>,
+        item_ids: &[u32],
+        item_tids: &[&Vec<u32>],
+        min_support: usize,
+        out: &mut Vec<ClosedSet>,
+        seen: &mut FxHashSet<u64>,
+        budget: &mut u64,
+        truncated: &mut bool,
+    ) {
+        for k in start..item_ids.len() {
+            // Items already absorbed into the prefix by a closure step must
+            // not be re-expanded.
+            if prefix_items.contains(&item_ids[k]) {
+                continue;
+            }
+            if *budget == 0 {
+                *truncated = true;
+                return;
+            }
+            *budget -= 1;
+            let inter = intersect(prefix_tids, item_tids[k]);
+            if inter.len() < min_support {
+                continue;
+            }
+            // Closure: absorb every later item whose tidlist covers inter.
+            let mut closure_items = vec![item_ids[k]];
+            for j in (k + 1)..item_ids.len() {
+                if prefix_items.contains(&item_ids[j]) {
+                    continue;
+                }
+                if item_tids[j].len() >= inter.len() && is_superset(item_tids[j], &inter) {
+                    closure_items.push(item_ids[j]);
+                }
+            }
+            // Closedness against *earlier* items: if an earlier item also
+            // covers inter, this set is a duplicate of one found earlier
+            // (or will be subsumed); the tidset hash dedup handles it.
+            let mut full_items = prefix_items.clone();
+            full_items.extend_from_slice(&closure_items);
+            full_items.sort_unstable();
+            full_items.dedup();
+
+            let h = tidset_hash(&inter);
+            if seen.insert(h) {
+                out.push(ClosedSet {
+                    items: full_items.clone(),
+                    tids: inter.clone(),
+                });
+            }
+
+            prefix_items.extend_from_slice(&closure_items);
+            // Recurse over items after k not already absorbed.
+            let next = k + 1;
+            if next < item_ids.len() {
+                dfs(
+                    next,
+                    &inter,
+                    prefix_items,
+                    item_ids,
+                    item_tids,
+                    min_support,
+                    out,
+                    seen,
+                    budget,
+                    truncated,
+                );
+            }
+            prefix_items.truncate(prefix_items.len() - closure_items.len());
+            if *truncated {
+                return;
+            }
+        }
+    }
+
+    let all_tids: Vec<u32> = (0..transactions.len() as u32).collect();
+    let mut prefix_items = Vec::new();
+    dfs(
+        0,
+        &all_tids,
+        &mut prefix_items,
+        &item_ids,
+        &item_tids,
+        min_support,
+        &mut out,
+        &mut seen_tidsets,
+        &mut budget_left,
+        &mut truncated,
+    );
+
+    ClosedMineResult {
+        sets: out,
+        truncated,
+    }
+}
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_superset(big: &[u32], small: &[u32]) -> bool {
+    crate::db::contains_sorted(big, small)
+}
+
+/// Default DFS budget.
+pub const DEFAULT_BUDGET: u64 = 5_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 4],
+            vec![4, 5],
+        ]
+    }
+
+    #[test]
+    fn finds_expected_closed_sets() {
+        let r = mine_closed(&toy(), 2, DEFAULT_BUDGET);
+        assert!(!r.truncated);
+        let find = |items: &[u32]| r.sets.iter().find(|s| s.items == items);
+        // {1,2} support 3; {1,2,3} support 2; {1} support 4.
+        assert_eq!(find(&[1, 2]).expect("closed").support(), 3);
+        assert_eq!(find(&[1, 2, 3]).expect("closed").support(), 2);
+        assert_eq!(find(&[1]).expect("closed").support(), 4);
+        // {2} is NOT closed: every tx with 2 also has 1.
+        assert!(find(&[2]).is_none());
+        // {3} is not closed either (always with 1,2).
+        assert!(find(&[3]).is_none());
+    }
+
+    #[test]
+    fn support_threshold_respected() {
+        let r = mine_closed(&toy(), 3, DEFAULT_BUDGET);
+        assert!(r.sets.iter().all(|s| s.support() >= 3));
+        assert!(r.sets.iter().any(|s| s.items == vec![1, 2]));
+        assert!(!r.sets.iter().any(|s| s.items == vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn closed_count_on_known_dataset() {
+        // All-distinct transactions: every transaction is its own closed
+        // set at support 1 (plus item-level sets that happen to be closed).
+        let txs = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let r = mine_closed(&txs, 1, DEFAULT_BUDGET);
+        for t in &txs {
+            assert!(
+                r.sets.iter().any(|s| &s.items == t),
+                "{t:?} should be closed"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_truncates_gracefully() {
+        // Dense overlapping data with a tiny budget.
+        let txs: Vec<Vec<u32>> = (0..20).map(|_| (0..15u32).collect()).collect();
+        let r = mine_closed(&txs, 2, 3);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn tidlists_are_sorted() {
+        let r = mine_closed(&toy(), 2, DEFAULT_BUDGET);
+        for s in &r.sets {
+            for w in s.tids.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! MDL code tables and greedy covering — the machinery shared by Krimp
+//! and Slim.
+//!
+//! A code table maps patterns (plus all singletons) to Shannon-optimal
+//! codes whose lengths derive from usage counts in the greedy cover of the
+//! database. Total encoded size `L(D, CT) = L(D | CT) + L(CT)` is the MDL
+//! objective both algorithms minimize; a parallel *cell* count (codes
+//! used plus code-table cells) is kept for cross-method comparability
+//! with LAM's cell accounting.
+
+use plasma_data::hash::FxHashMap;
+
+/// A code-table pattern.
+#[derive(Debug, Clone)]
+pub struct CtPattern {
+    /// Items, ascending.
+    pub items: Vec<u32>,
+    /// Support in the database (for cover ordering).
+    pub support: u32,
+}
+
+/// A code table: patterns in *standard cover order* (longer first, then
+/// higher support, then lexicographic), with singletons implicit.
+#[derive(Debug, Clone, Default)]
+pub struct CodeTable {
+    /// Non-singleton patterns, maintained in standard cover order.
+    pub patterns: Vec<CtPattern>,
+}
+
+/// Result of covering a database with a code table.
+#[derive(Debug, Clone)]
+pub struct CoverResult {
+    /// Usage count per pattern (parallel to `CodeTable::patterns`).
+    pub pattern_usage: Vec<u64>,
+    /// Usage count per singleton item.
+    pub singleton_usage: FxHashMap<u32, u64>,
+    /// Total codes emitted.
+    pub total_codes: u64,
+    /// Encoded size in bits, `L(D | CT) + L(CT)`.
+    pub total_bits: f64,
+    /// Cell count: codes emitted + code-table cells (LAM-comparable).
+    pub total_cells: u64,
+}
+
+impl CodeTable {
+    /// Creates an empty (singleton-only) code table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a pattern, keeping standard cover order; returns the index
+    /// it landed at (so a rejected candidate can be removed precisely).
+    pub fn insert(&mut self, p: CtPattern) -> usize {
+        let pos = self
+            .patterns
+            .partition_point(|q| cover_order(q, &p) != std::cmp::Ordering::Greater);
+        self.patterns.insert(pos, p);
+        pos
+    }
+
+    /// Removes the pattern at `idx`.
+    pub fn remove(&mut self, idx: usize) -> CtPattern {
+        self.patterns.remove(idx)
+    }
+
+    /// Covers the whole database and computes encoded sizes.
+    pub fn cover(&self, transactions: &[Vec<u32>]) -> CoverResult {
+        let mut pattern_usage = vec![0u64; self.patterns.len()];
+        let mut singleton_usage: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut total_codes = 0u64;
+        let mut remaining: Vec<u32> = Vec::new();
+        for t in transactions {
+            remaining.clear();
+            remaining.extend_from_slice(t);
+            for (pi, p) in self.patterns.iter().enumerate() {
+                if p.items.len() > remaining.len() {
+                    continue;
+                }
+                if crate::db::contains_sorted(&remaining, &p.items) {
+                    remaining.retain(|it| p.items.binary_search(it).is_err());
+                    pattern_usage[pi] += 1;
+                    total_codes += 1;
+                }
+            }
+            for &it in &remaining {
+                *singleton_usage.entry(it).or_insert(0) += 1;
+                total_codes += 1;
+            }
+        }
+
+        // Shannon code lengths from usages (Laplace-smoothed so unused
+        // codes stay finite).
+        let smoothed_total: f64 = (total_codes as f64)
+            + pattern_usage.len() as f64
+            + singleton_usage.len() as f64;
+        let code_len = |usage: u64| -> f64 {
+            let p = (usage as f64 + 1.0) / smoothed_total.max(2.0);
+            -p.log2()
+        };
+
+        // L(D | CT).
+        let mut bits = 0.0;
+        for &u in &pattern_usage {
+            bits += u as f64 * code_len(u);
+        }
+        for (_, &u) in singleton_usage.iter() {
+            bits += u as f64 * code_len(u);
+        }
+        // L(CT): each pattern stored as its items in singleton codes plus
+        // its own code; singletons store themselves.
+        let mut ct_bits = 0.0;
+        let mut ct_cells = 0u64;
+        for (pi, p) in self.patterns.iter().enumerate() {
+            for it in &p.items {
+                let su = singleton_usage.get(it).copied().unwrap_or(0);
+                ct_bits += code_len(su);
+            }
+            ct_bits += code_len(pattern_usage[pi]);
+            ct_cells += p.items.len() as u64;
+        }
+        for (_, &u) in singleton_usage.iter() {
+            ct_bits += 2.0 * code_len(u);
+            ct_cells += 1;
+        }
+
+        CoverResult {
+            pattern_usage,
+            singleton_usage,
+            total_codes,
+            total_bits: bits + ct_bits,
+            total_cells: total_codes + ct_cells,
+        }
+    }
+}
+
+/// Standard cover order: longer first, then higher support, then lex.
+pub fn cover_order(a: &CtPattern, b: &CtPattern) -> std::cmp::Ordering {
+    b.items
+        .len()
+        .cmp(&a.items.len())
+        .then(b.support.cmp(&a.support))
+        .then(a.items.cmp(&b.items))
+}
+
+/// Standard *candidate* order for Krimp: higher support first, then longer,
+/// then lex.
+pub fn candidate_order(a: &CtPattern, b: &CtPattern) -> std::cmp::Ordering {
+    b.support
+        .cmp(&a.support)
+        .then(b.items.len().cmp(&a.items.len()))
+        .then(a.items.cmp(&b.items))
+}
+
+/// Cell count of the raw database (for ratio denominators).
+pub fn raw_cells(transactions: &[Vec<u32>]) -> u64 {
+    transactions.iter().map(|t| t.len() as u64).sum()
+}
+
+/// Bits to encode the raw database with singleton codes only.
+pub fn raw_bits(transactions: &[Vec<u32>]) -> f64 {
+    CodeTable::new().cover(transactions).total_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![4, 5],
+        ]
+    }
+
+    #[test]
+    fn singleton_cover_counts_all_items() {
+        let ct = CodeTable::new();
+        let r = ct.cover(&toy());
+        assert_eq!(r.total_codes, 11);
+        assert_eq!(r.singleton_usage[&1], 3);
+        assert_eq!(r.singleton_usage[&4], 1);
+    }
+
+    #[test]
+    fn pattern_reduces_codes_and_bits() {
+        let mut ct = CodeTable::new();
+        ct.insert(CtPattern {
+            items: vec![1, 2, 3],
+            support: 3,
+        });
+        let with = ct.cover(&toy());
+        let without = CodeTable::new().cover(&toy());
+        assert_eq!(with.pattern_usage[0], 3);
+        assert_eq!(with.total_codes, 5); // 3 pattern codes + items 4, 5
+        assert!(with.total_bits < without.total_bits);
+        assert!(with.total_cells < without.total_cells + 3);
+    }
+
+    #[test]
+    fn cover_order_prefers_longer() {
+        let a = CtPattern {
+            items: vec![1, 2, 3],
+            support: 2,
+        };
+        let b = CtPattern {
+            items: vec![4, 5],
+            support: 10,
+        };
+        assert_eq!(cover_order(&a, &b), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn candidate_order_prefers_support() {
+        let a = CtPattern {
+            items: vec![1, 2, 3],
+            support: 2,
+        };
+        let b = CtPattern {
+            items: vec![4, 5],
+            support: 10,
+        };
+        assert_eq!(candidate_order(&b, &a), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn insert_maintains_order() {
+        let mut ct = CodeTable::new();
+        ct.insert(CtPattern {
+            items: vec![4, 5],
+            support: 10,
+        });
+        ct.insert(CtPattern {
+            items: vec![1, 2, 3],
+            support: 2,
+        });
+        assert_eq!(ct.patterns[0].items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_patterns_cover_greedily() {
+        let mut ct = CodeTable::new();
+        ct.insert(CtPattern {
+            items: vec![1, 2, 3],
+            support: 3,
+        });
+        ct.insert(CtPattern {
+            items: vec![2, 3],
+            support: 3,
+        });
+        let r = ct.cover(&[vec![1, 2, 3]]);
+        // The longer pattern wins; {2,3} goes unused.
+        assert_eq!(r.pattern_usage, vec![1, 0]);
+    }
+}

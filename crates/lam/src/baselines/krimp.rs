@@ -1,0 +1,143 @@
+//! Krimp: greedy MDL code-table selection (Vreeken et al., the paper's reference 99).
+//!
+//! Candidates are frequent (closed) itemsets in *standard candidate order*;
+//! each is accepted into the code table iff it shrinks the total encoded
+//! size `L(D, CT)`. This faithfully reproduces the algorithm's structure —
+//! including its cost profile: one full database cover per candidate,
+//! which is exactly why LAM beats it by orders of magnitude in Fig. 4.7.
+
+use std::time::Instant;
+
+use crate::baselines::closed::{mine_closed, DEFAULT_BUDGET};
+use crate::baselines::codetable::{
+    candidate_order, raw_bits, raw_cells, CodeTable, CtPattern,
+};
+
+/// Krimp configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KrimpConfig {
+    /// Absolute minimum support for candidate mining.
+    pub min_support: usize,
+    /// Cap on the number of candidates considered (keeps worst-case
+    /// runtime bounded on web-scale inputs).
+    pub max_candidates: usize,
+}
+
+impl Default for KrimpConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 2,
+            max_candidates: 1_500,
+        }
+    }
+}
+
+/// Result of a Krimp run.
+#[derive(Debug, Clone)]
+pub struct KrimpResult {
+    /// The selected code table.
+    pub code_table: CodeTable,
+    /// Bit-level compression ratio `raw_bits / encoded_bits`.
+    pub bit_ratio: f64,
+    /// Cell-level compression ratio (LAM-comparable).
+    pub cell_ratio: f64,
+    /// Candidates considered / accepted.
+    pub candidates: usize,
+    /// Accepted candidates.
+    pub accepted: usize,
+    /// Total seconds (mining + selection).
+    pub seconds: f64,
+}
+
+/// Runs Krimp on a transaction database.
+pub fn krimp(transactions: &[Vec<u32>], cfg: &KrimpConfig) -> KrimpResult {
+    let start = Instant::now();
+    let mined = mine_closed(transactions, cfg.min_support, DEFAULT_BUDGET);
+    let mut candidates: Vec<CtPattern> = mined
+        .sets
+        .into_iter()
+        .filter(|s| s.items.len() >= 2)
+        .map(|s| CtPattern {
+            support: s.support() as u32,
+            items: s.items,
+        })
+        .collect();
+    candidates.sort_unstable_by(candidate_order);
+    candidates.truncate(cfg.max_candidates);
+
+    let mut ct = CodeTable::new();
+    let mut best = ct.cover(transactions).total_bits;
+    let mut accepted = 0usize;
+    let n_candidates = candidates.len();
+    for cand in candidates {
+        let pos = ct.insert(cand);
+        let size = ct.cover(transactions).total_bits;
+        if size < best {
+            best = size;
+            accepted += 1;
+        } else {
+            ct.remove(pos);
+        }
+    }
+
+    let final_cover = ct.cover(transactions);
+    let seconds = start.elapsed().as_secs_f64();
+    KrimpResult {
+        bit_ratio: raw_bits(transactions) / final_cover.total_bits.max(1e-9),
+        cell_ratio: raw_cells(transactions) as f64 / final_cover.total_cells.max(1) as f64,
+        code_table: ct,
+        candidates: n_candidates,
+        accepted,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::datasets::transactions::{CategoricalSpec, QuestSpec};
+
+    #[test]
+    fn krimp_compresses_structured_data() {
+        let (txs, _) = CategoricalSpec::new("c", 300, 10).generate(3);
+        let r = krimp(&txs, &KrimpConfig::default());
+        assert!(r.bit_ratio > 1.2, "bit ratio {}", r.bit_ratio);
+        assert!(r.cell_ratio > 1.2, "cell ratio {}", r.cell_ratio);
+        assert!(r.accepted > 0);
+    }
+
+    #[test]
+    fn krimp_on_quest_data() {
+        let txs = QuestSpec::new("q", 250, 150).generate(5);
+        let r = krimp(
+            &txs,
+            &KrimpConfig {
+                min_support: 3,
+                max_candidates: 500,
+            },
+        );
+        assert!(r.bit_ratio >= 1.0, "ratio {}", r.bit_ratio);
+    }
+
+    #[test]
+    fn rejected_candidates_leave_table_unchanged() {
+        // Random data: almost everything should be rejected, and the code
+        // table should stay small.
+        use rand::Rng;
+        let mut rng = plasma_data::rng::seeded(17);
+        let txs: Vec<Vec<u32>> = (0..150)
+            .map(|_| {
+                let mut t: Vec<u32> = (0..8).map(|_| rng.gen_range(0..2_000u32)).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let r = krimp(&txs, &KrimpConfig::default());
+        assert!(
+            r.code_table.patterns.len() <= r.candidates,
+            "table cannot exceed candidates"
+        );
+        assert!(r.bit_ratio < 1.3);
+    }
+}

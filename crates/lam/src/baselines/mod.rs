@@ -1,0 +1,20 @@
+//! Comparison algorithms for the Chapter 4 evaluation.
+//!
+//! * [`closed`] — closed frequent itemset mining (Eclat-style, budgeted),
+//!   the preprocessing step Krimp/CDB depend on and the Fig. 4.10/4.11
+//!   baseline.
+//! * [`codetable`] — the shared cover/encoding machinery (MDL code tables).
+//! * [`krimp`] — Krimp: greedy MDL code-table selection over frequent
+//!   itemset candidates.
+//! * [`slim`] — Slim: iterative code-table growth by merging co-used
+//!   patterns (no candidate pre-mining).
+//! * [`cdb`] — CDB-Hyper-style: closed itemsets consumed with the same
+//!   LocalOptimal greedy LAM uses (the paper's own comparison protocol:
+//!   "for closed itemset mining and CDB we implement a compression scheme
+//!   that … applies the same LocalOptimal greedy heuristic").
+
+pub mod cdb;
+pub mod closed;
+pub mod codetable;
+pub mod krimp;
+pub mod slim;

@@ -1,0 +1,310 @@
+//! The mutable transaction database and its compression cost model.
+//!
+//! LAM rewrites transactions in place: when a pattern is consumed, its
+//! items are removed from each covered transaction and replaced by a
+//! single *pointer item*. Pointer items live above `pattern_base` in the
+//! item id space, so later passes can mine patterns-of-patterns, exactly
+//! as the paper's iterative framework intends.
+//!
+//! The cost model is cell counting (one cell per item, pointer, or code
+//! table entry), the integer analogue of the paper's bit accounting:
+//! `ratio = cells(original) / (cells(rewritten) + cells(code table))`.
+
+/// A pattern in the code table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The items (may include pointer items from earlier passes).
+    pub items: Vec<u32>,
+    /// Number of transactions the pattern was removed from.
+    pub occurrences: u32,
+    /// The pass (iteration) that produced the pattern.
+    pub pass: u32,
+}
+
+impl Pattern {
+    /// Cells this pattern saves: each occurrence replaces `len` items by
+    /// one pointer, and the code table stores the items once.
+    pub fn saved_cells(&self) -> i64 {
+        let len = self.items.len() as i64;
+        let occ = self.occurrences as i64;
+        occ * (len - 1) - len
+    }
+}
+
+/// A rewritable transaction database.
+#[derive(Debug, Clone)]
+pub struct TransactionDb {
+    /// Transactions: sorted item lists (items and pointer items mixed).
+    transactions: Vec<Vec<u32>>,
+    /// First pointer-item id; original items are all below this.
+    pattern_base: u32,
+    /// Code table, indexed by `item_id - pattern_base`.
+    patterns: Vec<Pattern>,
+    /// Cell count of the original database.
+    original_cells: u64,
+}
+
+impl TransactionDb {
+    /// Wraps raw transactions. Item lists are sorted and deduplicated.
+    pub fn new(mut transactions: Vec<Vec<u32>>) -> Self {
+        let mut max_item = 0u32;
+        for t in &mut transactions {
+            t.sort_unstable();
+            t.dedup();
+            if let Some(&m) = t.last() {
+                max_item = max_item.max(m);
+            }
+        }
+        let original_cells = transactions.iter().map(|t| t.len() as u64).sum();
+        Self {
+            transactions,
+            pattern_base: max_item + 1,
+            patterns: Vec::new(),
+            original_cells,
+        }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when the database has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// A transaction's current (possibly rewritten) item list.
+    pub fn transaction(&self, id: usize) -> &[u32] {
+        &self.transactions[id]
+    }
+
+    /// All transactions (read-only).
+    pub fn transactions(&self) -> &[Vec<u32>] {
+        &self.transactions
+    }
+
+    /// First pointer-item id.
+    pub fn pattern_base(&self) -> u32 {
+        self.pattern_base
+    }
+
+    /// The code table.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Cell count of the original database.
+    pub fn original_cells(&self) -> u64 {
+        self.original_cells
+    }
+
+    /// Current cell count: rewritten transactions plus the code table.
+    pub fn compressed_cells(&self) -> u64 {
+        let tx: u64 = self.transactions.iter().map(|t| t.len() as u64).sum();
+        let ct: u64 = self.patterns.iter().map(|p| p.items.len() as u64).sum();
+        tx + ct
+    }
+
+    /// Compression ratio (≥ small positive; > 1 means compression won).
+    pub fn compression_ratio(&self) -> f64 {
+        let c = self.compressed_cells();
+        if c == 0 {
+            1.0
+        } else {
+            self.original_cells as f64 / c as f64
+        }
+    }
+
+    /// Consumes a pattern: removes `items` from every listed transaction
+    /// that still fully contains them, appending a pointer item instead.
+    ///
+    /// The actual utility is re-checked first (Algorithm 4 recomputes
+    /// utility "and discarded if it is not fruitful"): a pattern must
+    /// still cover at least two transactions to save cells, otherwise
+    /// nothing is rewritten and 0 is returned.
+    pub fn consume(&mut self, items: &[u32], candidate_txs: &[u32], pass: u32) -> u32 {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items sorted");
+        if items.len() < 2 {
+            return 0;
+        }
+        let covered: Vec<u32> = candidate_txs
+            .iter()
+            .copied()
+            .filter(|&tid| contains_sorted(&self.transactions[tid as usize], items))
+            .collect();
+        if covered.len() < 2 {
+            return 0;
+        }
+        let pointer = self.pattern_base + self.patterns.len() as u32;
+        for &tid in &covered {
+            let t = &mut self.transactions[tid as usize];
+            t.retain(|it| items.binary_search(it).is_err());
+            // Insert the pointer keeping the list sorted.
+            if let Err(pos) = t.binary_search(&pointer) {
+                t.insert(pos, pointer);
+            }
+        }
+        self.patterns.push(Pattern {
+            items: items.to_vec(),
+            occurrences: covered.len() as u32,
+            pass,
+        });
+        covered.len() as u32
+    }
+
+    /// Replaces a transaction's item list (PLAM merge path). The list is
+    /// sorted/deduplicated defensively.
+    pub(crate) fn replace_transaction(&mut self, id: usize, mut items: Vec<u32>) {
+        items.sort_unstable();
+        items.dedup();
+        self.transactions[id] = items;
+    }
+
+    /// Appends a pattern to the code table directly (PLAM merge path) and
+    /// returns its pointer item id.
+    pub(crate) fn append_pattern(&mut self, pattern: Pattern) -> u32 {
+        let pointer = self.pattern_base + self.patterns.len() as u32;
+        self.patterns.push(pattern);
+        pointer
+    }
+
+    /// Pointer id the next appended pattern will receive.
+    pub(crate) fn next_pointer_id(&self) -> u32 {
+        self.pattern_base + self.patterns.len() as u32
+    }
+
+    /// Expands a transaction back to original items (recursively resolving
+    /// pointer items). Used to verify losslessness.
+    pub fn expand(&self, id: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack: Vec<u32> = self.transactions[id].clone();
+        while let Some(item) = stack.pop() {
+            if item >= self.pattern_base {
+                let p = &self.patterns[(item - self.pattern_base) as usize];
+                stack.extend_from_slice(&p.items);
+            } else {
+                out.push(item);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// True when sorted `needle` is a subset of sorted `haystack`.
+pub fn contains_sorted(haystack: &[u32], needle: &[u32]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    let mut hi = 0usize;
+    for &x in needle {
+        // Advance haystack; both sorted.
+        loop {
+            if hi >= haystack.len() {
+                return false;
+            }
+            match haystack[hi].cmp(&x) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 2, 3, 9],
+            vec![1, 2, 3],
+            vec![1, 2, 3, 7],
+            vec![4, 5],
+        ])
+    }
+
+    #[test]
+    fn cell_accounting_before_compression() {
+        let d = db();
+        assert_eq!(d.original_cells(), 13); // 4 + 3 + 4 + 2
+        assert_eq!(d.compressed_cells(), 13);
+        assert!((d.compression_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consume_rewrites_and_compresses() {
+        let mut d = db();
+        let n = d.consume(&[1, 2, 3], &[0, 1, 2, 3], 0);
+        assert_eq!(n, 3); // tx 3 does not contain the pattern
+        // Cells: tx = [ptr,9]=2, [ptr]=1, [ptr,7]=2, [4,5]=2 → 7; CT = 3.
+        assert_eq!(d.compressed_cells(), 10);
+        assert!(d.compression_ratio() > 1.0);
+        assert_eq!(d.patterns().len(), 1);
+        assert_eq!(d.patterns()[0].occurrences, 3);
+    }
+
+    #[test]
+    fn consume_rejects_single_coverage_without_rewriting() {
+        let mut d = db();
+        // Only tx 0 contains item 9 → coverage 1 → not fruitful.
+        let n = d.consume(&[1, 2, 3, 9], &[0, 1, 2], 0);
+        assert_eq!(n, 0);
+        assert_eq!(d.transaction(0), &[1, 2, 3, 9]);
+        assert!(d.patterns().is_empty());
+    }
+
+    #[test]
+    fn expansion_is_lossless() {
+        let mut d = db();
+        let originals: Vec<Vec<u32>> = (0..d.len()).map(|i| d.transaction(i).to_vec()).collect();
+        d.consume(&[1, 2, 3], &[0, 1, 2], 0);
+        for (i, orig) in originals.iter().enumerate() {
+            assert_eq!(&d.expand(i), orig, "transaction {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn nested_patterns_expand_recursively() {
+        let mut d = db();
+        d.consume(&[1, 2], &[0, 1, 2], 0);
+        let ptr = d.pattern_base();
+        // Second pattern includes the first pattern's pointer.
+        d.consume(&[3, ptr], &[0, 1, 2], 1);
+        assert!(d.expand(0).starts_with(&[1, 2, 3]));
+        assert_eq!(d.expand(1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unit_patterns_rejected() {
+        let mut d = db();
+        assert_eq!(d.consume(&[1], &[0], 0), 0);
+        assert!(d.patterns().is_empty());
+    }
+
+    #[test]
+    fn contains_sorted_cases() {
+        assert!(contains_sorted(&[1, 2, 3, 5], &[2, 5]));
+        assert!(!contains_sorted(&[1, 2, 3], &[4]));
+        assert!(!contains_sorted(&[2], &[1, 2]));
+        assert!(contains_sorted(&[1], &[]));
+    }
+
+    #[test]
+    fn pattern_saved_cells() {
+        let p = Pattern {
+            items: vec![1, 2, 3],
+            occurrences: 4,
+            pass: 0,
+        };
+        // 4 occurrences × (3−1) saved − 3 stored = 5.
+        assert_eq!(p.saved_cells(), 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Graph compressibility across similarity thresholds (§4.6, Fig. 4.14).
+//!
+//! A similarity graph at threshold `t` is viewed as a transactional
+//! matrix (each node's adjacency list is a transaction); LAM's compression
+//! ratio on it measures clusterability. Sweeping `t` yields the ratio
+//! curve whose knees / phase shifts flag "regions of further interest to a
+//! domain expert". All thresholds reuse one sorted pair list, so the sweep
+//! costs one `O(n²)` similarity pass plus one LAM run per threshold.
+
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+
+use crate::db::TransactionDb;
+use crate::miner::{Lam, LamConfig};
+
+/// One point of the compressibility curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressPoint {
+    /// Similarity threshold.
+    pub threshold: f64,
+    /// Edges in the similarity graph at this threshold.
+    pub edges: usize,
+    /// LAM compression ratio of the graph's adjacency representation.
+    pub ratio: f64,
+}
+
+/// Converts adjacency lists to LAM transactions, skipping empty lists
+/// (isolated nodes carry no compressible structure).
+pub fn adjacency_to_transactions(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    adj.iter()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut t = l.clone();
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect()
+}
+
+/// Compressibility of one adjacency structure.
+pub fn compress_adjacency(adj: &[Vec<u32>], cfg: &LamConfig) -> f64 {
+    let txs = adjacency_to_transactions(adj);
+    if txs.is_empty() {
+        return 1.0;
+    }
+    let mut db = TransactionDb::new(txs);
+    Lam::new(*cfg).run(&mut db).final_ratio
+}
+
+/// Sweeps LAM compressibility over similarity thresholds.
+pub fn compression_curve(
+    records: &[SparseVector],
+    measure: Similarity,
+    thresholds: &[f64],
+    cfg: &LamConfig,
+) -> Vec<CompressPoint> {
+    // One exact similarity pass, sorted descending.
+    let n = records.len();
+    let mut pairs: Vec<(f64, u32, u32)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = measure.compute(&records[i], &records[j]);
+            pairs.push((s, i as u32, j as u32));
+        }
+    }
+    pairs.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite similarities"));
+
+    let mut sorted_thresholds: Vec<f64> = thresholds.to_vec();
+    sorted_thresholds.sort_by(|a, b| b.partial_cmp(a).expect("finite thresholds"));
+
+    let mut out = Vec::with_capacity(sorted_thresholds.len());
+    let mut cut = 0usize;
+    for &t in &sorted_thresholds {
+        while cut < pairs.len() && pairs[cut].0 >= t {
+            cut += 1;
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(_, i, j) in &pairs[..cut] {
+            adj[i as usize].push(j);
+            adj[j as usize].push(i);
+        }
+        out.push(CompressPoint {
+            threshold: t,
+            edges: cut,
+            ratio: compress_adjacency(&adj, cfg),
+        });
+    }
+    out.reverse(); // ascending thresholds
+    out
+}
+
+/// Thresholds at which the ratio curve changes slope the most — the
+/// "phase shifts / inflection points" §4.6 reads off Fig. 4.14.
+pub fn inflection_points(curve: &[CompressPoint], top_k: usize) -> Vec<f64> {
+    if curve.len() < 3 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(f64, f64)> = curve
+        .windows(3)
+        .map(|w| {
+            let d1 = (w[1].ratio - w[0].ratio)
+                / (w[1].threshold - w[0].threshold).abs().max(1e-9);
+            let d2 = (w[2].ratio - w[1].ratio)
+                / (w[2].threshold - w[1].threshold).abs().max(1e-9);
+            ((d2 - d1).abs(), w[1].threshold)
+        })
+        .collect();
+    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite curvature"));
+    scored.into_iter().take(top_k).map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::datasets::gaussian::GaussianSpec;
+
+    #[test]
+    fn adjacency_conversion_drops_isolated() {
+        let adj = vec![vec![1, 2], vec![0], vec![0], vec![]];
+        let txs = adjacency_to_transactions(&adj);
+        assert_eq!(txs.len(), 3);
+    }
+
+    #[test]
+    fn clustered_graph_compresses_better_than_random() {
+        // Two disjoint bicliques vs a degree-matched random graph.
+        let mut clustered: Vec<Vec<u32>> = Vec::new();
+        for i in 0..10u32 {
+            clustered.push((10..20).collect()); // left side of biclique A
+            let _ = i;
+        }
+        for _ in 10..20u32 {
+            clustered.push((0..10).collect());
+        }
+        use rand::Rng;
+        let mut rng = plasma_data::rng::seeded(3);
+        let random: Vec<Vec<u32>> = (0..20)
+            .map(|_| {
+                let mut l: Vec<u32> = (0..10).map(|_| rng.gen_range(0..60u32)).collect();
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect();
+        let cfg = LamConfig::default();
+        let rc = compress_adjacency(&clustered, &cfg);
+        let rr = compress_adjacency(&random, &cfg);
+        assert!(
+            rc > rr + 0.5,
+            "bicliques {rc} should compress far better than random {rr}"
+        );
+    }
+
+    #[test]
+    fn curve_is_always_at_least_one() {
+        let ds = GaussianSpec {
+            separation: 4.0,
+            spread: 0.7,
+            ..GaussianSpec::new("t", 80, 8, 3)
+        }
+        .generate(9);
+        let curve = compression_curve(
+            &ds.records,
+            Similarity::Cosine,
+            &[0.3, 0.5, 0.7, 0.9],
+            &LamConfig::default(),
+        );
+        assert_eq!(curve.len(), 4);
+        for p in &curve {
+            assert!(p.ratio >= 0.99, "ratio {} at t={}", p.ratio, p.threshold);
+        }
+        // Ascending thresholds, descending edge counts.
+        for w in curve.windows(2) {
+            assert!(w[0].threshold < w[1].threshold);
+            assert!(w[0].edges >= w[1].edges);
+        }
+    }
+
+    #[test]
+    fn inflection_points_found_on_kinked_curve() {
+        let curve = vec![
+            CompressPoint { threshold: 0.2, edges: 100, ratio: 1.0 },
+            CompressPoint { threshold: 0.4, edges: 80, ratio: 1.1 },
+            CompressPoint { threshold: 0.6, edges: 60, ratio: 2.5 },
+            CompressPoint { threshold: 0.8, edges: 20, ratio: 2.6 },
+        ];
+        let pts = inflection_points(&curve, 1);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0] == 0.4 || pts[0] == 0.6);
+    }
+}

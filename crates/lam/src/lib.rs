@@ -1,0 +1,37 @@
+//! LAM — the Localized Approximate Miner (Ch. 4).
+//!
+//! A parameter-free, `O(|D| log |D|)` itemset miner whose goal is *useful
+//! patterns that compress*: min-hash **localization** groups similar
+//! transactions into small partitions (Algorithm 3), and a trie-based
+//! **mine/consume** phase extracts high-utility patterns greedily within
+//! each partition (Algorithms 4–6), rewriting the database in place. Used
+//! by PLASMA-HD as a scalable graph-compressibility estimator (§4.6).
+//!
+//! * [`db`] — the mutable transaction database with the cell-count cost
+//!   model all compression ratios are measured in.
+//! * [`localize`] — Phase 1: min-hash matrix, lexicographic sort, prefix
+//!   grouping.
+//! * [`trie`] — the partition trie and potential-itemset generation.
+//! * [`miner`] — Phase 2 plus the multi-pass LAM driver.
+//! * [`utility`] — the Area and Relative-Closedness utility functions.
+//! * [`plam`] — the multi-threaded variant (partitions mined in parallel).
+//! * [`baselines`] — closed itemset mining, Krimp, Slim, and CDB-style
+//!   tile covering, for the Ch. 4 comparisons.
+//! * [`classify`] — compressed-analytics classification (§4.4.6).
+//! * [`graph_compress`] — similarity-graph compressibility across
+//!   thresholds (§4.6, Fig. 4.14).
+
+pub mod baselines;
+pub mod classify;
+pub mod db;
+pub mod graph_compress;
+pub mod localize;
+pub mod miner;
+pub mod plam;
+pub mod stats;
+pub mod trie;
+pub mod utility;
+
+pub use db::TransactionDb;
+pub use miner::{Lam, LamConfig, LamResult};
+pub use utility::Utility;

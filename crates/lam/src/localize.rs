@@ -1,0 +1,219 @@
+//! Phase 1: Localization (Algorithm 3).
+//!
+//! Each transaction gets `k` min-hashes (one per min-wise independent
+//! permutation); the `n × k` matrix is sorted lexicographically, and
+//! contiguous runs sharing a hash prefix become partitions. Runs larger
+//! than `threshold` extend the prefix column by column; a run that is
+//! still too large after all `k` columns is passed through whole, exactly
+//! like the pseudocode. Probability of two transactions agreeing on one
+//! hash equals their Jaccard similarity, so partitions are blobs of
+//! mutually similar transactions — which is what makes the local mining
+//! phase find globally useful patterns.
+
+use plasma_data::hash::keyed_hash;
+
+/// Localization parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalizeConfig {
+    /// Min-hashes per transaction. The paper uses 16 ("more provided
+    /// little compression benefit").
+    pub k: usize,
+    /// Maximum partition size before the prefix is extended (the paper's
+    /// "record chunk size", 1000 in §4.6).
+    pub threshold: usize,
+    /// Hash seed; vary per pass for the probabilistic shuffle.
+    pub seed: u64,
+}
+
+impl Default for LocalizeConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            threshold: 512,
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// Output: transaction ids grouped into partitions.
+#[derive(Debug, Clone)]
+pub struct Partitions {
+    /// Each inner vector lists transaction ids of one partition.
+    pub groups: Vec<Vec<u32>>,
+}
+
+impl Partitions {
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no partitions exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total transactions across partitions.
+    pub fn total(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+}
+
+/// Runs localization over the database's current transactions.
+pub fn localize(transactions: &[Vec<u32>], cfg: &LocalizeConfig) -> Partitions {
+    let n = transactions.len();
+    if n == 0 {
+        return Partitions { groups: Vec::new() };
+    }
+    let k = cfg.k.max(1);
+    // Min-hash matrix, row-major.
+    let mut matrix: Vec<u64> = Vec::with_capacity(n * k);
+    for t in transactions {
+        for h in 0..k {
+            let key = cfg.seed ^ (h as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            let min = t
+                .iter()
+                .map(|&item| keyed_hash(key, item))
+                .min()
+                .unwrap_or(u64::MAX);
+            matrix.push(min);
+        }
+    }
+    // Lexicographic sort of row indices.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let ra = &matrix[a as usize * k..(a as usize + 1) * k];
+        let rb = &matrix[b as usize * k..(b as usize + 1) * k];
+        ra.cmp(rb)
+    });
+
+    // Prefix grouping.
+    let row = |i: usize| &matrix[order[i] as usize * k..(order[i] as usize + 1) * k];
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let mut end = n;
+        let mut j = 0usize;
+        while end - start > cfg.threshold && j < k {
+            // Narrow to the run matching `start`'s hash in column j.
+            let target = row(start)[j];
+            let mut e = start + 1;
+            while e < end && row(e)[j] == target {
+                e += 1;
+            }
+            end = e;
+            j += 1;
+        }
+        groups.push(order[start..end].to_vec());
+        start = end;
+    }
+    Partitions { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_transactions() -> Vec<Vec<u32>> {
+        // Three families of transactions with heavy intra-family overlap.
+        let mut txs = Vec::new();
+        for f in 0..3u32 {
+            let base: Vec<u32> = (f * 100..f * 100 + 20).collect();
+            for v in 0..15u32 {
+                let mut t = base.clone();
+                t.push(f * 100 + 50 + v); // one unique item each
+                txs.push(t);
+            }
+        }
+        txs
+    }
+
+    #[test]
+    fn partitions_cover_all_transactions_once() {
+        let txs = clustered_transactions();
+        let parts = localize(&txs, &LocalizeConfig::default());
+        assert_eq!(parts.total(), txs.len());
+        let mut seen = vec![false; txs.len()];
+        for g in &parts.groups {
+            for &id in g {
+                assert!(!seen[id as usize], "transaction {id} in two partitions");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn similar_transactions_land_together() {
+        let txs = clustered_transactions();
+        let parts = localize(
+            &txs,
+            &LocalizeConfig {
+                threshold: 20,
+                ..LocalizeConfig::default()
+            },
+        );
+        // Count partition pairs from the same family vs different families.
+        let family = |id: u32| id / 15;
+        let mut same = 0u32;
+        let mut diff = 0u32;
+        for g in &parts.groups {
+            for a in 0..g.len() {
+                for b in (a + 1)..g.len() {
+                    if family(g[a]) == family(g[b]) {
+                        same += 1;
+                    } else {
+                        diff += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            same > diff * 5,
+            "localization should group families: same={same} diff={diff}"
+        );
+    }
+
+    #[test]
+    fn threshold_bounds_partition_size_mostly() {
+        let txs = clustered_transactions();
+        let parts = localize(
+            &txs,
+            &LocalizeConfig {
+                threshold: 10,
+                ..LocalizeConfig::default()
+            },
+        );
+        // Identical-prefix overflows aside, partitions should be small.
+        let oversize = parts.groups.iter().filter(|g| g.len() > 16).count();
+        assert!(oversize <= 1, "too many oversized partitions");
+    }
+
+    #[test]
+    fn empty_input() {
+        let parts = localize(&[], &LocalizeConfig::default());
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_shuffle_partitions() {
+        let txs = clustered_transactions();
+        let a = localize(
+            &txs,
+            &LocalizeConfig {
+                seed: 1,
+                threshold: 8,
+                ..LocalizeConfig::default()
+            },
+        );
+        let b = localize(
+            &txs,
+            &LocalizeConfig {
+                seed: 2,
+                threshold: 8,
+                ..LocalizeConfig::default()
+            },
+        );
+        assert_ne!(a.groups, b.groups, "seeds must reshuffle grouping");
+    }
+}

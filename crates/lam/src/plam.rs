@@ -1,0 +1,259 @@
+//! PLAM — multi-level parallel LAM (§4.4.4).
+//!
+//! Partitions are independent after localization, so they are distributed
+//! across worker threads (the paper's per-core level; its cross-machine
+//! level maps to the same structure). Each worker mines its partitions in
+//! a private mini-database and returns rewritten transactions plus local
+//! patterns; the main thread merges them, remapping local pointer ids into
+//! the global code table. Static balancing assigns partitions to workers
+//! by accumulated cell count, mirroring the paper's best-effort static
+//! scheme (whose imbalance on near-clique structures it discusses).
+
+use crate::db::{Pattern, TransactionDb};
+use crate::localize::{localize, LocalizeConfig};
+use crate::miner::{mine_partition, LamConfig, LamResult};
+use std::time::Instant;
+
+/// High bit marking a thread-local pattern reference during the merge.
+const LOCAL_MARK: u32 = 0x8000_0000;
+
+/// Result of one worker over one partition group.
+struct WorkerOutput {
+    /// `(global transaction id, rewritten items)`; local pattern pointers
+    /// are encoded as `LOCAL_MARK | local_index`.
+    rewritten: Vec<(u32, Vec<u32>)>,
+    /// Local patterns in creation order (items may carry `LOCAL_MARK`).
+    patterns: Vec<Pattern>,
+}
+
+/// Runs PLAM over the database with `threads` workers.
+///
+/// With `threads == 1` this is behaviorally equivalent to serial LAM
+/// modulo partition-visit order.
+pub fn plam_run(db: &mut TransactionDb, cfg: &LamConfig, threads: usize) -> LamResult {
+    let threads = threads.max(1);
+    let mut ratio_per_pass = Vec::with_capacity(cfg.passes as usize);
+    let mut localize_seconds = 0.0;
+    let mut mine_seconds = 0.0;
+
+    for pass in 0..cfg.passes {
+        let t0 = Instant::now();
+        let lcfg = LocalizeConfig {
+            seed: cfg
+                .localize
+                .seed
+                .wrapping_add((pass as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..cfg.localize
+        };
+        let parts = localize(db.transactions(), &lcfg);
+        localize_seconds += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        // Static balance: assign each group to the currently lightest
+        // worker (by cell count).
+        let mut buckets: Vec<Vec<&[u32]>> = vec![Vec::new(); threads];
+        let mut loads = vec![0u64; threads];
+        for group in &parts.groups {
+            let cells: u64 = group
+                .iter()
+                .map(|&id| db.transaction(id as usize).len() as u64)
+                .sum();
+            let w = (0..threads)
+                .min_by_key(|&w| loads[w])
+                .expect("at least one worker");
+            loads[w] += cells;
+            buckets[w].push(group);
+        }
+
+        let db_ref: &TransactionDb = db;
+        let utility = cfg.utility;
+        let outputs: Vec<Vec<WorkerOutput>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        bucket
+                            .iter()
+                            .map(|group| mine_group_local(db_ref, group, utility, pass))
+                            .collect::<Vec<WorkerOutput>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+
+        // Deterministic merge in worker/bucket order.
+        for worker in outputs {
+            for out in worker {
+                merge_output(db, out);
+            }
+        }
+        mine_seconds += t1.elapsed().as_secs_f64();
+        ratio_per_pass.push(db.compression_ratio());
+    }
+
+    LamResult {
+        final_ratio: db.compression_ratio(),
+        patterns: db.patterns().len(),
+        ratio_per_pass,
+        localize_seconds,
+        mine_seconds,
+    }
+}
+
+/// Mines one partition in a private mini-database.
+fn mine_group_local(db: &TransactionDb, group: &[u32], utility: crate::utility::Utility, pass: u32) -> WorkerOutput {
+    // Local db over just this group's transactions (ids 0..len).
+    let txs: Vec<Vec<u32>> = group
+        .iter()
+        .map(|&id| db.transaction(id as usize).to_vec())
+        .collect();
+    let mut local = TransactionDb::new(txs);
+    let local_base = local.pattern_base();
+    let local_ids: Vec<u32> = (0..group.len() as u32).collect();
+    mine_partition(&mut local, &local_ids, utility, pass);
+
+    // Encode local pointers with the merge mark.
+    let encode = |items: &[u32]| -> Vec<u32> {
+        items
+            .iter()
+            .map(|&it| {
+                if it >= local_base {
+                    LOCAL_MARK | (it - local_base)
+                } else {
+                    it
+                }
+            })
+            .collect()
+    };
+    let rewritten = group
+        .iter()
+        .enumerate()
+        .map(|(li, &gid)| (gid, encode(local.transaction(li))))
+        .collect();
+    let patterns = local
+        .patterns()
+        .iter()
+        .map(|p| Pattern {
+            items: encode(&p.items),
+            occurrences: p.occurrences,
+            pass: p.pass,
+        })
+        .collect();
+    WorkerOutput {
+        rewritten,
+        patterns,
+    }
+}
+
+/// Folds one worker output into the global database, remapping marks.
+fn merge_output(db: &mut TransactionDb, out: WorkerOutput) {
+    if out.patterns.is_empty() {
+        return; // nothing was mined; transactions unchanged
+    }
+    let offset = db.next_pointer_id();
+    let remap = |items: Vec<u32>| -> Vec<u32> {
+        items
+            .into_iter()
+            .map(|it| {
+                if it & LOCAL_MARK != 0 {
+                    offset + (it & !LOCAL_MARK)
+                } else {
+                    it
+                }
+            })
+            .collect()
+    };
+    for p in out.patterns {
+        db.append_pattern(Pattern {
+            items: {
+                let mut v = remap(p.items);
+                v.sort_unstable();
+                v
+            },
+            occurrences: p.occurrences,
+            pass: p.pass,
+        });
+    }
+    for (gid, items) in out.rewritten {
+        db.replace_transaction(gid as usize, remap(items));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::Lam;
+    use plasma_data::datasets::transactions::QuestSpec;
+
+    fn quest_db(n: usize, seed: u64) -> TransactionDb {
+        TransactionDb::new(QuestSpec::new("q", n, 250).generate(seed))
+    }
+
+    #[test]
+    fn plam_matches_serial_compression_closely() {
+        let mut serial = quest_db(600, 3);
+        let serial_result = Lam::with_passes(3).run(&mut serial);
+        let mut parallel = quest_db(600, 3);
+        let cfg = LamConfig {
+            passes: 3,
+            ..LamConfig::default()
+        };
+        let plam_result = plam_run(&mut parallel, &cfg, 4);
+        let rel = (serial_result.final_ratio - plam_result.final_ratio).abs()
+            / serial_result.final_ratio;
+        assert!(
+            rel < 0.1,
+            "serial {} vs plam {}",
+            serial_result.final_ratio,
+            plam_result.final_ratio
+        );
+    }
+
+    #[test]
+    fn plam_is_lossless() {
+        let txs = QuestSpec::new("q", 400, 200).generate(11);
+        let originals = txs.clone();
+        let mut db = TransactionDb::new(txs);
+        let cfg = LamConfig {
+            passes: 3,
+            ..LamConfig::default()
+        };
+        plam_run(&mut db, &cfg, 3);
+        for (i, orig) in originals.iter().enumerate() {
+            let mut o = orig.clone();
+            o.sort_unstable();
+            o.dedup();
+            assert_eq!(db.expand(i), o, "transaction {i} corrupted by merge");
+        }
+    }
+
+    #[test]
+    fn single_thread_plam_works() {
+        let mut db = quest_db(200, 7);
+        let cfg = LamConfig {
+            passes: 2,
+            ..LamConfig::default()
+        };
+        let r = plam_run(&mut db, &cfg, 1);
+        assert!(r.final_ratio >= 1.0);
+    }
+
+    #[test]
+    fn plam_compresses_like_lam_on_categorical() {
+        use plasma_data::datasets::transactions::CategoricalSpec;
+        let (txs, _) = CategoricalSpec::new("c", 500, 12).generate(5);
+        let mut db = TransactionDb::new(txs);
+        let cfg = LamConfig {
+            passes: 5,
+            ..LamConfig::default()
+        };
+        let r = plam_run(&mut db, &cfg, 2);
+        assert!(r.final_ratio > 1.1, "ratio {}", r.final_ratio);
+        assert_eq!(r.ratio_per_pass.len(), 5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Pattern-set introspection: what did LAM actually find?
+//!
+//! Backs Fig. 4.13 (pattern length vs cumulative compression) and the
+//! qualitative claims about long patterns ("longer patterns are also
+//! often more interesting — for instance in the web graph, as they often
+//! represent link spam").
+
+use crate::db::TransactionDb;
+
+/// One row of the length-vs-compression breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct LengthBucket {
+    /// Upper bound (inclusive) on pattern length for this bucket.
+    pub max_len: usize,
+    /// Patterns in this bucket.
+    pub patterns: usize,
+    /// Cells saved by patterns with length ≤ `max_len` (cumulative).
+    pub cumulative_saved: i64,
+    /// Share of all saved cells (cumulative, 0–1).
+    pub cumulative_share: f64,
+}
+
+/// Cumulative compression contribution by pattern length, on doubling
+/// buckets (≤2, ≤4, ≤8, …).
+pub fn length_breakdown(db: &TransactionDb) -> Vec<LengthBucket> {
+    let mut by_len: Vec<(usize, i64)> = db
+        .patterns()
+        .iter()
+        .map(|p| (p.items.len(), p.saved_cells().max(0)))
+        .collect();
+    by_len.sort_unstable_by_key(|&(l, _)| l);
+    let total: i64 = by_len.iter().map(|&(_, s)| s).sum();
+    let max_len = by_len.last().map_or(0, |&(l, _)| l);
+
+    let mut out = Vec::new();
+    let mut acc_saved = 0i64;
+    let mut acc_patterns = 0usize;
+    let mut bound = 2usize;
+    let mut iter = by_len.iter().peekable();
+    while bound / 2 <= max_len && bound < usize::MAX / 2 {
+        while let Some(&&(l, s)) = iter.peek() {
+            if l <= bound {
+                acc_saved += s;
+                acc_patterns += 1;
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        out.push(LengthBucket {
+            max_len: bound,
+            patterns: acc_patterns,
+            cumulative_saved: acc_saved,
+            cumulative_share: if total > 0 {
+                acc_saved as f64 / total as f64
+            } else {
+                0.0
+            },
+        });
+        if bound >= max_len {
+            break;
+        }
+        bound *= 2;
+    }
+    out
+}
+
+/// The `k` patterns saving the most cells, expanded to original items,
+/// best first. Each entry is `(items, occurrences, saved_cells)`.
+pub fn top_patterns(db: &TransactionDb, k: usize) -> Vec<(Vec<u32>, u32, i64)> {
+    let mut scored: Vec<(i64, usize)> = db
+        .patterns()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.saved_cells(), i))
+        .collect();
+    scored.sort_unstable_by_key(|&(s, _)| std::cmp::Reverse(s));
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(saved, i)| {
+            let p = &db.patterns()[i];
+            (expand_items(db, &p.items), p.occurrences, saved)
+        })
+        .collect()
+}
+
+/// Expands pointer items in a pattern back to original items.
+pub fn expand_items(db: &TransactionDb, items: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut stack: Vec<u32> = items.to_vec();
+    while let Some(it) = stack.pop() {
+        if it >= db.pattern_base() {
+            stack.extend_from_slice(&db.patterns()[(it - db.pattern_base()) as usize].items);
+        } else {
+            out.push(it);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::Lam;
+    use plasma_data::datasets::transactions::QuestSpec;
+
+    fn mined_db() -> TransactionDb {
+        let txs = QuestSpec::new("t", 500, 250).generate(3);
+        let mut db = TransactionDb::new(txs);
+        Lam::with_passes(3).run(&mut db);
+        db
+    }
+
+    #[test]
+    fn breakdown_is_cumulative_and_ends_at_one() {
+        let db = mined_db();
+        let rows = length_breakdown(&db);
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(w[1].cumulative_saved >= w[0].cumulative_saved);
+            assert!(w[1].patterns >= w[0].patterns);
+        }
+        let last = rows.last().expect("non-empty");
+        assert!((last.cumulative_share - 1.0).abs() < 1e-9);
+        assert_eq!(last.patterns, db.patterns().len());
+    }
+
+    #[test]
+    fn top_patterns_sorted_by_savings() {
+        let db = mined_db();
+        let top = top_patterns(&db, 5);
+        assert!(!top.is_empty());
+        for w in top.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        // Expanded items contain no pointer ids.
+        for (items, occ, _) in &top {
+            assert!(items.iter().all(|&it| it < db.pattern_base()));
+            assert!(*occ >= 2);
+        }
+    }
+
+    #[test]
+    fn expand_items_resolves_nesting() {
+        let mut db = TransactionDb::new(vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2]]);
+        db.consume(&[1, 2], &[0, 1, 2], 0);
+        let ptr = db.pattern_base();
+        db.consume(&[3, ptr], &[0, 1], 1);
+        let expanded = expand_items(&db, &db.patterns()[1].items.clone());
+        assert_eq!(expanded, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_db_yields_empty_stats() {
+        let db = TransactionDb::new(vec![vec![1, 2]]);
+        assert!(length_breakdown(&db).is_empty());
+        assert!(top_patterns(&db, 3).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! The partition trie and potential-itemset generation (Algorithms 4–6).
+//!
+//! Transactions of a localized partition are inserted into a trie with
+//! items ordered by descending partition frequency (the FP-growth-style
+//! reordering that maximizes prefix sharing). Each node keeps the ids of
+//! transactions whose reordered form passes through it. Potential itemsets
+//! are the full root-prefixes ending at each *run* of equal transaction
+//! counts, found by walking from maximal nodes back to the root and
+//! coloring runs so shared prefixes are emitted once (Table 4.2 /
+//! Fig. 4.3's example: `{1,2,3,5,6,10,12,15}×3`, `{1,2,3}×5`, `{1,2}×7`).
+
+use plasma_data::hash::FxHashMap;
+
+/// One potential itemset extracted from the trie.
+#[derive(Debug, Clone)]
+pub struct PotentialItemset {
+    /// Items, sorted ascending (ready for subset tests).
+    pub items: Vec<u32>,
+    /// Ids of transactions sharing this prefix.
+    pub transactions: Vec<u32>,
+    /// Total current length of those transactions (for RC scoring).
+    pub tx_len_sum: usize,
+}
+
+struct Node {
+    item: u32,
+    parent: usize,
+    depth: u32,
+    txs: Vec<u32>,
+    children: FxHashMap<u32, usize>,
+    colored: bool,
+}
+
+/// The partition trie.
+pub struct Trie {
+    nodes: Vec<Node>,
+}
+
+impl Trie {
+    /// Builds the trie from `(transaction id, item list)` pairs. Items
+    /// occurring only once in the partition are skipped ("only items which
+    /// occur at least twice are inserted into the trie").
+    pub fn build_from_pairs(txs: &[(u32, &[u32])]) -> Trie {
+        // Partition-local item frequencies.
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        for (_, items) in txs {
+            for &it in items.iter() {
+                *counts.entry(it).or_insert(0) += 1;
+            }
+        }
+        let mut trie = Trie {
+            nodes: vec![Node {
+                item: u32::MAX,
+                parent: usize::MAX,
+                depth: 0,
+                txs: Vec::new(),
+                children: FxHashMap::default(),
+                colored: true, // root is never part of a pattern
+            }],
+        };
+        let mut reordered: Vec<u32> = Vec::new();
+        for &(id, items) in txs {
+            reordered.clear();
+            reordered.extend(items.iter().copied().filter(|it| counts[it] >= 2));
+            // Descending frequency, ties by item id (stable across runs).
+            reordered.sort_unstable_by(|a, b| counts[b].cmp(&counts[a]).then(a.cmp(b)));
+            trie.insert(&reordered, id);
+        }
+        trie
+    }
+
+    fn insert(&mut self, items: &[u32], tx_id: u32) {
+        let mut cur = 0usize;
+        for &it in items {
+            let next = match self.nodes[cur].children.get(&it) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    let depth = self.nodes[cur].depth + 1;
+                    self.nodes.push(Node {
+                        item: it,
+                        parent: cur,
+                        depth,
+                        txs: Vec::new(),
+                        children: FxHashMap::default(),
+                        colored: false,
+                    });
+                    self.nodes[cur].children.insert(it, n);
+                    n
+                }
+            };
+            self.nodes[next].txs.push(tx_id);
+            cur = next;
+        }
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the trie holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Generates the potential itemset list (Algorithms 5 + 6).
+    ///
+    /// `tx_len` reports the current length of a transaction (for RC
+    /// scoring of the potential itemsets).
+    pub fn potential_itemsets(&mut self, tx_len: impl Fn(u32) -> usize) -> Vec<PotentialItemset> {
+        // Maximal nodes: count ≥ 2 and no child with count ≥ 2.
+        let maximal: Vec<usize> = (1..self.nodes.len())
+            .filter(|&n| {
+                let node = &self.nodes[n];
+                node.txs.len() >= 2
+                    && node
+                        .children
+                        .values()
+                        .all(|&c| self.nodes[c].txs.len() < 2)
+            })
+            .collect();
+        let mut out = Vec::new();
+        for m in maximal {
+            self.mark_node(m, &mut out, &tx_len);
+        }
+        out
+    }
+
+    /// Algorithm 6: emit the full prefix ending at `node`'s equal-count
+    /// run, color the run, and recurse into uncolored ancestors.
+    fn mark_node(
+        &mut self,
+        node: usize,
+        out: &mut Vec<PotentialItemset>,
+        tx_len: &impl Fn(u32) -> usize,
+    ) {
+        let count = self.nodes[node].txs.len();
+        if !self.nodes[node].colored && count >= 2 {
+            // The emitted itemset is the whole root prefix; the run
+            // (nodes sharing this count) gets colored.
+            let mut items = Vec::with_capacity(self.nodes[node].depth as usize);
+            let mut cur = node;
+            while cur != 0 {
+                items.push(self.nodes[cur].item);
+                cur = self.nodes[cur].parent;
+            }
+            items.sort_unstable();
+            items.dedup();
+            let transactions = self.nodes[node].txs.clone();
+            let tx_len_sum = transactions.iter().map(|&t| tx_len(t)).sum();
+            if items.len() >= 2 {
+                out.push(PotentialItemset {
+                    items,
+                    transactions,
+                    tx_len_sum,
+                });
+            }
+            // Color the equal-count run.
+            let mut cur = node;
+            while cur != 0 && self.nodes[cur].txs.len() == count {
+                self.nodes[cur].colored = true;
+                cur = self.nodes[cur].parent;
+            }
+            if cur != 0 && !self.nodes[cur].colored {
+                self.mark_node(cur, out, tx_len);
+            }
+        } else if count >= 2 {
+            // Already colored here; an uncolored ancestor may still need
+            // emitting (shared prefix reached from a second branch).
+            let parent = self.nodes[node].parent;
+            if parent != 0 && parent != usize::MAX && !self.nodes[parent].colored {
+                self.mark_node(parent, out, tx_len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Table 4.1 / Fig. 4.3.
+    fn paper_transactions() -> Vec<(u32, Vec<u32>)> {
+        vec![
+            (23, vec![6, 10, 5, 12, 15, 1, 2, 3]),
+            (102, vec![1, 2, 3, 20]),
+            (55, vec![2, 3, 10, 12, 1, 5, 6, 15]),
+            (204, vec![1, 7, 8, 9, 3]),
+            (13, vec![1, 2, 3, 8]),
+            (64, vec![1, 2, 3, 5, 6, 10, 12, 15]),
+            (43, vec![1, 2, 5, 10, 22, 31, 8, 23, 36, 6]),
+            (431, vec![1, 2, 5, 10, 21, 31, 67, 8, 23, 36, 6]),
+        ]
+    }
+
+    fn build_paper_trie() -> (Trie, Vec<(u32, Vec<u32>)>) {
+        let txs = paper_transactions();
+        let pairs: Vec<(u32, &[u32])> = txs.iter().map(|(id, t)| (*id, t.as_slice())).collect();
+        (Trie::build_from_pairs(&pairs), txs)
+    }
+
+    #[test]
+    fn paper_example_yields_table_4_2_patterns() {
+        let (mut trie, txs) = build_paper_trie();
+        let len_of = |id: u32| {
+            txs.iter()
+                .find(|(tid, _)| *tid == id)
+                .map(|(_, t)| t.len())
+                .expect("known id")
+        };
+        let pots = trie.potential_itemsets(len_of);
+        let find = |items: &[u32]| {
+            pots.iter()
+                .find(|p| p.items == items)
+                .unwrap_or_else(|| panic!("pattern {items:?} missing from {pots:?}"))
+        };
+        // The three headline patterns of Table 4.2.
+        let p8 = find(&[1, 2, 3, 5, 6, 10, 12, 15]);
+        assert_eq!(p8.transactions.len(), 3);
+        let p9 = find(&[1, 2, 5, 6, 8, 10, 23, 31, 36]);
+        assert_eq!(p9.transactions.len(), 2);
+        let p3 = find(&[1, 2, 3]);
+        assert_eq!(p3.transactions.len(), 5);
+    }
+
+    #[test]
+    fn utilities_match_table_4_2() {
+        use crate::utility::Utility;
+        let (mut trie, txs) = build_paper_trie();
+        let len_of = |id: u32| {
+            txs.iter()
+                .find(|(tid, _)| *tid == id)
+                .map(|(_, t)| t.len())
+                .expect("known id")
+        };
+        let pots = trie.potential_itemsets(len_of);
+        let util = |items: &[u32]| {
+            let p = pots.iter().find(|p| p.items == items).expect("present");
+            Utility::Area.score(
+                p.items.len(),
+                &p.transactions.iter().map(|&t| len_of(t)).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(util(&[1, 2, 3, 5, 6, 10, 12, 15]), 14.0);
+        assert_eq!(util(&[1, 2, 5, 6, 8, 10, 23, 31, 36]), 8.0);
+        assert_eq!(util(&[1, 2, 3]), 8.0);
+    }
+
+    #[test]
+    fn singleton_items_are_dropped() {
+        let txs: Vec<(u32, Vec<u32>)> = vec![(0, vec![1, 2, 99]), (1, vec![1, 2, 98])];
+        let pairs: Vec<(u32, &[u32])> = txs.iter().map(|(id, t)| (*id, t.as_slice())).collect();
+        let mut trie = Trie::build_from_pairs(&pairs);
+        let pots = trie.potential_itemsets(|_| 3);
+        assert_eq!(pots.len(), 1);
+        assert_eq!(pots[0].items, vec![1, 2]);
+        assert_eq!(pots[0].transactions.len(), 2);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let mut trie = Trie::build_from_pairs(&[]);
+        assert!(trie.is_empty());
+        assert!(trie.potential_itemsets(|_| 0).is_empty());
+    }
+
+    #[test]
+    fn disjoint_transactions_yield_nothing() {
+        let txs: Vec<(u32, Vec<u32>)> = vec![(0, vec![1, 2]), (1, vec![3, 4])];
+        let pairs: Vec<(u32, &[u32])> = txs.iter().map(|(id, t)| (*id, t.as_slice())).collect();
+        let mut trie = Trie::build_from_pairs(&pairs);
+        assert!(trie.potential_itemsets(|_| 2).is_empty());
+    }
+}

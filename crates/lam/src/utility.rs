@@ -1,0 +1,100 @@
+//! Pattern utility functions (§4.4.2).
+//!
+//! * **Area** — `(L−1)·(F−1)`: cells saved by replacing `F` occurrences of
+//!   an `L`-item pattern with pointers plus one code-table entry.
+//! * **Relative Closedness (RC)** — `Σ_{t ∋ I} |I| / |t|`: how much of each
+//!   covering transaction the pattern explains; favors patterns that
+//!   dominate their transactions (the paper's counter-example dataset is
+//!   compressed optimally by RC but not by Area).
+
+/// The two utility functions LAM supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Utility {
+    /// `(L−1)·(F−1)`.
+    Area,
+    /// `Σ |I| / |t|` over covering transactions.
+    RelativeClosedness,
+}
+
+impl Utility {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Utility::Area => "Area",
+            Utility::RelativeClosedness => "RC",
+        }
+    }
+
+    /// Scores a pattern of length `len` whose covering transactions have
+    /// the given lengths.
+    pub fn score(self, len: usize, tx_lengths: &[usize]) -> f64 {
+        match self {
+            Utility::Area => {
+                (len.saturating_sub(1) as f64) * (tx_lengths.len().saturating_sub(1) as f64)
+            }
+            Utility::RelativeClosedness => tx_lengths
+                .iter()
+                .map(|&tl| len as f64 / tl.max(1) as f64)
+                .sum(),
+        }
+    }
+
+    /// Fast rescoring from summary stats (`O(1)`, as the consume loop
+    /// requires): `len`, `frequency`, and the mean covering-transaction
+    /// length.
+    pub fn score_fast(self, len: usize, frequency: usize, mean_tx_len: f64) -> f64 {
+        match self {
+            Utility::Area => {
+                (len.saturating_sub(1) as f64) * (frequency.saturating_sub(1) as f64)
+            }
+            Utility::RelativeClosedness => frequency as f64 * len as f64 / mean_tx_len.max(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_matches_formula() {
+        assert_eq!(Utility::Area.score(8, &[10, 10, 10]), 14.0); // (8−1)(3−1)
+        assert_eq!(Utility::Area.score(1, &[5, 5]), 0.0);
+        assert_eq!(Utility::Area.score(5, &[9]), 0.0);
+    }
+
+    #[test]
+    fn rc_sums_coverage_fractions() {
+        // |I|=3 over transactions of lengths 3 and 6 → 1 + 0.5.
+        let s = Utility::RelativeClosedness.score(3, &[3, 6]);
+        assert!((s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_counter_example_ordering() {
+        // Fig. 4.2: rows 1–2 are {1..12}; rows 3–6 are {10,11,12}.
+        // Area prefers the 12-itemset (11×1=11) over {10,11,12} (2×5=10);
+        // RC prefers {10,11,12}: 2×(3/12) + 4×(3/3) = 4.5 vs 2×(12/12) = 2.
+        let area_big = Utility::Area.score(12, &[12, 12]);
+        let area_small = Utility::Area.score(3, &[12, 12, 3, 3, 3, 3]);
+        assert!(area_big > area_small);
+        let rc_big = Utility::RelativeClosedness.score(12, &[12, 12]);
+        let rc_small = Utility::RelativeClosedness.score(3, &[12, 12, 3, 3, 3, 3]);
+        assert!(rc_small > rc_big);
+    }
+
+    #[test]
+    fn fast_score_agrees_with_exact_for_area() {
+        assert_eq!(
+            Utility::Area.score_fast(6, 4, 10.0),
+            Utility::Area.score(6, &[10, 10, 10, 10])
+        );
+    }
+
+    #[test]
+    fn fast_score_rc_uses_mean_length() {
+        let exact = Utility::RelativeClosedness.score(3, &[6, 6]);
+        let fast = Utility::RelativeClosedness.score_fast(3, 2, 6.0);
+        assert!((exact - fast).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for LAM: losslessness, cost-model soundness, and
+//! localization coverage on arbitrary transaction databases.
+
+use proptest::prelude::*;
+
+use plasma_lam::db::{contains_sorted, TransactionDb};
+use plasma_lam::localize::{localize, LocalizeConfig};
+use plasma_lam::miner::Lam;
+
+fn arb_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..120, 1..25), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lam_is_always_lossless(txs in arb_transactions(), passes in 1u32..4) {
+        let canonical: Vec<Vec<u32>> = txs
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let mut db = TransactionDb::new(txs);
+        Lam::with_passes(passes).run(&mut db);
+        for (i, orig) in canonical.iter().enumerate() {
+            prop_assert_eq!(&db.expand(i), orig, "transaction {} corrupted", i);
+        }
+    }
+
+    #[test]
+    fn lam_never_inflates_the_database(txs in arb_transactions()) {
+        let mut db = TransactionDb::new(txs);
+        let before = db.original_cells();
+        Lam::with_passes(3).run(&mut db);
+        prop_assert!(
+            db.compressed_cells() <= before,
+            "compressed {} > original {}",
+            db.compressed_cells(),
+            before
+        );
+    }
+
+    #[test]
+    fn ratio_per_pass_is_nondecreasing(txs in arb_transactions()) {
+        let mut db = TransactionDb::new(txs);
+        let r = Lam::with_passes(4).run(&mut db);
+        for w in r.ratio_per_pass.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_code_table_pattern_is_used_at_least_twice(txs in arb_transactions()) {
+        let mut db = TransactionDb::new(txs);
+        Lam::with_passes(3).run(&mut db);
+        for p in db.patterns() {
+            prop_assert!(p.occurrences >= 2, "pattern used {} times", p.occurrences);
+            prop_assert!(p.items.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn localization_partitions_exactly(txs in arb_transactions(), threshold in 2usize..40) {
+        let cfg = LocalizeConfig {
+            threshold,
+            ..LocalizeConfig::default()
+        };
+        let parts = localize(&txs, &cfg);
+        prop_assert_eq!(parts.total(), txs.len());
+        let mut seen = vec![false; txs.len()];
+        for g in &parts.groups {
+            for &id in g {
+                prop_assert!(!seen[id as usize], "duplicate assignment of {}", id);
+                seen[id as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn contains_sorted_matches_hashset_semantics(
+        hay in proptest::collection::btree_set(0u32..200, 0..40),
+        needle in proptest::collection::btree_set(0u32..200, 0..15)
+    ) {
+        let hay_v: Vec<u32> = hay.iter().copied().collect();
+        let needle_v: Vec<u32> = needle.iter().copied().collect();
+        let expected = needle.is_subset(&hay);
+        prop_assert_eq!(contains_sorted(&hay_v, &needle_v), expected);
+    }
+
+    #[test]
+    fn compression_ratio_formula_consistent(txs in arb_transactions()) {
+        let mut db = TransactionDb::new(txs);
+        Lam::with_passes(2).run(&mut db);
+        let expected = db.original_cells() as f64 / db.compressed_cells().max(1) as f64;
+        prop_assert!((db.compression_ratio() - expected).abs() < 1e-12);
+    }
+}

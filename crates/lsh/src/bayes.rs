@@ -1,0 +1,655 @@
+//! BayesLSH inference: posterior reasoning over pair similarity.
+//!
+//! For a candidate pair, hashes are compared incrementally in batches. With
+//! `m` matches out of `n` hashes, the likelihood of true similarity `s` is
+//! binomial in the family's collision probability `p(s)`. Under a uniform
+//! prior over the similarity domain, the (discretized) posterior yields:
+//!
+//! * the **pruning** rule of Eq. 2.1 — stop and discard when
+//!   `Pr(S ≥ t | m, n) < ε`;
+//! * the **concentration** rule of Eq. 2.2 — stop and accept when
+//!   `Pr(|ŝ − s| ≥ δ) < γ` around the posterior-mode estimate `ŝ`;
+//! * the memoized per-pair record PLASMA-HD keeps (MAP estimate, variance,
+//!   `m`, `n`) that powers the Cumulative APSS Graph and knowledge cache.
+//!
+//! The posterior is evaluated on a fixed grid; log-collision probabilities
+//! are precomputed once per `(family, grid)` so each pair evaluation is a
+//! few hundred fused multiply-adds.
+
+use crate::family::LshFamily;
+use crate::sketch::SketchSet;
+
+/// Tunable parameters of the BayesLSH stopping rules.
+#[derive(Debug, Clone, Copy)]
+pub struct BayesParams {
+    /// False-negative tolerance ε of the pruning rule (Eq. 2.1).
+    pub epsilon: f64,
+    /// Accuracy half-width δ of the concentration rule (Eq. 2.2).
+    pub delta: f64,
+    /// Miss probability γ of the concentration rule (Eq. 2.2).
+    pub gamma: f64,
+    /// Hashes compared per inference step.
+    pub batch: usize,
+}
+
+impl Default for BayesParams {
+    fn default() -> Self {
+        // The BayesLSH paper's recommended operating point.
+        Self {
+            epsilon: 0.03,
+            delta: 0.05,
+            gamma: 0.03,
+            batch: 32,
+        }
+    }
+}
+
+/// Outcome of evaluating one candidate pair at threshold `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PairDecision {
+    /// `Pr(S ≥ t) < ε`: the pair is discarded.
+    Pruned,
+    /// The similarity estimate concentrated: the pair is reported with the
+    /// given estimate (it may still fall below `t`; the caller filters).
+    Accepted,
+    /// All hashes were consumed without either rule firing; the estimate is
+    /// the best available (callers may fall back to an exact computation).
+    Exhausted,
+}
+
+/// Memoized evaluation record for one pair — the unit of PLASMA-HD's
+/// knowledge cache (§2.2.1: "we log the maximum a posteriori similarity
+/// estimate of the pair given n … and m … and the estimate variance").
+#[derive(Debug, Clone, Copy)]
+pub struct PairEstimate {
+    /// How the evaluation ended.
+    pub decision: PairDecision,
+    /// Matching hashes when evaluation stopped.
+    pub matches: u32,
+    /// Hashes compared when evaluation stopped.
+    pub hashes: u32,
+    /// Posterior-mode (MAP) similarity estimate.
+    pub map_similarity: f64,
+    /// Posterior variance of the similarity.
+    pub variance: f64,
+}
+
+/// The BayesLSH inference engine for one hash family.
+#[derive(Debug, Clone)]
+pub struct BayesLsh {
+    family: LshFamily,
+    params: BayesParams,
+    /// Similarity grid points.
+    grid: Vec<f64>,
+    /// `ln p(s_i)` per grid point.
+    log_p: Vec<f64>,
+    /// `ln (1 − p(s_i))` per grid point.
+    log_q: Vec<f64>,
+}
+
+/// Number of posterior grid points. 256 keeps tail probabilities accurate
+/// to well under the ε/γ values in use while staying cache-resident.
+const GRID: usize = 256;
+
+impl BayesLsh {
+    /// Creates an engine for the family with the given stopping parameters.
+    pub fn new(family: LshFamily, params: BayesParams) -> Self {
+        let lo = family.domain_min();
+        let hi = 1.0;
+        let mut grid = Vec::with_capacity(GRID);
+        let mut log_p = Vec::with_capacity(GRID);
+        let mut log_q = Vec::with_capacity(GRID);
+        for i in 0..GRID {
+            let s = lo + (hi - lo) * (i as f64 + 0.5) / GRID as f64;
+            // Clamp p into (0,1) so logs stay finite at the endpoints.
+            let p = family.match_probability(s).clamp(1e-12, 1.0 - 1e-12);
+            grid.push(s);
+            log_p.push(p.ln());
+            log_q.push((1.0 - p).ln());
+        }
+        Self {
+            family,
+            params,
+            grid,
+            log_p,
+            log_q,
+        }
+    }
+
+    /// The engine's family.
+    pub fn family(&self) -> LshFamily {
+        self.family
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> BayesParams {
+        self.params
+    }
+
+    /// Posterior over the similarity grid given `m` matches in `n` hashes.
+    /// Returns normalized weights parallel to [`grid`](Self::grid_points).
+    pub fn posterior(&self, m: u32, n: u32) -> Vec<f64> {
+        debug_assert!(m <= n);
+        let mf = m as f64;
+        let nf = n as f64;
+        let mut logw = vec![0.0f64; GRID];
+        let mut max = f64::NEG_INFINITY;
+        for (i, w) in logw.iter_mut().enumerate() {
+            let lw = mf * self.log_p[i] + (nf - mf) * self.log_q[i];
+            *w = lw;
+            if lw > max {
+                max = lw;
+            }
+        }
+        let mut total = 0.0;
+        for lw in &mut logw {
+            *lw = (*lw - max).exp();
+            total += *lw;
+        }
+        for w in &mut logw {
+            *w /= total;
+        }
+        logw
+    }
+
+    /// The similarity grid points.
+    pub fn grid_points(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// `Pr(S ≥ t | m, n)` under the discretized posterior.
+    pub fn prob_at_least(&self, m: u32, n: u32, t: f64) -> f64 {
+        let post = self.posterior(m, n);
+        self.tail_mass(&post, t)
+    }
+
+    fn tail_mass(&self, post: &[f64], t: f64) -> f64 {
+        let mut acc = 0.0;
+        for (i, &w) in post.iter().enumerate() {
+            if self.grid[i] >= t {
+                acc += w;
+            }
+        }
+        acc
+    }
+
+    /// Posterior summary: (MAP, mean, variance).
+    pub fn summarize(&self, post: &[f64]) -> (f64, f64, f64) {
+        let mut map_i = 0;
+        let mut best = -1.0;
+        let mut mean = 0.0;
+        for (i, &w) in post.iter().enumerate() {
+            if w > best {
+                best = w;
+                map_i = i;
+            }
+            mean += w * self.grid[i];
+        }
+        let mut var = 0.0;
+        for (i, &w) in post.iter().enumerate() {
+            let d = self.grid[i] - mean;
+            var += w * d * d;
+        }
+        (self.grid[map_i], mean, var)
+    }
+
+    /// Evaluates one candidate pair from its sketches at threshold `t`,
+    /// applying pruning and concentration incrementally in batches.
+    pub fn evaluate_pair(
+        &self,
+        sketches: &SketchSet,
+        i: usize,
+        j: usize,
+        t: f64,
+    ) -> PairEstimate {
+        let max_n = sketches.n_hashes();
+        let mut n = 0usize;
+        loop {
+            n = (n + self.params.batch).min(max_n);
+            let m = sketches.matches(i, j, n);
+            let post = self.posterior(m, n as u32);
+            let (map, _mean, var) = self.summarize(&post);
+
+            // Pruning rule (Eq. 2.1).
+            if self.tail_mass(&post, t) < self.params.epsilon {
+                return PairEstimate {
+                    decision: PairDecision::Pruned,
+                    matches: m,
+                    hashes: n as u32,
+                    map_similarity: map,
+                    variance: var,
+                };
+            }
+            // Concentration rule (Eq. 2.2): mass within ±δ of the estimate.
+            let mut inside = 0.0;
+            for (gi, &w) in post.iter().enumerate() {
+                if (self.grid[gi] - map).abs() < self.params.delta {
+                    inside += w;
+                }
+            }
+            if 1.0 - inside < self.params.gamma {
+                return PairEstimate {
+                    decision: PairDecision::Accepted,
+                    matches: m,
+                    hashes: n as u32,
+                    map_similarity: map,
+                    variance: var,
+                };
+            }
+            if n == max_n {
+                return PairEstimate {
+                    decision: PairDecision::Exhausted,
+                    matches: m,
+                    hashes: n as u32,
+                    map_similarity: map,
+                    variance: var,
+                };
+            }
+        }
+    }
+
+    /// Builds a lazily-filled decision table for probing at threshold `t`.
+    ///
+    /// Per probe there are only `Σ_k n_k ≈ 1.2k` distinct `(m, n)` cells
+    /// (batch schedule × match counts), so memoizing the stopping-rule
+    /// decisions turns per-pair inference into table lookups — the
+    /// precomputation BayesLSH relies on for its throughput.
+    pub fn probe_table(&self, t: f64) -> ProbeTable<'_> {
+        ProbeTable {
+            engine: self,
+            threshold: t,
+            cells: plasma_data::hash::FxHashMap::default(),
+        }
+    }
+
+    /// Computes the decision cell for `(m, n)` at threshold `t`.
+    fn decide(&self, m: u32, n: u32, t: f64) -> Cell {
+        let post = self.posterior(m, n);
+        let (map, _mean, var) = self.summarize(&post);
+        let prune = self.tail_mass(&post, t) < self.params.epsilon;
+        let mut inside = 0.0;
+        for (gi, &w) in post.iter().enumerate() {
+            if (self.grid[gi] - map).abs() < self.params.delta {
+                inside += w;
+            }
+        }
+        let accept = 1.0 - inside < self.params.gamma;
+        Cell {
+            prune,
+            accept,
+            map,
+            var,
+        }
+    }
+
+    /// Resumes an evaluation memoized at `(m₀, n₀)` toward a new threshold,
+    /// comparing additional hashes only if the cached prefix cannot decide.
+    /// This is the knowledge-cache fast path: re-probing at `t2` reuses the
+    /// match counts recorded at `t1`.
+    pub fn reevaluate_cached(
+        &self,
+        sketches: &SketchSet,
+        i: usize,
+        j: usize,
+        cached: PairEstimate,
+        t: f64,
+    ) -> PairEstimate {
+        // Decide from the cached prefix first.
+        let post = self.posterior(cached.matches, cached.hashes);
+        let (map, _mean, var) = self.summarize(&post);
+        if self.tail_mass(&post, t) < self.params.epsilon {
+            return PairEstimate {
+                decision: PairDecision::Pruned,
+                matches: cached.matches,
+                hashes: cached.hashes,
+                map_similarity: map,
+                variance: var,
+            };
+        }
+        let mut inside = 0.0;
+        for (gi, &w) in post.iter().enumerate() {
+            if (self.grid[gi] - map).abs() < self.params.delta {
+                inside += w;
+            }
+        }
+        if 1.0 - inside < self.params.gamma {
+            return PairEstimate {
+                decision: PairDecision::Accepted,
+                matches: cached.matches,
+                hashes: cached.hashes,
+                map_similarity: map,
+                variance: var,
+            };
+        }
+        // The cached prefix is inconclusive at the new threshold: continue
+        // hashing from where the cache stopped.
+        if (cached.hashes as usize) < sketches.n_hashes() {
+            let mut n = cached.hashes as usize;
+            let max_n = sketches.n_hashes();
+            loop {
+                n = (n + self.params.batch).min(max_n);
+                let m = sketches.matches(i, j, n);
+                let post = self.posterior(m, n as u32);
+                let (map, _mean, var) = self.summarize(&post);
+                if self.tail_mass(&post, t) < self.params.epsilon {
+                    return PairEstimate {
+                        decision: PairDecision::Pruned,
+                        matches: m,
+                        hashes: n as u32,
+                        map_similarity: map,
+                        variance: var,
+                    };
+                }
+                let mut inside = 0.0;
+                for (gi, &w) in post.iter().enumerate() {
+                    if (self.grid[gi] - map).abs() < self.params.delta {
+                        inside += w;
+                    }
+                }
+                if 1.0 - inside < self.params.gamma {
+                    return PairEstimate {
+                        decision: PairDecision::Accepted,
+                        matches: m,
+                        hashes: n as u32,
+                        map_similarity: map,
+                        variance: var,
+                    };
+                }
+                if n == max_n {
+                    return PairEstimate {
+                        decision: PairDecision::Exhausted,
+                        matches: m,
+                        hashes: n as u32,
+                        map_similarity: map,
+                        variance: var,
+                    };
+                }
+            }
+        }
+        PairEstimate {
+            decision: PairDecision::Exhausted,
+            matches: cached.matches,
+            hashes: cached.hashes,
+            map_similarity: map,
+            variance: var,
+        }
+    }
+}
+
+/// One memoized stopping-rule decision.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    prune: bool,
+    accept: bool,
+    map: f64,
+    var: f64,
+}
+
+/// Lazily-filled `(m, n) → decision` table for one probe threshold.
+pub struct ProbeTable<'a> {
+    engine: &'a BayesLsh,
+    threshold: f64,
+    cells: plasma_data::hash::FxHashMap<(u32, u32), Cell>,
+}
+
+impl ProbeTable<'_> {
+    /// The probe threshold this table serves.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn cell(&mut self, m: u32, n: u32) -> Cell {
+        let engine = self.engine;
+        let t = self.threshold;
+        *self
+            .cells
+            .entry((m, n))
+            .or_insert_with(|| engine.decide(m, n, t))
+    }
+
+    /// Table-driven equivalent of [`BayesLsh::evaluate_pair`].
+    pub fn evaluate_pair(
+        &mut self,
+        sketches: &SketchSet,
+        i: usize,
+        j: usize,
+    ) -> PairEstimate {
+        let max_n = sketches.n_hashes();
+        let batch = self.engine.params.batch;
+        let mut n = 0usize;
+        loop {
+            n = (n + batch).min(max_n);
+            let m = sketches.matches(i, j, n);
+            let cell = self.cell(m, n as u32);
+            if cell.prune {
+                return PairEstimate {
+                    decision: PairDecision::Pruned,
+                    matches: m,
+                    hashes: n as u32,
+                    map_similarity: cell.map,
+                    variance: cell.var,
+                };
+            }
+            if cell.accept {
+                return PairEstimate {
+                    decision: PairDecision::Accepted,
+                    matches: m,
+                    hashes: n as u32,
+                    map_similarity: cell.map,
+                    variance: cell.var,
+                };
+            }
+            if n == max_n {
+                return PairEstimate {
+                    decision: PairDecision::Exhausted,
+                    matches: m,
+                    hashes: n as u32,
+                    map_similarity: cell.map,
+                    variance: cell.var,
+                };
+            }
+        }
+    }
+
+    /// Table-driven equivalent of [`BayesLsh::reevaluate_cached`]: decide
+    /// from the cached `(m, n)` prefix, hashing further only when the
+    /// prefix is inconclusive at this table's threshold.
+    pub fn reevaluate_cached(
+        &mut self,
+        sketches: &SketchSet,
+        i: usize,
+        j: usize,
+        cached: PairEstimate,
+    ) -> PairEstimate {
+        let cell = self.cell(cached.matches, cached.hashes);
+        if cell.prune {
+            return PairEstimate {
+                decision: PairDecision::Pruned,
+                matches: cached.matches,
+                hashes: cached.hashes,
+                map_similarity: cell.map,
+                variance: cell.var,
+            };
+        }
+        if cell.accept {
+            return PairEstimate {
+                decision: PairDecision::Accepted,
+                matches: cached.matches,
+                hashes: cached.hashes,
+                map_similarity: cell.map,
+                variance: cell.var,
+            };
+        }
+        if (cached.hashes as usize) < sketches.n_hashes() {
+            let max_n = sketches.n_hashes();
+            let batch = self.engine.params.batch;
+            let mut n = cached.hashes as usize;
+            loop {
+                n = (n + batch).min(max_n);
+                let m = sketches.matches(i, j, n);
+                let cell = self.cell(m, n as u32);
+                if cell.prune || cell.accept || n == max_n {
+                    let decision = if cell.prune {
+                        PairDecision::Pruned
+                    } else if cell.accept {
+                        PairDecision::Accepted
+                    } else {
+                        PairDecision::Exhausted
+                    };
+                    return PairEstimate {
+                        decision,
+                        matches: m,
+                        hashes: n as u32,
+                        map_similarity: cell.map,
+                        variance: cell.var,
+                    };
+                }
+            }
+        }
+        PairEstimate {
+            decision: PairDecision::Exhausted,
+            matches: cached.matches,
+            hashes: cached.hashes,
+            map_similarity: cell.map,
+            variance: cell.var,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::Sketcher;
+    use plasma_data::vector::SparseVector;
+
+    fn engine(fam: LshFamily) -> BayesLsh {
+        BayesLsh::new(fam, BayesParams::default())
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let e = engine(LshFamily::MinHash);
+        for &(m, n) in &[(0u32, 32u32), (16, 32), (32, 32), (100, 128)] {
+            let p = e.posterior(m, n);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "({m},{n}) sums to {total}");
+        }
+    }
+
+    #[test]
+    fn posterior_mode_tracks_match_rate_minhash() {
+        let e = engine(LshFamily::MinHash);
+        let post = e.posterior(96, 128);
+        let (map, mean, var) = e.summarize(&post);
+        assert!((map - 0.75).abs() < 0.05, "map {map}");
+        assert!((mean - 0.75).abs() < 0.05, "mean {mean}");
+        assert!(var > 0.0 && var < 0.01);
+    }
+
+    #[test]
+    fn posterior_mode_tracks_cosine_for_simhash() {
+        let e = engine(LshFamily::SimHash);
+        // Match rate 0.9 → cosine = cos(0.1π) ≈ 0.951.
+        let post = e.posterior(230, 256);
+        let (map, _, _) = e.summarize(&post);
+        let expected = (0.1 * std::f64::consts::PI).cos();
+        assert!((map - expected).abs() < 0.06, "map {map} vs {expected}");
+    }
+
+    #[test]
+    fn prob_at_least_behaves_monotonically() {
+        let e = engine(LshFamily::MinHash);
+        let p_low = e.prob_at_least(10, 64, 0.5);
+        let p_high = e.prob_at_least(60, 64, 0.5);
+        assert!(p_low < 0.01, "low match rate should rule out s≥0.5: {p_low}");
+        assert!(p_high > 0.99, "high match rate should imply s≥0.5: {p_high}");
+    }
+
+    #[test]
+    fn variance_shrinks_with_more_hashes() {
+        let e = engine(LshFamily::MinHash);
+        let (_, _, v1) = e.summarize(&e.posterior(16, 32));
+        let (_, _, v2) = e.summarize(&e.posterior(128, 256));
+        assert!(v2 < v1, "more evidence must concentrate the posterior");
+    }
+
+    #[test]
+    fn dissimilar_pair_is_pruned_quickly() {
+        let a = SparseVector::from_set((0..100).collect());
+        let b = SparseVector::from_set((1000..1100).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 256, 3).sketch_all(&[a, b]);
+        let e = engine(LshFamily::MinHash);
+        let r = e.evaluate_pair(&sk, 0, 1, 0.7);
+        assert_eq!(r.decision, PairDecision::Pruned);
+        assert!(
+            r.hashes < 128,
+            "pruning should fire well before exhausting hashes, used {}",
+            r.hashes
+        );
+    }
+
+    #[test]
+    fn similar_pair_is_accepted_with_good_estimate() {
+        let a = SparseVector::from_set((0..200).collect());
+        let b = SparseVector::from_set((20..220).collect()); // jaccard = 180/220
+        let truth = 180.0 / 220.0;
+        let sk = Sketcher::new(LshFamily::MinHash, 512, 5).sketch_all(&[a, b]);
+        let e = engine(LshFamily::MinHash);
+        let r = e.evaluate_pair(&sk, 0, 1, 0.5);
+        assert_ne!(r.decision, PairDecision::Pruned);
+        assert!(
+            (r.map_similarity - truth).abs() < 0.1,
+            "estimate {} vs truth {truth}",
+            r.map_similarity
+        );
+    }
+
+    #[test]
+    fn probe_table_matches_direct_evaluation() {
+        let a = SparseVector::from_set((0..150).collect());
+        let b = SparseVector::from_set((40..190).collect());
+        let c = SparseVector::from_set((500..650).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 256, 4).sketch_all(&[a, b, c]);
+        let e = engine(LshFamily::MinHash);
+        let mut table = e.probe_table(0.6);
+        for &(i, j) in &[(0usize, 1usize), (0, 2), (1, 2)] {
+            let direct = e.evaluate_pair(&sk, i, j, 0.6);
+            let tabled = table.evaluate_pair(&sk, i, j);
+            assert_eq!(direct.decision, tabled.decision, "pair ({i},{j})");
+            assert_eq!(direct.matches, tabled.matches);
+            assert_eq!(direct.hashes, tabled.hashes);
+            assert!((direct.map_similarity - tabled.map_similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probe_table_cached_reevaluation_matches_direct() {
+        let a = SparseVector::from_set((0..150).collect());
+        let b = SparseVector::from_set((50..200).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 384, 9).sketch_all(&[a, b]);
+        let e = engine(LshFamily::MinHash);
+        let first = e.evaluate_pair(&sk, 0, 1, 0.9);
+        let direct = e.reevaluate_cached(&sk, 0, 1, first, 0.3);
+        let mut table = e.probe_table(0.3);
+        let tabled = table.reevaluate_cached(&sk, 0, 1, first);
+        assert_eq!(direct.decision, tabled.decision);
+        assert_eq!(direct.matches, tabled.matches);
+        assert_eq!(direct.hashes, tabled.hashes);
+    }
+
+    #[test]
+    fn cached_reevaluation_agrees_with_fresh() {
+        let a = SparseVector::from_set((0..150).collect());
+        let b = SparseVector::from_set((50..200).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 384, 9).sketch_all(&[a, b]);
+        let e = engine(LshFamily::MinHash);
+        let first = e.evaluate_pair(&sk, 0, 1, 0.9);
+        let resumed = e.reevaluate_cached(&sk, 0, 1, first, 0.3);
+        let fresh = e.evaluate_pair(&sk, 0, 1, 0.3);
+        // Decisions agree; estimates are close (hash prefix may differ).
+        assert_eq!(resumed.decision, fresh.decision);
+        assert!((resumed.map_similarity - fresh.map_similarity).abs() < 0.1);
+        // And the cached path never compares fewer hashes than the cache.
+        assert!(resumed.hashes >= first.hashes.min(sk.n_hashes() as u32));
+    }
+}

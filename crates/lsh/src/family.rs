@@ -1,0 +1,121 @@
+//! LSH families and their collision-probability curves.
+
+use plasma_data::similarity::Similarity;
+
+/// An LSH family, tied to the similarity measure it estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LshFamily {
+    /// Min-wise independent permutations; one 64-bit min-hash per
+    /// permutation. `Pr[h(a) = h(b)] = jaccard(a, b)`.
+    MinHash,
+    /// Random-hyperplane sign bits. `Pr[bit(a) = bit(b)] = 1 − θ/π` where
+    /// `θ = arccos(cosine(a, b))`.
+    SimHash,
+}
+
+impl LshFamily {
+    /// The family matching a similarity measure.
+    pub fn for_measure(measure: Similarity) -> Self {
+        match measure {
+            Similarity::Jaccard => LshFamily::MinHash,
+            Similarity::Cosine => LshFamily::SimHash,
+        }
+    }
+
+    /// The similarity measure this family estimates.
+    pub fn measure(self) -> Similarity {
+        match self {
+            LshFamily::MinHash => Similarity::Jaccard,
+            LshFamily::SimHash => Similarity::Cosine,
+        }
+    }
+
+    /// Probability a single hash matches, as a function of similarity `s`.
+    ///
+    /// For SimHash, `s` is cosine similarity in `[−1, 1]`; for MinHash,
+    /// Jaccard in `[0, 1]`.
+    pub fn match_probability(self, s: f64) -> f64 {
+        match self {
+            LshFamily::MinHash => s.clamp(0.0, 1.0),
+            LshFamily::SimHash => 1.0 - s.clamp(-1.0, 1.0).acos() / std::f64::consts::PI,
+        }
+    }
+
+    /// Inverse of [`match_probability`](Self::match_probability): the
+    /// similarity whose expected match rate is `p`.
+    pub fn similarity_from_match_rate(self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match self {
+            LshFamily::MinHash => p,
+            LshFamily::SimHash => ((1.0 - p) * std::f64::consts::PI).cos(),
+        }
+    }
+
+    /// Lower bound of the similarity domain (−1 for cosine, 0 for Jaccard).
+    pub fn domain_min(self) -> f64 {
+        match self {
+            LshFamily::MinHash => 0.0,
+            LshFamily::SimHash => -1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minhash_probability_is_identity() {
+        assert_eq!(LshFamily::MinHash.match_probability(0.3), 0.3);
+        assert_eq!(LshFamily::MinHash.match_probability(1.2), 1.0);
+    }
+
+    #[test]
+    fn simhash_probability_endpoints() {
+        let f = LshFamily::SimHash;
+        assert!((f.match_probability(1.0) - 1.0).abs() < 1e-12);
+        assert!((f.match_probability(-1.0) - 0.0).abs() < 1e-12);
+        assert!((f.match_probability(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_roundtrips() {
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            for s in [-0.5, 0.0, 0.2, 0.5, 0.9, 0.99] {
+                if fam == LshFamily::MinHash && s < 0.0 {
+                    continue;
+                }
+                let p = fam.match_probability(s);
+                let back = fam.similarity_from_match_rate(p);
+                assert!(
+                    (back - s).abs() < 1e-9,
+                    "{fam:?}: {s} → {p} → {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_measure_mapping() {
+        assert_eq!(
+            LshFamily::for_measure(Similarity::Cosine),
+            LshFamily::SimHash
+        );
+        assert_eq!(LshFamily::MinHash.measure(), Similarity::Jaccard);
+    }
+
+    #[test]
+    fn match_probability_is_monotone() {
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let lo = fam.domain_min();
+            let mut prev = -1.0;
+            let mut s = lo;
+            while s <= 1.0 {
+                let p = fam.match_probability(s);
+                assert!(p >= prev);
+                prev = p;
+                s += 0.05;
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Locality-sensitive hashing and BayesLSH inference for PLASMA-HD.
+//!
+//! PLASMA-HD stores each record's LSH hashes as a single concatenated sketch
+//! (§2.4: "maintains the LSH hashes as a single concatenated sketch" so all
+//! candidate pairs can be compared cache-friendlily), then reasons about
+//! pair similarity with BayesLSH: a Bayesian posterior over the true
+//! similarity given `m` matching hashes out of `n` compared, with early
+//! *pruning* (Eq. 2.1) and *concentration* (Eq. 2.2) stopping rules.
+//!
+//! Two hash families cover the paper's measures:
+//! * min-wise hashing for Jaccard — `Pr[match] = s`
+//! * random-hyperplane (sign) hashing for cosine — `Pr[match] = 1 − θ/π`
+
+pub mod bayes;
+pub mod candidates;
+pub mod family;
+pub mod sketch;
+
+pub use bayes::{BayesLsh, BayesParams, PairDecision};
+pub use family::LshFamily;
+pub use sketch::{SketchSet, Sketcher};

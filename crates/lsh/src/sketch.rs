@@ -1,0 +1,417 @@
+//! Sketch generation and storage.
+//!
+//! Every record gets a fixed-length sketch: `n` 64-bit min-hashes
+//! (MinHash family) or `n` sign bits packed into words (SimHash family).
+//! Sketches for a whole dataset live in one flat buffer so pair evaluation
+//! streams contiguous memory — the concatenated-sketch layout §2.4 credits
+//! for BayesLSH's cache friendliness.
+
+use plasma_data::hash::keyed_hash;
+use plasma_data::vector::SparseVector;
+
+use crate::family::LshFamily;
+
+/// Generates sketches for one dataset.
+#[derive(Debug, Clone)]
+pub struct Sketcher {
+    family: LshFamily,
+    n_hashes: usize,
+    seed: u64,
+}
+
+impl Sketcher {
+    /// Creates a sketcher producing `n_hashes` hashes per record.
+    pub fn new(family: LshFamily, n_hashes: usize, seed: u64) -> Self {
+        assert!(n_hashes > 0, "sketches need at least one hash");
+        Self {
+            family,
+            n_hashes,
+            seed,
+        }
+    }
+
+    /// Number of hashes per sketch.
+    pub fn n_hashes(&self) -> usize {
+        self.n_hashes
+    }
+
+    /// The hash family.
+    pub fn family(&self) -> LshFamily {
+        self.family
+    }
+
+    /// Sketches every record. Runtime is `O(records · nnz · n_hashes)`.
+    pub fn sketch_all(&self, records: &[SparseVector]) -> SketchSet {
+        let mut set = SketchSet::with_capacity(self.family, self.n_hashes, records.len());
+        for r in records {
+            self.sketch_into(r, &mut set);
+        }
+        set
+    }
+
+    /// Appends one record's sketch to `set`.
+    pub fn sketch_into(&self, record: &SparseVector, set: &mut SketchSet) {
+        debug_assert_eq!(set.family, self.family);
+        debug_assert_eq!(set.n_hashes, self.n_hashes);
+        match self.family {
+            LshFamily::MinHash => {
+                for h in 0..self.n_hashes {
+                    let key = self.seed ^ (h as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+                    let mut best = u64::MAX;
+                    for &d in record.dims() {
+                        let v = keyed_hash(key, d);
+                        if v < best {
+                            best = v;
+                        }
+                    }
+                    set.data.push(best);
+                }
+            }
+            LshFamily::SimHash => {
+                let words = self.n_hashes.div_ceil(64);
+                let mut packed = vec![0u64; words];
+                // Sign of <record, plane_h> per bit.
+                for h in 0..self.n_hashes {
+                    let key = self.seed ^ (h as u64).wrapping_mul(0x9E6C_63D0_9759_27F1);
+                    let mut dot = 0.0f64;
+                    for (d, w) in record.iter() {
+                        dot += w * gaussian_component(key, d);
+                    }
+                    if dot >= 0.0 {
+                        packed[h / 64] |= 1u64 << (h % 64);
+                    }
+                }
+                set.data.extend_from_slice(&packed);
+            }
+        }
+        set.records += 1;
+    }
+}
+
+impl Sketcher {
+    /// Extends an existing sketch set to `new_n` hashes per record,
+    /// recomputing only the added hashes. Because every hash position is
+    /// keyed independently, the extended set's prefix is bit-identical to
+    /// the original — so cached `(m, n)` pair memos remain valid and the
+    /// knowledge cache can grow its resolution instead of rebuilding
+    /// (§2.2.1's re-use across iterations, applied to sketches).
+    pub fn extend_sketches(
+        &self,
+        records: &[SparseVector],
+        existing: &SketchSet,
+        new_n: usize,
+    ) -> SketchSet {
+        assert_eq!(existing.family, self.family);
+        assert_eq!(existing.len(), records.len(), "record/sketch count mismatch");
+        assert!(
+            new_n >= existing.n_hashes,
+            "extension cannot shrink a sketch ({new_n} < {})",
+            existing.n_hashes
+        );
+        let old_n = existing.n_hashes;
+        let extender = Sketcher::new(self.family, new_n, self.seed);
+        let mut out = SketchSet::with_capacity(self.family, new_n, records.len());
+        match self.family {
+            LshFamily::MinHash => {
+                for (i, r) in records.iter().enumerate() {
+                    // Copy the old hashes, compute only the new tail.
+                    out.data.extend_from_slice(existing.sketch(i));
+                    for h in old_n..new_n {
+                        let key =
+                            extender.seed ^ (h as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+                        let mut best = u64::MAX;
+                        for &d in r.dims() {
+                            let v = keyed_hash(key, d);
+                            if v < best {
+                                best = v;
+                            }
+                        }
+                        out.data.push(best);
+                    }
+                    out.records += 1;
+                }
+            }
+            LshFamily::SimHash => {
+                let new_words = new_n.div_ceil(64);
+                for (i, r) in records.iter().enumerate() {
+                    let mut packed = vec![0u64; new_words];
+                    let old = existing.sketch(i);
+                    packed[..old.len()].copy_from_slice(old);
+                    for h in old_n..new_n {
+                        let key =
+                            extender.seed ^ (h as u64).wrapping_mul(0x9E6C_63D0_9759_27F1);
+                        let mut dot = 0.0f64;
+                        for (d, w) in r.iter() {
+                            dot += w * gaussian_component(key, d);
+                        }
+                        if dot >= 0.0 {
+                            packed[h / 64] |= 1u64 << (h % 64);
+                        }
+                    }
+                    out.data.extend_from_slice(&packed);
+                    out.records += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pseudo-random standard-normal component of hyperplane `key` at dimension
+/// `d`, derived from a hash so planes never need materializing.
+#[inline]
+fn gaussian_component(key: u64, d: u32) -> f64 {
+    let h = keyed_hash(key, d);
+    // Two 32-bit halves → Box–Muller.
+    let u1 = (((h >> 32) as u32 as f64) + 1.0) / (u32::MAX as f64 + 2.0);
+    let u2 = ((h as u32 as f64) + 0.5) / (u32::MAX as f64 + 1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Flat storage of all sketches for a dataset.
+#[derive(Debug, Clone)]
+pub struct SketchSet {
+    family: LshFamily,
+    n_hashes: usize,
+    stride: usize,
+    records: usize,
+    data: Vec<u64>,
+}
+
+impl SketchSet {
+    fn with_capacity(family: LshFamily, n_hashes: usize, records: usize) -> Self {
+        let stride = match family {
+            LshFamily::MinHash => n_hashes,
+            LshFamily::SimHash => n_hashes.div_ceil(64),
+        };
+        Self {
+            family,
+            n_hashes,
+            stride,
+            records: 0,
+            data: Vec::with_capacity(records * stride),
+        }
+    }
+
+    /// Number of sketched records.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// True when no records have been sketched.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Hashes per record.
+    pub fn n_hashes(&self) -> usize {
+        self.n_hashes
+    }
+
+    /// The hash family.
+    pub fn family(&self) -> LshFamily {
+        self.family
+    }
+
+    /// Raw sketch words of record `i`.
+    pub fn sketch(&self, i: usize) -> &[u64] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Counts matching hashes between records `i` and `j` among the first
+    /// `n` hashes (`n ≤ n_hashes`).
+    pub fn matches(&self, i: usize, j: usize, n: usize) -> u32 {
+        debug_assert!(n <= self.n_hashes);
+        let a = self.sketch(i);
+        let b = self.sketch(j);
+        match self.family {
+            LshFamily::MinHash => {
+                let mut m = 0u32;
+                for k in 0..n {
+                    if a[k] == b[k] {
+                        m += 1;
+                    }
+                }
+                m
+            }
+            LshFamily::SimHash => {
+                let mut mismatches = 0u32;
+                let full_words = n / 64;
+                for w in 0..full_words {
+                    mismatches += (a[w] ^ b[w]).count_ones();
+                }
+                let rem = n % 64;
+                if rem > 0 {
+                    let mask = (1u64 << rem) - 1;
+                    mismatches += ((a[full_words] ^ b[full_words]) & mask).count_ones();
+                }
+                n as u32 - mismatches
+            }
+        }
+    }
+
+    /// Bytes consumed by the sketch buffer (reported by Fig. 2.9-style
+    /// accounting).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Min-hash value of record `i` at hash position `h` (MinHash only);
+    /// used by banding-based candidate generation.
+    pub fn minhash_value(&self, i: usize, h: usize) -> u64 {
+        debug_assert_eq!(self.family, LshFamily::MinHash);
+        self.sketch(i)[h]
+    }
+
+    /// `band_width` consecutive hashes starting at `band * band_width`,
+    /// mixed into one u64 band key (both families).
+    pub fn band_key(&self, i: usize, band: usize, band_width: usize) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        match self.family {
+            LshFamily::MinHash => {
+                for h in band * band_width..((band + 1) * band_width).min(self.n_hashes) {
+                    acc = (acc ^ self.sketch(i)[h]).wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+            LshFamily::SimHash => {
+                let sk = self.sketch(i);
+                for h in band * band_width..((band + 1) * band_width).min(self.n_hashes) {
+                    let bit = (sk[h / 64] >> (h % 64)) & 1;
+                    acc = (acc ^ bit).wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma_data::rng::seeded;
+    use plasma_data::similarity::{cosine, jaccard};
+    use rand::Rng;
+
+    fn random_set(rng: &mut impl Rng, universe: u32, len: usize) -> SparseVector {
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(rng.gen_range(0..universe));
+        }
+        SparseVector::from_set(items)
+    }
+
+    #[test]
+    fn minhash_match_rate_estimates_jaccard() {
+        let mut rng = seeded(1);
+        let a = random_set(&mut rng, 1000, 120);
+        let b = {
+            // Overlap: share a's first half.
+            let mut items: Vec<u32> = a.dims()[..60].to_vec();
+            items.extend((0..60).map(|_| rng.gen_range(1000..2000)));
+            SparseVector::from_set(items)
+        };
+        let truth = jaccard(&a, &b);
+        let sk = Sketcher::new(LshFamily::MinHash, 512, 7).sketch_all(&[a, b]);
+        let m = sk.matches(0, 1, 512) as f64 / 512.0;
+        assert!(
+            (m - truth).abs() < 0.07,
+            "minhash rate {m} vs jaccard {truth}"
+        );
+    }
+
+    #[test]
+    fn simhash_match_rate_estimates_cosine() {
+        let a = SparseVector::from_dense(&[1.0, 2.0, 3.0, 0.5, -1.0]);
+        let b = SparseVector::from_dense(&[1.1, 1.9, 2.7, 0.7, -0.4]);
+        let truth = cosine(&a, &b);
+        let sk = Sketcher::new(LshFamily::SimHash, 2048, 3).sketch_all(&[a, b]);
+        let rate = sk.matches(0, 1, 2048) as f64 / 2048.0;
+        let est = LshFamily::SimHash.similarity_from_match_rate(rate);
+        assert!(
+            (est - truth).abs() < 0.08,
+            "simhash estimate {est} vs cosine {truth}"
+        );
+    }
+
+    #[test]
+    fn identical_records_match_everywhere() {
+        let v = SparseVector::from_dense(&[0.3, -2.0, 1.0]);
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let sk = Sketcher::new(fam, 96, 5).sketch_all(&[v.clone(), v.clone()]);
+            assert_eq!(sk.matches(0, 1, 96), 96);
+        }
+    }
+
+    #[test]
+    fn prefix_matches_consistent() {
+        let mut rng = seeded(2);
+        let a = random_set(&mut rng, 500, 40);
+        let b = random_set(&mut rng, 500, 40);
+        let sk = Sketcher::new(LshFamily::SimHash, 256, 9).sketch_all(&[a, b]);
+        let mut prev = 0;
+        for n in [32, 64, 100, 200, 256] {
+            let m = sk.matches(0, 1, n);
+            assert!(m >= prev, "match count must be monotone in prefix length");
+            assert!(m <= n as u32);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn band_keys_agree_for_identical_sketches() {
+        let v = SparseVector::from_set(vec![1, 5, 9]);
+        let sk = Sketcher::new(LshFamily::MinHash, 64, 11).sketch_all(&[v.clone(), v]);
+        for band in 0..8 {
+            assert_eq!(sk.band_key(0, band, 8), sk.band_key(1, band, 8));
+        }
+    }
+
+    #[test]
+    fn extension_preserves_prefix_and_matches_fresh() {
+        let mut rng = seeded(31);
+        let records: Vec<SparseVector> = (0..8)
+            .map(|_| random_set(&mut rng, 800, 60))
+            .collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let small = Sketcher::new(fam, 64, 9).sketch_all(&records);
+            let extended = Sketcher::new(fam, 64, 9).extend_sketches(&records, &small, 192);
+            let fresh = Sketcher::new(fam, 192, 9).sketch_all(&records);
+            assert_eq!(extended.n_hashes(), 192);
+            for i in 0..records.len() {
+                for j in (i + 1)..records.len() {
+                    // Prefix identical to the small sketches…
+                    assert_eq!(
+                        extended.matches(i, j, 64),
+                        small.matches(i, j, 64),
+                        "{fam:?} prefix mismatch"
+                    );
+                    // …and the whole thing identical to a fresh sketch.
+                    assert_eq!(
+                        extended.matches(i, j, 192),
+                        fresh.matches(i, j, 192),
+                        "{fam:?} full mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extension_to_same_size_is_identity() {
+        let v = SparseVector::from_set(vec![1, 2, 3, 4, 5]);
+        let records = vec![v.clone(), v];
+        let sk = Sketcher::new(LshFamily::MinHash, 32, 2).sketch_all(&records);
+        let ext = Sketcher::new(LshFamily::MinHash, 32, 2).extend_sketches(&records, &sk, 32);
+        assert_eq!(ext.sketch(0), sk.sketch(0));
+    }
+
+    #[test]
+    fn byte_size_accounts_storage() {
+        let v = SparseVector::from_set(vec![1, 2]);
+        let sk = Sketcher::new(LshFamily::MinHash, 16, 1).sketch_all(&[v.clone(), v]);
+        assert_eq!(sk.byte_size(), 2 * 16 * 8);
+        let v2 = SparseVector::from_dense(&[1.0]);
+        let sk2 = Sketcher::new(LshFamily::SimHash, 128, 1).sketch_all(&[v2]);
+        assert_eq!(sk2.byte_size(), 2 * 8);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for LSH sketches and BayesLSH inference.
+
+use proptest::prelude::*;
+
+use plasma_data::vector::SparseVector;
+use plasma_lsh::bayes::{BayesLsh, BayesParams, PairDecision};
+use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::Sketcher;
+
+fn item_set() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec(0u32..400, 1..50).prop_map(SparseVector::from_set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn posterior_is_normalized(m in 0u32..256, extra in 0u32..256) {
+        let n = m + extra.max(1);
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let e = BayesLsh::new(fam, BayesParams::default());
+            let p = e.posterior(m, n);
+            let total: f64 = p.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "{fam:?} ({m},{n}): {total}");
+            prop_assert!(p.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn tail_probability_monotone_in_threshold(m in 0u32..128, extra in 1u32..128) {
+        let n = m + extra;
+        let e = BayesLsh::new(LshFamily::MinHash, BayesParams::default());
+        let mut prev = 1.0f64;
+        for k in 0..10 {
+            let t = k as f64 / 10.0;
+            let p = e.prob_at_least(m, n, t);
+            prop_assert!(p <= prev + 1e-9, "tail not monotone at t={t}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn more_matches_never_lower_tail_probability(n in 8u32..128, t in 0.1f64..0.95) {
+        let e = BayesLsh::new(LshFamily::MinHash, BayesParams::default());
+        let mut prev = 0.0f64;
+        for m in 0..=n {
+            let p = e.prob_at_least(m, n, t);
+            prop_assert!(p >= prev - 1e-9, "tail not monotone in m at m={m}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sketch_matches_bounded_by_prefix(a in item_set(), b in item_set(), n in 1usize..128) {
+        let sk = Sketcher::new(LshFamily::MinHash, 128, 7).sketch_all(&[a, b]);
+        let m = sk.matches(0, 1, n.min(128));
+        prop_assert!(m as usize <= n.min(128));
+    }
+
+    #[test]
+    fn identical_vectors_never_pruned(a in item_set()) {
+        let sk = Sketcher::new(LshFamily::MinHash, 128, 3).sketch_all(&[a.clone(), a]);
+        let e = BayesLsh::new(LshFamily::MinHash, BayesParams::default());
+        let r = e.evaluate_pair(&sk, 0, 1, 0.9);
+        prop_assert!(r.decision != PairDecision::Pruned);
+        prop_assert!(r.map_similarity > 0.9);
+    }
+
+    #[test]
+    fn probe_table_agrees_with_direct_engine(
+        a in item_set(),
+        b in item_set(),
+        t in 0.1f64..0.9
+    ) {
+        let sk = Sketcher::new(LshFamily::MinHash, 96, 5).sketch_all(&[a, b]);
+        let e = BayesLsh::new(LshFamily::MinHash, BayesParams::default());
+        let direct = e.evaluate_pair(&sk, 0, 1, t);
+        let mut table = e.probe_table(t);
+        let tabled = table.evaluate_pair(&sk, 0, 1);
+        prop_assert_eq!(direct.decision, tabled.decision);
+        prop_assert_eq!(direct.matches, tabled.matches);
+        prop_assert_eq!(direct.hashes, tabled.hashes);
+    }
+
+    #[test]
+    fn map_estimate_within_domain(m in 0u32..96, extra in 1u32..96) {
+        let n = m + extra;
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let e = BayesLsh::new(fam, BayesParams::default());
+            let post = e.posterior(m, n);
+            let (map, mean, var) = e.summarize(&post);
+            prop_assert!(map >= fam.domain_min() - 1e-9 && map <= 1.0 + 1e-9);
+            prop_assert!(mean >= fam.domain_min() - 1e-9 && mean <= 1.0 + 1e-9);
+            prop_assert!(var >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quadratic Bézier smoothing (§5.1.1's "famous Bézier curve" used to
+//! smoothly bend lines through left / assistant / right points).
+
+/// A 2-D point.
+pub type Point = (f64, f64);
+
+/// Evaluates the quadratic Bézier through control points `p0, p1, p2`
+/// at parameter `t ∈ [0, 1]`.
+pub fn quadratic(p0: Point, p1: Point, p2: Point, t: f64) -> Point {
+    let u = 1.0 - t;
+    (
+        u * u * p0.0 + 2.0 * u * t * p1.0 + t * t * p2.0,
+        u * u * p0.1 + 2.0 * u * t * p1.1 + t * t * p2.1,
+    )
+}
+
+/// Control point that makes the quadratic Bézier *pass through* `mid` at
+/// `t = 0.5` (the assistant-coordinate point is an interpolation target,
+/// not a control handle): `c = 2·mid − (p0 + p2)/2`.
+pub fn control_for_midpoint(p0: Point, mid: Point, p2: Point) -> Point {
+    (
+        2.0 * mid.0 - (p0.0 + p2.0) / 2.0,
+        2.0 * mid.1 - (p0.1 + p2.1) / 2.0,
+    )
+}
+
+/// Samples the curve through `(p0, mid, p2)` at `steps + 1` points.
+pub fn sample_through(p0: Point, mid: Point, p2: Point, steps: usize) -> Vec<Point> {
+    let c = control_for_midpoint(p0, mid, p2);
+    (0..=steps)
+        .map(|k| quadratic(p0, c, p2, k as f64 / steps.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let pts = sample_through((0.0, 0.0), (0.5, 1.0), (1.0, 0.0), 10);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[10], (1.0, 0.0));
+    }
+
+    #[test]
+    fn passes_through_midpoint() {
+        let mid = (0.5, 0.8);
+        let pts = sample_through((0.0, 0.2), mid, (1.0, 0.4), 10);
+        let at_half = pts[5];
+        assert!((at_half.0 - mid.0).abs() < 1e-9);
+        assert!((at_half.1 - mid.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_line_midpoint_yields_straight_curve() {
+        let p0 = (0.0, 0.0);
+        let p2 = (1.0, 1.0);
+        let mid = (0.5, 0.5);
+        for p in sample_through(p0, mid, p2, 8) {
+            assert!((p.1 - p.0).abs() < 1e-9, "point {p:?} off the line");
+        }
+    }
+}

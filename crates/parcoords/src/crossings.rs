@@ -1,0 +1,215 @@
+//! Crossing counting between adjacent coordinates (Algorithm 8).
+//!
+//! A crossing is an *order change*: items `i, j` cross between coordinates
+//! `x` and `y` iff `σx(i) < σx(j)` but `σy(i) > σy(j)`. Counting order
+//! changes is inversion counting, done here in `O(n log n)` with a Fenwick
+//! tree (the paper uses an augmented red–black tree; same bound). The
+//! naive `O(n²)` counter is kept as a differential-testing oracle and as
+//! the baseline the `crossings` bench ablates against.
+
+/// Fenwick tree (binary indexed tree) over `n` counters.
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Adds 1 at position `i` (0-based).
+    fn add(&mut self, i: usize) {
+        let mut k = i + 1;
+        while k < self.tree.len() {
+            self.tree[k] += 1;
+            k += k & k.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based); 0 when `i` underflows.
+    fn prefix(&self, i: usize) -> u64 {
+        let mut k = i + 1;
+        let mut s = 0;
+        while k > 0 {
+            s += self.tree[k];
+            k -= k & k.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Ranks of `values` (0 = smallest), ties broken by index so every item
+/// has a distinct rank.
+pub fn ranks(values: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..values.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        values[a as usize]
+            .partial_cmp(&values[b as usize])
+            .expect("finite values")
+            .then(a.cmp(&b))
+    });
+    let mut out = vec![0u32; values.len()];
+    for (r, &i) in idx.iter().enumerate() {
+        out[i as usize] = r as u32;
+    }
+    out
+}
+
+/// Counts crossings between two coordinates given per-item values,
+/// `O(n log n)`.
+pub fn count_crossings(x_values: &[f64], y_values: &[f64]) -> u64 {
+    assert_eq!(x_values.len(), y_values.len());
+    let rx = ranks(x_values);
+    let ry = ranks(y_values);
+    count_crossings_ranked(&rx, &ry)
+}
+
+/// Counts crossings from precomputed distinct ranks.
+pub fn count_crossings_ranked(rx: &[u32], ry: &[u32]) -> u64 {
+    let n = rx.len();
+    // Order items by x-rank; count inversions in the induced y-rank
+    // sequence.
+    let mut by_x: Vec<u32> = (0..n as u32).collect();
+    by_x.sort_unstable_by_key(|&i| rx[i as usize]);
+    let mut fen = Fenwick::new(n);
+    let mut crossings = 0u64;
+    for (seen, &i) in by_x.iter().enumerate() {
+        let yr = ry[i as usize] as usize;
+        // Items already inserted with y-rank greater than yr.
+        let le = fen.prefix(yr);
+        crossings += seen as u64 - le;
+        fen.add(yr);
+    }
+    crossings
+}
+
+/// Naive `O(n²)` oracle.
+pub fn count_crossings_naive(x_values: &[f64], y_values: &[f64]) -> u64 {
+    let rx = ranks(x_values);
+    let ry = ranks(y_values);
+    let n = rx.len();
+    let mut c = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = rx[i].cmp(&rx[j]);
+            let dy = ry[i].cmp(&ry[j]);
+            if dx != dy {
+                c += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Pairwise crossing counts between all coordinate pairs of a row-major
+/// table: `matrix[a][b]` = crossings between dimensions `a` and `b`.
+pub fn crossing_matrix(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let d = rows[0].len();
+    // Precompute ranks per dimension.
+    let rank_per_dim: Vec<Vec<u32>> = (0..d)
+        .map(|k| {
+            let col: Vec<f64> = rows.iter().map(|r| r[k]).collect();
+            ranks(&col)
+        })
+        .collect();
+    let mut m = vec![vec![0u64; d]; d];
+    for a in 0..d {
+        for b in (a + 1)..d {
+            let c = count_crossings_ranked(&rank_per_dim[a], &rank_per_dim[b]);
+            m[a][b] = c;
+            m[b][a] = c;
+        }
+    }
+    m
+}
+
+/// Total crossings realized by a dimension ordering.
+pub fn total_crossings(matrix: &[Vec<u64>], order: &[usize]) -> u64 {
+    order
+        .windows(2)
+        .map(|w| matrix[w[0]][w[1]])
+        .sum()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn identical_orders_have_no_crossings() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(count_crossings(&v, &v), 0);
+    }
+
+    #[test]
+    fn reversed_orders_cross_maximally() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![4.0, 3.0, 2.0, 1.0];
+        assert_eq!(count_crossings(&x, &y), 6); // C(4,2)
+    }
+
+    #[test]
+    fn single_swap_counts_one() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![2.0, 1.0, 3.0];
+        assert_eq!(count_crossings(&x, &y), 1);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_random_data() {
+        let mut rng = plasma_data::rng::seeded(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(5..200);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let y: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            assert_eq!(count_crossings(&x, &y), count_crossings_naive(&x, &y));
+        }
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let x = vec![1.0, 1.0, 1.0];
+        let y = vec![2.0, 2.0, 2.0];
+        // Tie-broken by index identically on both axes → no crossings.
+        assert_eq!(count_crossings(&x, &y), 0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let rows = vec![
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 3.0, 9.0],
+            vec![3.0, 2.0, 1.0],
+            vec![4.0, 1.0, 5.0],
+        ];
+        let m = crossing_matrix(&rows);
+        for a in 0..3 {
+            assert_eq!(m[a][a], 0);
+            for b in 0..3 {
+                assert_eq!(m[a][b], m[b][a]);
+            }
+        }
+        // Dimensions 0 and 1 are exactly reversed: C(4,2) = 6.
+        assert_eq!(m[0][1], 6);
+    }
+
+    #[test]
+    fn total_crossings_sums_adjacent() {
+        let rows = vec![
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 3.0, 9.0],
+            vec![3.0, 2.0, 1.0],
+            vec![4.0, 1.0, 5.0],
+        ];
+        let m = crossing_matrix(&rows);
+        let t = total_crossings(&m, &[0, 1, 2]);
+        assert_eq!(t, m[0][1] + m[1][2]);
+    }
+}

@@ -1,0 +1,355 @@
+//! The 2-dimensional energy-reduction model (§5.1.1, Algorithm 7).
+//!
+//! Between each pair of adjacent coordinates, an assistant coordinate
+//! holds one point `z_i` per line. Three energies shape the layout:
+//!
+//! * elastic `EE(i) = (z_i − (x_i+y_i)/2)²` — keeps lines straight,
+//! * attraction `EA(i) = (z_i − ĉ_p)²` — pulls a line toward its cluster's
+//!   (pseudo-)center,
+//! * repelling `ER(i) = (z_i − ĉ_{p−1})² + (z_i − ĉ_{p+1})²` — pushes
+//!   lines away from adjacent clusters' centers (boundary clusters skip
+//!   it; Lemma 1/2 give the coordinate-wise minimizers; Lemma 3 bounds the
+//!   pseudo-center drift).
+//!
+//! A size-weighted repelling variant (Corollaries 1/2) reserves more room
+//! for bigger clusters.
+
+/// Energy weights; the paper's default is `α = β = γ = 1/3`.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyConfig {
+    /// Elastic weight α.
+    pub alpha: f64,
+    /// Attraction weight β.
+    pub beta: f64,
+    /// Repelling weight γ.
+    pub gamma: f64,
+    /// Relative energy-decrease convergence threshold ε.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Use the size-weighted repelling energy `E*_R`.
+    pub size_weighted: bool,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0 / 3.0,
+            beta: 1.0 / 3.0,
+            gamma: 1.0 / 3.0,
+            epsilon: 1e-4,
+            max_iters: 500,
+            size_weighted: false,
+        }
+    }
+}
+
+/// Result of one assistant-coordinate optimization.
+#[derive(Debug, Clone)]
+pub struct EnergyResult {
+    /// Final `z_i` position per line on the assistant coordinate.
+    pub z: Vec<f64>,
+    /// Final pseudo-center per cluster (ordered cluster index space).
+    pub centers: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final total energy.
+    pub energy: f64,
+}
+
+/// The energy model for one adjacent coordinate pair.
+pub struct EnergyModel {
+    cfg: EnergyConfig,
+}
+
+impl EnergyModel {
+    /// Creates a model with the given weights.
+    pub fn new(cfg: EnergyConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs Algorithm 7 for lines with values `x` (left coordinate) and
+    /// `y` (right coordinate), both normalized to `[0, 1]`, and cluster
+    /// labels.
+    pub fn optimize(&self, x: &[f64], y: &[f64], clusters: &[u32]) -> EnergyResult {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), clusters.len());
+        let n = x.len();
+        let cfg = &self.cfg;
+        let k = clusters.iter().copied().max().map_or(0, |m| m as usize + 1);
+        if n == 0 || k == 0 {
+            return EnergyResult {
+                z: Vec::new(),
+                centers: Vec::new(),
+                iterations: 0,
+                energy: 0.0,
+            };
+        }
+
+        // Midpoints are the straight-line initial state.
+        let mid: Vec<f64> = x.iter().zip(y).map(|(a, b)| (a + b) / 2.0).collect();
+        let mut z = mid.clone();
+
+        // Rank clusters by initial center so "adjacent cluster" is
+        // well-defined (§5.2.1 assumes clusters ordered by center).
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in clusters.iter().enumerate() {
+            sums[c as usize] += mid[i];
+            counts[c as usize] += 1;
+        }
+        let mut cluster_order: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+        cluster_order.sort_by(|&a, &b| {
+            (sums[a] / counts[a] as f64)
+                .partial_cmp(&(sums[b] / counts[b] as f64))
+                .expect("finite centers")
+        });
+        // rank[c] = position of cluster c in the ordered chain.
+        let mut rank = vec![usize::MAX; k];
+        for (r, &c) in cluster_order.iter().enumerate() {
+            rank[c] = r;
+        }
+        let chain = cluster_order.len();
+        let sizes: Vec<f64> = cluster_order
+            .iter()
+            .map(|&c| counts[c] as f64)
+            .collect();
+
+        // Pseudo-centers indexed by chain rank; boundary sentinels at the
+        // coordinate range limits (ĉ0 = min, ĉ_{n+1} = max).
+        let mut centers: Vec<f64> = cluster_order
+            .iter()
+            .map(|&c| sums[c] / counts[c] as f64)
+            .collect();
+        let (range_lo, range_hi) = (0.0f64, 1.0f64);
+
+        let mut e_old = self.total_energy(&z, &mid, clusters, &rank, &centers, &sizes);
+        let mut iterations = 0usize;
+        for _ in 0..cfg.max_iters {
+            iterations += 1;
+            // Lemma 1 / Corollary 1: update every z_i.
+            for i in 0..n {
+                let r = rank[clusters[i] as usize];
+                let interior = r > 0 && r + 1 < chain;
+                if interior && cfg.gamma > 0.0 {
+                    if cfg.size_weighted {
+                        let (wl, wr) = neighbor_weights(&sizes, r);
+                        z[i] = (cfg.alpha * mid[i]
+                            + cfg.beta * centers[r]
+                            + cfg.gamma * wl * centers[r - 1]
+                            + cfg.gamma * wr * centers[r + 1])
+                            / (cfg.alpha + cfg.beta + cfg.gamma);
+                    } else {
+                        z[i] = (cfg.alpha * mid[i]
+                            + cfg.beta * centers[r]
+                            + cfg.gamma * centers[r - 1]
+                            + cfg.gamma * centers[r + 1])
+                            / (cfg.alpha + cfg.beta + 2.0 * cfg.gamma);
+                    }
+                } else {
+                    // Boundary clusters: elastic + attraction only (the
+                    // repelling term vanishes there, per the boundary-case
+                    // energy E′ of §5.2.1). Degenerate all-zero weights
+                    // leave the line at its midpoint.
+                    let denom = cfg.alpha + cfg.beta;
+                    z[i] = if denom > 0.0 {
+                        (cfg.alpha * mid[i] + cfg.beta * centers[r]) / denom
+                    } else {
+                        mid[i]
+                    };
+                }
+            }
+            // Lemma 2 / Corollary 2: update pseudo-centers.
+            let mut zsums = vec![0.0f64; chain];
+            for (i, &c) in clusters.iter().enumerate() {
+                zsums[rank[c as usize]] += z[i];
+            }
+            for r in 0..chain {
+                let p_prime = if r <= 1 { 0.0 } else { 1.0 };
+                let p_dprime = if r + 2 >= chain { 0.0 } else { 1.0 };
+                let (wl, wr) = if cfg.size_weighted && chain > 1 {
+                    neighbor_weights_centered(&sizes, r, chain)
+                } else {
+                    (1.0, 1.0)
+                };
+                let num = cfg.beta * zsums[r]
+                    + cfg.gamma * p_prime * wl * zsums[r.saturating_sub(1)]
+                    + cfg.gamma * p_dprime * wr * zsums[(r + 1).min(chain - 1)];
+                let den = cfg.beta * sizes[r]
+                    + cfg.gamma * p_prime * wl * sizes[r.saturating_sub(1)]
+                    + cfg.gamma * p_dprime * wr * sizes[(r + 1).min(chain - 1)];
+                if den > 0.0 {
+                    centers[r] = (num / den).clamp(range_lo, range_hi);
+                }
+            }
+            let e_new = self.total_energy(&z, &mid, clusters, &rank, &centers, &sizes);
+            if e_old - e_new <= cfg.epsilon * e_old.max(1e-12) {
+                e_old = e_new;
+                break;
+            }
+            e_old = e_new;
+        }
+
+        EnergyResult {
+            z,
+            centers,
+            iterations,
+            energy: e_old,
+        }
+    }
+
+    /// Total energy E′ of a configuration.
+    fn total_energy(
+        &self,
+        z: &[f64],
+        mid: &[f64],
+        clusters: &[u32],
+        rank: &[usize],
+        centers: &[f64],
+        sizes: &[f64],
+    ) -> f64 {
+        let cfg = &self.cfg;
+        let chain = centers.len();
+        let mut e = 0.0;
+        for i in 0..z.len() {
+            let r = rank[clusters[i] as usize];
+            let ee = (z[i] - mid[i]).powi(2);
+            let ea = (z[i] - centers[r]).powi(2);
+            let mut er = 0.0;
+            if r > 0 && r + 1 < chain {
+                if cfg.size_weighted {
+                    let (wl, wr) = neighbor_weights(sizes, r);
+                    er = wl * (z[i] - centers[r - 1]).powi(2)
+                        + wr * (z[i] - centers[r + 1]).powi(2);
+                } else {
+                    er = (z[i] - centers[r - 1]).powi(2) + (z[i] - centers[r + 1]).powi(2);
+                }
+            }
+            e += cfg.alpha * ee + cfg.beta * ea + cfg.gamma * er;
+        }
+        e
+    }
+}
+
+/// Size-weighted repelling weights for an interior cluster at rank `r`:
+/// `|C_{p+1}| / (|C_{p−1}| + |C_{p+1}|)` toward the left neighbor and the
+/// mirror toward the right (larger neighbors push harder → more space for
+/// big clusters).
+fn neighbor_weights(sizes: &[f64], r: usize) -> (f64, f64) {
+    let left = sizes[r - 1];
+    let right = sizes[r + 1];
+    let total = (left + right).max(1e-12);
+    (right / total, left / total)
+}
+
+fn neighbor_weights_centered(sizes: &[f64], r: usize, chain: usize) -> (f64, f64) {
+    if r > 0 && r + 1 < chain {
+        neighbor_weights(sizes, r)
+    } else {
+        (1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_lines() -> (Vec<f64>, Vec<f64>, Vec<u32>) {
+        // Cluster 0 lines live around 0.3, cluster 1 around 0.7, but with
+        // overlap that the energy model should tighten.
+        let x = vec![0.25, 0.35, 0.45, 0.55, 0.65, 0.75];
+        let y = vec![0.35, 0.25, 0.40, 0.60, 0.75, 0.65];
+        let c = vec![0, 0, 0, 1, 1, 1];
+        (x, y, c)
+    }
+
+    #[test]
+    fn converges_and_reduces_energy() {
+        let (x, y, c) = two_cluster_lines();
+        let model = EnergyModel::new(EnergyConfig::default());
+        let r = model.optimize(&x, &y, &c);
+        assert!(r.iterations >= 1);
+        assert!(r.iterations <= 500);
+        assert!(r.energy.is_finite());
+    }
+
+    #[test]
+    fn same_cluster_lines_merge_closer() {
+        let (x, y, c) = two_cluster_lines();
+        let model = EnergyModel::new(EnergyConfig::default());
+        let r = model.optimize(&x, &y, &c);
+        let spread = |vals: &[f64]| -> f64 {
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - m).abs()).sum::<f64>() / vals.len() as f64
+        };
+        let mids: Vec<f64> = x.iter().zip(&y).map(|(a, b)| (a + b) / 2.0).collect();
+        let c0_before = spread(&mids[0..3]);
+        let c0_after = spread(&r.z[0..3]);
+        assert!(
+            c0_after < c0_before,
+            "cluster should tighten: {c0_before} → {c0_after}"
+        );
+    }
+
+    #[test]
+    fn pure_elastic_keeps_midpoints() {
+        let (x, y, c) = two_cluster_lines();
+        let cfg = EnergyConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            ..EnergyConfig::default()
+        };
+        let r = EnergyModel::new(cfg).optimize(&x, &y, &c);
+        for (zi, (xi, yi)) in r.z.iter().zip(x.iter().zip(&y)) {
+            assert!((zi - (xi + yi) / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_attraction_collapses_clusters() {
+        let (x, y, c) = two_cluster_lines();
+        let cfg = EnergyConfig {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+            epsilon: 1e-9,
+            ..EnergyConfig::default()
+        };
+        let r = EnergyModel::new(cfg).optimize(&x, &y, &c);
+        // All cluster-0 z within a hair of each other.
+        assert!((r.z[0] - r.z[1]).abs() < 1e-6);
+        assert!((r.z[1] - r.z[2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_clusters_repel_middle() {
+        // Three clusters; with repelling on, the gap between adjacent
+        // cluster centers should not collapse.
+        let x = vec![0.1, 0.15, 0.5, 0.55, 0.9, 0.95];
+        let y = vec![0.15, 0.1, 0.55, 0.5, 0.95, 0.9];
+        let c = vec![0, 0, 1, 1, 2, 2];
+        let r = EnergyModel::new(EnergyConfig::default()).optimize(&x, &y, &c);
+        assert!(r.centers[1] - r.centers[0] > 0.05);
+        assert!(r.centers[2] - r.centers[1] > 0.05);
+    }
+
+    #[test]
+    fn size_weighted_variant_runs() {
+        let (x, y, c) = two_cluster_lines();
+        let cfg = EnergyConfig {
+            size_weighted: true,
+            ..EnergyConfig::default()
+        };
+        let r = EnergyModel::new(cfg).optimize(&x, &y, &c);
+        assert_eq!(r.z.len(), 6);
+        assert!(r.energy.is_finite());
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = EnergyModel::new(EnergyConfig::default()).optimize(&[], &[], &[]);
+        assert!(r.z.is_empty());
+        assert_eq!(r.iterations, 0);
+    }
+}

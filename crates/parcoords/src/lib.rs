@@ -1,0 +1,26 @@
+//! Parallel coordinates with crossing-minimizing dimension ordering and
+//! energy-based cluster de-cluttering (Ch. 5).
+//!
+//! Two optimizations make cluster structure visible:
+//!
+//! * **Dimension ordering** (§5.1.2/§5.2.2) — a crossing between two
+//!   items on adjacent coordinates is an order change; counting them costs
+//!   `O(n log n)` (Algorithm 8, here via a Fenwick tree). Minimizing total
+//!   crossings over coordinate orders is the metric Hamiltonian-path
+//!   problem; an MST-based 2-approximation and an exact Held–Karp solver
+//!   are provided.
+//! * **Energy reduction** (§5.1.1/§5.2.1) — an assistant coordinate
+//!   between each adjacent pair holds one point per line, positioned by
+//!   minimizing elastic + attraction + repelling energies (Algorithm 7
+//!   with pseudo-centers), pulling same-cluster lines together and pushing
+//!   clusters apart. Bézier smoothing renders the result.
+
+pub mod bezier;
+pub mod crossings;
+pub mod energy;
+pub mod order;
+pub mod svg;
+
+pub use crossings::{count_crossings, crossing_matrix};
+pub use energy::{EnergyConfig, EnergyModel};
+pub use order::{order_dimensions, OrderMethod};

@@ -1,0 +1,371 @@
+//! Dimension ordering (§5.2.2).
+//!
+//! Treat each coordinate as a vertex of a complete graph whose edge
+//! weights are pairwise crossing counts; the best left-to-right coordinate
+//! order is the minimum-weight Hamiltonian path (NP-hard). Two solvers:
+//!
+//! * **MST 2-approximation** — Prim MST + preorder DFS walk, the paper's
+//!   "linear 2-approximation based on the well-known minimum spanning tree
+//!   approach" ("order-ap" in Table 5.2).
+//! * **Exact Held–Karp** — `O(2^d · d²)` dynamic program with free
+//!   endpoints ("order-ex"), feasible for the paper's 6–20 dimensions.
+//!
+//! Maximizing crossings (some analysts want to see negative correlations,
+//! §5.1.2) reuses both solvers on complemented weights.
+
+/// Which solver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderMethod {
+    /// MST-walk 2-approximation.
+    MstApprox,
+    /// Held–Karp exact dynamic program.
+    Exact,
+}
+
+/// Objective direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize total crossings (de-clutter).
+    Minimize,
+    /// Maximize total crossings (expose negative correlation).
+    Maximize,
+}
+
+/// Orders dimensions given the pairwise crossing matrix.
+pub fn order_dimensions(matrix: &[Vec<u64>], method: OrderMethod) -> Vec<usize> {
+    order_dimensions_with(matrix, method, Objective::Minimize)
+}
+
+/// Orders dimensions with an explicit objective.
+pub fn order_dimensions_with(
+    matrix: &[Vec<u64>],
+    method: OrderMethod,
+    objective: Objective,
+) -> Vec<usize> {
+    let d = matrix.len();
+    if d <= 2 {
+        return (0..d).collect();
+    }
+    let weights: Vec<Vec<u64>> = match objective {
+        Objective::Minimize => matrix.to_vec(),
+        Objective::Maximize => {
+            let max = matrix
+                .iter()
+                .flat_map(|r| r.iter())
+                .copied()
+                .max()
+                .unwrap_or(0);
+            matrix
+                .iter()
+                .map(|row| row.iter().map(|&w| max - w).collect())
+                .collect()
+        }
+    };
+    match method {
+        OrderMethod::MstApprox => mst_walk(&weights),
+        OrderMethod::Exact => held_karp(&weights),
+    }
+}
+
+/// Prim MST + preorder DFS walk.
+fn mst_walk(w: &[Vec<u64>]) -> Vec<usize> {
+    let d = w.len();
+    let mut in_tree = vec![false; d];
+    let mut best = vec![u64::MAX; d];
+    let mut parent = vec![usize::MAX; d];
+    best[0] = 0;
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); d];
+    for _ in 0..d {
+        let v = (0..d)
+            .filter(|&v| !in_tree[v])
+            .min_by_key(|&v| best[v])
+            .expect("some vertex outside the tree");
+        in_tree[v] = true;
+        if parent[v] != usize::MAX {
+            children[parent[v]].push(v);
+        }
+        for u in 0..d {
+            if !in_tree[u] && w[v][u] < best[u] {
+                best[u] = w[v][u];
+                parent[u] = v;
+            }
+        }
+    }
+    // Preorder walk, children cheapest-first for a tighter path.
+    for ch in &mut children {
+        ch.sort_unstable();
+    }
+    let mut order = Vec::with_capacity(d);
+    let mut stack = vec![0usize];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        let mut kids = children[v].clone();
+        kids.sort_unstable_by_key(|&c| std::cmp::Reverse(w[v][c]));
+        stack.extend(kids); // cheapest popped first
+    }
+    order
+}
+
+/// Held–Karp minimum Hamiltonian path with free endpoints.
+fn held_karp(w: &[Vec<u64>]) -> Vec<usize> {
+    let d = w.len();
+    assert!(d <= 20, "Held–Karp is exponential; use MstApprox for d > 20");
+    let full = 1usize << d;
+    // dp[mask][v] = min cost of a path visiting `mask`, ending at v.
+    let mut dp = vec![vec![u64::MAX; d]; full];
+    let mut back = vec![vec![usize::MAX; d]; full];
+    for v in 0..d {
+        dp[1 << v][v] = 0;
+    }
+    for mask in 1..full {
+        for v in 0..d {
+            let cost = dp[mask][v];
+            if cost == u64::MAX || mask & (1 << v) == 0 {
+                continue;
+            }
+            for u in 0..d {
+                if mask & (1 << u) != 0 {
+                    continue;
+                }
+                let nm = mask | (1 << u);
+                let nc = cost + w[v][u];
+                if nc < dp[nm][u] {
+                    dp[nm][u] = nc;
+                    back[nm][u] = v;
+                }
+            }
+        }
+    }
+    let final_mask = full - 1;
+    let mut end = (0..d)
+        .min_by_key(|&v| dp[final_mask][v])
+        .expect("non-empty dp");
+    let mut order = Vec::with_capacity(d);
+    let mut mask = final_mask;
+    loop {
+        order.push(end);
+        let prev = back[mask][end];
+        if prev == usize::MAX {
+            break;
+        }
+        mask &= !(1 << end);
+        end = prev;
+    }
+    order.reverse();
+    order
+}
+
+/// Path cost under a weight matrix.
+pub fn path_cost(w: &[Vec<u64>], order: &[usize]) -> u64 {
+    order.windows(2).map(|p| w[p[0]][p[1]]).sum()
+}
+
+/// Orders dimensions while preserving a prescribed relative order of a
+/// subset (§5.1.2: "when there is a prescribed order of some coordinates
+/// … identify an order that minimizes crossings while preserving the
+/// prescribed order").
+///
+/// Cheapest-insertion heuristic: the prescribed dimensions form the
+/// initial chain (in their given order); every remaining dimension is
+/// inserted, best-gain first, at the position that adds the least cost.
+/// Insertion between prescribed elements never reorders them, so the
+/// constraint holds by construction.
+pub fn order_with_prescribed(matrix: &[Vec<u64>], prescribed: &[usize]) -> Vec<usize> {
+    let d = matrix.len();
+    assert!(
+        prescribed.iter().all(|&p| p < d),
+        "prescribed dimension out of range"
+    );
+    let mut chain: Vec<usize> = prescribed.to_vec();
+    if chain.is_empty() {
+        if d == 0 {
+            return chain;
+        }
+        chain.push(0);
+    }
+    let in_chain: std::collections::HashSet<usize> = chain.iter().copied().collect();
+    let mut remaining: Vec<usize> = (0..d).filter(|v| !in_chain.contains(v)).collect();
+
+    while !remaining.is_empty() {
+        // For each candidate, find its cheapest insertion slot; commit the
+        // candidate with the globally cheapest insertion.
+        let mut best: Option<(u64, usize, usize)> = None; // (cost, cand idx, slot)
+        for (ci, &cand) in remaining.iter().enumerate() {
+            for slot in 0..=chain.len() {
+                let added = insertion_cost(matrix, &chain, cand, slot);
+                if best.is_none_or(|(c, _, _)| added < c) {
+                    best = Some((added, ci, slot));
+                }
+            }
+        }
+        let (_, ci, slot) = best.expect("remaining non-empty");
+        let cand = remaining.swap_remove(ci);
+        chain.insert(slot, cand);
+    }
+    chain
+}
+
+/// Marginal path cost of inserting `cand` at `slot` in `chain`.
+fn insertion_cost(w: &[Vec<u64>], chain: &[usize], cand: usize, slot: usize) -> u64 {
+    match (slot.checked_sub(1).map(|i| chain[i]), chain.get(slot)) {
+        (Some(left), Some(&right)) => {
+            w[left][cand] + w[cand][right] - w[left][right].min(w[left][cand] + w[cand][right])
+        }
+        (Some(left), None) => w[left][cand],
+        (None, Some(&right)) => w[cand][right],
+        (None, None) => 0,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn random_matrix(d: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = plasma_data::rng::seeded(seed);
+        let mut m = vec![vec![0u64; d]; d];
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let w = rng.gen_range(1..1000u64);
+                m[a][b] = w;
+                m[b][a] = w;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn both_methods_return_permutations() {
+        let m = random_matrix(8, 1);
+        for method in [OrderMethod::MstApprox, OrderMethod::Exact] {
+            let o = order_dimensions(&m, method);
+            let mut s = o.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..8).collect::<Vec<_>>(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn exact_never_worse_than_approx() {
+        for seed in 0..6 {
+            let m = random_matrix(9, seed);
+            let approx = order_dimensions(&m, OrderMethod::MstApprox);
+            let exact = order_dimensions(&m, OrderMethod::Exact);
+            assert!(
+                path_cost(&m, &exact) <= path_cost(&m, &approx),
+                "seed {seed}: exact {} > approx {}",
+                path_cost(&m, &exact),
+                path_cost(&m, &approx)
+            );
+        }
+    }
+
+    #[test]
+    fn approx_within_factor_two_of_exact_on_crossing_metrics() {
+        // The MST bound needs the triangle inequality; crossing counts are
+        // Kendall-tau distances between permutations, which are metrics.
+        use crate::crossings::crossing_matrix;
+        for seed in 10..16 {
+            let mut rng = plasma_data::rng::seeded(seed);
+            let rows: Vec<Vec<f64>> = (0..40)
+                .map(|_| (0..8).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            let m = crossing_matrix(&rows);
+            let approx = path_cost(&m, &order_dimensions(&m, OrderMethod::MstApprox));
+            let exact = path_cost(&m, &order_dimensions(&m, OrderMethod::Exact));
+            assert!(
+                approx <= exact.saturating_mul(2) + 1,
+                "seed {seed}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_finds_obvious_chain() {
+        // Chain metric: 0-1-2-3 cheap, everything else expensive.
+        let d = 4;
+        let mut m = vec![vec![100u64; d]; d];
+        for v in 0..d {
+            m[v][v] = 0;
+        }
+        for v in 0..d - 1 {
+            m[v][v + 1] = 1;
+            m[v + 1][v] = 1;
+        }
+        let exact = order_dimensions(&m, OrderMethod::Exact);
+        let cost = path_cost(&m, &exact);
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn maximize_objective_prefers_heavy_edges() {
+        let mut m = vec![vec![0u64; 3]; 3];
+        m[0][1] = 10;
+        m[1][0] = 10;
+        m[0][2] = 1;
+        m[2][0] = 1;
+        m[1][2] = 1;
+        m[2][1] = 1;
+        let o = order_dimensions_with(&m, OrderMethod::Exact, Objective::Maximize);
+        // Max-crossing path should traverse the weight-10 edge.
+        let cost: u64 = o.windows(2).map(|p| m[p[0]][p[1]]).sum();
+        assert!(cost >= 11, "order {o:?} cost {cost}");
+    }
+
+    #[test]
+    fn prescribed_order_is_preserved() {
+        let m = random_matrix(9, 21);
+        let prescribed = [7usize, 2, 5];
+        let order = order_with_prescribed(&m, &prescribed);
+        // A permutation…
+        let mut s = order.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..9).collect::<Vec<_>>());
+        // …where 7 appears before 2 appears before 5.
+        let pos = |v: usize| order.iter().position(|&x| x == v).expect("present");
+        assert!(pos(7) < pos(2));
+        assert!(pos(2) < pos(5));
+    }
+
+    #[test]
+    fn prescribed_empty_reduces_to_unconstrained_permutation() {
+        let m = random_matrix(6, 3);
+        let order = order_with_prescribed(&m, &[]);
+        let mut s = order.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prescribed_full_chain_is_identity() {
+        let m = random_matrix(5, 9);
+        let prescribed = [3usize, 1, 4, 0, 2];
+        assert_eq!(order_with_prescribed(&m, &prescribed), prescribed.to_vec());
+    }
+
+    #[test]
+    fn prescribed_insertion_is_competitive_on_chain_metric() {
+        // Chain metric 0-1-2-3-4: prescribing [0, 4] still finds a cheap path.
+        let d = 5;
+        let mut m = vec![vec![100u64; d]; d];
+        for v in 0..d {
+            m[v][v] = 0;
+        }
+        for v in 0..d - 1 {
+            m[v][v + 1] = 1;
+            m[v + 1][v] = 1;
+        }
+        let order = order_with_prescribed(&m, &[0, 4]);
+        let cost = path_cost(&m, &order);
+        assert!(cost <= 103, "insertion produced cost {cost} for {order:?}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(order_dimensions(&[], OrderMethod::Exact), Vec::<usize>::new());
+        let one = vec![vec![0u64]];
+        assert_eq!(order_dimensions(&one, OrderMethod::MstApprox), vec![0]);
+    }
+}

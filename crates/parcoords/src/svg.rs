@@ -1,0 +1,224 @@
+//! SVG rendering of parallel-coordinates visualizations.
+//!
+//! Renders the classic polyline view and the enhanced view (reordered
+//! dimensions + assistant coordinates + Bézier-smoothed lines), colored by
+//! cluster — the headless stand-in for Figs. 5.4–5.10.
+
+use std::fmt::Write as _;
+
+use crate::bezier::sample_through;
+use crate::energy::{EnergyConfig, EnergyModel};
+
+const COLORS: [&str; 10] = [
+    "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf",
+];
+
+/// Rendering geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Canvas width in px.
+    pub width: f64,
+    /// Canvas height in px.
+    pub height: f64,
+    /// Margin on every side.
+    pub margin: f64,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self {
+            width: 900.0,
+            height: 420.0,
+            margin: 40.0,
+        }
+    }
+}
+
+/// Normalizes each column of `rows` to `[0, 1]` (min–max).
+pub fn normalize_columns(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let d = rows[0].len();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for r in rows {
+        for (k, &v) in r.iter().enumerate() {
+            lo[k] = lo[k].min(v);
+            hi[k] = hi[k].max(v);
+        }
+    }
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(k, &v)| {
+                    if hi[k] > lo[k] {
+                        (v - lo[k]) / (hi[k] - lo[k])
+                    } else {
+                        0.5
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders the plain polyline view with dimensions in the given order.
+pub fn render_polylines(
+    rows: &[Vec<f64>],
+    clusters: &[u32],
+    order: &[usize],
+    layout: Layout,
+) -> String {
+    let norm = normalize_columns(rows);
+    let mut svg = svg_header(layout, order.len());
+    for (i, r) in norm.iter().enumerate() {
+        let color = COLORS[clusters.get(i).copied().unwrap_or(0) as usize % COLORS.len()];
+        let mut d = String::new();
+        for (k, &dim) in order.iter().enumerate() {
+            let (px, py) = place(layout, order.len(), k as f64, r[dim]);
+            let cmd = if k == 0 { 'M' } else { 'L' };
+            let _ = write!(d, "{cmd}{px:.1},{py:.1} ");
+        }
+        let _ = writeln!(
+            svg,
+            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="0.8" opacity="0.55"/>"#
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders the enhanced view: assistant coordinates between each adjacent
+/// pair positioned by the energy model, lines Bézier-smoothed through
+/// them.
+pub fn render_energy(
+    rows: &[Vec<f64>],
+    clusters: &[u32],
+    order: &[usize],
+    energy: EnergyConfig,
+    layout: Layout,
+) -> String {
+    let norm = normalize_columns(rows);
+    let n = norm.len();
+    let d = order.len();
+    let model = EnergyModel::new(energy);
+    // One assistant column per adjacent pair.
+    let mut assist: Vec<Vec<f64>> = Vec::with_capacity(d.saturating_sub(1));
+    for w in order.windows(2) {
+        let x: Vec<f64> = norm.iter().map(|r| r[w[0]]).collect();
+        let y: Vec<f64> = norm.iter().map(|r| r[w[1]]).collect();
+        assist.push(model.optimize(&x, &y, clusters).z);
+    }
+
+    let mut svg = svg_header(layout, d);
+    for i in 0..n {
+        let color = COLORS[clusters.get(i).copied().unwrap_or(0) as usize % COLORS.len()];
+        let mut dstr = String::new();
+        for k in 0..d.saturating_sub(1) {
+            let p0 = place(layout, d, k as f64, norm[i][order[k]]);
+            let p2 = place(layout, d, k as f64 + 1.0, norm[i][order[k + 1]]);
+            let mid = place(layout, d, k as f64 + 0.5, assist[k][i]);
+            for (s, p) in sample_through(p0, mid, p2, 8).into_iter().enumerate() {
+                let cmd = if k == 0 && s == 0 { 'M' } else { 'L' };
+                let _ = write!(dstr, "{cmd}{:.1},{:.1} ", p.0, p.1);
+            }
+        }
+        let _ = writeln!(
+            svg,
+            r#"<path d="{dstr}" fill="none" stroke="{color}" stroke-width="0.8" opacity="0.55"/>"#
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn svg_header(layout: Layout, dims: usize) -> String {
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        layout.width, layout.height, layout.width, layout.height
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{}" height="{}" fill="white"/>"#,
+        layout.width, layout.height
+    );
+    // Axes.
+    for k in 0..dims {
+        let (x, _) = place(layout, dims, k as f64, 0.0);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#999" stroke-width="1"/>"##,
+            layout.margin,
+            layout.height - layout.margin
+        );
+    }
+    svg
+}
+
+/// Maps (axis position `k` ∈ [0, dims−1], normalized value `v`) to pixels.
+fn place(layout: Layout, dims: usize, k: f64, v: f64) -> (f64, f64) {
+    let usable_w = layout.width - 2.0 * layout.margin;
+    let usable_h = layout.height - 2.0 * layout.margin;
+    let x = layout.margin + usable_w * k / (dims.max(2) - 1) as f64;
+    let y = layout.height - layout.margin - usable_h * v.clamp(0.0, 1.0);
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> (Vec<Vec<f64>>, Vec<u32>) {
+        (
+            vec![
+                vec![0.0, 10.0, 5.0],
+                vec![1.0, 9.0, 6.0],
+                vec![10.0, 0.0, 1.0],
+                vec![9.0, 1.0, 0.0],
+            ],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn normalize_hits_unit_range() {
+        let (r, _) = rows();
+        let n = normalize_columns(&r);
+        for col in 0..3 {
+            let vals: Vec<f64> = n.iter().map(|row| row[col]).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((lo - 0.0).abs() < 1e-12);
+            assert!((hi - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn polyline_svg_has_one_path_per_row() {
+        let (r, c) = rows();
+        let svg = render_polylines(&r, &c, &[0, 1, 2], Layout::default());
+        assert_eq!(svg.matches("<path").count(), 4);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn energy_svg_renders_curves() {
+        let (r, c) = rows();
+        let svg = render_energy(&r, &c, &[0, 1, 2], EnergyConfig::default(), Layout::default());
+        assert_eq!(svg.matches("<path").count(), 4);
+        // Sampled curves contain many line segments per path.
+        assert!(svg.matches('L').count() > 4 * 8);
+    }
+
+    #[test]
+    fn constant_column_normalizes_to_half() {
+        let rows = vec![vec![3.0], vec![3.0]];
+        let n = normalize_columns(&rows);
+        assert_eq!(n[0][0], 0.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for parallel coordinates: crossing counts against the
+//! naive oracle, metric structure, ordering optimality relations, and
+//! energy-model behavior.
+
+use proptest::prelude::*;
+
+use plasma_parcoords::crossings::{
+    count_crossings, count_crossings_naive, crossing_matrix, ranks, total_crossings,
+};
+use plasma_parcoords::energy::{EnergyConfig, EnergyModel};
+use plasma_parcoords::order::{order_dimensions, path_cost, OrderMethod};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fenwick_matches_naive(
+        x in proptest::collection::vec(-100.0f64..100.0, 2..120),
+        seed in 0u64..1000
+    ) {
+        let mut rng = plasma_data::rng::seeded(seed);
+        use rand::Rng;
+        let y: Vec<f64> = (0..x.len()).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        prop_assert_eq!(count_crossings(&x, &y), count_crossings_naive(&x, &y));
+    }
+
+    #[test]
+    fn crossings_symmetric_and_bounded(
+        x in proptest::collection::vec(-10.0f64..10.0, 2..80),
+        y_seed in 0u64..500
+    ) {
+        let mut rng = plasma_data::rng::seeded(y_seed);
+        use rand::Rng;
+        let y: Vec<f64> = (0..x.len()).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let c = count_crossings(&x, &y);
+        prop_assert_eq!(c, count_crossings(&y, &x));
+        let n = x.len() as u64;
+        prop_assert!(c <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn crossing_counts_form_a_metric(rows in proptest::collection::vec(
+        proptest::collection::vec(-5.0f64..5.0, 4),
+        4..40
+    )) {
+        // Kendall-tau distances: symmetric, zero diagonal, triangle
+        // inequality across any dimension triple.
+        let m = crossing_matrix(&rows);
+        let d = m.len();
+        for a in 0..d {
+            prop_assert_eq!(m[a][a], 0);
+            for b in 0..d {
+                prop_assert_eq!(m[a][b], m[b][a]);
+                for c in 0..d {
+                    prop_assert!(m[a][c] <= m[a][b] + m[b][c], "triangle violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation(values in proptest::collection::vec(-50.0f64..50.0, 1..100)) {
+        let r = ranks(&values);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..values.len() as u32).collect();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn exact_ordering_is_no_worse_than_approx(rows in proptest::collection::vec(
+        proptest::collection::vec(-5.0f64..5.0, 6),
+        6..30
+    )) {
+        let m = crossing_matrix(&rows);
+        let exact = order_dimensions(&m, OrderMethod::Exact);
+        let approx = order_dimensions(&m, OrderMethod::MstApprox);
+        prop_assert!(path_cost(&m, &exact) <= path_cost(&m, &approx));
+        prop_assert!(total_crossings(&m, &exact) <= total_crossings(&m, &approx));
+    }
+
+    #[test]
+    fn energy_z_positions_stay_in_range(
+        pairs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0u32..3), 3..60)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let c: Vec<u32> = pairs.iter().map(|p| p.2).collect();
+        let r = EnergyModel::new(EnergyConfig::default()).optimize(&x, &y, &c);
+        for &z in &r.z {
+            // z is a convex combination of midpoints and centers, all of
+            // which live in [0, 1].
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&z), "z = {z}");
+        }
+        prop_assert!(r.energy.is_finite());
+        prop_assert!(r.energy >= 0.0);
+    }
+
+    #[test]
+    fn zero_beta_gamma_is_identity_on_midpoints(
+        pairs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..40)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let c = vec![0u32; x.len()];
+        let cfg = EnergyConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            ..EnergyConfig::default()
+        };
+        let r = EnergyModel::new(cfg).optimize(&x, &y, &c);
+        for (i, &z) in r.z.iter().enumerate() {
+            prop_assert!((z - (x[i] + y[i]) / 2.0).abs() < 1e-9);
+        }
+    }
+}

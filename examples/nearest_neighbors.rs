@@ -1,0 +1,63 @@
+//! Per-node top-K graph formation (§2.5's future-work direction, built):
+//! nearest-neighbor and reverse-nearest-neighbor queries over BayesLSH,
+//! plus the kth-similarity distribution that guides global-threshold
+//! selection for indexing.
+//!
+//! ```sh
+//! cargo run --release --example nearest_neighbors
+//! ```
+
+use plasma_hd::core::apss::ApssConfig;
+use plasma_hd::core::topk::KnnGraph;
+use plasma_hd::data::datasets::catalog;
+use plasma_hd::graph::measures::{components, triangles};
+
+fn main() {
+    let dataset = catalog::wine_like(42);
+    let cfg = ApssConfig {
+        exact_on_accept: true,
+        ..ApssConfig::default()
+    };
+
+    let k = 6;
+    let knn = KnnGraph::build(&dataset.records, dataset.measure, k, 0.1, &cfg);
+    println!(
+        "built top-{k} graph over {} records (BayesLSH-filtered)",
+        knn.len()
+    );
+
+    // NN query.
+    let probe = 0u32;
+    println!("\nnearest neighbors of record {probe}:");
+    for &(u, s) in knn.nearest(probe) {
+        println!("  record {u}: similarity {s:.3}");
+    }
+
+    // Reverse-NN query: who considers record 0 a close neighbor?
+    println!(
+        "reverse nearest neighbors of record {probe}: {:?}",
+        knn.reverse_nearest(probe)
+    );
+
+    // The kth-similarity distribution tells you which *global* threshold
+    // approximates this KNN graph — §2.5's indexing guidance.
+    let kths: Vec<f64> = (0..knn.len() as u32)
+        .filter_map(|v| knn.kth_similarity(v))
+        .collect();
+    println!(
+        "\nkth-neighbor similarity: median {:.3}, p10 {:.3}, p90 {:.3}",
+        plasma_hd::data::stats::median(&kths),
+        plasma_hd::data::stats::percentile(&kths, 0.1),
+        plasma_hd::data::stats::percentile(&kths, 0.9),
+    );
+    println!("→ a global threshold near the median reproduces this connectivity");
+
+    // The KNN graph feeds the same measure suite as threshold graphs.
+    let g = knn.to_graph();
+    println!(
+        "\nKNN graph: {} edges, {} components, {} triangles",
+        g.m(),
+        components::count_components(&g),
+        triangles::count_triangles(&g)
+    );
+}
