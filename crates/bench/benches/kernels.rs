@@ -24,20 +24,72 @@ fn bench_sketching(c: &mut Criterion) {
     let mut g = c.benchmark_group("sketching");
     g.throughput(Throughput::Elements(corpus.records.len() as u64));
     for &n_hashes in &[64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("simhash", n_hashes), &n_hashes, |b, &n| {
+            let sk = Sketcher::new(LshFamily::SimHash, n, 7);
+            b.iter(|| sk.sketch_all(&corpus.records));
+        });
+        g.bench_with_input(BenchmarkId::new("minhash", n_hashes), &n_hashes, |b, &n| {
+            let sk = Sketcher::new(LshFamily::MinHash, n, 7);
+            b.iter(|| sk.sketch_all(&corpus.records));
+        });
+    }
+    g.finish();
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parallel-vs-sequential sketching on the 200-record corpus: the ≥3×
+/// scaling target of the parallel APSS engine rides on this group.
+fn bench_parallel_sketching(c: &mut Criterion) {
+    let corpus = CorpusSpec::new("bench", 200, 4000, 6).generate(1);
+    let cores = available_cores();
+    let mut g = c.benchmark_group("parallel_sketching");
+    g.throughput(Throughput::Elements(corpus.records.len() as u64));
+    for (label, threads) in [("seq", 1usize), ("par", cores)] {
+        for family in [LshFamily::MinHash, LshFamily::SimHash] {
+            let name = match family {
+                LshFamily::MinHash => "minhash256",
+                LshFamily::SimHash => "simhash256",
+            };
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{label}{threads}")),
+                &threads,
+                |b, &threads| {
+                    let sk = Sketcher::new(family, 256, 7).with_parallelism(Some(threads));
+                    b.iter(|| sk.sketch_all(&corpus.records));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Parallel-vs-sequential exhaustive pair evaluation (the full
+/// `apss_with_sketches` processing path) on a 200-record corpus.
+fn bench_parallel_pair_evaluation(c: &mut Criterion) {
+    use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig};
+    let ds = GaussianSpec::new("bench", 200, 10, 4).generate(3);
+    let cores = available_cores();
+    let n = ds.records.len();
+    let mut g = c.benchmark_group("parallel_pair_evaluation");
+    g.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+    for (label, threads) in [("seq", 1usize), ("par", cores)] {
+        let cfg = ApssConfig {
+            parallelism: Some(threads),
+            ..ApssConfig::default()
+        };
+        let (sketches, _) = build_sketches(&ds.records, ds.measure, &cfg);
         g.bench_with_input(
-            BenchmarkId::new("simhash", n_hashes),
-            &n_hashes,
-            |b, &n| {
-                let sk = Sketcher::new(LshFamily::SimHash, n, 7);
-                b.iter(|| sk.sketch_all(&corpus.records));
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("minhash", n_hashes),
-            &n_hashes,
-            |b, &n| {
-                let sk = Sketcher::new(LshFamily::MinHash, n, 7);
-                b.iter(|| sk.sketch_all(&corpus.records));
+            BenchmarkId::new("exhaustive", format!("{label}{threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    apss_with_sketches(&ds.records, ds.measure, &sketches, 0.7, &cfg)
+                        .pairs
+                        .len()
+                })
             },
         );
     }
@@ -157,6 +209,6 @@ fn bench_energy(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sketching, bench_bayeslsh, bench_triangles, bench_lam, bench_crossings, bench_energy
+    targets = bench_sketching, bench_parallel_sketching, bench_bayeslsh, bench_parallel_pair_evaluation, bench_triangles, bench_lam, bench_crossings, bench_energy
 }
 criterion_main!(kernels);

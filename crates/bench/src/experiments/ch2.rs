@@ -30,7 +30,14 @@ pub fn table2_1(opts: &Opts) {
             "804,414 x 47,326, nnz 61e6",
         ),
     ];
-    let mut t = Table::new(&["Dataset", "Vectors", "Dim", "Avg. len", "Nnz", "Paper shape"]);
+    let mut t = Table::new(&[
+        "Dataset",
+        "Vectors",
+        "Dim",
+        "Avg. len",
+        "Nnz",
+        "Paper shape",
+    ]);
     for (ds, paper) in &sets {
         t.row(vec![
             ds.name.clone(),
@@ -49,7 +56,11 @@ pub fn fig2_2(opts: &Opts) {
     let ds = catalog::toy_d1(opts.seed);
     let labels = ds.labels.as_ref().expect("toy is labeled");
     let mut t = Table::new(&[
-        "t1", "edges", "components", "intra-cluster edge %", "verdict",
+        "t1",
+        "edges",
+        "components",
+        "intra-cluster edge %",
+        "verdict",
     ]);
     for &t1 in &[0.8, 0.5, 0.2] {
         let g = similarity_graph(&ds.records, ds.measure, t1);
@@ -97,7 +108,14 @@ pub fn fig2_3(opts: &Opts) {
     let suggested = session.suggest_next_threshold().unwrap_or(0.5);
     let r2 = session.probe(0.5);
 
-    let mut t = Table::new(&["t", "truth", "probe(0.8) est", "±sd", "after probe(0.5) est", "±sd"]);
+    let mut t = Table::new(&[
+        "t",
+        "truth",
+        "probe(0.8) est",
+        "±sd",
+        "after probe(0.5) est",
+        "±sd",
+    ]);
     for (k, &th) in grid.iter().enumerate() {
         t.row(vec![
             f(th),
@@ -113,8 +131,14 @@ pub fn fig2_3(opts: &Opts) {
     let truth_f: Vec<f64> = truth.iter().map(|&c| c as f64).collect();
     println!(
         "mean relative error: after 1 probe {}, after 2 probes {}",
-        f(plasma_data::stats::mean_relative_error(&after_first.expected, &truth_f)),
-        f(plasma_data::stats::mean_relative_error(&r2.curve.expected, &truth_f)),
+        f(plasma_data::stats::mean_relative_error(
+            &after_first.expected,
+            &truth_f
+        )),
+        f(plasma_data::stats::mean_relative_error(
+            &r2.curve.expected,
+            &truth_f
+        )),
     );
     let svg = plot::svg_chart(
         "Cumulative APSS graph: d1 (probes at 0.8 then 0.5)",
@@ -164,17 +188,17 @@ pub fn fig2_5(opts: &Opts) {
         .map(|k| format!("{k}-clique"))
         .collect();
     println!("clique density plot (t = 0.9):");
-    print!("{}", plot::ascii_histogram(&dp_labels, &dp.clique_sizes, 40));
-    println!("flat peaks at sizes {:?} indicate potential cliques", dp.peaks());
+    print!(
+        "{}",
+        plot::ascii_histogram(&dp_labels, &dp.clique_sizes, 40)
+    );
+    println!(
+        "flat peaks at sizes {:?} indicate potential cliques",
+        dp.peaks()
+    );
 }
 
-fn incremental_figure(
-    opts: &Opts,
-    name: &str,
-    ds: &Dataset,
-    t1: f64,
-    t2s: &[f64],
-) {
+fn incremental_figure(opts: &Opts, name: &str, ds: &Dataset, t1: f64, t2s: &[f64]) {
     let points: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
     let cfg = ApssConfig::default();
     let run = incremental_apss(&ds.records, ds.measure, t1, t2s, &points, &cfg);
@@ -235,9 +259,7 @@ pub fn fig2_8(opts: &Opts) {
 /// Fig 2.9: proportion of runtime spent building initial sketches.
 pub fn fig2_9(opts: &Opts) {
     let sets = catalog::fig2_9_datasets(opts.scale, opts.seed);
-    let mut t = Table::new(&[
-        "Dataset", "records", "sketch", "processing", "sketch %",
-    ]);
+    let mut t = Table::new(&["Dataset", "records", "sketch", "processing", "sketch %"]);
     for ds in &sets {
         let cfg = ApssConfig {
             candidates: CandidateStrategy::Exhaustive,
@@ -318,8 +340,16 @@ pub fn sec2_2_2(opts: &Opts) {
     let brute = start.elapsed().as_secs_f64();
 
     let mut t = Table::new(&["strategy", "probes", "time"]);
-    t.row(vec!["interactive (probe + knee)".into(), "2".into(), secs(interactive)]);
-    t.row(vec!["brute force 0.0..1.0".into(), "11".into(), secs(brute)]);
+    t.row(vec![
+        "interactive (probe + knee)".into(),
+        "2".into(),
+        secs(interactive),
+    ]);
+    t.row(vec![
+        "brute force 0.0..1.0".into(),
+        "11".into(),
+        secs(brute),
+    ]);
     t.print();
     println!(
         "time saved: {:.0}% (paper: 83%)",
@@ -331,9 +361,9 @@ pub fn sec2_2_2(opts: &Opts) {
 /// §2.3.4: the interaction experiment — LFR benchmark network → spectral
 /// embedding → PLASMA-HD session recovering the planted communities.
 pub fn sec2_3_4(opts: &Opts) {
+    use plasma_data::vector::SparseVector;
     use plasma_graph::generators::lfr_like;
     use plasma_graph::measures::spectral::laplacian_embedding;
-    use plasma_data::vector::SparseVector;
 
     let (n, k) = (400usize, 5usize);
     let (graph, labels) = lfr_like(n, k, 12, 0.1, opts.seed);
@@ -347,7 +377,10 @@ pub fn sec2_3_4(opts: &Opts) {
     // node's row of the laplacian into the space of the first k
     // eigenvectors" — the spectral-embedding construction.
     let emb = laplacian_embedding(&graph, k, 250);
-    let records: Vec<SparseVector> = emb.iter().map(|row| SparseVector::from_dense(row)).collect();
+    let records: Vec<SparseVector> = emb
+        .iter()
+        .map(|row| SparseVector::from_dense(row))
+        .collect();
 
     let mut session = Session::from_records(
         records.clone(),
@@ -395,14 +428,18 @@ pub fn ablate_bayes(opts: &Opts) {
 
     let ds = catalog::wine_like(opts.seed);
     let t = 0.7;
-    let truth: std::collections::HashSet<(u32, u32)> =
-        all_pairs_exact(&ds.records, ds.measure, t)
-            .into_iter()
-            .map(|(i, j, _)| (i, j))
-            .collect();
+    let truth: std::collections::HashSet<(u32, u32)> = all_pairs_exact(&ds.records, ds.measure, t)
+        .into_iter()
+        .map(|(i, j, _)| (i, j))
+        .collect();
 
     let mut table = Table::new(&[
-        "epsilon", "gamma", "hashes", "recall", "precision", "hashes/pair",
+        "epsilon",
+        "gamma",
+        "hashes",
+        "recall",
+        "precision",
+        "hashes/pair",
     ]);
     for &(epsilon, gamma, n_hashes) in &[
         (0.10, 0.10, 128usize),

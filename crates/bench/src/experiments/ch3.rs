@@ -28,7 +28,12 @@ fn sample_p(n: usize) -> usize {
 
 /// Table 3.1: the growth datasets.
 pub fn table3_1(opts: &Opts) {
-    let mut t = Table::new(&["Dataset", "Attributes", "Points (paper)", "Points (generated)"]);
+    let mut t = Table::new(&[
+        "Dataset",
+        "Attributes",
+        "Points (paper)",
+        "Points (generated)",
+    ]);
     for e in catalog::growth_catalog() {
         t.row(vec![
             e.name.to_string(),
@@ -54,8 +59,20 @@ pub fn fig3_1(opts: &Opts) {
     let mut artifact = String::new();
     for measure in MeasureKind::all() {
         let real = measure_series(&ds.records, measure, Similarity::Cosine, Some(&schedule));
-        let er = model_series(GrowthModel::ErdosRenyi, ds.len(), measure, &schedule, opts.seed);
-        let geom = model_series(GrowthModel::Geometric, ds.len(), measure, &schedule, opts.seed);
+        let er = model_series(
+            GrowthModel::ErdosRenyi,
+            ds.len(),
+            measure,
+            &schedule,
+            opts.seed,
+        );
+        let geom = model_series(
+            GrowthModel::Geometric,
+            ds.len(),
+            measure,
+            &schedule,
+            opts.seed,
+        );
         let mut t = Table::new(&["edges", "real", "ER", "Geom"]);
         for (k, &edges) in schedule.iter().enumerate() {
             t.row(vec![
@@ -104,7 +121,12 @@ fn run_sweep(opts: &Opts, entries: &[GrowthEntry], write_svgs: bool) -> Vec<Swee
         let ds = entry.generate(n as f64 / entry.paper_n as f64, opts.seed);
         let p = sample_p(ds.len());
         // Ground-truth curve once per dataset.
-        let real_curve = measure_series(&ds.records, MeasureKind::Triangles, Similarity::Cosine, None);
+        let real_curve = measure_series(
+            &ds.records,
+            MeasureKind::Triangles,
+            Similarity::Cosine,
+            None,
+        );
         let steps = real_curve.points.len();
         let half = steps / 2;
         let real_train = MeasureCurve {
@@ -112,19 +134,26 @@ fn run_sweep(opts: &Opts, entries: &[GrowthEntry], write_svgs: bool) -> Vec<Swee
             n: real_curve.n,
             points: real_curve.points[..=half.min(steps - 1)].to_vec(),
         };
-        let test_progress: Vec<f64> =
-            real_curve.points[half..].iter().map(|pt| pt.progress).collect();
-        let truth: Vec<f64> = real_curve.points[half..].iter().map(|pt| pt.value).collect();
-        let train_seconds: f64 =
-            real_curve.points[..half].iter().map(|pt| pt.seconds).sum();
-        let dense_seconds: f64 =
-            real_curve.points[half..].iter().map(|pt| pt.seconds).sum();
+        let test_progress: Vec<f64> = real_curve.points[half..]
+            .iter()
+            .map(|pt| pt.progress)
+            .collect();
+        let truth: Vec<f64> = real_curve.points[half..]
+            .iter()
+            .map(|pt| pt.value)
+            .collect();
+        let train_seconds: f64 = real_curve.points[..half].iter().map(|pt| pt.seconds).sum();
+        let dense_seconds: f64 = real_curve.points[half..].iter().map(|pt| pt.seconds).sum();
 
         for method in SamplingMethod::all() {
             let sample_records =
                 method.sample_records(&ds.records, Similarity::Cosine, p, opts.seed);
-            let sample_curve =
-                measure_series(&sample_records, MeasureKind::Triangles, Similarity::Cosine, None);
+            let sample_curve = measure_series(
+                &sample_records,
+                MeasureKind::Triangles,
+                Similarity::Cosine,
+                None,
+            );
             let real_first = real_curve.points.first().map_or(0.0, |pt| pt.value);
             let ts = translation_scaling(
                 &sample_curve,
@@ -227,7 +256,12 @@ pub fn table3_2(opts: &Opts) {
     let entries = catalog::growth_catalog();
     let rows = run_sweep(opts, &entries, false);
     let mut t = Table::new(&[
-        "Dataset", "SampleType", "TS Mean", "TS StdDev", "Reg Mean", "Reg StdDev",
+        "Dataset",
+        "SampleType",
+        "TS Mean",
+        "TS StdDev",
+        "Reg Mean",
+        "Reg StdDev",
     ]);
     for r in &rows {
         t.row(vec![
@@ -326,16 +360,28 @@ pub fn fig3_19(opts: &Opts) {
         }
         t.print();
     }
-    println!("\n(paper: runtimes rise steeply with density except analytic complete-graph shortcuts)");
+    println!(
+        "\n(paper: runtimes rise steeply with density except analytic complete-graph shortcuts)"
+    );
 }
 
 /// Fig 3.21: triangle-count runtimes of sampled vs original graphs and the
 /// resulting train-vs-dense speedups.
 pub fn fig3_21(opts: &Opts) {
-    let picks = ["image-segmentation", "letter-recognition", "mushroom", "yeast"];
+    let picks = [
+        "image-segmentation",
+        "letter-recognition",
+        "mushroom",
+        "yeast",
+    ];
     let cat = catalog::growth_catalog();
     let mut t = Table::new(&[
-        "Dataset", "n", "sample p", "train time", "dense-half time", "speedup",
+        "Dataset",
+        "n",
+        "sample p",
+        "train time",
+        "dense-half time",
+        "speedup",
     ]);
     for name in picks {
         let entry = cat.iter().find(|e| e.name == name).expect("known dataset");
@@ -374,8 +420,7 @@ mod tests {
             seed: 3,
             out_dir: std::env::temp_dir().join("plasma_test_results"),
         };
-        let entries: Vec<GrowthEntry> =
-            catalog::growth_catalog().into_iter().take(1).collect();
+        let entries: Vec<GrowthEntry> = catalog::growth_catalog().into_iter().take(1).collect();
         let rows = run_sweep(&o, &entries, false);
         assert_eq!(rows.len(), 3); // one dataset × three methods
         assert!(rows.iter().all(|r| r.reg_mean.is_finite()));

@@ -36,7 +36,11 @@ fn cap(txs: &Transactions, n: usize) -> Transactions {
 pub fn table4_34(opts: &Opts) {
     println!("Table 4.3 — web graph stand-ins:");
     let mut t = Table::new(&[
-        "Dataset", "paper V", "paper E", "generated V", "generated E",
+        "Dataset",
+        "paper V",
+        "paper E",
+        "generated V",
+        "generated E",
     ]);
     for e in catalog::web_catalog(opts.scale) {
         let adj = e.spec.generate(opts.seed);
@@ -53,7 +57,12 @@ pub fn table4_34(opts: &Opts) {
 
     println!("\nTable 4.4 — transactional stand-ins:");
     let mut t = Table::new(&[
-        "Dataset", "density", "paper #trans", "#trans", "size", "avg len",
+        "Dataset",
+        "density",
+        "paper #trans",
+        "#trans",
+        "size",
+        "avg len",
     ]);
     for (i, e) in catalog::tx_catalog().iter().enumerate() {
         let txs = tx_scaled(opts, i);
@@ -80,9 +89,7 @@ pub fn fig4_4(opts: &Opts) {
             catalog::web_catalog(opts.scale)[2].spec.generate(opts.seed),
         ),
     ];
-    let mut t = Table::new(&[
-        "Dataset", "utility", "localize", "mine", "total", "vs Area",
-    ]);
+    let mut t = Table::new(&["Dataset", "utility", "localize", "mine", "total", "vs Area"]);
     for (name, txs) in &sets {
         let mut area_total = 0.0;
         for utility in [Utility::Area, Utility::RelativeClosedness] {
@@ -285,14 +292,25 @@ pub fn fig4_10(opts: &Opts) {
         let mut db5 = TransactionDb::new(txs.clone());
         let start = Instant::now();
         let r5 = Lam::with_passes(5).run(&mut db5);
-        (start.elapsed().as_secs_f64(), r1.final_ratio, r5.final_ratio)
+        (
+            start.elapsed().as_secs_f64(),
+            r1.final_ratio,
+            r5.final_ratio,
+        )
     };
 
     let supports: Vec<usize> = [0.5, 0.2, 0.1, 0.05, 0.02]
         .iter()
         .map(|frac| ((txs.len() as f64 * frac) as usize).max(2))
         .collect();
-    let mut t = Table::new(&["method", "support", "gen time", "comp time", "ratio", "#sets"]);
+    let mut t = Table::new(&[
+        "method",
+        "support",
+        "gen time",
+        "comp time",
+        "ratio",
+        "#sets",
+    ]);
     for &sigma in &supports {
         let start = Instant::now();
         let mined = mine_closed(&txs, sigma, DEFAULT_BUDGET);
@@ -350,7 +368,10 @@ pub fn fig4_11(opts: &Opts) {
     let hist = |lens: Vec<usize>| -> Vec<u64> {
         let mut h = vec![0u64; buckets.len()];
         for l in lens {
-            let b = buckets.iter().position(|&hi| l <= hi).unwrap_or(buckets.len() - 1);
+            let b = buckets
+                .iter()
+                .position(|&hi| l <= hi)
+                .unwrap_or(buckets.len() - 1);
             h[b] += 1;
         }
         h
@@ -449,7 +470,10 @@ pub fn fig4_13(opts: &Opts) {
     Lam::with_passes(5).run(&mut db);
 
     let mut t = Table::new(&[
-        "pattern length ≤", "patterns", "cumulative saved cells", "% of total",
+        "pattern length ≤",
+        "patterns",
+        "cumulative saved cells",
+        "% of total",
     ]);
     for b in plasma_lam::stats::length_breakdown(&db) {
         t.row(vec![
@@ -462,7 +486,10 @@ pub fn fig4_13(opts: &Opts) {
     t.print();
     println!("\ntop patterns by cells saved:");
     for (items, occ, saved) in plasma_lam::stats::top_patterns(&db, 3) {
-        println!("  len {} × {occ} occurrences (saves {saved} cells)", items.len());
+        println!(
+            "  len {} × {occ} occurrences (saves {saved} cells)",
+            items.len()
+        );
     }
     println!("final ratio: {}", f(db.compression_ratio()));
     println!("(paper: mid-length patterns carry ~50% of compression; long tails add ~10%)");
@@ -499,7 +526,10 @@ pub fn fig4_14(opts: &Opts) {
         println!("\n== {} ({} records) ==", ds.name, ds.len());
         t.print();
         let knees = inflection_points(&curve, 2);
-        println!("inflection points (probe-next candidates): {:?}", knees.iter().map(|&k| f(k)).collect::<Vec<_>>());
+        println!(
+            "inflection points (probe-next candidates): {:?}",
+            knees.iter().map(|&k| f(k)).collect::<Vec<_>>()
+        );
 
         let xs: Vec<f64> = curve.iter().map(|p| p.threshold).collect();
         let ys: Vec<f64> = curve.iter().map(|p| p.ratio).collect();

@@ -34,7 +34,11 @@ pub fn table5_1(_opts: &Opts) {
 /// reduction, and report crossing/energy deltas.
 pub fn fig5_4(opts: &Opts) {
     let mut t = Table::new(&[
-        "Dataset", "crossings (orig)", "crossings (ordered)", "reduction", "energy iters",
+        "Dataset",
+        "crossings (orig)",
+        "crossings (ordered)",
+        "reduction",
+        "energy iters",
     ]);
     for e in catalog::parcoords_catalog() {
         let (rows, labels) = e.generate_rows(opts.seed);
@@ -75,14 +79,14 @@ pub fn fig5_4(opts: &Opts) {
         opts.write_artifact(&format!("fig5_{}_after.svg", e.name), &after);
     }
     t.print();
-    println!("(the after-SVGs show same-cluster lines merged and clusters separated, per Figs 5.4-5.10)");
+    println!(
+        "(the after-SVGs show same-cluster lines merged and clusters separated, per Figs 5.4-5.10)"
+    );
 }
 
 /// Table 5.2: ordering times (approx vs exact) and energy convergence.
 pub fn table5_2(opts: &Opts) {
-    let mut t = Table::new(&[
-        "Dataset", "d", "Order-ap", "Order-ex", "Converge", "Iter",
-    ]);
+    let mut t = Table::new(&["Dataset", "d", "Order-ap", "Order-ex", "Converge", "Iter"]);
     for e in catalog::parcoords_catalog() {
         let (rows, labels) = e.generate_rows(opts.seed);
         let matrix = crossing_matrix(&rows);

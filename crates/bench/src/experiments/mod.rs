@@ -20,42 +20,190 @@ pub struct Experiment {
 /// All experiments in paper order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table2-1", title: "Table 2.1: dataset characteristics", run: ch2::table2_1 },
-        Experiment { id: "fig2-2", title: "Fig 2.2: toy dataset across thresholds", run: ch2::fig2_2 },
-        Experiment { id: "fig2-3", title: "Figs 2.3/2.4: cumulative APSS probes on d1", run: ch2::fig2_3 },
-        Experiment { id: "fig2-5", title: "Fig 2.5: wine triangle count and visual cues", run: ch2::fig2_5 },
-        Experiment { id: "fig2-6", title: "Fig 2.6: incremental estimates (wine, t1=0.5)", run: ch2::fig2_6 },
-        Experiment { id: "fig2-7", title: "Fig 2.7: incremental estimates (Twitter-like, t1=0.95)", run: ch2::fig2_7 },
-        Experiment { id: "fig2-8", title: "Fig 2.8: incremental estimates (RCV1-like, t1=0.9)", run: ch2::fig2_8 },
-        Experiment { id: "fig2-9", title: "Fig 2.9: time to generate initial sketches", run: ch2::fig2_9 },
-        Experiment { id: "fig2-10", title: "Fig 2.10: effect of knowledge caching", run: ch2::fig2_10 },
-        Experiment { id: "sec2-2-2", title: "§2.2.2: interactive scenario vs brute force", run: ch2::sec2_2_2 },
-        Experiment { id: "sec2-3-4", title: "§2.3.4: LFR spectral-embedding interaction", run: ch2::sec2_3_4 },
-        Experiment { id: "ablate-bayes", title: "§2.2.1 ablation: ε/γ/sketch-length sensitivity", run: ch2::ablate_bayes },
-        Experiment { id: "table3-1", title: "Table 3.1: graph growth datasets", run: ch3::table3_1 },
-        Experiment { id: "fig3-1", title: "Figs 3.1-3.6: measures vs density (data vs ER/Geom)", run: ch3::fig3_1 },
-        Experiment { id: "fig3-7", title: "Figs 3.7-3.11: translation-scaling predictions", run: ch3::fig3_7 },
-        Experiment { id: "fig3-12", title: "Figs 3.12-3.17: regression predictions", run: ch3::fig3_12 },
-        Experiment { id: "table3-2", title: "Table 3.2: log-triangle prediction errors", run: ch3::table3_2 },
-        Experiment { id: "fig3-18", title: "Fig 3.18: pair-similarity distributions by sampling", run: ch3::fig3_18 },
-        Experiment { id: "fig3-19", title: "Figs 3.19/3.20: measure runtimes over density", run: ch3::fig3_19 },
-        Experiment { id: "fig3-21", title: "Fig 3.21: triangle runtimes, sample vs original", run: ch3::fig3_21 },
-        Experiment { id: "table4-34", title: "Tables 4.3/4.4: LAM dataset characteristics", run: ch4::table4_34 },
-        Experiment { id: "fig4-4", title: "Fig 4.4: LAM5 phase breakdown across utilities", run: ch4::fig4_4 },
-        Experiment { id: "fig4-5", title: "Fig 4.5: LAM5 compression across utilities", run: ch4::fig4_5 },
-        Experiment { id: "fig4-6", title: "Fig 4.6: compression ratio LAM/Krimp/Slim/CDB", run: ch4::fig4_6 },
-        Experiment { id: "fig4-7", title: "Fig 4.7: execution time LAM vs baselines", run: ch4::fig4_7 },
-        Experiment { id: "fig4-8", title: "Fig 4.8: CDB on sampled data", run: ch4::fig4_8 },
-        Experiment { id: "fig4-9", title: "Fig 4.9: compressed-analytics classification", run: ch4::fig4_9 },
-        Experiment { id: "fig4-10", title: "Fig 4.10: LAM vs closed itemsets (EU-like)", run: ch4::fig4_10 },
-        Experiment { id: "fig4-11", title: "Fig 4.11: itemset sizes by support vs LAM", run: ch4::fig4_11 },
-        Experiment { id: "table4-5", title: "Table 4.5: serial LAM times on web graphs", run: ch4::table4_5 },
-        Experiment { id: "fig4-12", title: "Fig 4.12: PLAM scalability and per-pass ratios", run: ch4::fig4_12 },
-        Experiment { id: "fig4-13", title: "Fig 4.13: pattern length vs cumulative compression", run: ch4::fig4_13 },
-        Experiment { id: "table4-6", title: "Table 4.6: compression experiment datasets", run: ch4::table4_6 },
-        Experiment { id: "fig4-14", title: "Fig 4.14: compression across similarity thresholds", run: ch4::fig4_14 },
-        Experiment { id: "table5-1", title: "Table 5.1: parallel-coordinates datasets", run: ch5::table5_1 },
-        Experiment { id: "fig5-4", title: "Figs 5.4-5.10: ordering + energy visualizations", run: ch5::fig5_4 },
-        Experiment { id: "table5-2", title: "Table 5.2: ordering and convergence times", run: ch5::table5_2 },
+        Experiment {
+            id: "table2-1",
+            title: "Table 2.1: dataset characteristics",
+            run: ch2::table2_1,
+        },
+        Experiment {
+            id: "fig2-2",
+            title: "Fig 2.2: toy dataset across thresholds",
+            run: ch2::fig2_2,
+        },
+        Experiment {
+            id: "fig2-3",
+            title: "Figs 2.3/2.4: cumulative APSS probes on d1",
+            run: ch2::fig2_3,
+        },
+        Experiment {
+            id: "fig2-5",
+            title: "Fig 2.5: wine triangle count and visual cues",
+            run: ch2::fig2_5,
+        },
+        Experiment {
+            id: "fig2-6",
+            title: "Fig 2.6: incremental estimates (wine, t1=0.5)",
+            run: ch2::fig2_6,
+        },
+        Experiment {
+            id: "fig2-7",
+            title: "Fig 2.7: incremental estimates (Twitter-like, t1=0.95)",
+            run: ch2::fig2_7,
+        },
+        Experiment {
+            id: "fig2-8",
+            title: "Fig 2.8: incremental estimates (RCV1-like, t1=0.9)",
+            run: ch2::fig2_8,
+        },
+        Experiment {
+            id: "fig2-9",
+            title: "Fig 2.9: time to generate initial sketches",
+            run: ch2::fig2_9,
+        },
+        Experiment {
+            id: "fig2-10",
+            title: "Fig 2.10: effect of knowledge caching",
+            run: ch2::fig2_10,
+        },
+        Experiment {
+            id: "sec2-2-2",
+            title: "§2.2.2: interactive scenario vs brute force",
+            run: ch2::sec2_2_2,
+        },
+        Experiment {
+            id: "sec2-3-4",
+            title: "§2.3.4: LFR spectral-embedding interaction",
+            run: ch2::sec2_3_4,
+        },
+        Experiment {
+            id: "ablate-bayes",
+            title: "§2.2.1 ablation: ε/γ/sketch-length sensitivity",
+            run: ch2::ablate_bayes,
+        },
+        Experiment {
+            id: "table3-1",
+            title: "Table 3.1: graph growth datasets",
+            run: ch3::table3_1,
+        },
+        Experiment {
+            id: "fig3-1",
+            title: "Figs 3.1-3.6: measures vs density (data vs ER/Geom)",
+            run: ch3::fig3_1,
+        },
+        Experiment {
+            id: "fig3-7",
+            title: "Figs 3.7-3.11: translation-scaling predictions",
+            run: ch3::fig3_7,
+        },
+        Experiment {
+            id: "fig3-12",
+            title: "Figs 3.12-3.17: regression predictions",
+            run: ch3::fig3_12,
+        },
+        Experiment {
+            id: "table3-2",
+            title: "Table 3.2: log-triangle prediction errors",
+            run: ch3::table3_2,
+        },
+        Experiment {
+            id: "fig3-18",
+            title: "Fig 3.18: pair-similarity distributions by sampling",
+            run: ch3::fig3_18,
+        },
+        Experiment {
+            id: "fig3-19",
+            title: "Figs 3.19/3.20: measure runtimes over density",
+            run: ch3::fig3_19,
+        },
+        Experiment {
+            id: "fig3-21",
+            title: "Fig 3.21: triangle runtimes, sample vs original",
+            run: ch3::fig3_21,
+        },
+        Experiment {
+            id: "table4-34",
+            title: "Tables 4.3/4.4: LAM dataset characteristics",
+            run: ch4::table4_34,
+        },
+        Experiment {
+            id: "fig4-4",
+            title: "Fig 4.4: LAM5 phase breakdown across utilities",
+            run: ch4::fig4_4,
+        },
+        Experiment {
+            id: "fig4-5",
+            title: "Fig 4.5: LAM5 compression across utilities",
+            run: ch4::fig4_5,
+        },
+        Experiment {
+            id: "fig4-6",
+            title: "Fig 4.6: compression ratio LAM/Krimp/Slim/CDB",
+            run: ch4::fig4_6,
+        },
+        Experiment {
+            id: "fig4-7",
+            title: "Fig 4.7: execution time LAM vs baselines",
+            run: ch4::fig4_7,
+        },
+        Experiment {
+            id: "fig4-8",
+            title: "Fig 4.8: CDB on sampled data",
+            run: ch4::fig4_8,
+        },
+        Experiment {
+            id: "fig4-9",
+            title: "Fig 4.9: compressed-analytics classification",
+            run: ch4::fig4_9,
+        },
+        Experiment {
+            id: "fig4-10",
+            title: "Fig 4.10: LAM vs closed itemsets (EU-like)",
+            run: ch4::fig4_10,
+        },
+        Experiment {
+            id: "fig4-11",
+            title: "Fig 4.11: itemset sizes by support vs LAM",
+            run: ch4::fig4_11,
+        },
+        Experiment {
+            id: "table4-5",
+            title: "Table 4.5: serial LAM times on web graphs",
+            run: ch4::table4_5,
+        },
+        Experiment {
+            id: "fig4-12",
+            title: "Fig 4.12: PLAM scalability and per-pass ratios",
+            run: ch4::fig4_12,
+        },
+        Experiment {
+            id: "fig4-13",
+            title: "Fig 4.13: pattern length vs cumulative compression",
+            run: ch4::fig4_13,
+        },
+        Experiment {
+            id: "table4-6",
+            title: "Table 4.6: compression experiment datasets",
+            run: ch4::table4_6,
+        },
+        Experiment {
+            id: "fig4-14",
+            title: "Fig 4.14: compression across similarity thresholds",
+            run: ch4::fig4_14,
+        },
+        Experiment {
+            id: "table5-1",
+            title: "Table 5.1: parallel-coordinates datasets",
+            run: ch5::table5_1,
+        },
+        Experiment {
+            id: "fig5-4",
+            title: "Figs 5.4-5.10: ordering + energy visualizations",
+            run: ch5::fig5_4,
+        },
+        Experiment {
+            id: "table5-2",
+            title: "Table 5.2: ordering and convergence times",
+            run: ch5::table5_2,
+        },
     ]
 }

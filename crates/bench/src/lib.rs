@@ -7,6 +7,7 @@
 //! `results/`.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 /// Common experiment options parsed from the command line.

@@ -4,8 +4,12 @@
 //! index). Usage:
 //!
 //! ```text
-//! repro <experiment-id | all | list> [--scale S] [--seed N] [--out DIR]
+//! repro <experiment-id | all | list | bench> [--scale S] [--seed N] [--out DIR] [--json]
 //! ```
+//!
+//! `repro bench` runs the quick APSS perf smoke (sequential vs parallel
+//! sketching and pair evaluation); with `--json` it also writes the
+//! snapshot to `BENCH_apss.json` for CI perf tracking.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;
@@ -14,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts::default();
     let mut command: Option<String> = None;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +43,7 @@ fn main() {
                     .map(std::path::PathBuf::from)
                     .unwrap_or_else(|| die("--out needs a directory"));
             }
+            "--json" => json = true,
             arg if command.is_none() => command = Some(arg.to_string()),
             arg => die(&format!("unexpected argument: {arg}")),
         }
@@ -52,7 +58,27 @@ fn main() {
                 println!("  {:<10} {}", e.id, e.title);
             }
             println!("  {:<10} run every experiment in order", "all");
-            println!("\noptions: --scale S (default {}), --seed N, --out DIR", opts.scale);
+            println!(
+                "  {:<10} quick APSS perf smoke (add --json for BENCH_apss.json)",
+                "bench"
+            );
+            println!(
+                "\noptions: --scale S (default {}), --seed N, --out DIR",
+                opts.scale
+            );
+        }
+        Some("bench") => {
+            banner(
+                "bench",
+                "APSS perf smoke: sketching + pair evaluation, seq vs parallel",
+            );
+            let snapshot = plasma_bench::perf::measure();
+            print!("{}", snapshot.summary());
+            if json {
+                let path = "BENCH_apss.json";
+                std::fs::write(path, snapshot.to_json()).expect("write perf snapshot");
+                println!("  [artifact] {path}");
+            }
         }
         Some("all") => {
             let started = std::time::Instant::now();

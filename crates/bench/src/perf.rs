@@ -1,0 +1,206 @@
+//! Quick APSS perf snapshot (`repro bench [--json]`).
+//!
+//! Times the two halves of the APSS hot path — sketching and exhaustive
+//! pair evaluation — sequentially and at full parallelism on a fixed
+//! 200-record corpus, and reports throughput (records/sec, pairs/sec) and
+//! the parallel speedup. With `--json` the snapshot is also written to
+//! `BENCH_apss.json` so CI can track the perf trajectory across commits.
+//! This is a smoke measurement (fractions of a second per kernel), not a
+//! statistical benchmark; `cargo bench` owns the careful numbers.
+
+use std::time::Instant;
+
+use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig};
+use plasma_data::datasets::corpus::CorpusSpec;
+use plasma_data::datasets::gaussian::GaussianSpec;
+use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::Sketcher;
+
+/// One kernel's sequential-vs-parallel rates (work units per second).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRates {
+    /// Work units (records or pairs) per run.
+    pub units: u64,
+    /// Units per second with `parallelism = 1`.
+    pub seq_per_sec: f64,
+    /// Units per second with `parallelism = cores`.
+    pub par_per_sec: f64,
+}
+
+impl KernelRates {
+    /// Parallel speedup over sequential.
+    pub fn speedup(&self) -> f64 {
+        self.par_per_sec / self.seq_per_sec.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The full snapshot.
+#[derive(Debug, Clone)]
+pub struct ApssPerfSnapshot {
+    /// Worker threads used for the parallel runs.
+    pub cores: usize,
+    /// MinHash sketching, 200 records × 256 hashes.
+    pub sketch_minhash: KernelRates,
+    /// SimHash sketching, 200 records × 256 hashes.
+    pub sketch_simhash: KernelRates,
+    /// Exhaustive BayesLSH pair evaluation, 200 records → 19 900 pairs.
+    pub pair_evaluation: KernelRates,
+}
+
+/// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
+fn best_rate<F: FnMut()>(units: u64, budget_ms: u64, mut run: F) -> f64 {
+    // One untimed warm-up run.
+    run();
+    let deadline = Instant::now() + std::time::Duration::from_millis(budget_ms);
+    let mut best = 0.0f64;
+    loop {
+        let t = Instant::now();
+        run();
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(units as f64 / secs);
+        if Instant::now() >= deadline {
+            return best;
+        }
+    }
+}
+
+/// Measures the snapshot.
+pub fn measure() -> ApssPerfSnapshot {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let corpus = CorpusSpec::new("bench", 200, 4000, 6).generate(1);
+    let n_hashes = 256;
+
+    let sketch_rates = |family: LshFamily| -> KernelRates {
+        let units = corpus.records.len() as u64;
+        let seq = Sketcher::new(family, n_hashes, 7).with_parallelism(Some(1));
+        let par = Sketcher::new(family, n_hashes, 7).with_parallelism(Some(cores));
+        KernelRates {
+            units,
+            seq_per_sec: best_rate(units, 300, || {
+                std::hint::black_box(seq.sketch_all(&corpus.records));
+            }),
+            par_per_sec: best_rate(units, 300, || {
+                std::hint::black_box(par.sketch_all(&corpus.records));
+            }),
+        }
+    };
+    let sketch_minhash = sketch_rates(LshFamily::MinHash);
+    let sketch_simhash = sketch_rates(LshFamily::SimHash);
+
+    let ds = GaussianSpec::new("bench", 200, 10, 4).generate(3);
+    let n = ds.records.len() as u64;
+    let pairs = n * (n - 1) / 2;
+    let seq_cfg = ApssConfig {
+        parallelism: Some(1),
+        ..ApssConfig::default()
+    };
+    let par_cfg = ApssConfig {
+        parallelism: Some(cores),
+        ..ApssConfig::default()
+    };
+    let (sketches, _) = build_sketches(&ds.records, ds.measure, &seq_cfg);
+    let pair_evaluation = KernelRates {
+        units: pairs,
+        seq_per_sec: best_rate(pairs, 400, || {
+            std::hint::black_box(apss_with_sketches(
+                &ds.records,
+                ds.measure,
+                &sketches,
+                0.7,
+                &seq_cfg,
+            ));
+        }),
+        par_per_sec: best_rate(pairs, 400, || {
+            std::hint::black_box(apss_with_sketches(
+                &ds.records,
+                ds.measure,
+                &sketches,
+                0.7,
+                &par_cfg,
+            ));
+        }),
+    };
+
+    ApssPerfSnapshot {
+        cores,
+        sketch_minhash,
+        sketch_simhash,
+        pair_evaluation,
+    }
+}
+
+impl ApssPerfSnapshot {
+    /// Renders the snapshot as JSON (hand-rolled; the workspace carries no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        fn rates(r: &KernelRates) -> String {
+            format!(
+                "{{\"units\": {}, \"seq_per_sec\": {:.1}, \"par_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                r.units,
+                r.seq_per_sec,
+                r.par_per_sec,
+                r.speedup()
+            )
+        }
+        format!(
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {}\n}}\n",
+            self.cores,
+            rates(&self.sketch_minhash),
+            rates(&self.sketch_simhash),
+            rates(&self.pair_evaluation)
+        )
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("APSS perf snapshot ({} cores)\n", self.cores));
+        for (name, r) in [
+            ("sketch/minhash256", &self.sketch_minhash),
+            ("sketch/simhash256", &self.sketch_simhash),
+            ("pairs/exhaustive", &self.pair_evaluation),
+        ] {
+            out.push_str(&format!(
+                "  {name:<20} seq {:>12.0}/s   par {:>12.0}/s   speedup {:>5.2}x\n",
+                r.seq_per_sec,
+                r.par_per_sec,
+                r.speedup()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable_by_eye_and_machine() {
+        let snap = ApssPerfSnapshot {
+            cores: 4,
+            sketch_minhash: KernelRates {
+                units: 200,
+                seq_per_sec: 1000.0,
+                par_per_sec: 3500.0,
+            },
+            sketch_simhash: KernelRates {
+                units: 200,
+                seq_per_sec: 800.0,
+                par_per_sec: 3000.0,
+            },
+            pair_evaluation: KernelRates {
+                units: 19900,
+                seq_per_sec: 100_000.0,
+                par_per_sec: 420_000.0,
+            },
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"benchmark\": \"apss\""));
+        assert!(json.contains("\"cores\": 4"));
+        assert!(json.contains("\"speedup\": 3.500"));
+        // Balanced braces — cheap structural sanity.
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+        assert!((snap.pair_evaluation.speedup() - 4.2).abs() < 1e-9);
+    }
+}

@@ -5,6 +5,22 @@
 //! pairs plus every memoized estimate (fuel for the knowledge cache and the
 //! Cumulative APSS Graph). Timing is split into *sketching* and
 //! *processing* because Fig. 2.9's point is exactly that split.
+//!
+//! # Parallel engine
+//!
+//! Both halves of the probe scale with cores, controlled by one knob,
+//! [`ApssConfig::parallelism`] (`None` = all cores, `Some(1)` =
+//! sequential):
+//!
+//! * **Sketching** shards records into disjoint slices of the flat sketch
+//!   buffer (see `plasma_lsh::sketch`).
+//! * **Pair evaluation** chunks the candidate list; each worker evaluates
+//!   its chunk with a private `ProbeTable` and accumulates a private
+//!   [`ApssStats`] partial, merged in chunk order afterwards.
+//!
+//! Every path returns bit-identical pairs, estimates, and counters at
+//! every thread count: per-pair evaluation is independent, and chunk
+//! outputs concatenate back into candidate order.
 
 use std::time::Instant;
 
@@ -13,8 +29,10 @@ use plasma_data::vector::SparseVector;
 use plasma_lsh::bayes::{BayesLsh, PairDecision, PairEstimate};
 use plasma_lsh::candidates;
 use plasma_lsh::family::LshFamily;
+use plasma_lsh::resolve_parallelism;
 use plasma_lsh::sketch::{SketchSet, Sketcher};
 use plasma_lsh::BayesParams;
+use rayon::prelude::*;
 
 /// How candidate pairs are generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +63,11 @@ pub struct ApssConfig {
     pub exact_on_accept: bool,
     /// RNG/hash seed.
     pub seed: u64,
+    /// Worker threads for sketching, candidate generation, and pair
+    /// evaluation: `None` = all cores, `Some(1)` = sequential. Results are
+    /// bit-identical regardless, so experiments stay reproducible at any
+    /// setting.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for ApssConfig {
@@ -55,6 +78,7 @@ impl Default for ApssConfig {
             candidates: CandidateStrategy::Exhaustive,
             exact_on_accept: false,
             seed: 0x9D_5A,
+            parallelism: None,
         }
     }
 }
@@ -105,6 +129,19 @@ pub struct ApssStats {
     pub cache_hits: u64,
 }
 
+impl ApssStats {
+    /// Folds another partial's counters into this one (timings are owned
+    /// by the caller driving the probe, not the partials).
+    pub fn absorb(&mut self, other: &ApssStats) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.accepted += other.accepted;
+        self.exhausted += other.exhausted;
+        self.hashes_compared += other.hashes_compared;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
 /// Builds sketches for a record set under a similarity measure.
 pub fn build_sketches(
     records: &[SparseVector],
@@ -113,7 +150,7 @@ pub fn build_sketches(
 ) -> (SketchSet, f64) {
     let start = Instant::now();
     let family = LshFamily::for_measure(measure);
-    let sketcher = Sketcher::new(family, cfg.n_hashes, cfg.seed);
+    let sketcher = Sketcher::new(family, cfg.n_hashes, cfg.seed).with_parallelism(cfg.parallelism);
     let sketches = sketcher.sketch_all(records);
     (sketches, start.elapsed().as_secs_f64())
 }
@@ -122,8 +159,20 @@ pub fn build_sketches(
 pub fn generate_candidates(sketches: &SketchSet, cfg: &ApssConfig) -> Vec<(u32, u32)> {
     match cfg.candidates {
         CandidateStrategy::Exhaustive => candidates::exhaustive(sketches.len()),
-        CandidateStrategy::Banded { bands, width } => candidates::banded(sketches, bands, width),
+        CandidateStrategy::Banded { bands, width } => {
+            candidates::banded_with(sketches, bands, width, cfg.parallelism)
+        }
     }
+}
+
+/// Below this many candidates per worker, chunking costs more than it
+/// saves and evaluation stays sequential.
+const MIN_PAIRS_PER_WORKER: usize = 64;
+
+/// Worker count for evaluating `pairs` candidates under `cfg`: never so
+/// many that a worker gets fewer than [`MIN_PAIRS_PER_WORKER`] pairs.
+pub(crate) fn eval_threads(cfg: &ApssConfig, pairs: usize) -> usize {
+    resolve_parallelism(cfg.parallelism).min((pairs / MIN_PAIRS_PER_WORKER).max(1))
 }
 
 /// Runs a full APSS probe from scratch (sketch + candidates + evaluate).
@@ -150,15 +199,66 @@ pub fn apss_with_sketches(
 ) -> ApssResult {
     let start = Instant::now();
     let engine = BayesLsh::new(sketches.family(), cfg.bayes);
-    let mut table = engine.probe_table(threshold);
     let cands = generate_candidates(sketches, cfg);
+    let threads = eval_threads(cfg, cands.len());
+
     let mut stats = ApssStats {
         candidates: cands.len() as u64,
         ..Default::default()
     };
     let mut pairs = Vec::new();
     let mut estimates = Vec::with_capacity(cands.len());
-    for (i, j) in cands {
+    let chunk_outs: Vec<ChunkEval> = if threads <= 1 {
+        vec![evaluate_chunk(
+            &engine, sketches, records, measure, threshold, cfg, &cands,
+        )]
+    } else {
+        // One private ProbeTable and stats partial per worker; chunk
+        // outputs concatenate back into candidate order, so the merged
+        // result is bit-identical to the sequential pass.
+        let per_chunk = cands.len().div_ceil(threads);
+        cands
+            .par_chunks(per_chunk)
+            .map(|chunk| evaluate_chunk(&engine, sketches, records, measure, threshold, cfg, chunk))
+            .collect()
+    };
+    for out in chunk_outs {
+        stats.absorb(&out.stats);
+        pairs.extend(out.pairs);
+        estimates.extend(out.estimates);
+    }
+    stats.process_seconds = start.elapsed().as_secs_f64();
+    ApssResult {
+        threshold,
+        pairs,
+        estimates,
+        stats,
+    }
+}
+
+/// One worker's share of a probe.
+struct ChunkEval {
+    pairs: Vec<SimilarPair>,
+    estimates: Vec<(u32, u32, PairEstimate)>,
+    stats: ApssStats,
+}
+
+/// Evaluates one chunk of candidates with a private `ProbeTable`,
+/// returning results in chunk order.
+fn evaluate_chunk(
+    engine: &BayesLsh,
+    sketches: &SketchSet,
+    records: &[SparseVector],
+    measure: Similarity,
+    threshold: f64,
+    cfg: &ApssConfig,
+    chunk: &[(u32, u32)],
+) -> ChunkEval {
+    let mut table = engine.probe_table(threshold);
+    let mut stats = ApssStats::default();
+    let mut pairs = Vec::new();
+    let mut estimates = Vec::with_capacity(chunk.len());
+    for &(i, j) in chunk {
         let est = table.evaluate_pair(sketches, i as usize, j as usize);
         stats.hashes_compared += est.hashes as u64;
         match est.decision {
@@ -178,9 +278,7 @@ pub fn apss_with_sketches(
         }
         estimates.push((i, j, est));
     }
-    stats.process_seconds = start.elapsed().as_secs_f64();
-    ApssResult {
-        threshold,
+    ChunkEval {
         pairs,
         estimates,
         stats,
@@ -228,8 +326,7 @@ mod tests {
         let records = small_dataset();
         let cfg = ApssConfig::default();
         let result = apss(&records, Similarity::Cosine, 0.9, &cfg);
-        let max_possible =
-            result.stats.candidates * cfg.n_hashes as u64;
+        let max_possible = result.stats.candidates * cfg.n_hashes as u64;
         assert!(
             result.stats.hashes_compared < max_possible / 2,
             "pruning should compare far fewer hashes ({} of {max_possible})",

@@ -15,6 +15,7 @@
 use plasma_data::hash::FxHashMap;
 use plasma_lsh::bayes::{BayesLsh, PairDecision, PairEstimate};
 use plasma_lsh::sketch::SketchSet;
+use rayon::prelude::*;
 
 use crate::apss::{ApssConfig, ApssResult, ApssStats, SimilarPair};
 
@@ -73,6 +74,12 @@ impl KnowledgeCache {
     /// Runs a cached probe: candidates answered from the cache skip
     /// sketch-prefix comparison entirely when the cached posterior already
     /// decides at the new threshold.
+    ///
+    /// Evaluation is chunk-parallel under [`ApssConfig::parallelism`]: the
+    /// first phase reads the memo maps and sketches immutably with one
+    /// `ProbeTable` per worker, and the second phase folds results back
+    /// into the cache in candidate order — so the returned pairs,
+    /// estimates, and counters are bit-identical at every thread count.
     pub fn probe(
         &mut self,
         records: &[plasma_data::vector::SparseVector],
@@ -82,52 +89,93 @@ impl KnowledgeCache {
     ) -> ApssResult {
         let start = std::time::Instant::now();
         let engine = BayesLsh::new(self.sketches.family(), cfg.bayes);
-        let mut table = engine.probe_table(threshold);
         let cands = crate::apss::generate_candidates(&self.sketches, cfg);
+        let threads = crate::apss::eval_threads(cfg, cands.len());
+
+        // Phase 1: evaluate every candidate against the cache, read-only.
+        let rows: Vec<CachedRow> = {
+            let eval_chunk = |chunk: &[(u32, u32)]| -> Vec<CachedRow> {
+                let mut table = engine.probe_table(threshold);
+                chunk
+                    .iter()
+                    .map(|&(i, j)| {
+                        let (est, hash_cost, hit) = match self.estimates.get(&(i, j)) {
+                            Some(&cached) => {
+                                let resumed = table.reevaluate_cached(
+                                    &self.sketches,
+                                    i as usize,
+                                    j as usize,
+                                    cached,
+                                );
+                                // Only the newly compared hashes cost anything.
+                                let cost = resumed.hashes.saturating_sub(cached.hashes) as u64;
+                                (resumed, cost, true)
+                            }
+                            None => {
+                                let fresh =
+                                    table.evaluate_pair(&self.sketches, i as usize, j as usize);
+                                (fresh, fresh.hashes as u64, false)
+                            }
+                        };
+                        let similarity = if est.decision == PairDecision::Pruned {
+                            None
+                        } else if cfg.exact_on_accept {
+                            // Exact similarities are the expensive part of
+                            // probe verification; the knowledge cache
+                            // memoizes them across probes.
+                            match self.exact.get(&(i, j)) {
+                                Some(&s) => Some((s, false)),
+                                None => Some((
+                                    measure.compute(&records[i as usize], &records[j as usize]),
+                                    true,
+                                )),
+                            }
+                        } else {
+                            Some((est.map_similarity, false))
+                        };
+                        CachedRow {
+                            i,
+                            j,
+                            est,
+                            hash_cost,
+                            hit,
+                            similarity,
+                        }
+                    })
+                    .collect()
+            };
+            if threads <= 1 {
+                eval_chunk(&cands)
+            } else {
+                let per_chunk = cands.len().div_ceil(threads);
+                let nested: Vec<Vec<CachedRow>> =
+                    cands.par_chunks(per_chunk).map(eval_chunk).collect();
+                nested.into_iter().flatten().collect()
+            }
+        };
+
+        // Phase 2: fold results into the cache in candidate order.
         let mut stats = ApssStats {
             candidates: cands.len() as u64,
             ..Default::default()
         };
         let mut pairs = Vec::new();
-        let mut estimates = Vec::with_capacity(cands.len());
-        for (i, j) in cands {
-            let est = match self.estimates.get(&(i, j)) {
-                Some(&cached) => {
-                    stats.cache_hits += 1;
-                    let resumed =
-                        table.reevaluate_cached(&self.sketches, i as usize, j as usize, cached);
-                    // Only the newly compared hashes cost anything.
-                    stats.hashes_compared +=
-                        resumed.hashes.saturating_sub(cached.hashes) as u64;
-                    resumed
-                }
-                None => {
-                    let fresh = table.evaluate_pair(&self.sketches, i as usize, j as usize);
-                    stats.hashes_compared += fresh.hashes as u64;
-                    fresh
-                }
-            };
+        let mut estimates = Vec::with_capacity(rows.len());
+        for row in rows {
+            let (i, j, est) = (row.i, row.j, row.est);
+            stats.hashes_compared += row.hash_cost;
+            if row.hit {
+                stats.cache_hits += 1;
+            }
             match est.decision {
                 PairDecision::Pruned => stats.pruned += 1,
                 PairDecision::Accepted => stats.accepted += 1,
                 PairDecision::Exhausted => stats.exhausted += 1,
             }
-            if est.decision != PairDecision::Pruned {
-                let similarity = if cfg.exact_on_accept {
-                    // Exact similarities are the expensive part of probe
-                    // verification; the knowledge cache memoizes them.
-                    match self.exact.get(&(i, j)) {
-                        Some(&s) => s,
-                        None => {
-                            let s =
-                                measure.compute(&records[i as usize], &records[j as usize]);
-                            self.exact.insert((i, j), s);
-                            s
-                        }
-                    }
-                } else {
-                    est.map_similarity
-                };
+            if let Some((similarity, freshly_exact)) = row.similarity {
+                if freshly_exact {
+                    self.exact.insert((i, j), similarity);
+                }
                 if similarity >= threshold {
                     pairs.push(SimilarPair { i, j, similarity });
                 }
@@ -144,6 +192,18 @@ impl KnowledgeCache {
             stats,
         }
     }
+}
+
+/// One candidate's outcome from the read-only evaluation phase.
+/// `similarity` is `None` for pruned pairs; the flag marks exact
+/// similarities computed this probe (to memoize during the merge).
+struct CachedRow {
+    i: u32,
+    j: u32,
+    est: PairEstimate,
+    hash_cost: u64,
+    hit: bool,
+    similarity: Option<(f64, bool)>,
 }
 
 #[cfg(test)]

@@ -153,10 +153,7 @@ mod tests {
 
     #[test]
     fn clusterability_bounds() {
-        let clustered = triangle_cue(&pairs_to_graph(
-            3,
-            &[pair(0, 1), pair(1, 2), pair(0, 2)],
-        ));
+        let clustered = triangle_cue(&pairs_to_graph(3, &[pair(0, 1), pair(1, 2), pair(0, 2)]));
         assert!((clusterability(&clustered) - 1.0).abs() < 1e-12);
         let sparse = triangle_cue(&pairs_to_graph(3, &[pair(0, 1)]));
         assert_eq!(clusterability(&sparse), 0.0);

@@ -49,8 +49,11 @@ impl CumulativeCurve {
         }
         let mut expected = vec![0.0f64; thresholds.len()];
         let mut var = vec![0.0f64; thresholds.len()];
+        // One reused posterior buffer across all cells keeps curve
+        // assembly allocation-free after the first cell.
+        let mut post = Vec::new();
         for ((m, n), count) in counts {
-            let post = engine.posterior(m, n);
+            engine.posterior_into(m, n, &mut post);
             // Tail mass at each threshold via a single backward sweep.
             let mut acc = 0.0;
             let mut gi = grid.len();

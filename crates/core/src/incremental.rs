@@ -12,8 +12,38 @@ use plasma_data::similarity::Similarity;
 use plasma_data::vector::SparseVector;
 use plasma_lsh::bayes::BayesLsh;
 use plasma_lsh::family::LshFamily;
+use rayon::prelude::*;
 
 use crate::apss::{build_sketches, ApssConfig};
+
+/// Frontier width from which the per-record join shards across workers;
+/// below it, thread spawn overhead (and the per-worker `ProbeTable`
+/// rebuild) dominates the `k` pair evaluations.
+const PAR_JOIN_MIN: usize = 4096;
+
+/// `Pr(S ≥ t2)` for every report threshold, from the `(matches, hashes)`
+/// cell one evaluation stopped at.
+fn tail_masses(
+    engine: &BayesLsh,
+    grid: &[f64],
+    report_thresholds: &[f64],
+    matches: u32,
+    hashes: u32,
+) -> Vec<f64> {
+    let post = engine.posterior(matches, hashes);
+    report_thresholds
+        .iter()
+        .map(|&t2| {
+            let mut tail = 0.0;
+            for (gi, &w) in post.iter().enumerate() {
+                if grid[gi] >= t2 {
+                    tail += w;
+                }
+            }
+            tail
+        })
+        .collect()
+}
 
 /// One reporting step of an incremental run.
 #[derive(Debug, Clone)]
@@ -60,6 +90,7 @@ pub fn incremental_apss(
     let engine = BayesLsh::new(LshFamily::for_measure(measure), cfg.bayes);
     let mut table = engine.probe_table(t1);
     let grid = engine.grid_points().to_vec();
+    let threads = crate::apss::eval_threads(cfg, n);
 
     // Tail masses per report threshold, memoized by the (m, n) cell the
     // pair evaluation stopped at (only ~1k distinct cells occur).
@@ -72,28 +103,45 @@ pub fn incremental_apss(
     let mut next_report = 0usize;
 
     for k in 1..n {
-        // Join record k against records 0..k.
-        for j in 0..k {
-            let est = table.evaluate_pair(&sketches, j, k);
-            let tails = tail_memo
-                .entry((est.matches, est.hashes))
-                .or_insert_with(|| {
-                    let post = engine.posterior(est.matches, est.hashes);
-                    report_thresholds
-                        .iter()
-                        .map(|&t2| {
-                            let mut tail = 0.0;
-                            for (gi, &w) in post.iter().enumerate() {
-                                if grid[gi] >= t2 {
-                                    tail += w;
-                                }
-                            }
-                            tail
-                        })
-                        .collect()
-                });
-            for (ti, tail) in tails.iter().enumerate() {
-                running[ti] += tail;
+        if threads > 1 && k >= PAR_JOIN_MIN {
+            // Wide frontier: shard the join of record k against 0..k.
+            // Workers only evaluate pairs, writing each evaluation's
+            // (m, n) stopping cell into a j-indexed buffer; the fold
+            // below walks that buffer in j order against the shared
+            // cross-k tail memo. Additions therefore happen in exactly
+            // the sequential order — results are bit-identical at every
+            // thread count — and tail masses stay memoized across the
+            // whole run instead of per worker.
+            let shard = k.div_ceil(threads);
+            let mut cells: Vec<(u32, u32)> = vec![(0, 0); k];
+            cells.par_chunks_mut(shard).enumerate_for_each(|c, slice| {
+                let mut table = engine.probe_table(t1);
+                let lo = c * shard;
+                for (off, cell) in slice.iter_mut().enumerate() {
+                    let est = table.evaluate_pair(&sketches, lo + off, k);
+                    *cell = (est.matches, est.hashes);
+                }
+            });
+            for &(m, h) in &cells {
+                let tails = tail_memo
+                    .entry((m, h))
+                    .or_insert_with(|| tail_masses(&engine, &grid, report_thresholds, m, h));
+                for (ti, tail) in tails.iter().enumerate() {
+                    running[ti] += tail;
+                }
+            }
+        } else {
+            // Join record k against records 0..k.
+            for j in 0..k {
+                let est = table.evaluate_pair(&sketches, j, k);
+                let tails = tail_memo
+                    .entry((est.matches, est.hashes))
+                    .or_insert_with(|| {
+                        tail_masses(&engine, &grid, report_thresholds, est.matches, est.hashes)
+                    });
+                for (ti, tail) in tails.iter().enumerate() {
+                    running[ti] += tail;
+                }
             }
         }
         let frac = (k + 1) as f64 / n as f64;

@@ -18,6 +18,25 @@
 //!   and clique/triangle density plots (Fig. 2.5).
 //! * [`session`] — the interactive driver tying it all together.
 //! * [`plot`] — ASCII and SVG renderers for the cues and curves.
+//!
+//! # Parallel engine
+//!
+//! The APSS hot path is parallel end to end, governed by one knob —
+//! [`apss::ApssConfig::parallelism`] (`None` = all cores, `Some(1)` =
+//! sequential):
+//!
+//! * sketching shards records into disjoint slices of the flat sketch
+//!   buffer (`plasma_lsh::sketch`);
+//! * banded candidate generation buckets bands in parallel and k-way
+//!   merges per-band sorted runs (`plasma_lsh::candidates`);
+//! * pair evaluation chunks the candidate list with a private
+//!   `ProbeTable` and stats partial per worker ([`apss`], [`cache`],
+//!   [`topk`]), merging in candidate order.
+//!
+//! Probe outputs — pairs, estimates, and counter stats — are
+//! bit-identical at every thread count, so experiments stay reproducible
+//! while latency scales with cores. The only timing-dependent fields are
+//! the `*_seconds` stats.
 
 pub mod apss;
 pub mod cache;

@@ -58,19 +58,16 @@ pub fn ascii_chart(xs: &[f64], series: &[(&str, &[f64])], width: usize, height: 
 }
 
 /// Renders named series as an SVG line chart with axis labels.
-pub fn svg_chart(
-    title: &str,
-    xs: &[f64],
-    series: &[(&str, &[f64])],
-    log_y: bool,
-) -> String {
+pub fn svg_chart(title: &str, xs: &[f64], series: &[(&str, &[f64])], log_y: bool) -> String {
     const W: f64 = 640.0;
     const H: f64 = 400.0;
     const ML: f64 = 70.0; // left margin
     const MB: f64 = 50.0; // bottom margin
     const MT: f64 = 40.0;
     const MR: f64 = 20.0;
-    let colors = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let colors = [
+        "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+    ];
 
     let map_y = |y: f64| -> f64 {
         if log_y {
@@ -177,7 +174,9 @@ pub fn svg_chart(
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a histogram as ASCII bars, one line per bucket.

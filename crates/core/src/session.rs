@@ -61,11 +61,7 @@ impl Session {
     }
 
     /// Opens a session over raw records.
-    pub fn from_records(
-        records: Vec<SparseVector>,
-        measure: Similarity,
-        cfg: ApssConfig,
-    ) -> Self {
+    pub fn from_records(records: Vec<SparseVector>, measure: Similarity, cfg: ApssConfig) -> Self {
         let lo = match measure {
             Similarity::Jaccard => 0.05,
             Similarity::Cosine => 0.05,
@@ -84,6 +80,14 @@ impl Session {
     /// Overrides the threshold grid for the cumulative curve.
     pub fn with_grid(mut self, grid: Vec<f64>) -> Self {
         self.grid = grid;
+        self
+    }
+
+    /// Pins the worker-thread count for this session's probes (`None` =
+    /// all cores, `Some(1)` = sequential). Probe results are bit-identical
+    /// at every setting; only latency changes.
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.cfg.parallelism = parallelism;
         self
     }
 

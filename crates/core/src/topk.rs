@@ -42,32 +42,79 @@ impl KnnGraph {
         let n = records.len();
         let (sketches, _) = build_sketches(records, measure, cfg);
         let engine = BayesLsh::new(LshFamily::for_measure(measure), cfg.bayes);
-        let mut table = engine.probe_table(floor);
+        let total_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+        let threads = crate::apss::eval_threads(cfg, total_pairs);
         let mut neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::with_capacity(k + 1); n];
 
-        let push = |lists: &mut Vec<Vec<(u32, f64)>>, v: usize, u: u32, s: f64| {
-            let list = &mut lists[v];
-            let pos = list
-                .partition_point(|&(_, ls)| ls >= s);
-            if pos < k {
-                list.insert(pos, (u, s));
-                list.truncate(k);
+        // Sequential path streams each surviving pair straight into the
+        // capped top-K lists — O(n·k) live memory, no buffering.
+        //
+        // The parallel path shards contiguous rows (balanced by pair
+        // count so late shards aren't starved by the triangular loop) and
+        // each shard maintains its own n × capped-k candidate lists under
+        // the identical push rule, folded in shard order afterwards. The
+        // fold is bit-identical to the sequential pass: for any row `v`,
+        // its pairs arrive in (i, j) order grouped by owning shard (shard
+        // rows are contiguous), a shard-local list preserves that order
+        // among the survivors it keeps, and an entry a shard's cap drops
+        // loses to k earlier-or-equal entries that also precede it in the
+        // global order — so it could never enter the global top-K either.
+        // Peak memory is O(threads · n · k) instead of the pair count.
+        let similarity = |i: usize, j: usize, est: &plasma_lsh::bayes::PairEstimate| -> f64 {
+            if cfg.exact_on_accept {
+                measure.compute(&records[i], &records[j])
+            } else {
+                est.map_similarity
             }
         };
-
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let est = table.evaluate_pair(&sketches, i, j);
-                if est.decision == PairDecision::Pruned {
-                    continue;
+        if threads <= 1 {
+            let mut table = engine.probe_table(floor);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let est = table.evaluate_pair(&sketches, i, j);
+                    if est.decision == PairDecision::Pruned {
+                        continue;
+                    }
+                    let s = similarity(i, j, &est);
+                    push_capped(&mut neighbors, k, i, j as u32, s);
+                    push_capped(&mut neighbors, k, j, i as u32, s);
                 }
-                let s = if cfg.exact_on_accept {
-                    measure.compute(&records[i], &records[j])
-                } else {
-                    est.map_similarity
-                };
-                push(&mut neighbors, i, j as u32, s);
-                push(&mut neighbors, j, i as u32, s);
+            }
+        } else {
+            let eval_rows = |rows: std::ops::Range<usize>| -> Vec<Vec<(u32, f64)>> {
+                let mut table = engine.probe_table(floor);
+                let mut local: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+                for i in rows {
+                    for j in (i + 1)..n {
+                        let est = table.evaluate_pair(&sketches, i, j);
+                        if est.decision == PairDecision::Pruned {
+                            continue;
+                        }
+                        let s = similarity(i, j, &est);
+                        push_capped(&mut local, k, i, j as u32, s);
+                        push_capped(&mut local, k, j, i as u32, s);
+                    }
+                }
+                local
+            };
+            let bounds = balanced_row_shards(n, threads);
+            let shard_lists: Vec<Vec<Vec<(u32, f64)>>> = rayon::scope(|s| {
+                let mut handles = Vec::with_capacity(bounds.len());
+                for range in bounds {
+                    let eval_rows = &eval_rows;
+                    handles.push(s.spawn(move || eval_rows(range)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("knn shard panicked"))
+                    .collect()
+            });
+            for local in shard_lists {
+                for (v, list) in local.into_iter().enumerate() {
+                    for (u, s) in list {
+                        push_capped(&mut neighbors, k, v, u, s);
+                    }
+                }
             }
         }
 
@@ -132,11 +179,88 @@ impl KnnGraph {
     }
 }
 
+/// Inserts `(u, s)` into row `v`'s best-first list, keeping at most `k`
+/// entries. Ties on `s` preserve insertion order (stable), which is what
+/// makes the sharded build's fold reproduce the sequential pass exactly.
+fn push_capped(lists: &mut [Vec<(u32, f64)>], k: usize, v: usize, u: u32, s: f64) {
+    let list = &mut lists[v];
+    let pos = list.partition_point(|&(_, ls)| ls >= s);
+    if pos < k {
+        list.insert(pos, (u, s));
+        list.truncate(k);
+    }
+}
+
+/// Splits rows `0..n` of a triangular pair loop into up to `shards`
+/// contiguous ranges with roughly equal pair counts (`Σ (n−1−i)`).
+fn balanced_row_shards(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let target = total.div_ceil(shards.max(1)).max(1);
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for i in 0..n {
+        acc += n - 1 - i;
+        if acc >= target {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use plasma_data::datasets::gaussian::GaussianSpec;
     use plasma_data::similarity::Similarity;
+
+    #[test]
+    fn balanced_shards_cover_all_rows() {
+        for (n, shards) in [(10usize, 3usize), (1, 4), (100, 8), (0, 2), (5, 10)] {
+            let ranges = balanced_row_shards(n, shards);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover 0..{n}");
+        }
+    }
+
+    #[test]
+    fn knn_graph_is_thread_count_invariant() {
+        let records = dataset();
+        let reference = KnnGraph::build(
+            &records,
+            Similarity::Cosine,
+            4,
+            0.1,
+            &ApssConfig {
+                parallelism: Some(1),
+                ..cfg()
+            },
+        );
+        let par = KnnGraph::build(
+            &records,
+            Similarity::Cosine,
+            4,
+            0.1,
+            &ApssConfig {
+                parallelism: Some(4),
+                ..cfg()
+            },
+        );
+        for v in 0..reference.len() as u32 {
+            assert_eq!(par.nearest(v), reference.nearest(v), "node {v}");
+            assert_eq!(par.reverse_nearest(v), reference.reverse_nearest(v));
+        }
+    }
 
     fn dataset() -> Vec<SparseVector> {
         GaussianSpec {
@@ -179,7 +303,12 @@ mod tests {
         for v in [0usize, 10, 30, 55] {
             let mut sims: Vec<(u32, f64)> = (0..records.len())
                 .filter(|&u| u != v)
-                .map(|u| (u as u32, Similarity::Cosine.compute(&records[v], &records[u])))
+                .map(|u| {
+                    (
+                        u as u32,
+                        Similarity::Cosine.compute(&records[v], &records[u]),
+                    )
+                })
                 .collect();
             sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
             let expected: std::collections::HashSet<u32> =

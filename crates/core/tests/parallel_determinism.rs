@@ -1,0 +1,186 @@
+//! Property tests pinning the parallel APSS engine's core guarantee:
+//! `apss_with_sketches` returns identical pairs, estimates, and counter
+//! stats for `parallelism = 1` and `parallelism = N`, on both hash
+//! families and both candidate strategies.
+
+use proptest::prelude::*;
+
+use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig, CandidateStrategy};
+use plasma_core::ApssResult;
+use plasma_data::datasets::gaussian::GaussianSpec;
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+
+fn gaussian_records(n: usize, seed: u64) -> Vec<SparseVector> {
+    GaussianSpec {
+        separation: 3.5,
+        spread: 0.7,
+        ..GaussianSpec::new("det", n, 6, 3)
+    }
+    .generate(seed)
+    .records
+}
+
+fn set_records(n: usize, seed: u64) -> Vec<SparseVector> {
+    use rand::Rng;
+    let mut rng = plasma_data::rng::seeded(seed);
+    (0..n)
+        .map(|i| {
+            // Overlapping windows of a small universe → a healthy mix of
+            // pruned, accepted, and exhausted pairs.
+            let base = (i as u32 / 4) * 30;
+            let len = rng.gen_range(20usize..60);
+            let items: Vec<u32> = (0..len).map(|_| base + rng.gen_range(0..90u32)).collect();
+            SparseVector::from_set(items)
+        })
+        .collect()
+}
+
+fn assert_identical(serial: &ApssResult, parallel: &ApssResult, label: &str) {
+    assert_eq!(
+        serial.pairs.len(),
+        parallel.pairs.len(),
+        "{label}: pair count"
+    );
+    for (a, b) in serial.pairs.iter().zip(&parallel.pairs) {
+        assert_eq!((a.i, a.j), (b.i, b.j), "{label}: pair ids");
+        assert_eq!(
+            a.similarity.to_bits(),
+            b.similarity.to_bits(),
+            "{label}: similarity of ({}, {})",
+            a.i,
+            a.j
+        );
+    }
+    assert_eq!(
+        serial.estimates.len(),
+        parallel.estimates.len(),
+        "{label}: estimate count"
+    );
+    for (a, b) in serial.estimates.iter().zip(&parallel.estimates) {
+        assert_eq!((a.0, a.1), (b.0, b.1), "{label}: estimate ids");
+        assert_eq!(
+            a.2.decision, b.2.decision,
+            "{label}: decision of ({}, {})",
+            a.0, a.1
+        );
+        assert_eq!(a.2.matches, b.2.matches, "{label}: matches");
+        assert_eq!(a.2.hashes, b.2.hashes, "{label}: hashes");
+        assert_eq!(
+            a.2.map_similarity.to_bits(),
+            b.2.map_similarity.to_bits(),
+            "{label}: MAP estimate"
+        );
+        assert_eq!(
+            a.2.variance.to_bits(),
+            b.2.variance.to_bits(),
+            "{label}: variance"
+        );
+    }
+    // Counters must agree exactly; only wall-clock fields may differ.
+    assert_eq!(
+        serial.stats.candidates, parallel.stats.candidates,
+        "{label}"
+    );
+    assert_eq!(serial.stats.pruned, parallel.stats.pruned, "{label}");
+    assert_eq!(serial.stats.accepted, parallel.stats.accepted, "{label}");
+    assert_eq!(serial.stats.exhausted, parallel.stats.exhausted, "{label}");
+    assert_eq!(
+        serial.stats.hashes_compared, parallel.stats.hashes_compared,
+        "{label}"
+    );
+    assert_eq!(
+        serial.stats.cache_hits, parallel.stats.cache_hits,
+        "{label}"
+    );
+}
+
+fn check_both_strategies(
+    records: &[SparseVector],
+    measure: Similarity,
+    threshold: f64,
+    threads: usize,
+    exact: bool,
+) {
+    for strategy in [
+        CandidateStrategy::Exhaustive,
+        CandidateStrategy::Banded { bands: 8, width: 8 },
+    ] {
+        let serial_cfg = ApssConfig {
+            candidates: strategy,
+            exact_on_accept: exact,
+            parallelism: Some(1),
+            ..ApssConfig::default()
+        };
+        let parallel_cfg = ApssConfig {
+            parallelism: Some(threads),
+            ..serial_cfg
+        };
+        let (sketches, _) = build_sketches(records, measure, &serial_cfg);
+        let serial = apss_with_sketches(records, measure, &sketches, threshold, &serial_cfg);
+        let parallel = apss_with_sketches(records, measure, &sketches, threshold, &parallel_cfg);
+        assert_identical(
+            &serial,
+            &parallel,
+            &format!("{measure:?}/{strategy:?}/threads={threads}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simhash_probe_is_thread_count_invariant(
+        n in 30usize..90,
+        seed in 0u64..1000,
+        threshold in 0.5f64..0.95,
+        threads in 2usize..9,
+    ) {
+        let records = gaussian_records(n, seed);
+        check_both_strategies(&records, Similarity::Cosine, threshold, threads, false);
+    }
+
+    #[test]
+    fn minhash_probe_is_thread_count_invariant(
+        n in 30usize..90,
+        seed in 0u64..1000,
+        threshold in 0.3f64..0.9,
+        threads in 2usize..9,
+    ) {
+        let records = set_records(n, seed);
+        check_both_strategies(&records, Similarity::Jaccard, threshold, threads, false);
+    }
+
+    #[test]
+    fn exact_on_accept_is_thread_count_invariant(
+        seed in 0u64..200,
+        threads in 2usize..7,
+    ) {
+        let records = gaussian_records(50, seed);
+        check_both_strategies(&records, Similarity::Cosine, 0.7, threads, true);
+    }
+}
+
+#[test]
+fn knowledge_cache_probes_are_thread_count_invariant() {
+    let records = gaussian_records(70, 99);
+    let serial_cfg = ApssConfig {
+        parallelism: Some(1),
+        ..ApssConfig::default()
+    };
+    let parallel_cfg = ApssConfig {
+        parallelism: Some(6),
+        ..ApssConfig::default()
+    };
+    let (sk1, _) = build_sketches(&records, Similarity::Cosine, &serial_cfg);
+    let (sk2, _) = build_sketches(&records, Similarity::Cosine, &parallel_cfg);
+    let mut serial_cache = plasma_core::KnowledgeCache::new(sk1);
+    let mut parallel_cache = plasma_core::KnowledgeCache::new(sk2);
+    for threshold in [0.9, 0.6, 0.75] {
+        let serial = serial_cache.probe(&records, Similarity::Cosine, threshold, &serial_cfg);
+        let parallel = parallel_cache.probe(&records, Similarity::Cosine, threshold, &parallel_cfg);
+        assert_identical(&serial, &parallel, &format!("cache probe at {threshold}"));
+        assert!(threshold == 0.9 || parallel.stats.cache_hits > 0);
+    }
+}

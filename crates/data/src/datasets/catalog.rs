@@ -91,7 +91,11 @@ pub fn fig2_9_datasets(scale: f64, seed: u64) -> Vec<Dataset> {
         mk_corpus("rcv1-3k-like", scaled(3_000, scale.max(0.34)), 4_000, 70).generate(seed),
         SocialSpec {
             clone_rate: 0.25,
-            ..SocialSpec::new("twitterlinks-like", scaled(146_170, scale / 60.0).max(800), 10)
+            ..SocialSpec::new(
+                "twitterlinks-like",
+                scaled(146_170, scale / 60.0).max(800),
+                10,
+            )
         }
         .generate(seed + 1),
         mk_corpus(
@@ -433,19 +437,33 @@ pub fn compression_catalog(scale: f64, seed: u64) -> Vec<Dataset> {
     vec![
         SocialSpec {
             clone_rate: 0.3,
-            ..SocialSpec::new("twitterlinks-like", scaled(146_170, scale / 60.0).max(700), 10)
+            ..SocialSpec::new(
+                "twitterlinks-like",
+                scaled(146_170, scale / 60.0).max(700),
+                10,
+            )
         }
         .generate(seed),
         CorpusSpec {
             doc_len_mean: 90,
             near_dup_rate: 0.05,
-            ..CorpusSpec::new("wikiwords200-like", scaled(494_244, scale / 250.0).max(800), 6_000, 10)
+            ..CorpusSpec::new(
+                "wikiwords200-like",
+                scaled(494_244, scale / 250.0).max(800),
+                6_000,
+                10,
+            )
         }
         .generate(seed + 1),
         CorpusSpec {
             doc_len_mean: 160,
             near_dup_rate: 0.05,
-            ..CorpusSpec::new("wikiwords500-like", scaled(100_528, scale / 60.0).max(700), 6_000, 10)
+            ..CorpusSpec::new(
+                "wikiwords500-like",
+                scaled(100_528, scale / 60.0).max(700),
+                6_000,
+                10,
+            )
         }
         .generate(seed + 2),
         SocialSpec {
@@ -456,13 +474,23 @@ pub fn compression_catalog(scale: f64, seed: u64) -> Vec<Dataset> {
         .generate(seed + 3),
         CorpusSpec {
             near_dup_rate: 0.04,
-            ..CorpusSpec::new("rcv1-like", scaled(804_414, scale / 400.0).max(800), 5_000, 12)
+            ..CorpusSpec::new(
+                "rcv1-like",
+                scaled(804_414, scale / 400.0).max(800),
+                5_000,
+                12,
+            )
         }
         .generate(seed + 4),
         CorpusSpec {
             doc_len_mean: 24,
             near_dup_rate: 0.02,
-            ..CorpusSpec::new("wikilinks-like", scaled(1_815_914, scale / 900.0).max(900), 8_000, 14)
+            ..CorpusSpec::new(
+                "wikilinks-like",
+                scaled(1_815_914, scale / 900.0).max(900),
+                8_000,
+                14,
+            )
         }
         .generate(seed + 5),
     ]
@@ -495,13 +523,7 @@ impl ParcoordsEntry {
 
 /// The seven datasets of Figs. 5.4–5.10 / Table 5.1.
 pub fn parcoords_catalog() -> Vec<ParcoordsEntry> {
-    fn entry(
-        name: &'static str,
-        n: usize,
-        d: usize,
-        figk: usize,
-        sep: f64,
-    ) -> ParcoordsEntry {
+    fn entry(name: &'static str, n: usize, d: usize, figk: usize, sep: f64) -> ParcoordsEntry {
         ParcoordsEntry {
             name,
             paper_n: n,

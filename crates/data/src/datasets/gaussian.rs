@@ -193,7 +193,10 @@ mod tests {
                 }
             }
         }
-        assert!(near_dups > 20, "expected many near-duplicate pairs, got {near_dups}");
+        assert!(
+            near_dups > 20,
+            "expected many near-duplicate pairs, got {near_dups}"
+        );
     }
 
     #[test]

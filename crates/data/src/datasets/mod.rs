@@ -91,7 +91,10 @@ impl Dataset {
         Dataset {
             name: self.name.clone(),
             kind: self.kind,
-            records: idx.iter().map(|&i| self.records[i as usize].clone()).collect(),
+            records: idx
+                .iter()
+                .map(|&i| self.records[i as usize].clone())
+                .collect(),
             labels: self
                 .labels
                 .as_ref()

@@ -79,7 +79,23 @@ pub fn mix64(mut x: u64) -> u64 {
 /// following Bohman et al.'s practical construction referenced in §4.4.1.
 #[inline]
 pub fn keyed_hash(key: u64, item: u32) -> u64 {
-    mix64(key ^ (item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    keyed_hash_spread(key, spread_item(item))
+}
+
+/// The item-dependent half of [`keyed_hash`]. Hot loops that evaluate many
+/// keys against one item (dim-outer sketching) compute this once per item
+/// and finish each lane with [`keyed_hash_spread`].
+#[inline]
+pub fn spread_item(item: u32) -> u64 {
+    (item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Completes a keyed hash from a pre-spread item word:
+/// `keyed_hash(key, item) == keyed_hash_spread(key, spread_item(item))`,
+/// bit for bit.
+#[inline]
+pub fn keyed_hash_spread(key: u64, spread: u64) -> u64 {
+    mix64(key ^ spread)
 }
 
 #[cfg(test)]
@@ -102,6 +118,18 @@ mod tests {
         let mut seen = FxHashSet::default();
         for i in 0..10_000u64 {
             assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn spread_form_matches_keyed_hash() {
+        for key in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for item in [0u32, 1, 42, 9_999, u32::MAX] {
+                assert_eq!(
+                    keyed_hash(key, item),
+                    keyed_hash_spread(key, spread_item(item))
+                );
+            }
         }
     }
 

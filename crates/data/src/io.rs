@@ -51,7 +51,10 @@ impl std::fmt::Display for LoadError {
                 line,
                 column,
                 token,
-            } => write!(f, "line {line}, column {column}: cannot parse {token:?} as a number"),
+            } => write!(
+                f,
+                "line {line}, column {column}: cannot parse {token:?} as a number"
+            ),
             LoadError::RaggedRow {
                 line,
                 found,
@@ -243,10 +246,10 @@ mod tests {
             z_normalize: false,
             ..TableOptions::default()
         };
-        assert_eq!(read_table(tsv.as_bytes(), &opts).expect("tsv"), vec![
-            vec![1.0, 2.0],
-            vec![3.0, 4.0]
-        ]);
+        assert_eq!(
+            read_table(tsv.as_bytes(), &opts).expect("tsv"),
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+        );
         let semi = "1;2\n3;4\n";
         assert_eq!(read_table(semi.as_bytes(), &opts).expect("semi").len(), 2);
         let ws = "1 2\n3 4\n";
@@ -262,7 +265,11 @@ mod tests {
             ..TableOptions::default()
         };
         match read_table(csv.as_bytes(), &opts) {
-            Err(LoadError::BadNumber { line, column, token }) => {
+            Err(LoadError::BadNumber {
+                line,
+                column,
+                token,
+            }) => {
                 assert_eq!((line, column), (2, 2));
                 assert_eq!(token, "oops");
             }
@@ -280,7 +287,11 @@ mod tests {
         };
         assert!(matches!(
             read_table(csv.as_bytes(), &opts),
-            Err(LoadError::RaggedRow { line: 2, found: 1, expected: 2 })
+            Err(LoadError::RaggedRow {
+                line: 2,
+                found: 1,
+                expected: 2
+            })
         ));
     }
 

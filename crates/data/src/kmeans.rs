@@ -91,10 +91,7 @@ pub fn kmeans<R: Rng>(rows: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R)
 fn kmeans_pp_init<R: Rng>(rows: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(rows[rng.gen_range(0..rows.len())].clone());
-    let mut dists: Vec<f64> = rows
-        .iter()
-        .map(|r| sq_dist(r, &centroids[0]))
-        .collect();
+    let mut dists: Vec<f64> = rows.iter().map(|r| sq_dist(r, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {

@@ -159,9 +159,7 @@ mod tests {
 
     #[test]
     fn pair_counts_monotone_in_threshold() {
-        let recs: Vec<_> = (0..8)
-            .map(|i| v(&[1.0, i as f64 * 0.2]))
-            .collect();
+        let recs: Vec<_> = (0..8).map(|i| v(&[1.0, i as f64 * 0.2])).collect();
         let th = [0.2, 0.5, 0.8, 0.99];
         let counts = pair_counts_at_thresholds(&recs, Similarity::Cosine, &th);
         for w in counts.windows(2) {

@@ -7,8 +7,7 @@ use plasma_data::stats::{mean, percentile, std_dev, Histogram};
 use plasma_data::vector::SparseVector;
 
 fn sparse_vec() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..500, -10.0f64..10.0), 0..40)
-        .prop_map(SparseVector::from_pairs)
+    proptest::collection::vec((0u32..500, -10.0f64..10.0), 0..40).prop_map(SparseVector::from_pairs)
 }
 
 fn item_set() -> impl Strategy<Value = SparseVector> {

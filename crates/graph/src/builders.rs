@@ -12,11 +12,7 @@ use plasma_data::vector::SparseVector;
 use crate::csr::Graph;
 
 /// Exact similarity graph: all pairs with `sim ≥ threshold` are edges.
-pub fn similarity_graph(
-    records: &[SparseVector],
-    measure: Similarity,
-    threshold: f64,
-) -> Graph {
+pub fn similarity_graph(records: &[SparseVector], measure: Similarity, threshold: f64) -> Graph {
     let edges: Vec<(u32, u32)> =
         plasma_data::similarity::all_pairs_exact(records, measure, threshold)
             .into_iter()

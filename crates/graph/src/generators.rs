@@ -76,10 +76,8 @@ pub fn preferential_attachment<R: Rng>(n: usize, m_target: usize, rng: &mut R) -
         }
     }
     // Top up with preferential extra edges to approach m_target.
-    let mut have: FxHashSet<(u32, u32)> = edges
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect();
+    let mut have: FxHashSet<(u32, u32)> =
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
     let mut guard = 0;
     while have.len() < m_target && guard < m_target * 20 {
         guard += 1;
@@ -120,9 +118,7 @@ pub fn geometric_from_points(pts: &[(f64, f64)], m: usize) -> Graph {
     let m = m.min(pairs.len());
     if m > 0 {
         let nth = m - 1;
-        pairs.select_nth_unstable_by(nth, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
+        pairs.select_nth_unstable_by(nth, |a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
     }
     let edges: Vec<(u32, u32)> = pairs[..m].iter().map(|&(_, i, j)| (i, j)).collect();
     Graph::from_edges(n, &edges)
@@ -203,9 +199,17 @@ mod tests {
         let mut degs: Vec<usize> = (0..500).map(|v| g.degree(v as u32)).collect();
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let mean = 2.0 * g.m() as f64 / 500.0;
-        assert!(degs[0] as f64 > 3.0 * mean, "hub degree {} vs mean {mean}", degs[0]);
+        assert!(
+            degs[0] as f64 > 3.0 * mean,
+            "hub degree {} vs mean {mean}",
+            degs[0]
+        );
         // Edge count within 20% of target.
-        assert!((g.m() as f64 - 1500.0).abs() / 1500.0 < 0.2, "m = {}", g.m());
+        assert!(
+            (g.m() as f64 - 1500.0).abs() / 1500.0 < 0.2,
+            "m = {}",
+            g.m()
+        );
     }
 
     #[test]

@@ -36,8 +36,7 @@ fn accumulate_from(g: &Graph, s: u32, bc: &mut [f64]) {
     let mut delta = vec![0.0f64; n];
     while let Some(w) = stack.pop() {
         for &v in &preds[w as usize] {
-            delta[v as usize] +=
-                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            delta[v as usize] += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
         }
         if w != s {
             bc[w as usize] += delta[w as usize];

@@ -95,10 +95,7 @@ mod tests {
 
     /// Two triangles joined by one edge.
     fn barbell() -> (Graph, Vec<u32>) {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         (g, vec![0, 0, 0, 1, 1, 1])
     }
 

@@ -90,7 +90,9 @@ pub fn largest_component(g: &Graph) -> Vec<u32> {
         .max_by_key(|&v| uf.set_size(v))
         .expect("non-empty graph");
     let best_root = uf.find(best_root);
-    (0..g.n() as u32).filter(|&v| uf.find(v) == best_root).collect()
+    (0..g.n() as u32)
+        .filter(|&v| uf.find(v) == best_root)
+        .collect()
 }
 
 /// Component label per vertex (labels are arbitrary but consistent).
@@ -115,10 +117,7 @@ mod tests {
     use super::*;
 
     fn two_triangles_and_isolate() -> Graph {
-        Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
-        )
+        Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]

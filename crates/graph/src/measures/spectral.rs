@@ -93,9 +93,7 @@ pub fn laplacian_embedding(g: &Graph, k: usize, iters: usize) -> Vec<Vec<f64>> {
                     av[nb as usize] += vu;
                 }
             }
-            let mut w: Vec<f64> = (0..n)
-                .map(|i| v[i] + av[i] / deg[i].sqrt())
-                .collect();
+            let mut w: Vec<f64> = (0..n).map(|i| v[i] + av[i] / deg[i].sqrt()).collect();
             orthogonalize(&mut w, &vecs);
             if normalize(&mut w) < 1e-14 {
                 break;

@@ -9,7 +9,11 @@ use crate::csr::Graph;
 
 /// Exact global triangle count.
 pub fn count_triangles(g: &Graph) -> u64 {
-    per_vertex_triangles(g).iter().map(|&t| t as u64).sum::<u64>() / 3
+    per_vertex_triangles(g)
+        .iter()
+        .map(|&t| t as u64)
+        .sum::<u64>()
+        / 3
 }
 
 /// Number of triangles incident on each vertex (each triangle contributes

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use plasma_graph::measures::{betweenness, cliques, components, cores, degree, diameter, triangles};
+use plasma_graph::measures::{
+    betweenness, cliques, components, cores, degree, diameter, triangles,
+};
 use plasma_graph::Graph;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {

@@ -109,7 +109,10 @@ pub fn run_growth_experiment(
         .iter()
         .map(|pt| pt.progress)
         .collect();
-    let truth: Vec<f64> = real_curve.points[half..].iter().map(|pt| pt.value).collect();
+    let truth: Vec<f64> = real_curve.points[half..]
+        .iter()
+        .map(|pt| pt.value)
+        .collect();
 
     // 5–6. Predict the dense half.
     let real_first = real_curve.points.first().map_or(0.0, |pt| pt.value);
@@ -234,14 +237,8 @@ mod tests {
     fn all_sampling_methods_complete() {
         let recs = records(100);
         for m in SamplingMethod::all() {
-            let out = run_growth_experiment(
-                &recs,
-                Similarity::Cosine,
-                MeasureKind::Triangles,
-                m,
-                40,
-                7,
-            );
+            let out =
+                run_growth_experiment(&recs, Similarity::Cosine, MeasureKind::Triangles, m, 40, 7);
             assert!(out.reg_errors().mean.is_finite(), "{}", m.name());
         }
     }

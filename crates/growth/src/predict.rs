@@ -131,10 +131,13 @@ fn predictors(sample: &MeasureCurve, real: &MeasureCurve, u: f64) -> Vec<f64> {
     } else {
         let last = real.points.last().expect("non-empty curve");
         let slope = density_slope(real);
-        (last.edges.max(1) as f64 / real.n.max(1) as f64).log2()
-            + slope * (u - last.progress)
+        (last.edges.max(1) as f64 / real.n.max(1) as f64).log2() + slope * (u - last.progress)
     };
-    vec![sample.density_at(u), to_log(sample.value_at(u)), real_density]
+    vec![
+        sample.density_at(u),
+        to_log(sample.value_at(u)),
+        real_density,
+    ]
 }
 
 /// Average density-parameter increase per unit progress.
@@ -216,8 +219,8 @@ mod tests {
         let pred = regression(&sample, &real_train, 50, &grid);
         for (u, p) in grid.iter().zip(&pred.predicted) {
             let truth = real_full.value_at(*u);
-            let rel_log = ((p + 1.0).log10() - (truth + 1.0).log10()).abs()
-                / (truth + 1.0).log10().max(1e-9);
+            let rel_log =
+                ((p + 1.0).log10() - (truth + 1.0).log10()).abs() / (truth + 1.0).log10().max(1e-9);
             assert!(rel_log < 0.05, "at {u}: predicted {p} vs truth {truth}");
         }
     }

@@ -77,11 +77,7 @@ impl SamplingMethod {
             }
             SamplingMethod::Stratified => {
                 // Densify records for k-means (strata in attribute space).
-                let dim = records
-                    .iter()
-                    .map(|r| r.dim_bound())
-                    .max()
-                    .unwrap_or(0) as usize;
+                let dim = records.iter().map(|r| r.dim_bound()).max().unwrap_or(0) as usize;
                 let rows: Vec<Vec<f64>> = records
                     .iter()
                     .map(|r| {
@@ -109,8 +105,7 @@ impl SamplingMethod {
                 for &(c, alloc) in &allocations {
                     let base = alloc.floor() as usize;
                     let base = base.min(strata[c].len());
-                    let picks =
-                        rng::sample_without_replacement(&mut rng, strata[c].len(), base);
+                    let picks = rng::sample_without_replacement(&mut rng, strata[c].len(), base);
                     out.extend(picks.iter().map(|&x| strata[c][x as usize]));
                     taken += base;
                 }
@@ -195,10 +190,10 @@ mod tests {
             let mut sims = Vec::new();
             for a in 0..idx.len().min(40) {
                 for b in (a + 1)..idx.len().min(40) {
-                    sims.push(Similarity::Cosine.compute(
-                        &records[idx[a] as usize],
-                        &records[idx[b] as usize],
-                    ));
+                    sims.push(
+                        Similarity::Cosine
+                            .compute(&records[idx[a] as usize], &records[idx[b] as usize]),
+                    );
                 }
             }
             mean(&sims)
@@ -240,15 +235,16 @@ mod tests {
         let mut low_sim_pairs = 0;
         for a in 0..idx.len().min(30) {
             for b in (a + 1)..idx.len().min(30) {
-                let s = Similarity::Cosine.compute(
-                    &records[idx[a] as usize],
-                    &records[idx[b] as usize],
-                );
+                let s = Similarity::Cosine
+                    .compute(&records[idx[a] as usize], &records[idx[b] as usize]);
                 if s < 0.3 {
                     low_sim_pairs += 1;
                 }
             }
         }
-        assert!(low_sim_pairs > 10, "stratified sample looks too concentrated");
+        assert!(
+            low_sim_pairs > 10,
+            "stratified sample looks too concentrated"
+        );
     }
 }

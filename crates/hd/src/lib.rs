@@ -1,0 +1,20 @@
+//! One-stop facade over the PLASMA-HD workspace.
+//!
+//! Applications (and the `examples/`) depend on this crate alone and reach
+//! every subsystem through a stable module path:
+//!
+//! * [`data`] — vectors, similarity measures, datasets, stats
+//! * [`lsh`] — sketches, candidate generation, BayesLSH inference
+//! * [`core`] — APSS probes, knowledge cache, sessions, cumulative curves
+//! * [`graph`] — graph construction and structural measures
+//! * [`lam`] — lattice-structure mining and compression baselines
+//! * [`growth`] — graph-growth sampling and forecasting
+//! * [`parcoords`] — parallel-coordinates layout and rendering
+
+pub use plasma_core as core;
+pub use plasma_data as data;
+pub use plasma_graph as graph;
+pub use plasma_growth as growth;
+pub use plasma_lam as lam;
+pub use plasma_lsh as lsh;
+pub use plasma_parcoords as parcoords;

@@ -37,11 +37,7 @@ pub struct ClosedMineResult {
 /// Mines closed frequent itemsets with absolute support ≥ `min_support`.
 ///
 /// `budget` caps DFS expansions.
-pub fn mine_closed(
-    transactions: &[Vec<u32>],
-    min_support: usize,
-    budget: u64,
-) -> ClosedMineResult {
+pub fn mine_closed(transactions: &[Vec<u32>], min_support: usize, budget: u64) -> ClosedMineResult {
     let min_support = min_support.max(1);
     // Vertical representation of frequent items.
     let mut tidlists: FxHashMap<u32, Vec<u32>> = FxHashMap::default();

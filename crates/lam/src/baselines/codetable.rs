@@ -90,9 +90,8 @@ impl CodeTable {
 
         // Shannon code lengths from usages (Laplace-smoothed so unused
         // codes stay finite).
-        let smoothed_total: f64 = (total_codes as f64)
-            + pattern_usage.len() as f64
-            + singleton_usage.len() as f64;
+        let smoothed_total: f64 =
+            (total_codes as f64) + pattern_usage.len() as f64 + singleton_usage.len() as f64;
         let code_len = |usage: u64| -> f64 {
             let p = (usage as f64 + 1.0) / smoothed_total.max(2.0);
             -p.log2()
@@ -166,12 +165,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Vec<Vec<u32>> {
-        vec![
-            vec![1, 2, 3],
-            vec![1, 2, 3],
-            vec![1, 2, 3],
-            vec![4, 5],
-        ]
+        vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3], vec![4, 5]]
     }
 
     #[test]

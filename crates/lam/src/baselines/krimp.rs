@@ -9,9 +9,7 @@
 use std::time::Instant;
 
 use crate::baselines::closed::{mine_closed, DEFAULT_BUDGET};
-use crate::baselines::codetable::{
-    candidate_order, raw_bits, raw_cells, CodeTable, CtPattern,
-};
+use crate::baselines::codetable::{candidate_order, raw_bits, raw_cells, CodeTable, CtPattern};
 
 /// Krimp configuration.
 #[derive(Debug, Clone, Copy)]

@@ -37,9 +37,7 @@ impl LamClassifier {
             splits[l as usize].push(t.clone());
             class_counts[l as usize] += 1;
         }
-        let default_class = (0..n_classes)
-            .max_by_key(|&c| class_counts[c])
-            .unwrap_or(0) as u32;
+        let default_class = (0..n_classes).max_by_key(|&c| class_counts[c]).unwrap_or(0) as u32;
 
         // Mine patterns per class and expand pointer items back to
         // original items so patterns apply to raw test instances.
@@ -110,10 +108,7 @@ impl LamClassifier {
             if pats.is_empty() {
                 continue;
             }
-            let hits = pats
-                .iter()
-                .filter(|p| contains_sorted(&sorted, p))
-                .count();
+            let hits = pats.iter().filter(|p| contains_sorted(&sorted, p)).count();
             let score = hits as f64 / pats.len() as f64;
             if score > best_score {
                 best_score = score;
@@ -138,10 +133,7 @@ fn support_rate(split: &[Vec<u32>], pattern: &[u32]) -> f64 {
     if split.is_empty() {
         return 0.0;
     }
-    let hits = split
-        .iter()
-        .filter(|t| contains_sorted(t, pattern))
-        .count();
+    let hits = split.iter().filter(|t| contains_sorted(t, pattern)).count();
     hits as f64 / split.len() as f64
 }
 
@@ -159,9 +151,7 @@ impl KrimpClassifier {
         for (t, &l) in transactions.iter().zip(labels) {
             splits[l as usize].push(t.clone());
         }
-        let default_class = (0..n_classes)
-            .max_by_key(|&c| splits[c].len())
-            .unwrap_or(0) as u32;
+        let default_class = (0..n_classes).max_by_key(|&c| splits[c].len()).unwrap_or(0) as u32;
         let tables = splits
             .iter()
             .map(|split| {
@@ -170,7 +160,11 @@ impl KrimpClassifier {
                 }
                 let r = krimp(split, cfg);
                 let cover = r.code_table.cover(split);
-                (r.code_table, cover.singleton_usage, cover.total_codes.max(1))
+                (
+                    r.code_table,
+                    cover.singleton_usage,
+                    cover.total_codes.max(1),
+                )
             })
             .collect();
         Self {
@@ -196,7 +190,7 @@ impl KrimpClassifier {
                     // Approximate the class usage of this pattern by its
                     // training support.
                     let usage = ct.patterns[pi].support as f64;
-                    bits += u as f64 * -( (usage + 1.0) / smoothed ).log2();
+                    bits += u as f64 * -((usage + 1.0) / smoothed).log2();
                 }
             }
             for (it, &u) in cover.singleton_usage.iter() {
@@ -226,11 +220,9 @@ pub fn cross_validate(
     for f in 0..folds {
         let test_idx: Vec<usize> = (0..n).filter(|i| i % folds == f).collect();
         let train_idx: Vec<usize> = (0..n).filter(|i| i % folds != f).collect();
-        let train_tx: Vec<Vec<u32>> =
-            train_idx.iter().map(|&i| transactions[i].clone()).collect();
+        let train_tx: Vec<Vec<u32>> = train_idx.iter().map(|&i| transactions[i].clone()).collect();
         let train_lb: Vec<u32> = train_idx.iter().map(|&i| labels[i]).collect();
-        let test_tx: Vec<Vec<u32>> =
-            test_idx.iter().map(|&i| transactions[i].clone()).collect();
+        let test_tx: Vec<Vec<u32>> = test_idx.iter().map(|&i| transactions[i].clone()).collect();
         let preds = train_and_classify(&train_tx, &train_lb, &test_tx);
         for (k, &i) in test_idx.iter().enumerate() {
             if preds[k] == labels[i] {

@@ -244,7 +244,7 @@ mod tests {
         let mut d = db();
         let n = d.consume(&[1, 2, 3], &[0, 1, 2, 3], 0);
         assert_eq!(n, 3); // tx 3 does not contain the pattern
-        // Cells: tx = [ptr,9]=2, [ptr]=1, [ptr,7]=2, [4,5]=2 → 7; CT = 3.
+                          // Cells: tx = [ptr,9]=2, [ptr]=1, [ptr,7]=2, [4,5]=2 → 7; CT = 3.
         assert_eq!(d.compressed_cells(), 10);
         assert!(d.compression_ratio() > 1.0);
         assert_eq!(d.patterns().len(), 1);

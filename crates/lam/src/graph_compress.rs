@@ -99,10 +99,8 @@ pub fn inflection_points(curve: &[CompressPoint], top_k: usize) -> Vec<f64> {
     let mut scored: Vec<(f64, f64)> = curve
         .windows(3)
         .map(|w| {
-            let d1 = (w[1].ratio - w[0].ratio)
-                / (w[1].threshold - w[0].threshold).abs().max(1e-9);
-            let d2 = (w[2].ratio - w[1].ratio)
-                / (w[2].threshold - w[1].threshold).abs().max(1e-9);
+            let d1 = (w[1].ratio - w[0].ratio) / (w[1].threshold - w[0].threshold).abs().max(1e-9);
+            let d2 = (w[2].ratio - w[1].ratio) / (w[2].threshold - w[1].threshold).abs().max(1e-9);
             ((d2 - d1).abs(), w[1].threshold)
         })
         .collect();
@@ -180,10 +178,26 @@ mod tests {
     #[test]
     fn inflection_points_found_on_kinked_curve() {
         let curve = vec![
-            CompressPoint { threshold: 0.2, edges: 100, ratio: 1.0 },
-            CompressPoint { threshold: 0.4, edges: 80, ratio: 1.1 },
-            CompressPoint { threshold: 0.6, edges: 60, ratio: 2.5 },
-            CompressPoint { threshold: 0.8, edges: 20, ratio: 2.6 },
+            CompressPoint {
+                threshold: 0.2,
+                edges: 100,
+                ratio: 1.0,
+            },
+            CompressPoint {
+                threshold: 0.4,
+                edges: 80,
+                ratio: 1.1,
+            },
+            CompressPoint {
+                threshold: 0.6,
+                edges: 60,
+                ratio: 2.5,
+            },
+            CompressPoint {
+                threshold: 0.8,
+                edges: 20,
+                ratio: 2.6,
+            },
         ];
         let pts = inflection_points(&curve, 1);
         assert_eq!(pts.len(), 1);

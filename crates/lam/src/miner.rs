@@ -203,8 +203,7 @@ mod tests {
         let mut rng = plasma_data::rng::seeded(13);
         let txs: Vec<Vec<u32>> = (0..300)
             .map(|_| {
-                let mut t: Vec<u32> =
-                    (0..12).map(|_| rng.gen_range(0..5_000u32)).collect();
+                let mut t: Vec<u32> = (0..12).map(|_| rng.gen_range(0..5_000u32)).collect();
                 t.sort_unstable();
                 t.dedup();
                 t

@@ -67,11 +67,11 @@ pub fn plam_run(db: &mut TransactionDb, cfg: &LamConfig, threads: usize) -> LamR
 
         let db_ref: &TransactionDb = db;
         let utility = cfg.utility;
-        let outputs: Vec<Vec<WorkerOutput>> = crossbeam::thread::scope(|scope| {
+        let outputs: Vec<Vec<WorkerOutput>> = std::thread::scope(|scope| {
             let handles: Vec<_> = buckets
                 .iter()
                 .map(|bucket| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         bucket
                             .iter()
                             .map(|group| mine_group_local(db_ref, group, utility, pass))
@@ -83,8 +83,7 @@ pub fn plam_run(db: &mut TransactionDb, cfg: &LamConfig, threads: usize) -> LamR
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("thread scope failed");
+        });
 
         // Deterministic merge in worker/bucket order.
         for worker in outputs {
@@ -106,7 +105,12 @@ pub fn plam_run(db: &mut TransactionDb, cfg: &LamConfig, threads: usize) -> LamR
 }
 
 /// Mines one partition in a private mini-database.
-fn mine_group_local(db: &TransactionDb, group: &[u32], utility: crate::utility::Utility, pass: u32) -> WorkerOutput {
+fn mine_group_local(
+    db: &TransactionDb,
+    group: &[u32],
+    utility: crate::utility::Utility,
+    pass: u32,
+) -> WorkerOutput {
     // Local db over just this group's transactions (ids 0..len).
     let txs: Vec<Vec<u32>> = group
         .iter()
@@ -204,8 +208,8 @@ mod tests {
             ..LamConfig::default()
         };
         let plam_result = plam_run(&mut parallel, &cfg, 4);
-        let rel = (serial_result.final_ratio - plam_result.final_ratio).abs()
-            / serial_result.final_ratio;
+        let rel =
+            (serial_result.final_ratio - plam_result.final_ratio).abs() / serial_result.final_ratio;
         assert!(
             rel < 0.1,
             "serial {} vs plam {}",

@@ -113,11 +113,7 @@ impl Trie {
         let maximal: Vec<usize> = (1..self.nodes.len())
             .filter(|&n| {
                 let node = &self.nodes[n];
-                node.txs.len() >= 2
-                    && node
-                        .children
-                        .values()
-                        .all(|&c| self.nodes[c].txs.len() < 2)
+                node.txs.len() >= 2 && node.children.values().all(|&c| self.nodes[c].txs.len() < 2)
             })
             .collect();
         let mut out = Vec::new();
@@ -239,7 +235,10 @@ mod tests {
             let p = pots.iter().find(|p| p.items == items).expect("present");
             Utility::Area.score(
                 p.items.len(),
-                &p.transactions.iter().map(|&t| len_of(t)).collect::<Vec<_>>(),
+                &p.transactions
+                    .iter()
+                    .map(|&t| len_of(t))
+                    .collect::<Vec<_>>(),
             )
         };
         assert_eq!(util(&[1, 2, 3, 5, 6, 10, 12, 15]), 14.0);

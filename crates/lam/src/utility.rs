@@ -44,9 +44,7 @@ impl Utility {
     /// length.
     pub fn score_fast(self, len: usize, frequency: usize, mean_tx_len: f64) -> f64 {
         match self {
-            Utility::Area => {
-                (len.saturating_sub(1) as f64) * (frequency.saturating_sub(1) as f64)
-            }
+            Utility::Area => (len.saturating_sub(1) as f64) * (frequency.saturating_sub(1) as f64),
             Utility::RelativeClosedness => frequency as f64 * len as f64 / mean_tx_len.max(1.0),
         }
     }

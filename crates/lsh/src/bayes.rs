@@ -129,12 +129,22 @@ impl BayesLsh {
     /// Posterior over the similarity grid given `m` matches in `n` hashes.
     /// Returns normalized weights parallel to [`grid`](Self::grid_points).
     pub fn posterior(&self, m: u32, n: u32) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.posterior_into(m, n, &mut out);
+        out
+    }
+
+    /// [`posterior`](Self::posterior) into a caller-owned buffer, so hot
+    /// loops (pair evaluation, curve assembly) reuse one allocation across
+    /// thousands of cells.
+    pub fn posterior_into(&self, m: u32, n: u32, out: &mut Vec<f64>) {
         debug_assert!(m <= n);
         let mf = m as f64;
         let nf = n as f64;
-        let mut logw = vec![0.0f64; GRID];
+        out.clear();
+        out.resize(GRID, 0.0);
         let mut max = f64::NEG_INFINITY;
-        for (i, w) in logw.iter_mut().enumerate() {
+        for (i, w) in out.iter_mut().enumerate() {
             let lw = mf * self.log_p[i] + (nf - mf) * self.log_q[i];
             *w = lw;
             if lw > max {
@@ -142,14 +152,13 @@ impl BayesLsh {
             }
         }
         let mut total = 0.0;
-        for lw in &mut logw {
+        for lw in out.iter_mut() {
             *lw = (*lw - max).exp();
             total += *lw;
         }
-        for w in &mut logw {
+        for w in out.iter_mut() {
             *w /= total;
         }
-        logw
     }
 
     /// The similarity grid points.
@@ -195,55 +204,16 @@ impl BayesLsh {
 
     /// Evaluates one candidate pair from its sketches at threshold `t`,
     /// applying pruning and concentration incrementally in batches.
-    pub fn evaluate_pair(
-        &self,
-        sketches: &SketchSet,
-        i: usize,
-        j: usize,
-        t: f64,
-    ) -> PairEstimate {
+    pub fn evaluate_pair(&self, sketches: &SketchSet, i: usize, j: usize, t: f64) -> PairEstimate {
         let max_n = sketches.n_hashes();
+        let mut scratch = Vec::new();
         let mut n = 0usize;
         loop {
             n = (n + self.params.batch).min(max_n);
             let m = sketches.matches(i, j, n);
-            let post = self.posterior(m, n as u32);
-            let (map, _mean, var) = self.summarize(&post);
-
-            // Pruning rule (Eq. 2.1).
-            if self.tail_mass(&post, t) < self.params.epsilon {
-                return PairEstimate {
-                    decision: PairDecision::Pruned,
-                    matches: m,
-                    hashes: n as u32,
-                    map_similarity: map,
-                    variance: var,
-                };
-            }
-            // Concentration rule (Eq. 2.2): mass within ±δ of the estimate.
-            let mut inside = 0.0;
-            for (gi, &w) in post.iter().enumerate() {
-                if (self.grid[gi] - map).abs() < self.params.delta {
-                    inside += w;
-                }
-            }
-            if 1.0 - inside < self.params.gamma {
-                return PairEstimate {
-                    decision: PairDecision::Accepted,
-                    matches: m,
-                    hashes: n as u32,
-                    map_similarity: map,
-                    variance: var,
-                };
-            }
-            if n == max_n {
-                return PairEstimate {
-                    decision: PairDecision::Exhausted,
-                    matches: m,
-                    hashes: n as u32,
-                    map_similarity: map,
-                    variance: var,
-                };
+            let cell = self.decide_with(m, n as u32, t, &mut scratch);
+            if let Some(est) = cell.settle(m, n, max_n) {
+                return est;
             }
         }
     }
@@ -259,16 +229,20 @@ impl BayesLsh {
             engine: self,
             threshold: t,
             cells: plasma_data::hash::FxHashMap::default(),
+            scratch: Vec::new(),
         }
     }
 
-    /// Computes the decision cell for `(m, n)` at threshold `t`.
-    fn decide(&self, m: u32, n: u32, t: f64) -> Cell {
-        let post = self.posterior(m, n);
-        let (map, _mean, var) = self.summarize(&post);
-        let prune = self.tail_mass(&post, t) < self.params.epsilon;
+    /// Computes the decision cell for `(m, n)` at threshold `t` with a
+    /// caller-owned posterior buffer — the single home of both stopping
+    /// rules (Eq. 2.1 pruning first, Eq. 2.2 concentration second), so
+    /// every evaluation path applies them identically.
+    fn decide_with(&self, m: u32, n: u32, t: f64, scratch: &mut Vec<f64>) -> Cell {
+        self.posterior_into(m, n, scratch);
+        let (map, _mean, var) = self.summarize(scratch);
+        let prune = self.tail_mass(scratch, t) < self.params.epsilon;
         let mut inside = 0.0;
-        for (gi, &w) in post.iter().enumerate() {
+        for (gi, &w) in scratch.iter().enumerate() {
             if (self.grid[gi] - map).abs() < self.params.delta {
                 inside += w;
             }
@@ -294,84 +268,26 @@ impl BayesLsh {
         cached: PairEstimate,
         t: f64,
     ) -> PairEstimate {
+        let mut scratch = Vec::new();
         // Decide from the cached prefix first.
-        let post = self.posterior(cached.matches, cached.hashes);
-        let (map, _mean, var) = self.summarize(&post);
-        if self.tail_mass(&post, t) < self.params.epsilon {
-            return PairEstimate {
-                decision: PairDecision::Pruned,
-                matches: cached.matches,
-                hashes: cached.hashes,
-                map_similarity: map,
-                variance: var,
-            };
-        }
-        let mut inside = 0.0;
-        for (gi, &w) in post.iter().enumerate() {
-            if (self.grid[gi] - map).abs() < self.params.delta {
-                inside += w;
-            }
-        }
-        if 1.0 - inside < self.params.gamma {
-            return PairEstimate {
-                decision: PairDecision::Accepted,
-                matches: cached.matches,
-                hashes: cached.hashes,
-                map_similarity: map,
-                variance: var,
-            };
+        let cell = self.decide_with(cached.matches, cached.hashes, t, &mut scratch);
+        if let Some(est) = cell.settle_prefix(cached.matches, cached.hashes) {
+            return est;
         }
         // The cached prefix is inconclusive at the new threshold: continue
         // hashing from where the cache stopped.
-        if (cached.hashes as usize) < sketches.n_hashes() {
-            let mut n = cached.hashes as usize;
-            let max_n = sketches.n_hashes();
-            loop {
-                n = (n + self.params.batch).min(max_n);
-                let m = sketches.matches(i, j, n);
-                let post = self.posterior(m, n as u32);
-                let (map, _mean, var) = self.summarize(&post);
-                if self.tail_mass(&post, t) < self.params.epsilon {
-                    return PairEstimate {
-                        decision: PairDecision::Pruned,
-                        matches: m,
-                        hashes: n as u32,
-                        map_similarity: map,
-                        variance: var,
-                    };
-                }
-                let mut inside = 0.0;
-                for (gi, &w) in post.iter().enumerate() {
-                    if (self.grid[gi] - map).abs() < self.params.delta {
-                        inside += w;
-                    }
-                }
-                if 1.0 - inside < self.params.gamma {
-                    return PairEstimate {
-                        decision: PairDecision::Accepted,
-                        matches: m,
-                        hashes: n as u32,
-                        map_similarity: map,
-                        variance: var,
-                    };
-                }
-                if n == max_n {
-                    return PairEstimate {
-                        decision: PairDecision::Exhausted,
-                        matches: m,
-                        hashes: n as u32,
-                        map_similarity: map,
-                        variance: var,
-                    };
-                }
-            }
+        let max_n = sketches.n_hashes();
+        if (cached.hashes as usize) >= max_n {
+            return cell.as_estimate(PairDecision::Exhausted, cached.matches, cached.hashes);
         }
-        PairEstimate {
-            decision: PairDecision::Exhausted,
-            matches: cached.matches,
-            hashes: cached.hashes,
-            map_similarity: map,
-            variance: var,
+        let mut n = cached.hashes as usize;
+        loop {
+            n = (n + self.params.batch).min(max_n);
+            let m = sketches.matches(i, j, n);
+            let cell = self.decide_with(m, n as u32, t, &mut scratch);
+            if let Some(est) = cell.settle(m, n, max_n) {
+                return est;
+            }
         }
     }
 }
@@ -385,11 +301,59 @@ struct Cell {
     var: f64,
 }
 
+impl Cell {
+    /// Estimate with this cell's posterior summary and the given decision.
+    fn as_estimate(self, decision: PairDecision, m: u32, n: u32) -> PairEstimate {
+        PairEstimate {
+            decision,
+            matches: m,
+            hashes: n,
+            map_similarity: self.map,
+            variance: self.var,
+        }
+    }
+
+    /// Terminal estimate for a batch step at `(m, n)` of `max_n` hashes,
+    /// or `None` when evaluation must continue. Pruning outranks
+    /// acceptance, matching the rule order of Eqs. 2.1 and 2.2.
+    fn settle(self, m: u32, n: usize, max_n: usize) -> Option<PairEstimate> {
+        let decision = if self.prune {
+            PairDecision::Pruned
+        } else if self.accept {
+            PairDecision::Accepted
+        } else if n == max_n {
+            PairDecision::Exhausted
+        } else {
+            return None;
+        };
+        Some(self.as_estimate(decision, m, n as u32))
+    }
+
+    /// Like [`settle`](Self::settle) for a cached prefix, where running
+    /// out of hashes is handled by the caller instead of being terminal.
+    fn settle_prefix(self, m: u32, n: u32) -> Option<PairEstimate> {
+        if self.prune {
+            Some(self.as_estimate(PairDecision::Pruned, m, n))
+        } else if self.accept {
+            Some(self.as_estimate(PairDecision::Accepted, m, n))
+        } else {
+            None
+        }
+    }
+}
+
 /// Lazily-filled `(m, n) → decision` table for one probe threshold.
+///
+/// Tables are intentionally cheap to construct (an empty map plus a
+/// scratch buffer), so parallel pair evaluation hands each worker its own
+/// table instead of sharing one behind a lock; per-worker cells repopulate
+/// in a few hundred posterior evaluations.
 pub struct ProbeTable<'a> {
     engine: &'a BayesLsh,
     threshold: f64,
     cells: plasma_data::hash::FxHashMap<(u32, u32), Cell>,
+    /// Reused posterior buffer: cell misses compute without allocating.
+    scratch: Vec<f64>,
 }
 
 impl ProbeTable<'_> {
@@ -398,55 +362,31 @@ impl ProbeTable<'_> {
         self.threshold
     }
 
+    /// Number of memoized `(m, n)` cells.
+    pub fn cells_memoized(&self) -> usize {
+        self.cells.len()
+    }
+
     fn cell(&mut self, m: u32, n: u32) -> Cell {
         let engine = self.engine;
         let t = self.threshold;
+        let scratch = &mut self.scratch;
         *self
             .cells
             .entry((m, n))
-            .or_insert_with(|| engine.decide(m, n, t))
+            .or_insert_with(|| engine.decide_with(m, n, t, scratch))
     }
 
     /// Table-driven equivalent of [`BayesLsh::evaluate_pair`].
-    pub fn evaluate_pair(
-        &mut self,
-        sketches: &SketchSet,
-        i: usize,
-        j: usize,
-    ) -> PairEstimate {
+    pub fn evaluate_pair(&mut self, sketches: &SketchSet, i: usize, j: usize) -> PairEstimate {
         let max_n = sketches.n_hashes();
         let batch = self.engine.params.batch;
         let mut n = 0usize;
         loop {
             n = (n + batch).min(max_n);
             let m = sketches.matches(i, j, n);
-            let cell = self.cell(m, n as u32);
-            if cell.prune {
-                return PairEstimate {
-                    decision: PairDecision::Pruned,
-                    matches: m,
-                    hashes: n as u32,
-                    map_similarity: cell.map,
-                    variance: cell.var,
-                };
-            }
-            if cell.accept {
-                return PairEstimate {
-                    decision: PairDecision::Accepted,
-                    matches: m,
-                    hashes: n as u32,
-                    map_similarity: cell.map,
-                    variance: cell.var,
-                };
-            }
-            if n == max_n {
-                return PairEstimate {
-                    decision: PairDecision::Exhausted,
-                    matches: m,
-                    hashes: n as u32,
-                    map_similarity: cell.map,
-                    variance: cell.var,
-                };
+            if let Some(est) = self.cell(m, n as u32).settle(m, n, max_n) {
+                return est;
             }
         }
     }
@@ -462,56 +402,21 @@ impl ProbeTable<'_> {
         cached: PairEstimate,
     ) -> PairEstimate {
         let cell = self.cell(cached.matches, cached.hashes);
-        if cell.prune {
-            return PairEstimate {
-                decision: PairDecision::Pruned,
-                matches: cached.matches,
-                hashes: cached.hashes,
-                map_similarity: cell.map,
-                variance: cell.var,
-            };
+        if let Some(est) = cell.settle_prefix(cached.matches, cached.hashes) {
+            return est;
         }
-        if cell.accept {
-            return PairEstimate {
-                decision: PairDecision::Accepted,
-                matches: cached.matches,
-                hashes: cached.hashes,
-                map_similarity: cell.map,
-                variance: cell.var,
-            };
+        let max_n = sketches.n_hashes();
+        if (cached.hashes as usize) >= max_n {
+            return cell.as_estimate(PairDecision::Exhausted, cached.matches, cached.hashes);
         }
-        if (cached.hashes as usize) < sketches.n_hashes() {
-            let max_n = sketches.n_hashes();
-            let batch = self.engine.params.batch;
-            let mut n = cached.hashes as usize;
-            loop {
-                n = (n + batch).min(max_n);
-                let m = sketches.matches(i, j, n);
-                let cell = self.cell(m, n as u32);
-                if cell.prune || cell.accept || n == max_n {
-                    let decision = if cell.prune {
-                        PairDecision::Pruned
-                    } else if cell.accept {
-                        PairDecision::Accepted
-                    } else {
-                        PairDecision::Exhausted
-                    };
-                    return PairEstimate {
-                        decision,
-                        matches: m,
-                        hashes: n as u32,
-                        map_similarity: cell.map,
-                        variance: cell.var,
-                    };
-                }
+        let batch = self.engine.params.batch;
+        let mut n = cached.hashes as usize;
+        loop {
+            n = (n + batch).min(max_n);
+            let m = sketches.matches(i, j, n);
+            if let Some(est) = self.cell(m, n as u32).settle(m, n, max_n) {
+                return est;
             }
-        }
-        PairEstimate {
-            decision: PairDecision::Exhausted,
-            matches: cached.matches,
-            hashes: cached.hashes,
-            map_similarity: cell.map,
-            variance: cell.var,
         }
     }
 }
@@ -561,8 +466,14 @@ mod tests {
         let e = engine(LshFamily::MinHash);
         let p_low = e.prob_at_least(10, 64, 0.5);
         let p_high = e.prob_at_least(60, 64, 0.5);
-        assert!(p_low < 0.01, "low match rate should rule out s≥0.5: {p_low}");
-        assert!(p_high > 0.99, "high match rate should imply s≥0.5: {p_high}");
+        assert!(
+            p_low < 0.01,
+            "low match rate should rule out s≥0.5: {p_low}"
+        );
+        assert!(
+            p_high > 0.99,
+            "high match rate should imply s≥0.5: {p_high}"
+        );
     }
 
     #[test]

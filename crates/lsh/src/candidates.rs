@@ -9,14 +9,33 @@
 //!   become candidates (the classic LSH-join). Recall at similarity `s` is
 //!   `1 − (1 − p(s)^w)^b` with `b` bands, so band width tunes the
 //!   threshold the join targets.
+//!
+//! The banded join buckets each band independently, so bands shard across
+//! threads. Cross-band duplicates are removed by sorting each band's pair
+//! run and merging the runs with a k-way dedup — peak memory tracks the
+//! per-band runs instead of a global hash-set over every distinct pair,
+//! which is what used to dominate on dense buckets.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use plasma_data::hash::FxHashMap;
+use rayon::prelude::*;
 
+use crate::resolve_parallelism;
 use crate::sketch::SketchSet;
+
+/// Exact capacity for [`exhaustive`], `n·(n−1)/2`, computed with checked
+/// arithmetic: when the multiply would overflow `usize` (an allocation no
+/// machine can satisfy anyway), the pre-reservation is skipped entirely
+/// and `Vec` growth takes over.
+fn exhaustive_capacity(n: usize) -> usize {
+    n.checked_mul(n.saturating_sub(1)).map_or(0, |p| p / 2)
+}
 
 /// Generates all unordered pairs `(i, j)`, `i < j`.
 pub fn exhaustive(n: usize) -> Vec<(u32, u32)> {
-    let mut out = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    let mut out = Vec::with_capacity(exhaustive_capacity(n));
     for i in 0..n {
         for j in (i + 1)..n {
             out.push((i as u32, j as u32));
@@ -25,35 +44,97 @@ pub fn exhaustive(n: usize) -> Vec<(u32, u32)> {
     out
 }
 
-/// Banded LSH candidate generation over a sketch set.
+/// Banded LSH candidate generation over a sketch set, using all cores.
 ///
 /// `bands` bands of `band_width` hashes each are read from the front of the
 /// sketches; records sharing a band key in the same bucket are paired.
-/// Duplicate pairs across bands are deduplicated.
+/// Duplicate pairs across bands are deduplicated. Output is sorted,
+/// unique, and independent of the thread count.
 pub fn banded(sketches: &SketchSet, bands: usize, band_width: usize) -> Vec<(u32, u32)> {
+    banded_with(sketches, bands, band_width, None)
+}
+
+/// [`banded`] with an explicit thread count (`None` = all cores,
+/// `Some(1)` = sequential).
+pub fn banded_with(
+    sketches: &SketchSet,
+    bands: usize,
+    band_width: usize,
+    parallelism: Option<usize>,
+) -> Vec<(u32, u32)> {
+    let threads = resolve_parallelism(parallelism).min(bands.max(1));
+    let runs: Vec<Vec<(u32, u32)>> = if threads <= 1 || bands <= 1 {
+        (0..bands)
+            .map(|band| band_run(sketches, band, band_width))
+            .collect()
+    } else {
+        let band_ids: Vec<usize> = (0..bands).collect();
+        let per_chunk = bands.div_ceil(threads);
+        let nested: Vec<Vec<Vec<(u32, u32)>>> = band_ids
+            .par_chunks(per_chunk)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&band| band_run(sketches, band, band_width))
+                    .collect()
+            })
+            .collect();
+        nested.into_iter().flatten().collect()
+    };
+    kway_merge_dedup(runs)
+}
+
+/// One band's sorted, deduplicated pair run.
+fn band_run(sketches: &SketchSet, band: usize, band_width: usize) -> Vec<(u32, u32)> {
     let n = sketches.len();
-    let mut seen: plasma_data::hash::FxHashSet<(u32, u32)> =
-        plasma_data::hash::FxHashSet::default();
-    for band in 0..bands {
-        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        for i in 0..n {
-            let key = sketches.band_key(i, band, band_width);
-            buckets.entry(key).or_default().push(i as u32);
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for i in 0..n {
+        let key = sketches.band_key(i, band, band_width);
+        buckets.entry(key).or_default().push(i as u32);
+    }
+    let mut run = Vec::new();
+    for members in buckets.values() {
+        if members.len() < 2 {
+            continue;
         }
-        for (_, members) in buckets {
-            if members.len() < 2 {
-                continue;
-            }
-            for a in 0..members.len() {
-                for b in (a + 1)..members.len() {
-                    let (i, j) = (members[a].min(members[b]), members[a].max(members[b]));
-                    seen.insert((i, j));
-                }
+        for a in 0..members.len() {
+            for b in (a + 1)..members.len() {
+                let (i, j) = (members[a].min(members[b]), members[a].max(members[b]));
+                run.push((i, j));
             }
         }
     }
-    let mut out: Vec<(u32, u32)> = seen.into_iter().collect();
-    out.sort_unstable();
+    // Bucket members are pushed in record order, so pairs within one
+    // bucket are already sorted; across buckets they are not.
+    run.sort_unstable();
+    run.dedup();
+    run
+}
+
+/// Merges sorted runs into one sorted, duplicate-free vector.
+fn kway_merge_dedup(runs: Vec<Vec<(u32, u32)>>) -> Vec<(u32, u32)> {
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.into_iter().next().expect("one run"),
+        _ => {}
+    }
+    let mut heap: BinaryHeap<Reverse<((u32, u32), usize)>> = BinaryHeap::new();
+    let mut cursors = vec![0usize; runs.len()];
+    for (r, run) in runs.iter().enumerate() {
+        if let Some(&first) = run.first() {
+            heap.push(Reverse((first, r)));
+        }
+    }
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
+    while let Some(Reverse((pair, r))) = heap.pop() {
+        if out.last() != Some(&pair) {
+            out.push(pair);
+        }
+        cursors[r] += 1;
+        if let Some(&next) = runs[r].get(cursors[r]) {
+            heap.push(Reverse((next, r)));
+        }
+    }
     out
 }
 
@@ -76,6 +157,23 @@ mod tests {
         assert_eq!(exhaustive(4).len(), 6);
         assert_eq!(exhaustive(0).len(), 0);
         assert_eq!(exhaustive(1).len(), 0);
+    }
+
+    #[test]
+    fn exhaustive_capacity_is_exact_and_overflow_safe() {
+        // Exact for representable sizes (matches the generated length)…
+        for n in [0usize, 1, 2, 4, 100] {
+            assert_eq!(exhaustive_capacity(n), exhaustive(n).len());
+        }
+        // …and degrades to no pre-reservation when n·(n−1) would overflow
+        // usize, instead of panicking (debug) or requesting an absurd
+        // allocation (release).
+        for n in [usize::MAX, u32::MAX as usize + 2, 1 << 33] {
+            assert_eq!(exhaustive_capacity(n), 0, "n = {n:#x}");
+        }
+        // Just below the overflow boundary the formula still computes.
+        let n = 1usize << 32;
+        assert_eq!(exhaustive_capacity(n), (n / 2) * (n - 1));
     }
 
     #[test]
@@ -129,5 +227,37 @@ mod tests {
         for &(i, j) in &cands {
             assert!(i < j);
         }
+    }
+
+    #[test]
+    fn banded_is_thread_count_invariant() {
+        // Near-duplicate clusters generate heavy cross-band duplication;
+        // every thread count must produce the same sorted unique list.
+        let records: Vec<SparseVector> = (0..30u32)
+            .map(|i| SparseVector::from_set((i / 3 * 40..i / 3 * 40 + 45).collect()))
+            .collect();
+        let sk = Sketcher::new(LshFamily::MinHash, 64, 5).sketch_all(&records);
+        let reference = banded_with(&sk, 16, 4, Some(1));
+        for threads in [2, 3, 5, 16] {
+            assert_eq!(
+                banded_with(&sk, 16, 4, Some(threads)),
+                reference,
+                "banded join diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn kway_merge_dedup_merges_and_dedups() {
+        let runs = vec![
+            vec![(0, 1), (0, 3), (2, 5)],
+            vec![(0, 1), (1, 2), (2, 5)],
+            vec![],
+            vec![(0, 2)],
+        ];
+        assert_eq!(
+            kway_merge_dedup(runs),
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 5)]
+        );
     }
 }

@@ -87,10 +87,7 @@ mod tests {
                 }
                 let p = fam.match_probability(s);
                 let back = fam.similarity_from_match_rate(p);
-                assert!(
-                    (back - s).abs() < 1e-9,
-                    "{fam:?}: {s} → {p} → {back}"
-                );
+                assert!((back - s).abs() < 1e-9, "{fam:?}: {s} → {p} → {back}");
             }
         }
     }

@@ -10,6 +10,28 @@
 //! Two hash families cover the paper's measures:
 //! * min-wise hashing for Jaccard — `Pr[match] = s`
 //! * random-hyperplane (sign) hashing for cosine — `Pr[match] = 1 − θ/π`
+//!
+//! # Engine architecture
+//!
+//! The crate implements the *sketch* half of the APSS hot path (Fig. 2.9
+//! splits a probe into sketching and processing; `plasma-core` owns the
+//! processing half):
+//!
+//! * [`sketch`] — dim-outer, lane-inner kernels stream each record's
+//!   dimensions once while updating every hash lane, and whole-dataset
+//!   passes shard records across threads into disjoint slices of the flat
+//!   sketch buffer. Output is bit-identical at every thread count.
+//! * [`candidates`] — exhaustive and banded-LSH candidate generation; the
+//!   banded join buckets each band in parallel and merges per-band sorted
+//!   runs with a k-way dedup, avoiding a global hash-set of pairs.
+//! * [`bayes`] — posterior inference and the memoized per-`(m, n)`
+//!   decision table ([`bayes::ProbeTable`]); tables are cheap to build, so
+//!   parallel callers give each worker its own.
+//!
+//! Thread counts everywhere follow one convention, resolved by
+//! [`resolve_parallelism`]: `None` means "all cores", `Some(k)` pins `k`
+//! threads, and `Some(1)` forces the sequential path. Results never depend
+//! on the choice.
 
 pub mod bayes;
 pub mod candidates;
@@ -19,3 +41,12 @@ pub mod sketch;
 pub use bayes::{BayesLsh, BayesParams, PairDecision};
 pub use family::LshFamily;
 pub use sketch::{SketchSet, Sketcher};
+
+/// Resolves the workspace-wide parallelism knob: `None` = all available
+/// cores, `Some(k)` = exactly `max(k, 1)` threads.
+pub fn resolve_parallelism(parallelism: Option<usize>) -> usize {
+    match parallelism {
+        Some(k) => k.max(1),
+        None => rayon::current_num_threads(),
+    }
+}

@@ -5,11 +5,43 @@
 //! Sketches for a whole dataset live in one flat buffer so pair evaluation
 //! streams contiguous memory — the concatenated-sketch layout §2.4 credits
 //! for BayesLSH's cache friendliness.
+//!
+//! # Kernel shape
+//!
+//! Both families run **dim-outer, lane-inner**: each record's dimensions
+//! are streamed once, and every hash lane is updated in the inner loop.
+//! The item-dependent half of the keyed hash ([`spread_item`]) is computed
+//! once per dimension instead of once per `(dimension, lane)` pair, and
+//! the per-lane state (`n_hashes` running minima, or `n_hashes` running
+//! dot products) stays cache-resident across the whole record. The values
+//! produced are bit-identical to the textbook lane-outer formulation —
+//! minima are order-free and each lane's dot product still accumulates
+//! dimensions in record order.
+//!
+//! # Parallelism
+//!
+//! [`Sketcher::sketch_all`] and [`Sketcher::extend_sketches`] shard the
+//! record range across threads: the flat output buffer is pre-sized and
+//! split into disjoint per-shard slices (`par_chunks_mut`), so workers
+//! write without synchronization and the result is bit-identical for
+//! every thread count. [`Sketcher::with_parallelism`] pins the thread
+//! count (`Some(1)` = sequential, `None` = all cores).
 
-use plasma_data::hash::keyed_hash;
+use plasma_data::hash::{keyed_hash_spread, spread_item};
 use plasma_data::vector::SparseVector;
+use rayon::prelude::*;
 
 use crate::family::LshFamily;
+use crate::resolve_parallelism;
+
+/// Per-lane key schedule constants (one odd multiplier per family, so the
+/// two families draw independent hash function sequences from one seed).
+const MINHASH_LANE_MUL: u64 = 0xA24B_AED4_963E_E407;
+const SIMHASH_LANE_MUL: u64 = 0x9E6C_63D0_9759_27F1;
+
+/// Below this much total work (`records · n_hashes`), sharding costs more
+/// than it saves and sketching stays sequential.
+const MIN_PARALLEL_WORK: usize = 1 << 13;
 
 /// Generates sketches for one dataset.
 #[derive(Debug, Clone)]
@@ -17,6 +49,10 @@ pub struct Sketcher {
     family: LshFamily,
     n_hashes: usize,
     seed: u64,
+    /// Precomputed per-lane hash keys (`seed ^ h·MUL` for lane `h`).
+    lane_keys: Vec<u64>,
+    /// Thread count for whole-dataset sketching; `None` = all cores.
+    parallelism: Option<usize>,
 }
 
 impl Sketcher {
@@ -27,7 +63,18 @@ impl Sketcher {
             family,
             n_hashes,
             seed,
+            lane_keys: lane_keys(family, seed, 0, n_hashes),
+            parallelism: None,
         }
+    }
+
+    /// Pins the thread count used by [`sketch_all`](Self::sketch_all) and
+    /// [`extend_sketches`](Self::extend_sketches). `Some(1)` forces the
+    /// sequential path; `None` (the default) uses all cores. Output is
+    /// bit-identical either way.
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Number of hashes per sketch.
@@ -40,11 +87,28 @@ impl Sketcher {
         self.family
     }
 
-    /// Sketches every record. Runtime is `O(records · nnz · n_hashes)`.
+    /// Sketches every record, sharding across threads. Runtime is
+    /// `O(records · nnz · n_hashes / threads)` with one streaming pass
+    /// over each record's dimensions.
     pub fn sketch_all(&self, records: &[SparseVector]) -> SketchSet {
-        let mut set = SketchSet::with_capacity(self.family, self.n_hashes, records.len());
-        for r in records {
-            self.sketch_into(r, &mut set);
+        let n = records.len();
+        let mut set = SketchSet::zeroed(self.family, self.n_hashes, n);
+        if n == 0 {
+            return set;
+        }
+        let stride = set.stride;
+        let threads = self.threads_for(n).min(n);
+        if threads <= 1 {
+            self.sketch_shard(records, &mut set.data);
+        } else {
+            let shard_records = n.div_ceil(threads);
+            set.data
+                .par_chunks_mut(shard_records * stride)
+                .enumerate_for_each(|shard, slice| {
+                    let lo = shard * shard_records;
+                    let hi = (lo + shard_records).min(n);
+                    self.sketch_shard(&records[lo..hi], slice);
+                });
         }
         set
     }
@@ -53,42 +117,32 @@ impl Sketcher {
     pub fn sketch_into(&self, record: &SparseVector, set: &mut SketchSet) {
         debug_assert_eq!(set.family, self.family);
         debug_assert_eq!(set.n_hashes, self.n_hashes);
-        match self.family {
-            LshFamily::MinHash => {
-                for h in 0..self.n_hashes {
-                    let key = self.seed ^ (h as u64).wrapping_mul(0xA24B_AED4_963E_E407);
-                    let mut best = u64::MAX;
-                    for &d in record.dims() {
-                        let v = keyed_hash(key, d);
-                        if v < best {
-                            best = v;
-                        }
-                    }
-                    set.data.push(best);
-                }
-            }
-            LshFamily::SimHash => {
-                let words = self.n_hashes.div_ceil(64);
-                let mut packed = vec![0u64; words];
-                // Sign of <record, plane_h> per bit.
-                for h in 0..self.n_hashes {
-                    let key = self.seed ^ (h as u64).wrapping_mul(0x9E6C_63D0_9759_27F1);
-                    let mut dot = 0.0f64;
-                    for (d, w) in record.iter() {
-                        dot += w * gaussian_component(key, d);
-                    }
-                    if dot >= 0.0 {
-                        packed[h / 64] |= 1u64 << (h % 64);
-                    }
-                }
-                set.data.extend_from_slice(&packed);
-            }
-        }
+        let start = set.data.len();
+        set.data.resize(start + set.stride, 0);
+        self.sketch_record(record, &mut set.data[start..], &mut Scratch::default());
         set.records += 1;
     }
-}
 
-impl Sketcher {
+    /// Sequentially sketches a contiguous shard of records into its
+    /// pre-sized slice of the flat buffer.
+    fn sketch_shard(&self, records: &[SparseVector], out: &mut [u64]) {
+        let stride = SketchSet::stride_for(self.family, self.n_hashes);
+        let mut scratch = Scratch::default();
+        for (k, record) in records.iter().enumerate() {
+            self.sketch_record(record, &mut out[k * stride..(k + 1) * stride], &mut scratch);
+        }
+    }
+
+    /// Sketches one record into its (zeroed) output slice. `scratch`
+    /// holds the reusable spread/dot buffers so a shard allocates once,
+    /// not once per record.
+    fn sketch_record(&self, record: &SparseVector, out: &mut [u64], scratch: &mut Scratch) {
+        match self.family {
+            LshFamily::MinHash => minhash_lanes(record, &self.lane_keys, out, &mut scratch.spreads),
+            LshFamily::SimHash => simhash_lanes(record, &self.lane_keys, 0, out, &mut scratch.dots),
+        }
+    }
+
     /// Extends an existing sketch set to `new_n` hashes per record,
     /// recomputing only the added hashes. Because every hash position is
     /// keyed independently, the extended set's prefix is bit-identical to
@@ -102,67 +156,168 @@ impl Sketcher {
         new_n: usize,
     ) -> SketchSet {
         assert_eq!(existing.family, self.family);
-        assert_eq!(existing.len(), records.len(), "record/sketch count mismatch");
+        assert_eq!(
+            existing.len(),
+            records.len(),
+            "record/sketch count mismatch"
+        );
         assert!(
             new_n >= existing.n_hashes,
             "extension cannot shrink a sketch ({new_n} < {})",
             existing.n_hashes
         );
+        let n = records.len();
         let old_n = existing.n_hashes;
-        let extender = Sketcher::new(self.family, new_n, self.seed);
-        let mut out = SketchSet::with_capacity(self.family, new_n, records.len());
-        match self.family {
-            LshFamily::MinHash => {
-                for (i, r) in records.iter().enumerate() {
-                    // Copy the old hashes, compute only the new tail.
-                    out.data.extend_from_slice(existing.sketch(i));
-                    for h in old_n..new_n {
-                        let key =
-                            extender.seed ^ (h as u64).wrapping_mul(0xA24B_AED4_963E_E407);
-                        let mut best = u64::MAX;
-                        for &d in r.dims() {
-                            let v = keyed_hash(key, d);
-                            if v < best {
-                                best = v;
-                            }
-                        }
-                        out.data.push(best);
+        let tail_keys = lane_keys(self.family, self.seed, old_n, new_n);
+        let mut out = SketchSet::zeroed(self.family, new_n, n);
+        if n == 0 {
+            return out;
+        }
+        let new_stride = out.stride;
+        let threads = self.threads_for(n).min(n);
+        let extend_shard = |lo: usize, records: &[SparseVector], slice: &mut [u64]| {
+            let mut scratch = Scratch::default();
+            for (k, record) in records.iter().enumerate() {
+                let dst = &mut slice[k * new_stride..(k + 1) * new_stride];
+                let old = existing.sketch(lo + k);
+                dst[..old.len()].copy_from_slice(old);
+                match self.family {
+                    LshFamily::MinHash => {
+                        minhash_lanes(record, &tail_keys, &mut dst[old_n..], &mut scratch.spreads);
                     }
-                    out.records += 1;
+                    LshFamily::SimHash => {
+                        // Clear stale bits the old final word may carry
+                        // past `old_n`, then pack the new lanes at their
+                        // absolute positions.
+                        if !old_n.is_multiple_of(64) {
+                            dst[old_n / 64] &= (1u64 << (old_n % 64)) - 1;
+                        }
+                        simhash_lanes(record, &tail_keys, old_n, dst, &mut scratch.dots);
+                    }
                 }
             }
-            LshFamily::SimHash => {
-                let new_words = new_n.div_ceil(64);
-                for (i, r) in records.iter().enumerate() {
-                    let mut packed = vec![0u64; new_words];
-                    let old = existing.sketch(i);
-                    packed[..old.len()].copy_from_slice(old);
-                    for h in old_n..new_n {
-                        let key =
-                            extender.seed ^ (h as u64).wrapping_mul(0x9E6C_63D0_9759_27F1);
-                        let mut dot = 0.0f64;
-                        for (d, w) in r.iter() {
-                            dot += w * gaussian_component(key, d);
-                        }
-                        if dot >= 0.0 {
-                            packed[h / 64] |= 1u64 << (h % 64);
-                        }
-                    }
-                    out.data.extend_from_slice(&packed);
-                    out.records += 1;
-                }
-            }
+        };
+        if threads <= 1 {
+            extend_shard(0, records, &mut out.data);
+        } else {
+            let shard_records = n.div_ceil(threads);
+            out.data
+                .par_chunks_mut(shard_records * new_stride)
+                .enumerate_for_each(|shard, slice| {
+                    let lo = shard * shard_records;
+                    let hi = (lo + shard_records).min(n);
+                    extend_shard(lo, &records[lo..hi], slice);
+                });
         }
         out
     }
+
+    /// Thread count for a whole-dataset pass over `records` records.
+    fn threads_for(&self, records: usize) -> usize {
+        if records * self.n_hashes < MIN_PARALLEL_WORK {
+            return 1;
+        }
+        resolve_parallelism(self.parallelism)
+    }
 }
 
-/// Pseudo-random standard-normal component of hyperplane `key` at dimension
-/// `d`, derived from a hash so planes never need materializing.
+/// The per-lane key schedule: `seed ^ h·MUL` for `h` in `[from, to)`.
+fn lane_keys(family: LshFamily, seed: u64, from: usize, to: usize) -> Vec<u64> {
+    let mul = match family {
+        LshFamily::MinHash => MINHASH_LANE_MUL,
+        LshFamily::SimHash => SIMHASH_LANE_MUL,
+    };
+    (from..to)
+        .map(|h| seed ^ (h as u64).wrapping_mul(mul))
+        .collect()
+}
+
+/// Reusable per-shard scratch buffers (dim spreads for MinHash, lane dot
+/// products for SimHash).
+#[derive(Default)]
+struct Scratch {
+    spreads: Vec<u64>,
+    dots: Vec<f64>,
+}
+
+/// Lanes per register block of the MinHash kernel: eight independent
+/// mix chains saturate the multiplier ports while the running minima stay
+/// in registers instead of round-tripping through the output slice.
+const LANE_BLOCK: usize = 8;
+
+/// Loop-inverted MinHash: the item-dependent hash half ([`spread_item`])
+/// is computed once per dimension into `spreads` (the streaming pass that
+/// replaces `O(nnz · n_hashes)` recomputation), then lane blocks of
+/// [`LANE_BLOCK`] running minima consume it from registers.
+fn minhash_lanes(record: &SparseVector, keys: &[u64], out: &mut [u64], spreads: &mut Vec<u64>) {
+    debug_assert_eq!(keys.len(), out.len());
+    spreads.clear();
+    spreads.extend(record.dims().iter().map(|&d| spread_item(d)));
+    let mut lane = 0;
+    while lane < keys.len() {
+        let end = (lane + LANE_BLOCK).min(keys.len());
+        if end - lane == LANE_BLOCK {
+            let block: &[u64; LANE_BLOCK] = keys[lane..end].try_into().expect("full block");
+            let mut best = [u64::MAX; LANE_BLOCK];
+            for &sp in spreads.iter() {
+                for l in 0..LANE_BLOCK {
+                    // A rarely-taken branch beats a conditional move: the
+                    // minima stabilize after the first few dims, so the
+                    // predictor removes the loop-carried dependency.
+                    let v = keyed_hash_spread(block[l], sp);
+                    if v < best[l] {
+                        best[l] = v;
+                    }
+                }
+            }
+            out[lane..end].copy_from_slice(&best);
+        } else {
+            // Tail block (n_hashes not a multiple of LANE_BLOCK).
+            for (slot, &key) in out[lane..end].iter_mut().zip(&keys[lane..end]) {
+                let mut best = u64::MAX;
+                for &sp in spreads.iter() {
+                    best = best.min(keyed_hash_spread(key, sp));
+                }
+                *slot = best;
+            }
+        }
+        lane += LANE_BLOCK;
+    }
+}
+
+/// Dim-outer SimHash: one [`spread_item`] per dimension, all lanes' dot
+/// products accumulated in the inner loop, then signs packed into `words`
+/// starting at absolute bit position `first_lane`. Each lane's sum visits
+/// dimensions in record order, so results match the lane-outer
+/// formulation bit for bit.
+fn simhash_lanes(
+    record: &SparseVector,
+    keys: &[u64],
+    first_lane: usize,
+    words: &mut [u64],
+    dots: &mut Vec<f64>,
+) {
+    dots.clear();
+    dots.resize(keys.len(), 0.0);
+    for (d, w) in record.iter() {
+        let spread = spread_item(d);
+        for (acc, &key) in dots.iter_mut().zip(keys) {
+            *acc += w * gaussian_from_hash(keyed_hash_spread(key, spread));
+        }
+    }
+    for (k, &dot) in dots.iter().enumerate() {
+        if dot >= 0.0 {
+            let h = first_lane + k;
+            words[h / 64] |= 1u64 << (h % 64);
+        }
+    }
+}
+
+/// Pseudo-random standard-normal component of a hyperplane at one
+/// dimension, derived from the already-keyed hash `h` so planes never
+/// need materializing (two 32-bit halves → Box–Muller).
 #[inline]
-fn gaussian_component(key: u64, d: u32) -> f64 {
-    let h = keyed_hash(key, d);
-    // Two 32-bit halves → Box–Muller.
+fn gaussian_from_hash(h: u64) -> f64 {
     let u1 = (((h >> 32) as u32 as f64) + 1.0) / (u32::MAX as f64 + 2.0);
     let u2 = ((h as u32 as f64) + 0.5) / (u32::MAX as f64 + 1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -179,11 +334,17 @@ pub struct SketchSet {
 }
 
 impl SketchSet {
-    fn with_capacity(family: LshFamily, n_hashes: usize, records: usize) -> Self {
-        let stride = match family {
+    fn stride_for(family: LshFamily, n_hashes: usize) -> usize {
+        match family {
             LshFamily::MinHash => n_hashes,
             LshFamily::SimHash => n_hashes.div_ceil(64),
-        };
+        }
+    }
+
+    /// An empty set with room reserved for `records` sketches (append via
+    /// [`Sketcher::sketch_into`]).
+    fn with_capacity(family: LshFamily, n_hashes: usize, records: usize) -> Self {
+        let stride = Self::stride_for(family, n_hashes);
         Self {
             family,
             n_hashes,
@@ -191,6 +352,24 @@ impl SketchSet {
             records: 0,
             data: Vec::with_capacity(records * stride),
         }
+    }
+
+    /// A fully-sized zeroed set for `records` sketches, ready for
+    /// disjoint-slice parallel writes.
+    fn zeroed(family: LshFamily, n_hashes: usize, records: usize) -> Self {
+        let stride = Self::stride_for(family, n_hashes);
+        Self {
+            family,
+            n_hashes,
+            stride,
+            records,
+            data: vec![0u64; records * stride],
+        }
+    }
+
+    /// An empty appendable set (used by streaming callers).
+    pub fn empty(family: LshFamily, n_hashes: usize) -> Self {
+        Self::with_capacity(family, n_hashes, 0)
     }
 
     /// Number of sketched records.
@@ -288,6 +467,7 @@ impl SketchSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plasma_data::hash::keyed_hash;
     use plasma_data::rng::seeded;
     use plasma_data::similarity::{cosine, jaccard};
     use rand::Rng;
@@ -367,11 +547,106 @@ mod tests {
     }
 
     #[test]
+    fn dim_outer_kernel_matches_lane_outer_reference() {
+        // The loop inversion must reproduce the textbook lane-outer values
+        // exactly: same keyed hashes, same minima, same sign bits.
+        let mut rng = seeded(77);
+        let records: Vec<SparseVector> = (0..6).map(|_| random_set(&mut rng, 600, 50)).collect();
+        let n_hashes = 100;
+        let seed = 13;
+        let sk = Sketcher::new(LshFamily::MinHash, n_hashes, seed).sketch_all(&records);
+        for (i, r) in records.iter().enumerate() {
+            for h in 0..n_hashes {
+                let key = seed ^ (h as u64).wrapping_mul(MINHASH_LANE_MUL);
+                let expect = r
+                    .dims()
+                    .iter()
+                    .map(|&d| keyed_hash(key, d))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                assert_eq!(sk.minhash_value(i, h), expect, "record {i} lane {h}");
+            }
+        }
+        let dense: Vec<SparseVector> = (0..4)
+            .map(|k| SparseVector::from_dense(&[0.5 + k as f64, -1.0, 2.5, 0.1 * k as f64]))
+            .collect();
+        let sh = Sketcher::new(LshFamily::SimHash, 70, seed).sketch_all(&dense);
+        for (i, r) in dense.iter().enumerate() {
+            for h in 0..70usize {
+                let key = seed ^ (h as u64).wrapping_mul(SIMHASH_LANE_MUL);
+                let mut dot = 0.0f64;
+                for (d, w) in r.iter() {
+                    dot += w * gaussian_from_hash(keyed_hash(key, d));
+                }
+                let bit = (sh.sketch(i)[h / 64] >> (h % 64)) & 1;
+                assert_eq!(bit == 1, dot >= 0.0, "record {i} lane {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sketching_is_bit_identical() {
+        let mut rng = seeded(123);
+        let records: Vec<SparseVector> = (0..64).map(|_| random_set(&mut rng, 2000, 80)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let serial = Sketcher::new(fam, 192, 5)
+                .with_parallelism(Some(1))
+                .sketch_all(&records);
+            for threads in [2, 3, 8] {
+                let par = Sketcher::new(fam, 192, 5)
+                    .with_parallelism(Some(threads))
+                    .sketch_all(&records);
+                for i in 0..records.len() {
+                    assert_eq!(
+                        par.sketch(i),
+                        serial.sketch(i),
+                        "{fam:?} with {threads} threads diverged at record {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_extension_is_bit_identical() {
+        let mut rng = seeded(321);
+        let records: Vec<SparseVector> = (0..48).map(|_| random_set(&mut rng, 900, 64)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let base = Sketcher::new(fam, 96, 9).sketch_all(&records);
+            let serial = Sketcher::new(fam, 96, 9)
+                .with_parallelism(Some(1))
+                .extend_sketches(&records, &base, 256);
+            let par = Sketcher::new(fam, 96, 9)
+                .with_parallelism(Some(4))
+                .extend_sketches(&records, &base, 256);
+            for i in 0..records.len() {
+                assert_eq!(par.sketch(i), serial.sketch(i), "{fam:?} record {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_into_append_matches_bulk() {
+        let mut rng = seeded(55);
+        let records: Vec<SparseVector> = (0..10).map(|_| random_set(&mut rng, 300, 30)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let sketcher = Sketcher::new(fam, 80, 3);
+            let bulk = sketcher.sketch_all(&records);
+            let mut appended = SketchSet::empty(fam, 80);
+            for r in &records {
+                sketcher.sketch_into(r, &mut appended);
+            }
+            assert_eq!(appended.len(), bulk.len());
+            for i in 0..records.len() {
+                assert_eq!(appended.sketch(i), bulk.sketch(i), "{fam:?} record {i}");
+            }
+        }
+    }
+
+    #[test]
     fn extension_preserves_prefix_and_matches_fresh() {
         let mut rng = seeded(31);
-        let records: Vec<SparseVector> = (0..8)
-            .map(|_| random_set(&mut rng, 800, 60))
-            .collect();
+        let records: Vec<SparseVector> = (0..8).map(|_| random_set(&mut rng, 800, 60)).collect();
         for fam in [LshFamily::MinHash, LshFamily::SimHash] {
             let small = Sketcher::new(fam, 64, 9).sketch_all(&records);
             let extended = Sketcher::new(fam, 64, 9).extend_sketches(&records, &small, 192);

@@ -130,10 +130,7 @@ pub fn crossing_matrix(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
 
 /// Total crossings realized by a dimension ordering.
 pub fn total_crossings(matrix: &[Vec<u64>], order: &[usize]) -> u64 {
-    order
-        .windows(2)
-        .map(|w| matrix[w[0]][w[1]])
-        .sum()
+    order.windows(2).map(|w| matrix[w[0]][w[1]]).sum()
 }
 
 #[cfg(test)]

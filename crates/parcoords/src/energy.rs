@@ -110,10 +110,7 @@ impl EnergyModel {
             rank[c] = r;
         }
         let chain = cluster_order.len();
-        let sizes: Vec<f64> = cluster_order
-            .iter()
-            .map(|&c| counts[c] as f64)
-            .collect();
+        let sizes: Vec<f64> = cluster_order.iter().map(|&c| counts[c] as f64).collect();
 
         // Pseudo-centers indexed by chain rank; boundary sentinels at the
         // coordinate range limits (ĉ0 = min, ĉ_{n+1} = max).
@@ -219,8 +216,8 @@ impl EnergyModel {
             if r > 0 && r + 1 < chain {
                 if cfg.size_weighted {
                     let (wl, wr) = neighbor_weights(sizes, r);
-                    er = wl * (z[i] - centers[r - 1]).powi(2)
-                        + wr * (z[i] - centers[r + 1]).powi(2);
+                    er =
+                        wl * (z[i] - centers[r - 1]).powi(2) + wr * (z[i] - centers[r + 1]).powi(2);
                 } else {
                     er = (z[i] - centers[r - 1]).powi(2) + (z[i] - centers[r + 1]).powi(2);
                 }

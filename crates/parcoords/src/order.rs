@@ -109,7 +109,10 @@ fn mst_walk(w: &[Vec<u64>]) -> Vec<usize> {
 /// Held–Karp minimum Hamiltonian path with free endpoints.
 fn held_karp(w: &[Vec<u64>]) -> Vec<usize> {
     let d = w.len();
-    assert!(d <= 20, "Held–Karp is exponential; use MstApprox for d > 20");
+    assert!(
+        d <= 20,
+        "Held–Karp is exponential; use MstApprox for d > 20"
+    );
     let full = 1usize << d;
     // dp[mask][v] = min cost of a path visiting `mask`, ending at v.
     let mut dp = vec![vec![u64::MAX; d]; full];
@@ -364,7 +367,10 @@ mod tests {
 
     #[test]
     fn tiny_inputs() {
-        assert_eq!(order_dimensions(&[], OrderMethod::Exact), Vec::<usize>::new());
+        assert_eq!(
+            order_dimensions(&[], OrderMethod::Exact),
+            Vec::<usize>::new()
+        );
         let one = vec![vec![0u64]];
         assert_eq!(order_dimensions(&one, OrderMethod::MstApprox), vec![0]);
     }

@@ -209,7 +209,13 @@ mod tests {
     #[test]
     fn energy_svg_renders_curves() {
         let (r, c) = rows();
-        let svg = render_energy(&r, &c, &[0, 1, 2], EnergyConfig::default(), Layout::default());
+        let svg = render_energy(
+            &r,
+            &c,
+            &[0, 1, 2],
+            EnergyConfig::default(),
+            Layout::default(),
+        );
         assert_eq!(svg.matches("<path").count(), 4);
         // Sampled curves contain many line segments per path.
         assert!(svg.matches('L').count() > 4 * 8);

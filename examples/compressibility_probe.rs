@@ -7,18 +7,14 @@
 //! cargo run --release --example compressibility_probe
 //! ```
 
+use plasma_hd::data::datasets::catalog;
 use plasma_hd::lam::graph_compress::{compression_curve, inflection_points};
 use plasma_hd::lam::miner::LamConfig;
-use plasma_hd::data::datasets::catalog;
 
 fn main() {
     // A corpus with planted topics plus template near-duplicates.
     let dataset = catalog::rcv1_like(0.04, 11);
-    println!(
-        "dataset: {} ({} documents)\n",
-        dataset.name,
-        dataset.len()
-    );
+    println!("dataset: {} ({} documents)\n", dataset.name, dataset.len());
 
     let thresholds: Vec<f64> = (1..=17).map(|k| 0.05 * k as f64).collect();
     let curve = compression_curve(
@@ -31,7 +27,10 @@ fn main() {
     println!("threshold   edges   LAM compression ratio");
     for p in &curve {
         let bar = "#".repeat(((p.ratio - 1.0) * 40.0).max(0.0) as usize);
-        println!("  {:.2}    {:>7}   {:.3} {bar}", p.threshold, p.edges, p.ratio);
+        println!(
+            "  {:.2}    {:>7}   {:.3} {bar}",
+            p.threshold, p.edges, p.ratio
+        );
     }
 
     let knees = inflection_points(&curve, 3);

@@ -32,7 +32,10 @@ fn main() {
     );
 
     println!("dense-half triangle counts — predicted vs measured:");
-    println!("{:>10} {:>14} {:>14} {:>14}", "progress", "truth", "TS", "Regression");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "progress", "truth", "TS", "Regression"
+    );
     for (k, &u) in out.test_progress.iter().enumerate() {
         println!(
             "{:>10.2} {:>14.0} {:>14.0} {:>14.0}",

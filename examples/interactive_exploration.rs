@@ -60,7 +60,9 @@ fn main() {
     let guided = guided_start.elapsed().as_secs_f64();
 
     // --- The brute-force alternative -------------------------------------
-    println!("\nbrute force: computing pair counts at every threshold 0.0, 0.1, … 1.0 from scratch…");
+    println!(
+        "\nbrute force: computing pair counts at every threshold 0.0, 0.1, … 1.0 from scratch…"
+    );
     let brute_start = Instant::now();
     for k in 0..=10 {
         let _ = apss(&dataset.records, dataset.measure, k as f64 / 10.0, &cfg);

@@ -1,0 +1,257 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses.
+//!
+//! crates.io is unreachable from the build container, so this crate
+//! provides real data parallelism through `std::thread::scope` behind
+//! rayon-shaped call sites: [`join`], [`scope`], [`current_num_threads`],
+//! and chunked parallel slice iteration
+//! ([`slice::ParallelSlice::par_chunks`] /
+//! [`slice::ParallelSliceMut::par_chunks_mut`]).
+//!
+//! Unlike real rayon there is no work-stealing pool: each chunk gets one
+//! scoped OS thread. Callers are expected to size chunks so the chunk
+//! count is within a small factor of [`current_num_threads`] — which is
+//! exactly how the PLASMA-HD engine shards its kernels (`ceil(len /
+//! threads)` chunks). The API is rayon-shaped but not a strict subset:
+//! `enumerate_for_each` and the joinable scope spawns have no direct
+//! real-rayon equivalent, so swapping in the real crate needs mechanical
+//! call-site rewrites (`.enumerate().for_each()`, channel collection)
+//! alongside the workspace-manifest change.
+
+/// Number of hardware threads available to the process.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// Creates a scope in which tasks can be spawned; all tasks complete
+/// before `scope` returns. Thin wrapper over [`std::thread::scope`].
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(f)
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Runs `f(index, item)` for every item, one scoped thread per item
+/// beyond the first (which runs on the caller's thread).
+fn run_indexed<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    match n {
+        0 => Vec::new(),
+        1 => {
+            let mut items = items;
+            vec![f(0, items.pop().expect("one item"))]
+        }
+        _ => std::thread::scope(|s| {
+            let mut iter = items.into_iter();
+            let first = iter.next().expect("n >= 2");
+            let handles: Vec<_> = iter
+                .enumerate()
+                .map(|(k, item)| s.spawn(move || f(k + 1, item)))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            out.push(f(0, first));
+            for h in handles {
+                out.push(h.join().expect("rayon shim: chunk task panicked"));
+            }
+            out
+        }),
+    }
+}
+
+/// Chunked parallel iteration over slices.
+pub mod slice {
+    use super::run_indexed;
+
+    /// `par_chunks` for shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Splits the slice into chunks of at most `chunk_size` items,
+        /// processed in parallel (one thread per chunk).
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks {
+                chunks: self.chunks(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// Parallel iterator over shared chunks.
+    pub struct ParChunks<'a, T> {
+        chunks: Vec<&'a [T]>,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Number of chunks.
+        pub fn len(&self) -> usize {
+            self.chunks.len()
+        }
+
+        /// True when the source slice was empty.
+        pub fn is_empty(&self) -> bool {
+            self.chunks.is_empty()
+        }
+
+        /// Maps every chunk in parallel; results keep chunk order. Eager,
+        /// unlike real rayon — `collect` on the result is a no-op adapter.
+        pub fn map<R, F>(self, f: F) -> ParResults<R>
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+        {
+            ParResults {
+                results: run_indexed(self.chunks, &|_, c| f(c)),
+            }
+        }
+
+        /// Runs `f(chunk_index, chunk)` for every chunk in parallel.
+        pub fn enumerate_for_each<F>(self, f: F)
+        where
+            F: Fn(usize, &'a [T]) + Sync,
+        {
+            run_indexed(self.chunks, &|k, c| f(k, c));
+        }
+    }
+
+    /// `par_chunks_mut` for mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into disjoint mutable chunks of at most
+        /// `chunk_size` items, processed in parallel (one thread per
+        /// chunk).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// Parallel iterator over disjoint mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Number of chunks.
+        pub fn len(&self) -> usize {
+            self.chunks.len()
+        }
+
+        /// True when the source slice was empty.
+        pub fn is_empty(&self) -> bool {
+            self.chunks.is_empty()
+        }
+
+        /// Runs `f` on every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            run_indexed(self.chunks, &|_, c| f(c));
+        }
+
+        /// Runs `f(chunk_index, chunk)` for every chunk in parallel.
+        pub fn enumerate_for_each<F>(self, f: F)
+        where
+            F: Fn(usize, &mut [T]) + Sync,
+        {
+            run_indexed(self.chunks, &|k, c| f(k, c));
+        }
+    }
+
+    /// Ordered results of a parallel map.
+    pub struct ParResults<R> {
+        results: Vec<R>,
+    }
+
+    impl<R> ParResults<R> {
+        /// Collects the (already computed) results, preserving chunk order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            self.results.into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_chunks_map_preserves_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sums: Vec<u64> = data.par_chunks(97).map(|c| c.iter().sum()).collect();
+        let seq: Vec<u64> = data.chunks(97).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, seq);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_slices() {
+        let mut data = vec![0u64; 100];
+        data.par_chunks_mut(17).enumerate_for_each(|k, chunk| {
+            for v in chunk.iter_mut() {
+                *v = k as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 17) as u64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_runs_every_chunk_once() {
+        let data = vec![1u64; 256];
+        let total = AtomicU64::new(0);
+        data.par_chunks(10).enumerate_for_each(|_, c| {
+            total.fetch_add(c.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let data: Vec<u32> = Vec::new();
+        let out: Vec<u32> = data.par_chunks(8).map(|c| c.len() as u32).collect();
+        assert!(out.is_empty());
+    }
+}
