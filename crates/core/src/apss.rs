@@ -125,7 +125,10 @@ pub struct ApssStats {
     pub sketch_seconds: f64,
     /// Seconds spent generating + evaluating candidates.
     pub process_seconds: f64,
-    /// Pair evaluations answered from a knowledge cache.
+    /// Pair evaluations answered *entirely* from a knowledge cache's
+    /// memoized match profiles — zero new hash comparisons. Partially
+    /// covered pairs (profile resumed, then deepened) count toward
+    /// `hashes_compared` only. Always 0 for cache-less probes.
     pub cache_hits: u64,
 }
 

@@ -1,4 +1,4 @@
-//! The knowledge cache.
+//! The knowledge cache — single-session and shared/concurrent forms.
 //!
 //! §2.2.1: "The memoization can also be viewed as a knowledge cache,
 //! enabling one to speed up subsequent iterations of the algorithm by
@@ -8,36 +8,119 @@
 //! 1. **Sketches** — built once per dataset; §2.3.3 shows initial sketch
 //!    generation dominates perceived latency, so skipping it on re-probes
 //!    is the big win.
-//! 2. **Pair estimates** — the `(m, n, MAP, variance)` record of every
-//!    evaluated candidate; a re-probe at a new threshold re-decides from
-//!    the cached hash prefix and only hashes further when inconclusive.
+//! 2. **Pair memos** — the per-pair hash-comparison knowledge. The memo is
+//!    a [`MatchProfile`]: the match count at every batch boundary of the
+//!    canonical evaluation schedule, up to the deepest step any probe has
+//!    compared. A re-probe replays the schedule reading memoized counts
+//!    (free) and compares hashes only past the deepest covered step.
+//!
+//! # Sharing and determinism
+//!
+//! [`SharedKnowledgeCache`] is the concurrent form: the memo maps are
+//! **lock-striped** across [`STRIPES`] shards keyed by pair hash, probes
+//! take `&self`, and workers publish memos into their stripe as they
+//! evaluate — there is no global lock and no single-threaded fold. Many
+//! sessions probing the same corpus at different thresholds share one
+//! sketch set and one memo pool ([`Session::with_shared_cache`],
+//! [`CacheRegistry`]).
+//!
+//! Sharing does not cost reproducibility, because profile-backed
+//! evaluation is *confluent*: a probe's pairs, estimates, and decision
+//! counters are bit-identical to the from-scratch sequential path no
+//! matter the thread count, the number of concurrent sessions, or how
+//! their probes interleave. Cache warmth only changes how much work
+//! (`hashes_compared`, `cache_hits`) a probe pays, never what it returns.
+//! See `tests/parallel_determinism.rs` for the property pins.
+//!
+//! [`Session::with_shared_cache`]: crate::session::Session::with_shared_cache
+//! [`MatchProfile`]: plasma_lsh::bayes::MatchProfile
 
-use plasma_data::hash::FxHashMap;
-use plasma_lsh::bayes::{BayesLsh, PairDecision, PairEstimate};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use plasma_data::hash::{FxHashMap, FxHasher};
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_lsh::bayes::{MatchProfile, PairDecision, PairEstimate};
 use plasma_lsh::sketch::SketchSet;
 use rayon::prelude::*;
 
-use crate::apss::{ApssConfig, ApssResult, ApssStats, SimilarPair};
+use crate::apss::{build_sketches, ApssConfig, ApssResult, ApssStats, SimilarPair};
 
-/// Memoized state shared across probes of one dataset.
-pub struct KnowledgeCache {
-    sketches: SketchSet,
+/// Number of lock stripes in a [`SharedKnowledgeCache`]. A fixed power of
+/// two well above typical core counts keeps contention negligible without
+/// making `len()`/snapshot walks expensive.
+pub const STRIPES: usize = 64;
+
+/// One lock stripe of the shared memo pool.
+#[derive(Default)]
+struct Stripe {
+    /// Per-pair match profiles — the confluent memo (`i < j` keys).
+    profiles: FxHashMap<(u32, u32), MatchProfile>,
+    /// Most-refined decision record seen per pair (advisory; see
+    /// [`SharedKnowledgeCache::get`]).
     estimates: FxHashMap<(u32, u32), PairEstimate>,
-    /// Exact similarities computed for accepted pairs (when the probe ran
-    /// with `exact_on_accept`); re-probes reuse them instead of recomputing
-    /// dot products.
+    /// Exact similarities computed for accepted pairs (when a probe ran
+    /// with `exact_on_accept`); re-probes reuse them instead of
+    /// recomputing dot products. The value is a pure function of the
+    /// record pair, so publication is idempotent.
     exact: FxHashMap<(u32, u32), f64>,
-    probes: Vec<f64>,
 }
 
-impl KnowledgeCache {
-    /// Wraps freshly built sketches with an empty estimate cache.
+/// Memoized probe state for one dataset, shareable across sessions and
+/// threads.
+///
+/// All methods take `&self`; wrap the cache in an [`Arc`] and hand clones
+/// to as many sessions as needed. Probes running concurrently against the
+/// same cache return exactly what they would have returned against a
+/// private cache — sharing only redistributes the hashing work (the first
+/// prober of a pair pays, everyone else hits).
+///
+/// ```
+/// use std::sync::Arc;
+/// use plasma_core::apss::{build_sketches, ApssConfig};
+/// use plasma_core::cache::SharedKnowledgeCache;
+/// use plasma_data::datasets::gaussian::GaussianSpec;
+/// use plasma_data::similarity::Similarity;
+///
+/// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+/// let cfg = ApssConfig::default();
+/// let (sketches, _) = build_sketches(&ds.records, Similarity::Cosine, &cfg);
+/// let cache = Arc::new(SharedKnowledgeCache::new(sketches));
+///
+/// // Two "sessions" (here: two handles) probe different thresholds.
+/// let a = cache.probe(&ds.records, Similarity::Cosine, 0.9, &cfg);
+/// let b = cache.probe(&ds.records, Similarity::Cosine, 0.6, &cfg);
+/// assert!(b.stats.cache_hits > 0, "second probe reuses the first's memos");
+///
+/// // Re-probing an already-probed threshold is answered entirely from
+/// // the cache: zero new hash comparisons.
+/// let again = cache.probe(&ds.records, Similarity::Cosine, 0.9, &cfg);
+/// assert_eq!(again.stats.hashes_compared, 0);
+/// assert_eq!(again.pairs, a.pairs);
+/// assert_eq!(cache.probe_history(), vec![0.9, 0.6, 0.9]);
+/// ```
+pub struct SharedKnowledgeCache {
+    sketches: SketchSet,
+    stripes: Vec<Mutex<Stripe>>,
+    /// Batch size of the evaluation schedule the profiles are indexed by,
+    /// pinned by the first probe. Probes whose `BayesParams::batch`
+    /// disagrees still return correct (bit-identical-to-fresh) results but
+    /// bypass the profile memos; see [`probe`](Self::probe).
+    schedule_batch: OnceLock<usize>,
+    /// Thresholds probed so far, in publication (append) order.
+    history: Mutex<Vec<f64>>,
+}
+
+impl SharedKnowledgeCache {
+    /// Wraps freshly built sketches with an empty, shareable memo pool.
     pub fn new(sketches: SketchSet) -> Self {
         Self {
             sketches,
-            estimates: FxHashMap::default(),
-            exact: FxHashMap::default(),
-            probes: Vec::new(),
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+            schedule_batch: OnceLock::new(),
+            history: Mutex::new(Vec::new()),
         }
     }
 
@@ -46,145 +129,248 @@ impl KnowledgeCache {
         &self.sketches
     }
 
-    /// Number of memoized pair estimates.
+    /// Number of pairs with a memoized profile, summed across all lock
+    /// stripes. Linear in [`STRIPES`] lock acquisitions; the count is a
+    /// snapshot and may be stale by the time it returns if other sessions
+    /// are probing concurrently.
     pub fn len(&self) -> usize {
-        self.estimates.len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe lock").profiles.len())
+            .sum()
     }
 
-    /// True when no estimates are memoized yet.
+    /// True when no pair memos exist in any stripe (same snapshot caveat
+    /// as [`len`](Self::len)).
     pub fn is_empty(&self) -> bool {
-        self.estimates.is_empty()
+        self.stripes
+            .iter()
+            .all(|s| s.lock().expect("stripe lock").profiles.is_empty())
     }
 
-    /// Thresholds probed so far, in order.
-    pub fn probe_history(&self) -> &[f64] {
-        &self.probes
+    /// Thresholds probed so far, in append order: each probe appends its
+    /// threshold exactly once, when its evaluation completes. Under
+    /// concurrent sessions the order is the order probes finished (the
+    /// history mutex serializes appends), so the list is always a
+    /// permutation of the probes issued, never a torn interleaving.
+    pub fn probe_history(&self) -> Vec<f64> {
+        self.history.lock().expect("history lock").clone()
     }
 
-    /// Cached estimate for a pair, if any.
-    pub fn get(&self, i: u32, j: u32) -> Option<&PairEstimate> {
-        self.estimates.get(&(i.min(j), i.max(j)))
-    }
-
-    /// Iterates all memoized estimates.
-    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &PairEstimate)> {
-        self.estimates.iter()
-    }
-
-    /// Runs a cached probe: candidates answered from the cache skip
-    /// sketch-prefix comparison entirely when the cached posterior already
-    /// decides at the new threshold.
+    /// The most-refined decision record memoized for a pair, if any.
     ///
-    /// Evaluation is chunk-parallel under [`ApssConfig::parallelism`]: the
-    /// first phase reads the memo maps and sketches immutably with one
-    /// `ProbeTable` per worker, and the second phase folds results back
-    /// into the cache in candidate order — so the returned pairs,
-    /// estimates, and counters are bit-identical at every thread count.
+    /// Advisory: the record's *counts* (`matches`, `hashes`) and posterior
+    /// summary are exact, but its `decision` is relative to whichever
+    /// probe threshold evaluated the pair deepest. Re-deciding at a
+    /// specific threshold is what [`probe`](Self::probe) does.
+    pub fn get(&self, i: u32, j: u32) -> Option<PairEstimate> {
+        let key = (i.min(j), i.max(j));
+        self.stripe(key)
+            .lock()
+            .expect("stripe lock")
+            .estimates
+            .get(&key)
+            .copied()
+    }
+
+    /// Owned snapshot of all memoized decision records, in unspecified
+    /// order (stripe by stripe).
+    pub fn snapshot_estimates(&self) -> Vec<((u32, u32), PairEstimate)> {
+        let mut out = Vec::new();
+        for s in &self.stripes {
+            let g = s.lock().expect("stripe lock");
+            out.extend(g.estimates.iter().map(|(&k, &v)| (k, v)));
+        }
+        out
+    }
+
+    /// The stripe owning a pair key.
+    fn stripe(&self, key: (u32, u32)) -> &Mutex<Stripe> {
+        let mixed = plasma_data::hash::mix64(((key.0 as u64) << 32) | key.1 as u64);
+        &self.stripes[(mixed as usize) & (STRIPES - 1)]
+    }
+
+    /// Pins the evaluation schedule on first use; returns whether profile
+    /// memos apply to a caller evaluating with `batch`.
+    pub(crate) fn schedule_accepts(&self, batch: usize) -> bool {
+        *self.schedule_batch.get_or_init(|| batch) == batch
+    }
+
+    /// Snapshot of a pair's memoized profile (empty when unknown).
+    pub(crate) fn load_profile(&self, key: (u32, u32)) -> MatchProfile {
+        self.stripe(key)
+            .lock()
+            .expect("stripe lock")
+            .profiles
+            .get(&key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Publishes what one evaluation learned into the pair's stripe under
+    /// a single lock acquisition: an extended profile + decision record
+    /// (order-free deepest-wins merge) and/or a freshly computed exact
+    /// similarity. No-op (lock-free) when there is nothing to publish.
+    pub(crate) fn publish(
+        &self,
+        key: (u32, u32),
+        memo: Option<(MatchProfile, PairEstimate)>,
+        exact: Option<f64>,
+    ) {
+        if memo.is_none() && exact.is_none() {
+            return;
+        }
+        let mut g = self.stripe(key).lock().expect("stripe lock");
+        if let Some((profile, est)) = memo {
+            g.profiles.entry(key).or_default().adopt_deeper(profile);
+            g.estimates
+                .entry(key)
+                .and_modify(|old| {
+                    if est.hashes >= old.hashes {
+                        *old = est;
+                    }
+                })
+                .or_insert(est);
+        }
+        if let Some(s) = exact {
+            g.exact.insert(key, s);
+        }
+    }
+
+    /// Runs a cached probe: candidates whose profile already covers every
+    /// batch step the decision walk visits skip hash comparison entirely
+    /// (`cache_hits`); partially covered pairs resume from their deepest
+    /// memoized step; unknown pairs are evaluated fresh. Workers publish
+    /// extended profiles (and freshly computed exact similarities) into
+    /// their lock stripe as they go.
+    ///
+    /// **Determinism:** the returned pairs, estimates, and decision
+    /// counters (`candidates`/`pruned`/`accepted`/`exhausted`) are bit
+    /// identical to [`crate::apss::apss_with_sketches`] over the same
+    /// sketches at every `parallelism` setting, whatever this cache has
+    /// memoized and whatever other sessions do concurrently. The work
+    /// counters (`hashes_compared`, `cache_hits`) depend on cache warmth:
+    /// they are deterministic for any serialized probe order and may
+    /// redistribute between racing probes that evaluate the same pair
+    /// simultaneously (both pay; the published memo is identical either
+    /// way).
+    ///
+    /// Profiles are indexed by the batch schedule pinned at the first
+    /// probe; a probe whose [`plasma_lsh::BayesParams::batch`] differs
+    /// bypasses profile memos (still reusing sketches and exact
+    /// similarities) rather than corrupting them. Keep `batch` consistent
+    /// across sessions sharing a cache — [`CacheRegistry`] fingerprints it
+    /// for exactly this reason.
     pub fn probe(
-        &mut self,
-        records: &[plasma_data::vector::SparseVector],
-        measure: plasma_data::similarity::Similarity,
+        &self,
+        records: &[SparseVector],
+        measure: Similarity,
         threshold: f64,
         cfg: &ApssConfig,
     ) -> ApssResult {
         let start = std::time::Instant::now();
-        let engine = BayesLsh::new(self.sketches.family(), cfg.bayes);
+        let engine = plasma_lsh::bayes::BayesLsh::new(self.sketches.family(), cfg.bayes);
         let cands = crate::apss::generate_candidates(&self.sketches, cfg);
         let threads = crate::apss::eval_threads(cfg, cands.len());
+        let profiled = self.schedule_accepts(cfg.bayes.batch);
 
-        // Phase 1: evaluate every candidate against the cache, read-only.
-        let rows: Vec<CachedRow> = {
-            let eval_chunk = |chunk: &[(u32, u32)]| -> Vec<CachedRow> {
-                let mut table = engine.probe_table(threshold);
-                chunk
-                    .iter()
-                    .map(|&(i, j)| {
-                        let (est, hash_cost, hit) = match self.estimates.get(&(i, j)) {
-                            Some(&cached) => {
-                                let resumed = table.reevaluate_cached(
-                                    &self.sketches,
-                                    i as usize,
-                                    j as usize,
-                                    cached,
-                                );
-                                // Only the newly compared hashes cost anything.
-                                let cost = resumed.hashes.saturating_sub(cached.hashes) as u64;
-                                (resumed, cost, true)
-                            }
-                            None => {
-                                let fresh =
-                                    table.evaluate_pair(&self.sketches, i as usize, j as usize);
-                                (fresh, fresh.hashes as u64, false)
-                            }
-                        };
-                        let similarity = if est.decision == PairDecision::Pruned {
-                            None
-                        } else if cfg.exact_on_accept {
-                            // Exact similarities are the expensive part of
-                            // probe verification; the knowledge cache
-                            // memoizes them across probes.
-                            match self.exact.get(&(i, j)) {
-                                Some(&s) => Some((s, false)),
-                                None => Some((
-                                    measure.compute(&records[i as usize], &records[j as usize]),
-                                    true,
-                                )),
-                            }
+        let eval_chunk = |chunk: &[(u32, u32)]| -> ChunkOut {
+            let mut table = engine.probe_table(threshold);
+            let mut stats = ApssStats::default();
+            let mut pairs = Vec::new();
+            let mut estimates = Vec::with_capacity(chunk.len());
+            for &(i, j) in chunk {
+                let key = (i, j);
+                // Read phase: lift this pair's memos out of its stripe.
+                let (mut profile, known_exact) = {
+                    let g = self.stripe(key).lock().expect("stripe lock");
+                    (
+                        if profiled {
+                            g.profiles.get(&key).cloned().unwrap_or_default()
                         } else {
-                            Some((est.map_similarity, false))
-                        };
-                        CachedRow {
-                            i,
-                            j,
-                            est,
-                            hash_cost,
-                            hit,
-                            similarity,
-                        }
-                    })
-                    .collect()
-            };
-            if threads <= 1 {
-                eval_chunk(&cands)
-            } else {
-                let per_chunk = cands.len().div_ceil(threads);
-                let nested: Vec<Vec<CachedRow>> =
-                    cands.par_chunks(per_chunk).map(eval_chunk).collect();
-                nested.into_iter().flatten().collect()
+                            MatchProfile::new()
+                        },
+                        if cfg.exact_on_accept {
+                            g.exact.get(&key).copied()
+                        } else {
+                            None
+                        },
+                    )
+                };
+                let had_profile = !profile.is_empty();
+                // Evaluate without holding any lock.
+                let (est, new_hashes) = if profiled {
+                    let out = table.evaluate_profiled(
+                        &self.sketches,
+                        i as usize,
+                        j as usize,
+                        &mut profile,
+                    );
+                    (out.estimate, out.new_hashes)
+                } else {
+                    let est = table.evaluate_pair(&self.sketches, i as usize, j as usize);
+                    (est, est.hashes)
+                };
+                stats.hashes_compared += new_hashes as u64;
+                if new_hashes == 0 {
+                    stats.cache_hits += 1;
+                }
+                match est.decision {
+                    PairDecision::Pruned => stats.pruned += 1,
+                    PairDecision::Accepted => stats.accepted += 1,
+                    PairDecision::Exhausted => stats.exhausted += 1,
+                }
+                let mut fresh_exact = None;
+                if est.decision != PairDecision::Pruned {
+                    let similarity = if cfg.exact_on_accept {
+                        known_exact.unwrap_or_else(|| {
+                            let s = measure.compute(&records[i as usize], &records[j as usize]);
+                            fresh_exact = Some(s);
+                            s
+                        })
+                    } else {
+                        est.map_similarity
+                    };
+                    if similarity >= threshold {
+                        pairs.push(SimilarPair { i, j, similarity });
+                    }
+                }
+                // Publish phase: fold what this evaluation learned back
+                // into the stripe. A full cache hit publishes nothing —
+                // it re-derived only already-published knowledge.
+                let memo = (profiled && (new_hashes > 0 || !had_profile)).then_some((profile, est));
+                self.publish(key, memo, fresh_exact);
+                estimates.push((i, j, est));
+            }
+            ChunkOut {
+                pairs,
+                estimates,
+                stats,
             }
         };
 
-        // Phase 2: fold results into the cache in candidate order.
+        let chunk_outs: Vec<ChunkOut> = if threads <= 1 {
+            vec![eval_chunk(&cands)]
+        } else {
+            let per_chunk = cands.len().div_ceil(threads);
+            cands.par_chunks(per_chunk).map(eval_chunk).collect()
+        };
+
+        // Assemble in candidate order: chunk outputs concatenate back into
+        // the deterministic sequential order.
         let mut stats = ApssStats {
             candidates: cands.len() as u64,
             ..Default::default()
         };
         let mut pairs = Vec::new();
-        let mut estimates = Vec::with_capacity(rows.len());
-        for row in rows {
-            let (i, j, est) = (row.i, row.j, row.est);
-            stats.hashes_compared += row.hash_cost;
-            if row.hit {
-                stats.cache_hits += 1;
-            }
-            match est.decision {
-                PairDecision::Pruned => stats.pruned += 1,
-                PairDecision::Accepted => stats.accepted += 1,
-                PairDecision::Exhausted => stats.exhausted += 1,
-            }
-            if let Some((similarity, freshly_exact)) = row.similarity {
-                if freshly_exact {
-                    self.exact.insert((i, j), similarity);
-                }
-                if similarity >= threshold {
-                    pairs.push(SimilarPair { i, j, similarity });
-                }
-            }
-            estimates.push((i, j, est));
-            self.estimates.insert((i, j), est);
+        let mut estimates = Vec::with_capacity(cands.len());
+        for out in chunk_outs {
+            stats.absorb(&out.stats);
+            pairs.extend(out.pairs);
+            estimates.extend(out.estimates);
         }
         stats.process_seconds = start.elapsed().as_secs_f64();
-        self.probes.push(threshold);
+        self.history.lock().expect("history lock").push(threshold);
         ApssResult {
             threshold,
             pairs,
@@ -194,22 +380,264 @@ impl KnowledgeCache {
     }
 }
 
-/// One candidate's outcome from the read-only evaluation phase.
-/// `similarity` is `None` for pruned pairs; the flag marks exact
-/// similarities computed this probe (to memoize during the merge).
-struct CachedRow {
-    i: u32,
-    j: u32,
-    est: PairEstimate,
-    hash_cost: u64,
-    hit: bool,
-    similarity: Option<(f64, bool)>,
+/// One worker's share of a cached probe, in chunk order.
+struct ChunkOut {
+    pairs: Vec<SimilarPair>,
+    estimates: Vec<(u32, u32, PairEstimate)>,
+    stats: ApssStats,
+}
+
+/// Single-session façade over a [`SharedKnowledgeCache`].
+///
+/// Owns an `Arc` to the shared form, so a session-private cache can later
+/// be handed to other sessions via [`shared`](Self::shared) without
+/// rebuilding sketches. The `&mut self` probe signature is kept for
+/// callers that want exclusive-use semantics; it delegates to the
+/// lock-striped implementation.
+///
+/// ```
+/// use plasma_core::apss::{build_sketches, ApssConfig};
+/// use plasma_core::KnowledgeCache;
+/// use plasma_data::datasets::gaussian::GaussianSpec;
+/// use plasma_data::similarity::Similarity;
+///
+/// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+/// let cfg = ApssConfig::default();
+/// let (sketches, _) = build_sketches(&ds.records, Similarity::Cosine, &cfg);
+/// let mut cache = KnowledgeCache::new(sketches);
+/// let first = cache.probe(&ds.records, Similarity::Cosine, 0.8, &cfg);
+/// // Re-probing the same threshold is a pure cache hit: zero new hash
+/// // comparisons, identical pairs.
+/// let again = cache.probe(&ds.records, Similarity::Cosine, 0.8, &cfg);
+/// assert_eq!(again.stats.hashes_compared, 0);
+/// assert_eq!(again.stats.cache_hits, again.stats.candidates);
+/// assert_eq!(again.pairs, first.pairs);
+/// assert!(!cache.is_empty());
+/// ```
+pub struct KnowledgeCache {
+    shared: Arc<SharedKnowledgeCache>,
+}
+
+impl KnowledgeCache {
+    /// Wraps freshly built sketches with an empty memo pool.
+    pub fn new(sketches: SketchSet) -> Self {
+        Self {
+            shared: Arc::new(SharedKnowledgeCache::new(sketches)),
+        }
+    }
+
+    /// The underlying shareable cache; clone the `Arc` to attach more
+    /// sessions ([`crate::session::Session::with_shared_cache`]).
+    pub fn shared(&self) -> &Arc<SharedKnowledgeCache> {
+        &self.shared
+    }
+
+    /// Consumes the façade, yielding the shareable cache.
+    pub fn into_shared(self) -> Arc<SharedKnowledgeCache> {
+        self.shared
+    }
+
+    /// The cached sketches.
+    pub fn sketches(&self) -> &SketchSet {
+        self.shared.sketches()
+    }
+
+    /// Number of pairs with a memoized profile. Sums the lock stripes of
+    /// the sharded storage — O([`STRIPES`]) lock acquisitions, not O(1).
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// True when no pair memos are held in any stripe.
+    pub fn is_empty(&self) -> bool {
+        self.shared.is_empty()
+    }
+
+    /// Thresholds probed so far, in append order. Owned (not borrowed):
+    /// the history lives behind the shared cache's mutex, and other
+    /// holders of [`shared`](Self::shared) may append between calls.
+    pub fn probe_history(&self) -> Vec<f64> {
+        self.shared.probe_history()
+    }
+
+    /// The most-refined decision record memoized for a pair, if any (see
+    /// [`SharedKnowledgeCache::get`] for the decision-threshold caveat).
+    pub fn get(&self, i: u32, j: u32) -> Option<PairEstimate> {
+        self.shared.get(i, j)
+    }
+
+    /// Owned snapshot of all memoized decision records.
+    pub fn snapshot_estimates(&self) -> Vec<((u32, u32), PairEstimate)> {
+        self.shared.snapshot_estimates()
+    }
+
+    /// Runs a cached probe; see [`SharedKnowledgeCache::probe`].
+    pub fn probe(
+        &mut self,
+        records: &[SparseVector],
+        measure: Similarity,
+        threshold: f64,
+        cfg: &ApssConfig,
+    ) -> ApssResult {
+        self.shared.probe(records, measure, threshold, cfg)
+    }
+}
+
+/// Registry of shared knowledge caches keyed by dataset fingerprint — the
+/// serving-traffic entry point: every session over the same corpus and
+/// sketch configuration gets the same [`SharedKnowledgeCache`], so sketch
+/// building happens once and pair memos accumulate across all users.
+///
+/// ```
+/// use plasma_core::apss::ApssConfig;
+/// use plasma_core::cache::CacheRegistry;
+/// use plasma_data::datasets::gaussian::GaussianSpec;
+/// use plasma_data::similarity::Similarity;
+///
+/// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+/// let cfg = ApssConfig::default();
+/// let registry = CacheRegistry::new();
+/// let a = registry.get_or_build(&ds.records, Similarity::Cosine, &cfg);
+/// let b = registry.get_or_build(&ds.records, Similarity::Cosine, &cfg);
+/// // Same corpus + config → the very same cache.
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(registry.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct CacheRegistry {
+    /// Per-fingerprint build latches: the map mutex is held only for the
+    /// entry lookup, and the sketch build runs under the entry's own
+    /// `OnceLock` — so first-comers for the *same* dataset serialize, but
+    /// lookups and builds for unrelated datasets never block each other.
+    caches: Mutex<FxHashMap<u128, Arc<OnceLock<Arc<SharedKnowledgeCache>>>>>,
+}
+
+impl CacheRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fingerprint of `(records, measure, sketch/schedule config)`. Two
+    /// workloads are meant to share a cache exactly when their
+    /// fingerprints agree: same record contents, same measure, same
+    /// `n_hashes`, same hash seed, and the same evaluation batch (profiles
+    /// are indexed by the batch schedule). The BayesLSH accuracy knobs
+    /// (ε/δ/γ) are *not* fingerprinted — profiles memoize raw match
+    /// counts, which are valid under any stopping parameters.
+    ///
+    /// The fingerprint is 128 bits from two domain-separated passes of the
+    /// workspace's Fx hasher. Fx is not collision-resistant against
+    /// adversarial inputs; a registry fronting untrusted uploads should
+    /// key on an external identity (dataset id / content digest) instead.
+    /// [`get_or_build`](Self::get_or_build) additionally cross-checks the
+    /// record count of whatever the lookup returns.
+    pub fn fingerprint(records: &[SparseVector], measure: Similarity, cfg: &ApssConfig) -> u128 {
+        use std::hash::Hasher;
+        let pass = |domain: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(domain);
+            h.write_u64(match measure {
+                Similarity::Jaccard => 0x4a43,
+                Similarity::Cosine => 0x434f,
+            });
+            h.write_usize(cfg.n_hashes);
+            h.write_u64(cfg.seed);
+            h.write_usize(cfg.bayes.batch);
+            h.write_usize(records.len());
+            for r in records {
+                h.write_usize(r.nnz());
+                for &d in r.dims() {
+                    h.write_u32(d);
+                }
+                for &w in r.weights() {
+                    h.write_u64(w.to_bits());
+                }
+            }
+            h.finish()
+        };
+        ((pass(0x505A_u64) as u128) << 64) | pass(0xA0A5_u64) as u128
+    }
+
+    /// The cache for this workload, building sketches (and registering the
+    /// new cache) on first sight of the fingerprint. Concurrent
+    /// first-comers for the same dataset serialize on that dataset's
+    /// build latch instead of duplicating the sketch work; callers for
+    /// other datasets are never blocked by an in-flight build.
+    pub fn get_or_build(
+        &self,
+        records: &[SparseVector],
+        measure: Similarity,
+        cfg: &ApssConfig,
+    ) -> Arc<SharedKnowledgeCache> {
+        let fp = Self::fingerprint(records, measure, cfg);
+        let latch = {
+            let mut caches = self.caches.lock().expect("registry lock");
+            caches.entry(fp).or_default().clone()
+        };
+        let cache = latch
+            .get_or_init(|| {
+                let (sketches, _) = build_sketches(records, measure, cfg);
+                Arc::new(SharedKnowledgeCache::new(sketches))
+            })
+            .clone();
+        // Cheap guard against a fingerprint collision handing this caller
+        // another dataset's cache.
+        assert_eq!(
+            cache.sketches().len(),
+            records.len(),
+            "cache registry fingerprint collision: cached sketches cover {} records, workload has {}",
+            cache.sketches().len(),
+            records.len()
+        );
+        cache
+    }
+
+    /// Opens a [`crate::session::Session`] attached to this registry's
+    /// cache for the dataset (building it if needed) — the one-call path
+    /// for "another user starts exploring the same corpus".
+    pub fn session(
+        &self,
+        records: Vec<SparseVector>,
+        measure: Similarity,
+        cfg: ApssConfig,
+    ) -> crate::session::Session {
+        let cache = self.get_or_build(&records, measure, &cfg);
+        crate::session::Session::from_records(records, measure, cfg).with_shared_cache(cache)
+    }
+
+    /// Number of registered caches (including any whose first build is
+    /// still in flight).
+    pub fn len(&self) -> usize {
+        self.caches.lock().expect("registry lock").len()
+    }
+
+    /// True when no cache is registered.
+    pub fn is_empty(&self) -> bool {
+        self.caches.lock().expect("registry lock").is_empty()
+    }
+
+    /// Drops the cache for a fingerprint, if registered. Sessions already
+    /// holding the `Arc` keep working; the next `get_or_build` rebuilds.
+    pub fn evict(&self, fingerprint: u128) -> bool {
+        self.caches
+            .lock()
+            .expect("registry lock")
+            .remove(&fingerprint)
+            .is_some()
+    }
+
+    /// Drops every registered cache (same `Arc` semantics as
+    /// [`evict`](Self::evict)).
+    pub fn clear(&self) {
+        self.caches.lock().expect("registry lock").clear();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::apss::{apss, build_sketches};
+    use crate::apss::{apss, apss_with_sketches, build_sketches};
     use plasma_data::datasets::gaussian::GaussianSpec;
     use plasma_data::similarity::Similarity;
 
@@ -223,23 +651,41 @@ mod tests {
         .records
     }
 
+    fn assert_same_output(a: &ApssResult, b: &ApssResult, label: &str) {
+        assert_eq!(a.pairs.len(), b.pairs.len(), "{label}: pair count");
+        for (x, y) in a.pairs.iter().zip(&b.pairs) {
+            assert_eq!((x.i, x.j), (y.i, y.j), "{label}");
+            assert_eq!(x.similarity.to_bits(), y.similarity.to_bits(), "{label}");
+        }
+        assert_eq!(a.estimates.len(), b.estimates.len(), "{label}");
+        for (x, y) in a.estimates.iter().zip(&b.estimates) {
+            assert_eq!((x.0, x.1), (y.0, y.1), "{label}");
+            assert_eq!(x.2.decision, y.2.decision, "{label}");
+            assert_eq!(x.2.matches, y.2.matches, "{label}");
+            assert_eq!(x.2.hashes, y.2.hashes, "{label}");
+            assert_eq!(
+                x.2.map_similarity.to_bits(),
+                y.2.map_similarity.to_bits(),
+                "{label}"
+            );
+        }
+    }
+
     #[test]
-    fn cached_probe_agrees_with_fresh_probe() {
+    fn cached_probe_is_bit_identical_to_fresh_probe() {
+        // Stronger than the paper needs: profile-backed re-evaluation
+        // replays the fresh schedule, so a warm cache returns *exactly*
+        // the fresh result, not an approximation of it.
         let records = dataset();
         let cfg = ApssConfig::default();
         let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
-        let mut cache = KnowledgeCache::new(sketches);
+        let mut cache = KnowledgeCache::new(sketches.clone());
         let first = cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
         let second = cache.probe(&records, Similarity::Cosine, 0.6, &cfg);
-        let fresh = apss(&records, Similarity::Cosine, 0.6, &cfg);
-        // Same pairs found (both paths read the same sketches).
-        let a: std::collections::HashSet<_> = second.pairs.iter().map(|p| (p.i, p.j)).collect();
-        let b: std::collections::HashSet<_> = fresh.pairs.iter().map(|p| (p.i, p.j)).collect();
-        let sym_diff = a.symmetric_difference(&b).count();
-        assert!(
-            sym_diff <= (a.len().max(b.len()) / 10).max(2),
-            "cached vs fresh differ by {sym_diff} pairs"
-        );
+        let fresh_hi = apss_with_sketches(&records, Similarity::Cosine, &sketches, 0.9, &cfg);
+        let fresh_lo = apss_with_sketches(&records, Similarity::Cosine, &sketches, 0.6, &cfg);
+        assert_same_output(&first, &fresh_hi, "cold probe vs fresh");
+        assert_same_output(&second, &fresh_lo, "warm probe vs fresh");
         assert!(first.stats.cache_hits == 0);
         assert!(second.stats.cache_hits > 0);
     }
@@ -269,8 +715,9 @@ mod tests {
         let mut cache = KnowledgeCache::new(sketches);
         cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
         cache.probe(&records, Similarity::Cosine, 0.5, &cfg);
-        assert_eq!(cache.probe_history(), &[0.9, 0.5]);
+        assert_eq!(cache.probe_history(), vec![0.9, 0.5]);
         assert!(!cache.is_empty());
+        assert_eq!(cache.len(), cache.snapshot_estimates().len());
     }
 
     #[test]
@@ -283,5 +730,55 @@ mod tests {
         let (i, j, est) = r.estimates[0];
         let cached = cache.get(i, j).expect("estimate must be memoized");
         assert_eq!(cached.hashes, est.hashes);
+    }
+
+    #[test]
+    fn mismatched_batch_bypasses_profiles_but_stays_correct() {
+        let records = dataset();
+        let cfg = ApssConfig::default();
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+        let cache = SharedKnowledgeCache::new(sketches.clone());
+        cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
+        // A probe with a different batch schedule cannot use (or corrupt)
+        // the memoized profiles, but its output is still exactly the
+        // fresh result for its own schedule.
+        let other = ApssConfig {
+            bayes: plasma_lsh::BayesParams {
+                batch: 16,
+                ..cfg.bayes
+            },
+            ..cfg
+        };
+        let degraded = cache.probe(&records, Similarity::Cosine, 0.9, &other);
+        let fresh = apss_with_sketches(&records, Similarity::Cosine, &sketches, 0.9, &other);
+        assert_same_output(&degraded, &fresh, "mismatched batch vs fresh");
+        assert_eq!(degraded.stats.cache_hits, 0);
+        // And the pinned schedule still works afterwards.
+        let again = cache.probe(&records, Similarity::Cosine, 0.9, &cfg);
+        assert_eq!(again.stats.hashes_compared, 0);
+    }
+
+    #[test]
+    fn registry_dedupes_by_fingerprint() {
+        let records = dataset();
+        let cfg = ApssConfig::default();
+        let registry = CacheRegistry::new();
+        let a = registry.get_or_build(&records, Similarity::Cosine, &cfg);
+        let b = registry.get_or_build(&records, Similarity::Cosine, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+        // A different hash seed is a different sketch universe.
+        let reseeded = ApssConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        let c = registry.get_or_build(&records, Similarity::Cosine, &reseeded);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.len(), 2);
+        let fp = CacheRegistry::fingerprint(&records, Similarity::Cosine, &cfg);
+        assert!(registry.evict(fp));
+        assert_eq!(registry.len(), 1);
+        registry.clear();
+        assert!(registry.is_empty());
     }
 }

@@ -10,11 +10,13 @@
 
 use plasma_data::similarity::Similarity;
 use plasma_data::vector::SparseVector;
-use plasma_lsh::bayes::BayesLsh;
+use plasma_lsh::bayes::{BayesLsh, ProbeTable};
 use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::SketchSet;
 use rayon::prelude::*;
 
 use crate::apss::{build_sketches, ApssConfig};
+use crate::cache::SharedKnowledgeCache;
 
 /// Frontier width from which the per-record join shards across workers;
 /// below it, thread spawn overhead (and the per-worker `ProbeTable`
@@ -85,8 +87,100 @@ pub fn incremental_apss(
     report_points: &[f64],
     cfg: &ApssConfig,
 ) -> IncrementalRun {
-    let n = records.len();
     let (sketches, _) = build_sketches(records, measure, cfg);
+    run_incremental(
+        records,
+        measure,
+        &sketches,
+        None,
+        t1,
+        report_thresholds,
+        report_points,
+        cfg,
+    )
+}
+
+/// [`incremental_apss`] wired into a [`SharedKnowledgeCache`]: sketches
+/// come from the cache (zero sketch cost), pair evaluations read memoized
+/// match profiles, and every comparison this run performs is published
+/// back — so a streaming pass warms the cache for interactive sessions
+/// and vice versa. Estimates are bit-identical to [`incremental_apss`]
+/// over the same sketches: profile-backed evaluation replays the fresh
+/// schedule, so cache warmth changes only the work done, never the
+/// numbers reported.
+pub fn incremental_apss_with_cache(
+    records: &[SparseVector],
+    measure: Similarity,
+    cache: &SharedKnowledgeCache,
+    t1: f64,
+    report_thresholds: &[f64],
+    report_points: &[f64],
+    cfg: &ApssConfig,
+) -> IncrementalRun {
+    assert_eq!(
+        cache.sketches().len(),
+        records.len(),
+        "shared cache sketches {} records, incremental run has {}",
+        cache.sketches().len(),
+        records.len()
+    );
+    assert_eq!(
+        cache.sketches().family(),
+        LshFamily::for_measure(measure),
+        "shared cache hash family does not serve this run's measure"
+    );
+    let memos = cache.schedule_accepts(cfg.bayes.batch).then_some(cache);
+    run_incremental(
+        records,
+        measure,
+        cache.sketches(),
+        memos,
+        t1,
+        report_thresholds,
+        report_points,
+        cfg,
+    )
+}
+
+/// Evaluates one pair, through the shared cache's memos when available.
+fn eval_pair(
+    table: &mut ProbeTable<'_>,
+    sketches: &SketchSet,
+    cache: Option<&SharedKnowledgeCache>,
+    j: usize,
+    k: usize,
+) -> (u32, u32) {
+    match cache {
+        Some(cache) => {
+            let key = (j as u32, k as u32);
+            let mut profile = cache.load_profile(key);
+            let had_profile = !profile.is_empty();
+            let out = table.evaluate_profiled(sketches, j, k, &mut profile);
+            let memo = (out.new_hashes > 0 || !had_profile).then_some((profile, out.estimate));
+            cache.publish(key, memo, None);
+            (out.estimate.matches, out.estimate.hashes)
+        }
+        None => {
+            let est = table.evaluate_pair(sketches, j, k);
+            (est.matches, est.hashes)
+        }
+    }
+}
+
+/// The shared driver behind [`incremental_apss`] and
+/// [`incremental_apss_with_cache`].
+#[allow(clippy::too_many_arguments)]
+fn run_incremental(
+    records: &[SparseVector],
+    measure: Similarity,
+    sketches: &SketchSet,
+    cache: Option<&SharedKnowledgeCache>,
+    t1: f64,
+    report_thresholds: &[f64],
+    report_points: &[f64],
+    cfg: &ApssConfig,
+) -> IncrementalRun {
+    let n = records.len();
     let engine = BayesLsh::new(LshFamily::for_measure(measure), cfg.bayes);
     let mut table = engine.probe_table(t1);
     let grid = engine.grid_points().to_vec();
@@ -118,8 +212,7 @@ pub fn incremental_apss(
                 let mut table = engine.probe_table(t1);
                 let lo = c * shard;
                 for (off, cell) in slice.iter_mut().enumerate() {
-                    let est = table.evaluate_pair(&sketches, lo + off, k);
-                    *cell = (est.matches, est.hashes);
+                    *cell = eval_pair(&mut table, sketches, cache, lo + off, k);
                 }
             });
             for &(m, h) in &cells {
@@ -133,12 +226,10 @@ pub fn incremental_apss(
         } else {
             // Join record k against records 0..k.
             for j in 0..k {
-                let est = table.evaluate_pair(&sketches, j, k);
+                let (m, h) = eval_pair(&mut table, sketches, cache, j, k);
                 let tails = tail_memo
-                    .entry((est.matches, est.hashes))
-                    .or_insert_with(|| {
-                        tail_masses(&engine, &grid, report_thresholds, est.matches, est.hashes)
-                    });
+                    .entry((m, h))
+                    .or_insert_with(|| tail_masses(&engine, &grid, report_thresholds, m, h));
                 for (ti, tail) in tails.iter().enumerate() {
                     running[ti] += tail;
                 }
@@ -235,6 +326,46 @@ mod tests {
             (early - fin).abs() / fin.max(1.0) < 0.5,
             "30% estimate {early} vs final {fin}"
         );
+    }
+
+    #[test]
+    fn cached_incremental_run_is_bit_identical_and_warms_the_cache() {
+        let records = dataset(80);
+        let cfg = ApssConfig::default();
+        let plain = incremental_apss(
+            &records,
+            Similarity::Cosine,
+            0.5,
+            &[0.75, 0.85],
+            &[0.25, 0.5, 1.0],
+            &cfg,
+        );
+        let (sketches, _) = crate::apss::build_sketches(&records, Similarity::Cosine, &cfg);
+        let cache = SharedKnowledgeCache::new(sketches);
+        let cached = incremental_apss_with_cache(
+            &records,
+            Similarity::Cosine,
+            &cache,
+            0.5,
+            &[0.75, 0.85],
+            &[0.25, 0.5, 1.0],
+            &cfg,
+        );
+        for (a, b) in plain.steps.iter().zip(&cached.steps) {
+            assert_eq!(a.fraction.to_bits(), b.fraction.to_bits());
+            for (x, y) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(x.to_bits(), y.to_bits(), "estimates must match exactly");
+            }
+        }
+        for (x, y) in plain.final_estimates.iter().zip(&cached.final_estimates) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The streaming pass published every pair's profile: a session
+        // probe at the same threshold now needs zero new hash work.
+        assert!(!cache.is_empty());
+        let probe = cache.probe(&records, Similarity::Cosine, 0.5, &cfg);
+        assert_eq!(probe.stats.hashes_compared, 0);
+        assert_eq!(probe.stats.cache_hits, probe.stats.candidates);
     }
 
     #[test]

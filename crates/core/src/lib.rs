@@ -8,7 +8,10 @@
 //!   with candidate generation, pruning/concentration, and timing breakdown
 //!   (sketching vs processing).
 //! * [`cache`] — the knowledge cache: sketches plus memoized per-pair
-//!   posterior summaries, reused across probes at different thresholds.
+//!   match profiles, reused across probes at different thresholds. The
+//!   lock-striped [`SharedKnowledgeCache`] lets many concurrent sessions
+//!   share one memo pool ([`CacheRegistry`] keys caches by dataset
+//!   fingerprint), with probe outputs bit-identical to a private cache.
 //! * [`cumulative`] — the Cumulative APSS Graph: estimated number of
 //!   similar pairs at every threshold, with error bars, assembled from
 //!   memoized estimates.
@@ -48,6 +51,6 @@ pub mod session;
 pub mod topk;
 
 pub use apss::{ApssConfig, ApssResult, CandidateStrategy};
-pub use cache::KnowledgeCache;
+pub use cache::{CacheRegistry, KnowledgeCache, SharedKnowledgeCache};
 pub use cumulative::CumulativeCurve;
 pub use session::{ProbeReport, Session};

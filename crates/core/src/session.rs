@@ -1,13 +1,26 @@
 //! The interactive session driver (Fig. 2.1's workflow).
 //!
-//! A [`Session`] owns a dataset and its knowledge cache. Each
-//! [`probe`](Session::probe) runs BayesLSH APSS at a threshold, memoizes
-//! everything, and returns a [`ProbeReport`] carrying the pair count, the
-//! updated Cumulative APSS Graph (with error bars), the triangle/density
-//! cues, and timing — the full feedback loop a user iterates on. Probes
-//! after the first reuse sketches and pair memos, so they are cheap; that
-//! asymmetry is the knowledge-caching result of §2.3.3.
+//! A [`Session`] owns a dataset and (a handle to) its knowledge cache.
+//! Each [`probe`](Session::probe) runs BayesLSH APSS at a threshold,
+//! memoizes everything, and returns a [`ProbeReport`] carrying the pair
+//! count, the updated Cumulative APSS Graph (with error bars), the
+//! triangle/density cues, and timing — the full feedback loop a user
+//! iterates on. Probes after the first reuse sketches and pair memos, so
+//! they are cheap; that asymmetry is the knowledge-caching result of
+//! §2.3.3.
+//!
+//! # Multi-session probing
+//!
+//! The cache behind a session is a [`SharedKnowledgeCache`]: hand its
+//! `Arc` to [`Session::with_shared_cache`] (or open sessions through a
+//! [`crate::cache::CacheRegistry`]) and any number of sessions — on any
+//! number of threads — probe the same corpus while sharing one sketch set
+//! and one memo pool. Each session keeps its *own* cumulative curve and
+//! threshold grid; only the expensive knowledge is shared. Probe results
+//! are bit-identical to what a private cache would return (see
+//! [`SharedKnowledgeCache::probe`]).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use plasma_data::datasets::Dataset;
@@ -16,16 +29,36 @@ use plasma_data::vector::SparseVector;
 use plasma_lsh::family::LshFamily;
 
 use crate::apss::{build_sketches, ApssConfig, SimilarPair};
-use crate::cache::KnowledgeCache;
+use crate::cache::SharedKnowledgeCache;
 use crate::cues::{self, DensityPlot, TriangleCue};
 use crate::cumulative::CumulativeCurve;
 
 /// An interactive PLASMA-HD session over one dataset.
+///
+/// ```
+/// use plasma_core::{ApssConfig, Session};
+/// use plasma_data::datasets::gaussian::GaussianSpec;
+///
+/// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+/// let mut session = Session::new(&ds, ApssConfig::default());
+///
+/// // The first probe pays for sketching; re-probes ride the cache.
+/// let first = session.probe(0.8);
+/// assert!(first.sketch_seconds > 0.0);
+///
+/// // Re-probing the same threshold is answered entirely from the
+/// // knowledge cache: zero new hash comparisons, identical pairs.
+/// let again = session.probe(0.8);
+/// assert_eq!(again.sketch_seconds, 0.0);
+/// assert_eq!(again.hashes_compared, 0);
+/// assert_eq!(again.cache_hits, again.candidates);
+/// assert_eq!(again.pairs, first.pairs);
+/// ```
 pub struct Session {
     records: Vec<SparseVector>,
     measure: Similarity,
     cfg: ApssConfig,
-    cache: Option<KnowledgeCache>,
+    cache: Option<Arc<SharedKnowledgeCache>>,
     grid: Vec<f64>,
     sketch_seconds: f64,
     curve: Option<CumulativeCurve>,
@@ -48,7 +81,8 @@ pub struct ProbeReport {
     pub candidates: u64,
     /// Candidates pruned by Eq. 2.1.
     pub pruned: u64,
-    /// Pair evaluations answered from the knowledge cache.
+    /// Pair evaluations answered entirely from the knowledge cache
+    /// (zero new hash comparisons for that pair).
     pub cache_hits: u64,
     /// Hashes compared during this probe.
     pub hashes_compared: u64,
@@ -91,6 +125,55 @@ impl Session {
         self
     }
 
+    /// Attaches this session to an existing shared knowledge cache, so it
+    /// joins every other session holding the same `Arc` in one sketch set
+    /// and one memo pool — the multi-user serving shape. The first probe
+    /// then pays **no** sketch cost.
+    ///
+    /// The cache must have been built over this session's dataset: same
+    /// record count and a hash family matching the session's similarity
+    /// measure (use [`crate::cache::CacheRegistry`] to get this pairing
+    /// by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache's sketch count or hash family disagrees with
+    /// the session's records and measure.
+    ///
+    /// ```
+    /// use plasma_core::{ApssConfig, Session};
+    /// use plasma_data::datasets::gaussian::GaussianSpec;
+    ///
+    /// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+    /// let mut first = Session::new(&ds, ApssConfig::default());
+    /// first.probe(0.8);
+    ///
+    /// // A second user opens a session over the same corpus, sharing the
+    /// // first session's cache: no sketching, and the 0.8 re-probe is
+    /// // answered without comparing a single hash.
+    /// let cache = first.shared_cache().expect("probed above");
+    /// let mut second = Session::new(&ds, ApssConfig::default()).with_shared_cache(cache);
+    /// let report = second.probe(0.8);
+    /// assert_eq!(report.sketch_seconds, 0.0);
+    /// assert_eq!(report.hashes_compared, 0);
+    /// ```
+    pub fn with_shared_cache(mut self, cache: Arc<SharedKnowledgeCache>) -> Self {
+        assert_eq!(
+            cache.sketches().len(),
+            self.records.len(),
+            "shared cache sketches {} records, session has {}",
+            cache.sketches().len(),
+            self.records.len()
+        );
+        assert_eq!(
+            cache.sketches().family(),
+            LshFamily::for_measure(self.measure),
+            "shared cache hash family does not serve this session's measure"
+        );
+        self.cache = Some(cache);
+        self
+    }
+
     /// Number of records in the session's dataset.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -119,9 +202,9 @@ impl Session {
             let (sketches, secs) = build_sketches(&self.records, self.measure, &self.cfg);
             sketch_secs = secs;
             self.sketch_seconds = secs;
-            self.cache = Some(KnowledgeCache::new(sketches));
+            self.cache = Some(Arc::new(SharedKnowledgeCache::new(sketches)));
         }
-        let cache = self.cache.as_mut().expect("cache initialized above");
+        let cache = self.cache.as_ref().expect("cache initialized above");
         let result = cache.probe(&self.records, self.measure, threshold, &self.cfg);
 
         // Fold this probe's estimates into the cumulative curve.
@@ -177,9 +260,18 @@ impl Session {
         self.sketch_seconds
     }
 
-    /// The knowledge cache, if initialized.
-    pub fn cache(&self) -> Option<&KnowledgeCache> {
-        self.cache.as_ref()
+    /// The knowledge cache, if initialized (by a probe or by
+    /// [`with_shared_cache`](Self::with_shared_cache)).
+    pub fn cache(&self) -> Option<&SharedKnowledgeCache> {
+        self.cache.as_deref()
+    }
+
+    /// A shareable handle to this session's knowledge cache, for opening
+    /// further sessions over the same corpus
+    /// ([`with_shared_cache`](Self::with_shared_cache)). `None` until the
+    /// first probe initializes the cache.
+    pub fn shared_cache(&self) -> Option<Arc<SharedKnowledgeCache>> {
+        self.cache.clone()
     }
 }
 

@@ -1,0 +1,171 @@
+//! Knowledge-cache edge cases: empty datasets, identical-threshold
+//! re-probes (must be pure cache hits), and descending threshold sweeps.
+
+use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig};
+use plasma_core::{CacheRegistry, Session, SharedKnowledgeCache};
+use plasma_data::datasets::gaussian::GaussianSpec;
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+
+fn dataset(n: usize, seed: u64) -> Vec<SparseVector> {
+    GaussianSpec {
+        separation: 4.0,
+        spread: 0.6,
+        ..GaussianSpec::new("edge", n, 8, 3)
+    }
+    .generate(seed)
+    .records
+}
+
+#[test]
+fn probing_an_empty_dataset_is_a_no_op_not_a_panic() {
+    let records: Vec<SparseVector> = Vec::new();
+    let cfg = ApssConfig::default();
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cache = SharedKnowledgeCache::new(sketches);
+    let result = cache.probe(&records, Similarity::Cosine, 0.7, &cfg);
+    assert_eq!(result.pairs.len(), 0);
+    assert_eq!(result.estimates.len(), 0);
+    assert_eq!(result.stats.candidates, 0);
+    assert_eq!(result.stats.hashes_compared, 0);
+    assert!(cache.is_empty());
+    assert_eq!(cache.len(), 0);
+    assert_eq!(cache.probe_history(), vec![0.7]);
+
+    // The full session loop tolerates emptiness too: report, curve, and
+    // cues all come back trivial.
+    let mut session = Session::from_records(Vec::new(), Similarity::Cosine, cfg);
+    assert!(session.is_empty());
+    let report = session.probe(0.7);
+    assert_eq!(report.pairs.len(), 0);
+    assert_eq!(report.candidates, 0);
+    assert!(report.curve.expected.iter().all(|&e| e == 0.0));
+    let cue = session.triangle_cue(&report.pairs);
+    assert_eq!(cue.total_triangles, 0);
+}
+
+#[test]
+fn identical_threshold_reprobe_is_a_pure_cache_hit() {
+    let records = dataset(60, 5);
+    let cfg = ApssConfig::default();
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cache = SharedKnowledgeCache::new(sketches);
+    let first = cache.probe(&records, Similarity::Cosine, 0.8, &cfg);
+    assert!(first.stats.hashes_compared > 0);
+    let again = cache.probe(&records, Similarity::Cosine, 0.8, &cfg);
+    // Zero new hashing, every candidate answered from the memo pool, and
+    // the exact same output.
+    assert_eq!(again.stats.hashes_compared, 0);
+    assert_eq!(again.stats.cache_hits, again.stats.candidates);
+    assert_eq!(again.pairs, first.pairs);
+    assert_eq!(again.estimates.len(), first.estimates.len());
+    for (a, b) in first.estimates.iter().zip(&again.estimates) {
+        assert_eq!((a.0, a.1), (b.0, b.1));
+        assert_eq!(a.2.decision, b.2.decision);
+        assert_eq!(a.2.matches, b.2.matches);
+        assert_eq!(a.2.hashes, b.2.hashes);
+    }
+}
+
+#[test]
+fn identical_threshold_reprobe_with_exact_similarities_recomputes_nothing() {
+    let records = dataset(50, 9);
+    let cfg = ApssConfig {
+        exact_on_accept: true,
+        ..ApssConfig::default()
+    };
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cache = SharedKnowledgeCache::new(sketches);
+    let first = cache.probe(&records, Similarity::Cosine, 0.7, &cfg);
+    let again = cache.probe(&records, Similarity::Cosine, 0.7, &cfg);
+    assert_eq!(again.stats.hashes_compared, 0);
+    assert_eq!(
+        again.pairs, first.pairs,
+        "memoized exact sims must be reused"
+    );
+}
+
+#[test]
+fn descending_sweep_deepens_monotonically_and_matches_fresh_probes() {
+    let records = dataset(60, 13);
+    let cfg = ApssConfig::default();
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cache = SharedKnowledgeCache::new(sketches.clone());
+    let sweep = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3];
+    let mut cached_hash_total = 0u64;
+    let mut fresh_hash_total = 0u64;
+    let mut hits_seen = false;
+    for &t in &sweep {
+        let cached = cache.probe(&records, Similarity::Cosine, t, &cfg);
+        let fresh = apss_with_sketches(&records, Similarity::Cosine, &sketches, t, &cfg);
+        // Bit-identical output at every step of the sweep…
+        assert_eq!(cached.pairs, fresh.pairs, "sweep step {t}");
+        assert_eq!(cached.estimates.len(), fresh.estimates.len());
+        for (a, b) in cached.estimates.iter().zip(&fresh.estimates) {
+            assert_eq!(a.2.matches, b.2.matches, "sweep step {t}");
+            assert_eq!(a.2.hashes, b.2.hashes, "sweep step {t}");
+            assert_eq!(a.2.decision, b.2.decision, "sweep step {t}");
+        }
+        // …while the cache only ever pays for *deepening*, never repeats.
+        assert!(
+            cached.stats.hashes_compared <= fresh.stats.hashes_compared,
+            "cached sweep step {t} must not out-hash a fresh probe"
+        );
+        cached_hash_total += cached.stats.hashes_compared;
+        fresh_hash_total += fresh.stats.hashes_compared;
+        hits_seen |= cached.stats.cache_hits > 0;
+    }
+    // Across the whole sweep each pair pays only for its deepest walk
+    // (profiles extend, never repeat), so the cached total is bounded by
+    // the sum of fresh per-step costs — per pair, max over steps vs sum
+    // over steps — and in practice far below it.
+    assert!(
+        cached_hash_total <= fresh_hash_total,
+        "sweep total {cached_hash_total} vs fresh-per-step sum {fresh_hash_total}"
+    );
+    assert!(
+        hits_seen,
+        "a 7-step sweep must answer some pairs from cache"
+    );
+    assert_eq!(cache.probe_history(), sweep.to_vec());
+    // After the sweep, every threshold in it re-probes for free.
+    for &t in &sweep {
+        let again = cache.probe(&records, Similarity::Cosine, t, &cfg);
+        assert_eq!(again.stats.hashes_compared, 0, "re-probe at {t}");
+    }
+}
+
+#[test]
+fn registry_sessions_share_one_cache_per_dataset() {
+    let records = dataset(50, 21);
+    let cfg = ApssConfig::default();
+    let registry = CacheRegistry::new();
+    let mut alice = registry.session(records.clone(), Similarity::Cosine, cfg);
+    let mut bob = registry.session(records.clone(), Similarity::Cosine, cfg);
+    assert_eq!(registry.len(), 1, "same corpus + config → one cache");
+    let cache = alice.cache().expect("attached at open");
+    assert!(std::ptr::eq(
+        cache as *const SharedKnowledgeCache,
+        bob.cache().expect("attached") as *const SharedKnowledgeCache
+    ));
+
+    // Alice explores; Bob re-treads her threshold without any hashing.
+    let a = alice.probe(0.75);
+    assert!(a.hashes_compared > 0);
+    assert_eq!(a.sketch_seconds, 0.0, "registry built the sketches");
+    let b = bob.probe(0.75);
+    assert_eq!(b.hashes_compared, 0);
+    assert_eq!(b.cache_hits, b.candidates);
+    let a_pairs: Vec<(u32, u32)> = a.pairs.iter().map(|p| (p.i, p.j)).collect();
+    let b_pairs: Vec<(u32, u32)> = b.pairs.iter().map(|p| (p.i, p.j)).collect();
+    assert_eq!(a_pairs, b_pairs);
+
+    // A different corpus gets its own cache.
+    let other = registry.session(dataset(50, 22), Similarity::Cosine, cfg);
+    assert_eq!(registry.len(), 2);
+    drop(other);
+
+    // Shared history interleaves both users' probes in append order.
+    let shared = alice.shared_cache().expect("probed");
+    assert_eq!(shared.probe_history(), vec![0.75, 0.75]);
+}

@@ -1,12 +1,19 @@
-//! Property tests pinning the parallel APSS engine's core guarantee:
-//! `apss_with_sketches` returns identical pairs, estimates, and counter
-//! stats for `parallelism = 1` and `parallelism = N`, on both hash
-//! families and both candidate strategies.
+//! Property tests pinning the parallel APSS engine's core guarantees:
+//!
+//! * `apss_with_sketches` returns identical pairs, estimates, and counter
+//!   stats for `parallelism = 1` and `parallelism = N`, on both hash
+//!   families and both candidate strategies;
+//! * a `SharedKnowledgeCache` workload returns bit-identical results for
+//!   every `(threads × concurrent sessions)` configuration, probes racing
+//!   from OS threads return exactly the fresh sequential answer, and a
+//!   re-probe at an already-probed threshold compares zero new hashes.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig, CandidateStrategy};
-use plasma_core::ApssResult;
+use plasma_core::{ApssResult, Session, SharedKnowledgeCache};
 use plasma_data::datasets::gaussian::GaussianSpec;
 use plasma_data::similarity::Similarity;
 use plasma_data::vector::SparseVector;
@@ -36,7 +43,9 @@ fn set_records(n: usize, seed: u64) -> Vec<SparseVector> {
         .collect()
 }
 
-fn assert_identical(serial: &ApssResult, parallel: &ApssResult, label: &str) {
+/// Pairs, estimates, and the decision counters — everything that is
+/// interleaving-independent even for probes racing on one shared cache.
+fn assert_same_outputs(serial: &ApssResult, parallel: &ApssResult, label: &str) {
     assert_eq!(
         serial.pairs.len(),
         parallel.pairs.len(),
@@ -77,7 +86,7 @@ fn assert_identical(serial: &ApssResult, parallel: &ApssResult, label: &str) {
             "{label}: variance"
         );
     }
-    // Counters must agree exactly; only wall-clock fields may differ.
+    // Decision counters must agree exactly.
     assert_eq!(
         serial.stats.candidates, parallel.stats.candidates,
         "{label}"
@@ -85,6 +94,12 @@ fn assert_identical(serial: &ApssResult, parallel: &ApssResult, label: &str) {
     assert_eq!(serial.stats.pruned, parallel.stats.pruned, "{label}");
     assert_eq!(serial.stats.accepted, parallel.stats.accepted, "{label}");
     assert_eq!(serial.stats.exhausted, parallel.stats.exhausted, "{label}");
+}
+
+/// Full bit-identity: outputs plus the work counters, which are pinned
+/// for any *serialized* probe order (and any thread count).
+fn assert_identical(serial: &ApssResult, parallel: &ApssResult, label: &str) {
+    assert_same_outputs(serial, parallel, label);
     assert_eq!(
         serial.stats.hashes_compared, parallel.stats.hashes_compared,
         "{label}"
@@ -160,6 +175,147 @@ proptest! {
         let records = gaussian_records(50, seed);
         check_both_strategies(&records, Similarity::Cosine, 0.7, threads, true);
     }
+}
+
+/// A fixed probe workload round-robined across `sessions` live handles to
+/// one shared cache, probes serialized in global order, each probe run at
+/// `threads` workers. Returns every probe's full result.
+fn run_shared_workload(
+    records: &[SparseVector],
+    threads: usize,
+    sessions: usize,
+    workload: &[f64],
+) -> Vec<ApssResult> {
+    let cfg = ApssConfig {
+        parallelism: Some(threads),
+        ..ApssConfig::default()
+    };
+    let (sketches, _) = build_sketches(records, Similarity::Cosine, &cfg);
+    let cache = Arc::new(SharedKnowledgeCache::new(sketches));
+    let handles: Vec<Arc<SharedKnowledgeCache>> = (0..sessions).map(|_| cache.clone()).collect();
+    workload
+        .iter()
+        .enumerate()
+        .map(|(q, &t)| handles[q % sessions].probe(records, Similarity::Cosine, t, &cfg))
+        .collect()
+}
+
+/// The tentpole guarantee: for a serialized probe workload over one
+/// shared cache, *everything* — pairs, estimates, decision counters, and
+/// the work counters — is bit-identical across every
+/// `(threads × concurrent sessions)` configuration. The memo pool's
+/// deepest-wins merge is order-free, so which session published a memo
+/// never shows in any later probe.
+#[test]
+fn shared_cache_workload_invariant_across_threads_and_sessions() {
+    let records = gaussian_records(70, 99);
+    let workload = [0.9, 0.6, 0.75, 0.8, 0.6, 0.5];
+    let reference = run_shared_workload(&records, 1, 1, &workload);
+    assert!(reference[1].stats.cache_hits > 0, "workload must hit cache");
+    for threads in [1usize, 2, 4] {
+        for sessions in [1usize, 2, 4] {
+            let run = run_shared_workload(&records, threads, sessions, &workload);
+            for (q, (a, b)) in reference.iter().zip(&run).enumerate() {
+                assert_identical(
+                    a,
+                    b,
+                    &format!("threads={threads} sessions={sessions} probe#{q}"),
+                );
+            }
+        }
+    }
+}
+
+/// Same matrix through the user-facing API: real `Session`s attached via
+/// `with_shared_cache`, each folding its own cumulative curve, reports
+/// compared field by field against the single-threaded single-session
+/// reference.
+#[test]
+fn attached_sessions_report_invariant_across_threads_and_sessions() {
+    let records = gaussian_records(60, 17);
+    let workload = [0.85, 0.6, 0.85, 0.7];
+    // (threshold, pair ids, candidates, cache hits, hashes compared).
+    type ReportRow = (f64, Vec<(u32, u32)>, u64, u64, u64);
+    let run = |threads: usize, sessions: usize| -> Vec<ReportRow> {
+        let cfg = ApssConfig {
+            parallelism: Some(threads),
+            ..ApssConfig::default()
+        };
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+        let cache = Arc::new(SharedKnowledgeCache::new(sketches));
+        let mut open: Vec<Session> = (0..sessions)
+            .map(|_| {
+                Session::from_records(records.clone(), Similarity::Cosine, cfg)
+                    .with_shared_cache(cache.clone())
+            })
+            .collect();
+        workload
+            .iter()
+            .enumerate()
+            .map(|(q, &t)| {
+                let r = open[q % sessions].probe(t);
+                let pairs = r.pairs.iter().map(|p| (p.i, p.j)).collect();
+                (t, pairs, r.candidates, r.cache_hits, r.hashes_compared)
+            })
+            .collect()
+    };
+    let reference = run(1, 1);
+    for threads in [1usize, 2, 4] {
+        for sessions in [1usize, 2, 4] {
+            assert_eq!(
+                run(threads, sessions),
+                reference,
+                "threads={threads} sessions={sessions}"
+            );
+        }
+    }
+}
+
+/// Probes racing from OS threads against one shared cache: outputs are
+/// still exactly the fresh sequential answer (only the work counters may
+/// redistribute between racers), and afterwards every probed threshold
+/// re-probes for free.
+#[test]
+fn racing_sessions_return_fresh_results_and_warm_the_cache() {
+    let records = gaussian_records(60, 7);
+    let cfg = ApssConfig::default();
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cache = Arc::new(SharedKnowledgeCache::new(sketches.clone()));
+    let thresholds = [0.9, 0.7, 0.5, 0.8];
+    let results: Vec<(f64, ApssResult)> = std::thread::scope(|s| {
+        let joins: Vec<_> = thresholds
+            .iter()
+            .map(|&t| {
+                let cache = &cache;
+                let records = &records;
+                let cfg = &cfg;
+                s.spawn(move || (t, cache.probe(records, Similarity::Cosine, t, cfg)))
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("racing probe panicked"))
+            .collect()
+    });
+    for (t, result) in &results {
+        let fresh = apss_with_sketches(&records, Similarity::Cosine, &sketches, *t, &cfg);
+        assert_same_outputs(&fresh, result, &format!("raced probe at {t}"));
+    }
+    // The cache now covers every pair to each threshold's depth: every
+    // re-probe is answered without a single new hash comparison.
+    for &t in &thresholds {
+        let again = cache.probe(&records, Similarity::Cosine, t, &cfg);
+        assert_eq!(again.stats.hashes_compared, 0, "re-probe at {t}");
+        assert_eq!(again.stats.cache_hits, again.stats.candidates);
+    }
+    // History holds every probe exactly once (append-ordered, no tearing).
+    let mut history = cache.probe_history();
+    assert_eq!(history.len(), thresholds.len() * 2);
+    history.truncate(thresholds.len());
+    history.sort_by(f64::total_cmp);
+    let mut expected = thresholds.to_vec();
+    expected.sort_by(f64::total_cmp);
+    assert_eq!(history, expected);
 }
 
 #[test]

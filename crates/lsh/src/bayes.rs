@@ -255,41 +255,6 @@ impl BayesLsh {
             var,
         }
     }
-
-    /// Resumes an evaluation memoized at `(m₀, n₀)` toward a new threshold,
-    /// comparing additional hashes only if the cached prefix cannot decide.
-    /// This is the knowledge-cache fast path: re-probing at `t2` reuses the
-    /// match counts recorded at `t1`.
-    pub fn reevaluate_cached(
-        &self,
-        sketches: &SketchSet,
-        i: usize,
-        j: usize,
-        cached: PairEstimate,
-        t: f64,
-    ) -> PairEstimate {
-        let mut scratch = Vec::new();
-        // Decide from the cached prefix first.
-        let cell = self.decide_with(cached.matches, cached.hashes, t, &mut scratch);
-        if let Some(est) = cell.settle_prefix(cached.matches, cached.hashes) {
-            return est;
-        }
-        // The cached prefix is inconclusive at the new threshold: continue
-        // hashing from where the cache stopped.
-        let max_n = sketches.n_hashes();
-        if (cached.hashes as usize) >= max_n {
-            return cell.as_estimate(PairDecision::Exhausted, cached.matches, cached.hashes);
-        }
-        let mut n = cached.hashes as usize;
-        loop {
-            n = (n + self.params.batch).min(max_n);
-            let m = sketches.matches(i, j, n);
-            let cell = self.decide_with(m, n as u32, t, &mut scratch);
-            if let Some(est) = cell.settle(m, n, max_n) {
-                return est;
-            }
-        }
-    }
 }
 
 /// One memoized stopping-rule decision.
@@ -328,18 +293,75 @@ impl Cell {
         };
         Some(self.as_estimate(decision, m, n as u32))
     }
+}
 
-    /// Like [`settle`](Self::settle) for a cached prefix, where running
-    /// out of hashes is handled by the caller instead of being terminal.
-    fn settle_prefix(self, m: u32, n: u32) -> Option<PairEstimate> {
-        if self.prune {
-            Some(self.as_estimate(PairDecision::Pruned, m, n))
-        } else if self.accept {
-            Some(self.as_estimate(PairDecision::Accepted, m, n))
-        } else {
-            None
+/// A pair's memoized hash-comparison knowledge: the match count at every
+/// batch boundary of the canonical evaluation schedule (`n_k =
+/// min(k·batch, n_hashes)` for `k = 1, 2, …`), up to the deepest step any
+/// probe has compared so far.
+///
+/// This is the unit the *shared* knowledge cache publishes. Unlike a bare
+/// `(m, n)` endpoint, a profile makes re-evaluation **confluent**: every
+/// evaluation replays the same fresh schedule, reading memoized counts for
+/// covered steps (zero hash comparisons) and comparing hashes only past
+/// the deepest covered step — so the returned [`PairEstimate`] is bit
+/// identical to a from-scratch [`ProbeTable::evaluate_pair`] no matter
+/// which probes (from which sessions, in which order) populated the
+/// profile. Merging two profiles is "keep the deeper one"
+/// ([`MatchProfile::adopt_deeper`]): commutative, associative, and
+/// idempotent, so the cache state after a set of probes is independent of
+/// thread count and session interleaving.
+///
+/// A profile is only meaningful for the `(sketches, batch)` pair it was
+/// built against; the shared cache pins both.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchProfile {
+    /// `counts[k]` = matches among the first `min((k+1)·batch, n_hashes)`
+    /// hashes.
+    counts: Vec<u32>,
+}
+
+impl MatchProfile {
+    /// An empty profile (no batch steps compared yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of batch steps covered.
+    pub fn covered_steps(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no batch step has been compared yet.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Replaces this profile with `other` when `other` covers more batch
+    /// steps — the order-free merge rule of the shared knowledge cache.
+    /// Equal-depth profiles over the same sketches are identical, so ties
+    /// keep `self`.
+    pub fn adopt_deeper(&mut self, other: MatchProfile) {
+        if other.counts.len() > self.counts.len() {
+            self.counts = other.counts;
         }
     }
+
+    /// Approximate heap footprint, for cache accounting.
+    pub fn byte_size(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Outcome of a profile-backed pair evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfiledEval {
+    /// The decision record — bit-identical to what
+    /// [`ProbeTable::evaluate_pair`] returns for the same pair.
+    pub estimate: PairEstimate,
+    /// Hash positions newly compared by this evaluation (0 when the
+    /// profile answered every visited batch step — a full cache hit).
+    pub new_hashes: u32,
 }
 
 /// Lazily-filled `(m, n) → decision` table for one probe threshold.
@@ -391,32 +413,51 @@ impl ProbeTable<'_> {
         }
     }
 
-    /// Table-driven equivalent of [`BayesLsh::reevaluate_cached`]: decide
-    /// from the cached `(m, n)` prefix, hashing further only when the
-    /// prefix is inconclusive at this table's threshold.
-    pub fn reevaluate_cached(
+    /// Evaluates a pair through its [`MatchProfile`], extending the
+    /// profile in place past its deepest covered step.
+    ///
+    /// The walk is the canonical fresh schedule (`n = batch, 2·batch, …`,
+    /// stop at the first decisive cell), with each step's match count
+    /// either read from the profile (free) or computed incrementally via
+    /// [`SketchSet::matches_range`] and appended to the profile. The
+    /// returned estimate is therefore bit-identical to
+    /// [`evaluate_pair`](Self::evaluate_pair) regardless of how much of
+    /// the profile was already populated — the property the shared
+    /// knowledge cache's determinism guarantee rests on. Only
+    /// [`ProfiledEval::new_hashes`] varies with cache warmth.
+    pub fn evaluate_profiled(
         &mut self,
         sketches: &SketchSet,
         i: usize,
         j: usize,
-        cached: PairEstimate,
-    ) -> PairEstimate {
-        let cell = self.cell(cached.matches, cached.hashes);
-        if let Some(est) = cell.settle_prefix(cached.matches, cached.hashes) {
-            return est;
-        }
+        profile: &mut MatchProfile,
+    ) -> ProfiledEval {
         let max_n = sketches.n_hashes();
-        if (cached.hashes as usize) >= max_n {
-            return cell.as_estimate(PairDecision::Exhausted, cached.matches, cached.hashes);
-        }
         let batch = self.engine.params.batch;
-        let mut n = cached.hashes as usize;
+        let mut new_hashes = 0u32;
+        let mut n_prev = 0usize;
+        let mut m_prev = 0u32;
+        let mut step = 0usize;
         loop {
-            n = (n + batch).min(max_n);
-            let m = sketches.matches(i, j, n);
+            let n = ((step + 1) * batch).min(max_n);
+            let m = match profile.counts.get(step) {
+                Some(&m) => m,
+                None => {
+                    let m = m_prev + sketches.matches_range(i, j, n_prev, n);
+                    new_hashes += (n - n_prev) as u32;
+                    profile.counts.push(m);
+                    m
+                }
+            };
             if let Some(est) = self.cell(m, n as u32).settle(m, n, max_n) {
-                return est;
+                return ProfiledEval {
+                    estimate: est,
+                    new_hashes,
+                };
             }
+            n_prev = n;
+            m_prev = m;
+            step += 1;
         }
     }
 }
@@ -534,33 +575,59 @@ mod tests {
     }
 
     #[test]
-    fn probe_table_cached_reevaluation_matches_direct() {
+    fn profiled_evaluation_is_bit_identical_to_fresh_at_any_warmth() {
         let a = SparseVector::from_set((0..150).collect());
         let b = SparseVector::from_set((50..200).collect());
-        let sk = Sketcher::new(LshFamily::MinHash, 384, 9).sketch_all(&[a, b]);
+        let c = SparseVector::from_set((900..1050).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 256, 9).sketch_all(&[a, b, c]);
         let e = engine(LshFamily::MinHash);
-        let first = e.evaluate_pair(&sk, 0, 1, 0.9);
-        let direct = e.reevaluate_cached(&sk, 0, 1, first, 0.3);
-        let mut table = e.probe_table(0.3);
-        let tabled = table.reevaluate_cached(&sk, 0, 1, first);
-        assert_eq!(direct.decision, tabled.decision);
-        assert_eq!(direct.matches, tabled.matches);
-        assert_eq!(direct.hashes, tabled.hashes);
+        for &(i, j) in &[(0usize, 1usize), (0, 2), (1, 2)] {
+            // Warm the profile at one threshold, then evaluate at others:
+            // the estimate must equal the from-scratch evaluation exactly,
+            // whatever the profile already covers.
+            let mut profile = MatchProfile::new();
+            for t in [0.9, 0.3, 0.6, 0.3] {
+                let mut table = e.probe_table(t);
+                let fresh = table.evaluate_pair(&sk, i, j);
+                let profiled = table.evaluate_profiled(&sk, i, j, &mut profile);
+                assert_eq!(profiled.estimate.decision, fresh.decision, "({i},{j})@{t}");
+                assert_eq!(profiled.estimate.matches, fresh.matches);
+                assert_eq!(profiled.estimate.hashes, fresh.hashes);
+                assert_eq!(
+                    profiled.estimate.map_similarity.to_bits(),
+                    fresh.map_similarity.to_bits()
+                );
+                assert_eq!(
+                    profiled.estimate.variance.to_bits(),
+                    fresh.variance.to_bits()
+                );
+            }
+            // Re-running any already-probed threshold is free.
+            let mut table = e.probe_table(0.9);
+            let again = table.evaluate_profiled(&sk, i, j, &mut profile);
+            assert_eq!(again.new_hashes, 0, "({i},{j}) re-probe must be free");
+        }
     }
 
     #[test]
-    fn cached_reevaluation_agrees_with_fresh() {
-        let a = SparseVector::from_set((0..150).collect());
-        let b = SparseVector::from_set((50..200).collect());
-        let sk = Sketcher::new(LshFamily::MinHash, 384, 9).sketch_all(&[a, b]);
+    fn profile_adoption_keeps_deepest() {
+        let a = SparseVector::from_set((0..120).collect());
+        let b = SparseVector::from_set((40..160).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 256, 9).sketch_all(&[a, b]);
         let e = engine(LshFamily::MinHash);
-        let first = e.evaluate_pair(&sk, 0, 1, 0.9);
-        let resumed = e.reevaluate_cached(&sk, 0, 1, first, 0.3);
-        let fresh = e.evaluate_pair(&sk, 0, 1, 0.3);
-        // Decisions agree; estimates are close (hash prefix may differ).
-        assert_eq!(resumed.decision, fresh.decision);
-        assert!((resumed.map_similarity - fresh.map_similarity).abs() < 0.1);
-        // And the cached path never compares fewer hashes than the cache.
-        assert!(resumed.hashes >= first.hashes.min(sk.n_hashes() as u32));
+        let mut shallow = MatchProfile::new();
+        e.probe_table(0.95)
+            .evaluate_profiled(&sk, 0, 1, &mut shallow);
+        let mut deep = MatchProfile::new();
+        e.probe_table(0.2).evaluate_profiled(&sk, 0, 1, &mut deep);
+        assert!(deep.covered_steps() >= shallow.covered_steps());
+        let mut merged = shallow.clone();
+        merged.adopt_deeper(deep.clone());
+        // Same-depth profiles over the same sketches are identical, so the
+        // merged profile is the deep one whichever way the merge runs.
+        assert_eq!(merged, deep);
+        let mut other = deep.clone();
+        other.adopt_deeper(shallow);
+        assert_eq!(merged, other);
     }
 }

@@ -429,6 +429,48 @@ impl SketchSet {
         }
     }
 
+    /// Counts matching hashes between records `i` and `j` at positions
+    /// `[from, to)`, so callers holding a memoized prefix count extend it
+    /// incrementally instead of rescanning from position zero:
+    /// `matches(i, j, to) == matches(i, j, from) + matches_range(i, j, from, to)`,
+    /// exactly. This is what lets the knowledge cache resume a pair's
+    /// comparison from its deepest memoized batch step.
+    pub fn matches_range(&self, i: usize, j: usize, from: usize, to: usize) -> u32 {
+        debug_assert!(from <= to && to <= self.n_hashes);
+        let a = self.sketch(i);
+        let b = self.sketch(j);
+        match self.family {
+            LshFamily::MinHash => {
+                let mut m = 0u32;
+                for k in from..to {
+                    if a[k] == b[k] {
+                        m += 1;
+                    }
+                }
+                m
+            }
+            LshFamily::SimHash => {
+                if from == to {
+                    return 0;
+                }
+                let mut mismatches = 0u32;
+                let first_word = from / 64;
+                let last_word = (to - 1) / 64;
+                for w in first_word..=last_word {
+                    let mut bits = a[w] ^ b[w];
+                    if w == first_word && !from.is_multiple_of(64) {
+                        bits &= !((1u64 << (from % 64)) - 1);
+                    }
+                    if w == last_word && !to.is_multiple_of(64) {
+                        bits &= (1u64 << (to % 64)) - 1;
+                    }
+                    mismatches += bits.count_ones();
+                }
+                (to - from) as u32 - mismatches
+            }
+        }
+    }
+
     /// Bytes consumed by the sketch buffer (reported by Fig. 2.9-style
     /// accounting).
     pub fn byte_size(&self) -> usize {
@@ -534,6 +576,29 @@ mod tests {
             assert!(m >= prev, "match count must be monotone in prefix length");
             assert!(m <= n as u32);
             prev = m;
+        }
+    }
+
+    #[test]
+    fn range_matches_sum_to_prefix_matches() {
+        let mut rng = seeded(4);
+        let a = random_set(&mut rng, 500, 40);
+        let b = random_set(&mut rng, 500, 45);
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let sk = Sketcher::new(fam, 200, 9).sketch_all(&[a.clone(), b.clone()]);
+            // Arbitrary split points, including word-straddling ones.
+            for splits in [
+                vec![0, 200],
+                vec![0, 32, 64, 200],
+                vec![0, 1, 63, 65, 129, 200],
+            ] {
+                let mut total = 0;
+                for w in splits.windows(2) {
+                    total += sk.matches_range(0, 1, w[0], w[1]);
+                }
+                assert_eq!(total, sk.matches(0, 1, 200), "{fam:?} splits {splits:?}");
+            }
+            assert_eq!(sk.matches_range(0, 1, 77, 77), 0);
         }
     }
 
