@@ -4,12 +4,17 @@
 //! index). Usage:
 //!
 //! ```text
-//! repro <experiment-id | all | list | bench> [--scale S] [--seed N] [--out DIR] [--json]
+//! repro <experiment-id | all | list | bench | check-bench [PATH]>
+//!       [--scale S] [--seed N] [--out DIR] [--json]
 //! ```
 //!
 //! `repro bench` runs the quick APSS perf smoke (sequential vs parallel
-//! sketching and pair evaluation); with `--json` it also writes the
-//! snapshot to `BENCH_apss.json` for CI perf tracking.
+//! sketching and pair evaluation, shared-cache and bounded-cache probe
+//! sweeps); with `--json` it also writes the snapshot to
+//! `BENCH_apss.json` for CI perf tracking. `repro check-bench [PATH]`
+//! validates a written snapshot against the expected schema (including
+//! the bounded-cache memory fields) and exits non-zero on violations —
+//! the CI perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;
@@ -18,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts::default();
     let mut command: Option<String> = None;
+    let mut snapshot_path: Option<String> = None;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
@@ -45,6 +51,9 @@ fn main() {
             }
             "--json" => json = true,
             arg if command.is_none() => command = Some(arg.to_string()),
+            arg if command.as_deref() == Some("check-bench") && snapshot_path.is_none() => {
+                snapshot_path = Some(arg.to_string());
+            }
             arg => die(&format!("unexpected argument: {arg}")),
         }
         i += 1;
@@ -63,6 +72,10 @@ fn main() {
                 "bench"
             );
             println!(
+                "  {:<10} validate a BENCH_apss.json against the snapshot schema",
+                "check-bench"
+            );
+            println!(
                 "\noptions: --scale S (default {}), --seed N, --out DIR",
                 opts.scale
             );
@@ -78,6 +91,21 @@ fn main() {
                 let path = "BENCH_apss.json";
                 std::fs::write(path, snapshot.to_json()).expect("write perf snapshot");
                 println!("  [artifact] {path}");
+            }
+        }
+        Some("check-bench") => {
+            let path = snapshot_path.as_deref().unwrap_or("BENCH_apss.json");
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            match plasma_bench::perf::validate_snapshot_json(&json) {
+                Ok(()) => println!("{path}: schema OK"),
+                Err(problems) => {
+                    eprintln!("{path}: schema violations:");
+                    for p in &problems {
+                        eprintln!("  - {p}");
+                    }
+                    std::process::exit(1);
+                }
             }
         }
         Some("all") => {

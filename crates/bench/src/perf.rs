@@ -4,16 +4,20 @@
 //! pair evaluation — sequentially and at full parallelism on a fixed
 //! 200-record corpus, plus the shared-cache serving shape: N concurrent
 //! sessions sweeping thresholds over one `SharedKnowledgeCache` (probe
-//! latency and cache hit-rate vs session count). With `--json` the
-//! snapshot is also written to `BENCH_apss.json` so CI can track the perf
-//! trajectory across commits. This is a smoke measurement (fractions of a
-//! second per kernel), not a statistical benchmark; `cargo bench` owns
-//! the careful numbers.
+//! latency and cache hit-rate vs session count), and the bounded-cache
+//! shape: the same sweep under a byte cap, recording peak memo bytes,
+//! hit rate, and evictions against the unbounded baseline. With `--json`
+//! the snapshot is also written to `BENCH_apss.json` so CI can track the
+//! perf trajectory across commits (`repro check-bench` validates the
+//! schema). This is a smoke measurement (fractions of a second per
+//! kernel), not a statistical benchmark; `cargo bench` owns the careful
+//! numbers.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig};
+use plasma_core::cache::{CacheCapacity, CacheMemoryStats};
 use plasma_core::{Session, SharedKnowledgeCache};
 use plasma_data::datasets::corpus::CorpusSpec;
 use plasma_data::datasets::gaussian::GaussianSpec;
@@ -56,6 +60,25 @@ pub struct MultiSessionRates {
     pub cache_hit_rate: f64,
 }
 
+/// Memory behavior of the shared cache under a byte cap, against the
+/// unbounded baseline: the same 4-session threshold sweep run twice.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedCacheRates {
+    /// The byte cap configured for the bounded run (a quarter of the
+    /// unbounded run's peak, so eviction genuinely engages).
+    pub cap_bytes: usize,
+    /// Peak accounted memo bytes of the unbounded run.
+    pub peak_memo_bytes_unbounded: usize,
+    /// Peak accounted memo bytes of the capped run.
+    pub peak_memo_bytes: usize,
+    /// Aggregate cache hit-rate of the unbounded run.
+    pub hit_rate_unbounded: f64,
+    /// Aggregate cache hit-rate of the capped run.
+    pub hit_rate: f64,
+    /// Pair memos evicted during the capped run.
+    pub evicted_entries: u64,
+}
+
 /// The full snapshot.
 #[derive(Debug, Clone)]
 pub struct ApssPerfSnapshot {
@@ -69,6 +92,8 @@ pub struct ApssPerfSnapshot {
     pub pair_evaluation: KernelRates,
     /// Shared-cache concurrent probing at 1, 2, and 4 sessions.
     pub multi_session: Vec<MultiSessionRates>,
+    /// The sweep under a memo-byte cap vs unbounded.
+    pub bounded_cache: BoundedCacheRates,
 }
 
 /// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
@@ -145,10 +170,22 @@ pub fn measure() -> ApssPerfSnapshot {
         }),
     };
 
+    // The 4-session run doubles as the bounded measurement's unbounded
+    // baseline, so the most expensive sweep runs once, not twice.
+    let mut baseline = None;
     let multi_session = [1usize, 2, 4]
         .iter()
-        .map(|&s| measure_multi_session(&ds.records, ds.measure, s))
+        .map(|&s| {
+            let (rates, stats) =
+                sweep_shared_cache(&ds.records, ds.measure, s, CacheCapacity::unbounded());
+            if s == 4 {
+                baseline = Some((rates, stats));
+            }
+            rates
+        })
         .collect();
+    let (base_rates, base_stats) = baseline.expect("the session ladder includes 4");
+    let bounded_cache = measure_bounded_cache(&ds.records, ds.measure, base_rates, base_stats);
 
     ApssPerfSnapshot {
         cores,
@@ -156,6 +193,7 @@ pub fn measure() -> ApssPerfSnapshot {
         sketch_simhash,
         pair_evaluation,
         multi_session,
+        bounded_cache,
     }
 }
 
@@ -164,20 +202,23 @@ pub fn measure() -> ApssPerfSnapshot {
 /// cache exists to amortize).
 const SESSION_SWEEP: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
 
-/// Runs `sessions` concurrent sessions over one fresh shared cache, each
-/// sweeping [`SESSION_SWEEP`]. Per-probe evaluation is pinned sequential
-/// so the session count is the only parallelism axis.
-fn measure_multi_session(
+/// Runs `sessions` concurrent sessions over one fresh shared cache under
+/// the given memory policy, each sweeping [`SESSION_SWEEP`]; returns the
+/// aggregate rates and the cache's post-sweep memory statistics.
+/// Per-probe evaluation is pinned sequential so the session count is the
+/// only parallelism axis.
+fn sweep_shared_cache(
     records: &[plasma_data::vector::SparseVector],
     measure: plasma_data::similarity::Similarity,
     sessions: usize,
-) -> MultiSessionRates {
+    capacity: CacheCapacity,
+) -> (MultiSessionRates, CacheMemoryStats) {
     let cfg = ApssConfig {
         parallelism: Some(1),
         ..ApssConfig::default()
     };
     let (sketches, _) = build_sketches(records, measure, &cfg);
-    let cache = Arc::new(SharedKnowledgeCache::new(sketches));
+    let cache = Arc::new(SharedKnowledgeCache::with_capacity(sketches, capacity));
     let wall = Instant::now();
     // (probe seconds, cache hits, candidates) per session.
     let per_session: Vec<(f64, u64, u64)> = std::thread::scope(|scope| {
@@ -208,12 +249,37 @@ fn measure_multi_session(
     let probe_secs: f64 = per_session.iter().map(|p| p.0).sum();
     let hits: u64 = per_session.iter().map(|p| p.1).sum();
     let candidates: u64 = per_session.iter().map(|p| p.2).sum();
-    MultiSessionRates {
+    let rates = MultiSessionRates {
         sessions,
         probes,
         probes_per_sec: probes as f64 / wall_secs,
         mean_probe_ms: probe_secs * 1e3 / probes as f64,
         cache_hit_rate: hits as f64 / candidates.max(1) as f64,
+    };
+    (rates, cache.memory_stats())
+}
+
+/// Runs the 4-session sweep under a cap of a quarter of the unbounded
+/// run's peak — deep enough that the eviction path genuinely churns —
+/// recording what boundedness costs in hit rate. The unbounded baseline
+/// (`unbounded`, `base`) is the caller's `sessions == 4` measurement, so
+/// the expensive sweep is not re-run here.
+fn measure_bounded_cache(
+    records: &[plasma_data::vector::SparseVector],
+    measure: plasma_data::similarity::Similarity,
+    unbounded: MultiSessionRates,
+    base: CacheMemoryStats,
+) -> BoundedCacheRates {
+    let cap_bytes = (base.peak_memo_bytes / 4).max(1);
+    let (capped, stats) =
+        sweep_shared_cache(records, measure, 4, CacheCapacity::bounded(cap_bytes));
+    BoundedCacheRates {
+        cap_bytes,
+        peak_memo_bytes_unbounded: base.peak_memo_bytes,
+        peak_memo_bytes: stats.peak_memo_bytes,
+        hit_rate_unbounded: unbounded.cache_hit_rate,
+        hit_rate: capped.cache_hit_rate,
+        evicted_entries: stats.evicted_entries,
     }
 }
 
@@ -240,13 +306,23 @@ impl ApssPerfSnapshot {
                 )
             })
             .collect();
+        let bounded = format!(
+            "{{\"cap_bytes\": {}, \"peak_memo_bytes_unbounded\": {}, \"peak_memo_bytes\": {}, \"hit_rate_unbounded\": {:.4}, \"hit_rate\": {:.4}, \"evicted_entries\": {}}}",
+            self.bounded_cache.cap_bytes,
+            self.bounded_cache.peak_memo_bytes_unbounded,
+            self.bounded_cache.peak_memo_bytes,
+            self.bounded_cache.hit_rate_unbounded,
+            self.bounded_cache.hit_rate,
+            self.bounded_cache.evicted_entries
+        );
         format!(
-            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {}\n}}\n",
             self.cores,
             rates(&self.sketch_minhash),
             rates(&self.sketch_simhash),
             rates(&self.pair_evaluation),
-            multi.join(",\n    ")
+            multi.join(",\n    "),
+            bounded
         )
     }
 
@@ -275,7 +351,81 @@ impl ApssPerfSnapshot {
                 m.cache_hit_rate * 100.0
             ));
         }
+        let b = &self.bounded_cache;
+        out.push_str(&format!(
+            "  bounded-cache (cap {:>8}B) peak {:>8}B (unbounded {:>8}B)   hit-rate {:>5.1}% (unbounded {:>5.1}%)   evicted {}\n",
+            b.cap_bytes,
+            b.peak_memo_bytes,
+            b.peak_memo_bytes_unbounded,
+            b.hit_rate * 100.0,
+            b.hit_rate_unbounded * 100.0,
+            b.evicted_entries
+        ));
         out
+    }
+}
+
+/// Required keys of the `BENCH_apss.json` schema, including the
+/// bounded-cache memory fields. `repro check-bench` (the CI perf-smoke
+/// gate) fails when any goes missing, so snapshot consumers can rely on
+/// them across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 24] = [
+    "benchmark",
+    "cores",
+    "sketching",
+    "n_hashes",
+    "minhash",
+    "simhash",
+    "pair_evaluation",
+    "units",
+    "seq_per_sec",
+    "par_per_sec",
+    "speedup",
+    "multi_session",
+    "sessions",
+    "probes",
+    "probes_per_sec",
+    "mean_probe_ms",
+    "cache_hit_rate",
+    "bounded_cache",
+    "cap_bytes",
+    "peak_memo_bytes_unbounded",
+    "peak_memo_bytes",
+    "hit_rate_unbounded",
+    "hit_rate",
+    "evicted_entries",
+];
+
+/// Validates a `BENCH_apss.json` document against the snapshot schema:
+/// every required key present (quoted, colon-terminated), the benchmark
+/// id correct, and braces/brackets structurally balanced. Returns every
+/// violation found, so a CI failure names all missing fields at once.
+pub fn validate_snapshot_json(json: &str) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    if !json.contains("\"benchmark\": \"apss\"") {
+        problems.push("missing or wrong benchmark id (want \"benchmark\": \"apss\")".to_string());
+    }
+    for key in REQUIRED_SNAPSHOT_KEYS {
+        if !json.contains(&format!("\"{key}\":")) {
+            problems.push(format!("missing required key \"{key}\""));
+        }
+    }
+    for (open, close, name) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let opens = json.matches(open).count();
+        let closes = json.matches(close).count();
+        if opens != closes {
+            problems.push(format!(
+                "unbalanced {name}: {opens} {open} vs {closes} {close}"
+            ));
+        }
+    }
+    if !json.trim_start().starts_with('{') {
+        problems.push("document does not start with an object".to_string());
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
     }
 }
 
@@ -318,6 +468,14 @@ mod tests {
                     cache_hit_rate: 0.81,
                 },
             ],
+            bounded_cache: BoundedCacheRates {
+                cap_bytes: 65536,
+                peak_memo_bytes_unbounded: 262144,
+                peak_memo_bytes: 65536,
+                hit_rate_unbounded: 0.81,
+                hit_rate: 0.55,
+                evicted_entries: 1234,
+            },
         };
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
@@ -326,9 +484,60 @@ mod tests {
         assert!(json.contains("\"multi_session\": ["));
         assert!(json.contains("\"cache_hit_rate\": 0.8100"));
         assert!(json.contains("\"mean_probe_ms\": 50.000"));
+        assert!(json.contains("\"bounded_cache\": {"));
+        assert!(json.contains("\"cap_bytes\": 65536"));
+        assert!(json.contains("\"peak_memo_bytes_unbounded\": 262144"));
+        assert!(json.contains("\"evicted_entries\": 1234"));
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
         assert!((snap.pair_evaluation.speedup() - 4.2).abs() < 1e-9);
+        // The rendered snapshot is exactly what the CI schema gate wants.
+        validate_snapshot_json(&json).expect("rendered snapshot validates");
+    }
+
+    #[test]
+    fn validator_names_every_violation() {
+        assert!(validate_snapshot_json("").is_err());
+        let problems =
+            validate_snapshot_json("{\"benchmark\": \"apss\"}").expect_err("keys missing");
+        assert!(problems.len() >= REQUIRED_SNAPSHOT_KEYS.len() - 1);
+        assert!(problems.iter().any(|p| p.contains("bounded_cache")));
+        assert!(problems.iter().any(|p| p.contains("peak_memo_bytes")));
+        // Unbalanced structure is flagged even with all keys present.
+        let mut json = String::from("{");
+        for key in REQUIRED_SNAPSHOT_KEYS {
+            json.push_str(&format!("\"{key}\": 0, "));
+        }
+        json.push_str("\"benchmark\": \"apss\"");
+        // No closing brace.
+        let problems = validate_snapshot_json(&json).expect_err("unbalanced");
+        assert!(problems.iter().any(|p| p.contains("unbalanced braces")));
+    }
+
+    #[test]
+    fn bounded_measurement_respects_its_own_cap() {
+        let ds = GaussianSpec::new("bench-bounded", 40, 6, 2).generate(5);
+        let (base_rates, base_stats) =
+            sweep_shared_cache(&ds.records, ds.measure, 4, CacheCapacity::unbounded());
+        let b = measure_bounded_cache(&ds.records, ds.measure, base_rates, base_stats);
+        assert!(b.cap_bytes > 0);
+        assert!(
+            b.peak_memo_bytes_unbounded >= b.cap_bytes,
+            "cap is derived as a fraction of the unbounded peak"
+        );
+        assert!(b.evicted_entries > 0, "a quarter-peak cap must evict");
+        // The capped peak may transiently exceed the cap by at most one
+        // publication (accounting precedes the eviction pass), never by a
+        // whole probe's worth.
+        let (_, resident) = sweep_shared_cache(
+            &ds.records,
+            ds.measure,
+            2,
+            CacheCapacity::bounded(b.cap_bytes),
+        );
+        assert!(resident.memo_bytes <= b.cap_bytes);
+        assert!((0.0..=1.0).contains(&b.hit_rate));
+        assert!((0.0..=1.0).contains(&b.hit_rate_unbounded));
     }
 
     #[test]
@@ -338,8 +547,9 @@ mod tests {
         // threshold is answered from the shared memo pool, so the
         // aggregate hit rate must beat the single-session baseline.
         let ds = GaussianSpec::new("bench-test", 40, 6, 2).generate(5);
-        let solo = measure_multi_session(&ds.records, ds.measure, 1);
-        let duo = measure_multi_session(&ds.records, ds.measure, 2);
+        let unbounded = CacheCapacity::unbounded();
+        let solo = sweep_shared_cache(&ds.records, ds.measure, 1, unbounded).0;
+        let duo = sweep_shared_cache(&ds.records, ds.measure, 2, unbounded).0;
         assert_eq!(solo.probes, 5);
         assert_eq!(duo.probes, 10);
         // `>=`, not `>`: the duo's sessions genuinely race, and a

@@ -32,9 +32,27 @@
 //! (`hashes_compared`, `cache_hits`) a probe pays, never what it returns.
 //! See `tests/parallel_determinism.rs` for the property pins.
 //!
+//! # Bounded memory
+//!
+//! Long-lived serving processes bound the memo pool with a
+//! [`CacheCapacity`]: every pair memo is byte-accounted
+//! ([`MatchProfile::byte_size`] plus per-entry overhead) per stripe, and
+//! publications that push a stripe over its share of the cap evict memos
+//! — least-recently-used first, or shallowest-profile first
+//! ([`EvictionPolicy`]). Because memos are pure recomputable knowledge,
+//! **eviction never changes probe outputs**, only work counters; the
+//! capped cache returns bit-identical results to an unbounded one at any
+//! thread/session count (pinned in `tests/bounded_cache.rs`).
+//! [`CacheRegistry`] adds the process-wide axis: a [`RegistryCapacity`]
+//! caps how many dataset caches stay resident and their total bytes
+//! (sketches + memos), dropping whole least-recently-used caches.
+//! [`SharedKnowledgeCache::memory_stats`] exposes byte/eviction/hit
+//! counters for operators.
+//!
 //! [`Session::with_shared_cache`]: crate::session::Session::with_shared_cache
 //! [`MatchProfile`]: plasma_lsh::bayes::MatchProfile
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use plasma_data::hash::{FxHashMap, FxHasher};
@@ -51,19 +69,197 @@ use crate::apss::{build_sketches, ApssConfig, ApssResult, ApssStats, SimilarPair
 /// making `len()`/snapshot walks expensive.
 pub const STRIPES: usize = 64;
 
-/// One lock stripe of the shared memo pool.
+/// Which memo a bounded cache sacrifices first when it must evict.
+///
+/// Whatever the policy, eviction only ever discards *memoized work* —
+/// a re-probe of an evicted pair recomputes from the sketches and
+/// republishes, so probe outputs are bit-identical to an unbounded cache
+/// at any capacity (see [`CacheCapacity`]). The policy only shapes which
+/// pairs stay warm, i.e. the hit rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the pair touched longest ago (reads and publications both
+    /// refresh recency). Ties — possible only between pairs never touched
+    /// since the same probe — fall back to dropping the shallowest
+    /// profile first, the cheapest knowledge to rebuild.
+    #[default]
+    LeastRecentlyUsed,
+    /// Evict the pair with the fewest covered batch steps first (recency
+    /// breaks ties): keeps the deepest, most expensive-to-recompute
+    /// profiles resident, at the cost of ignoring access patterns.
+    ShallowestFirst,
+}
+
+/// Memory policy for a [`SharedKnowledgeCache`]'s memo pool.
+///
+/// The cap is a bound on **accounted memo bytes**: per-pair profile heap
+/// bytes ([`MatchProfile::byte_size`]) plus a fixed per-entry overhead for
+/// the key, decision record, exact-similarity slot, and recency stamp.
+/// Sketches are *not* counted — they are immutable, sized up front, and
+/// reported separately ([`SharedKnowledgeCache::total_bytes`]).
+///
+/// Enforcement is per stripe: each of the [`STRIPES`] lock stripes owns
+/// `max_bytes / STRIPES` of the budget and evicts locally whenever a
+/// publication pushes it over, so bounding never adds cross-stripe
+/// locking. Summed over stripes the accounted footprint therefore never
+/// exceeds `max_bytes` once any publication's eviction pass has run —
+/// including mid-probe, since eviction happens inside the publishing
+/// stripe's critical section.
+///
+/// ```
+/// use plasma_core::cache::{CacheCapacity, EvictionPolicy};
+///
+/// let unbounded = CacheCapacity::unbounded();
+/// assert_eq!(unbounded.max_bytes(), None);
+///
+/// let bounded = CacheCapacity::bounded(1 << 20) // 1 MiB
+///     .with_policy(EvictionPolicy::ShallowestFirst);
+/// assert_eq!(bounded.max_bytes(), Some(1 << 20));
+/// assert_eq!(bounded.policy(), EvictionPolicy::ShallowestFirst);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCapacity {
+    max_bytes: Option<usize>,
+    policy: EvictionPolicy,
+}
+
+impl CacheCapacity {
+    /// No cap: the memo pool grows with the workload (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps accounted memo bytes at `max_bytes`, evicting least-recently
+    /// used pairs first. `bounded(0)` is legal and means "memoize
+    /// nothing": every probe stays correct, it just pays fresh-evaluation
+    /// cost each time.
+    pub fn bounded(max_bytes: usize) -> Self {
+        Self {
+            max_bytes: Some(max_bytes),
+            policy: EvictionPolicy::default(),
+        }
+    }
+
+    /// Selects the eviction policy (only meaningful when bounded).
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The byte cap, `None` when unbounded.
+    pub fn max_bytes(&self) -> Option<usize> {
+        self.max_bytes
+    }
+
+    /// The eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Each stripe's share of the cap. Flooring means up to
+    /// `STRIPES - 1` bytes of the global cap go unused — never exceeded.
+    fn stripe_budget(&self) -> Option<usize> {
+        self.max_bytes.map(|b| b / STRIPES)
+    }
+}
+
+/// Everything the cache remembers about one pair, under one stripe slot.
+#[derive(Default)]
+struct PairMemo {
+    /// The confluent match-count memo (may be empty when only an exact
+    /// similarity was published, e.g. by a mismatched-batch probe).
+    profile: MatchProfile,
+    /// Most-refined decision record seen (advisory; see
+    /// [`SharedKnowledgeCache::get`]).
+    estimate: Option<PairEstimate>,
+    /// Exact similarity computed for an accepted pair (when a probe ran
+    /// with `exact_on_accept`); re-probes reuse it instead of recomputing
+    /// dot products. A pure function of the record pair, so publication
+    /// is idempotent.
+    exact: Option<f64>,
+    /// Monotonic recency stamp from the cache's touch clock.
+    last_used: u64,
+}
+
+impl PairMemo {
+    /// Accounted bytes: fixed per-entry overhead (map slot, key, record,
+    /// stamp) plus the profile's heap. An estimate of the real footprint
+    /// — hash-map load-factor slack is not modeled — but a *consistent*
+    /// one, so the capacity invariant is exact over what is accounted.
+    fn byte_size(&self) -> usize {
+        std::mem::size_of::<((u32, u32), PairMemo)>()
+            + std::mem::size_of::<u64>()
+            + self.profile.byte_size()
+    }
+}
+
+/// One lock stripe of the shared memo pool: the per-pair memos plus this
+/// stripe's exact accounted-byte tally.
 #[derive(Default)]
 struct Stripe {
-    /// Per-pair match profiles — the confluent memo (`i < j` keys).
-    profiles: FxHashMap<(u32, u32), MatchProfile>,
-    /// Most-refined decision record seen per pair (advisory; see
-    /// [`SharedKnowledgeCache::get`]).
-    estimates: FxHashMap<(u32, u32), PairEstimate>,
-    /// Exact similarities computed for accepted pairs (when a probe ran
-    /// with `exact_on_accept`); re-probes reuse them instead of
-    /// recomputing dot products. The value is a pure function of the
-    /// record pair, so publication is idempotent.
-    exact: FxHashMap<(u32, u32), f64>,
+    /// Per-pair memos (`i < j` keys).
+    entries: FxHashMap<(u32, u32), PairMemo>,
+    /// Sum of `entries[k].byte_size()` — maintained exactly under this
+    /// stripe's lock.
+    bytes: usize,
+}
+
+impl Stripe {
+    /// Evicts until this stripe's accounted bytes fit `budget`, returning
+    /// `(entries, bytes)` evicted. Victim order is the capacity policy's;
+    /// the final total-order key makes eviction deterministic for any
+    /// serialized publication history.
+    fn evict_to_budget(&mut self, budget: usize, policy: EvictionPolicy) -> (u64, u64) {
+        let mut evicted = (0u64, 0u64);
+        while self.bytes > budget && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(key, memo)| match policy {
+                    EvictionPolicy::LeastRecentlyUsed => {
+                        (memo.last_used, memo.profile.covered_steps() as u64, **key)
+                    }
+                    EvictionPolicy::ShallowestFirst => {
+                        (memo.profile.covered_steps() as u64, memo.last_used, **key)
+                    }
+                })
+                .map(|(key, _)| *key)
+                .expect("non-empty entry map has a minimum");
+            let memo = self.entries.remove(&victim).expect("victim exists");
+            let bytes = memo.byte_size();
+            self.bytes -= bytes;
+            evicted.0 += 1;
+            evicted.1 += bytes as u64;
+        }
+        evicted
+    }
+}
+
+/// Point-in-time memory and eviction statistics for a
+/// [`SharedKnowledgeCache`] (see
+/// [`memory_stats`](SharedKnowledgeCache::memory_stats)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheMemoryStats {
+    /// Pair memos currently resident.
+    pub entries: usize,
+    /// Accounted memo bytes currently resident (excludes sketches).
+    pub memo_bytes: usize,
+    /// High-water mark of accounted memo bytes over the cache's life.
+    /// With a cap configured this can transiently exceed the cap by at
+    /// most one publication (accounting happens just before the eviction
+    /// pass in the same critical section).
+    pub peak_memo_bytes: usize,
+    /// Immutable sketch bytes (not subject to the cap).
+    pub sketch_bytes: usize,
+    /// The configured byte cap, `None` when unbounded.
+    pub capacity_bytes: Option<usize>,
+    /// Pair memos evicted over the cache's life.
+    pub evicted_entries: u64,
+    /// Accounted bytes reclaimed by eviction over the cache's life.
+    pub evicted_bytes: u64,
+    /// Lifetime pair evaluations answered entirely from the memo pool
+    /// (the sum of every probe's `cache_hits`).
+    pub cache_hits: u64,
 }
 
 /// Memoized probe state for one dataset, shareable across sessions and
@@ -102,6 +298,9 @@ struct Stripe {
 pub struct SharedKnowledgeCache {
     sketches: SketchSet,
     stripes: Vec<Mutex<Stripe>>,
+    /// Memory policy; stripes enforce their share of the cap at
+    /// publication time.
+    capacity: CacheCapacity,
     /// Batch size of the evaluation schedule the profiles are indexed by,
     /// pinned by the first probe. Probes whose `BayesParams::batch`
     /// disagrees still return correct (bit-identical-to-fresh) results but
@@ -109,24 +308,115 @@ pub struct SharedKnowledgeCache {
     schedule_batch: OnceLock<usize>,
     /// Thresholds probed so far, in publication (append) order.
     history: Mutex<Vec<f64>>,
+    /// Monotonic touch clock; every read or publication of a pair memo
+    /// takes a fresh stamp, giving the LRU policy its order.
+    clock: AtomicU64,
+    /// Mirror of the summed per-stripe byte tallies, so `memo_bytes` and
+    /// peak tracking are O(1) instead of [`STRIPES`] lock walks.
+    bytes: AtomicUsize,
+    /// High-water mark of [`bytes`](Self::bytes).
+    peak_bytes: AtomicUsize,
+    /// Lifetime eviction counters.
+    evicted_entries: AtomicU64,
+    evicted_bytes: AtomicU64,
+    /// Lifetime cache hits (summed per-probe `cache_hits`).
+    hits: AtomicU64,
 }
 
 impl SharedKnowledgeCache {
-    /// Wraps freshly built sketches with an empty, shareable memo pool.
+    /// Wraps freshly built sketches with an empty, shareable, *unbounded*
+    /// memo pool (the PR-2 behavior).
     pub fn new(sketches: SketchSet) -> Self {
+        Self::with_capacity(sketches, CacheCapacity::unbounded())
+    }
+
+    /// Wraps freshly built sketches with an empty memo pool governed by
+    /// `capacity`. A bounded pool keeps its accounted bytes under the cap
+    /// by evicting pair memos; every probe still returns exactly what an
+    /// unbounded cache would — eviction trades hit rate for memory, never
+    /// correctness.
+    ///
+    /// ```
+    /// use plasma_core::apss::{build_sketches, ApssConfig};
+    /// use plasma_core::cache::{CacheCapacity, SharedKnowledgeCache};
+    /// use plasma_data::datasets::gaussian::GaussianSpec;
+    /// use plasma_data::similarity::Similarity;
+    ///
+    /// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+    /// let cfg = ApssConfig::default();
+    /// let (sketches, _) = build_sketches(&ds.records, Similarity::Cosine, &cfg);
+    ///
+    /// let unbounded = SharedKnowledgeCache::new(sketches.clone());
+    /// let bounded =
+    ///     SharedKnowledgeCache::with_capacity(sketches, CacheCapacity::bounded(64 << 10));
+    ///
+    /// let a = unbounded.probe(&ds.records, Similarity::Cosine, 0.8, &cfg);
+    /// let b = bounded.probe(&ds.records, Similarity::Cosine, 0.8, &cfg);
+    /// assert_eq!(a.pairs, b.pairs, "capacity never changes probe output");
+    ///
+    /// let stats = bounded.memory_stats();
+    /// assert!(stats.memo_bytes <= 64 << 10, "accounted bytes respect the cap");
+    /// ```
+    pub fn with_capacity(sketches: SketchSet, capacity: CacheCapacity) -> Self {
         Self {
             sketches,
             stripes: (0..STRIPES)
                 .map(|_| Mutex::new(Stripe::default()))
                 .collect(),
+            capacity,
             schedule_batch: OnceLock::new(),
             history: Mutex::new(Vec::new()),
+            clock: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            evicted_entries: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
     /// The cached sketches.
     pub fn sketches(&self) -> &SketchSet {
         &self.sketches
+    }
+
+    /// The memory policy this cache enforces.
+    pub fn capacity(&self) -> CacheCapacity {
+        self.capacity
+    }
+
+    /// Accounted memo-pool bytes currently resident (excludes sketches).
+    /// O(1): reads the atomic mirror of the per-stripe tallies.
+    pub fn memo_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total accounted footprint: immutable sketch bytes plus resident
+    /// memo bytes. This is what [`CacheRegistry`] sums when enforcing a
+    /// process-wide byte cap.
+    pub fn total_bytes(&self) -> usize {
+        self.sketches.byte_size() + self.memo_bytes()
+    }
+
+    /// Snapshot of the cache's memory and eviction statistics. Counters
+    /// are read individually (not under one lock), so concurrent probes
+    /// can skew fields against each other slightly; each field is exact
+    /// for any serialized probe history.
+    pub fn memory_stats(&self) -> CacheMemoryStats {
+        CacheMemoryStats {
+            entries: self
+                .stripes
+                .iter()
+                .map(|s| s.lock().expect("stripe lock").entries.len())
+                .sum(),
+            memo_bytes: self.memo_bytes(),
+            peak_memo_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            sketch_bytes: self.sketches.byte_size(),
+            capacity_bytes: self.capacity.max_bytes(),
+            evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of pairs with a memoized profile, summed across all lock
@@ -136,16 +426,29 @@ impl SharedKnowledgeCache {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("stripe lock").profiles.len())
+            .map(|s| {
+                s.lock()
+                    .expect("stripe lock")
+                    .entries
+                    .values()
+                    .filter(|m| !m.profile.is_empty())
+                    .count()
+            })
             .sum()
     }
 
-    /// True when no pair memos exist in any stripe (same snapshot caveat
-    /// as [`len`](Self::len)).
+    /// True when [`len`](Self::len) is 0: no pair carries a memoized
+    /// profile in any stripe (same snapshot caveat as `len`; exact-only
+    /// memos published by mismatched-batch probes don't count, exactly as
+    /// they don't count toward `len`).
     pub fn is_empty(&self) -> bool {
-        self.stripes
-            .iter()
-            .all(|s| s.lock().expect("stripe lock").profiles.is_empty())
+        self.stripes.iter().all(|s| {
+            s.lock()
+                .expect("stripe lock")
+                .entries
+                .values()
+                .all(|m| m.profile.is_empty())
+        })
     }
 
     /// Thresholds probed so far, in append order: each probe appends its
@@ -162,15 +465,17 @@ impl SharedKnowledgeCache {
     /// Advisory: the record's *counts* (`matches`, `hashes`) and posterior
     /// summary are exact, but its `decision` is relative to whichever
     /// probe threshold evaluated the pair deepest. Re-deciding at a
-    /// specific threshold is what [`probe`](Self::probe) does.
+    /// specific threshold is what [`probe`](Self::probe) does. Inspection
+    /// does not refresh the pair's eviction recency — only probes and
+    /// publications keep a memo warm.
     pub fn get(&self, i: u32, j: u32) -> Option<PairEstimate> {
         let key = (i.min(j), i.max(j));
         self.stripe(key)
             .lock()
             .expect("stripe lock")
-            .estimates
+            .entries
             .get(&key)
-            .copied()
+            .and_then(|m| m.estimate)
     }
 
     /// Owned snapshot of all memoized decision records, in unspecified
@@ -179,7 +484,11 @@ impl SharedKnowledgeCache {
         let mut out = Vec::new();
         for s in &self.stripes {
             let g = s.lock().expect("stripe lock");
-            out.extend(g.estimates.iter().map(|(&k, &v)| (k, v)));
+            out.extend(
+                g.entries
+                    .iter()
+                    .filter_map(|(&k, m)| Some((k, m.estimate?))),
+            );
         }
         out
     }
@@ -196,21 +505,29 @@ impl SharedKnowledgeCache {
         *self.schedule_batch.get_or_init(|| batch) == batch
     }
 
-    /// Snapshot of a pair's memoized profile (empty when unknown).
+    /// Snapshot of a pair's memoized profile (empty when unknown),
+    /// refreshing the pair's recency so LRU eviction sees the read.
     pub(crate) fn load_profile(&self, key: (u32, u32)) -> MatchProfile {
-        self.stripe(key)
-            .lock()
-            .expect("stripe lock")
-            .profiles
-            .get(&key)
-            .cloned()
-            .unwrap_or_default()
+        let mut g = self.stripe(key).lock().expect("stripe lock");
+        match g.entries.get_mut(&key) {
+            Some(memo) => {
+                memo.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                memo.profile.clone()
+            }
+            None => MatchProfile::new(),
+        }
     }
 
     /// Publishes what one evaluation learned into the pair's stripe under
     /// a single lock acquisition: an extended profile + decision record
     /// (order-free deepest-wins merge) and/or a freshly computed exact
     /// similarity. No-op (lock-free) when there is nothing to publish.
+    ///
+    /// Publication is where the capacity policy bites: the stripe's byte
+    /// tally is updated and, when over its share of the cap, memos are
+    /// evicted ([`Stripe::evict_to_budget`]) before the lock drops — so
+    /// the accounted footprint is back under the cap the moment any
+    /// publication completes.
     pub(crate) fn publish(
         &self,
         key: (u32, u32),
@@ -220,20 +537,47 @@ impl SharedKnowledgeCache {
         if memo.is_none() && exact.is_none() {
             return;
         }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut g = self.stripe(key).lock().expect("stripe lock");
-        if let Some((profile, est)) = memo {
-            g.profiles.entry(key).or_default().adopt_deeper(profile);
-            g.estimates
-                .entry(key)
-                .and_modify(|old| {
-                    if est.hashes >= old.hashes {
-                        *old = est;
-                    }
-                })
-                .or_insert(est);
+        let existed = g.entries.contains_key(&key);
+        let entry = g.entries.entry(key).or_default();
+        // A fresh entry contributes its whole footprint; an update only
+        // its growth.
+        let old_bytes = if existed { entry.byte_size() } else { 0 };
+        if let Some((mut profile, est)) = memo {
+            // Shrink before adopting so the stored capacity — what the
+            // accounting charges — carries no push-growth slack.
+            profile.shrink_to_fit();
+            entry.profile.adopt_deeper(profile);
+            match &mut entry.estimate {
+                Some(old) if est.hashes >= old.hashes => *old = est,
+                Some(_) => {}
+                slot @ None => *slot = Some(est),
+            }
         }
         if let Some(s) = exact {
-            g.exact.insert(key, s);
+            entry.exact = Some(s);
+        }
+        entry.last_used = stamp;
+        let new_bytes = entry.byte_size();
+        g.bytes = (g.bytes + new_bytes) - old_bytes;
+        if new_bytes >= old_bytes {
+            let total = self
+                .bytes
+                .fetch_add(new_bytes - old_bytes, Ordering::Relaxed)
+                + (new_bytes - old_bytes);
+            self.peak_bytes.fetch_max(total, Ordering::Relaxed);
+        } else {
+            self.bytes
+                .fetch_sub(old_bytes - new_bytes, Ordering::Relaxed);
+        }
+        if let Some(budget) = self.capacity.stripe_budget() {
+            let (entries, bytes) = g.evict_to_budget(budget, self.capacity.policy());
+            if entries > 0 {
+                self.bytes.fetch_sub(bytes as usize, Ordering::Relaxed);
+                self.evicted_entries.fetch_add(entries, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
         }
     }
 
@@ -248,7 +592,8 @@ impl SharedKnowledgeCache {
     /// counters (`candidates`/`pruned`/`accepted`/`exhausted`) are bit
     /// identical to [`crate::apss::apss_with_sketches`] over the same
     /// sketches at every `parallelism` setting, whatever this cache has
-    /// memoized and whatever other sessions do concurrently. The work
+    /// memoized, whatever other sessions do concurrently, and whatever
+    /// the [`CacheCapacity`] has evicted. The work
     /// counters (`hashes_compared`, `cache_hits`) depend on cache warmth:
     /// they are deterministic for any serialized probe order and may
     /// redistribute between racing probes that evaluate the same pair
@@ -281,21 +626,28 @@ impl SharedKnowledgeCache {
             let mut estimates = Vec::with_capacity(chunk.len());
             for &(i, j) in chunk {
                 let key = (i, j);
-                // Read phase: lift this pair's memos out of its stripe.
+                // Read phase: lift this pair's memos out of its stripe,
+                // refreshing its recency stamp for the eviction policy.
                 let (mut profile, known_exact) = {
-                    let g = self.stripe(key).lock().expect("stripe lock");
-                    (
-                        if profiled {
-                            g.profiles.get(&key).cloned().unwrap_or_default()
-                        } else {
-                            MatchProfile::new()
-                        },
-                        if cfg.exact_on_accept {
-                            g.exact.get(&key).copied()
-                        } else {
-                            None
-                        },
-                    )
+                    let mut g = self.stripe(key).lock().expect("stripe lock");
+                    match g.entries.get_mut(&key) {
+                        Some(memo) => {
+                            memo.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                            (
+                                if profiled {
+                                    memo.profile.clone()
+                                } else {
+                                    MatchProfile::new()
+                                },
+                                if cfg.exact_on_accept {
+                                    memo.exact
+                                } else {
+                                    None
+                                },
+                            )
+                        }
+                        None => (MatchProfile::new(), None),
+                    }
                 };
                 let had_profile = !profile.is_empty();
                 // Evaluate without holding any lock.
@@ -370,6 +722,7 @@ impl SharedKnowledgeCache {
             estimates.extend(out.estimates);
         }
         stats.process_seconds = start.elapsed().as_secs_f64();
+        self.hits.fetch_add(stats.cache_hits, Ordering::Relaxed);
         self.history.lock().expect("history lock").push(threshold);
         ApssResult {
             threshold,
@@ -419,11 +772,47 @@ pub struct KnowledgeCache {
 }
 
 impl KnowledgeCache {
-    /// Wraps freshly built sketches with an empty memo pool.
+    /// Wraps freshly built sketches with an empty, unbounded memo pool.
     pub fn new(sketches: SketchSet) -> Self {
+        Self::with_capacity(sketches, CacheCapacity::unbounded())
+    }
+
+    /// Wraps freshly built sketches with a memo pool governed by
+    /// `capacity` (see [`SharedKnowledgeCache::with_capacity`]).
+    ///
+    /// ```
+    /// use plasma_core::apss::{build_sketches, ApssConfig};
+    /// use plasma_core::cache::CacheCapacity;
+    /// use plasma_core::KnowledgeCache;
+    /// use plasma_data::datasets::gaussian::GaussianSpec;
+    /// use plasma_data::similarity::Similarity;
+    ///
+    /// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+    /// let cfg = ApssConfig::default();
+    /// let (sketches, _) = build_sketches(&ds.records, Similarity::Cosine, &cfg);
+    /// // A zero-byte cap memoizes nothing — probes still return the
+    /// // exact unbounded-cache output, they just pay fresh cost.
+    /// let mut cache = KnowledgeCache::with_capacity(sketches, CacheCapacity::bounded(0));
+    /// let first = cache.probe(&ds.records, Similarity::Cosine, 0.8, &cfg);
+    /// let again = cache.probe(&ds.records, Similarity::Cosine, 0.8, &cfg);
+    /// assert_eq!(again.pairs, first.pairs);
+    /// assert_eq!(cache.memory_stats().memo_bytes, 0);
+    /// ```
+    pub fn with_capacity(sketches: SketchSet, capacity: CacheCapacity) -> Self {
         Self {
-            shared: Arc::new(SharedKnowledgeCache::new(sketches)),
+            shared: Arc::new(SharedKnowledgeCache::with_capacity(sketches, capacity)),
         }
+    }
+
+    /// The memory policy in force.
+    pub fn capacity(&self) -> CacheCapacity {
+        self.shared.capacity()
+    }
+
+    /// Memory and eviction statistics (see
+    /// [`SharedKnowledgeCache::memory_stats`]).
+    pub fn memory_stats(&self) -> CacheMemoryStats {
+        self.shared.memory_stats()
     }
 
     /// The underlying shareable cache; clone the `Arc` to attach more
@@ -483,10 +872,91 @@ impl KnowledgeCache {
     }
 }
 
+/// Capacity limits for a [`CacheRegistry`]: how many dataset caches a
+/// serving process keeps resident, and how many total bytes (sketches +
+/// accounted memos, summed over every registered cache) they may hold.
+///
+/// When a limit is exceeded after a lookup, the registry drops whole
+/// caches least-recently-*looked-up* first. The cache returned by the
+/// triggering lookup is never its own victim, so a single dataset larger
+/// than `max_total_bytes` still serves (the cap then bounds everything
+/// *else*). Dropping a cache from the registry does not free memory still
+/// referenced by live sessions' `Arc`s; it stops the registry keeping it
+/// alive and lets the next lookup rebuild.
+///
+/// ```
+/// use plasma_core::cache::RegistryCapacity;
+///
+/// let cap = RegistryCapacity::unbounded()
+///     .with_max_caches(8)
+///     .with_max_total_bytes(512 << 20); // 512 MiB across all datasets
+/// assert_eq!(cap.max_caches(), Some(8));
+/// assert_eq!(cap.max_total_bytes(), Some(512 << 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryCapacity {
+    max_caches: Option<usize>,
+    max_total_bytes: Option<usize>,
+}
+
+impl RegistryCapacity {
+    /// No limits (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of resident dataset caches.
+    pub fn with_max_caches(mut self, max: usize) -> Self {
+        self.max_caches = Some(max);
+        self
+    }
+
+    /// Caps total resident bytes (sketches + accounted memo bytes) across
+    /// all dataset caches.
+    pub fn with_max_total_bytes(mut self, max: usize) -> Self {
+        self.max_total_bytes = Some(max);
+        self
+    }
+
+    /// The cache-count cap, `None` when uncapped.
+    pub fn max_caches(&self) -> Option<usize> {
+        self.max_caches
+    }
+
+    /// The total-byte cap, `None` when uncapped.
+    pub fn max_total_bytes(&self) -> Option<usize> {
+        self.max_total_bytes
+    }
+}
+
+/// One registered dataset cache: its build latch plus the recency stamp
+/// registry-level eviction orders by.
+struct RegistryEntry {
+    /// The sketch build runs under this `OnceLock`, so first-comers for
+    /// the *same* dataset serialize while other datasets' lookups never
+    /// block.
+    latch: Arc<OnceLock<Arc<SharedKnowledgeCache>>>,
+    /// Stamp of the last `get_or_build` that touched this entry.
+    last_used: u64,
+}
+
+/// State behind the registry mutex.
+#[derive(Default)]
+struct RegistryInner {
+    caches: FxHashMap<u128, RegistryEntry>,
+    /// Monotonic lookup clock feeding [`RegistryEntry::last_used`].
+    clock: u64,
+}
+
 /// Registry of shared knowledge caches keyed by dataset fingerprint — the
 /// serving-traffic entry point: every session over the same corpus and
 /// sketch configuration gets the same [`SharedKnowledgeCache`], so sketch
 /// building happens once and pair memos accumulate across all users.
+///
+/// A registry can bound its footprint on two axes: per-cache memo bytes
+/// (a [`CacheCapacity`] applied to every cache it builds) and
+/// process-wide totals (a [`RegistryCapacity`] evicting whole
+/// least-recently-used caches). Both default to unbounded.
 ///
 /// ```
 /// use plasma_core::apss::ApssConfig;
@@ -503,19 +973,86 @@ impl KnowledgeCache {
 /// assert!(std::sync::Arc::ptr_eq(&a, &b));
 /// assert_eq!(registry.len(), 1);
 /// ```
+///
+/// Bounding both axes for a long-lived server:
+///
+/// ```
+/// use plasma_core::apss::ApssConfig;
+/// use plasma_core::cache::{CacheCapacity, CacheRegistry, RegistryCapacity};
+/// use plasma_data::datasets::gaussian::GaussianSpec;
+/// use plasma_data::similarity::Similarity;
+///
+/// let registry = CacheRegistry::with_capacity(
+///     RegistryCapacity::unbounded().with_max_caches(1),
+///     CacheCapacity::bounded(1 << 20),
+/// );
+/// let cfg = ApssConfig::default();
+/// let first = GaussianSpec::new("a", 30, 6, 2).generate(1);
+/// let second = GaussianSpec::new("b", 30, 6, 2).generate(2);
+/// let a = registry.get_or_build(&first.records, Similarity::Cosine, &cfg);
+/// assert_eq!(a.capacity().max_bytes(), Some(1 << 20));
+/// // A second dataset evicts the first: max_caches is 1.
+/// registry.get_or_build(&second.records, Similarity::Cosine, &cfg);
+/// assert_eq!(registry.len(), 1);
+/// assert_eq!(registry.evicted_caches(), 1);
+/// // `a` keeps working — eviction only drops the registry's reference.
+/// assert!(!a.sketches().is_empty());
+/// ```
 #[derive(Default)]
 pub struct CacheRegistry {
-    /// Per-fingerprint build latches: the map mutex is held only for the
-    /// entry lookup, and the sketch build runs under the entry's own
-    /// `OnceLock` — so first-comers for the *same* dataset serialize, but
-    /// lookups and builds for unrelated datasets never block each other.
-    caches: Mutex<FxHashMap<u128, Arc<OnceLock<Arc<SharedKnowledgeCache>>>>>,
+    inner: Mutex<RegistryInner>,
+    capacity: RegistryCapacity,
+    /// Memory policy handed to every cache this registry builds.
+    cache_capacity: CacheCapacity,
+    /// Lifetime count of caches evicted to enforce [`capacity`](Self::capacity).
+    evicted: AtomicU64,
 }
 
 impl CacheRegistry {
-    /// An empty registry.
+    /// An empty, unbounded registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry with process-wide limits (`capacity`) and a
+    /// per-cache memo-byte policy applied to every cache it builds
+    /// (`cache_capacity`).
+    pub fn with_capacity(capacity: RegistryCapacity, cache_capacity: CacheCapacity) -> Self {
+        Self {
+            capacity,
+            cache_capacity,
+            ..Self::default()
+        }
+    }
+
+    /// The process-wide limits in force.
+    pub fn capacity(&self) -> RegistryCapacity {
+        self.capacity
+    }
+
+    /// The per-cache memo policy applied to caches this registry builds.
+    pub fn cache_capacity(&self) -> CacheCapacity {
+        self.cache_capacity
+    }
+
+    /// Total resident bytes across all registered caches: sketch bytes
+    /// plus accounted memo bytes, skipping entries whose first build is
+    /// still in flight. A snapshot — concurrent probes keep publishing
+    /// while it sums.
+    pub fn total_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .caches
+            .values()
+            .filter_map(|e| e.latch.get())
+            .map(|c| c.total_bytes())
+            .sum()
+    }
+
+    /// Lifetime count of caches evicted by capacity enforcement (manual
+    /// [`evict`](Self::evict)/[`clear`](Self::clear) calls not included).
+    pub fn evicted_caches(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// Fingerprint of `(records, measure, sketch/schedule config)`. Two
@@ -564,6 +1101,11 @@ impl CacheRegistry {
     /// first-comers for the same dataset serialize on that dataset's
     /// build latch instead of duplicating the sketch work; callers for
     /// other datasets are never blocked by an in-flight build.
+    ///
+    /// Every lookup refreshes the dataset's registry recency, then
+    /// enforces the [`RegistryCapacity`] limits: while the cache count or
+    /// byte total is over its cap, the least-recently-looked-up *other*
+    /// cache is dropped from the registry.
     pub fn get_or_build(
         &self,
         records: &[SparseVector],
@@ -572,13 +1114,23 @@ impl CacheRegistry {
     ) -> Arc<SharedKnowledgeCache> {
         let fp = Self::fingerprint(records, measure, cfg);
         let latch = {
-            let mut caches = self.caches.lock().expect("registry lock");
-            caches.entry(fp).or_default().clone()
+            let mut inner = self.inner.lock().expect("registry lock");
+            inner.clock += 1;
+            let stamp = inner.clock;
+            let entry = inner.caches.entry(fp).or_insert_with(|| RegistryEntry {
+                latch: Arc::default(),
+                last_used: stamp,
+            });
+            entry.last_used = stamp;
+            entry.latch.clone()
         };
         let cache = latch
             .get_or_init(|| {
                 let (sketches, _) = build_sketches(records, measure, cfg);
-                Arc::new(SharedKnowledgeCache::new(sketches))
+                Arc::new(SharedKnowledgeCache::with_capacity(
+                    sketches,
+                    self.cache_capacity,
+                ))
             })
             .clone();
         // Cheap guard against a fingerprint collision handing this caller
@@ -590,7 +1142,52 @@ impl CacheRegistry {
             cache.sketches().len(),
             records.len()
         );
+        self.enforce_capacity(fp);
         cache
+    }
+
+    /// Drops least-recently-used caches until the registry fits its
+    /// limits, never evicting `keep` (the fingerprint whose lookup is
+    /// enforcing) or entries whose first build is still in flight.
+    fn enforce_capacity(&self, keep: u128) {
+        let cap_count = self.capacity.max_caches();
+        let cap_bytes = self.capacity.max_total_bytes();
+        if cap_count.is_none() && cap_bytes.is_none() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("registry lock");
+        loop {
+            let count = inner.caches.len();
+            let over_count = cap_count.is_some_and(|max| count > max);
+            let over_bytes = cap_bytes.is_some_and(|max| {
+                inner
+                    .caches
+                    .values()
+                    .filter_map(|e| e.latch.get())
+                    .map(|c| c.total_bytes())
+                    .sum::<usize>()
+                    > max
+            });
+            if !over_count && !over_bytes {
+                return;
+            }
+            let victim = inner
+                .caches
+                .iter()
+                .filter(|(&fp, e)| fp != keep && e.latch.get().is_some())
+                .min_by_key(|(&fp, e)| (e.last_used, fp))
+                .map(|(&fp, _)| fp);
+            match victim {
+                Some(fp) => {
+                    inner.caches.remove(&fp);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                // Nothing evictable (only `keep` and in-flight builds
+                // remain): the requested dataset may alone exceed the
+                // caps; serve it anyway.
+                None => return,
+            }
+        }
     }
 
     /// Opens a [`crate::session::Session`] attached to this registry's
@@ -609,20 +1206,21 @@ impl CacheRegistry {
     /// Number of registered caches (including any whose first build is
     /// still in flight).
     pub fn len(&self) -> usize {
-        self.caches.lock().expect("registry lock").len()
+        self.inner.lock().expect("registry lock").caches.len()
     }
 
     /// True when no cache is registered.
     pub fn is_empty(&self) -> bool {
-        self.caches.lock().expect("registry lock").is_empty()
+        self.inner.lock().expect("registry lock").caches.is_empty()
     }
 
     /// Drops the cache for a fingerprint, if registered. Sessions already
     /// holding the `Arc` keep working; the next `get_or_build` rebuilds.
     pub fn evict(&self, fingerprint: u128) -> bool {
-        self.caches
+        self.inner
             .lock()
             .expect("registry lock")
+            .caches
             .remove(&fingerprint)
             .is_some()
     }
@@ -630,7 +1228,7 @@ impl CacheRegistry {
     /// Drops every registered cache (same `Arc` semantics as
     /// [`evict`](Self::evict)).
     pub fn clear(&self) {
-        self.caches.lock().expect("registry lock").clear();
+        self.inner.lock().expect("registry lock").caches.clear();
     }
 }
 

@@ -108,6 +108,11 @@ pub fn incremental_apss(
 /// over the same sketches: profile-backed evaluation replays the fresh
 /// schedule, so cache warmth changes only the work done, never the
 /// numbers reported.
+///
+/// The cache's [`crate::cache::CacheCapacity`] applies to this run's
+/// publications like any probe's: a bounded pool may evict memos this
+/// pass published (or wanted to read), which costs recomputation on later
+/// touches but never changes any reported estimate.
 pub fn incremental_apss_with_cache(
     records: &[SparseVector],
     measure: Similarity,
@@ -366,6 +371,49 @@ mod tests {
         let probe = cache.probe(&records, Similarity::Cosine, 0.5, &cfg);
         assert_eq!(probe.stats.hashes_compared, 0);
         assert_eq!(probe.stats.cache_hits, probe.stats.candidates);
+    }
+
+    #[test]
+    fn capped_cache_never_changes_incremental_estimates() {
+        let records = dataset(70);
+        let cfg = ApssConfig::default();
+        let plain = incremental_apss(
+            &records,
+            Similarity::Cosine,
+            0.5,
+            &[0.75],
+            &[0.25, 0.5, 1.0],
+            &cfg,
+        );
+        let (sketches, _) = crate::apss::build_sketches(&records, Similarity::Cosine, &cfg);
+        // A tiny byte cap evicts aggressively throughout the run…
+        let cap = 2048;
+        let cache = SharedKnowledgeCache::with_capacity(
+            sketches,
+            crate::cache::CacheCapacity::bounded(cap),
+        );
+        let capped = incremental_apss_with_cache(
+            &records,
+            Similarity::Cosine,
+            &cache,
+            0.5,
+            &[0.75],
+            &[0.25, 0.5, 1.0],
+            &cfg,
+        );
+        // …but estimates are still bit-identical to the cacheless run,
+        // and accounting stayed under the cap.
+        for (a, b) in plain.steps.iter().zip(&capped.steps) {
+            for (x, y) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (x, y) in plain.final_estimates.iter().zip(&capped.final_estimates) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let stats = cache.memory_stats();
+        assert!(stats.memo_bytes <= cap, "{} > {cap}", stats.memo_bytes);
+        assert!(stats.evicted_entries > 0, "a 2 KiB cap must have evicted");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   lock-striped [`SharedKnowledgeCache`] lets many concurrent sessions
 //!   share one memo pool ([`CacheRegistry`] keys caches by dataset
 //!   fingerprint), with probe outputs bit-identical to a private cache.
+//!   Memory is boundable end to end: per-cache byte caps with LRU /
+//!   shallowest-first eviction ([`CacheCapacity`]) and registry-wide
+//!   cache-count/byte limits ([`cache::RegistryCapacity`]) — eviction
+//!   never changes probe outputs, only work counters.
 //! * [`cumulative`] — the Cumulative APSS Graph: estimated number of
 //!   similar pairs at every threshold, with error bars, assembled from
 //!   memoized estimates.
@@ -51,6 +55,9 @@ pub mod session;
 pub mod topk;
 
 pub use apss::{ApssConfig, ApssResult, CandidateStrategy};
-pub use cache::{CacheRegistry, KnowledgeCache, SharedKnowledgeCache};
+pub use cache::{
+    CacheCapacity, CacheMemoryStats, CacheRegistry, EvictionPolicy, KnowledgeCache,
+    RegistryCapacity, SharedKnowledgeCache,
+};
 pub use cumulative::CumulativeCurve;
 pub use session::{ProbeReport, Session};

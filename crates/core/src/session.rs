@@ -18,7 +18,10 @@
 //! and one memo pool. Each session keeps its *own* cumulative curve and
 //! threshold grid; only the expensive knowledge is shared. Probe results
 //! are bit-identical to what a private cache would return (see
-//! [`SharedKnowledgeCache::probe`]).
+//! [`SharedKnowledgeCache::probe`]), and stay so when the pool is
+//! memory-bounded ([`Session::with_cache_capacity`],
+//! [`crate::cache::CacheCapacity`]) — eviction trades cache hits for
+//! memory, never results.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,7 +32,7 @@ use plasma_data::vector::SparseVector;
 use plasma_lsh::family::LshFamily;
 
 use crate::apss::{build_sketches, ApssConfig, SimilarPair};
-use crate::cache::SharedKnowledgeCache;
+use crate::cache::{CacheCapacity, SharedKnowledgeCache};
 use crate::cues::{self, DensityPlot, TriangleCue};
 use crate::cumulative::CumulativeCurve;
 
@@ -59,6 +62,9 @@ pub struct Session {
     measure: Similarity,
     cfg: ApssConfig,
     cache: Option<Arc<SharedKnowledgeCache>>,
+    /// Memory policy for the cache this session builds on first probe
+    /// (ignored when a shared cache is attached — the pool's owner chose).
+    cache_capacity: CacheCapacity,
     grid: Vec<f64>,
     sketch_seconds: f64,
     curve: Option<CumulativeCurve>,
@@ -105,6 +111,7 @@ impl Session {
             measure,
             cfg,
             cache: None,
+            cache_capacity: CacheCapacity::unbounded(),
             grid: crate::cumulative::default_grid(lo),
             sketch_seconds: 0.0,
             curve: None,
@@ -122,6 +129,33 @@ impl Session {
     /// at every setting; only latency changes.
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.cfg.parallelism = parallelism;
+        self
+    }
+
+    /// Bounds the memo pool of the knowledge cache this session builds on
+    /// its first probe. Probe reports are bit-identical at every capacity
+    /// — eviction only trades cache hits for memory (see
+    /// [`CacheCapacity`]). No effect on a cache attached via
+    /// [`with_shared_cache`](Self::with_shared_cache): a shared pool's
+    /// policy belongs to whoever built it.
+    ///
+    /// ```
+    /// use plasma_core::cache::CacheCapacity;
+    /// use plasma_core::{ApssConfig, Session};
+    /// use plasma_data::datasets::gaussian::GaussianSpec;
+    ///
+    /// let ds = GaussianSpec::new("doc", 40, 6, 2).generate(7);
+    /// let mut bounded = Session::new(&ds, ApssConfig::default())
+    ///     .with_cache_capacity(CacheCapacity::bounded(32 << 10));
+    /// let mut unbounded = Session::new(&ds, ApssConfig::default());
+    /// let a = bounded.probe(0.8);
+    /// let b = unbounded.probe(0.8);
+    /// assert_eq!(a.pairs, b.pairs, "capacity never changes results");
+    /// let stats = bounded.cache().expect("probed").memory_stats();
+    /// assert!(stats.memo_bytes <= 32 << 10);
+    /// ```
+    pub fn with_cache_capacity(mut self, capacity: CacheCapacity) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 
@@ -202,7 +236,10 @@ impl Session {
             let (sketches, secs) = build_sketches(&self.records, self.measure, &self.cfg);
             sketch_secs = secs;
             self.sketch_seconds = secs;
-            self.cache = Some(Arc::new(SharedKnowledgeCache::new(sketches)));
+            self.cache = Some(Arc::new(SharedKnowledgeCache::with_capacity(
+                sketches,
+                self.cache_capacity,
+            )));
         }
         let cache = self.cache.as_ref().expect("cache initialized above");
         let result = cache.probe(&self.records, self.measure, threshold, &self.cfg);

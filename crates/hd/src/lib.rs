@@ -11,8 +11,9 @@
 //!   generators, hashing, and statistics
 //! * [`lsh`] — MinHash/SimHash sketches, banded candidate generation, and
 //!   BayesLSH posterior inference (pruning + concentration)
-//! * [`core`] — APSS probes, the (shareable, lock-striped) knowledge
-//!   cache, cumulative threshold curves, incremental estimates, and the
+//! * [`core`] — APSS probes, the (shareable, lock-striped, byte-bounded)
+//!   knowledge cache with LRU eviction and registry-wide capacity limits,
+//!   cumulative threshold curves, incremental estimates, and the
 //!   interactive [`Session`](core::Session) driver
 //! * [`graph`] — similarity-graph construction and structural measures
 //!   (triangles, cores, components, communities, …)
@@ -46,6 +47,20 @@
 //! let cache = session.shared_cache().expect("probed above");
 //! let mut colleague = Session::new(&ds, ApssConfig::default()).with_shared_cache(cache);
 //! assert_eq!(colleague.probe(0.8).hashes_compared, 0);
+//! ```
+//!
+//! For long-lived servers the cache is memory-boundable — byte caps with
+//! LRU eviction per cache, count/byte limits across datasets — without
+//! ever changing probe outputs:
+//!
+//! ```
+//! use plasma_hd::core::cache::{CacheCapacity, CacheRegistry, RegistryCapacity};
+//!
+//! let registry = CacheRegistry::with_capacity(
+//!     RegistryCapacity::unbounded().with_max_caches(64),
+//!     CacheCapacity::bounded(64 << 20), // 64 MiB of memos per dataset
+//! );
+//! assert!(registry.is_empty());
 //! ```
 
 pub use plasma_core as core;

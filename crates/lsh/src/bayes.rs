@@ -347,9 +347,30 @@ impl MatchProfile {
         }
     }
 
-    /// Approximate heap footprint, for cache accounting.
+    /// Heap bytes this profile holds, for cache accounting. Counts the
+    /// *capacity* of the match-count vector — what the allocator actually
+    /// charges — not just its length, so a bounded cache's accounting is
+    /// honest about push-growth slack. Publish paths that care about tight
+    /// accounting call [`shrink_to_fit`](Self::shrink_to_fit) first.
+    ///
+    /// ```
+    /// use plasma_lsh::bayes::MatchProfile;
+    ///
+    /// let p = MatchProfile::new();
+    /// assert_eq!(p.byte_size(), 0, "empty profiles own no heap");
+    /// ```
     pub fn byte_size(&self) -> usize {
         self.counts.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Releases excess capacity so [`byte_size`](Self::byte_size) equals
+    /// `covered_steps() * 4` bytes. The shared knowledge cache shrinks
+    /// profiles at publication time: a profile deepens at most
+    /// `n_hashes / batch` times over its whole life, so the occasional
+    /// realloc is cheap, and the memo pool's accounted footprint stays
+    /// slack-free.
+    pub fn shrink_to_fit(&mut self) {
+        self.counts.shrink_to_fit();
     }
 }
 
@@ -607,6 +628,25 @@ mod tests {
             let again = table.evaluate_profiled(&sk, i, j, &mut profile);
             assert_eq!(again.new_hashes, 0, "({i},{j}) re-probe must be free");
         }
+    }
+
+    #[test]
+    fn profile_byte_size_tracks_heap_and_shrinks_tight() {
+        let a = SparseVector::from_set((0..120).collect());
+        let b = SparseVector::from_set((40..160).collect());
+        let sk = Sketcher::new(LshFamily::MinHash, 256, 9).sketch_all(&[a, b]);
+        let e = engine(LshFamily::MinHash);
+        let mut profile = MatchProfile::new();
+        assert_eq!(profile.byte_size(), 0);
+        e.probe_table(0.2)
+            .evaluate_profiled(&sk, 0, 1, &mut profile);
+        assert!(profile.covered_steps() > 0);
+        // Capacity-based accounting bounds the length-based minimum…
+        let tight = profile.covered_steps() * std::mem::size_of::<u32>();
+        assert!(profile.byte_size() >= tight);
+        // …and shrinking makes them equal.
+        profile.shrink_to_fit();
+        assert_eq!(profile.byte_size(), tight);
     }
 
     #[test]
