@@ -4,9 +4,13 @@
 //! pair evaluation — sequentially and at full parallelism on a fixed
 //! 200-record corpus, plus the shared-cache serving shape: N concurrent
 //! sessions sweeping thresholds over one `SharedKnowledgeCache` (probe
-//! latency and cache hit-rate vs session count), and the bounded-cache
+//! latency and cache hit-rate vs session count), the bounded-cache
 //! shape: the same sweep under a byte cap, recording peak memo bytes,
-//! hit rate, and evictions against the unbounded baseline. With `--json`
+//! hit rate, and evictions against the unbounded baseline, and the
+//! banded-skew shape: candidate generation over a Zipf-clustered corpus
+//! whose dominant bucket holds the majority of all records, recording how
+//! the `ShardPolicy` fans that hot bucket out (`banded_skew` fields —
+//! shards, largest-shard pairs, seq vs parallel rate). With `--json`
 //! the snapshot is also written to `BENCH_apss.json` so CI can track the
 //! perf trajectory across commits (`repro check-bench` validates the
 //! schema). This is a smoke measurement (fractions of a second per
@@ -21,6 +25,12 @@ use plasma_core::cache::{CacheCapacity, CacheMemoryStats};
 use plasma_core::{Session, SharedKnowledgeCache};
 use plasma_data::datasets::corpus::CorpusSpec;
 use plasma_data::datasets::gaussian::GaussianSpec;
+use plasma_data::rng::seeded;
+use plasma_data::vector::SparseVector;
+use plasma_data::zipf::Zipf;
+use plasma_lsh::candidates::{
+    banded_sequential, banded_shard_stats, banded_with_policy, ShardPolicy,
+};
 use plasma_lsh::family::LshFamily;
 use plasma_lsh::sketch::Sketcher;
 
@@ -79,6 +89,43 @@ pub struct BoundedCacheRates {
     pub evicted_entries: u64,
 }
 
+/// Banded candidate generation over a Zipf-clustered corpus whose
+/// dominant bucket holds the majority of all records — the skewed-keys
+/// scenario that used to serialize the join inside one band. The shard
+/// fields show the hot bucket fanning out: `shards` far above one and
+/// `largest_shard_pairs` bounded by the policy while `hot_bucket_share`
+/// exceeds one half.
+#[derive(Debug, Clone, Copy)]
+pub struct BandedSkewRates {
+    /// Records in the skewed corpus.
+    pub records: u64,
+    /// Fraction of records in the hottest bucket (> 0.5 by construction).
+    pub hot_bucket_share: f64,
+    /// Pairs inside that hottest bucket.
+    pub hot_bucket_pairs: u64,
+    /// Total pre-dedup pairs across all band buckets (the generation
+    /// work a probe must distribute).
+    pub total_pairs: u64,
+    /// Shards the default policy produces.
+    pub shards: u64,
+    /// Pairs carried by the largest shard — the longest serial pairing
+    /// any single worker is handed.
+    pub largest_shard_pairs: u64,
+    /// Deduplicated candidates the join returns.
+    pub candidates: u64,
+    /// Generated pairs per second, sequential reference.
+    pub seq_per_sec: f64,
+    /// Generated pairs per second, sharded at full parallelism.
+    pub par_per_sec: f64,
+}
+
+impl BandedSkewRates {
+    /// Parallel speedup over sequential.
+    pub fn speedup(&self) -> f64 {
+        self.par_per_sec / self.seq_per_sec.max(f64::MIN_POSITIVE)
+    }
+}
+
 /// The full snapshot.
 #[derive(Debug, Clone)]
 pub struct ApssPerfSnapshot {
@@ -94,6 +141,8 @@ pub struct ApssPerfSnapshot {
     pub multi_session: Vec<MultiSessionRates>,
     /// The sweep under a memo-byte cap vs unbounded.
     pub bounded_cache: BoundedCacheRates,
+    /// Banded candidate generation under hot-bucket key skew.
+    pub banded_skew: BandedSkewRates,
 }
 
 /// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
@@ -186,6 +235,7 @@ pub fn measure() -> ApssPerfSnapshot {
         .collect();
     let (base_rates, base_stats) = baseline.expect("the session ladder includes 4");
     let bounded_cache = measure_bounded_cache(&ds.records, ds.measure, base_rates, base_stats);
+    let banded_skew = measure_banded_skew_sized(cores, 1000, 250);
 
     ApssPerfSnapshot {
         cores,
@@ -194,6 +244,60 @@ pub fn measure() -> ApssPerfSnapshot {
         pair_evaluation,
         multi_session,
         bounded_cache,
+        banded_skew,
+    }
+}
+
+/// A Zipf(2.0)-clustered corpus: each record is an exact copy of its
+/// cluster's base set, cluster drawn from `Zipf` over 64 ranks — the
+/// rank-0 cluster holds ~60% of records, so every band of its sketches
+/// has one bucket carrying the majority of the corpus.
+fn zipf_skewed_records(n: usize, seed: u64) -> Vec<SparseVector> {
+    let zipf = Zipf::new(64, 2.0);
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            let c = zipf.sample(&mut rng) as u32;
+            SparseVector::from_set((c * 60..c * 60 + 45).collect())
+        })
+        .collect()
+}
+
+/// Banded join bands/width used by the skew measurement.
+const SKEW_BANDS: usize = 8;
+const SKEW_WIDTH: usize = 8;
+
+/// Measures [`BandedSkewRates`] on an `n`-record Zipf-skewed corpus,
+/// with `budget_ms` of wall time per timed kernel (small in tests, 250ms
+/// in the real snapshot).
+fn measure_banded_skew_sized(cores: usize, n: usize, budget_ms: u64) -> BandedSkewRates {
+    let records = zipf_skewed_records(n, 9);
+    let sketches = Sketcher::new(LshFamily::MinHash, 64, 7).sketch_all(&records);
+    let policy = ShardPolicy::default();
+    let stats = banded_shard_stats(&sketches, SKEW_BANDS, SKEW_WIDTH, policy);
+    let candidates = banded_sequential(&sketches, SKEW_BANDS, SKEW_WIDTH).len() as u64;
+    let seq_per_sec = best_rate(stats.total_pairs, budget_ms, || {
+        std::hint::black_box(banded_sequential(&sketches, SKEW_BANDS, SKEW_WIDTH));
+    });
+    let par_per_sec = best_rate(stats.total_pairs, budget_ms, || {
+        std::hint::black_box(banded_with_policy(
+            &sketches,
+            SKEW_BANDS,
+            SKEW_WIDTH,
+            Some(cores),
+            policy,
+        ));
+    });
+    BandedSkewRates {
+        records: n as u64,
+        hot_bucket_share: stats.hot_bucket_members as f64 / (n as f64).max(1.0),
+        hot_bucket_pairs: stats.hot_bucket_pairs,
+        total_pairs: stats.total_pairs,
+        shards: stats.shards,
+        largest_shard_pairs: stats.largest_shard_pairs,
+        candidates,
+        seq_per_sec,
+        par_per_sec,
     }
 }
 
@@ -315,14 +419,31 @@ impl ApssPerfSnapshot {
             self.bounded_cache.hit_rate,
             self.bounded_cache.evicted_entries
         );
+        let skew = {
+            let s = &self.banded_skew;
+            format!(
+                "{{\"records\": {}, \"hot_bucket_share\": {:.4}, \"hot_bucket_pairs\": {}, \"total_pairs\": {}, \"shards\": {}, \"largest_shard_pairs\": {}, \"candidates\": {}, \"seq_per_sec\": {:.1}, \"par_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                s.records,
+                s.hot_bucket_share,
+                s.hot_bucket_pairs,
+                s.total_pairs,
+                s.shards,
+                s.largest_shard_pairs,
+                s.candidates,
+                s.seq_per_sec,
+                s.par_per_sec,
+                s.speedup()
+            )
+        };
         format!(
-            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {}\n}}\n",
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {}\n}}\n",
             self.cores,
             rates(&self.sketch_minhash),
             rates(&self.sketch_simhash),
             rates(&self.pair_evaluation),
             multi.join(",\n    "),
-            bounded
+            bounded,
+            skew
         )
     }
 
@@ -361,15 +482,25 @@ impl ApssPerfSnapshot {
             b.hit_rate_unbounded * 100.0,
             b.evicted_entries
         ));
+        let s = &self.banded_skew;
+        out.push_str(&format!(
+            "  banded-skew (hot bucket {:>4.1}%) {:>6} shards (largest {:>8} pairs)   seq {:>11.0}/s   par {:>11.0}/s   speedup {:>5.2}x\n",
+            s.hot_bucket_share * 100.0,
+            s.shards,
+            s.largest_shard_pairs,
+            s.seq_per_sec,
+            s.par_per_sec,
+            s.speedup()
+        ));
         out
     }
 }
 
 /// Required keys of the `BENCH_apss.json` schema, including the
-/// bounded-cache memory fields. `repro check-bench` (the CI perf-smoke
-/// gate) fails when any goes missing, so snapshot consumers can rely on
-/// them across commits.
-const REQUIRED_SNAPSHOT_KEYS: [&str; 24] = [
+/// bounded-cache memory fields and the banded-skew sharding fields.
+/// `repro check-bench` (the CI perf-smoke gate) fails when any goes
+/// missing, so snapshot consumers can rely on them across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 32] = [
     "benchmark",
     "cores",
     "sketching",
@@ -394,6 +525,14 @@ const REQUIRED_SNAPSHOT_KEYS: [&str; 24] = [
     "hit_rate_unbounded",
     "hit_rate",
     "evicted_entries",
+    "banded_skew",
+    "records",
+    "hot_bucket_share",
+    "hot_bucket_pairs",
+    "total_pairs",
+    "shards",
+    "largest_shard_pairs",
+    "candidates",
 ];
 
 /// Validates a `BENCH_apss.json` document against the snapshot schema:
@@ -476,6 +615,17 @@ mod tests {
                 hit_rate: 0.55,
                 evicted_entries: 1234,
             },
+            banded_skew: BandedSkewRates {
+                records: 1000,
+                hot_bucket_share: 0.61,
+                hot_bucket_pairs: 185_745,
+                total_pairs: 1_600_000,
+                shards: 60,
+                largest_shard_pairs: 32_768,
+                candidates: 250_000,
+                seq_per_sec: 2_000_000.0,
+                par_per_sec: 6_000_000.0,
+            },
         };
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
@@ -488,6 +638,11 @@ mod tests {
         assert!(json.contains("\"cap_bytes\": 65536"));
         assert!(json.contains("\"peak_memo_bytes_unbounded\": 262144"));
         assert!(json.contains("\"evicted_entries\": 1234"));
+        assert!(json.contains("\"banded_skew\": {"));
+        assert!(json.contains("\"hot_bucket_share\": 0.6100"));
+        assert!(json.contains("\"shards\": 60"));
+        assert!(json.contains("\"largest_shard_pairs\": 32768"));
+        assert!((snap.banded_skew.speedup() - 3.0).abs() < 1e-9);
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
         assert!((snap.pair_evaluation.speedup() - 4.2).abs() < 1e-9);
@@ -503,6 +658,8 @@ mod tests {
         assert!(problems.len() >= REQUIRED_SNAPSHOT_KEYS.len() - 1);
         assert!(problems.iter().any(|p| p.contains("bounded_cache")));
         assert!(problems.iter().any(|p| p.contains("peak_memo_bytes")));
+        assert!(problems.iter().any(|p| p.contains("banded_skew")));
+        assert!(problems.iter().any(|p| p.contains("largest_shard_pairs")));
         // Unbalanced structure is flagged even with all keys present.
         let mut json = String::from("{");
         for key in REQUIRED_SNAPSHOT_KEYS {
@@ -538,6 +695,31 @@ mod tests {
         assert!(resident.memo_bytes <= b.cap_bytes);
         assert!((0.0..=1.0).contains(&b.hit_rate));
         assert!((0.0..=1.0).contains(&b.hit_rate_unbounded));
+    }
+
+    #[test]
+    fn skew_measurement_fans_the_hot_bucket_across_shards() {
+        // The acceptance shape in miniature: a corpus whose hottest
+        // bucket holds the majority of records must still fan out —
+        // many shards, none above the policy's pair budget, so no single
+        // worker is handed the whole hot bucket.
+        let rates = measure_banded_skew_sized(4, 500, 5);
+        assert!(
+            rates.hot_bucket_share > 0.5,
+            "the scenario must be genuinely skewed: {}",
+            rates.hot_bucket_share
+        );
+        assert!(
+            rates.hot_bucket_pairs > ShardPolicy::default().max_pairs_per_shard as u64,
+            "hot bucket must exceed one shard's budget"
+        );
+        assert!(rates.shards > 1, "hot bucket must split: {rates:?}");
+        assert!(
+            rates.largest_shard_pairs <= ShardPolicy::default().max_pairs_per_shard as u64,
+            "no shard may serialize the hot bucket: {rates:?}"
+        );
+        assert!(rates.candidates > 0 && rates.total_pairs >= rates.candidates);
+        assert!(rates.seq_per_sec > 0.0 && rates.par_per_sec > 0.0);
     }
 
     #[test]

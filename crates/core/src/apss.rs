@@ -31,7 +31,7 @@ use plasma_lsh::candidates;
 use plasma_lsh::family::LshFamily;
 use plasma_lsh::resolve_parallelism;
 use plasma_lsh::sketch::{SketchSet, Sketcher};
-use plasma_lsh::BayesParams;
+use plasma_lsh::{BayesParams, ShardPolicy};
 use rayon::prelude::*;
 
 /// How candidate pairs are generated.
@@ -68,6 +68,11 @@ pub struct ApssConfig {
     /// bit-identical regardless, so experiments stay reproducible at any
     /// setting.
     pub parallelism: Option<usize>,
+    /// How the banded join distributes bucket pairing across workers
+    /// (hot-bucket splitting thresholds). Ignored by the exhaustive
+    /// strategy. Never changes the candidate set — only how its
+    /// generation parallelizes.
+    pub shard: ShardPolicy,
 }
 
 impl Default for ApssConfig {
@@ -79,6 +84,7 @@ impl Default for ApssConfig {
             exact_on_accept: false,
             seed: 0x9D_5A,
             parallelism: None,
+            shard: ShardPolicy::default(),
         }
     }
 }
@@ -163,7 +169,7 @@ pub fn generate_candidates(sketches: &SketchSet, cfg: &ApssConfig) -> Vec<(u32, 
     match cfg.candidates {
         CandidateStrategy::Exhaustive => candidates::exhaustive(sketches.len()),
         CandidateStrategy::Banded { bands, width } => {
-            candidates::banded_with(sketches, bands, width, cfg.parallelism)
+            candidates::banded_with_policy(sketches, bands, width, cfg.parallelism, cfg.shard)
         }
     }
 }

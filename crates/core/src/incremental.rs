@@ -87,6 +87,31 @@ pub fn incremental_apss(
     report_points: &[f64],
     cfg: &ApssConfig,
 ) -> IncrementalRun {
+    incremental_apss_gated(
+        records,
+        measure,
+        t1,
+        report_thresholds,
+        report_points,
+        cfg,
+        PAR_JOIN_MIN,
+    )
+}
+
+/// Test hook: [`incremental_apss`] with an explicit wide-frontier gate
+/// (the frontier width from which the per-record join shards across
+/// workers), so integration tests can exercise the parallel join on
+/// datasets small enough for CI. Results are bit-identical at every gate.
+#[doc(hidden)]
+pub fn incremental_apss_gated(
+    records: &[SparseVector],
+    measure: Similarity,
+    t1: f64,
+    report_thresholds: &[f64],
+    report_points: &[f64],
+    cfg: &ApssConfig,
+    par_join_min: usize,
+) -> IncrementalRun {
     let (sketches, _) = build_sketches(records, measure, cfg);
     run_incremental(
         records,
@@ -97,6 +122,7 @@ pub fn incremental_apss(
         report_thresholds,
         report_points,
         cfg,
+        par_join_min,
     )
 }
 
@@ -122,6 +148,33 @@ pub fn incremental_apss_with_cache(
     report_points: &[f64],
     cfg: &ApssConfig,
 ) -> IncrementalRun {
+    incremental_apss_with_cache_gated(
+        records,
+        measure,
+        cache,
+        t1,
+        report_thresholds,
+        report_points,
+        cfg,
+        PAR_JOIN_MIN,
+    )
+}
+
+/// Test hook: [`incremental_apss_with_cache`] with an explicit
+/// wide-frontier gate (see [`incremental_apss_gated`]). Results are
+/// bit-identical at every gate.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn incremental_apss_with_cache_gated(
+    records: &[SparseVector],
+    measure: Similarity,
+    cache: &SharedKnowledgeCache,
+    t1: f64,
+    report_thresholds: &[f64],
+    report_points: &[f64],
+    cfg: &ApssConfig,
+    par_join_min: usize,
+) -> IncrementalRun {
     assert_eq!(
         cache.sketches().len(),
         records.len(),
@@ -144,6 +197,7 @@ pub fn incremental_apss_with_cache(
         report_thresholds,
         report_points,
         cfg,
+        par_join_min,
     )
 }
 
@@ -184,6 +238,7 @@ fn run_incremental(
     report_thresholds: &[f64],
     report_points: &[f64],
     cfg: &ApssConfig,
+    par_join_min: usize,
 ) -> IncrementalRun {
     let n = records.len();
     let engine = BayesLsh::new(LshFamily::for_measure(measure), cfg.bayes);
@@ -202,7 +257,7 @@ fn run_incremental(
     let mut next_report = 0usize;
 
     for k in 1..n {
-        if threads > 1 && k >= PAR_JOIN_MIN {
+        if threads > 1 && k >= par_join_min.max(1) {
             // Wide frontier: shard the join of record k against 0..k.
             // Workers only evaluate pairs, writing each evaluation's
             // (m, n) stopping cell into a j-indexed buffer; the fold

@@ -34,8 +34,11 @@
 //!
 //! * sketching shards records into disjoint slices of the flat sketch
 //!   buffer (`plasma_lsh::sketch`);
-//! * banded candidate generation buckets bands in parallel and k-way
-//!   merges per-band sorted runs (`plasma_lsh::candidates`);
+//! * banded candidate generation shards end to end — parallel bucket
+//!   build plus hot-bucket pair-range splitting under
+//!   [`apss::ApssConfig::shard`] ([`ShardPolicy`]) — and k-way merges
+//!   per-shard sorted runs (`plasma_lsh::candidates`), so skewed key
+//!   distributions cannot serialize a probe;
 //! * pair evaluation chunks the candidate list with a private
 //!   `ProbeTable` and stats partial per worker ([`apss`], [`cache`],
 //!   [`topk`]), merging in candidate order.
@@ -60,4 +63,5 @@ pub use cache::{
     RegistryCapacity, SharedKnowledgeCache,
 };
 pub use cumulative::CumulativeCurve;
+pub use plasma_lsh::ShardPolicy;
 pub use session::{ProbeReport, Session};

@@ -6,14 +6,18 @@
 //! * a `SharedKnowledgeCache` workload returns bit-identical results for
 //!   every `(threads × concurrent sessions)` configuration, probes racing
 //!   from OS threads return exactly the fresh sequential answer, and a
-//!   re-probe at an already-probed threshold compares zero new hashes.
+//!   re-probe at an already-probed threshold compares zero new hashes;
+//! * full probe outputs — estimates, stats, and work counters through the
+//!   knowledge cache, plus `incremental_apss` wide-frontier runs — are
+//!   bit-identical with banded-join sharding on vs. off, at every
+//!   `ShardPolicy` and thread count.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig, CandidateStrategy};
-use plasma_core::{ApssResult, Session, SharedKnowledgeCache};
+use plasma_core::{ApssResult, Session, ShardPolicy, SharedKnowledgeCache};
 use plasma_data::datasets::gaussian::GaussianSpec;
 use plasma_data::similarity::Similarity;
 use plasma_data::vector::SparseVector;
@@ -190,6 +194,18 @@ fn run_shared_workload(
         parallelism: Some(threads),
         ..ApssConfig::default()
     };
+    run_shared_workload_cfg(records, &cfg, sessions, workload)
+}
+
+/// [`run_shared_workload`] with a caller-supplied config (candidate
+/// strategy, shard policy, thread count all pinned by the caller).
+fn run_shared_workload_cfg(
+    records: &[SparseVector],
+    cfg: &ApssConfig,
+    sessions: usize,
+    workload: &[f64],
+) -> Vec<ApssResult> {
+    let cfg = *cfg;
     let (sketches, _) = build_sketches(records, Similarity::Cosine, &cfg);
     let cache = Arc::new(SharedKnowledgeCache::new(sketches));
     let handles: Vec<Arc<SharedKnowledgeCache>> = (0..sessions).map(|_| cache.clone()).collect();
@@ -316,6 +332,165 @@ fn racing_sessions_return_fresh_results_and_warm_the_cache() {
     let mut expected = thresholds.to_vec();
     expected.sort_by(f64::total_cmp);
     assert_eq!(history, expected);
+}
+
+/// A corpus where well over half of all records are exact copies of one
+/// template — every band has a dominant bucket, the shape banded-join
+/// sharding exists for.
+fn hot_bucket_records(n: usize) -> Vec<SparseVector> {
+    (0..n)
+        .map(|i| {
+            // 75% land in cluster 0; the rest spread over clusters 2/4/6.
+            let c = if i % 4 != 3 { 0 } else { 1 + (i % 6) as u32 };
+            SparseVector::from_set((c * 50..c * 50 + 40).collect())
+        })
+        .collect()
+}
+
+/// The shard-policy grid the end-to-end pins sweep: sharding off, the
+/// default, and an aggressive splitter that fans every bucket out.
+fn shard_policies() -> [ShardPolicy; 3] {
+    [
+        ShardPolicy::never_split(),
+        ShardPolicy::default(),
+        ShardPolicy::new(2, 16),
+    ]
+}
+
+/// Full probe outputs are bit-identical with sharding on vs. off — every
+/// policy, every thread count, on the hot-bucket corpus — including the
+/// work counters (the candidate set is the same, so the evaluation
+/// schedule is the same).
+#[test]
+fn banded_probe_invariant_across_shard_policies() {
+    let records = hot_bucket_records(70);
+    let reference_cfg = ApssConfig {
+        candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+        shard: ShardPolicy::never_split(),
+        parallelism: Some(1),
+        ..ApssConfig::default()
+    };
+    let (sketches, _) = build_sketches(&records, Similarity::Jaccard, &reference_cfg);
+    let reference = apss_with_sketches(
+        &records,
+        Similarity::Jaccard,
+        &sketches,
+        0.7,
+        &reference_cfg,
+    );
+    assert!(
+        reference.stats.candidates > 0,
+        "hot-bucket corpus must generate candidates"
+    );
+    for policy in shard_policies() {
+        for threads in [1usize, 2, 4] {
+            let cfg = ApssConfig {
+                shard: policy,
+                parallelism: Some(threads),
+                ..reference_cfg
+            };
+            let run = apss_with_sketches(&records, Similarity::Jaccard, &sketches, 0.7, &cfg);
+            assert_identical(&reference, &run, &format!("threads={threads} {policy:?}"));
+        }
+    }
+}
+
+/// The same guarantee through the knowledge cache: a serialized probe
+/// workload over one shared cache — banded candidates, multiple sessions
+/// — is bit-identical (work counters included) for every
+/// `(threads × sessions × shard policy)` configuration.
+#[test]
+fn shared_cache_workload_invariant_across_shard_policies() {
+    let records = hot_bucket_records(60);
+    let workload = [0.9, 0.6, 0.75, 0.6];
+    let base = ApssConfig {
+        candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+        shard: ShardPolicy::never_split(),
+        parallelism: Some(1),
+        ..ApssConfig::default()
+    };
+    let reference = run_shared_workload_cfg(&records, &base, 1, &workload);
+    assert!(
+        reference[1].stats.cache_hits > 0,
+        "workload must exercise the cache"
+    );
+    for policy in shard_policies() {
+        for threads in [1usize, 4] {
+            for sessions in [1usize, 3] {
+                let cfg = ApssConfig {
+                    shard: policy,
+                    parallelism: Some(threads),
+                    ..base
+                };
+                let run = run_shared_workload_cfg(&records, &cfg, sessions, &workload);
+                for (q, (a, b)) in reference.iter().zip(&run).enumerate() {
+                    assert_identical(
+                        a,
+                        b,
+                        &format!("{policy:?} threads={threads} sessions={sessions} probe#{q}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `incremental_apss` wide frontiers through a cache warmed by sharded
+/// banded probes: the parallel per-record join (gate lowered so it
+/// engages on a CI-sized dataset) reports estimates bit-identical to the
+/// plain sequential run, whatever shard policy filled the memo pool.
+#[test]
+fn incremental_wide_frontier_invariant_with_sharded_cache() {
+    let records = gaussian_records(90, 23);
+    let report_t = [0.75, 0.85];
+    let report_at = [0.25, 0.5, 1.0];
+    let sequential_cfg = ApssConfig {
+        parallelism: Some(1),
+        ..ApssConfig::default()
+    };
+    let plain = plasma_core::incremental::incremental_apss(
+        &records,
+        Similarity::Cosine,
+        0.5,
+        &report_t,
+        &report_at,
+        &sequential_cfg,
+    );
+    for policy in shard_policies() {
+        let warm_cfg = ApssConfig {
+            candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+            shard: policy,
+            parallelism: Some(4),
+            ..ApssConfig::default()
+        };
+        let (sketches, _) = build_sketches(&records, Similarity::Cosine, &warm_cfg);
+        let cache = SharedKnowledgeCache::new(sketches);
+        // Warm the memo pool through sharded banded probes…
+        cache.probe(&records, Similarity::Cosine, 0.8, &warm_cfg);
+        cache.probe(&records, Similarity::Cosine, 0.6, &warm_cfg);
+        // …then run the incremental pass with the wide-frontier join
+        // active from frontier width 8 onward.
+        let wide = plasma_core::incremental::incremental_apss_with_cache_gated(
+            &records,
+            Similarity::Cosine,
+            &cache,
+            0.5,
+            &report_t,
+            &report_at,
+            &warm_cfg,
+            8,
+        );
+        assert_eq!(plain.steps.len(), wide.steps.len(), "{policy:?}");
+        for (a, b) in plain.steps.iter().zip(&wide.steps) {
+            assert_eq!(a.fraction.to_bits(), b.fraction.to_bits(), "{policy:?}");
+            for (x, y) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{policy:?}: estimate diverged");
+            }
+        }
+        for (x, y) in plain.final_estimates.iter().zip(&wide.final_estimates) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{policy:?}: final estimate");
+        }
+    }
 }
 
 #[test]

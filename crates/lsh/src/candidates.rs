@@ -10,11 +10,35 @@
 //!   `1 − (1 − p(s)^w)^b` with `b` bands, so band width tunes the
 //!   threshold the join targets.
 //!
-//! The banded join buckets each band independently, so bands shard across
-//! threads. Cross-band duplicates are removed by sorting each band's pair
-//! run and merging the runs with a k-way dedup — peak memory tracks the
-//! per-band runs instead of a global hash-set over every distinct pair,
-//! which is what used to dominate on dense buckets.
+//! # Skew-proof sharding
+//!
+//! Real high-dimensional corpora are heavy-tailed: one band key routinely
+//! collects a large fraction of all records (near-duplicate clusters, a
+//! dominant topic, degenerate band keys). A join that parallelizes only
+//! *across* bands serializes on that hot bucket — the whole engine waits
+//! on one worker enumerating `m·(m−1)/2` pairs. The banded join here
+//! therefore shards **within** bands as well, in three phases:
+//!
+//! 1. **Bucket build** — band keys for all `bands × records` cells are
+//!    computed into a flat table by record-sharded workers, then
+//!    per-worker partial bucket maps are built over disjoint *key ranges*
+//!    of each band (a multiplicative range partition of the `u64` key
+//!    space), so no two workers ever own the same bucket.
+//! 2. **Pair-range sharding** — every bucket's pair count is known up
+//!    front (`m·(m−1)/2`, checked arithmetic). A [`ShardPolicy`] turns
+//!    the bucket list into shards of bounded pair count: small buckets
+//!    are grouped greedily, and a hot bucket is **split into disjoint
+//!    triangular-index ranges** `[lo, hi)` over its pair enumeration —
+//!    decoded back to `(row, col)` coordinates with exact integer
+//!    arithmetic — so one dominant bucket fans out across every worker.
+//! 3. **Dedup** — each shard emits a sorted duplicate-free run; runs are
+//!    merged by the k-way heap dedup. The output is the sorted unique
+//!    pair set, bit-identical to [`banded_sequential`] for every thread
+//!    count and every policy.
+//!
+//! Cross-band duplicates are removed by the merge; within one band a
+//! record holds exactly one key, so a band's pairs are duplicate-free by
+//! construction and split shards need no per-shard dedup at all.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -44,7 +68,76 @@ pub fn exhaustive(n: usize) -> Vec<(u32, u32)> {
     out
 }
 
-/// Banded LSH candidate generation over a sketch set, using all cores.
+/// How banded candidate generation splits bucket pairing across workers.
+///
+/// The policy bounds the pair count a single shard (one worker's unit of
+/// pairing work) may carry. Small buckets are grouped until the budget
+/// fills; a bucket that is both **hot** (at least
+/// [`bucket_split_members`](Self::bucket_split_members) members) and over
+/// budget is split into disjoint triangular pair ranges of at most
+/// [`max_pairs_per_shard`](Self::max_pairs_per_shard) pairs each.
+///
+/// The policy never changes the candidate set — only how its generation
+/// is distributed. [`banded_with_policy`] returns bit-identical output
+/// for every policy and thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Minimum member count for a bucket to be split-eligible. Buckets
+    /// below this stay whole (grouped with neighbors), whatever their
+    /// pair count. Must be at least 2.
+    pub bucket_split_members: usize,
+    /// Pair budget per shard. With the default policy every shard carries
+    /// at most this many pairs; a custom policy whose
+    /// `bucket_split_members` threshold exceeds the budget can leave an
+    /// over-budget bucket whole in its own shard. Must be at least 1.
+    pub max_pairs_per_shard: usize,
+}
+
+impl Default for ShardPolicy {
+    /// `bucket_split_members = 256`, `max_pairs_per_shard = 32 768`. A
+    /// 256-member bucket holds 32 640 pairs, so with the defaults every
+    /// shard is bounded by the pair budget.
+    fn default() -> Self {
+        Self {
+            bucket_split_members: 256,
+            max_pairs_per_shard: 32_768,
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// A policy with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket_split_members < 2` (a 1-member bucket has no
+    /// pairs to split) or `max_pairs_per_shard == 0`.
+    pub fn new(bucket_split_members: usize, max_pairs_per_shard: usize) -> Self {
+        assert!(
+            bucket_split_members >= 2,
+            "buckets need at least 2 members to pair"
+        );
+        assert!(max_pairs_per_shard >= 1, "shards must hold at least 1 pair");
+        Self {
+            bucket_split_members,
+            max_pairs_per_shard,
+        }
+    }
+
+    /// The sharding-off policy: every bucket stays whole and all buckets
+    /// land in one shard — the parallel path degenerates to one worker
+    /// pairing everything (bucket build still shards). Useful as the
+    /// differential baseline and for measuring what sharding buys.
+    pub fn never_split() -> Self {
+        Self {
+            bucket_split_members: usize::MAX,
+            max_pairs_per_shard: usize::MAX,
+        }
+    }
+}
+
+/// Banded LSH candidate generation over a sketch set, using all cores and
+/// the default [`ShardPolicy`].
 ///
 /// `bands` bands of `band_width` hashes each are read from the front of the
 /// sketches; records sharing a band key in the same bucket are paired.
@@ -55,60 +148,407 @@ pub fn banded(sketches: &SketchSet, bands: usize, band_width: usize) -> Vec<(u32
 }
 
 /// [`banded`] with an explicit thread count (`None` = all cores,
-/// `Some(1)` = sequential).
+/// `Some(1)` = sequential) and the default [`ShardPolicy`].
 pub fn banded_with(
     sketches: &SketchSet,
     bands: usize,
     band_width: usize,
     parallelism: Option<usize>,
 ) -> Vec<(u32, u32)> {
-    let threads = resolve_parallelism(parallelism).min(bands.max(1));
-    let runs: Vec<Vec<(u32, u32)>> = if threads <= 1 || bands <= 1 {
-        (0..bands)
-            .map(|band| band_run(sketches, band, band_width))
-            .collect()
-    } else {
-        let band_ids: Vec<usize> = (0..bands).collect();
-        let per_chunk = bands.div_ceil(threads);
-        let nested: Vec<Vec<Vec<(u32, u32)>>> = band_ids
-            .par_chunks(per_chunk)
-            .map(|chunk| {
-                chunk
-                    .iter()
-                    .map(|&band| band_run(sketches, band, band_width))
-                    .collect()
-            })
-            .collect();
-        nested.into_iter().flatten().collect()
-    };
-    kway_merge_dedup(runs)
+    banded_with_policy(
+        sketches,
+        bands,
+        band_width,
+        parallelism,
+        ShardPolicy::default(),
+    )
 }
 
-/// One band's sorted, deduplicated pair run.
-fn band_run(sketches: &SketchSet, band: usize, band_width: usize) -> Vec<(u32, u32)> {
+/// [`banded`] with an explicit thread count and shard policy. The output
+/// is the sorted unique candidate set, bit-identical to
+/// [`banded_sequential`] at every `(parallelism, policy)` combination —
+/// pinned by `crates/lsh/tests/banded_differential.rs`.
+pub fn banded_with_policy(
+    sketches: &SketchSet,
+    bands: usize,
+    band_width: usize,
+    parallelism: Option<usize>,
+    policy: ShardPolicy,
+) -> Vec<(u32, u32)> {
+    let threads = resolve_parallelism(parallelism);
+    if threads <= 1 || sketches.len() < 2 || bands == 0 {
+        return banded_sequential(sketches, bands, band_width);
+    }
+    banded_sharded(sketches, bands, band_width, threads, policy)
+}
+
+/// The sequential reference: one pass per band into a reused bucket map
+/// (capacity-hinted to the record count; member vectors are recycled
+/// through a pool instead of reallocated per band), pairs accumulated
+/// into one buffer, then a single global sort + dedup. This is the
+/// canonical output every sharded configuration must reproduce exactly.
+pub fn banded_sequential(sketches: &SketchSet, bands: usize, band_width: usize) -> Vec<(u32, u32)> {
     let n = sketches.len();
-    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-    for i in 0..n {
-        let key = sketches.band_key(i, band, band_width);
-        buckets.entry(key).or_default().push(i as u32);
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    if n < 2 || bands == 0 {
+        return out;
     }
-    let mut run = Vec::new();
-    for members in buckets.values() {
-        if members.len() < 2 {
-            continue;
+    let mut keys = vec![0u64; n];
+    // Capacity hint: at most n distinct keys per band; the map (and the
+    // recycled member vectors) are reused across every band.
+    let mut buckets: FxHashMap<u64, Vec<u32>> =
+        FxHashMap::with_capacity_and_hasher(n, Default::default());
+    let mut pool: Vec<Vec<u32>> = Vec::new();
+    for band in 0..bands {
+        sketches.band_keys_into(band, band_width, 0, &mut keys);
+        for (i, &key) in keys.iter().enumerate() {
+            buckets
+                .entry(key)
+                .or_insert_with(|| pool.pop().unwrap_or_default())
+                .push(i as u32);
         }
-        for a in 0..members.len() {
-            for b in (a + 1)..members.len() {
-                let (i, j) = (members[a].min(members[b]), members[a].max(members[b]));
-                run.push((i, j));
+        for (_, mut members) in buckets.drain() {
+            if members.len() >= 2 {
+                emit_bucket(&members, &mut out);
             }
+            members.clear();
+            pool.push(members);
         }
     }
-    // Bucket members are pushed in record order, so pairs within one
-    // bucket are already sorted; across buckets they are not.
-    run.sort_unstable();
-    run.dedup();
-    run
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Shape of one band's bucket-and-shard structure under a policy, for
+/// bench/telemetry introspection (`repro bench` publishes these as the
+/// `banded_skew` fields). Computed from a sequential bucket build, so the
+/// numbers are deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BandedShardStats {
+    /// Records in the sketch set.
+    pub records: u64,
+    /// Buckets with at least 2 members, across all bands.
+    pub buckets: u64,
+    /// Members of the largest single bucket.
+    pub hot_bucket_members: u64,
+    /// Pairs inside that largest bucket.
+    pub hot_bucket_pairs: u64,
+    /// Total pairs across all buckets (pre-dedup generation work).
+    pub total_pairs: u64,
+    /// Shards the policy produces.
+    pub shards: u64,
+    /// Pairs carried by the largest shard — the longest serial pairing
+    /// any single worker can be handed. Sharding is doing its job when
+    /// this stays near `max_pairs_per_shard` while `hot_bucket_pairs`
+    /// dwarfs it.
+    pub largest_shard_pairs: u64,
+}
+
+/// Computes [`BandedShardStats`] for a join configuration without
+/// generating any pairs.
+pub fn banded_shard_stats(
+    sketches: &SketchSet,
+    bands: usize,
+    band_width: usize,
+    policy: ShardPolicy,
+) -> BandedShardStats {
+    let n = sketches.len();
+    let mut stats = BandedShardStats {
+        records: n as u64,
+        ..Default::default()
+    };
+    if n < 2 || bands == 0 {
+        return stats;
+    }
+    let mut keys = vec![0u64; n];
+    let mut counts: FxHashMap<u64, usize> =
+        FxHashMap::with_capacity_and_hasher(n, Default::default());
+    let mut sizes: Vec<usize> = Vec::new();
+    for band in 0..bands {
+        sketches.band_keys_into(band, band_width, 0, &mut keys);
+        for &key in keys.iter() {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        sizes.extend(counts.drain().map(|(_, c)| c).filter(|&c| c >= 2));
+    }
+    stats.buckets = sizes.len() as u64;
+    for &m in &sizes {
+        let pairs = bucket_pair_count(m);
+        stats.total_pairs += pairs;
+        if m as u64 > stats.hot_bucket_members {
+            stats.hot_bucket_members = m as u64;
+            stats.hot_bucket_pairs = pairs;
+        }
+    }
+    let shards = plan_shards(&sizes, policy);
+    stats.shards = shards.len() as u64;
+    stats.largest_shard_pairs = shards
+        .iter()
+        .map(|s| match *s {
+            Shard::Whole { first, count } => sizes[first..first + count]
+                .iter()
+                .map(|&m| bucket_pair_count(m))
+                .sum(),
+            Shard::Slice { lo, hi, .. } => hi - lo,
+        })
+        .max()
+        .unwrap_or(0);
+    stats
+}
+
+/// One unit of pairing work in the sharded join.
+#[derive(Debug, Clone, Copy)]
+enum Shard {
+    /// A run of consecutive whole buckets, grouped under the pair budget.
+    Whole {
+        /// Index of the first bucket in the group.
+        first: usize,
+        /// Number of consecutive buckets grouped.
+        count: usize,
+    },
+    /// A triangular pair-index range `[lo, hi)` of one hot bucket.
+    Slice {
+        /// Index of the split bucket.
+        bucket: usize,
+        /// First pair index (inclusive).
+        lo: u64,
+        /// Last pair index (exclusive).
+        hi: u64,
+    },
+}
+
+/// `m·(m−1)/2` in `u128` intermediate arithmetic, so even a
+/// `u32::MAX`-member bucket (the largest addressable with `u32` record
+/// ids) cannot overflow en route to the `u64` result.
+fn bucket_pair_count(members: usize) -> u64 {
+    let m = members as u128;
+    u64::try_from(m * m.saturating_sub(1) / 2).expect("bucket pair count overflows u64")
+}
+
+/// Pairs in triangular rows `< a` of an `m`-member bucket:
+/// `a·(2m − a − 1)/2`, exact in `u128`.
+fn tri_prefix(m: u64, a: u64) -> u64 {
+    debug_assert!(a < m);
+    let (m, a) = (m as u128, a as u128);
+    (a * (2 * m - a - 1) / 2) as u64
+}
+
+/// Decodes linear pair index `t` of an `m`-member bucket's row-major
+/// triangular enumeration back to `(row, col)`, `row < col < m`. Integer
+/// binary search — no floating point, exact for every representable `t`.
+fn tri_decode(m: u64, t: u64) -> (u64, u64) {
+    debug_assert!(m >= 2 && t < bucket_pair_count(m as usize));
+    let (mut lo, mut hi) = (0u64, m - 2);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if tri_prefix(m, mid) <= t {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo, lo + 1 + (t - tri_prefix(m, lo)))
+}
+
+/// Emits every pair of one bucket. Members arrive in ascending record
+/// order, so the run appended is sorted and `i < j` holds by construction.
+fn emit_bucket(members: &[u32], out: &mut Vec<(u32, u32)>) {
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+    out.reserve(bucket_pair_count(members.len()) as usize);
+    for a in 0..members.len() {
+        for b in (a + 1)..members.len() {
+            out.push((members[a], members[b]));
+        }
+    }
+}
+
+/// Emits the triangular pair range `[lo, hi)` of one bucket: decode the
+/// start coordinate once, then walk the enumeration. Sorted and
+/// duplicate-free by construction.
+fn emit_slice(members: &[u32], lo: u64, hi: u64, out: &mut Vec<(u32, u32)>) {
+    if hi <= lo {
+        return;
+    }
+    let m = members.len() as u64;
+    out.reserve((hi - lo) as usize);
+    let (mut a, mut b) = tri_decode(m, lo);
+    for _ in lo..hi {
+        out.push((members[a as usize], members[b as usize]));
+        b += 1;
+        if b == m {
+            a += 1;
+            b = a + 1;
+        }
+    }
+}
+
+/// The multiplicative range partition of the `u64` key space into
+/// `partitions` contiguous ranges: workers own disjoint key ranges, so
+/// partial bucket maps merge by concatenation.
+fn key_partition(key: u64, partitions: usize) -> usize {
+    ((key as u128 * partitions as u128) >> 64) as usize
+}
+
+/// Turns the bucket size list into shards under `policy`: consecutive
+/// small buckets group greedily up to the pair budget; hot buckets split
+/// into triangular ranges. Every bucket's pairs land in exactly one
+/// shard's ranges, so shard runs partition the (band-local) pair set.
+fn plan_shards(sizes: &[usize], policy: ShardPolicy) -> Vec<Shard> {
+    let max_pairs = policy.max_pairs_per_shard.max(1) as u64;
+    let mut shards = Vec::new();
+    let (mut group_first, mut group_count, mut group_pairs) = (0usize, 0usize, 0u64);
+    for (b, &m) in sizes.iter().enumerate() {
+        let pairs = bucket_pair_count(m);
+        if m >= policy.bucket_split_members && pairs > max_pairs {
+            if group_count > 0 {
+                shards.push(Shard::Whole {
+                    first: group_first,
+                    count: group_count,
+                });
+                group_count = 0;
+                group_pairs = 0;
+            }
+            let mut lo = 0u64;
+            while lo < pairs {
+                let hi = (lo.saturating_add(max_pairs)).min(pairs);
+                shards.push(Shard::Slice { bucket: b, lo, hi });
+                lo = hi;
+            }
+        } else {
+            if group_count > 0 && group_pairs.saturating_add(pairs) > max_pairs {
+                shards.push(Shard::Whole {
+                    first: group_first,
+                    count: group_count,
+                });
+                group_count = 0;
+                group_pairs = 0;
+            }
+            if group_count == 0 {
+                group_first = b;
+            }
+            group_count += 1;
+            group_pairs = group_pairs.saturating_add(pairs);
+        }
+    }
+    if group_count > 0 {
+        shards.push(Shard::Whole {
+            first: group_first,
+            count: group_count,
+        });
+    }
+    shards
+}
+
+/// The sharded parallel join (phases 1–3 of the module docs). `threads`
+/// is already resolved and `> 1`.
+fn banded_sharded(
+    sketches: &SketchSet,
+    bands: usize,
+    band_width: usize,
+    threads: usize,
+    policy: ShardPolicy,
+) -> Vec<(u32, u32)> {
+    let n = sketches.len();
+
+    // Phase 1a: the flat band-key table, record-sharded across workers
+    // into disjoint slices.
+    let total = bands
+        .checked_mul(n)
+        .expect("band-key table size overflows usize");
+    let mut keys = vec![0u64; total];
+    let key_chunk = total.div_ceil(threads);
+    keys.par_chunks_mut(key_chunk)
+        .enumerate_for_each(|chunk_idx, slice| {
+            let mut idx = chunk_idx * key_chunk;
+            let mut off = 0;
+            while off < slice.len() {
+                let (band, first) = (idx / n, idx % n);
+                let take = (n - first).min(slice.len() - off);
+                sketches.band_keys_into(band, band_width, first, &mut slice[off..off + take]);
+                idx += take;
+                off += take;
+            }
+        });
+
+    // Phase 1b: per-worker partial bucket maps over disjoint
+    // (band, key-range) cells. When bands alone undersupply the workers,
+    // each band's key space is range-partitioned so the bucket build
+    // itself spreads out. The map (and its allocation) is reused across
+    // one worker's cells; member vectors move out through `drain`.
+    let partitions = threads.div_ceil(bands.min(threads));
+    let cells: Vec<(usize, usize)> = (0..bands)
+        .flat_map(|band| (0..partitions).map(move |p| (band, p)))
+        .collect();
+    let cell_chunk = cells.len().div_ceil(threads);
+    let nested_buckets: Vec<Vec<Vec<u32>>> = cells
+        .par_chunks(cell_chunk)
+        .map(|chunk| {
+            let mut local: Vec<Vec<u32>> = Vec::new();
+            let mut map: FxHashMap<u64, Vec<u32>> =
+                FxHashMap::with_capacity_and_hasher(n / partitions + 1, Default::default());
+            for &(band, p) in chunk {
+                let band_keys = &keys[band * n..(band + 1) * n];
+                if partitions == 1 {
+                    for (i, &key) in band_keys.iter().enumerate() {
+                        map.entry(key).or_default().push(i as u32);
+                    }
+                } else {
+                    for (i, &key) in band_keys.iter().enumerate() {
+                        if key_partition(key, partitions) == p {
+                            map.entry(key).or_default().push(i as u32);
+                        }
+                    }
+                }
+                local.extend(map.drain().map(|(_, m)| m).filter(|m| m.len() >= 2));
+            }
+            local
+        })
+        .collect();
+    let buckets: Vec<Vec<u32>> = nested_buckets.into_iter().flatten().collect();
+    // The key table is dead once buckets exist; release it before the
+    // memory-hungry emission phase (bands × records × 8 bytes).
+    drop(keys);
+    if buckets.is_empty() {
+        return Vec::new();
+    }
+
+    // Phase 2: shard plan from the bucket sizes.
+    let sizes: Vec<usize> = buckets.iter().map(Vec::len).collect();
+    let shards = plan_shards(&sizes, policy);
+
+    // Phase 3: emit one sorted run per shard (worker-local staging buffer
+    // reused across a worker's shards; emitted runs are exact-sized), then
+    // k-way merge-dedup into the canonical sorted unique pair set.
+    let shard_chunk = shards.len().div_ceil(threads);
+    let nested_runs: Vec<Vec<Vec<(u32, u32)>>> = shards
+        .par_chunks(shard_chunk)
+        .map(|chunk| {
+            let mut scratch: Vec<(u32, u32)> = Vec::new();
+            let mut runs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(chunk.len());
+            for shard in chunk {
+                scratch.clear();
+                match *shard {
+                    Shard::Whole { first, count } => {
+                        for members in &buckets[first..first + count] {
+                            emit_bucket(members, &mut scratch);
+                        }
+                        // Grouped buckets may interleave records and (across
+                        // a band boundary) repeat a pair; canonicalize the
+                        // run here so the merge sees sorted unique input.
+                        scratch.sort_unstable();
+                        scratch.dedup();
+                    }
+                    Shard::Slice { bucket, lo, hi } => {
+                        emit_slice(&buckets[bucket], lo, hi, &mut scratch);
+                    }
+                }
+                runs.push(scratch.as_slice().to_vec());
+            }
+            runs
+        })
+        .collect();
+    kway_merge_dedup(nested_runs.into_iter().flatten().collect())
 }
 
 /// Merges sorted runs into one sorted, duplicate-free vector.
@@ -174,6 +614,94 @@ mod tests {
         // Just below the overflow boundary the formula still computes.
         let n = 1usize << 32;
         assert_eq!(exhaustive_capacity(n), (n / 2) * (n - 1));
+    }
+
+    #[test]
+    fn bucket_pair_count_is_exact_and_overflow_safe() {
+        assert_eq!(bucket_pair_count(0), 0);
+        assert_eq!(bucket_pair_count(1), 0);
+        assert_eq!(bucket_pair_count(2), 1);
+        assert_eq!(bucket_pair_count(1000), 499_500);
+        // A u32::MAX-member bucket — the largest addressable with u32
+        // record ids — computes without overflow:
+        // (2^32 − 1)(2^32 − 2)/2 = 2^63 − 3·2^31 + 1.
+        assert_eq!(
+            bucket_pair_count(u32::MAX as usize),
+            (1u64 << 63) - 3 * (1u64 << 31) + 1
+        );
+    }
+
+    #[test]
+    fn tri_decode_inverts_the_enumeration() {
+        for m in [2u64, 3, 4, 7, 100] {
+            let mut t = 0u64;
+            for a in 0..m {
+                for b in (a + 1)..m {
+                    assert_eq!(tri_decode(m, t), (a, b), "m={m} t={t}");
+                    t += 1;
+                }
+            }
+            assert_eq!(t, bucket_pair_count(m as usize));
+        }
+    }
+
+    #[test]
+    fn emit_slice_ranges_tile_the_bucket() {
+        let members: Vec<u32> = vec![3, 8, 11, 20, 21, 33, 40];
+        let mut whole = Vec::new();
+        emit_bucket(&members, &mut whole);
+        let total = bucket_pair_count(members.len());
+        for step in [1u64, 2, 5, total] {
+            let mut tiled = Vec::new();
+            let mut lo = 0;
+            while lo < total {
+                let hi = (lo + step).min(total);
+                emit_slice(&members, lo, hi, &mut tiled);
+                lo = hi;
+            }
+            assert_eq!(tiled, whole, "step {step}");
+        }
+    }
+
+    #[test]
+    fn plan_shards_bounds_every_shard_with_default_policy() {
+        let policy = ShardPolicy::default();
+        // One hot bucket (1000 members) among small ones.
+        let sizes = vec![3usize, 1000, 2, 2, 300, 5];
+        let shards = plan_shards(&sizes, policy);
+        let hot_pairs = bucket_pair_count(1000);
+        let max = policy.max_pairs_per_shard as u64;
+        assert!(shards.len() as u64 >= hot_pairs / max);
+        let mut covered = 0u64;
+        for s in &shards {
+            let pairs = match *s {
+                Shard::Whole { first, count } => sizes[first..first + count]
+                    .iter()
+                    .map(|&m| bucket_pair_count(m))
+                    .sum(),
+                Shard::Slice { lo, hi, .. } => hi - lo,
+            };
+            assert!(pairs <= max, "{s:?} carries {pairs} pairs");
+            covered += pairs;
+        }
+        let total: u64 = sizes.iter().map(|&m| bucket_pair_count(m)).sum();
+        assert_eq!(covered, total, "shards must tile every pair exactly once");
+    }
+
+    #[test]
+    fn never_split_policy_yields_one_shard() {
+        let shards = plan_shards(&[10, 4000, 7], ShardPolicy::never_split());
+        assert_eq!(shards.len(), 1);
+        match shards[0] {
+            Shard::Whole { first: 0, count: 3 } => {}
+            other => panic!("expected one whole-group shard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 members")]
+    fn shard_policy_rejects_unpairable_split_threshold() {
+        let _ = ShardPolicy::new(1, 64);
     }
 
     #[test]
@@ -258,6 +786,50 @@ mod tests {
         assert_eq!(
             kway_merge_dedup(runs),
             vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 5)]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_datasets_yield_empty_candidates() {
+        // The 0-record/1-record allocation guard: capacity hints must not
+        // assume a non-empty dataset, on either path or any policy.
+        for n in [0usize, 1] {
+            let records: Vec<SparseVector> = (0..n as u32)
+                .map(|_| SparseVector::from_set(vec![1, 2, 3]))
+                .collect();
+            let sk = Sketcher::new(LshFamily::MinHash, 64, 3).sketch_all(&records);
+            assert!(banded_sequential(&sk, 8, 8).is_empty());
+            for policy in [ShardPolicy::default(), ShardPolicy::never_split()] {
+                assert!(banded_with_policy(&sk, 8, 8, Some(4), policy).is_empty());
+            }
+            let stats = banded_shard_stats(&sk, 8, 8, ShardPolicy::default());
+            assert_eq!(stats.records, n as u64);
+            assert_eq!(stats.shards, 0);
+            assert_eq!(stats.total_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn shard_stats_see_the_hot_bucket() {
+        // 40 identical records + 10 distinct: every band has one 40-member
+        // bucket, and the default policy keeps its slices under budget.
+        let mut records: Vec<SparseVector> = (0..40)
+            .map(|_| SparseVector::from_set((0..50).collect()))
+            .collect();
+        records.extend(
+            (0..10u32)
+                .map(|i| SparseVector::from_set((1000 + i * 100..1000 + i * 100 + 30).collect())),
+        );
+        let sk = Sketcher::new(LshFamily::MinHash, 64, 9).sketch_all(&records);
+        let policy = ShardPolicy::new(2, 100);
+        let stats = banded_shard_stats(&sk, 8, 8, policy);
+        assert_eq!(stats.hot_bucket_members, 40);
+        assert_eq!(stats.hot_bucket_pairs, bucket_pair_count(40));
+        assert!(stats.total_pairs >= 8 * stats.hot_bucket_pairs);
+        assert!(stats.largest_shard_pairs <= 100);
+        assert!(
+            stats.shards >= 8 * (stats.hot_bucket_pairs / 100),
+            "hot bucket must fan out: {stats:?}"
         );
     }
 }

@@ -22,8 +22,11 @@
 //!   passes shard records across threads into disjoint slices of the flat
 //!   sketch buffer. Output is bit-identical at every thread count.
 //! * [`candidates`] — exhaustive and banded-LSH candidate generation; the
-//!   banded join buckets each band in parallel and merges per-band sorted
-//!   runs with a k-way dedup, avoiding a global hash-set of pairs.
+//!   banded join shards end to end (parallel bucket build over key-range
+//!   partitions, hot buckets split into triangular pair ranges under a
+//!   [`candidates::ShardPolicy`]) and merges per-shard sorted runs with a
+//!   k-way dedup, avoiding a global hash-set of pairs. Skewed key
+//!   distributions therefore cannot serialize candidate generation.
 //! * [`bayes`] — posterior inference and the memoized per-`(m, n)`
 //!   decision table ([`bayes::ProbeTable`]); tables are cheap to build, so
 //!   parallel callers give each worker its own.
@@ -31,7 +34,10 @@
 //! Thread counts everywhere follow one convention, resolved by
 //! [`resolve_parallelism`]: `None` means "all cores", `Some(k)` pins `k`
 //! threads, and `Some(1)` forces the sequential path. Results never depend
-//! on the choice.
+//! on the choice. The `None` default can be overridden process-wide with
+//! the `PLASMA_PARALLELISM` environment variable (read once) — this is
+//! how CI runs the whole tier-1 suite at pinned worker counts without
+//! touching any call site.
 
 pub mod bayes;
 pub mod candidates;
@@ -39,14 +45,31 @@ pub mod family;
 pub mod sketch;
 
 pub use bayes::{BayesLsh, BayesParams, PairDecision};
+pub use candidates::ShardPolicy;
 pub use family::LshFamily;
 pub use sketch::{SketchSet, Sketcher};
 
-/// Resolves the workspace-wide parallelism knob: `None` = all available
-/// cores, `Some(k)` = exactly `max(k, 1)` threads.
+/// The process-wide default worker count for `parallelism: None`: the
+/// `PLASMA_PARALLELISM` environment variable when set to a positive
+/// integer (cached on first use), otherwise all available cores.
+fn default_parallelism() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PLASMA_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|k| k.max(1))
+            .unwrap_or_else(rayon::current_num_threads)
+    })
+}
+
+/// Resolves the workspace-wide parallelism knob: `None` = the process
+/// default (all available cores, unless pinned by `PLASMA_PARALLELISM` —
+/// the env-driven matrix CI uses to run every test at fixed worker
+/// counts), `Some(k)` = exactly `max(k, 1)` threads.
 pub fn resolve_parallelism(parallelism: Option<usize>) -> usize {
     match parallelism {
         Some(k) => k.max(1),
-        None => rayon::current_num_threads(),
+        None => default_parallelism(),
     }
 }

@@ -484,6 +484,17 @@ impl SketchSet {
         self.sketch(i)[h]
     }
 
+    /// Fills `out[k]` with the band key of record `first + k` — the bulk
+    /// form of [`band_key`](Self::band_key) the banded join's sharded
+    /// bucket build streams into disjoint slices of its flat key table
+    /// (one contiguous record range per worker).
+    pub fn band_keys_into(&self, band: usize, band_width: usize, first: usize, out: &mut [u64]) {
+        debug_assert!(first + out.len() <= self.records);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.band_key(first + k, band, band_width);
+        }
+    }
+
     /// `band_width` consecutive hashes starting at `band * band_width`,
     /// mixed into one u64 band key (both families).
     pub fn band_key(&self, i: usize, band: usize, band_width: usize) -> u64 {
