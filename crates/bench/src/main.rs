@@ -10,11 +10,13 @@
 //!
 //! `repro bench` runs the quick APSS perf smoke (sequential vs parallel
 //! sketching and pair evaluation, shared-cache and bounded-cache probe
-//! sweeps); with `--json` it also writes the snapshot to
+//! sweeps, banded-skew sharding, and the streaming-ingest scenario:
+//! batches ingested into a live session with carried-memo probes after
+//! each epoch); with `--json` it also writes the snapshot to
 //! `BENCH_apss.json` for CI perf tracking. `repro check-bench [PATH]`
 //! validates a written snapshot against the expected schema (including
-//! the bounded-cache memory fields) and exits non-zero on violations —
-//! the CI perf-smoke gate.
+//! the bounded-cache memory and `streaming` fields) and exits non-zero
+//! on violations — the CI perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;

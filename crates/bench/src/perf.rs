@@ -10,7 +10,10 @@
 //! banded-skew shape: candidate generation over a Zipf-clustered corpus
 //! whose dominant bucket holds the majority of all records, recording how
 //! the `ShardPolicy` fans that hot bucket out (`banded_skew` fields —
-//! shards, largest-shard pairs, seq vs parallel rate). With `--json`
+//! shards, largest-shard pairs, seq vs parallel rate), and the streaming
+//! shape: N record batches ingested into a live `StreamingSession` with a
+//! probe after each epoch, recording ingest throughput and the
+//! carried-memo hit rate (`streaming` fields). With `--json`
 //! the snapshot is also written to `BENCH_apss.json` so CI can track the
 //! perf trajectory across commits (`repro check-bench` validates the
 //! schema). This is a smoke measurement (fractions of a second per
@@ -22,7 +25,7 @@ use std::time::Instant;
 
 use plasma_core::apss::{apss_with_sketches, build_sketches, ApssConfig};
 use plasma_core::cache::{CacheCapacity, CacheMemoryStats};
-use plasma_core::{Session, SharedKnowledgeCache};
+use plasma_core::{Session, SharedKnowledgeCache, StreamingSession};
 use plasma_data::datasets::corpus::CorpusSpec;
 use plasma_data::datasets::gaussian::GaussianSpec;
 use plasma_data::rng::seeded;
@@ -126,6 +129,31 @@ impl BandedSkewRates {
     }
 }
 
+/// The streaming-ingest shape: a live [`StreamingSession`] absorbs N
+/// record batches (epoch-versioned batch-extend sketching) with one
+/// probe per epoch. `carried_hit_rate` is the fraction of post-ingest
+/// pair evaluations answered from memos carried across epoch bumps —
+/// with one re-probed threshold per epoch it approaches the old-pair
+/// share of the corpus, the whole point of the carry-over.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingRates {
+    /// Batches ingested after the seed corpus.
+    pub batches: u64,
+    /// Records per ingested batch.
+    pub batch_records: u64,
+    /// Corpus size after every batch landed.
+    pub final_records: u64,
+    /// Corpus epoch after every batch landed (= `batches`).
+    pub final_epoch: u64,
+    /// Ingested records per second of ingest wall time (batch sketching
+    /// + cache growth).
+    pub ingest_records_per_sec: f64,
+    /// Carried-memo hit rate across the post-ingest probes.
+    pub carried_hit_rate: f64,
+    /// Mean post-ingest probe latency in milliseconds.
+    pub probe_mean_ms: f64,
+}
+
 /// The full snapshot.
 #[derive(Debug, Clone)]
 pub struct ApssPerfSnapshot {
@@ -143,6 +171,8 @@ pub struct ApssPerfSnapshot {
     pub bounded_cache: BoundedCacheRates,
     /// Banded candidate generation under hot-bucket key skew.
     pub banded_skew: BandedSkewRates,
+    /// Streaming ingest: batch-extend sketching + carried-memo probing.
+    pub streaming: StreamingRates,
 }
 
 /// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
@@ -236,6 +266,7 @@ pub fn measure() -> ApssPerfSnapshot {
     let (base_rates, base_stats) = baseline.expect("the session ladder includes 4");
     let bounded_cache = measure_bounded_cache(&ds.records, ds.measure, base_rates, base_stats);
     let banded_skew = measure_banded_skew_sized(cores, 1000, 250);
+    let streaming = measure_streaming_sized(100, 40, 3);
 
     ApssPerfSnapshot {
         cores,
@@ -245,6 +276,43 @@ pub fn measure() -> ApssPerfSnapshot {
         multi_session,
         bounded_cache,
         banded_skew,
+        streaming,
+    }
+}
+
+/// Measures [`StreamingRates`]: seed a [`StreamingSession`] with
+/// `initial` records and one warm probe, then ingest `batches` batches of
+/// `batch_records`, re-probing the same threshold after each epoch — the
+/// serving shape where every old pair rides a carried memo.
+fn measure_streaming_sized(initial: usize, batch_records: usize, batches: usize) -> StreamingRates {
+    let total = initial + batch_records * batches;
+    let ds = GaussianSpec::new("bench-stream", total, 10, 4).generate(7);
+    let cfg = ApssConfig::default();
+    let mut session =
+        StreamingSession::from_records(ds.records[..initial].to_vec(), ds.measure, cfg);
+    session.probe(0.7);
+    let mut ingest_secs = 0.0f64;
+    let mut probe_secs = 0.0f64;
+    let mut hits = 0u64;
+    let mut candidates = 0u64;
+    for b in 0..batches {
+        let lo = initial + b * batch_records;
+        let t = Instant::now();
+        session.ingest(&ds.records[lo..lo + batch_records]);
+        ingest_secs += t.elapsed().as_secs_f64();
+        let report = session.probe(0.7);
+        probe_secs += report.seconds;
+        hits += report.cache_hits;
+        candidates += report.candidates;
+    }
+    StreamingRates {
+        batches: batches as u64,
+        batch_records: batch_records as u64,
+        final_records: session.len() as u64,
+        final_epoch: session.epoch(),
+        ingest_records_per_sec: (batch_records * batches) as f64 / ingest_secs.max(1e-9),
+        carried_hit_rate: hits as f64 / candidates.max(1) as f64,
+        probe_mean_ms: probe_secs * 1e3 / (batches as f64).max(1.0),
     }
 }
 
@@ -435,15 +503,29 @@ impl ApssPerfSnapshot {
                 s.speedup()
             )
         };
+        let streaming = {
+            let s = &self.streaming;
+            format!(
+                "{{\"batches\": {}, \"batch_records\": {}, \"final_records\": {}, \"final_epoch\": {}, \"ingest_records_per_sec\": {:.1}, \"carried_hit_rate\": {:.4}, \"probe_mean_ms\": {:.3}}}",
+                s.batches,
+                s.batch_records,
+                s.final_records,
+                s.final_epoch,
+                s.ingest_records_per_sec,
+                s.carried_hit_rate,
+                s.probe_mean_ms
+            )
+        };
         format!(
-            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {}\n}}\n",
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {}\n}}\n",
             self.cores,
             rates(&self.sketch_minhash),
             rates(&self.sketch_simhash),
             rates(&self.pair_evaluation),
             multi.join(",\n    "),
             bounded,
-            skew
+            skew,
+            streaming
         )
     }
 
@@ -492,15 +574,26 @@ impl ApssPerfSnapshot {
             s.par_per_sec,
             s.speedup()
         ));
+        let st = &self.streaming;
+        out.push_str(&format!(
+            "  streaming ({} x {} records → epoch {}) ingest {:>9.0} rec/s   probe {:>8.2} ms   carried hit-rate {:>5.1}%\n",
+            st.batches,
+            st.batch_records,
+            st.final_epoch,
+            st.ingest_records_per_sec,
+            st.probe_mean_ms,
+            st.carried_hit_rate * 100.0
+        ));
         out
     }
 }
 
 /// Required keys of the `BENCH_apss.json` schema, including the
-/// bounded-cache memory fields and the banded-skew sharding fields.
-/// `repro check-bench` (the CI perf-smoke gate) fails when any goes
-/// missing, so snapshot consumers can rely on them across commits.
-const REQUIRED_SNAPSHOT_KEYS: [&str; 32] = [
+/// bounded-cache memory fields, the banded-skew sharding fields, and the
+/// streaming-ingest fields. `repro check-bench` (the CI perf-smoke gate)
+/// fails when any goes missing, so snapshot consumers can rely on them
+/// across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 40] = [
     "benchmark",
     "cores",
     "sketching",
@@ -533,6 +626,14 @@ const REQUIRED_SNAPSHOT_KEYS: [&str; 32] = [
     "shards",
     "largest_shard_pairs",
     "candidates",
+    "streaming",
+    "batches",
+    "batch_records",
+    "final_records",
+    "final_epoch",
+    "ingest_records_per_sec",
+    "carried_hit_rate",
+    "probe_mean_ms",
 ];
 
 /// Validates a `BENCH_apss.json` document against the snapshot schema:
@@ -626,6 +727,15 @@ mod tests {
                 seq_per_sec: 2_000_000.0,
                 par_per_sec: 6_000_000.0,
             },
+            streaming: StreamingRates {
+                batches: 3,
+                batch_records: 40,
+                final_records: 220,
+                final_epoch: 3,
+                ingest_records_per_sec: 15_000.0,
+                carried_hit_rate: 0.73,
+                probe_mean_ms: 12.5,
+            },
         };
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
@@ -642,6 +752,10 @@ mod tests {
         assert!(json.contains("\"hot_bucket_share\": 0.6100"));
         assert!(json.contains("\"shards\": 60"));
         assert!(json.contains("\"largest_shard_pairs\": 32768"));
+        assert!(json.contains("\"streaming\": {"));
+        assert!(json.contains("\"final_epoch\": 3"));
+        assert!(json.contains("\"carried_hit_rate\": 0.7300"));
+        assert!(json.contains("\"ingest_records_per_sec\": 15000.0"));
         assert!((snap.banded_skew.speedup() - 3.0).abs() < 1e-9);
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
@@ -660,6 +774,11 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("peak_memo_bytes")));
         assert!(problems.iter().any(|p| p.contains("banded_skew")));
         assert!(problems.iter().any(|p| p.contains("largest_shard_pairs")));
+        assert!(problems.iter().any(|p| p.contains("streaming")));
+        assert!(problems.iter().any(|p| p.contains("carried_hit_rate")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("ingest_records_per_sec")));
         // Unbalanced structure is flagged even with all keys present.
         let mut json = String::from("{");
         for key in REQUIRED_SNAPSHOT_KEYS {
@@ -720,6 +839,25 @@ mod tests {
         );
         assert!(rates.candidates > 0 && rates.total_pairs >= rates.candidates);
         assert!(rates.seq_per_sec > 0.0 && rates.par_per_sec > 0.0);
+    }
+
+    #[test]
+    fn streaming_measurement_carries_memos_across_epochs() {
+        // Small sizes so the smoke measurement stays fast in tests: every
+        // ingested batch bumps the epoch exactly once, the re-probed
+        // threshold rides carried memos (hit rate strictly positive), and
+        // ingest throughput is a real rate.
+        let rates = measure_streaming_sized(30, 10, 2);
+        assert_eq!(rates.batches, 2);
+        assert_eq!(rates.final_records, 50);
+        assert_eq!(rates.final_epoch, 2, "one epoch per ingested batch");
+        assert!(
+            rates.carried_hit_rate > 0.0,
+            "carried memos must answer old pairs: {rates:?}"
+        );
+        assert!(rates.carried_hit_rate <= 1.0);
+        assert!(rates.ingest_records_per_sec > 0.0);
+        assert!(rates.probe_mean_ms > 0.0);
     }
 
     #[test]

@@ -49,11 +49,26 @@
 //! [`SharedKnowledgeCache::memory_stats`] exposes byte/eviction/hit
 //! counters for operators.
 //!
+//! # Streamed growth (epoch carry-over)
+//!
+//! A cache is no longer pinned to one frozen corpus: streaming ingest
+//! ([`crate::streaming::StreamingSession`]) grows the sketch set with
+//! `Sketcher::extend_batch` and publishes it via
+//! [`SharedKnowledgeCache::grow`]. Because a grown set is a byte-for-byte
+//! prefix-extension at a bumped [`SketchSet::epoch`], every memo for a
+//! pair of *old* records is provably still exact and **survives the
+//! bump**; only pairs touching new records are evaluated fresh by later
+//! probes. Probes pin an `Arc` sketch snapshot for their whole
+//! evaluation, so growth never tears an in-flight probe. The
+//! [`CacheRegistry`] treats a grown cache as the same lineage: its entry
+//! stays keyed by the epoch-0 fingerprint, so growth never duplicates a
+//! registry slot.
+//!
 //! [`Session::with_shared_cache`]: crate::session::Session::with_shared_cache
 //! [`MatchProfile`]: plasma_lsh::bayes::MatchProfile
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use plasma_data::hash::{FxHashMap, FxHasher};
 use plasma_data::similarity::Similarity;
@@ -296,7 +311,11 @@ pub struct CacheMemoryStats {
 /// assert_eq!(cache.probe_history(), vec![0.9, 0.6, 0.9]);
 /// ```
 pub struct SharedKnowledgeCache {
-    sketches: SketchSet,
+    /// The corpus sketches, swappable for streamed growth: probes pin an
+    /// `Arc` snapshot for their whole evaluation, and [`grow`](Self::grow)
+    /// publishes an epoch-bumped prefix-extension in its place. Old pair
+    /// memos survive a swap because the old sketch bytes are unchanged.
+    sketches: RwLock<Arc<SketchSet>>,
     stripes: Vec<Mutex<Stripe>>,
     /// Memory policy; stripes enforce their share of the cap at
     /// publication time.
@@ -359,7 +378,7 @@ impl SharedKnowledgeCache {
     /// ```
     pub fn with_capacity(sketches: SketchSet, capacity: CacheCapacity) -> Self {
         Self {
-            sketches,
+            sketches: RwLock::new(Arc::new(sketches)),
             stripes: (0..STRIPES)
                 .map(|_| Mutex::new(Stripe::default()))
                 .collect(),
@@ -375,9 +394,72 @@ impl SharedKnowledgeCache {
         }
     }
 
-    /// The cached sketches.
-    pub fn sketches(&self) -> &SketchSet {
-        &self.sketches
+    /// A snapshot of the cached sketches. The `Arc` pins one consistent
+    /// corpus epoch: a probe holds its snapshot for its whole evaluation,
+    /// so a concurrent [`grow`](Self::grow) never changes what an
+    /// in-flight probe sees.
+    pub fn sketches(&self) -> Arc<SketchSet> {
+        self.sketches.read().expect("sketch lock").clone()
+    }
+
+    /// The corpus growth epoch of the current sketch snapshot: 0 until
+    /// the first [`grow`](Self::grow), advanced by one per adopted batch.
+    pub fn epoch(&self) -> u64 {
+        self.sketches().epoch()
+    }
+
+    /// Adopts a grown sketch set — the knowledge-cache half of streaming
+    /// ingest. `grown` must be a byte-for-byte prefix-extension of the
+    /// current sketches (same family and hash count, old sketch words
+    /// unchanged — [`SketchSet::is_prefix_of`]) at a strictly later
+    /// epoch, i.e. the product of [`plasma_lsh::Sketcher::extend_batch`]
+    /// on (a clone of) the current snapshot.
+    ///
+    /// **Memo carry-over:** every resident pair memo survives the swap.
+    /// A memo for pair `(i, j)` only ever reads sketch positions of
+    /// records `i` and `j`, and both predate the growth, so replaying the
+    /// canonical schedule against the grown set reads exactly the bytes
+    /// it was built from — the memo is provably still exact. Only pairs
+    /// touching new records are evaluated fresh by later probes. Byte
+    /// accounting, [`CacheCapacity`] enforcement, eviction counters, and
+    /// the pinned batch schedule all carry through untouched; sketch
+    /// bytes reported by [`total_bytes`](Self::total_bytes) grow.
+    ///
+    /// After growing, every prober must supply the grown corpus —
+    /// [`probe`](Self::probe) asserts its `records` slice matches the
+    /// sketch count, so a session holding a pre-growth record list fails
+    /// loudly rather than receiving pairs that index records it never
+    /// saw. [`crate::streaming::StreamingSession`] forks stay in sync by
+    /// construction. Note that a [`CacheRegistry`] holding this cache
+    /// accounts the added bytes at its next lookup ([`RegistryCapacity`]
+    /// enforcement runs in `get_or_build`, for streamed sketch growth
+    /// exactly as for memo growth during probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grown` is not a strict prefix-extension at a later
+    /// epoch — adopting a *different* corpus would silently poison every
+    /// memo, so lineage violations fail loudly.
+    pub fn grow(&self, grown: SketchSet) {
+        let mut g = self.sketches.write().expect("sketch lock");
+        let old = &**g;
+        assert!(
+            grown.epoch() > old.epoch(),
+            "grow needs an epoch-bumped set (old epoch {}, grown {}); \
+             build it with Sketcher::extend_batch",
+            old.epoch(),
+            grown.epoch()
+        );
+        assert!(
+            old.is_prefix_of(&grown),
+            "grown sketches must extend the current corpus byte for byte \
+             ({} records at epoch {} → {} records at epoch {})",
+            old.len(),
+            old.epoch(),
+            grown.len(),
+            grown.epoch()
+        );
+        *g = Arc::new(grown);
     }
 
     /// The memory policy this cache enforces.
@@ -391,11 +473,11 @@ impl SharedKnowledgeCache {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Total accounted footprint: immutable sketch bytes plus resident
-    /// memo bytes. This is what [`CacheRegistry`] sums when enforcing a
-    /// process-wide byte cap.
+    /// Total accounted footprint: sketch bytes (of the current epoch's
+    /// snapshot) plus resident memo bytes. This is what [`CacheRegistry`]
+    /// sums when enforcing a process-wide byte cap.
     pub fn total_bytes(&self) -> usize {
-        self.sketches.byte_size() + self.memo_bytes()
+        self.sketches().byte_size() + self.memo_bytes()
     }
 
     /// Snapshot of the cache's memory and eviction statistics. Counters
@@ -411,7 +493,7 @@ impl SharedKnowledgeCache {
                 .sum(),
             memo_bytes: self.memo_bytes(),
             peak_memo_bytes: self.peak_bytes.load(Ordering::Relaxed),
-            sketch_bytes: self.sketches.byte_size(),
+            sketch_bytes: self.sketches().byte_size(),
             capacity_bytes: self.capacity.max_bytes(),
             evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
             evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
@@ -614,8 +696,27 @@ impl SharedKnowledgeCache {
         cfg: &ApssConfig,
     ) -> ApssResult {
         let start = std::time::Instant::now();
-        let engine = plasma_lsh::bayes::BayesLsh::new(self.sketches.family(), cfg.bayes);
-        let cands = crate::apss::generate_candidates(&self.sketches, cfg);
+        // Pin one corpus epoch for the whole probe: a concurrent `grow`
+        // swaps the shared snapshot but cannot change what this
+        // evaluation reads.
+        let sketches = self.sketches();
+        // Candidates come from the sketch snapshot, so a caller holding a
+        // pre-growth record slice would receive pairs indexing records it
+        // never supplied (or crash under `exact_on_accept`). Fail loudly
+        // instead: a grown cache must be probed with the grown corpus
+        // (drive growth through `crate::streaming::StreamingSession`,
+        // whose forks stay in sync by construction).
+        assert_eq!(
+            records.len(),
+            sketches.len(),
+            "probe supplied {} records but the cache sketches {} (epoch {}); \
+             re-sync the corpus before probing a grown cache",
+            records.len(),
+            sketches.len(),
+            sketches.epoch()
+        );
+        let engine = plasma_lsh::bayes::BayesLsh::new(sketches.family(), cfg.bayes);
+        let cands = crate::apss::generate_candidates(&sketches, cfg);
         let threads = crate::apss::eval_threads(cfg, cands.len());
         let profiled = self.schedule_accepts(cfg.bayes.batch);
 
@@ -652,15 +753,11 @@ impl SharedKnowledgeCache {
                 let had_profile = !profile.is_empty();
                 // Evaluate without holding any lock.
                 let (est, new_hashes) = if profiled {
-                    let out = table.evaluate_profiled(
-                        &self.sketches,
-                        i as usize,
-                        j as usize,
-                        &mut profile,
-                    );
+                    let out =
+                        table.evaluate_profiled(&sketches, i as usize, j as usize, &mut profile);
                     (out.estimate, out.new_hashes)
                 } else {
-                    let est = table.evaluate_pair(&self.sketches, i as usize, j as usize);
+                    let est = table.evaluate_pair(&sketches, i as usize, j as usize);
                     (est, est.hashes)
                 };
                 stats.hashes_compared += new_hashes as u64;
@@ -826,8 +923,9 @@ impl KnowledgeCache {
         self.shared
     }
 
-    /// The cached sketches.
-    pub fn sketches(&self) -> &SketchSet {
+    /// A snapshot of the cached sketches (see
+    /// [`SharedKnowledgeCache::sketches`]).
+    pub fn sketches(&self) -> Arc<SketchSet> {
         self.shared.sketches()
     }
 
@@ -875,6 +973,12 @@ impl KnowledgeCache {
 /// Capacity limits for a [`CacheRegistry`]: how many dataset caches a
 /// serving process keeps resident, and how many total bytes (sketches +
 /// accounted memos, summed over every registered cache) they may hold.
+///
+/// Limits are enforced at lookup boundaries: every `get_or_build`
+/// re-checks them after refreshing recency. Footprint added *between*
+/// lookups — memo publication during probes, or streamed sketch growth
+/// via [`SharedKnowledgeCache::grow`] — is accounted at the next lookup,
+/// not instantaneously.
 ///
 /// When a limit is exceeded after a lookup, the registry drops whole
 /// caches least-recently-*looked-up* first. The cache returned by the
@@ -1059,7 +1163,15 @@ impl CacheRegistry {
     /// workloads are meant to share a cache exactly when their
     /// fingerprints agree: same record contents, same measure, same
     /// `n_hashes`, same hash seed, and the same evaluation batch (profiles
-    /// are indexed by the batch schedule). The BayesLSH accuracy knobs
+    /// are indexed by the batch schedule). For a streamed corpus the
+    /// registry key is the **epoch-0 fingerprint** — the corpus the cache
+    /// was built over; growth ([`SharedKnowledgeCache::grow`]) mutates
+    /// the registered cache in place rather than minting a new entry.
+    /// Note the converse: looking up the *grown* corpus by value hashes
+    /// to a different fingerprint and builds an independent cold cache —
+    /// reach a grown lineage through the `Arc` its streaming sessions
+    /// hold (or the epoch-0 lookup), not by re-fingerprinting the grown
+    /// records. The BayesLSH accuracy knobs
     /// (ε/δ/γ) are *not* fingerprinted — profiles memoize raw match
     /// counts, which are valid under any stopping parameters.
     ///
@@ -1134,12 +1246,16 @@ impl CacheRegistry {
             })
             .clone();
         // Cheap guard against a fingerprint collision handing this caller
-        // another dataset's cache.
-        assert_eq!(
-            cache.sketches().len(),
-            records.len(),
-            "cache registry fingerprint collision: cached sketches cover {} records, workload has {}",
-            cache.sketches().len(),
+        // another dataset's cache. A registered cache that has since been
+        // grown ([`SharedKnowledgeCache::grow`]) still serves its
+        // lineage's epoch-0 fingerprint: it legitimately covers *more*
+        // records than the corpus that built it, never fewer.
+        let sketched = cache.sketches().len();
+        assert!(
+            sketched == records.len() || (cache.epoch() > 0 && sketched > records.len()),
+            "cache registry fingerprint collision: cached sketches cover {} records at epoch {}, workload has {}",
+            sketched,
+            cache.epoch(),
             records.len()
         );
         self.enforce_capacity(fp);

@@ -188,10 +188,13 @@ pub fn incremental_apss_with_cache_gated(
         "shared cache hash family does not serve this run's measure"
     );
     let memos = cache.schedule_accepts(cfg.bayes.batch).then_some(cache);
+    // Pin one corpus epoch for the whole run (the cache may be growing
+    // under concurrent streaming ingest).
+    let sketches = cache.sketches();
     run_incremental(
         records,
         measure,
-        cache.sketches(),
+        &sketches,
         memos,
         t1,
         report_thresholds,
@@ -469,6 +472,49 @@ mod tests {
         let stats = cache.memory_stats();
         assert!(stats.memo_bytes <= cap, "{} > {cap}", stats.memo_bytes);
         assert!(stats.evicted_entries > 0, "a 2 KiB cap must have evicted");
+    }
+
+    #[test]
+    fn incremental_run_on_a_grown_cache_matches_plain() {
+        // A cache grown by streaming ingest serves incremental runs over
+        // the full corpus: estimates bit-identical to a cacheless run,
+        // with the carried old-pair memos saving work.
+        let records = dataset(70);
+        let cfg = ApssConfig::default();
+        let mut streaming = crate::streaming::StreamingSession::from_records(
+            records[..40].to_vec(),
+            Similarity::Cosine,
+            cfg,
+        );
+        streaming.probe(0.5);
+        streaming.ingest(&records[40..]);
+        let cache = streaming.shared_cache().expect("probed above");
+        assert_eq!(cache.epoch(), 1);
+        let plain = incremental_apss(
+            &records,
+            Similarity::Cosine,
+            0.5,
+            &[0.75],
+            &[0.25, 0.5, 1.0],
+            &cfg,
+        );
+        let grown = incremental_apss_with_cache(
+            &records,
+            Similarity::Cosine,
+            &cache,
+            0.5,
+            &[0.75],
+            &[0.25, 0.5, 1.0],
+            &cfg,
+        );
+        for (a, b) in plain.steps.iter().zip(&grown.steps) {
+            for (x, y) in a.estimates.iter().zip(&b.estimates) {
+                assert_eq!(x.to_bits(), y.to_bits(), "grown cache changed an estimate");
+            }
+        }
+        for (x, y) in plain.final_estimates.iter().zip(&grown.final_estimates) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

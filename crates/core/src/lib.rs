@@ -21,6 +21,11 @@
 //!   memoized estimates.
 //! * [`incremental`] — streaming pair-count estimates after each fraction
 //!   of the dataset processed (Figs. 2.6–2.8).
+//! * [`streaming`] — the streaming ingest engine: a [`StreamingSession`]
+//!   interleaves `ingest` (epoch-versioned batch-extend sketching) and
+//!   `probe` over a growing corpus, with the knowledge cache carrying
+//!   every old-pair memo across each epoch bump. Streamed probes are
+//!   bit-identical to cold batch runs over the same corpus.
 //! * [`cues`] — dimensionless visual cues: triangle vertex-cover histogram
 //!   and clique/triangle density plots (Fig. 2.5).
 //! * [`session`] — the interactive driver tying it all together.
@@ -55,6 +60,7 @@ pub mod cumulative;
 pub mod incremental;
 pub mod plot;
 pub mod session;
+pub mod streaming;
 pub mod topk;
 
 pub use apss::{ApssConfig, ApssResult, CandidateStrategy};
@@ -65,3 +71,4 @@ pub use cache::{
 pub use cumulative::CumulativeCurve;
 pub use plasma_lsh::ShardPolicy;
 pub use session::{ProbeReport, Session};
+pub use streaming::{IngestReport, StreamingSession};

@@ -22,6 +22,12 @@
 //! memory-bounded ([`Session::with_cache_capacity`],
 //! [`crate::cache::CacheCapacity`]) — eviction trades cache hits for
 //! memory, never results.
+//!
+//! A `Session` serves a corpus that is fixed for its lifetime; when
+//! records arrive *while* users probe, use the epoch-versioned streaming
+//! driver ([`crate::streaming::StreamingSession`]), which interleaves
+//! `ingest`/`probe` over a growing corpus and carries old-pair memos
+//! across every growth epoch.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -217,12 +223,19 @@ impl Session {
     /// assert_eq!(report.hashes_compared, 0);
     /// ```
     pub fn with_shared_cache(mut self, cache: Arc<SharedKnowledgeCache>) -> Self {
-        assert_eq!(
-            cache.sketches().len(),
+        let sketched = cache.sketches().len();
+        assert!(
+            sketched == self.records.len(),
+            "shared cache sketches {} records, session has {}{}",
+            sketched,
             self.records.len(),
-            "shared cache sketches {} records, session has {}",
-            cache.sketches().len(),
-            self.records.len()
+            if cache.epoch() > 0 {
+                " — the cache has grown past this session's corpus (streamed \
+                 ingest); open a crate::streaming::StreamingSession over the \
+                 grown corpus instead of a batch Session over a stale prefix"
+            } else {
+                ""
+            }
         );
         assert_eq!(
             cache.sketches().family(),
@@ -268,30 +281,15 @@ impl Session {
         }
         let cache = self.cache.as_ref().expect("cache initialized above");
         let result = cache.probe(&self.records, self.measure, threshold, &self.cfg);
-
-        // Fold this probe's estimates into the cumulative curve.
-        let family = LshFamily::for_measure(self.measure);
-        let ests: Vec<plasma_lsh::bayes::PairEstimate> =
-            result.estimates.iter().map(|&(_, _, e)| e).collect();
-        let probe_curve =
-            CumulativeCurve::from_estimates(family, self.cfg.bayes, ests.iter(), &self.grid);
-        let merged = match &self.curve {
-            Some(prev) => prev.merge_min_variance(&probe_curve),
-            None => probe_curve,
-        };
-        self.curve = Some(merged.clone());
-
-        ProbeReport {
-            threshold,
-            pairs: result.pairs,
-            curve: merged,
-            seconds: start.elapsed().as_secs_f64(),
-            sketch_seconds: sketch_secs,
-            candidates: result.stats.candidates,
-            pruned: result.stats.pruned,
-            cache_hits: result.stats.cache_hits,
-            hashes_compared: result.stats.hashes_compared,
-        }
+        fold_probe_report(
+            self.measure,
+            self.cfg.bayes,
+            &self.grid,
+            &mut self.curve,
+            result,
+            start.elapsed().as_secs_f64(),
+            sketch_secs,
+        )
     }
 
     /// The current Cumulative APSS Graph, if any probe has run.
@@ -334,6 +332,42 @@ impl Session {
     /// first probe initializes the cache.
     pub fn shared_cache(&self) -> Option<Arc<SharedKnowledgeCache>> {
         self.cache.clone()
+    }
+}
+
+/// Folds one probe's estimates into a session's cumulative curve and
+/// assembles the user-facing [`ProbeReport`] — the shared tail of
+/// [`Session::probe`] and the streaming driver's
+/// [`crate::streaming::StreamingSession::probe`], so both report the
+/// exact same shape from the same probe result.
+pub(crate) fn fold_probe_report(
+    measure: Similarity,
+    bayes: plasma_lsh::BayesParams,
+    grid: &[f64],
+    curve: &mut Option<CumulativeCurve>,
+    result: crate::apss::ApssResult,
+    seconds: f64,
+    sketch_seconds: f64,
+) -> ProbeReport {
+    let family = LshFamily::for_measure(measure);
+    let ests: Vec<plasma_lsh::bayes::PairEstimate> =
+        result.estimates.iter().map(|&(_, _, e)| e).collect();
+    let probe_curve = CumulativeCurve::from_estimates(family, bayes, ests.iter(), grid);
+    let merged = match curve.as_ref() {
+        Some(prev) => prev.merge_min_variance(&probe_curve),
+        None => probe_curve,
+    };
+    *curve = Some(merged.clone());
+    ProbeReport {
+        threshold: result.threshold,
+        pairs: result.pairs,
+        curve: merged,
+        seconds,
+        sketch_seconds,
+        candidates: result.stats.candidates,
+        pruned: result.stats.pruned,
+        cache_hits: result.stats.cache_hits,
+        hashes_compared: result.stats.hashes_compared,
     }
 }
 

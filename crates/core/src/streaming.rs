@@ -1,0 +1,486 @@
+//! Streaming ingest: probing a corpus that grows while sessions run.
+//!
+//! The batch [`Session`](crate::session::Session) assumes the corpus is
+//! fixed at session start. This module removes that assumption for
+//! insert-heavy workloads: a [`StreamingSession`] interleaves
+//! [`ingest`](StreamingSession::ingest) (append a batch of records) and
+//! [`probe`](StreamingSession::probe) (BayesLSH APSS at a threshold) over
+//! one shared, growing corpus.
+//!
+//! # Epoch lineage
+//!
+//! Each non-empty ingested batch is sketched with
+//! [`Sketcher::extend_batch`] — the amortized parallel form of
+//! record-at-a-time appends — producing a sketch set that extends the
+//! previous one byte for byte at a bumped [`SketchSet::epoch`]. The
+//! session's [`SharedKnowledgeCache`] adopts it via
+//! [`SharedKnowledgeCache::grow`], and because old sketch bytes are
+//! unchanged, **every memo over pairs of old records carries over the
+//! epoch bump**: after growth, re-probing a previously probed threshold
+//! pays hash comparisons only for pairs touching the new records.
+//!
+//! # Equivalence guarantee
+//!
+//! A streamed history `ingest(b₁); probe(t); ingest(b₂); probe(t'); …` is
+//! **bit-identical**, probe for probe, to running each probe cold over
+//! the corpus as of that epoch — same pairs, same estimates, same
+//! decision counters — at every thread count, [`ShardPolicy`], and
+//! session count. Carried memos change only the work counters
+//! (`hashes_compared` shrinks, `cache_hits` grows), exactly like any
+//! warm cache. `crates/core/tests/streaming_differential.rs` pins the
+//! guarantee over batch-split × parallelism × session grids.
+//!
+//! [`ShardPolicy`]: plasma_lsh::ShardPolicy
+//!
+//! # Multi-session streaming
+//!
+//! [`StreamingSession::fork`] opens another session over the same
+//! corpus: records live behind one `RwLock` shared by all forks, and the
+//! knowledge cache is the same `Arc`. Any fork may ingest; every fork's
+//! next probe sees the grown corpus and the carried memos. In-flight
+//! probes pin a consistent `(records, sketches)` snapshot under the
+//! corpus read lock, so ingest (which takes the write lock) simply waits
+//! for them rather than tearing them.
+
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use plasma_data::datasets::Dataset;
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::{SketchSet, Sketcher};
+
+use crate::apss::{build_sketches, ApssConfig};
+use crate::cache::{CacheCapacity, SharedKnowledgeCache};
+use crate::cumulative::CumulativeCurve;
+use crate::session::{fold_probe_report, ProbeReport};
+
+/// The growth state every fork of a streaming session shares: the record
+/// store (authoritative, behind one lock) and the knowledge cache whose
+/// sketches track it epoch for epoch.
+struct StreamingCorpus {
+    measure: Similarity,
+    /// The sketch/schedule configuration pinned at corpus creation; forks
+    /// may override probe-time knobs (parallelism, shard policy) on their
+    /// own copies, but `n_hashes`/`seed`/`bayes.batch` are corpus-wide.
+    cfg: ApssConfig,
+    /// Memory policy for the cache built on first use (ignored once a
+    /// cache is attached or built).
+    capacity: RwLock<CacheCapacity>,
+    /// The records ingested so far. Probes hold the read lock for their
+    /// whole evaluation; ingest takes the write lock, so a probe's view
+    /// of `(records, cache sketches)` is always one consistent epoch.
+    records: RwLock<Vec<SparseVector>>,
+    /// Built lazily on the first ingest/probe (or seeded by
+    /// [`StreamingSession::with_shared_cache`]), then grown in place.
+    cache: OnceLock<Arc<SharedKnowledgeCache>>,
+}
+
+impl StreamingCorpus {
+    /// The cache over the current records, building sketches on first
+    /// call; returns the sketch seconds charged (non-zero only when this
+    /// call performed the build).
+    fn ensure_cache(&self, records: &[SparseVector]) -> (Arc<SharedKnowledgeCache>, f64) {
+        let mut sketch_secs = 0.0;
+        let cache = self
+            .cache
+            .get_or_init(|| {
+                let (sketches, secs) = build_sketches(records, self.measure, &self.cfg);
+                sketch_secs = secs;
+                let capacity = *self.capacity.read().expect("capacity lock");
+                Arc::new(SharedKnowledgeCache::with_capacity(sketches, capacity))
+            })
+            .clone();
+        (cache, sketch_secs)
+    }
+}
+
+/// What one [`StreamingSession::ingest`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestReport {
+    /// Records appended by this call (0 for an empty batch).
+    pub records_added: usize,
+    /// Corpus size after the ingest.
+    pub total_records: usize,
+    /// The corpus epoch after the ingest. An empty batch leaves it
+    /// unchanged; a non-empty batch is exactly one bump.
+    pub epoch: u64,
+    /// Seconds spent sketching (the batch, plus the epoch-0 build when
+    /// this was the first touch of the corpus).
+    pub sketch_seconds: f64,
+    /// Pair memos resident in the cache at the moment of the bump — the
+    /// knowledge that survived, since growth never evicts a memo.
+    pub carried_memos: usize,
+}
+
+/// An interactive session over a **growing** corpus — the streaming
+/// sibling of [`Session`](crate::session::Session).
+///
+/// `ingest` appends a batch of records (amortized parallel sketching, one
+/// epoch bump), `probe` runs BayesLSH APSS over everything ingested so
+/// far, and the knowledge cache carries every old-pair memo across each
+/// epoch. Probe outputs are bit-identical to a cold batch run over the
+/// same corpus; only the work counters show the carried knowledge.
+///
+/// ```
+/// use plasma_core::streaming::StreamingSession;
+/// use plasma_core::{ApssConfig, Session};
+/// use plasma_data::datasets::gaussian::GaussianSpec;
+///
+/// let ds = GaussianSpec::new("doc", 60, 6, 2).generate(7);
+/// let (head, tail) = ds.records.split_at(40);
+///
+/// let mut s = StreamingSession::from_records(head.to_vec(), ds.measure, ApssConfig::default());
+/// s.probe(0.8);
+///
+/// // Records arrive while the session is live: one epoch bump.
+/// let grew = s.ingest(tail);
+/// assert_eq!((grew.records_added, grew.epoch), (tail.len(), 1));
+/// assert!(grew.carried_memos > 0, "old-pair memos survive the bump");
+///
+/// // The grown probe equals a cold batch run over the full corpus…
+/// let after = s.probe(0.8);
+/// let mut cold = Session::from_records(ds.records.clone(), ds.measure, ApssConfig::default());
+/// assert_eq!(after.pairs, cold.probe(0.8).pairs);
+/// // …and the carried memos answered every old pair without hashing.
+/// assert!(after.cache_hits > 0);
+/// ```
+pub struct StreamingSession {
+    corpus: Arc<StreamingCorpus>,
+    /// Per-fork probe configuration (parallelism / shard policy may
+    /// diverge; sketch-relevant knobs are shared with the corpus).
+    cfg: ApssConfig,
+    grid: Vec<f64>,
+    curve: Option<CumulativeCurve>,
+}
+
+impl StreamingSession {
+    /// Opens a streaming session seeded with a dataset's records.
+    pub fn new(dataset: &Dataset, cfg: ApssConfig) -> Self {
+        Self::from_records(dataset.records.clone(), dataset.measure, cfg)
+    }
+
+    /// Opens a streaming session over raw records — pass an empty `Vec`
+    /// to start from nothing and build the corpus entirely by ingest.
+    /// Sketches are built lazily on the first ingest or probe.
+    pub fn from_records(records: Vec<SparseVector>, measure: Similarity, cfg: ApssConfig) -> Self {
+        let lo = match measure {
+            Similarity::Jaccard => 0.05,
+            Similarity::Cosine => 0.05,
+        };
+        Self {
+            corpus: Arc::new(StreamingCorpus {
+                measure,
+                cfg,
+                capacity: RwLock::new(CacheCapacity::unbounded()),
+                records: RwLock::new(records),
+                cache: OnceLock::new(),
+            }),
+            cfg,
+            grid: crate::cumulative::default_grid(lo),
+            curve: None,
+        }
+    }
+
+    /// Overrides the threshold grid for this session's cumulative curve.
+    pub fn with_grid(mut self, grid: Vec<f64>) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Pins the worker-thread count for this session's ingests and probes
+    /// (`None` = all cores, `Some(1)` = sequential). Sketches, probe
+    /// outputs, and carried memos are bit-identical at every setting.
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.cfg.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the banded join's [`plasma_lsh::ShardPolicy`] for this
+    /// session's probes (see
+    /// [`Session::with_shard_policy`](crate::session::Session::with_shard_policy)).
+    pub fn with_shard_policy(mut self, policy: plasma_lsh::ShardPolicy) -> Self {
+        self.cfg.shard = policy;
+        self
+    }
+
+    /// Bounds the memo pool of the cache this corpus builds on first use.
+    /// Carried memos obey the cap like any others: an epoch bump never
+    /// evicts by itself, but a tiny cap may evict carried memos at the
+    /// next publication — changing work counters, never probe outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus cache already exists (set the capacity before
+    /// the first ingest/probe, and before attaching a shared cache).
+    pub fn with_cache_capacity(self, capacity: CacheCapacity) -> Self {
+        assert!(
+            self.corpus.cache.get().is_none(),
+            "set the cache capacity before the corpus cache is built"
+        );
+        *self.corpus.capacity.write().expect("capacity lock") = capacity;
+        self
+    }
+
+    /// Attaches an existing shared cache (typically obtained from a
+    /// [`crate::cache::CacheRegistry`]) instead of building a fresh one.
+    /// The cache must cover exactly the records ingested so far, with a
+    /// hash family, hash count, and **hash seed** matching the session's
+    /// measure and config — ingest extends the cache's sketches with this
+    /// session's sketcher, and mixing hash universes would silently
+    /// poison every cross-batch pair estimate. Subsequent ingests grow
+    /// the cache in place, so the registry keeps serving the same
+    /// lineage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache's sketch count, family, hash count, or seed
+    /// disagrees with the session's records and config, or when this
+    /// corpus already has a cache.
+    pub fn with_shared_cache(self, cache: Arc<SharedKnowledgeCache>) -> Self {
+        {
+            let records = self.corpus.records.read().expect("corpus lock");
+            let sketches = cache.sketches();
+            assert_eq!(
+                sketches.len(),
+                records.len(),
+                "shared cache sketches {} records, streaming corpus has {}",
+                sketches.len(),
+                records.len()
+            );
+            assert_eq!(
+                sketches.family(),
+                LshFamily::for_measure(self.corpus.measure),
+                "shared cache hash family does not serve this session's measure"
+            );
+            assert_eq!(
+                sketches.n_hashes(),
+                self.cfg.n_hashes,
+                "shared cache sketches {} hashes per record, session config wants {}",
+                sketches.n_hashes(),
+                self.cfg.n_hashes
+            );
+            assert_eq!(
+                sketches.seed(),
+                self.cfg.seed,
+                "shared cache was sketched with hash seed {} but this session \
+                 would ingest with seed {} — mixing hash universes would \
+                 silently corrupt cross-batch estimates",
+                sketches.seed(),
+                self.cfg.seed
+            );
+        }
+        assert!(
+            self.corpus.cache.set(cache).is_ok(),
+            "this streaming corpus already has a cache"
+        );
+        self
+    }
+
+    /// Opens another session over the **same** growing corpus and cache —
+    /// the multi-user shape. The fork shares records, sketches, and the
+    /// memo pool, but keeps its own cumulative curve, threshold grid, and
+    /// probe knobs. Ingest through any fork; every fork's next probe sees
+    /// the grown corpus.
+    pub fn fork(&self) -> StreamingSession {
+        StreamingSession {
+            corpus: self.corpus.clone(),
+            cfg: self.cfg,
+            grid: self.grid.clone(),
+            curve: None,
+        }
+    }
+
+    /// Appends a batch of records to the corpus. The batch is sketched
+    /// with [`Sketcher::extend_batch`] (parallel, bit-identical to
+    /// one-at-a-time appends), the knowledge cache adopts the grown
+    /// sketches ([`SharedKnowledgeCache::grow`]) carrying every old-pair
+    /// memo, and the corpus epoch advances by one. An empty batch is a
+    /// no-op: no growth, no epoch bump.
+    ///
+    /// Blocks until in-flight probes (which pin the current epoch under
+    /// the corpus read lock) finish.
+    pub fn ingest(&mut self, batch: &[SparseVector]) -> IngestReport {
+        let corpus = self.corpus.clone();
+        let mut records: RwLockWriteGuard<'_, Vec<SparseVector>> =
+            corpus.records.write().expect("corpus lock");
+        let (cache, build_secs) = corpus.ensure_cache(&records);
+        if batch.is_empty() {
+            return IngestReport {
+                records_added: 0,
+                total_records: records.len(),
+                epoch: cache.epoch(),
+                sketch_seconds: build_secs,
+                carried_memos: cache.memory_stats().entries,
+            };
+        }
+        let start = Instant::now();
+        let snapshot = cache.sketches();
+        let mut grown = (*snapshot).clone();
+        let sketcher = Sketcher::new(snapshot.family(), self.cfg.n_hashes, self.cfg.seed)
+            .with_parallelism(self.cfg.parallelism);
+        sketcher.extend_batch(batch, &mut grown);
+        let epoch = grown.epoch();
+        let carried_memos = cache.memory_stats().entries;
+        cache.grow(grown);
+        records.extend_from_slice(batch);
+        IngestReport {
+            records_added: batch.len(),
+            total_records: records.len(),
+            epoch,
+            sketch_seconds: build_secs + start.elapsed().as_secs_f64(),
+            carried_memos,
+        }
+    }
+
+    /// Probes everything ingested so far at `threshold`, reusing carried
+    /// memos for every pair of pre-growth records. The report is
+    /// bit-identical (pairs, estimates, curve, decision counters) to a
+    /// batch [`Session`](crate::session::Session) probing the same corpus
+    /// cold; carried knowledge shows up only in `cache_hits` and
+    /// `hashes_compared`.
+    pub fn probe(&mut self, threshold: f64) -> ProbeReport {
+        let start = Instant::now();
+        let corpus = self.corpus.clone();
+        let records: RwLockReadGuard<'_, Vec<SparseVector>> =
+            corpus.records.read().expect("corpus lock");
+        let (cache, sketch_secs) = corpus.ensure_cache(&records);
+        let result = cache.probe(&records, corpus.measure, threshold, &self.cfg);
+        drop(records);
+        fold_probe_report(
+            corpus.measure,
+            self.cfg.bayes,
+            &self.grid,
+            &mut self.curve,
+            result,
+            start.elapsed().as_secs_f64(),
+            sketch_secs,
+        )
+    }
+
+    /// Number of records ingested so far.
+    pub fn len(&self) -> usize {
+        self.corpus.records.read().expect("corpus lock").len()
+    }
+
+    /// True when nothing has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The corpus growth epoch: 0 until the first non-empty ingest after
+    /// the cache exists, then one per adopted batch.
+    pub fn epoch(&self) -> u64 {
+        self.corpus.cache.get().map_or(0, |c| c.epoch())
+    }
+
+    /// The similarity measure in use.
+    pub fn measure(&self) -> Similarity {
+        self.corpus.measure
+    }
+
+    /// An owned snapshot of the records ingested so far, taken under the
+    /// corpus lock (so it is one consistent epoch).
+    pub fn records_snapshot(&self) -> Vec<SparseVector> {
+        self.corpus.records.read().expect("corpus lock").clone()
+    }
+
+    /// The shared knowledge cache, once built (by the first ingest/probe
+    /// or [`with_shared_cache`](Self::with_shared_cache)).
+    pub fn shared_cache(&self) -> Option<Arc<SharedKnowledgeCache>> {
+        self.corpus.cache.get().cloned()
+    }
+
+    /// The session's current Cumulative APSS Graph, if any probe has run.
+    pub fn curve(&self) -> Option<&CumulativeCurve> {
+        self.curve.as_ref()
+    }
+
+    /// A snapshot of the corpus sketches at the current epoch, once the
+    /// cache exists.
+    pub fn sketches(&self) -> Option<Arc<SketchSet>> {
+        self.corpus.cache.get().map(|c| c.sketches())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use plasma_data::datasets::gaussian::GaussianSpec;
+
+    fn dataset(n: usize) -> Vec<SparseVector> {
+        GaussianSpec {
+            separation: 4.0,
+            spread: 0.6,
+            ..GaussianSpec::new("stream", n, 8, 3)
+        }
+        .generate(17)
+        .records
+    }
+
+    #[test]
+    fn streamed_probe_matches_cold_batch_run_at_every_epoch() {
+        let records = dataset(60);
+        let cfg = ApssConfig::default();
+        let mut streaming =
+            StreamingSession::from_records(records[..25].to_vec(), Similarity::Cosine, cfg);
+        streaming.ingest(&records[25..45]);
+        streaming.ingest(&records[45..]);
+        assert_eq!(streaming.epoch(), 2);
+        let streamed = streaming.probe(0.7);
+        let mut cold = Session::from_records(records, Similarity::Cosine, cfg);
+        let cold_report = cold.probe(0.7);
+        assert_eq!(streamed.pairs, cold_report.pairs);
+        assert_eq!(streamed.candidates, cold_report.candidates);
+        assert_eq!(streamed.pruned, cold_report.pruned);
+    }
+
+    #[test]
+    fn empty_ingest_is_a_noop() {
+        let records = dataset(30);
+        let mut s =
+            StreamingSession::from_records(records, Similarity::Cosine, ApssConfig::default());
+        s.probe(0.8);
+        let before = s.epoch();
+        let report = s.ingest(&[]);
+        assert_eq!(report.records_added, 0);
+        assert_eq!(report.epoch, before);
+        assert_eq!(s.epoch(), before);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn fork_sees_growth_and_carried_memos() {
+        let records = dataset(50);
+        let cfg = ApssConfig::default();
+        let mut a = StreamingSession::from_records(records[..30].to_vec(), Similarity::Cosine, cfg);
+        a.probe(0.7);
+        let mut b = a.fork();
+        // Fork B ingests; fork A's next probe sees the grown corpus.
+        b.ingest(&records[30..]);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.epoch(), 1);
+        let grown = a.probe(0.7);
+        assert!(grown.cache_hits > 0, "carried memos must produce hits");
+        let mut cold = Session::from_records(records.to_vec(), Similarity::Cosine, cfg);
+        assert_eq!(grown.pairs, cold.probe(0.7).pairs);
+    }
+
+    #[test]
+    fn starts_from_an_empty_corpus() {
+        let records = dataset(24);
+        let cfg = ApssConfig::default();
+        let mut s = StreamingSession::from_records(Vec::new(), Similarity::Cosine, cfg);
+        assert!(s.is_empty());
+        let empty_probe = s.probe(0.8);
+        assert_eq!(empty_probe.candidates, 0);
+        s.ingest(&records[..10]);
+        s.ingest(&records[10..]);
+        assert_eq!(s.epoch(), 2);
+        let streamed = s.probe(0.8);
+        let mut cold = Session::from_records(records, Similarity::Cosine, cfg);
+        assert_eq!(streamed.pairs, cold.probe(0.8).pairs);
+    }
+}

@@ -169,3 +169,171 @@ fn registry_sessions_share_one_cache_per_dataset() {
     let shared = alice.shared_cache().expect("probed");
     assert_eq!(shared.probe_history(), vec![0.75, 0.75]);
 }
+
+#[test]
+fn epoch_bump_under_a_tiny_capacity_keeps_outputs_exact() {
+    // Carried memos are ordinary memos: a tiny byte cap may evict them
+    // right after (or before) the bump, but probe outputs over the grown
+    // corpus stay bit-identical to a cold batch run.
+    use plasma_core::cache::CacheCapacity;
+    use plasma_core::StreamingSession;
+    let records = dataset(50, 31);
+    let cfg = ApssConfig::default();
+    let cap = 1024; // far below the workload's unbounded footprint
+    let mut streaming =
+        StreamingSession::from_records(records[..30].to_vec(), Similarity::Cosine, cfg)
+            .with_cache_capacity(CacheCapacity::bounded(cap));
+    streaming.probe(0.7);
+    streaming.ingest(&records[30..]);
+    let grown = streaming.probe(0.7);
+
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cold = apss_with_sketches(&records, Similarity::Cosine, &sketches, 0.7, &cfg);
+    let grown_pairs: Vec<(u32, u32)> = grown.pairs.iter().map(|p| (p.i, p.j)).collect();
+    let cold_pairs: Vec<(u32, u32)> = cold.pairs.iter().map(|p| (p.i, p.j)).collect();
+    assert_eq!(grown_pairs, cold_pairs, "eviction must never change pairs");
+    assert_eq!(grown.candidates, cold.stats.candidates);
+    assert_eq!(grown.pruned, cold.stats.pruned);
+
+    let stats = streaming.shared_cache().expect("probed").memory_stats();
+    assert!(stats.memo_bytes <= cap, "{} > {cap}", stats.memo_bytes);
+    assert!(
+        stats.evicted_entries > 0,
+        "a 1 KiB cap over a 50-record corpus must have evicted"
+    );
+}
+
+#[test]
+fn grown_cache_keeps_its_registry_lineage() {
+    // Growth mutates the registered cache in place: no duplicate entry,
+    // no registry eviction, and the epoch-0 fingerprint keeps resolving
+    // to the same (now larger) cache.
+    use plasma_core::cache::{CacheCapacity, RegistryCapacity};
+    use plasma_core::StreamingSession;
+    use std::sync::Arc;
+    let records = dataset(44, 33);
+    let cfg = ApssConfig::default();
+    let registry = CacheRegistry::with_capacity(
+        RegistryCapacity::unbounded().with_max_caches(2),
+        CacheCapacity::unbounded(),
+    );
+    let head = records[..28].to_vec();
+    let cache = registry.get_or_build(&head, Similarity::Cosine, &cfg);
+    let bytes_before = registry.total_bytes();
+
+    let mut streaming = StreamingSession::from_records(head.clone(), Similarity::Cosine, cfg)
+        .with_shared_cache(cache.clone());
+    streaming.probe(0.7);
+    streaming.ingest(&records[28..]);
+    assert_eq!(cache.epoch(), 1);
+    assert_eq!(cache.sketches().len(), records.len());
+
+    // Still exactly one registry entry, nothing evicted, and the grown
+    // sketches show up in the registry's byte accounting.
+    assert_eq!(registry.len(), 1, "growth must not mint a second entry");
+    assert_eq!(registry.evicted_caches(), 0);
+    assert!(registry.total_bytes() > bytes_before);
+
+    // The epoch-0 corpus still resolves to the very same cache.
+    let again = registry.get_or_build(&head, Similarity::Cosine, &cfg);
+    assert!(
+        Arc::ptr_eq(&cache, &again),
+        "lineage lookup must not rebuild"
+    );
+    assert_eq!(registry.len(), 1);
+
+    // And the grown corpus probes through it with carried memos.
+    let report = streaming.probe(0.7);
+    assert!(report.cache_hits > 0);
+}
+
+#[test]
+fn empty_ingest_never_bumps_a_registry_cache() {
+    use plasma_core::StreamingSession;
+    let records = dataset(30, 35);
+    let cfg = ApssConfig::default();
+    let registry = CacheRegistry::new();
+    let cache = registry.get_or_build(&records, Similarity::Cosine, &cfg);
+    let mut streaming = StreamingSession::from_records(records, Similarity::Cosine, cfg)
+        .with_shared_cache(cache.clone());
+    let report = streaming.ingest(&[]);
+    assert_eq!(report.records_added, 0);
+    assert_eq!(cache.epoch(), 0, "a zero-record batch is not an epoch");
+    assert_eq!(registry.len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "extend the current corpus byte for byte")]
+fn grow_rejects_a_diverged_corpus() {
+    // Adopting sketches that are not a prefix-extension would silently
+    // poison every carried memo — the cache must refuse loudly.
+    use plasma_lsh::family::LshFamily;
+    use plasma_lsh::sketch::Sketcher;
+    let records = dataset(20, 37);
+    let other = dataset(24, 38);
+    let cfg = ApssConfig::default();
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &cfg);
+    let cache = SharedKnowledgeCache::new(sketches);
+    // Sketch a *different* corpus and bump its epoch via a batch extend.
+    let sketcher = Sketcher::new(LshFamily::SimHash, cfg.n_hashes, cfg.seed);
+    let mut diverged = sketcher.sketch_all(&other[..20]);
+    sketcher.extend_batch(&other[20..], &mut diverged);
+    cache.grow(diverged);
+}
+
+#[test]
+#[should_panic(expected = "re-sync the corpus before probing a grown cache")]
+fn probing_a_grown_cache_with_stale_records_fails_loudly() {
+    // A session holding the pre-growth record list must not receive
+    // candidate pairs that index records it never supplied.
+    use plasma_core::StreamingSession;
+    let records = dataset(40, 39);
+    let cfg = ApssConfig::default();
+    let head = records[..25].to_vec();
+    let cache = {
+        let mut streaming = StreamingSession::from_records(head.clone(), Similarity::Cosine, cfg);
+        streaming.probe(0.7);
+        streaming.ingest(&records[25..]);
+        streaming.shared_cache().expect("probed")
+    };
+    cache.probe(&head, Similarity::Cosine, 0.7, &cfg);
+}
+
+#[test]
+#[should_panic(expected = "mixing hash universes")]
+fn streaming_attach_rejects_a_seed_mismatched_cache() {
+    // Ingest re-derives the sketcher from the session config; attaching a
+    // cache sketched under a different seed would extend one hash
+    // universe with another and silently poison every cross-batch pair —
+    // the attach must refuse up front.
+    use plasma_core::StreamingSession;
+    let records = dataset(20, 41);
+    let cfg = ApssConfig::default();
+    let reseeded = ApssConfig {
+        seed: cfg.seed + 1,
+        ..cfg
+    };
+    let (sketches, _) = build_sketches(&records, Similarity::Cosine, &reseeded);
+    let cache = std::sync::Arc::new(SharedKnowledgeCache::new(sketches));
+    let _ =
+        StreamingSession::from_records(records, Similarity::Cosine, cfg).with_shared_cache(cache);
+}
+
+#[test]
+#[should_panic(expected = "grown past this session's corpus")]
+fn batch_session_cannot_attach_a_grown_cache_over_a_stale_prefix() {
+    // The registry keeps serving a lineage's epoch-0 fingerprint after
+    // growth; a batch Session opening over the stale prefix must get a
+    // guided panic, not out-of-range candidate pairs.
+    use plasma_core::StreamingSession;
+    let records = dataset(40, 43);
+    let cfg = ApssConfig::default();
+    let head = records[..25].to_vec();
+    let registry = CacheRegistry::new();
+    let cache = registry.get_or_build(&head, Similarity::Cosine, &cfg);
+    let mut streaming = StreamingSession::from_records(head.clone(), Similarity::Cosine, cfg)
+        .with_shared_cache(cache);
+    streaming.probe(0.7);
+    streaming.ingest(&records[25..]);
+    let _ = registry.session(head, Similarity::Cosine, cfg);
+}

@@ -20,12 +20,26 @@
 //!
 //! # Parallelism
 //!
-//! [`Sketcher::sketch_all`] and [`Sketcher::extend_sketches`] shard the
-//! record range across threads: the flat output buffer is pre-sized and
-//! split into disjoint per-shard slices (`par_chunks_mut`), so workers
-//! write without synchronization and the result is bit-identical for
-//! every thread count. [`Sketcher::with_parallelism`] pins the thread
-//! count (`Some(1)` = sequential, `None` = all cores).
+//! [`Sketcher::sketch_all`], [`Sketcher::extend_sketches`], and
+//! [`Sketcher::extend_batch`] shard the record range across threads: the
+//! flat output buffer is pre-sized and split into disjoint per-shard
+//! slices (`par_chunks_mut`), so workers write without synchronization
+//! and the result is bit-identical for every thread count.
+//! [`Sketcher::with_parallelism`] pins the thread count (`Some(1)` =
+//! sequential, `None` = all cores).
+//!
+//! # Streaming growth and epochs
+//!
+//! A corpus that grows while sessions probe it appends records with
+//! [`Sketcher::extend_batch`]: the new records are sketched into the
+//! existing flat buffer (in parallel, bit-identical to one-at-a-time
+//! [`Sketcher::sketch_into`] appends), the old sketches stay byte-for-byte
+//! untouched, and the set's [`SketchSet::epoch`] counter advances by one.
+//! The epoch is what lets a knowledge cache distinguish "the same corpus,
+//! grown" (old pair memos remain valid — see
+//! `plasma_core::cache::SharedKnowledgeCache::grow`) from "a different
+//! corpus" (cold cache). A zero-record batch is a no-op and does *not*
+//! bump the epoch.
 
 use plasma_data::hash::{keyed_hash_spread, spread_item};
 use plasma_data::vector::SparseVector;
@@ -92,7 +106,7 @@ impl Sketcher {
     /// over each record's dimensions.
     pub fn sketch_all(&self, records: &[SparseVector]) -> SketchSet {
         let n = records.len();
-        let mut set = SketchSet::zeroed(self.family, self.n_hashes, n);
+        let mut set = SketchSet::zeroed(self.family, self.n_hashes, self.seed, n);
         if n == 0 {
             return set;
         }
@@ -113,14 +127,96 @@ impl Sketcher {
         set
     }
 
-    /// Appends one record's sketch to `set`.
+    /// Appends one record's sketch to `set`. The per-dim hash scratch
+    /// (spread/dot buffers) is hoisted into a thread-local and reused
+    /// across calls, the same way the bulk kernels hoist it across a
+    /// shard's records — a record-at-a-time ingest loop allocates once
+    /// per thread, not once per record. Does not touch
+    /// [`SketchSet::epoch`]; versioned growth goes through
+    /// [`extend_batch`](Self::extend_batch).
     pub fn sketch_into(&self, record: &SparseVector, set: &mut SketchSet) {
         debug_assert_eq!(set.family, self.family);
         debug_assert_eq!(set.n_hashes, self.n_hashes);
+        debug_assert_eq!(set.seed, self.seed, "hash seed mismatch in sketch_into");
         let start = set.data.len();
         set.data.resize(start + set.stride, 0);
-        self.sketch_record(record, &mut set.data[start..], &mut Scratch::default());
+        APPEND_SCRATCH.with(|scratch| {
+            self.sketch_record(record, &mut set.data[start..], &mut scratch.borrow_mut());
+        });
         set.records += 1;
+    }
+
+    /// Appends a batch of records to an existing set — the amortized
+    /// streaming-ingest form of [`sketch_into`](Self::sketch_into). New
+    /// records are sketched in parallel into pre-sized disjoint slices of
+    /// the flat buffer (same dim-outer kernels and sharding as
+    /// [`sketch_all`](Self::sketch_all)); existing sketches are untouched
+    /// byte for byte, so the grown set is an exact prefix-extension of
+    /// the old one and every memo over old pairs stays valid. Each
+    /// non-empty batch advances [`SketchSet::epoch`] by one; an empty
+    /// batch is a no-op that leaves the epoch alone.
+    ///
+    /// The appended sketches are bit-identical to both one-at-a-time
+    /// `sketch_into` appends and a from-scratch
+    /// [`sketch_all`](Self::sketch_all) over the full corpus, at every
+    /// thread count.
+    ///
+    /// ```
+    /// use plasma_data::vector::SparseVector;
+    /// use plasma_lsh::family::LshFamily;
+    /// use plasma_lsh::sketch::Sketcher;
+    ///
+    /// let records: Vec<SparseVector> = (0..6)
+    ///     .map(|i| SparseVector::from_set(vec![i, i + 1, i + 2]))
+    ///     .collect();
+    /// let sketcher = Sketcher::new(LshFamily::MinHash, 32, 7);
+    ///
+    /// let mut grown = sketcher.sketch_all(&records[..4]);
+    /// assert_eq!(grown.epoch(), 0);
+    /// sketcher.extend_batch(&records[4..], &mut grown);
+    /// assert_eq!((grown.len(), grown.epoch()), (6, 1));
+    ///
+    /// // Bit-identical to sketching the full corpus in one pass.
+    /// let bulk = sketcher.sketch_all(&records);
+    /// assert!(bulk.is_prefix_of(&grown) && grown.is_prefix_of(&bulk));
+    ///
+    /// // Empty batches are no-ops: no growth, no epoch bump.
+    /// sketcher.extend_batch(&[], &mut grown);
+    /// assert_eq!((grown.len(), grown.epoch()), (6, 1));
+    /// ```
+    pub fn extend_batch(&self, new_records: &[SparseVector], set: &mut SketchSet) {
+        assert_eq!(set.family, self.family, "family mismatch in extend_batch");
+        assert_eq!(
+            set.n_hashes, self.n_hashes,
+            "n_hashes mismatch in extend_batch"
+        );
+        assert_eq!(
+            set.seed, self.seed,
+            "hash seed mismatch in extend_batch: appending with a different \
+             seed would mix hash universes and poison every cross-batch pair"
+        );
+        let k = new_records.len();
+        if k == 0 {
+            return;
+        }
+        let stride = set.stride;
+        let start = set.data.len();
+        set.data.resize(start + k * stride, 0);
+        let tail = &mut set.data[start..];
+        let threads = self.threads_for(k).min(k);
+        if threads <= 1 {
+            self.sketch_shard(new_records, tail);
+        } else {
+            let shard_records = k.div_ceil(threads);
+            tail.par_chunks_mut(shard_records * stride)
+                .enumerate_for_each(|shard, slice| {
+                    let lo = shard * shard_records;
+                    let hi = (lo + shard_records).min(k);
+                    self.sketch_shard(&new_records[lo..hi], slice);
+                });
+        }
+        set.records += k;
+        set.epoch += 1;
     }
 
     /// Sequentially sketches a contiguous shard of records into its
@@ -156,6 +252,7 @@ impl Sketcher {
         new_n: usize,
     ) -> SketchSet {
         assert_eq!(existing.family, self.family);
+        assert_eq!(existing.seed, self.seed, "hash seed mismatch");
         assert_eq!(
             existing.len(),
             records.len(),
@@ -169,7 +266,9 @@ impl Sketcher {
         let n = records.len();
         let old_n = existing.n_hashes;
         let tail_keys = lane_keys(self.family, self.seed, old_n, new_n);
-        let mut out = SketchSet::zeroed(self.family, new_n, n);
+        let mut out = SketchSet::zeroed(self.family, new_n, self.seed, n);
+        // Same corpus, higher resolution: the growth lineage carries over.
+        out.epoch = existing.epoch;
         if n == 0 {
             return out;
         }
@@ -238,6 +337,19 @@ fn lane_keys(family: LshFamily, seed: u64, from: usize, to: usize) -> Vec<u64> {
 struct Scratch {
     spreads: Vec<u64>,
     dots: Vec<f64>,
+}
+
+thread_local! {
+    /// The append path's scratch, hoisted across [`Sketcher::sketch_into`]
+    /// calls: a record-at-a-time ingest loop reuses one spread/dot buffer
+    /// per thread instead of reallocating per record, mirroring the
+    /// per-shard hoist of the bulk kernels.
+    static APPEND_SCRATCH: std::cell::RefCell<Scratch> = const {
+        std::cell::RefCell::new(Scratch {
+            spreads: Vec::new(),
+            dots: Vec::new(),
+        })
+    };
 }
 
 /// Lanes per register block of the MinHash kernel: eight independent
@@ -324,12 +436,24 @@ fn gaussian_from_hash(h: u64) -> f64 {
 }
 
 /// Flat storage of all sketches for a dataset.
+///
+/// A set carries a monotone **epoch** counter versioning streamed growth:
+/// freshly built sets start at epoch 0, and every non-empty
+/// [`Sketcher::extend_batch`] advances it by one while leaving all prior
+/// sketch bytes untouched. Consumers holding per-pair knowledge (the
+/// knowledge cache) use the epoch to tell "the same corpus, grown" —
+/// where memos over old pairs remain valid — from "a different corpus".
 #[derive(Debug, Clone)]
 pub struct SketchSet {
     family: LshFamily,
     n_hashes: usize,
+    /// The hash seed the sketches were keyed with — carried so lineage
+    /// checks ([`is_prefix_of`](Self::is_prefix_of), append asserts) can
+    /// refuse to mix hash universes.
+    seed: u64,
     stride: usize,
     records: usize,
+    epoch: u64,
     data: Vec<u64>,
 }
 
@@ -343,33 +467,38 @@ impl SketchSet {
 
     /// An empty set with room reserved for `records` sketches (append via
     /// [`Sketcher::sketch_into`]).
-    fn with_capacity(family: LshFamily, n_hashes: usize, records: usize) -> Self {
+    fn with_capacity(family: LshFamily, n_hashes: usize, seed: u64, records: usize) -> Self {
         let stride = Self::stride_for(family, n_hashes);
         Self {
             family,
             n_hashes,
+            seed,
             stride,
             records: 0,
+            epoch: 0,
             data: Vec::with_capacity(records * stride),
         }
     }
 
     /// A fully-sized zeroed set for `records` sketches, ready for
     /// disjoint-slice parallel writes.
-    fn zeroed(family: LshFamily, n_hashes: usize, records: usize) -> Self {
+    fn zeroed(family: LshFamily, n_hashes: usize, seed: u64, records: usize) -> Self {
         let stride = Self::stride_for(family, n_hashes);
         Self {
             family,
             n_hashes,
+            seed,
             stride,
             records,
+            epoch: 0,
             data: vec![0u64; records * stride],
         }
     }
 
-    /// An empty appendable set (used by streaming callers).
-    pub fn empty(family: LshFamily, n_hashes: usize) -> Self {
-        Self::with_capacity(family, n_hashes, 0)
+    /// An empty appendable set (used by streaming callers). `seed` is the
+    /// hash seed of the [`Sketcher`] that will fill it.
+    pub fn empty(family: LshFamily, n_hashes: usize, seed: u64) -> Self {
+        Self::with_capacity(family, n_hashes, seed, 0)
     }
 
     /// Number of sketched records.
@@ -385,6 +514,32 @@ impl SketchSet {
     /// Hashes per record.
     pub fn n_hashes(&self) -> usize {
         self.n_hashes
+    }
+
+    /// The growth epoch: 0 for a freshly built set, advanced by one for
+    /// every non-empty [`Sketcher::extend_batch`]. Single-record
+    /// [`Sketcher::sketch_into`] appends do not version the set.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The hash seed this set's sketches were keyed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when `other` extends this set byte for byte: same family,
+    /// hash count, and hash seed, at least as many records, and every one
+    /// of this set's sketch words identical at the same position. This is the invariant
+    /// a knowledge cache checks before carrying pair memos across an
+    /// epoch bump — old-pair memos are valid against the grown set
+    /// exactly because the old sketches are unchanged.
+    pub fn is_prefix_of(&self, other: &SketchSet) -> bool {
+        self.family == other.family
+            && self.n_hashes == other.n_hashes
+            && self.seed == other.seed
+            && self.records <= other.records
+            && other.data[..self.data.len()] == self.data[..]
     }
 
     /// The hash family.
@@ -708,7 +863,7 @@ mod tests {
         for fam in [LshFamily::MinHash, LshFamily::SimHash] {
             let sketcher = Sketcher::new(fam, 80, 3);
             let bulk = sketcher.sketch_all(&records);
-            let mut appended = SketchSet::empty(fam, 80);
+            let mut appended = SketchSet::empty(fam, 80, 3);
             for r in &records {
                 sketcher.sketch_into(r, &mut appended);
             }
@@ -745,6 +900,120 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn extend_batch_matches_bulk_and_append_paths() {
+        let mut rng = seeded(77);
+        let records: Vec<SparseVector> = (0..30).map(|_| random_set(&mut rng, 700, 40)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let sketcher = Sketcher::new(fam, 96, 5);
+            let bulk = sketcher.sketch_all(&records);
+            // Batch-extend in three uneven installments…
+            let mut streamed = sketcher.sketch_all(&records[..7]);
+            sketcher.extend_batch(&records[7..8], &mut streamed);
+            sketcher.extend_batch(&records[8..21], &mut streamed);
+            sketcher.extend_batch(&records[21..], &mut streamed);
+            assert_eq!(streamed.len(), bulk.len());
+            assert_eq!(streamed.epoch(), 3, "{fam:?}: one bump per batch");
+            // …and one-at-a-time appends: all three paths byte-equal.
+            let mut appended = SketchSet::empty(fam, 96, 5);
+            for r in &records {
+                sketcher.sketch_into(r, &mut appended);
+            }
+            for i in 0..records.len() {
+                assert_eq!(streamed.sketch(i), bulk.sketch(i), "{fam:?} record {i}");
+                assert_eq!(appended.sketch(i), bulk.sketch(i), "{fam:?} record {i}");
+            }
+            assert!(bulk.is_prefix_of(&streamed) && streamed.is_prefix_of(&bulk));
+        }
+    }
+
+    #[test]
+    fn extend_batch_is_bit_identical_at_every_thread_count() {
+        let mut rng = seeded(88);
+        let base: Vec<SparseVector> = (0..20).map(|_| random_set(&mut rng, 800, 50)).collect();
+        let batch: Vec<SparseVector> = (0..37).map(|_| random_set(&mut rng, 800, 50)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let serial = {
+                let sketcher = Sketcher::new(fam, 128, 3).with_parallelism(Some(1));
+                let mut set = sketcher.sketch_all(&base);
+                sketcher.extend_batch(&batch, &mut set);
+                set
+            };
+            for threads in [2, 3, 8] {
+                let sketcher = Sketcher::new(fam, 128, 3).with_parallelism(Some(threads));
+                let mut set = sketcher.sketch_all(&base);
+                sketcher.extend_batch(&batch, &mut set);
+                assert_eq!(set.epoch(), 1);
+                for i in 0..base.len() + batch.len() {
+                    assert_eq!(
+                        set.sketch(i),
+                        serial.sketch(i),
+                        "{fam:?} with {threads} threads diverged at record {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_then_bulk_equals_bulk_then_append() {
+        // The satellite micro-assert: mixing the hoisted-scratch append
+        // path with batch extension in either order produces byte-equal
+        // sketch sets.
+        let mut rng = seeded(99);
+        let records: Vec<SparseVector> = (0..12).map(|_| random_set(&mut rng, 400, 35)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let sketcher = Sketcher::new(fam, 80, 11);
+            // Append records 0..6 one at a time, then batch-extend 6..12.
+            let mut append_first = SketchSet::empty(fam, 80, 11);
+            for r in &records[..6] {
+                sketcher.sketch_into(r, &mut append_first);
+            }
+            sketcher.extend_batch(&records[6..], &mut append_first);
+            // Batch-extend 0..6 onto an empty set, then append 6..12.
+            let mut bulk_first = SketchSet::empty(fam, 80, 11);
+            sketcher.extend_batch(&records[..6], &mut bulk_first);
+            for r in &records[6..] {
+                sketcher.sketch_into(r, &mut bulk_first);
+            }
+            assert_eq!(append_first.len(), bulk_first.len());
+            assert_eq!(append_first.epoch(), bulk_first.epoch());
+            assert!(
+                append_first.is_prefix_of(&bulk_first) && bulk_first.is_prefix_of(&append_first),
+                "{fam:?}: orders must agree byte for byte"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_record_extend_batch_is_a_noop() {
+        let mut rng = seeded(101);
+        let records: Vec<SparseVector> = (0..5).map(|_| random_set(&mut rng, 300, 20)).collect();
+        let sketcher = Sketcher::new(LshFamily::MinHash, 48, 2);
+        let mut set = sketcher.sketch_all(&records);
+        let reference = set.clone();
+        sketcher.extend_batch(&[], &mut set);
+        assert_eq!(set.len(), reference.len());
+        assert_eq!(set.epoch(), 0, "an empty batch must not bump the epoch");
+        assert!(reference.is_prefix_of(&set) && set.is_prefix_of(&reference));
+    }
+
+    #[test]
+    fn prefix_check_rejects_diverged_sets() {
+        let a = SparseVector::from_set(vec![1, 2, 3]);
+        let b = SparseVector::from_set(vec![9, 10, 11]);
+        let sketcher = Sketcher::new(LshFamily::MinHash, 32, 4);
+        let small = sketcher.sketch_all(std::slice::from_ref(&a));
+        let grown_same = sketcher.sketch_all(&[a.clone(), b.clone()]);
+        let grown_other = sketcher.sketch_all(&[b, a]);
+        assert!(small.is_prefix_of(&grown_same));
+        assert!(!small.is_prefix_of(&grown_other), "reordered corpus");
+        assert!(!grown_same.is_prefix_of(&small), "shrinking is not growth");
+        let other_family = Sketcher::new(LshFamily::SimHash, 32, 4)
+            .sketch_all(&[SparseVector::from_dense(&[1.0, 2.0])]);
+        assert!(!other_family.is_prefix_of(&grown_same));
     }
 
     #[test]
