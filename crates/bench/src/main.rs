@@ -10,13 +10,16 @@
 //!
 //! `repro bench` runs the quick APSS perf smoke (sequential vs parallel
 //! sketching and pair evaluation, shared-cache and bounded-cache probe
-//! sweeps, banded-skew sharding, and the streaming-ingest scenario:
+//! sweeps, banded-skew sharding, the streaming-ingest scenario:
 //! batches ingested into a live session with carried-memo probes after
-//! each epoch); with `--json` it also writes the snapshot to
-//! `BENCH_apss.json` for CI perf tracking. `repro check-bench [PATH]`
-//! validates a written snapshot against the expected schema (including
-//! the bounded-cache memory and `streaming` fields) and exits non-zero
-//! on violations — the CI perf-smoke gate.
+//! each epoch, and the ingest-scaling scenario: fixed-size batches into
+//! a ~10×-growing corpus, recording per-batch ingest nanoseconds and
+//! snapshot-clone bytes from the segmented sketch store); with `--json`
+//! it also writes the snapshot to `BENCH_apss.json` for CI perf
+//! tracking. `repro check-bench [PATH]` validates a written snapshot
+//! against the expected schema (including the bounded-cache memory,
+//! `streaming`, and `ingest_scaling` fields) and exits non-zero on
+//! violations — the CI perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;

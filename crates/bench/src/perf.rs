@@ -13,7 +13,11 @@
 //! shards, largest-shard pairs, seq vs parallel rate), and the streaming
 //! shape: N record batches ingested into a live `StreamingSession` with a
 //! probe after each epoch, recording ingest throughput and the
-//! carried-memo hit rate (`streaming` fields). With `--json`
+//! carried-memo hit rate (`streaming` fields), and the ingest-scaling
+//! shape: fixed-size batches ingested into a corpus growing ~10×,
+//! recording per-batch ingest nanoseconds and snapshot-clone bytes — the
+//! segmented store's O(batch) ingest and O(segments) epoch-snapshot
+//! guarantees as measured numbers (`ingest_scaling` fields). With `--json`
 //! the snapshot is also written to `BENCH_apss.json` so CI can track the
 //! perf trajectory across commits (`repro check-bench` validates the
 //! schema). This is a smoke measurement (fractions of a second per
@@ -154,6 +158,57 @@ pub struct StreamingRates {
     pub probe_mean_ms: f64,
 }
 
+/// The ingest-scaling shape: a fixed-size batch ingested repeatedly into
+/// a growing [`StreamingSession`], timing each ingest. With the segmented
+/// sketch store, per-batch ingest cost is O(batch) — the corpus growing
+/// ~10× must not slow the same-size batch down — and each epoch's
+/// snapshot clone copies only the mutable tail plus one pointer per
+/// sealed segment, never the corpus words
+/// ([`plasma_core::streaming::IngestReport::snapshot_clone_bytes`]).
+#[derive(Debug, Clone)]
+pub struct IngestScalingRates {
+    /// Batches ingested after the seed corpus.
+    pub batches: u64,
+    /// Records per ingested batch (fixed across the run).
+    pub batch_records: u64,
+    /// Seed corpus size before the first timed batch.
+    pub initial_records: u64,
+    /// Corpus size after every batch landed.
+    pub final_records: u64,
+    /// Wall nanoseconds of each ingest call, in batch order.
+    pub per_batch_ns: Vec<u64>,
+    /// Bytes each epoch's snapshot clone actually copied (tail words +
+    /// segment pointers), in batch order.
+    pub snapshot_clone_bytes: Vec<u64>,
+    /// Total sketch bytes of the final corpus — what a flat store would
+    /// copy per snapshot.
+    pub corpus_bytes: u64,
+    /// Sealed (immutable, `Arc`-shared) segments of the final corpus.
+    pub sealed_segments: u64,
+    /// Records per segment in force (the `PLASMA_SEGMENT_RECORDS`
+    /// default unless overridden).
+    pub segment_records: u64,
+}
+
+impl IngestScalingRates {
+    /// Nanoseconds of the first timed batch.
+    pub fn first_batch_ns(&self) -> u64 {
+        self.per_batch_ns.first().copied().unwrap_or(0)
+    }
+
+    /// Nanoseconds of the last timed batch — same batch size, ~10×
+    /// larger corpus.
+    pub fn last_batch_ns(&self) -> u64 {
+        self.per_batch_ns.last().copied().unwrap_or(0)
+    }
+
+    /// Last-batch over first-batch time: ~1.0 when ingest is O(batch),
+    /// growing with the corpus when it is not.
+    pub fn ns_ratio_last_over_first(&self) -> f64 {
+        self.last_batch_ns() as f64 / self.first_batch_ns().max(1) as f64
+    }
+}
+
 /// The full snapshot.
 #[derive(Debug, Clone)]
 pub struct ApssPerfSnapshot {
@@ -173,6 +228,8 @@ pub struct ApssPerfSnapshot {
     pub banded_skew: BandedSkewRates,
     /// Streaming ingest: batch-extend sketching + carried-memo probing.
     pub streaming: StreamingRates,
+    /// Ingest scaling: fixed-size batches into a ~10×-growing corpus.
+    pub ingest_scaling: IngestScalingRates,
 }
 
 /// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
@@ -267,6 +324,9 @@ pub fn measure() -> ApssPerfSnapshot {
     let bounded_cache = measure_bounded_cache(&ds.records, ds.measure, base_rates, base_stats);
     let banded_skew = measure_banded_skew_sized(cores, 1000, 250);
     let streaming = measure_streaming_sized(100, 40, 3);
+    // Fixed 200-record batches growing the corpus 200 → 2000 (10×): the
+    // O(batch) acceptance shape.
+    let ingest_scaling = measure_ingest_scaling_sized(200, 200, 9);
 
     ApssPerfSnapshot {
         cores,
@@ -277,6 +337,49 @@ pub fn measure() -> ApssPerfSnapshot {
         bounded_cache,
         banded_skew,
         streaming,
+        ingest_scaling,
+    }
+}
+
+/// Measures [`IngestScalingRates`]: seed a [`StreamingSession`] with
+/// `initial` records, then ingest `batches` fixed-size batches of
+/// `batch_records` with no probes in between, timing each ingest call and
+/// recording each epoch's snapshot-clone bytes. Pure ingest — the number
+/// this scenario exists to pin is that the last batch (largest corpus)
+/// costs about the same as the first.
+fn measure_ingest_scaling_sized(
+    initial: usize,
+    batch_records: usize,
+    batches: usize,
+) -> IngestScalingRates {
+    let total = initial + batch_records * batches;
+    let ds = GaussianSpec::new("bench-ingest", total, 10, 4).generate(11);
+    let cfg = ApssConfig::default();
+    let mut session =
+        StreamingSession::from_records(ds.records[..initial].to_vec(), ds.measure, cfg);
+    // Force the lazy epoch-0 build now so the first timed batch measures
+    // ingest, not the seed corpus's sketch_all.
+    session.ingest(&[]);
+    let mut per_batch_ns = Vec::with_capacity(batches);
+    let mut snapshot_clone_bytes = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let lo = initial + b * batch_records;
+        let t = Instant::now();
+        let report = session.ingest(&ds.records[lo..lo + batch_records]);
+        per_batch_ns.push(t.elapsed().as_nanos() as u64);
+        snapshot_clone_bytes.push(report.snapshot_clone_bytes as u64);
+    }
+    let sketches = session.sketches().expect("ingest built the sketch store");
+    IngestScalingRates {
+        batches: batches as u64,
+        batch_records: batch_records as u64,
+        initial_records: initial as u64,
+        final_records: session.len() as u64,
+        per_batch_ns,
+        snapshot_clone_bytes,
+        corpus_bytes: sketches.byte_size() as u64,
+        sealed_segments: sketches.sealed_segments() as u64,
+        segment_records: sketches.segment_records() as u64,
     }
 }
 
@@ -516,8 +619,32 @@ impl ApssPerfSnapshot {
                 s.probe_mean_ms
             )
         };
+        let ingest_scaling = {
+            let s = &self.ingest_scaling;
+            let join_u64 = |v: &[u64]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            format!(
+                "{{\"batches\": {}, \"batch_records\": {}, \"initial_records\": {}, \"final_records\": {}, \"per_batch_ns\": [{}], \"first_batch_ns\": {}, \"last_batch_ns\": {}, \"ns_ratio_last_over_first\": {:.3}, \"snapshot_clone_bytes\": [{}], \"corpus_bytes\": {}, \"sealed_segments\": {}, \"segment_records\": {}}}",
+                s.batches,
+                s.batch_records,
+                s.initial_records,
+                s.final_records,
+                join_u64(&s.per_batch_ns),
+                s.first_batch_ns(),
+                s.last_batch_ns(),
+                s.ns_ratio_last_over_first(),
+                join_u64(&s.snapshot_clone_bytes),
+                s.corpus_bytes,
+                s.sealed_segments,
+                s.segment_records
+            )
+        };
         format!(
-            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {}\n}}\n",
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {},\n  \"ingest_scaling\": {}\n}}\n",
             self.cores,
             rates(&self.sketch_minhash),
             rates(&self.sketch_simhash),
@@ -525,7 +652,8 @@ impl ApssPerfSnapshot {
             multi.join(",\n    "),
             bounded,
             skew,
-            streaming
+            streaming,
+            ingest_scaling
         )
     }
 
@@ -584,16 +712,30 @@ impl ApssPerfSnapshot {
             st.probe_mean_ms,
             st.carried_hit_rate * 100.0
         ));
+        let ig = &self.ingest_scaling;
+        out.push_str(&format!(
+            "  ingest-scaling ({} x {} records on {}) first {:>9} ns   last {:>9} ns   ratio {:>5.2}x   clone {:>8} B of {:>9} B corpus ({} segments x {})\n",
+            ig.batches,
+            ig.batch_records,
+            ig.initial_records,
+            ig.first_batch_ns(),
+            ig.last_batch_ns(),
+            ig.ns_ratio_last_over_first(),
+            ig.snapshot_clone_bytes.last().copied().unwrap_or(0),
+            ig.corpus_bytes,
+            ig.sealed_segments,
+            ig.segment_records
+        ));
         out
     }
 }
 
 /// Required keys of the `BENCH_apss.json` schema, including the
-/// bounded-cache memory fields, the banded-skew sharding fields, and the
-/// streaming-ingest fields. `repro check-bench` (the CI perf-smoke gate)
-/// fails when any goes missing, so snapshot consumers can rely on them
-/// across commits.
-const REQUIRED_SNAPSHOT_KEYS: [&str; 40] = [
+/// bounded-cache memory fields, the banded-skew sharding fields, the
+/// streaming-ingest fields, and the ingest-scaling fields. `repro
+/// check-bench` (the CI perf-smoke gate) fails when any goes missing, so
+/// snapshot consumers can rely on them across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 50] = [
     "benchmark",
     "cores",
     "sketching",
@@ -634,6 +776,16 @@ const REQUIRED_SNAPSHOT_KEYS: [&str; 40] = [
     "ingest_records_per_sec",
     "carried_hit_rate",
     "probe_mean_ms",
+    "ingest_scaling",
+    "initial_records",
+    "per_batch_ns",
+    "first_batch_ns",
+    "last_batch_ns",
+    "ns_ratio_last_over_first",
+    "snapshot_clone_bytes",
+    "corpus_bytes",
+    "sealed_segments",
+    "segment_records",
 ];
 
 /// Validates a `BENCH_apss.json` document against the snapshot schema:
@@ -736,6 +888,17 @@ mod tests {
                 carried_hit_rate: 0.73,
                 probe_mean_ms: 12.5,
             },
+            ingest_scaling: IngestScalingRates {
+                batches: 3,
+                batch_records: 200,
+                initial_records: 200,
+                final_records: 800,
+                per_batch_ns: vec![50_000, 52_000, 51_000],
+                snapshot_clone_bytes: vec![4096, 4112, 4128],
+                corpus_bytes: 1_638_400,
+                sealed_segments: 1,
+                segment_records: 512,
+            },
         };
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
@@ -756,6 +919,14 @@ mod tests {
         assert!(json.contains("\"final_epoch\": 3"));
         assert!(json.contains("\"carried_hit_rate\": 0.7300"));
         assert!(json.contains("\"ingest_records_per_sec\": 15000.0"));
+        assert!(json.contains("\"ingest_scaling\": {"));
+        assert!(json.contains("\"per_batch_ns\": [50000, 52000, 51000]"));
+        assert!(json.contains("\"snapshot_clone_bytes\": [4096, 4112, 4128]"));
+        assert!(json.contains("\"first_batch_ns\": 50000"));
+        assert!(json.contains("\"last_batch_ns\": 51000"));
+        assert!(json.contains("\"ns_ratio_last_over_first\": 1.020"));
+        assert!(json.contains("\"sealed_segments\": 1"));
+        assert!(json.contains("\"segment_records\": 512"));
         assert!((snap.banded_skew.speedup() - 3.0).abs() < 1e-9);
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
@@ -779,6 +950,12 @@ mod tests {
         assert!(problems
             .iter()
             .any(|p| p.contains("ingest_records_per_sec")));
+        assert!(problems.iter().any(|p| p.contains("ingest_scaling")));
+        assert!(problems.iter().any(|p| p.contains("per_batch_ns")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("ns_ratio_last_over_first")));
+        assert!(problems.iter().any(|p| p.contains("sealed_segments")));
         // Unbalanced structure is flagged even with all keys present.
         let mut json = String::from("{");
         for key in REQUIRED_SNAPSHOT_KEYS {
@@ -858,6 +1035,40 @@ mod tests {
         assert!(rates.carried_hit_rate <= 1.0);
         assert!(rates.ingest_records_per_sec > 0.0);
         assert!(rates.probe_mean_ms > 0.0);
+    }
+
+    #[test]
+    fn ingest_scaling_measurement_reports_segment_economy() {
+        // Small sizes so the smoke measurement stays fast in tests. The
+        // structural facts are asserted; the headline timing ratio is
+        // recorded, not asserted, because smoke timings are noisy.
+        let rates = measure_ingest_scaling_sized(40, 20, 4);
+        assert_eq!(rates.batches, 4);
+        assert_eq!(rates.batch_records, 20);
+        assert_eq!(rates.initial_records, 40);
+        assert_eq!(rates.final_records, 120);
+        assert_eq!(rates.per_batch_ns.len(), 4);
+        assert!(rates.per_batch_ns.iter().all(|&ns| ns > 0));
+        assert_eq!(rates.snapshot_clone_bytes.len(), 4);
+        assert!(rates.first_batch_ns() > 0 && rates.last_batch_ns() > 0);
+        assert!(rates.ns_ratio_last_over_first() > 0.0);
+        // Segment geometry comes from the environment-resolved default,
+        // and sealing is eager: full segments only.
+        let seg = plasma_lsh::resolve_segment_records(None) as u64;
+        assert_eq!(rates.segment_records, seg);
+        assert_eq!(rates.sealed_segments, rates.final_records / seg);
+        // Every epoch's snapshot clone copies at most one segment's worth
+        // of tail words plus the sealed-segment pointer list — never the
+        // whole corpus.
+        let stride_bytes = rates.corpus_bytes / rates.final_records;
+        let arc_bytes = std::mem::size_of::<std::sync::Arc<[u64]>>() as u64;
+        let bound = seg * stride_bytes + (rates.final_records / seg.max(1) + 1) * arc_bytes;
+        for &bytes in &rates.snapshot_clone_bytes {
+            assert!(
+                bytes <= bound,
+                "snapshot clone must be O(tail + segments): {bytes} > {bound}"
+            );
+        }
     }
 
     #[test]

@@ -69,9 +69,11 @@ pub struct ApssConfig {
     /// setting.
     pub parallelism: Option<usize>,
     /// How the banded join distributes bucket pairing across workers
-    /// (hot-bucket splitting thresholds). Ignored by the exhaustive
-    /// strategy. Never changes the candidate set — only how its
-    /// generation parallelizes.
+    /// (hot-bucket splitting thresholds, or
+    /// [`ShardPolicy::adaptive`] to derive the pair budget from the
+    /// measured load at plan time). Ignored by the exhaustive strategy.
+    /// Never changes the candidate set — only how its generation
+    /// parallelizes.
     pub shard: ShardPolicy,
 }
 

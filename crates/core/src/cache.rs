@@ -13,6 +13,15 @@
 //!    canonical evaluation schedule, up to the deepest step any probe has
 //!    compared. A re-probe replays the schedule reading memoized counts
 //!    (free) and compares hashes only past the deepest covered step.
+//! 3. **Band buckets** — for the banded candidate strategy, the per-band
+//!    bucket maps and canonical pair set persist across probes *and*
+//!    growth epochs ([`plasma_lsh::candidates::BandBuckets`]): a record's
+//!    band keys never change after ingest, so a post-ingest probe hashes
+//!    only the new records against the cached buckets instead of
+//!    rebuilding `O(corpus × bands)` state. Like every cached layer this
+//!    is pure recomputable acceleration — the candidate set it yields is
+//!    bit-identical to a cold rebuild, and dropping it (capacity
+//!    pressure, strategy-shape change) only costs a cold rebuild.
 //!
 //! # Sharing and determinism
 //!
@@ -74,6 +83,7 @@ use plasma_data::hash::{FxHashMap, FxHasher};
 use plasma_data::similarity::Similarity;
 use plasma_data::vector::SparseVector;
 use plasma_lsh::bayes::{MatchProfile, PairDecision, PairEstimate};
+use plasma_lsh::candidates::BandBuckets;
 use plasma_lsh::sketch::SketchSet;
 use rayon::prelude::*;
 
@@ -266,6 +276,14 @@ pub struct CacheMemoryStats {
     pub peak_memo_bytes: usize,
     /// Immutable sketch bytes (not subject to the cap).
     pub sketch_bytes: usize,
+    /// Estimated bytes held by the epoch-persistent band-bucket cache
+    /// (0 when the strategy is exhaustive or the cache was dropped for
+    /// capacity). Counted toward [`total_bytes`] and checked against the
+    /// full [`CacheCapacity`] cap, but never against per-stripe budgets —
+    /// the bucket cache is dropped whole, not evicted entry by entry.
+    ///
+    /// [`total_bytes`]: SharedKnowledgeCache::total_bytes
+    pub bucket_cache_bytes: usize,
     /// The configured byte cap, `None` when unbounded.
     pub capacity_bytes: Option<usize>,
     /// Pair memos evicted over the cache's life.
@@ -340,6 +358,15 @@ pub struct SharedKnowledgeCache {
     evicted_bytes: AtomicU64,
     /// Lifetime cache hits (summed per-probe `cache_hits`).
     hits: AtomicU64,
+    /// Epoch-persistent band buckets for the banded candidate strategy.
+    /// The mutex serializes candidate generation across concurrent
+    /// probes; a warm probe only clones an `Arc` under it, and the cold
+    /// alternative would be every prober rebuilding the same buckets in
+    /// parallel anyway.
+    band_buckets: Mutex<Option<BandBuckets>>,
+    /// Mirror of the bucket cache's estimated bytes, so
+    /// [`total_bytes`](Self::total_bytes) stays O(1) and lock-free.
+    bucket_bytes: AtomicUsize,
 }
 
 impl SharedKnowledgeCache {
@@ -391,6 +418,8 @@ impl SharedKnowledgeCache {
             evicted_entries: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            band_buckets: Mutex::new(None),
+            bucket_bytes: AtomicUsize::new(0),
         }
     }
 
@@ -473,11 +502,18 @@ impl SharedKnowledgeCache {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Estimated bytes held by the epoch-persistent band-bucket cache
+    /// (0 when absent). O(1): reads the atomic mirror.
+    pub fn bucket_cache_bytes(&self) -> usize {
+        self.bucket_bytes.load(Ordering::Relaxed)
+    }
+
     /// Total accounted footprint: sketch bytes (of the current epoch's
-    /// snapshot) plus resident memo bytes. This is what [`CacheRegistry`]
-    /// sums when enforcing a process-wide byte cap.
+    /// snapshot) plus resident memo bytes plus the band-bucket cache.
+    /// This is what [`CacheRegistry`] sums when enforcing a process-wide
+    /// byte cap.
     pub fn total_bytes(&self) -> usize {
-        self.sketches().byte_size() + self.memo_bytes()
+        self.sketches().byte_size() + self.memo_bytes() + self.bucket_cache_bytes()
     }
 
     /// Snapshot of the cache's memory and eviction statistics. Counters
@@ -494,6 +530,7 @@ impl SharedKnowledgeCache {
             memo_bytes: self.memo_bytes(),
             peak_memo_bytes: self.peak_bytes.load(Ordering::Relaxed),
             sketch_bytes: self.sketches().byte_size(),
+            bucket_cache_bytes: self.bucket_cache_bytes(),
             capacity_bytes: self.capacity.max_bytes(),
             evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
             evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
@@ -663,6 +700,49 @@ impl SharedKnowledgeCache {
         }
     }
 
+    /// Generates this probe's candidate set, serving the banded strategy
+    /// from the epoch-persistent bucket cache when possible.
+    ///
+    /// The cached path is bit-identical to a cold
+    /// [`crate::apss::generate_candidates`] run (see [`BandBuckets`]);
+    /// only the work differs — a warm epoch is an `Arc` clone, a
+    /// post-ingest epoch hashes only the new records. The cache rebuilds
+    /// from scratch when the probe's `(bands, width)` shape differs from
+    /// the cached one, is bypassed when the caller pinned a sketch
+    /// snapshot *older* than the cache covers (possible under a
+    /// concurrent [`grow`](Self::grow)), and is dropped whole when its
+    /// estimated footprint alone would exceed the [`CacheCapacity`] cap —
+    /// it is recomputable knowledge, so dropping trades speed, never
+    /// correctness.
+    fn generate_candidates_cached(
+        &self,
+        sketches: &SketchSet,
+        cfg: &ApssConfig,
+    ) -> Arc<Vec<(u32, u32)>> {
+        if let crate::apss::CandidateStrategy::Banded { bands, width } = cfg.candidates {
+            let mut guard = self.band_buckets.lock().expect("bucket cache lock");
+            let cache = guard.get_or_insert_with(|| BandBuckets::new(bands, width));
+            if !cache.matches_shape(bands, width) {
+                *cache = BandBuckets::new(bands, width);
+            }
+            if cache.covered() <= sketches.len() {
+                let pairs = cache.extend_and_generate(sketches);
+                let bytes = cache.byte_size();
+                if self.capacity.max_bytes().is_some_and(|cap| bytes > cap) {
+                    *guard = None;
+                    self.bucket_bytes.store(0, Ordering::Relaxed);
+                } else {
+                    self.bucket_bytes.store(bytes, Ordering::Relaxed);
+                }
+                return pairs;
+            }
+            // This prober's snapshot predates the cache's watermark; the
+            // cache cannot "un-cover" records, so serve the probe cold
+            // and leave the cache for up-to-date probers.
+        }
+        Arc::new(crate::apss::generate_candidates(sketches, cfg))
+    }
+
     /// Runs a cached probe: candidates whose profile already covers every
     /// batch step the decision walk visits skip hash comparison entirely
     /// (`cache_hits`); partially covered pairs resume from their deepest
@@ -716,7 +796,7 @@ impl SharedKnowledgeCache {
             sketches.epoch()
         );
         let engine = plasma_lsh::bayes::BayesLsh::new(sketches.family(), cfg.bayes);
-        let cands = crate::apss::generate_candidates(&sketches, cfg);
+        let cands = self.generate_candidates_cached(&sketches, cfg);
         let threads = crate::apss::eval_threads(cfg, cands.len());
         let profiled = self.schedule_accepts(cfg.bayes.batch);
 

@@ -142,7 +142,10 @@ impl Session {
     /// split across workers when this session's candidate strategy is
     /// [`crate::apss::CandidateStrategy::Banded`]. Probe results are
     /// bit-identical at every policy; only how candidate generation
-    /// parallelizes changes.
+    /// parallelizes changes. Pass
+    /// [`ShardPolicy::adaptive()`](plasma_lsh::ShardPolicy::adaptive) to
+    /// derive the per-shard pair budget from the join's measured load at
+    /// plan time instead of picking numbers by hand.
     ///
     /// ```
     /// use plasma_core::apss::CandidateStrategy;

@@ -19,6 +19,14 @@
 //! epoch bump**: after growth, re-probing a previously probed threshold
 //! pays hash comparisons only for pairs touching the new records.
 //!
+//! Ingest cost is O(batch), not O(corpus): the sketch store is segmented
+//! ([`SketchSet`]'s sealed `Arc` segments plus one mutable tail), so the
+//! pre-growth snapshot clone copies only the tail and the segment pointer
+//! list ([`IngestReport::snapshot_clone_bytes`]), `extend_batch` appends
+//! without moving old words, and the banded candidate buckets persist
+//! across the bump (only new records get hashed into them at the next
+//! probe).
+//!
 //! # Equivalence guarantee
 //!
 //! A streamed history `ingest(b₁); probe(t); ingest(b₂); probe(t'); …` is
@@ -112,6 +120,11 @@ pub struct IngestReport {
     /// Pair memos resident in the cache at the moment of the bump — the
     /// knowledge that survived, since growth never evicts a memo.
     pub carried_memos: usize,
+    /// Bytes the epoch snapshot clone actually copied: the mutable tail
+    /// segment plus one `Arc` pointer per sealed segment of the segmented
+    /// sketch store — O(segments), not O(corpus). The sealed sketch words
+    /// themselves are shared, never copied (0 for an empty batch).
+    pub snapshot_clone_bytes: usize,
 }
 
 /// An interactive session over a **growing** corpus — the streaming
@@ -313,10 +326,12 @@ impl StreamingSession {
                 epoch: cache.epoch(),
                 sketch_seconds: build_secs,
                 carried_memos: cache.memory_stats().entries,
+                snapshot_clone_bytes: 0,
             };
         }
         let start = Instant::now();
         let snapshot = cache.sketches();
+        let snapshot_clone_bytes = snapshot.snapshot_clone_bytes();
         let mut grown = (*snapshot).clone();
         let sketcher = Sketcher::new(snapshot.family(), self.cfg.n_hashes, self.cfg.seed)
             .with_parallelism(self.cfg.parallelism);
@@ -331,6 +346,7 @@ impl StreamingSession {
             epoch,
             sketch_seconds: build_secs + start.elapsed().as_secs_f64(),
             carried_memos,
+            snapshot_clone_bytes,
         }
     }
 

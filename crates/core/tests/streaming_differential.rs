@@ -291,6 +291,79 @@ fn banded_streamed_history_is_policy_invariant_and_matches_cold() {
     }
 }
 
+/// The cached-bucket probe path, explicitly: banded candidates over a
+/// growing corpus are served incrementally from the epoch-persistent
+/// bucket cache (`CacheMemoryStats::bucket_cache_bytes` is live and
+/// counted in `total_bytes`), ingest reports an O(segments + tail)
+/// snapshot-clone cost, and a capacity too small for the bucket cache
+/// drops it without changing any probe output.
+#[test]
+fn bucket_cache_accounting_and_capacity_drop() {
+    use plasma_core::cache::CacheCapacity;
+    use plasma_core::Session;
+
+    let records = dataset(90, 31);
+    let bounds = [30usize, 31, 60, 90];
+    let cfg = ApssConfig {
+        candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+        ..ApssConfig::default()
+    };
+
+    let mut cached =
+        StreamingSession::from_records(records[..bounds[0]].to_vec(), Similarity::Cosine, cfg);
+    // bounded(0) cannot hold the bucket cache (or any memo): the dropped
+    // cache must change work, never answers.
+    let mut dropped =
+        StreamingSession::from_records(records[..bounds[0]].to_vec(), Similarity::Cosine, cfg)
+            .with_cache_capacity(CacheCapacity::bounded(0));
+
+    let mut prev = bounds[0];
+    for (e, &hi) in bounds.iter().enumerate() {
+        if e > 0 {
+            let report = cached.ingest(&records[prev..hi]);
+            dropped.ingest(&records[prev..hi]);
+            assert!(report.snapshot_clone_bytes > 0, "epoch {e}");
+            assert!(
+                report.snapshot_clone_bytes
+                    <= cached.sketches().expect("built").byte_size()
+                        + cached.sketches().expect("built").sealed_segments()
+                            * std::mem::size_of::<std::sync::Arc<[u64]>>(),
+                "epoch {e}: clone cost bounded by tail + segment pointers"
+            );
+            prev = hi;
+        }
+        for &t in &LADDER {
+            let warm = cached.probe(t);
+            let cold_dropped = dropped.probe(t);
+            let mut cold = Session::from_records(records[..hi].to_vec(), Similarity::Cosine, cfg);
+            let cold_report = cold.probe(t);
+            assert_eq!(warm.pairs, cold_report.pairs, "epoch {e} t={t}");
+            assert_eq!(warm.candidates, cold_report.candidates, "epoch {e}");
+            assert_eq!(warm.pairs, cold_dropped.pairs, "epoch {e} t={t} dropped");
+            assert_eq!(warm.pruned, cold_dropped.pruned, "epoch {e}");
+        }
+        let stats = cached.shared_cache().expect("built").memory_stats();
+        assert!(
+            stats.bucket_cache_bytes > 0,
+            "epoch {e}: banded probes must keep the bucket cache resident"
+        );
+        assert_eq!(
+            cached.shared_cache().expect("built").total_bytes(),
+            stats.sketch_bytes + stats.memo_bytes + stats.bucket_cache_bytes,
+            "epoch {e}: bucket bytes must be accounted in the total"
+        );
+        assert_eq!(
+            dropped
+                .shared_cache()
+                .expect("built")
+                .memory_stats()
+                .bucket_cache_bytes,
+            0,
+            "epoch {e}: a zero cap cannot hold the bucket cache"
+        );
+    }
+}
+
 /// Driver-level pin: `StreamingSession::probe` reports (the user-facing
 /// surface) agree with a cold batch `Session` at every epoch, for both
 /// forks of a two-session corpus.

@@ -39,15 +39,51 @@
 //! Cross-band duplicates are removed by the merge; within one band a
 //! record holds exactly one key, so a band's pairs are duplicate-free by
 //! construction and split shards need no per-shard dedup at all.
+//!
+//! # Epoch-persistent buckets
+//!
+//! For a *growing* corpus (streaming ingest), rebuilding every bucket on
+//! every probe is `O(corpus)` work that re-derives identical state: a
+//! record's band keys never change after ingest. [`BandBuckets`] caches
+//! the per-band bucket maps and the canonical pair set across epochs, so
+//! a post-ingest probe hashes only the new records and joins them against
+//! the cached buckets — `O(new × bands)` instead of `O(corpus × bands)` —
+//! while remaining bit-identical to a cold [`banded_sequential`] run.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use plasma_data::hash::FxHashMap;
 use rayon::prelude::*;
 
 use crate::resolve_parallelism;
 use crate::sketch::SketchSet;
+
+thread_local! {
+    /// Reused band-key table, one per thread: every banded entry point
+    /// needs a `bands × records`-shaped (or `records`-shaped) `u64`
+    /// buffer, and an interactive session calls these entry points once
+    /// per probe. Hoisting the buffer into thread-local scratch mirrors
+    /// the `sketch_into` append scratch — steady-state probes allocate no
+    /// key tables at all.
+    static KEYS_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over a zeroed `len`-word slice drawn from [`KEYS_SCRATCH`].
+///
+/// The vector is moved *out* of the thread-local for the duration of the
+/// call (and returned afterwards), so `f` may hand disjoint sub-slices to
+/// parallel workers without holding a `RefCell` borrow across threads.
+fn with_key_scratch<R>(len: usize, f: impl FnOnce(&mut [u64]) -> R) -> R {
+    let mut keys = KEYS_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    keys.clear();
+    keys.resize(len, 0);
+    let out = f(&mut keys);
+    KEYS_SCRATCH.with(|cell| *cell.borrow_mut() = keys);
+    out
+}
 
 /// Exact capacity for [`exhaustive`], `n·(n−1)/2`, computed with checked
 /// arithmetic: when the multiply would overflow `usize` (an allocation no
@@ -91,7 +127,26 @@ pub struct ShardPolicy {
     /// `bucket_split_members` threshold exceeds the budget can leave an
     /// over-budget bucket whole in its own shard. Must be at least 1.
     pub max_pairs_per_shard: usize,
+    /// When set (via [`ShardPolicy::adaptive`]), the numeric knobs above
+    /// are placeholders: the join derives the real pair budget from the
+    /// measured total pair count at plan time ([`Self::resolved_for`]),
+    /// targeting [`TARGET_SHARDS_PER_WORKER`] shards per worker.
+    adaptive: bool,
 }
+
+/// Shards the adaptive policy aims to hand each worker. More than one so
+/// an unlucky hot shard cannot straggle the whole join; not many more, so
+/// per-shard overhead (staging buffers, merge runs) stays negligible.
+const TARGET_SHARDS_PER_WORKER: u64 = 3;
+
+/// Floor for the adaptively derived pair budget: below ~1k pairs the
+/// per-shard fixed costs dominate the pairing work itself.
+const MIN_ADAPTIVE_PAIRS: u64 = 1 << 10;
+
+/// Ceiling for the adaptively derived pair budget: bounds the largest
+/// serial pairing run (and staging buffer) any worker can be handed, even
+/// on enormous corpora.
+const MAX_ADAPTIVE_PAIRS: u64 = 1 << 22;
 
 impl Default for ShardPolicy {
     /// `bucket_split_members = 256`, `max_pairs_per_shard = 32 768`. A
@@ -101,6 +156,7 @@ impl Default for ShardPolicy {
         Self {
             bucket_split_members: 256,
             max_pairs_per_shard: 32_768,
+            adaptive: false,
         }
     }
 }
@@ -121,6 +177,7 @@ impl ShardPolicy {
         Self {
             bucket_split_members,
             max_pairs_per_shard,
+            adaptive: false,
         }
     }
 
@@ -132,6 +189,46 @@ impl ShardPolicy {
         Self {
             bucket_split_members: usize::MAX,
             max_pairs_per_shard: usize::MAX,
+            adaptive: false,
+        }
+    }
+
+    /// The self-tuning policy: instead of a fixed pair budget, derive
+    /// `max_pairs_per_shard` at plan time from the join's measured total
+    /// pair count — `total_pairs / (workers × TARGET_SHARDS_PER_WORKER)`,
+    /// clamped to `[2^10, 2^22]` — so small joins don't fragment into
+    /// thousands of trivial shards and huge joins still load-balance.
+    /// Every bucket is split-eligible (`bucket_split_members = 2`).
+    ///
+    /// Like every policy, this never changes the candidate set — only how
+    /// its generation is distributed — so deriving the budget from the
+    /// (thread-count-dependent) worker count is safe.
+    pub fn adaptive() -> Self {
+        Self {
+            adaptive: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this policy derives its pair budget at plan time.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Resolves an adaptive policy against a measured `total_pairs` and a
+    /// `workers` count, returning the concrete fixed policy the shard
+    /// planner runs with. Non-adaptive policies return themselves
+    /// unchanged.
+    pub fn resolved_for(self, total_pairs: u64, workers: usize) -> ShardPolicy {
+        if !self.adaptive {
+            return self;
+        }
+        let target_shards = (workers.max(1) as u64) * TARGET_SHARDS_PER_WORKER;
+        let budget = (total_pairs / target_shards).clamp(MIN_ADAPTIVE_PAIRS, MAX_ADAPTIVE_PAIRS);
+        ShardPolicy {
+            bucket_split_members: 2,
+            max_pairs_per_shard: budget as usize,
+            adaptive: false,
         }
     }
 }
@@ -193,28 +290,29 @@ pub fn banded_sequential(sketches: &SketchSet, bands: usize, band_width: usize) 
     if n < 2 || bands == 0 {
         return out;
     }
-    let mut keys = vec![0u64; n];
-    // Capacity hint: at most n distinct keys per band; the map (and the
-    // recycled member vectors) are reused across every band.
-    let mut buckets: FxHashMap<u64, Vec<u32>> =
-        FxHashMap::with_capacity_and_hasher(n, Default::default());
-    let mut pool: Vec<Vec<u32>> = Vec::new();
-    for band in 0..bands {
-        sketches.band_keys_into(band, band_width, 0, &mut keys);
-        for (i, &key) in keys.iter().enumerate() {
-            buckets
-                .entry(key)
-                .or_insert_with(|| pool.pop().unwrap_or_default())
-                .push(i as u32);
-        }
-        for (_, mut members) in buckets.drain() {
-            if members.len() >= 2 {
-                emit_bucket(&members, &mut out);
+    with_key_scratch(n, |keys| {
+        // Capacity hint: at most n distinct keys per band; the map (and the
+        // recycled member vectors) are reused across every band.
+        let mut buckets: FxHashMap<u64, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(n, Default::default());
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        for band in 0..bands {
+            sketches.band_keys_into(band, band_width, 0, keys);
+            for (i, &key) in keys.iter().enumerate() {
+                buckets
+                    .entry(key)
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .push(i as u32);
             }
-            members.clear();
-            pool.push(members);
+            for (_, mut members) in buckets.drain() {
+                if members.len() >= 2 {
+                    emit_bucket(&members, &mut out);
+                }
+                members.clear();
+                pool.push(members);
+            }
         }
-    }
+    });
     out.sort_unstable();
     out.dedup();
     out
@@ -261,17 +359,18 @@ pub fn banded_shard_stats(
     if n < 2 || bands == 0 {
         return stats;
     }
-    let mut keys = vec![0u64; n];
     let mut counts: FxHashMap<u64, usize> =
         FxHashMap::with_capacity_and_hasher(n, Default::default());
     let mut sizes: Vec<usize> = Vec::new();
-    for band in 0..bands {
-        sketches.band_keys_into(band, band_width, 0, &mut keys);
-        for &key in keys.iter() {
-            *counts.entry(key).or_insert(0) += 1;
+    with_key_scratch(n, |keys| {
+        for band in 0..bands {
+            sketches.band_keys_into(band, band_width, 0, keys);
+            for &key in keys.iter() {
+                *counts.entry(key).or_insert(0) += 1;
+            }
+            sizes.extend(counts.drain().map(|(_, c)| c).filter(|&c| c >= 2));
         }
-        sizes.extend(counts.drain().map(|(_, c)| c).filter(|&c| c >= 2));
-    }
+    });
     stats.buckets = sizes.len() as u64;
     for &m in &sizes {
         let pairs = bucket_pair_count(m);
@@ -281,6 +380,11 @@ pub fn banded_shard_stats(
             stats.hot_bucket_pairs = pairs;
         }
     }
+    // An adaptive policy is resolved against the process-default worker
+    // count — the same count `banded` itself would use with
+    // `parallelism: None` — so stats reflect the plan a default-threaded
+    // join would run.
+    let policy = policy.resolved_for(stats.total_pairs, resolve_parallelism(None));
     let shards = plan_shards(&sizes, policy);
     stats.shards = shards.len() as u64;
     stats.largest_shard_pairs = shards
@@ -451,70 +555,74 @@ fn banded_sharded(
 ) -> Vec<(u32, u32)> {
     let n = sketches.len();
 
-    // Phase 1a: the flat band-key table, record-sharded across workers
-    // into disjoint slices.
+    // Phases 1a + 1b run inside the thread-local key scratch (the table is
+    // dead once buckets exist; it returns to the scratch slot, not the
+    // allocator, so the next probe's build is allocation-free).
     let total = bands
         .checked_mul(n)
         .expect("band-key table size overflows usize");
-    let mut keys = vec![0u64; total];
-    let key_chunk = total.div_ceil(threads);
-    keys.par_chunks_mut(key_chunk)
-        .enumerate_for_each(|chunk_idx, slice| {
-            let mut idx = chunk_idx * key_chunk;
-            let mut off = 0;
-            while off < slice.len() {
-                let (band, first) = (idx / n, idx % n);
-                let take = (n - first).min(slice.len() - off);
-                sketches.band_keys_into(band, band_width, first, &mut slice[off..off + take]);
-                idx += take;
-                off += take;
-            }
-        });
+    let buckets: Vec<Vec<u32>> = with_key_scratch(total, |keys| {
+        // Phase 1a: the flat band-key table, record-sharded across workers
+        // into disjoint slices.
+        let key_chunk = total.div_ceil(threads);
+        keys.par_chunks_mut(key_chunk)
+            .enumerate_for_each(|chunk_idx, slice| {
+                let mut idx = chunk_idx * key_chunk;
+                let mut off = 0;
+                while off < slice.len() {
+                    let (band, first) = (idx / n, idx % n);
+                    let take = (n - first).min(slice.len() - off);
+                    sketches.band_keys_into(band, band_width, first, &mut slice[off..off + take]);
+                    idx += take;
+                    off += take;
+                }
+            });
 
-    // Phase 1b: per-worker partial bucket maps over disjoint
-    // (band, key-range) cells. When bands alone undersupply the workers,
-    // each band's key space is range-partitioned so the bucket build
-    // itself spreads out. The map (and its allocation) is reused across
-    // one worker's cells; member vectors move out through `drain`.
-    let partitions = threads.div_ceil(bands.min(threads));
-    let cells: Vec<(usize, usize)> = (0..bands)
-        .flat_map(|band| (0..partitions).map(move |p| (band, p)))
-        .collect();
-    let cell_chunk = cells.len().div_ceil(threads);
-    let nested_buckets: Vec<Vec<Vec<u32>>> = cells
-        .par_chunks(cell_chunk)
-        .map(|chunk| {
-            let mut local: Vec<Vec<u32>> = Vec::new();
-            let mut map: FxHashMap<u64, Vec<u32>> =
-                FxHashMap::with_capacity_and_hasher(n / partitions + 1, Default::default());
-            for &(band, p) in chunk {
-                let band_keys = &keys[band * n..(band + 1) * n];
-                if partitions == 1 {
-                    for (i, &key) in band_keys.iter().enumerate() {
-                        map.entry(key).or_default().push(i as u32);
-                    }
-                } else {
-                    for (i, &key) in band_keys.iter().enumerate() {
-                        if key_partition(key, partitions) == p {
+        // Phase 1b: per-worker partial bucket maps over disjoint
+        // (band, key-range) cells. When bands alone undersupply the workers,
+        // each band's key space is range-partitioned so the bucket build
+        // itself spreads out. The map (and its allocation) is reused across
+        // one worker's cells; member vectors move out through `drain`.
+        let partitions = threads.div_ceil(bands.min(threads));
+        let cells: Vec<(usize, usize)> = (0..bands)
+            .flat_map(|band| (0..partitions).map(move |p| (band, p)))
+            .collect();
+        let cell_chunk = cells.len().div_ceil(threads);
+        let nested_buckets: Vec<Vec<Vec<u32>>> = cells
+            .par_chunks(cell_chunk)
+            .map(|chunk| {
+                let mut local: Vec<Vec<u32>> = Vec::new();
+                let mut map: FxHashMap<u64, Vec<u32>> =
+                    FxHashMap::with_capacity_and_hasher(n / partitions + 1, Default::default());
+                for &(band, p) in chunk {
+                    let band_keys = &keys[band * n..(band + 1) * n];
+                    if partitions == 1 {
+                        for (i, &key) in band_keys.iter().enumerate() {
                             map.entry(key).or_default().push(i as u32);
                         }
+                    } else {
+                        for (i, &key) in band_keys.iter().enumerate() {
+                            if key_partition(key, partitions) == p {
+                                map.entry(key).or_default().push(i as u32);
+                            }
+                        }
                     }
+                    local.extend(map.drain().map(|(_, m)| m).filter(|m| m.len() >= 2));
                 }
-                local.extend(map.drain().map(|(_, m)| m).filter(|m| m.len() >= 2));
-            }
-            local
-        })
-        .collect();
-    let buckets: Vec<Vec<u32>> = nested_buckets.into_iter().flatten().collect();
-    // The key table is dead once buckets exist; release it before the
-    // memory-hungry emission phase (bands × records × 8 bytes).
-    drop(keys);
+                local
+            })
+            .collect();
+        nested_buckets.into_iter().flatten().collect()
+    });
     if buckets.is_empty() {
         return Vec::new();
     }
 
-    // Phase 2: shard plan from the bucket sizes.
+    // Phase 2: shard plan from the bucket sizes; an adaptive policy
+    // derives its pair budget from the measured total here.
     let sizes: Vec<usize> = buckets.iter().map(Vec::len).collect();
+    let total_pairs: u64 = sizes.iter().map(|&m| bucket_pair_count(m)).sum();
+    let policy = policy.resolved_for(total_pairs, threads);
     let shards = plan_shards(&sizes, policy);
 
     // Phase 3: emit one sorted run per shard (worker-local staging buffer
@@ -575,6 +683,166 @@ fn kway_merge_dedup(runs: Vec<Vec<(u32, u32)>>) -> Vec<(u32, u32)> {
             heap.push(Reverse((next, r)));
         }
     }
+    out
+}
+
+/// Epoch-persistent band buckets: the incremental alternative to
+/// rebuilding every bucket map from scratch on each probe of a growing
+/// corpus.
+///
+/// A record's band key depends only on its own sketch, so bucket
+/// membership never changes once a record is ingested — an epoch that
+/// appends `k` records only *adds* those records to existing (or new)
+/// buckets. `BandBuckets` keeps one bucket map per band across epochs
+/// plus the canonical sorted-unique pair set for everything covered so
+/// far; [`extend_and_generate`](Self::extend_and_generate) hashes only
+/// the records past the covered watermark (`O(new × bands)` key work),
+/// pairs each against its bucket's prior members, and merges the fresh
+/// pairs into the cached set. The result is bit-identical to
+/// [`banded_sequential`] over the full corpus at every epoch — same
+/// pairs, same canonical order — because both compute the sorted unique
+/// union of per-bucket pair sets, and bucket contents are
+/// probe-order-independent.
+///
+/// The cache is pure acceleration state: dropping it (capacity pressure,
+/// shape change) only costs a cold rebuild, never a different answer.
+#[derive(Debug)]
+pub struct BandBuckets {
+    bands: usize,
+    band_width: usize,
+    /// Records `[0, covered)` are already hashed into `maps` and paired
+    /// into `pairs`.
+    covered: usize,
+    /// One `key → members` map per band; member lists are in ascending
+    /// record order by construction (records are appended in id order).
+    maps: Vec<FxHashMap<u64, Vec<u32>>>,
+    /// The canonical sorted-unique candidate set for `[0, covered)`,
+    /// shared with callers so a warm re-probe is one `Arc` clone.
+    pairs: Arc<Vec<(u32, u32)>>,
+    /// Estimated heap footprint (maps + member lists + pairs), refreshed
+    /// after every extension so owners can byte-account the cache.
+    bytes: usize,
+}
+
+impl BandBuckets {
+    /// An empty cache for a `(bands, band_width)` join shape.
+    pub fn new(bands: usize, band_width: usize) -> Self {
+        let mut cache = Self {
+            bands,
+            band_width,
+            covered: 0,
+            maps: (0..bands).map(|_| FxHashMap::default()).collect(),
+            pairs: Arc::new(Vec::new()),
+            bytes: 0,
+        };
+        cache.recount_bytes();
+        cache
+    }
+
+    /// The join shape this cache was built for. A probe with a different
+    /// shape must rebuild from scratch.
+    pub fn matches_shape(&self, bands: usize, band_width: usize) -> bool {
+        self.bands == bands && self.band_width == band_width
+    }
+
+    /// Records already hashed and paired. A sketch snapshot with fewer
+    /// records than this is *older* than the cache (pinned before a
+    /// concurrent grow) and cannot be served from it.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Estimated heap bytes held by the cached maps, member lists, and
+    /// pair set.
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+
+    /// Extends the cache to cover all of `sketches` and returns the full
+    /// canonical candidate set — bit-identical to
+    /// `banded_sequential(sketches, bands, band_width)`.
+    ///
+    /// Warm path (`covered == sketches.len()`): one `Arc` clone, zero
+    /// hashing. Incremental path: `O(new × bands)` band keys plus one
+    /// linear merge of the fresh pairs into the cached set.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `covered() <= sketches.len()`; callers holding an
+    /// older snapshot than the cache must take a cold path instead.
+    pub fn extend_and_generate(&mut self, sketches: &SketchSet) -> Arc<Vec<(u32, u32)>> {
+        let n = sketches.len();
+        debug_assert!(
+            self.covered <= n,
+            "bucket cache covers {} records but the snapshot has {n}",
+            self.covered
+        );
+        if self.covered == n || self.bands == 0 {
+            return Arc::clone(&self.pairs);
+        }
+        let new = n - self.covered;
+        let mut keys = vec![0u64; new];
+        let mut fresh: Vec<(u32, u32)> = Vec::new();
+        for (band, map) in self.maps.iter_mut().enumerate() {
+            sketches.band_keys_into(band, self.band_width, self.covered, &mut keys);
+            for (off, &key) in keys.iter().enumerate() {
+                let r = (self.covered + off) as u32;
+                let members = map.entry(key).or_default();
+                // Every prior member has a smaller id, so (m, r) is
+                // already in canonical i < j orientation.
+                fresh.extend(members.iter().map(|&m| (m, r)));
+                members.push(r);
+            }
+        }
+        self.covered = n;
+        if !fresh.is_empty() {
+            fresh.sort_unstable();
+            fresh.dedup();
+            self.pairs = Arc::new(merge_sorted_unique(&self.pairs, &fresh));
+        }
+        self.recount_bytes();
+        Arc::clone(&self.pairs)
+    }
+
+    /// Re-estimates the cache's heap footprint from current capacities.
+    fn recount_bytes(&mut self) {
+        let mut bytes = std::mem::size_of::<Self>();
+        for map in &self.maps {
+            bytes += map.capacity() * std::mem::size_of::<(u64, Vec<u32>)>();
+            bytes += map
+                .values()
+                .map(|m| m.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>();
+        }
+        bytes += self.pairs.capacity() * std::mem::size_of::<(u32, u32)>();
+        self.bytes = bytes;
+    }
+}
+
+/// Merges two sorted duplicate-free pair runs into one sorted
+/// duplicate-free vector (two-cursor merge; exact-sized upper bound).
+fn merge_sorted_unique(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     out
 }
 
@@ -806,6 +1074,129 @@ mod tests {
             assert_eq!(stats.records, n as u64);
             assert_eq!(stats.shards, 0);
             assert_eq!(stats.total_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn bucket_cache_matches_cold_reference_at_every_epoch() {
+        // Near-duplicate clusters ingested in three uneven installments
+        // (including a 1-record batch): after each epoch the incremental
+        // cache must return exactly the cold sequential reference.
+        let records: Vec<SparseVector> = (0..45u32)
+            .map(|i| {
+                let mut items: Vec<u32> = (i / 3 * 40..i / 3 * 40 + 45).collect();
+                items.push(3000 + i % 7);
+                SparseVector::from_set(items)
+            })
+            .collect();
+        let sketcher = Sketcher::new(LshFamily::MinHash, 64, 7);
+        let mut set = sketcher.sketch_all(&records[..10]);
+        let mut cache = BandBuckets::new(8, 8);
+        for (lo, hi) in [(0usize, 10usize), (10, 11), (11, 30), (30, 45)] {
+            if lo > 0 {
+                sketcher.extend_batch(&records[lo..hi], &mut set);
+            }
+            let cached = cache.extend_and_generate(&set);
+            assert_eq!(
+                *cached,
+                banded_sequential(&set, 8, 8),
+                "epoch covering {hi} records diverged from cold reference"
+            );
+            assert_eq!(cache.covered(), hi);
+            // Warm re-probe: same Arc, no recompute.
+            let again = cache.extend_and_generate(&set);
+            assert!(Arc::ptr_eq(&cached, &again), "warm path must share");
+        }
+        assert!(cache.byte_size() > std::mem::size_of::<BandBuckets>());
+    }
+
+    #[test]
+    fn bucket_cache_shape_guard_and_empty_corpus() {
+        let cache = BandBuckets::new(8, 8);
+        assert!(cache.matches_shape(8, 8));
+        assert!(!cache.matches_shape(8, 4));
+        assert!(!cache.matches_shape(16, 8));
+        // Zero-band cache on an empty set stays empty and panic-free.
+        let sk = Sketcher::new(LshFamily::MinHash, 64, 3).sketch_all(&[]);
+        let mut zero = BandBuckets::new(0, 8);
+        assert!(zero.extend_and_generate(&sk).is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_unique_merges_and_dedups() {
+        let a = vec![(0u32, 1u32), (0, 3), (2, 5)];
+        let b = vec![(0, 1), (1, 2), (9, 11)];
+        assert_eq!(
+            merge_sorted_unique(&a, &b),
+            vec![(0, 1), (0, 3), (1, 2), (2, 5), (9, 11)]
+        );
+        assert_eq!(merge_sorted_unique(&a, &[]), a);
+        assert_eq!(merge_sorted_unique(&[], &b), b);
+    }
+
+    #[test]
+    fn adaptive_policy_derives_budget_from_measured_pairs() {
+        use plasma_data::rng::seeded;
+        use plasma_data::zipf::Zipf;
+        use rand::Rng as _;
+
+        // A Zipf-clustered corpus: the hot cluster dominates, so the
+        // measured total pair count is the load the budget must balance.
+        let zipf = Zipf::new(20, 1.5);
+        let mut rng = seeded(42);
+        let records: Vec<SparseVector> = (0..300)
+            .map(|_| {
+                let c = zipf.sample(&mut rng) as u32;
+                let mut items: Vec<u32> = (c * 60..c * 60 + 45).collect();
+                items.push(5000 + rng.gen_range(0..4u32));
+                SparseVector::from_set(items)
+            })
+            .collect();
+        let sk = Sketcher::new(LshFamily::MinHash, 64, 11).sketch_all(&records);
+
+        // total_pairs is policy-independent; measure it once.
+        let measured = banded_shard_stats(&sk, 8, 8, ShardPolicy::never_split());
+        assert!(measured.total_pairs > 0);
+
+        // The resolved budget is pinned to the documented formula.
+        let policy = ShardPolicy::adaptive();
+        assert!(policy.is_adaptive());
+        for workers in [1usize, 4, 64] {
+            let resolved = policy.resolved_for(measured.total_pairs, workers);
+            assert!(!resolved.is_adaptive());
+            assert_eq!(resolved.bucket_split_members, 2);
+            let expect = (measured.total_pairs / (workers as u64 * TARGET_SHARDS_PER_WORKER))
+                .clamp(MIN_ADAPTIVE_PAIRS, MAX_ADAPTIVE_PAIRS);
+            assert_eq!(
+                resolved.max_pairs_per_shard as u64, expect,
+                "workers={workers}"
+            );
+            // Resolving twice is a fixed point.
+            assert_eq!(
+                resolved.resolved_for(measured.total_pairs, workers),
+                resolved
+            );
+        }
+
+        // Stats under the adaptive policy respect the budget resolved at
+        // the same (process-default) worker count…
+        let resolved = policy.resolved_for(measured.total_pairs, resolve_parallelism(None));
+        let stats = banded_shard_stats(&sk, 8, 8, policy);
+        assert_eq!(stats.total_pairs, measured.total_pairs);
+        assert!(
+            stats.largest_shard_pairs <= resolved.max_pairs_per_shard as u64,
+            "{stats:?} exceeds adaptive budget {resolved:?}"
+        );
+
+        // …and the adaptive join's output is bit-identical to the
+        // sequential reference at every thread count.
+        let reference = banded_sequential(&sk, 8, 8);
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                banded_with_policy(&sk, 8, 8, Some(threads), policy),
+                reference,
+                "adaptive policy diverged at {threads} threads"
+            );
         }
     }
 

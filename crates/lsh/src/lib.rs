@@ -73,3 +73,40 @@ pub fn resolve_parallelism(parallelism: Option<usize>) -> usize {
         None => default_parallelism(),
     }
 }
+
+/// Records per sealed segment of the segmented sketch store when nothing
+/// overrides it: large enough that segment bookkeeping is noise, small
+/// enough that a streaming ingest's snapshot clone (tail + segment
+/// pointers) stays far below the corpus size.
+const DEFAULT_SEGMENT_RECORDS: usize = 512;
+
+/// The process-wide default records-per-segment for
+/// [`sketch::SketchSet`]'s segmented store: the `PLASMA_SEGMENT_RECORDS`
+/// environment variable when set to a positive integer (cached on first
+/// use), otherwise [`DEFAULT_SEGMENT_RECORDS`]. This is how CI runs the
+/// whole tier-1 suite over many-segment layouts without touching any
+/// call site, mirroring `PLASMA_PARALLELISM`.
+fn default_segment_records() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PLASMA_SEGMENT_RECORDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|k| k.max(1))
+            .unwrap_or(DEFAULT_SEGMENT_RECORDS)
+    })
+}
+
+/// Resolves the records-per-segment knob of the segmented sketch store,
+/// rounded up to a power of two so record→segment indexing is a shift and
+/// a mask: `None` = the process default (512, unless pinned by
+/// `PLASMA_SEGMENT_RECORDS`), `Some(k)` = `max(k, 1)` rounded up. Segment
+/// geometry never changes sketch bytes or probe outputs — only how the
+/// storage is chunked.
+pub fn resolve_segment_records(segment_records: Option<usize>) -> usize {
+    match segment_records {
+        Some(k) => k.max(1),
+        None => default_segment_records(),
+    }
+    .next_power_of_two()
+}

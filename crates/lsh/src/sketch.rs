@@ -2,9 +2,27 @@
 //!
 //! Every record gets a fixed-length sketch: `n` 64-bit min-hashes
 //! (MinHash family) or `n` sign bits packed into words (SimHash family).
-//! Sketches for a whole dataset live in one flat buffer so pair evaluation
-//! streams contiguous memory — the concatenated-sketch layout §2.4 credits
-//! for BayesLSH's cache friendliness.
+//! Sketches for a whole dataset live in a **segmented store**: a list of
+//! sealed, exactly-full, `Arc`-shared segments plus one mutable tail
+//! segment, each holding a power-of-two run of records in flat
+//! record-major order. Every record's words stay contiguous inside its
+//! segment, so pair evaluation still streams contiguous memory — the
+//! concatenated-sketch layout §2.4 credits for BayesLSH's cache
+//! friendliness — while a snapshot clone copies only the tail and one
+//! pointer per sealed segment (O(segments + tail), not O(corpus)).
+//!
+//! # Segment lifecycle
+//!
+//! Records append into the tail; the moment the tail reaches the segment
+//! capacity ([`crate::resolve_segment_records`], default 512, overridable
+//! with `PLASMA_SEGMENT_RECORDS`) it is sealed into an immutable
+//! `Arc<[u64]>` and a fresh tail starts. Sealed segments never change
+//! again, so clones share them by reference — which is what makes
+//! streaming ingest's epoch snapshot cheap and lets
+//! [`SketchSet::is_prefix_of`] verify lineage by pointer comparison
+//! before falling back to bytes. Segment geometry is pure storage
+//! layout: sketch bytes, band keys, and probe outputs are bit-identical
+//! at every capacity.
 //!
 //! # Kernel shape
 //!
@@ -41,12 +59,14 @@
 //! corpus" (cold cache). A zero-record batch is a no-op and does *not*
 //! bump the epoch.
 
+use std::sync::Arc;
+
 use plasma_data::hash::{keyed_hash_spread, spread_item};
 use plasma_data::vector::SparseVector;
 use rayon::prelude::*;
 
 use crate::family::LshFamily;
-use crate::resolve_parallelism;
+use crate::{resolve_parallelism, resolve_segment_records};
 
 /// Per-lane key schedule constants (one odd multiplier per family, so the
 /// two families draw independent hash function sequences from one seed).
@@ -67,6 +87,9 @@ pub struct Sketcher {
     lane_keys: Vec<u64>,
     /// Thread count for whole-dataset sketching; `None` = all cores.
     parallelism: Option<usize>,
+    /// Records per sealed segment of the sets this sketcher creates;
+    /// `None` = the process default (see [`resolve_segment_records`]).
+    segment_records: Option<usize>,
 }
 
 impl Sketcher {
@@ -79,6 +102,7 @@ impl Sketcher {
             seed,
             lane_keys: lane_keys(family, seed, 0, n_hashes),
             parallelism: None,
+            segment_records: None,
         }
     }
 
@@ -89,6 +113,22 @@ impl Sketcher {
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Pins the records-per-segment of the sets this sketcher *creates*
+    /// (rounded up to a power of two; appends to an existing set keep
+    /// that set's geometry). The default — 512, or the
+    /// `PLASMA_SEGMENT_RECORDS` override — suits production; tests pin
+    /// small capacities to exercise many-segment layouts. Sketch bytes
+    /// and probe outputs are identical at every capacity.
+    pub fn with_segment_records(mut self, segment_records: usize) -> Self {
+        self.segment_records = Some(segment_records);
+        self
+    }
+
+    /// `log2` of the resolved records-per-segment for new sets.
+    fn seg_shift(&self) -> u32 {
+        resolve_segment_records(self.segment_records).trailing_zeros()
     }
 
     /// Number of hashes per sketch.
@@ -105,26 +145,41 @@ impl Sketcher {
     /// `O(records · nnz · n_hashes / threads)` with one streaming pass
     /// over each record's dimensions.
     pub fn sketch_all(&self, records: &[SparseVector]) -> SketchSet {
-        let n = records.len();
-        let mut set = SketchSet::zeroed(self.family, self.n_hashes, self.seed, n);
-        if n == 0 {
+        let mut set =
+            SketchSet::with_segments(self.family, self.n_hashes, self.seed, self.seg_shift());
+        if records.is_empty() {
             return set;
         }
-        let stride = set.stride;
-        let threads = self.threads_for(n).min(n);
+        let buf = self.sketch_batch_words(records);
+        set.append_words(&buf, records.len());
+        set
+    }
+
+    /// Sketches a batch into one flat record-major buffer, sharding
+    /// across threads into disjoint slices — the kernel half shared by
+    /// [`sketch_all`](Self::sketch_all) and
+    /// [`extend_batch`](Self::extend_batch). Keeping the parallel write
+    /// target flat (and copying into the segmented store afterwards, an
+    /// O(batch) move) means thread sharding never interacts with segment
+    /// boundaries, so outputs stay bit-identical at every
+    /// (threads × segment capacity) combination.
+    fn sketch_batch_words(&self, records: &[SparseVector]) -> Vec<u64> {
+        let k = records.len();
+        let stride = SketchSet::stride_for(self.family, self.n_hashes);
+        let mut buf = vec![0u64; k * stride];
+        let threads = self.threads_for(k).min(k);
         if threads <= 1 {
-            self.sketch_shard(records, &mut set.data);
+            self.sketch_shard(records, &mut buf);
         } else {
-            let shard_records = n.div_ceil(threads);
-            set.data
-                .par_chunks_mut(shard_records * stride)
+            let shard_records = k.div_ceil(threads);
+            buf.par_chunks_mut(shard_records * stride)
                 .enumerate_for_each(|shard, slice| {
                     let lo = shard * shard_records;
-                    let hi = (lo + shard_records).min(n);
+                    let hi = (lo + shard_records).min(k);
                     self.sketch_shard(&records[lo..hi], slice);
                 });
         }
-        set
+        buf
     }
 
     /// Appends one record's sketch to `set`. The per-dim hash scratch
@@ -138,12 +193,20 @@ impl Sketcher {
         debug_assert_eq!(set.family, self.family);
         debug_assert_eq!(set.n_hashes, self.n_hashes);
         debug_assert_eq!(set.seed, self.seed, "hash seed mismatch in sketch_into");
-        let start = set.data.len();
-        set.data.resize(start + set.stride, 0);
         APPEND_SCRATCH.with(|scratch| {
-            self.sketch_record(record, &mut set.data[start..], &mut scratch.borrow_mut());
+            let s = &mut *scratch.borrow_mut();
+            s.words.clear();
+            s.words.resize(set.stride, 0);
+            match self.family {
+                LshFamily::MinHash => {
+                    minhash_lanes(record, &self.lane_keys, &mut s.words, &mut s.spreads);
+                }
+                LshFamily::SimHash => {
+                    simhash_lanes(record, &self.lane_keys, 0, &mut s.words, &mut s.dots);
+                }
+            }
+            set.append_words(&s.words, 1);
         });
-        set.records += 1;
     }
 
     /// Appends a batch of records to an existing set — the amortized
@@ -199,23 +262,12 @@ impl Sketcher {
         if k == 0 {
             return;
         }
-        let stride = set.stride;
-        let start = set.data.len();
-        set.data.resize(start + k * stride, 0);
-        let tail = &mut set.data[start..];
-        let threads = self.threads_for(k).min(k);
-        if threads <= 1 {
-            self.sketch_shard(new_records, tail);
-        } else {
-            let shard_records = k.div_ceil(threads);
-            tail.par_chunks_mut(shard_records * stride)
-                .enumerate_for_each(|shard, slice| {
-                    let lo = shard * shard_records;
-                    let hi = (lo + shard_records).min(k);
-                    self.sketch_shard(&new_records[lo..hi], slice);
-                });
-        }
-        set.records += k;
+        // Sketch the batch into a flat scratch buffer (parallel, disjoint
+        // slices), then move it into the segmented store: O(batch) total,
+        // independent of how many records the set already holds. Existing
+        // sealed segments and tail bytes are untouched.
+        let buf = self.sketch_batch_words(new_records);
+        set.append_words(&buf, k);
         set.epoch += 1;
     }
 
@@ -266,13 +318,14 @@ impl Sketcher {
         let n = records.len();
         let old_n = existing.n_hashes;
         let tail_keys = lane_keys(self.family, self.seed, old_n, new_n);
-        let mut out = SketchSet::zeroed(self.family, new_n, self.seed, n);
+        let mut out = SketchSet::with_segments(self.family, new_n, self.seed, self.seg_shift());
         // Same corpus, higher resolution: the growth lineage carries over.
         out.epoch = existing.epoch;
         if n == 0 {
             return out;
         }
         let new_stride = out.stride;
+        let mut buf = vec![0u64; n * new_stride];
         let threads = self.threads_for(n).min(n);
         let extend_shard = |lo: usize, records: &[SparseVector], slice: &mut [u64]| {
             let mut scratch = Scratch::default();
@@ -297,17 +350,17 @@ impl Sketcher {
             }
         };
         if threads <= 1 {
-            extend_shard(0, records, &mut out.data);
+            extend_shard(0, records, &mut buf);
         } else {
             let shard_records = n.div_ceil(threads);
-            out.data
-                .par_chunks_mut(shard_records * new_stride)
+            buf.par_chunks_mut(shard_records * new_stride)
                 .enumerate_for_each(|shard, slice| {
                     let lo = shard * shard_records;
                     let hi = (lo + shard_records).min(n);
                     extend_shard(lo, &records[lo..hi], slice);
                 });
         }
+        out.append_words(&buf, n);
         out
     }
 
@@ -332,22 +385,25 @@ fn lane_keys(family: LshFamily, seed: u64, from: usize, to: usize) -> Vec<u64> {
 }
 
 /// Reusable per-shard scratch buffers (dim spreads for MinHash, lane dot
-/// products for SimHash).
+/// products for SimHash, plus a one-record word staging buffer for the
+/// append path).
 #[derive(Default)]
 struct Scratch {
     spreads: Vec<u64>,
     dots: Vec<f64>,
+    words: Vec<u64>,
 }
 
 thread_local! {
     /// The append path's scratch, hoisted across [`Sketcher::sketch_into`]
-    /// calls: a record-at-a-time ingest loop reuses one spread/dot buffer
-    /// per thread instead of reallocating per record, mirroring the
+    /// calls: a record-at-a-time ingest loop reuses one spread/dot/word
+    /// buffer per thread instead of reallocating per record, mirroring the
     /// per-shard hoist of the bulk kernels.
     static APPEND_SCRATCH: std::cell::RefCell<Scratch> = const {
         std::cell::RefCell::new(Scratch {
             spreads: Vec::new(),
             dots: Vec::new(),
+            words: Vec::new(),
         })
     };
 }
@@ -435,7 +491,14 @@ fn gaussian_from_hash(h: u64) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// Flat storage of all sketches for a dataset.
+/// Segmented storage of all sketches for a dataset.
+///
+/// Sketch words live in sealed, exactly-full, immutable `Arc<[u64]>`
+/// segments plus one mutable tail, each a flat record-major run of
+/// `segment_records` sketches (see the module docs for the lifecycle).
+/// Cloning a set shares every sealed segment by reference and copies only
+/// the tail — the O(segments + tail) epoch snapshot streaming ingest
+/// relies on.
 ///
 /// A set carries a monotone **epoch** counter versioning streamed growth:
 /// freshly built sets start at epoch 0, and every non-empty
@@ -454,7 +517,15 @@ pub struct SketchSet {
     stride: usize,
     records: usize,
     epoch: u64,
-    data: Vec<u64>,
+    /// `log2` of records per segment; power-of-two capacity makes
+    /// record→segment indexing a shift and a mask.
+    seg_shift: u32,
+    /// Sealed segments, each exactly `1 << seg_shift` records of
+    /// `stride` words. Immutable once sealed; shared across clones.
+    sealed: Vec<Arc<[u64]>>,
+    /// The mutable tail segment: `records % (1 << seg_shift)` records.
+    /// Sealing is eager, so the tail is always strictly under capacity.
+    tail: Vec<u64>,
 }
 
 impl SketchSet {
@@ -465,9 +536,8 @@ impl SketchSet {
         }
     }
 
-    /// An empty set with room reserved for `records` sketches (append via
-    /// [`Sketcher::sketch_into`]).
-    fn with_capacity(family: LshFamily, n_hashes: usize, seed: u64, records: usize) -> Self {
+    /// An empty appendable set with `1 << seg_shift` records per segment.
+    fn with_segments(family: LshFamily, n_hashes: usize, seed: u64, seg_shift: u32) -> Self {
         let stride = Self::stride_for(family, n_hashes);
         Self {
             family,
@@ -476,29 +546,65 @@ impl SketchSet {
             stride,
             records: 0,
             epoch: 0,
-            data: Vec::with_capacity(records * stride),
-        }
-    }
-
-    /// A fully-sized zeroed set for `records` sketches, ready for
-    /// disjoint-slice parallel writes.
-    fn zeroed(family: LshFamily, n_hashes: usize, seed: u64, records: usize) -> Self {
-        let stride = Self::stride_for(family, n_hashes);
-        Self {
-            family,
-            n_hashes,
-            seed,
-            stride,
-            records,
-            epoch: 0,
-            data: vec![0u64; records * stride],
+            seg_shift,
+            sealed: Vec::new(),
+            tail: Vec::new(),
         }
     }
 
     /// An empty appendable set (used by streaming callers). `seed` is the
-    /// hash seed of the [`Sketcher`] that will fill it.
+    /// hash seed of the [`Sketcher`] that will fill it. Segment capacity
+    /// is the process default ([`resolve_segment_records`]).
     pub fn empty(family: LshFamily, n_hashes: usize, seed: u64) -> Self {
-        Self::with_capacity(family, n_hashes, seed, 0)
+        Self::with_segments(
+            family,
+            n_hashes,
+            seed,
+            resolve_segment_records(None).trailing_zeros(),
+        )
+    }
+
+    /// An empty appendable set with an explicit records-per-segment
+    /// (rounded up to a power of two) — the test hook for exercising
+    /// many-segment layouts without the `PLASMA_SEGMENT_RECORDS`
+    /// override. Layout only; sketch bytes are identical at any capacity.
+    pub fn empty_with_segment_records(
+        family: LshFamily,
+        n_hashes: usize,
+        seed: u64,
+        segment_records: usize,
+    ) -> Self {
+        Self::with_segments(
+            family,
+            n_hashes,
+            seed,
+            resolve_segment_records(Some(segment_records)).trailing_zeros(),
+        )
+    }
+
+    /// Words per segment (`segment_records · stride`).
+    #[inline]
+    fn seg_words(&self) -> usize {
+        (1usize << self.seg_shift) * self.stride
+    }
+
+    /// Moves a flat record-major batch of `k` sketches into the store:
+    /// fill the tail, seal it the moment it reaches capacity, repeat.
+    /// O(batch) — existing sealed segments are never touched, and sealing
+    /// cost amortizes to O(1) per word appended.
+    fn append_words(&mut self, mut src: &[u64], k: usize) {
+        debug_assert_eq!(src.len(), k * self.stride);
+        let seg_words = self.seg_words();
+        while !src.is_empty() {
+            let take = (seg_words - self.tail.len()).min(src.len());
+            self.tail.extend_from_slice(&src[..take]);
+            src = &src[take..];
+            if self.tail.len() == seg_words {
+                let full = std::mem::replace(&mut self.tail, Vec::with_capacity(seg_words));
+                self.sealed.push(Arc::from(full));
+            }
+        }
+        self.records += k;
     }
 
     /// Number of sketched records.
@@ -534,12 +640,67 @@ impl SketchSet {
     /// a knowledge cache checks before carrying pair memos across an
     /// epoch bump — old-pair memos are valid against the grown set
     /// exactly because the old sketches are unchanged.
+    ///
+    /// When both sets share segment geometry — the streaming-ingest case,
+    /// where the grown set is a clone of the old snapshot — sealed
+    /// segments are compared by `Arc` pointer first, so the lineage check
+    /// is O(segments + tail) instead of O(corpus). Byte comparison is the
+    /// fallback for independently built (or differently segmented) sets.
     pub fn is_prefix_of(&self, other: &SketchSet) -> bool {
-        self.family == other.family
+        if !(self.family == other.family
             && self.n_hashes == other.n_hashes
             && self.seed == other.seed
-            && self.records <= other.records
-            && other.data[..self.data.len()] == self.data[..]
+            && self.records <= other.records)
+        {
+            return false;
+        }
+        if self.seg_shift == other.seg_shift {
+            // `records <= other.records` ⇒ every sealed segment of self
+            // has a counterpart at the same index in other.
+            for (a, b) in self.sealed.iter().zip(&other.sealed) {
+                if !(Arc::ptr_eq(a, b) || a[..] == b[..]) {
+                    return false;
+                }
+            }
+            return other.words_match(self.sealed.len() * self.seg_words(), &self.tail);
+        }
+        // Different segment geometries: walk this set's flat word order
+        // against the other's layout, chunk by chunk.
+        let mut start = 0;
+        for seg in &self.sealed {
+            if !other.words_match(start, seg) {
+                return false;
+            }
+            start += seg.len();
+        }
+        other.words_match(start, &self.tail)
+    }
+
+    /// True when `expect` equals this set's words at flat positions
+    /// `[start, start + expect.len())` (record-major order), walking
+    /// across segment boundaries.
+    fn words_match(&self, mut start: usize, mut expect: &[u64]) -> bool {
+        let seg_words = self.seg_words();
+        while !expect.is_empty() {
+            let (seg, off) = (start / seg_words, start % seg_words);
+            let words: &[u64] = if seg < self.sealed.len() {
+                &self.sealed[seg]
+            } else if seg == self.sealed.len() {
+                &self.tail
+            } else {
+                return false;
+            };
+            if off >= words.len() {
+                return false;
+            }
+            let take = (words.len() - off).min(expect.len());
+            if words[off..off + take] != expect[..take] {
+                return false;
+            }
+            start += take;
+            expect = &expect[take..];
+        }
+        true
     }
 
     /// The hash family.
@@ -547,9 +708,38 @@ impl SketchSet {
         self.family
     }
 
-    /// Raw sketch words of record `i`.
+    /// Records per sealed segment (a power of two).
+    pub fn segment_records(&self) -> usize {
+        1 << self.seg_shift
+    }
+
+    /// Number of sealed (immutable, `Arc`-shared) segments.
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Bytes a snapshot clone actually copies: the mutable tail plus one
+    /// `Arc` pointer per sealed segment. Bounded by the segment size —
+    /// O(segments + tail), not O(corpus) — which is what makes streaming
+    /// ingest's per-epoch snapshot cheap (`repro bench` records this as
+    /// `ingest_scaling.snapshot_clone_bytes`).
+    pub fn snapshot_clone_bytes(&self) -> usize {
+        self.tail.len() * std::mem::size_of::<u64>()
+            + self.sealed.len() * std::mem::size_of::<Arc<[u64]>>()
+    }
+
+    /// Raw sketch words of record `i` — contiguous within its segment,
+    /// located with a shift and a mask.
+    #[inline]
     pub fn sketch(&self, i: usize) -> &[u64] {
-        &self.data[i * self.stride..(i + 1) * self.stride]
+        let seg = i >> self.seg_shift;
+        let off = (i & (self.segment_records() - 1)) * self.stride;
+        let words: &[u64] = if seg < self.sealed.len() {
+            &self.sealed[seg]
+        } else {
+            &self.tail
+        };
+        &words[off..off + self.stride]
     }
 
     /// Counts matching hashes between records `i` and `j` among the first
@@ -626,10 +816,11 @@ impl SketchSet {
         }
     }
 
-    /// Bytes consumed by the sketch buffer (reported by Fig. 2.9-style
-    /// accounting).
+    /// Bytes consumed by the sketch words across all segments (reported
+    /// by Fig. 2.9-style accounting) — `records · stride · 8`, exactly
+    /// what the flat store reported.
     pub fn byte_size(&self) -> usize {
-        self.data.len() * std::mem::size_of::<u64>()
+        (self.sealed.len() * self.seg_words() + self.tail.len()) * std::mem::size_of::<u64>()
     }
 
     /// Min-hash value of record `i` at hash position `h` (MinHash only);
@@ -654,14 +845,18 @@ impl SketchSet {
     /// mixed into one u64 band key (both families).
     pub fn band_key(&self, i: usize, band: usize, band_width: usize) -> u64 {
         let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        // Resolve the record's segment once; the per-lane reads then
+        // index a plain slice (this is the hot loop of the banded join's
+        // key build).
+        let sk = self.sketch(i);
         match self.family {
             LshFamily::MinHash => {
-                for h in band * band_width..((band + 1) * band_width).min(self.n_hashes) {
-                    acc = (acc ^ self.sketch(i)[h]).wrapping_mul(0x1000_0000_01b3);
+                let hi = ((band + 1) * band_width).min(self.n_hashes);
+                for &w in &sk[band * band_width..hi] {
+                    acc = (acc ^ w).wrapping_mul(0x1000_0000_01b3);
                 }
             }
             LshFamily::SimHash => {
-                let sk = self.sketch(i);
                 for h in band * band_width..((band + 1) * band_width).min(self.n_hashes) {
                     let bit = (sk[h / 64] >> (h % 64)) & 1;
                     acc = (acc ^ bit).wrapping_mul(0x1000_0000_01b3);
@@ -1033,5 +1228,76 @@ mod tests {
         let v2 = SparseVector::from_dense(&[1.0]);
         let sk2 = Sketcher::new(LshFamily::SimHash, 128, 1).sketch_all(&[v2]);
         assert_eq!(sk2.byte_size(), 2 * 8);
+    }
+
+    #[test]
+    fn segmented_store_is_bit_identical_to_near_flat_reference() {
+        // A 4-record segment capacity (many segments) versus a capacity
+        // larger than the corpus (everything in one tail — the flat
+        // layout): every sketch byte-equal, including the exactly-full
+        // boundary (16 = 4 segments, empty tail) and a 1-record tail.
+        let mut rng = seeded(202);
+        let records: Vec<SparseVector> = (0..17).map(|_| random_set(&mut rng, 600, 40)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            for n in [16usize, 17] {
+                let segmented = Sketcher::new(fam, 96, 7)
+                    .with_segment_records(4)
+                    .sketch_all(&records[..n]);
+                let flat = Sketcher::new(fam, 96, 7)
+                    .with_segment_records(1 << 20)
+                    .sketch_all(&records[..n]);
+                assert_eq!(segmented.segment_records(), 4);
+                assert_eq!(segmented.sealed_segments(), n / 4);
+                assert_eq!(flat.sealed_segments(), 0);
+                for i in 0..n {
+                    assert_eq!(segmented.sketch(i), flat.sketch(i), "{fam:?} record {i}");
+                }
+                assert_eq!(segmented.byte_size(), flat.byte_size());
+                // Lineage checks hold across segment geometries.
+                assert!(segmented.is_prefix_of(&flat) && flat.is_prefix_of(&segmented));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_clone_shares_sealed_segments() {
+        let mut rng = seeded(303);
+        let records: Vec<SparseVector> = (0..21).map(|_| random_set(&mut rng, 500, 30)).collect();
+        let sketcher = Sketcher::new(LshFamily::MinHash, 64, 3).with_segment_records(8);
+        let set = sketcher.sketch_all(&records);
+        assert_eq!(set.sealed_segments(), 2);
+        // The clone copies only the tail (5 records) plus two pointers…
+        let clone = set.clone();
+        let expect = 5 * 64 * 8 + 2 * std::mem::size_of::<std::sync::Arc<[u64]>>();
+        assert_eq!(set.snapshot_clone_bytes(), expect);
+        assert!(set.snapshot_clone_bytes() < set.byte_size());
+        // …and the shared segments let the lineage check run by pointer.
+        assert!(set.is_prefix_of(&clone) && clone.is_prefix_of(&set));
+        // Growing the clone seals new segments without touching the
+        // original's — still a valid prefix, still pointer-shared.
+        let mut grown = clone;
+        sketcher.extend_batch(&records[..10], &mut grown);
+        assert_eq!(grown.len(), 31);
+        assert!(set.is_prefix_of(&grown));
+        assert!(!grown.is_prefix_of(&set));
+    }
+
+    #[test]
+    fn diverged_tail_fails_prefix_check_across_geometries() {
+        let a = SparseVector::from_set(vec![1, 2, 3]);
+        let b = SparseVector::from_set(vec![9, 10, 11]);
+        for (small_cap, big_cap) in [(2usize, 64usize), (64, 2)] {
+            let small = Sketcher::new(LshFamily::MinHash, 32, 4)
+                .with_segment_records(small_cap)
+                .sketch_all(&[a.clone(), b.clone(), a.clone()]);
+            let other = Sketcher::new(LshFamily::MinHash, 32, 4)
+                .with_segment_records(big_cap)
+                .sketch_all(&[a.clone(), b.clone(), b.clone(), a.clone()]);
+            assert!(
+                !small.is_prefix_of(&other),
+                "caps ({small_cap}, {big_cap}): record 2 diverged"
+            );
+            assert!(!other.is_prefix_of(&small), "shrinking is not growth");
+        }
     }
 }

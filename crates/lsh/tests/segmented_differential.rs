@@ -1,0 +1,190 @@
+//! Differential suite for the segmented sketch store: every (segment
+//! capacity × batch-split schedule × parallelism) configuration must
+//! hold exactly the same sketch words, band keys, and banded candidates
+//! as the flat-store reference (a capacity so large nothing ever seals).
+//! Segment geometry is storage layout, never semantics — if a segmented
+//! accessor ever reads the wrong word at a segment boundary, one of
+//! these properties fails.
+
+use proptest::prelude::*;
+use rand::Rng;
+
+use plasma_data::rng::seeded;
+use plasma_data::vector::SparseVector;
+use plasma_lsh::candidates::banded_sequential;
+use plasma_lsh::family::LshFamily;
+use plasma_lsh::sketch::{SketchSet, Sketcher};
+
+/// A segment capacity big enough that no test corpus ever seals a
+/// segment: the single mutable tail *is* the old flat store.
+const FLAT: usize = 1 << 20;
+
+fn random_records(n: usize, seed: u64) -> Vec<SparseVector> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..40usize);
+            SparseVector::from_set((0..len).map(|_| rng.gen_range(0..150u32)).collect())
+        })
+        .collect()
+}
+
+/// Asserts two stores are observationally identical: per-record sketch
+/// words, band keys at several join shapes, banded candidates, and
+/// logical byte size. Layout (segment count) is allowed to differ —
+/// nothing else is.
+fn assert_stores_identical(seg: &SketchSet, flat: &SketchSet, label: &str) {
+    assert_eq!(seg.len(), flat.len(), "{label}: record count");
+    for i in 0..seg.len() {
+        assert_eq!(seg.sketch(i), flat.sketch(i), "{label}: record {i}");
+    }
+    let mut a = vec![0u64; seg.len()];
+    let mut b = vec![0u64; seg.len()];
+    for (bands, width) in [(8usize, 8usize), (16, 4), (3, 5)] {
+        for band in 0..bands {
+            seg.band_keys_into(band, width, 0, &mut a);
+            flat.band_keys_into(band, width, 0, &mut b);
+            assert_eq!(a, b, "{label}: band {band} of {bands}×{width}");
+        }
+        assert_eq!(
+            banded_sequential(seg, bands, width),
+            banded_sequential(flat, bands, width),
+            "{label}: candidates at {bands}×{width}"
+        );
+    }
+    assert_eq!(seg.byte_size(), flat.byte_size(), "{label}: byte size");
+}
+
+/// Builds a sketch set over `records` in installments: `sketch_all` for
+/// the first batch, `extend_batch` for each later one. `boundaries` are
+/// ascending cut points in `(0, n)`.
+fn build_in_batches(
+    sketcher: &Sketcher,
+    records: &[SparseVector],
+    boundaries: &[usize],
+) -> SketchSet {
+    let first = boundaries.first().copied().unwrap_or(records.len());
+    let mut set = sketcher.sketch_all(&records[..first]);
+    let mut lo = first;
+    for &hi in &boundaries[1.min(boundaries.len())..] {
+        sketcher.extend_batch(&records[lo..hi], &mut set);
+        lo = hi;
+    }
+    if lo < records.len() {
+        sketcher.extend_batch(&records[lo..], &mut set);
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full grid: random corpora built under every combination of
+    /// small segment capacity, random batch-split schedule, and worker
+    /// count must match a one-shot flat-store build exactly.
+    #[test]
+    fn segmented_batched_builds_match_flat_reference(
+        seed in 0u64..1000,
+        n in 1usize..70,
+        seg_records in 1usize..16,
+        parallelism in 1usize..5,
+        cuts in proptest::collection::vec(1usize..70, 0..5),
+    ) {
+        // Normalize the random cut list into ascending in-range
+        // boundaries (duplicates make empty batches — a legal no-op).
+        let mut boundaries: Vec<usize> = cuts.into_iter().filter(|&c| c < n).collect();
+        boundaries.sort_unstable();
+        let records = random_records(n, seed);
+        for family in [LshFamily::MinHash, LshFamily::SimHash] {
+            let flat = Sketcher::new(family, 64, 11)
+                .with_segment_records(FLAT)
+                .sketch_all(&records);
+            let sketcher = Sketcher::new(family, 64, 11)
+                .with_segment_records(seg_records)
+                .with_parallelism(Some(parallelism));
+            let seg = build_in_batches(&sketcher, &records, &boundaries);
+            let label = format!(
+                "{family:?} n={n} seg={seg_records} par={parallelism} cuts={boundaries:?}"
+            );
+            assert_stores_identical(&seg, &flat, &label);
+            // Lineage works across differing geometries in both
+            // directions: each store is a prefix of the other.
+            prop_assert!(seg.is_prefix_of(&flat), "{}", label);
+            prop_assert!(flat.is_prefix_of(&seg), "{}", label);
+        }
+    }
+}
+
+/// The two boundary shapes that segment arithmetic can get wrong: a
+/// corpus that fills its last segment *exactly* (empty tail), and one
+/// record past that (1-record tail). Both must match the flat store and
+/// report the expected sealed-segment count.
+#[test]
+fn exactly_full_and_one_record_tail_edges() {
+    for seg_records in [1usize, 2, 4, 8] {
+        for n in [
+            seg_records,
+            3 * seg_records,
+            seg_records + 1,
+            3 * seg_records + 1,
+        ] {
+            let records = random_records(n, 7 + n as u64);
+            let flat = Sketcher::new(LshFamily::MinHash, 64, 5)
+                .with_segment_records(FLAT)
+                .sketch_all(&records);
+            let sketcher =
+                Sketcher::new(LshFamily::MinHash, 64, 5).with_segment_records(seg_records);
+            let seg = sketcher.sketch_all(&records);
+            assert_eq!(
+                seg.sealed_segments(),
+                n / seg_records,
+                "n={n} seg={seg_records}: eager sealing invariant"
+            );
+            assert_stores_identical(&seg, &flat, &format!("edge n={n} seg={seg_records}"));
+
+            // Growing off either edge stays identical to the flat build
+            // of the grown corpus.
+            let more = random_records(seg_records + 1, 1000 + n as u64);
+            let mut grown = seg.clone();
+            sketcher.extend_batch(&more, &mut grown);
+            let mut all = records.clone();
+            all.extend(more);
+            let flat_grown = Sketcher::new(LshFamily::MinHash, 64, 5)
+                .with_segment_records(FLAT)
+                .sketch_all(&all);
+            assert_stores_identical(
+                &grown,
+                &flat_grown,
+                &format!("grown n={n} seg={seg_records}"),
+            );
+            assert!(seg.is_prefix_of(&grown), "n={n} seg={seg_records}: lineage");
+        }
+    }
+}
+
+/// Snapshot-clone cost is O(segments + tail), not O(corpus): with a
+/// fixed segment capacity, a 10× larger corpus costs ~10× more *pointer*
+/// bytes but the same tail bound — far below the corpus bytes a flat
+/// store would copy.
+#[test]
+fn snapshot_clone_bytes_track_segments_not_corpus() {
+    let seg_records = 8usize;
+    let sketcher = Sketcher::new(LshFamily::MinHash, 64, 3).with_segment_records(seg_records);
+    let small = sketcher.sketch_all(&random_records(40, 1));
+    let large = sketcher.sketch_all(&random_records(400, 2));
+    // Corpus bytes grew 10×…
+    assert_eq!(large.byte_size(), 10 * small.byte_size());
+    // …but clone cost is pointers-per-segment plus a bounded tail.
+    let arc_bytes = std::mem::size_of::<std::sync::Arc<[u64]>>();
+    assert_eq!(small.snapshot_clone_bytes(), (40 / seg_records) * arc_bytes);
+    assert_eq!(
+        large.snapshot_clone_bytes(),
+        (400 / seg_records) * arc_bytes
+    );
+    assert!(
+        large.snapshot_clone_bytes() < large.byte_size() / 50,
+        "clone cost {} must be far below corpus bytes {}",
+        large.snapshot_clone_bytes(),
+        large.byte_size()
+    );
+}
