@@ -12,14 +12,17 @@
 //! sketching and pair evaluation, shared-cache and bounded-cache probe
 //! sweeps, banded-skew sharding, the streaming-ingest scenario:
 //! batches ingested into a live session with carried-memo probes after
-//! each epoch, and the ingest-scaling scenario: fixed-size batches into
+//! each epoch, the ingest-scaling scenario: fixed-size batches into
 //! a ~10×-growing corpus, recording per-batch ingest nanoseconds and
-//! snapshot-clone bytes from the segmented sketch store); with `--json`
-//! it also writes the snapshot to `BENCH_apss.json` for CI perf
-//! tracking. `repro check-bench [PATH]` validates a written snapshot
-//! against the expected schema (including the bounded-cache memory,
-//! `streaming`, and `ingest_scaling` fields) and exits non-zero on
-//! violations — the CI perf-smoke gate.
+//! snapshot-clone bytes from the segmented sketch store, and the
+//! watch-scaling scenario: a ladder of 8 threshold watches evaluated on
+//! every ingest, recording per-epoch delta nanoseconds and delta pair
+//! counts); with `--json` it also writes the snapshot to
+//! `BENCH_apss.json` for CI perf tracking. `repro check-bench [PATH]`
+//! validates a written snapshot against the expected schema (including
+//! the bounded-cache memory, `streaming`, `ingest_scaling`, and
+//! `watch_scaling` fields) and exits non-zero on violations — the CI
+//! perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;

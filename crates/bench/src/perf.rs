@@ -209,6 +209,36 @@ impl IngestScalingRates {
     }
 }
 
+/// The continuous-probe shape: a ladder of threshold watches registered
+/// over the [`IngestScalingRates`] corpus growth, every ingest delivering
+/// one [`plasma_core::watch::WatchDelta`] per watch. The number this
+/// scenario pins is the cost of *staying informed*: each epoch's watch
+/// evaluations touch only that epoch's new candidates (the first watch
+/// pays their cold cost, the rest ride its published memos), so per-epoch
+/// delta time tracks the delta size, not the corpus size.
+#[derive(Debug, Clone)]
+pub struct WatchScalingRates {
+    /// Simultaneous watches registered before the first timed batch.
+    pub watches: u64,
+    /// Batches ingested after the seed corpus.
+    pub batches: u64,
+    /// Records per ingested batch (fixed across the run).
+    pub batch_records: u64,
+    /// Seed corpus size before the first timed batch.
+    pub initial_records: u64,
+    /// Corpus size after every batch landed.
+    pub final_records: u64,
+    /// Wall nanoseconds of each ingest call — batch sketching, cache
+    /// growth, and all watch delta evaluations — in batch order.
+    pub per_epoch_delta_ns: Vec<u64>,
+    /// New pairs delivered per epoch, summed across all watches, in
+    /// batch order.
+    pub per_epoch_delta_pairs: Vec<u64>,
+    /// Pairs delivered across all epochs and watches (registration
+    /// deltas excluded — they are full probes, not deltas).
+    pub total_delta_pairs: u64,
+}
+
 /// The full snapshot.
 #[derive(Debug, Clone)]
 pub struct ApssPerfSnapshot {
@@ -230,6 +260,8 @@ pub struct ApssPerfSnapshot {
     pub streaming: StreamingRates,
     /// Ingest scaling: fixed-size batches into a ~10×-growing corpus.
     pub ingest_scaling: IngestScalingRates,
+    /// Continuous probes: a watch ladder evaluated on every ingest.
+    pub watch_scaling: WatchScalingRates,
 }
 
 /// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
@@ -327,6 +359,9 @@ pub fn measure() -> ApssPerfSnapshot {
     // Fixed 200-record batches growing the corpus 200 → 2000 (10×): the
     // O(batch) acceptance shape.
     let ingest_scaling = measure_ingest_scaling_sized(200, 200, 9);
+    // The ingest_scaling growth shape at half depth, with a ladder of 8
+    // threshold watches evaluated on every batch.
+    let watch_scaling = measure_watch_scaling_sized(200, 200, 4, 8);
 
     ApssPerfSnapshot {
         cores,
@@ -338,6 +373,7 @@ pub fn measure() -> ApssPerfSnapshot {
         banded_skew,
         streaming,
         ingest_scaling,
+        watch_scaling,
     }
 }
 
@@ -380,6 +416,61 @@ fn measure_ingest_scaling_sized(
         corpus_bytes: sketches.byte_size() as u64,
         sealed_segments: sketches.sealed_segments() as u64,
         segment_records: sketches.segment_records() as u64,
+    }
+}
+
+/// Measures [`WatchScalingRates`]: seed a [`StreamingSession`] with
+/// `initial` records, register `watches` threshold watches on a descending
+/// ladder, then ingest `batches` fixed-size batches, timing each ingest —
+/// which now includes one delta evaluation per watch. Registration deltas
+/// (full probes by construction) are drained before the clock starts; the
+/// timed loop counts only per-epoch delta pairs. The first watch of each
+/// epoch pays the delta's cold evaluation, the remaining watches ride the
+/// memos it published.
+fn measure_watch_scaling_sized(
+    initial: usize,
+    batch_records: usize,
+    batches: usize,
+    watches: usize,
+) -> WatchScalingRates {
+    let total = initial + batch_records * batches;
+    let ds = GaussianSpec::new("bench-watch", total, 10, 4).generate(13);
+    let cfg = ApssConfig::default();
+    let mut session =
+        StreamingSession::from_records(ds.records[..initial].to_vec(), ds.measure, cfg);
+    // Force the lazy epoch-0 build so registration probes hit a warm store.
+    session.ingest(&[]);
+    let handles: Vec<_> = (0..watches)
+        .map(|w| session.watch(0.9 - 0.05 * w as f64))
+        .collect();
+    // Drain the registration deltas — full probes at the seed corpus, not
+    // part of the per-epoch delta cost this scenario pins.
+    for h in &handles {
+        h.drain();
+    }
+    let mut per_epoch_delta_ns = Vec::with_capacity(batches);
+    let mut per_epoch_delta_pairs = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let lo = initial + b * batch_records;
+        let t = Instant::now();
+        session.ingest(&ds.records[lo..lo + batch_records]);
+        per_epoch_delta_ns.push(t.elapsed().as_nanos() as u64);
+        let pairs: usize = handles
+            .iter()
+            .flat_map(|h| h.drain())
+            .map(|d| d.new_pairs.len())
+            .sum();
+        per_epoch_delta_pairs.push(pairs as u64);
+    }
+    WatchScalingRates {
+        watches: watches as u64,
+        batches: batches as u64,
+        batch_records: batch_records as u64,
+        initial_records: initial as u64,
+        final_records: session.len() as u64,
+        total_delta_pairs: per_epoch_delta_pairs.iter().sum(),
+        per_epoch_delta_ns,
+        per_epoch_delta_pairs,
     }
 }
 
@@ -643,8 +734,28 @@ impl ApssPerfSnapshot {
                 s.segment_records
             )
         };
+        let watch_scaling = {
+            let s = &self.watch_scaling;
+            let join_u64 = |v: &[u64]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            format!(
+                "{{\"watches\": {}, \"batches\": {}, \"batch_records\": {}, \"initial_records\": {}, \"final_records\": {}, \"per_epoch_delta_ns\": [{}], \"per_epoch_delta_pairs\": [{}], \"total_delta_pairs\": {}}}",
+                s.watches,
+                s.batches,
+                s.batch_records,
+                s.initial_records,
+                s.final_records,
+                join_u64(&s.per_epoch_delta_ns),
+                join_u64(&s.per_epoch_delta_pairs),
+                s.total_delta_pairs
+            )
+        };
         format!(
-            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {},\n  \"ingest_scaling\": {}\n}}\n",
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {},\n  \"ingest_scaling\": {},\n  \"watch_scaling\": {}\n}}\n",
             self.cores,
             rates(&self.sketch_minhash),
             rates(&self.sketch_simhash),
@@ -653,7 +764,8 @@ impl ApssPerfSnapshot {
             bounded,
             skew,
             streaming,
-            ingest_scaling
+            ingest_scaling,
+            watch_scaling
         )
     }
 
@@ -726,16 +838,28 @@ impl ApssPerfSnapshot {
             ig.sealed_segments,
             ig.segment_records
         ));
+        let w = &self.watch_scaling;
+        out.push_str(&format!(
+            "  watch-scaling ({} watches, {} x {} records on {}) first {:>9} ns   last {:>9} ns   delta pairs {:>8} total\n",
+            w.watches,
+            w.batches,
+            w.batch_records,
+            w.initial_records,
+            w.per_epoch_delta_ns.first().copied().unwrap_or(0),
+            w.per_epoch_delta_ns.last().copied().unwrap_or(0),
+            w.total_delta_pairs
+        ));
         out
     }
 }
 
 /// Required keys of the `BENCH_apss.json` schema, including the
 /// bounded-cache memory fields, the banded-skew sharding fields, the
-/// streaming-ingest fields, and the ingest-scaling fields. `repro
-/// check-bench` (the CI perf-smoke gate) fails when any goes missing, so
-/// snapshot consumers can rely on them across commits.
-const REQUIRED_SNAPSHOT_KEYS: [&str; 50] = [
+/// streaming-ingest fields, the ingest-scaling fields, and the
+/// watch-scaling continuous-probe fields. `repro check-bench` (the CI
+/// perf-smoke gate) fails when any goes missing, so snapshot consumers
+/// can rely on them across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 55] = [
     "benchmark",
     "cores",
     "sketching",
@@ -786,6 +910,11 @@ const REQUIRED_SNAPSHOT_KEYS: [&str; 50] = [
     "corpus_bytes",
     "sealed_segments",
     "segment_records",
+    "watch_scaling",
+    "watches",
+    "per_epoch_delta_ns",
+    "per_epoch_delta_pairs",
+    "total_delta_pairs",
 ];
 
 /// Validates a `BENCH_apss.json` document against the snapshot schema:
@@ -899,6 +1028,16 @@ mod tests {
                 sealed_segments: 1,
                 segment_records: 512,
             },
+            watch_scaling: WatchScalingRates {
+                watches: 8,
+                batches: 3,
+                batch_records: 200,
+                initial_records: 200,
+                final_records: 800,
+                per_epoch_delta_ns: vec![70_000, 72_000, 71_000],
+                per_epoch_delta_pairs: vec![300, 410, 520],
+                total_delta_pairs: 1230,
+            },
         };
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
@@ -927,6 +1066,11 @@ mod tests {
         assert!(json.contains("\"ns_ratio_last_over_first\": 1.020"));
         assert!(json.contains("\"sealed_segments\": 1"));
         assert!(json.contains("\"segment_records\": 512"));
+        assert!(json.contains("\"watch_scaling\": {"));
+        assert!(json.contains("\"watches\": 8"));
+        assert!(json.contains("\"per_epoch_delta_ns\": [70000, 72000, 71000]"));
+        assert!(json.contains("\"per_epoch_delta_pairs\": [300, 410, 520]"));
+        assert!(json.contains("\"total_delta_pairs\": 1230"));
         assert!((snap.banded_skew.speedup() - 3.0).abs() < 1e-9);
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
@@ -956,6 +1100,9 @@ mod tests {
             .iter()
             .any(|p| p.contains("ns_ratio_last_over_first")));
         assert!(problems.iter().any(|p| p.contains("sealed_segments")));
+        assert!(problems.iter().any(|p| p.contains("watch_scaling")));
+        assert!(problems.iter().any(|p| p.contains("per_epoch_delta_ns")));
+        assert!(problems.iter().any(|p| p.contains("total_delta_pairs")));
         // Unbalanced structure is flagged even with all keys present.
         let mut json = String::from("{");
         for key in REQUIRED_SNAPSHOT_KEYS {
@@ -1069,6 +1216,33 @@ mod tests {
                 "snapshot clone must be O(tail + segments): {bytes} > {bound}"
             );
         }
+    }
+
+    #[test]
+    fn watch_scaling_measurement_counts_only_delta_pairs() {
+        // Small sizes so the smoke measurement stays fast in tests. The
+        // structural facts are asserted; timings are recorded, not
+        // asserted, because smoke timings are noisy.
+        let rates = measure_watch_scaling_sized(40, 20, 3, 4);
+        assert_eq!(rates.watches, 4);
+        assert_eq!(rates.batches, 3);
+        assert_eq!(rates.batch_records, 20);
+        assert_eq!(rates.initial_records, 40);
+        assert_eq!(rates.final_records, 100);
+        assert_eq!(rates.per_epoch_delta_ns.len(), 3);
+        assert!(rates.per_epoch_delta_ns.iter().all(|&ns| ns > 0));
+        assert_eq!(rates.per_epoch_delta_pairs.len(), 3);
+        assert_eq!(
+            rates.total_delta_pairs,
+            rates.per_epoch_delta_pairs.iter().sum::<u64>()
+        );
+        // The delta pipeline must actually deliver pairs on this clustered
+        // corpus: concatenated deltas are the cold answer, and a clustered
+        // Gaussian corpus has similar pairs straddling every batch edge.
+        assert!(
+            rates.total_delta_pairs > 0,
+            "watches must surface new pairs as the corpus grows: {rates:?}"
+        );
     }
 
     #[test]

@@ -284,6 +284,12 @@ pub struct CacheMemoryStats {
     ///
     /// [`total_bytes`]: SharedKnowledgeCache::total_bytes
     pub bucket_cache_bytes: usize,
+    /// Lifetime records hashed into the band-bucket cache (each record is
+    /// bucketed once per cover, so a fully warm probe adds 0 and a
+    /// post-ingest probe adds exactly the batch size). The work-counter
+    /// proof that candidate generation is O(new × matches), not a
+    /// per-probe rebuild.
+    pub bucket_build_records: u64,
     /// The configured byte cap, `None` when unbounded.
     pub capacity_bytes: Option<usize>,
     /// Pair memos evicted over the cache's life.
@@ -367,6 +373,9 @@ pub struct SharedKnowledgeCache {
     /// Mirror of the bucket cache's estimated bytes, so
     /// [`total_bytes`](Self::total_bytes) stays O(1) and lock-free.
     bucket_bytes: AtomicUsize,
+    /// Lifetime records hashed into the band-bucket cache (see
+    /// [`CacheMemoryStats::bucket_build_records`]).
+    bucket_build_records: AtomicU64,
 }
 
 impl SharedKnowledgeCache {
@@ -420,6 +429,7 @@ impl SharedKnowledgeCache {
             hits: AtomicU64::new(0),
             band_buckets: Mutex::new(None),
             bucket_bytes: AtomicUsize::new(0),
+            bucket_build_records: AtomicU64::new(0),
         }
     }
 
@@ -508,6 +518,14 @@ impl SharedKnowledgeCache {
         self.bucket_bytes.load(Ordering::Relaxed)
     }
 
+    /// Lifetime records hashed into the band-bucket cache. A second probe
+    /// of an identical `(bands, width)` shape — from this or any other
+    /// session sharing the cache — adds 0; a post-ingest probe adds
+    /// exactly the batch size. Exhaustive probes never touch it.
+    pub fn bucket_build_records(&self) -> u64 {
+        self.bucket_build_records.load(Ordering::Relaxed)
+    }
+
     /// Total accounted footprint: sketch bytes (of the current epoch's
     /// snapshot) plus resident memo bytes plus the band-bucket cache.
     /// This is what [`CacheRegistry`] sums when enforcing a process-wide
@@ -531,6 +549,7 @@ impl SharedKnowledgeCache {
             peak_memo_bytes: self.peak_bytes.load(Ordering::Relaxed),
             sketch_bytes: self.sketches().byte_size(),
             bucket_cache_bytes: self.bucket_cache_bytes(),
+            bucket_build_records: self.bucket_build_records(),
             capacity_bytes: self.capacity.max_bytes(),
             evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
             evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
@@ -726,7 +745,10 @@ impl SharedKnowledgeCache {
                 *cache = BandBuckets::new(bands, width);
             }
             if cache.covered() <= sketches.len() {
+                let built = sketches.len() - cache.covered();
                 let pairs = cache.extend_and_generate(sketches);
+                self.bucket_build_records
+                    .fetch_add(built as u64, Ordering::Relaxed);
                 let bytes = cache.byte_size();
                 if self.capacity.max_bytes().is_some_and(|cap| bytes > cap) {
                     *guard = None;
@@ -741,6 +763,87 @@ impl SharedKnowledgeCache {
             // and leave the cache for up-to-date probers.
         }
         Arc::new(crate::apss::generate_candidates(sketches, cfg))
+    }
+
+    /// Generates the *delta* candidate set of a corpus growth: every pair
+    /// `(i, j)` (canonical `i < j`, sorted unique) that touches a record
+    /// in `[from, sketches.len())` — which, because a pair touches the new
+    /// range exactly when its larger member does, is precisely the set of
+    /// candidates the full probe gains over a probe of the `[0, from)`
+    /// prefix. This is the candidate half of a watch evaluation
+    /// (`crate::watch`).
+    ///
+    /// Exhaustive strategy: enumerated directly in lexicographic order.
+    /// Banded strategy: served from the epoch-persistent [`BandBuckets`]
+    /// when its watermark lines up — either this call extends the cache
+    /// `from → n` (the common watch path, `O(new × bands)` keys, same
+    /// byte-accounting and capacity drop as
+    /// [`generate_candidates_cached`](Self::generate_candidates_cached)),
+    /// or a prior call this epoch already did and recorded the same
+    /// range. Any other watermark (shape change, capacity drop, cache
+    /// never built) falls back to the cold
+    /// [`plasma_lsh::candidates::banded_delta`], which never touches the
+    /// shared cache — so the delta is bit-identical whether or not the
+    /// bucket cache survived.
+    fn generate_delta_candidates(
+        &self,
+        sketches: &SketchSet,
+        cfg: &ApssConfig,
+        from: usize,
+    ) -> Arc<Vec<(u32, u32)>> {
+        let n = sketches.len();
+        match cfg.candidates {
+            crate::apss::CandidateStrategy::Exhaustive => {
+                let mut out = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1).max(from)..n {
+                        out.push((i as u32, j as u32));
+                    }
+                }
+                Arc::new(out)
+            }
+            crate::apss::CandidateStrategy::Banded { bands, width } => {
+                if from >= n || bands == 0 {
+                    // No growth (or a degenerate join shape) has no delta;
+                    // `extend_and_generate` would not record a range for
+                    // it either.
+                    return Arc::new(Vec::new());
+                }
+                let mut guard = self.band_buckets.lock().expect("bucket cache lock");
+                if let Some(cache) = guard.as_mut() {
+                    if cache.matches_shape(bands, width) {
+                        if cache.covered() == from {
+                            self.bucket_build_records
+                                .fetch_add((n - from) as u64, Ordering::Relaxed);
+                            cache.extend_and_generate(sketches);
+                            let bytes = cache.byte_size();
+                            let delta = cache
+                                .delta_covering(from, n)
+                                .expect("extension covered exactly [from, n)");
+                            if self.capacity.max_bytes().is_some_and(|cap| bytes > cap) {
+                                *guard = None;
+                                self.bucket_bytes.store(0, Ordering::Relaxed);
+                            } else {
+                                self.bucket_bytes.store(bytes, Ordering::Relaxed);
+                            }
+                            return delta;
+                        }
+                        if cache.covered() == n {
+                            if let Some(delta) = cache.delta_covering(from, n) {
+                                // Another watch (or probe) already paid for
+                                // this epoch's extension; its recorded
+                                // fresh slice is exactly our delta.
+                                return delta;
+                            }
+                        }
+                    }
+                }
+                drop(guard);
+                Arc::new(plasma_lsh::candidates::banded_delta(
+                    sketches, bands, width, from,
+                ))
+            }
+        }
     }
 
     /// Runs a cached probe: candidates whose profile already covers every
@@ -775,17 +878,68 @@ impl SharedKnowledgeCache {
         threshold: f64,
         cfg: &ApssConfig,
     ) -> ApssResult {
+        let result = self.probe_silent(records, measure, threshold, cfg);
+        self.history.lock().expect("history lock").push(threshold);
+        result
+    }
+
+    /// [`probe`](Self::probe) without the probe-history append: the full
+    /// evaluation a watch registration performs. Watch evaluations are
+    /// system-driven, not client probes, so they must not perturb
+    /// [`probe_history`](Self::probe_history) (which operators and the
+    /// min-variance curve bookkeeping read as the list of *client*
+    /// thresholds). They still deepen the shared memo pool and count
+    /// toward lifetime `cache_hits`.
+    pub(crate) fn probe_silent(
+        &self,
+        records: &[SparseVector],
+        measure: Similarity,
+        threshold: f64,
+        cfg: &ApssConfig,
+    ) -> ApssResult {
         let start = std::time::Instant::now();
-        // Pin one corpus epoch for the whole probe: a concurrent `grow`
-        // swaps the shared snapshot but cannot change what this
-        // evaluation reads.
+        let sketches = self.pin_snapshot(records);
+        let cands = self.generate_candidates_cached(&sketches, cfg);
+        self.evaluate_candidates(records, measure, threshold, cfg, &sketches, cands, start)
+    }
+
+    /// Evaluates only the candidates a corpus growth added — every pair
+    /// touching a record in `[from, len)` — exactly as
+    /// [`probe`](Self::probe) would evaluate them inside a full run. Pair
+    /// evaluation is pair-local (sketch prefixes never change, and the
+    /// decision walk reads nothing but the two sketches and its own
+    /// memo), so the result is bit-identical to the corresponding slice
+    /// of a full probe: this is the delta half of a watch evaluation, and
+    /// the equivalence `concat(deltas) == cold probe` is pinned by
+    /// `crates/core/tests/watch_differential.rs`. Like
+    /// [`probe_silent`](Self::probe_silent), it leaves the probe history
+    /// untouched.
+    pub(crate) fn probe_delta(
+        &self,
+        records: &[SparseVector],
+        measure: Similarity,
+        threshold: f64,
+        cfg: &ApssConfig,
+        from: usize,
+    ) -> ApssResult {
+        let start = std::time::Instant::now();
+        let sketches = self.pin_snapshot(records);
+        let cands = self.generate_delta_candidates(&sketches, cfg, from);
+        self.evaluate_candidates(records, measure, threshold, cfg, &sketches, cands, start)
+    }
+
+    /// Pins one corpus epoch for a whole evaluation: a concurrent `grow`
+    /// swaps the shared snapshot but cannot change what this evaluation
+    /// reads.
+    ///
+    /// Candidates come from the sketch snapshot, so a caller holding a
+    /// pre-growth record slice would receive pairs indexing records it
+    /// never supplied (or crash under `exact_on_accept`). Fail loudly
+    /// instead: a grown cache must be probed with the grown corpus
+    /// (drive growth through `crate::streaming::StreamingSession`,
+    /// whose forks stay in sync by construction).
+    fn pin_snapshot(&self, records: &[SparseVector]) -> Arc<SketchSet> {
         let sketches = self.sketches();
-        // Candidates come from the sketch snapshot, so a caller holding a
-        // pre-growth record slice would receive pairs indexing records it
-        // never supplied (or crash under `exact_on_accept`). Fail loudly
-        // instead: a grown cache must be probed with the grown corpus
-        // (drive growth through `crate::streaming::StreamingSession`,
-        // whose forks stay in sync by construction).
         assert_eq!(
             records.len(),
             sketches.len(),
@@ -795,8 +949,26 @@ impl SharedKnowledgeCache {
             sketches.len(),
             sketches.epoch()
         );
+        sketches
+    }
+
+    /// The evaluation core shared by full probes and watch deltas: runs
+    /// the decision walk over an explicit candidate list against a pinned
+    /// sketch snapshot, reading and publishing memos through the lock
+    /// stripes. Output order is candidate order, so a sorted candidate
+    /// list yields pairs and estimates in canonical `(i, j)` order.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_candidates(
+        &self,
+        records: &[SparseVector],
+        measure: Similarity,
+        threshold: f64,
+        cfg: &ApssConfig,
+        sketches: &SketchSet,
+        cands: Arc<Vec<(u32, u32)>>,
+        start: std::time::Instant,
+    ) -> ApssResult {
         let engine = plasma_lsh::bayes::BayesLsh::new(sketches.family(), cfg.bayes);
-        let cands = self.generate_candidates_cached(&sketches, cfg);
         let threads = crate::apss::eval_threads(cfg, cands.len());
         let profiled = self.schedule_accepts(cfg.bayes.batch);
 
@@ -834,10 +1006,10 @@ impl SharedKnowledgeCache {
                 // Evaluate without holding any lock.
                 let (est, new_hashes) = if profiled {
                     let out =
-                        table.evaluate_profiled(&sketches, i as usize, j as usize, &mut profile);
+                        table.evaluate_profiled(sketches, i as usize, j as usize, &mut profile);
                     (out.estimate, out.new_hashes)
                 } else {
-                    let est = table.evaluate_pair(&sketches, i as usize, j as usize);
+                    let est = table.evaluate_pair(sketches, i as usize, j as usize);
                     (est, est.hashes)
                 };
                 stats.hashes_compared += new_hashes as u64;
@@ -900,7 +1072,6 @@ impl SharedKnowledgeCache {
         }
         stats.process_seconds = start.elapsed().as_secs_f64();
         self.hits.fetch_add(stats.cache_hits, Ordering::Relaxed);
-        self.history.lock().expect("history lock").push(threshold);
         ApssResult {
             threshold,
             pairs,

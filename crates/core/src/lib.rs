@@ -26,6 +26,10 @@
 //!   `probe` over a growing corpus, with the knowledge cache carrying
 //!   every old-pair memo across each epoch bump. Streamed probes are
 //!   bit-identical to cold batch runs over the same corpus.
+//! * [`watch`] — continuous probes: `watch(threshold)` subscriptions that
+//!   receive only the per-epoch *delta* on every ingest ([`WatchDelta`]),
+//!   with concatenated deltas bit-identical to a cold probe at every
+//!   epoch.
 //! * [`cues`] — dimensionless visual cues: triangle vertex-cover histogram
 //!   and clique/triangle density plots (Fig. 2.5).
 //! * [`session`] — the interactive driver tying it all together.
@@ -62,6 +66,7 @@ pub mod plot;
 pub mod session;
 pub mod streaming;
 pub mod topk;
+pub mod watch;
 
 pub use apss::{ApssConfig, ApssResult, CandidateStrategy};
 pub use cache::{
@@ -72,3 +77,4 @@ pub use cumulative::CumulativeCurve;
 pub use plasma_lsh::ShardPolicy;
 pub use session::{ProbeReport, Session};
 pub use streaming::{IngestReport, StreamingSession};
+pub use watch::{WatchDelta, WatchHandle, WatchRegistry};

@@ -270,6 +270,15 @@ impl Session {
     }
 
     /// Probes the data at `threshold`, reusing the knowledge cache.
+    ///
+    /// Every layer of reuse lives in the cache, not the session: pair
+    /// memos deepen across thresholds, and a banded probe's band
+    /// buckets are built once per corpus and carried in the cache —
+    /// a second identical-shape probe (this session or any sibling on
+    /// the same shared cache) builds zero buckets, which the
+    /// `bucket_build_records` counter in
+    /// [`crate::cache::CacheMemoryStats`] exposes and the watch
+    /// differential suite pins.
     pub fn probe(&mut self, threshold: f64) -> ProbeReport {
         let start = Instant::now();
         let mut sketch_secs = 0.0;

@@ -63,6 +63,7 @@ use crate::apss::{build_sketches, ApssConfig};
 use crate::cache::{CacheCapacity, SharedKnowledgeCache};
 use crate::cumulative::CumulativeCurve;
 use crate::session::{fold_probe_report, ProbeReport};
+use crate::watch::{WatchHandle, WatchRegistry};
 
 /// The growth state every fork of a streaming session shares: the record
 /// store (authoritative, behind one lock) and the knowledge cache whose
@@ -83,6 +84,9 @@ struct StreamingCorpus {
     /// Built lazily on the first ingest/probe (or seeded by
     /// [`StreamingSession::with_shared_cache`]), then grown in place.
     cache: OnceLock<Arc<SharedKnowledgeCache>>,
+    /// Live threshold watches over this corpus, shared by every fork:
+    /// whichever fork's `ingest` adopts a batch notifies all of them.
+    watches: WatchRegistry,
 }
 
 impl StreamingCorpus {
@@ -189,6 +193,7 @@ impl StreamingSession {
                 capacity: RwLock::new(CacheCapacity::unbounded()),
                 records: RwLock::new(records),
                 cache: OnceLock::new(),
+                watches: WatchRegistry::new(),
             }),
             cfg,
             grid: crate::cumulative::default_grid(lo),
@@ -338,8 +343,16 @@ impl StreamingSession {
         sketcher.extend_batch(batch, &mut grown);
         let epoch = grown.epoch();
         let carried_memos = cache.memory_stats().entries;
+        let old_len = records.len();
         cache.grow(grown);
         records.extend_from_slice(batch);
+        // Deliver this epoch's delta to every live watch while still
+        // holding the corpus write guard: the (records, sketches) pair is
+        // one consistent epoch, and no fork can slip a second ingest in
+        // between — each watch sees each epoch exactly once.
+        corpus
+            .watches
+            .notify_ingest(&cache, &records, corpus.measure, old_len);
         IngestReport {
             records_added: batch.len(),
             total_records: records.len(),
@@ -373,6 +386,55 @@ impl StreamingSession {
             start.elapsed().as_secs_f64(),
             sketch_secs,
         )
+    }
+
+    /// Registers a continuous probe at `threshold`: the returned handle
+    /// immediately holds one [`crate::watch::WatchDelta`] with the full
+    /// answer at the current epoch (bit-identical to a cold probe), and
+    /// every subsequent non-empty `ingest` — through *any* fork — queues
+    /// one more delta holding exactly the pairs that epoch added.
+    /// Concatenating a watch's deltas reproduces a cold probe of the
+    /// full corpus at every epoch, whatever the parallelism, shard
+    /// policy, segment geometry, or cache capacity (pinned by
+    /// `crates/core/tests/watch_differential.rs`). Dropping the handle
+    /// cancels the watch.
+    ///
+    /// The session's probe configuration is pinned into the watch at
+    /// registration; reconfiguring the session afterwards does not
+    /// affect it.
+    ///
+    /// ```
+    /// use plasma_core::streaming::StreamingSession;
+    /// use plasma_core::ApssConfig;
+    /// use plasma_data::datasets::gaussian::GaussianSpec;
+    ///
+    /// let ds = GaussianSpec::new("doc", 60, 6, 2).generate(7);
+    /// let (head, tail) = ds.records.split_at(40);
+    /// let mut s = StreamingSession::from_records(head.to_vec(), ds.measure, ApssConfig::default());
+    ///
+    /// let watch = s.watch(0.8);
+    /// let first = watch.poll().expect("registration delivers the full answer");
+    /// assert_eq!(first.epoch, 0);
+    ///
+    /// s.ingest(tail);
+    /// let delta = watch.poll().expect("every adopted ingest delivers a delta");
+    /// assert_eq!(delta.epoch, 1);
+    /// // Old pairs never re-appear: the delta touches only new records.
+    /// assert!(delta.new_pairs.iter().all(|p| p.j as usize >= head.len()));
+    /// ```
+    pub fn watch(&self, threshold: f64) -> WatchHandle {
+        let corpus = self.corpus.clone();
+        let records: RwLockReadGuard<'_, Vec<SparseVector>> =
+            corpus.records.read().expect("corpus lock");
+        let (cache, _) = corpus.ensure_cache(&records);
+        corpus
+            .watches
+            .register(&cache, &records, corpus.measure, threshold, &self.cfg)
+    }
+
+    /// Live watches registered on this corpus (across all forks).
+    pub fn watch_count(&self) -> usize {
+        self.corpus.watches.len()
     }
 
     /// Number of records ingested so far.

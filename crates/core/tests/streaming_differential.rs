@@ -296,7 +296,10 @@ fn banded_streamed_history_is_policy_invariant_and_matches_cold() {
 /// bucket cache (`CacheMemoryStats::bucket_cache_bytes` is live and
 /// counted in `total_bytes`), ingest reports an O(segments + tail)
 /// snapshot-clone cost, and a capacity too small for the bucket cache
-/// drops it without changing any probe output.
+/// drops it without changing any probe output — including the outputs
+/// of threshold watches riding the same epoch ladder, whose delta
+/// concatenation must equal cold probes whether their delta candidates
+/// come from the warm bucket cache or the cold fallback join.
 #[test]
 fn bucket_cache_accounting_and_capacity_drop() {
     use plasma_core::cache::CacheCapacity;
@@ -317,6 +320,15 @@ fn bucket_cache_accounting_and_capacity_drop() {
         StreamingSession::from_records(records[..bounds[0]].to_vec(), Similarity::Cosine, cfg)
             .with_cache_capacity(CacheCapacity::bounded(0));
 
+    // One watch per ladder threshold on each session: every epoch below
+    // also checks that the watches' concatenated deltas reproduce the
+    // cold pair lists, on both sides of the eviction divide.
+    let watches: Vec<_> = [&cached, &dropped]
+        .iter()
+        .flat_map(|s| LADDER.iter().map(|&t| s.watch(t)))
+        .collect();
+    let mut merged: Vec<Vec<plasma_core::apss::SimilarPair>> = vec![Vec::new(); watches.len()];
+
     let mut prev = bounds[0];
     for (e, &hi) in bounds.iter().enumerate() {
         if e > 0 {
@@ -332,7 +344,14 @@ fn bucket_cache_accounting_and_capacity_drop() {
             );
             prev = hi;
         }
-        for &t in &LADDER {
+        for (w, handle) in watches.iter().enumerate() {
+            let delta = handle.poll().expect("one delta per adopted epoch");
+            assert_eq!(delta.epoch, e as u64, "watch {w}");
+            assert!(handle.poll().is_none(), "watch {w}: exactly one delta");
+            merged[w].extend(delta.new_pairs);
+            merged[w].sort_unstable_by_key(|p| (p.i, p.j));
+        }
+        for (ti, &t) in LADDER.iter().enumerate() {
             let warm = cached.probe(t);
             let cold_dropped = dropped.probe(t);
             let mut cold = Session::from_records(records[..hi].to_vec(), Similarity::Cosine, cfg);
@@ -341,6 +360,14 @@ fn bucket_cache_accounting_and_capacity_drop() {
             assert_eq!(warm.candidates, cold_report.candidates, "epoch {e}");
             assert_eq!(warm.pairs, cold_dropped.pairs, "epoch {e} t={t} dropped");
             assert_eq!(warm.pruned, cold_dropped.pruned, "epoch {e}");
+            // Both sessions' watches concatenate to the same cold truth,
+            // eviction or not.
+            assert_eq!(merged[ti], cold_report.pairs, "epoch {e} t={t} watch");
+            assert_eq!(
+                merged[LADDER.len() + ti],
+                cold_report.pairs,
+                "epoch {e} t={t} watch under bounded(0)"
+            );
         }
         let stats = cached.shared_cache().expect("built").memory_stats();
         assert!(

@@ -719,6 +719,13 @@ pub struct BandBuckets {
     /// The canonical sorted-unique candidate set for `[0, covered)`,
     /// shared with callers so a warm re-probe is one `Arc` clone.
     pairs: Arc<Vec<(u32, u32)>>,
+    /// The fresh pairs produced by the most recent extension — exactly
+    /// the candidates that touch a record in `delta_range` — sorted and
+    /// deduplicated, shared so watch evaluation is one `Arc` clone.
+    delta: Arc<Vec<(u32, u32)>>,
+    /// The `[from, to)` record range `delta` covers: `from` was the
+    /// watermark before the extension, `to` after.
+    delta_range: (usize, usize),
     /// Estimated heap footprint (maps + member lists + pairs), refreshed
     /// after every extension so owners can byte-account the cache.
     bytes: usize,
@@ -733,6 +740,8 @@ impl BandBuckets {
             covered: 0,
             maps: (0..bands).map(|_| FxHashMap::default()).collect(),
             pairs: Arc::new(Vec::new()),
+            delta: Arc::new(Vec::new()),
+            delta_range: (0, 0),
             bytes: 0,
         };
         cache.recount_bytes();
@@ -780,13 +789,14 @@ impl BandBuckets {
         if self.covered == n || self.bands == 0 {
             return Arc::clone(&self.pairs);
         }
-        let new = n - self.covered;
+        let from = self.covered;
+        let new = n - from;
         let mut keys = vec![0u64; new];
         let mut fresh: Vec<(u32, u32)> = Vec::new();
         for (band, map) in self.maps.iter_mut().enumerate() {
-            sketches.band_keys_into(band, self.band_width, self.covered, &mut keys);
+            sketches.band_keys_into(band, self.band_width, from, &mut keys);
             for (off, &key) in keys.iter().enumerate() {
-                let r = (self.covered + off) as u32;
+                let r = (from + off) as u32;
                 let members = map.entry(key).or_default();
                 // Every prior member has a smaller id, so (m, r) is
                 // already in canonical i < j orientation.
@@ -795,13 +805,25 @@ impl BandBuckets {
             }
         }
         self.covered = n;
+        fresh.sort_unstable();
+        fresh.dedup();
         if !fresh.is_empty() {
-            fresh.sort_unstable();
-            fresh.dedup();
             self.pairs = Arc::new(merge_sorted_unique(&self.pairs, &fresh));
         }
+        self.delta = Arc::new(fresh);
+        self.delta_range = (from, n);
         self.recount_bytes();
         Arc::clone(&self.pairs)
+    }
+
+    /// The new-records-only candidate slice of the most recent extension,
+    /// if it covered exactly `[from, to)`: every cached pair that touches
+    /// a record in that range, sorted unique — bit-identical to
+    /// [`banded_delta`] over the same snapshot. Returns `None` when the
+    /// cache's last extension covered a different range (the caller must
+    /// fall back to the cold [`banded_delta`] path).
+    pub fn delta_covering(&self, from: usize, to: usize) -> Option<Arc<Vec<(u32, u32)>>> {
+        (self.delta_range == (from, to)).then(|| Arc::clone(&self.delta))
     }
 
     /// Re-estimates the cache's heap footprint from current capacities.
@@ -815,8 +837,65 @@ impl BandBuckets {
                 .sum::<usize>();
         }
         bytes += self.pairs.capacity() * std::mem::size_of::<(u32, u32)>();
+        bytes += self.delta.capacity() * std::mem::size_of::<(u32, u32)>();
         self.bytes = bytes;
     }
+}
+
+/// The new-records-only slice of a banded join: every candidate pair that
+/// touches a record in `[from, n)`, computed cold — prefix records
+/// `[0, from)` only *populate* buckets (no pairs are emitted among them),
+/// then each new record pairs against its bucket's prior members. Output
+/// is sorted unique, bit-identical to filtering
+/// `banded_sequential(sketches, bands, band_width)` down to pairs with
+/// `j >= from` — the fallback [`BandBuckets::delta_covering`] equivalence
+/// when no warm bucket cache covers the requested range (shape change,
+/// capacity drop, or a watch registered against a cold cache).
+pub fn banded_delta(
+    sketches: &SketchSet,
+    bands: usize,
+    band_width: usize,
+    from: usize,
+) -> Vec<(u32, u32)> {
+    let n = sketches.len();
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    if n < 2 || bands == 0 || from >= n {
+        return out;
+    }
+    with_key_scratch(n, |keys| {
+        let mut buckets: FxHashMap<u64, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(n, Default::default());
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        for band in 0..bands {
+            sketches.band_keys_into(band, band_width, 0, keys);
+            // Prefix records join buckets silently: their mutual pairs
+            // belong to earlier epochs, not this delta.
+            for (i, &key) in keys[..from].iter().enumerate() {
+                buckets
+                    .entry(key)
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .push(i as u32);
+            }
+            // New records pair against every prior member (all of which
+            // have smaller ids, so (m, r) is canonical i < j), then join
+            // the bucket themselves so new×new pairs are emitted too.
+            for (off, &key) in keys[from..].iter().enumerate() {
+                let r = (from + off) as u32;
+                let members = buckets
+                    .entry(key)
+                    .or_insert_with(|| pool.pop().unwrap_or_default());
+                out.extend(members.iter().map(|&m| (m, r)));
+                members.push(r);
+            }
+            for (_, mut members) in buckets.drain() {
+                members.clear();
+                pool.push(members);
+            }
+        }
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Merges two sorted duplicate-free pair runs into one sorted
@@ -1120,6 +1199,63 @@ mod tests {
         let sk = Sketcher::new(LshFamily::MinHash, 64, 3).sketch_all(&[]);
         let mut zero = BandBuckets::new(0, 8);
         assert!(zero.extend_and_generate(&sk).is_empty());
+    }
+
+    #[test]
+    fn banded_delta_is_the_j_filtered_full_join() {
+        // The cold delta path must equal the full sequential join filtered
+        // down to pairs touching `[from, n)` — at every split point,
+        // including from=0 (whole join) and from=n (empty delta).
+        let records: Vec<SparseVector> = (0..40u32)
+            .map(|i| {
+                let mut items: Vec<u32> = (i / 4 * 50..i / 4 * 50 + 40).collect();
+                items.push(9000 + i % 5);
+                SparseVector::from_set(items)
+            })
+            .collect();
+        let sk = Sketcher::new(LshFamily::MinHash, 64, 13).sketch_all(&records);
+        let full = banded_sequential(&sk, 8, 8);
+        assert!(!full.is_empty());
+        for from in [0usize, 1, 17, 39, 40] {
+            let expect: Vec<(u32, u32)> = full
+                .iter()
+                .copied()
+                .filter(|&(_, j)| j as usize >= from)
+                .collect();
+            assert_eq!(banded_delta(&sk, 8, 8, from), expect, "from={from}");
+        }
+        assert!(banded_delta(&sk, 0, 8, 0).is_empty());
+    }
+
+    #[test]
+    fn bucket_cache_delta_matches_cold_delta_at_every_epoch() {
+        // Every extension's fresh slice must equal the cold banded_delta
+        // over the same range, and delta_covering must refuse ranges the
+        // last extension did not produce.
+        let records: Vec<SparseVector> = (0..45u32)
+            .map(|i| {
+                let mut items: Vec<u32> = (i / 3 * 40..i / 3 * 40 + 45).collect();
+                items.push(3000 + i % 7);
+                SparseVector::from_set(items)
+            })
+            .collect();
+        let sketcher = Sketcher::new(LshFamily::MinHash, 64, 7);
+        let mut set = sketcher.sketch_all(&records[..10]);
+        let mut cache = BandBuckets::new(8, 8);
+        for (lo, hi) in [(0usize, 10usize), (10, 11), (11, 30), (30, 45)] {
+            if lo > 0 {
+                sketcher.extend_batch(&records[lo..hi], &mut set);
+            }
+            cache.extend_and_generate(&set);
+            let delta = cache
+                .delta_covering(lo, hi)
+                .expect("extension must record its delta range");
+            assert_eq!(*delta, banded_delta(&set, 8, 8, lo), "range {lo}..{hi}");
+            assert!(cache.delta_covering(lo, hi + 1).is_none());
+            // A warm re-probe leaves the recorded delta untouched.
+            cache.extend_and_generate(&set);
+            assert!(cache.delta_covering(lo, hi).is_some());
+        }
     }
 
     #[test]
