@@ -17,12 +17,14 @@
 //! snapshot-clone bytes from the segmented sketch store, and the
 //! watch-scaling scenario: a ladder of 8 threshold watches evaluated on
 //! every ingest, recording per-epoch delta nanoseconds and delta pair
-//! counts); with `--json` it also writes the snapshot to
-//! `BENCH_apss.json` for CI perf tracking. `repro check-bench [PATH]`
-//! validates a written snapshot against the expected schema (including
-//! the bounded-cache memory, `streaming`, `ingest_scaling`, and
-//! `watch_scaling` fields) and exits non-zero on violations — the CI
-//! perf-smoke gate.
+//! counts, and the serving scenario: attach/probe/ingest/memory-stats
+//! round trips through the `plasma-serve` wire protocol against an
+//! in-process loopback server); with `--json` it also writes the
+//! snapshot to `BENCH_apss.json` for CI perf tracking.
+//! `repro check-bench [PATH]` validates a written snapshot against the
+//! expected schema (including the bounded-cache memory, `streaming`,
+//! `ingest_scaling`, `watch_scaling`, and `serving` fields) and exits
+//! non-zero on violations — the CI perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;

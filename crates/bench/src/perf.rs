@@ -17,7 +17,11 @@
 //! shape: fixed-size batches ingested into a corpus growing ~10×,
 //! recording per-batch ingest nanoseconds and snapshot-clone bytes — the
 //! segmented store's O(batch) ingest and O(segments) epoch-snapshot
-//! guarantees as measured numbers (`ingest_scaling` fields). With `--json`
+//! guarantees as measured numbers (`ingest_scaling` fields), and the
+//! serving shape: the engine's verbs round-tripped through
+//! `plasma-serve`'s newline-delimited JSON protocol against an
+//! in-process loopback server, recording requests/sec and per-verb mean
+//! round-trip microseconds (`serving` fields). With `--json`
 //! the snapshot is also written to `BENCH_apss.json` so CI can track the
 //! perf trajectory across commits (`repro check-bench` validates the
 //! schema). This is a smoke measurement (fractions of a second per
@@ -40,6 +44,7 @@ use plasma_lsh::candidates::{
 };
 use plasma_lsh::family::LshFamily;
 use plasma_lsh::sketch::Sketcher;
+use plasma_server::{ProbeClient, ProbeServer, ProbeService, PublishCfg, Request};
 
 /// One kernel's sequential-vs-parallel rates (work units per second).
 #[derive(Debug, Clone, Copy)]
@@ -239,6 +244,32 @@ pub struct WatchScalingRates {
     pub total_delta_pairs: u64,
 }
 
+/// The served shape: the same engine behind `plasma-serve`'s
+/// newline-delimited JSON protocol, measured end to end over a loopback
+/// TCP connection — attach/detach, warmed probes, ingest batches, and
+/// `memory_stats` round trips against an in-process [`ProbeServer`].
+/// The number this scenario pins is the transport tax: a warmed probe
+/// round trip is a pure cache hit inside the engine, so its mean is
+/// almost entirely framing, dispatch, and loopback latency.
+#[derive(Debug, Clone)]
+pub struct ServingRates {
+    /// Round trips in the timed section (each request and its reply).
+    pub requests: u64,
+    /// Timed-section round trips per second of wall time.
+    pub requests_per_sec: f64,
+    /// Mean microseconds for an `attach` round trip (fingerprint lookup
+    /// plus a session fork off the served master).
+    pub attach_mean_us: f64,
+    /// Mean microseconds for a warmed `probe` round trip (pure memo
+    /// hits inside the engine — this is the protocol overhead).
+    pub probe_mean_us: f64,
+    /// Mean microseconds for an `ingest` round trip (batch sketching,
+    /// cache growth, and watch evaluation under the corpus writer).
+    pub ingest_mean_us: f64,
+    /// Mean microseconds for a `memory_stats` round trip.
+    pub memory_stats_mean_us: f64,
+}
+
 /// The full snapshot.
 #[derive(Debug, Clone)]
 pub struct ApssPerfSnapshot {
@@ -262,6 +293,8 @@ pub struct ApssPerfSnapshot {
     pub ingest_scaling: IngestScalingRates,
     /// Continuous probes: a watch ladder evaluated on every ingest.
     pub watch_scaling: WatchScalingRates,
+    /// The probe service: engine verbs round-tripped over loopback TCP.
+    pub serving: ServingRates,
 }
 
 /// Best observed rate of `run` (units/sec) over ~`budget_ms` of wall time.
@@ -362,6 +395,9 @@ pub fn measure() -> ApssPerfSnapshot {
     // The ingest_scaling growth shape at half depth, with a ladder of 8
     // threshold watches evaluated on every batch.
     let watch_scaling = measure_watch_scaling_sized(200, 200, 4, 8);
+    // The same engine behind the wire: verbs round-tripped over an
+    // in-process loopback server.
+    let serving = measure_serving_sized(120, 40, 3, 12);
 
     ApssPerfSnapshot {
         cores,
@@ -374,6 +410,97 @@ pub fn measure() -> ApssPerfSnapshot {
         streaming,
         ingest_scaling,
         watch_scaling,
+        serving,
+    }
+}
+
+/// Measures [`ServingRates`]: boot an in-process [`ProbeServer`] on an
+/// ephemeral loopback port, publish an `initial`-record corpus over the
+/// wire, then time `reps` attach/detach cycles, `reps` warmed probe
+/// round trips, `batches` ingest round trips of `batch_records` each,
+/// and `reps` `memory_stats` round trips — every number is a full
+/// request→reply cycle through framing, dispatch, and the engine.
+fn measure_serving_sized(
+    initial: usize,
+    batch_records: usize,
+    batches: usize,
+    reps: usize,
+) -> ServingRates {
+    let total = initial + batch_records * batches;
+    let ds = GaussianSpec::new("bench-serve", total, 10, 4).generate(17);
+    let service = Arc::new(ProbeService::new());
+    let server = ProbeServer::start(service, "127.0.0.1:0").expect("bind ephemeral loopback port");
+    let mut client = ProbeClient::connect(server.local_addr()).expect("connect to bench server");
+    let reply = client
+        .request(&Request::Publish {
+            name: "bench-serve".into(),
+            measure: ds.measure,
+            records: ds.records[..initial].to_vec(),
+            cfg: PublishCfg::default(),
+        })
+        .expect("publish round trip");
+    let fingerprint = reply
+        .json
+        .get("fingerprint")
+        .and_then(|f| f.as_str().map(str::to_string))
+        .expect("publish reply carries a fingerprint");
+    let attach_request = Request::Attach {
+        fingerprint,
+        pinned: false,
+        declared_measure: None,
+    };
+    let round_trip = |client: &mut ProbeClient, request: &Request| -> f64 {
+        let t = Instant::now();
+        let reply = client.request(request).expect("bench round trip");
+        let secs = t.elapsed().as_secs_f64();
+        assert_ne!(reply.frame_type(), "error", "{}", reply.raw);
+        secs
+    };
+
+    let started = Instant::now();
+    let mut requests = 0u64;
+    let mut attach_secs = 0.0f64;
+    for _ in 0..reps {
+        attach_secs += round_trip(&mut client, &attach_request);
+        client.request(&Request::Detach).expect("detach round trip");
+        requests += 2;
+    }
+    client.request(&attach_request).expect("serving attach");
+    // One warm-up probe publishes the memos; the timed probes are pure
+    // cache hits, so their mean is the protocol overhead.
+    client
+        .request(&Request::Probe { threshold: 0.7 })
+        .expect("warm-up probe");
+    requests += 2;
+    let mut probe_secs = 0.0f64;
+    for _ in 0..reps {
+        probe_secs += round_trip(&mut client, &Request::Probe { threshold: 0.7 });
+        requests += 1;
+    }
+    let mut ingest_secs = 0.0f64;
+    for b in 0..batches {
+        let lo = initial + b * batch_records;
+        let records = ds.records[lo..lo + batch_records].to_vec();
+        ingest_secs += round_trip(&mut client, &Request::Ingest { records });
+        requests += 1;
+    }
+    let mut stats_secs = 0.0f64;
+    for _ in 0..reps {
+        stats_secs += round_trip(&mut client, &Request::MemoryStats);
+        requests += 1;
+    }
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    drop(client);
+    server.stop();
+
+    let mean_us = |secs: f64, n: usize| secs * 1e6 / n.max(1) as f64;
+    ServingRates {
+        requests,
+        requests_per_sec: requests as f64 / wall,
+        attach_mean_us: mean_us(attach_secs, reps),
+        probe_mean_us: mean_us(probe_secs, reps),
+        ingest_mean_us: mean_us(ingest_secs, batches),
+        memory_stats_mean_us: mean_us(stats_secs, reps),
     }
 }
 
@@ -754,8 +881,20 @@ impl ApssPerfSnapshot {
                 s.total_delta_pairs
             )
         };
+        let serving = {
+            let s = &self.serving;
+            format!(
+                "{{\"requests\": {}, \"requests_per_sec\": {:.1}, \"attach_mean_us\": {:.1}, \"probe_mean_us\": {:.1}, \"ingest_mean_us\": {:.1}, \"memory_stats_mean_us\": {:.1}}}",
+                s.requests,
+                s.requests_per_sec,
+                s.attach_mean_us,
+                s.probe_mean_us,
+                s.ingest_mean_us,
+                s.memory_stats_mean_us
+            )
+        };
         format!(
-            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {},\n  \"ingest_scaling\": {},\n  \"watch_scaling\": {}\n}}\n",
+            "{{\n  \"benchmark\": \"apss\",\n  \"cores\": {},\n  \"sketching\": {{\n    \"n_hashes\": 256,\n    \"minhash\": {},\n    \"simhash\": {}\n  }},\n  \"pair_evaluation\": {},\n  \"multi_session\": [\n    {}\n  ],\n  \"bounded_cache\": {},\n  \"banded_skew\": {},\n  \"streaming\": {},\n  \"ingest_scaling\": {},\n  \"watch_scaling\": {},\n  \"serving\": {}\n}}\n",
             self.cores,
             rates(&self.sketch_minhash),
             rates(&self.sketch_simhash),
@@ -765,7 +904,8 @@ impl ApssPerfSnapshot {
             skew,
             streaming,
             ingest_scaling,
-            watch_scaling
+            watch_scaling,
+            serving
         )
     }
 
@@ -849,17 +989,27 @@ impl ApssPerfSnapshot {
             w.per_epoch_delta_ns.last().copied().unwrap_or(0),
             w.total_delta_pairs
         ));
+        let sv = &self.serving;
+        out.push_str(&format!(
+            "  serving ({} requests over TCP) {:>8.0} req/s   attach {:>8.1} us   probe {:>8.1} us   ingest {:>8.1} us   stats {:>8.1} us\n",
+            sv.requests,
+            sv.requests_per_sec,
+            sv.attach_mean_us,
+            sv.probe_mean_us,
+            sv.ingest_mean_us,
+            sv.memory_stats_mean_us
+        ));
         out
     }
 }
 
 /// Required keys of the `BENCH_apss.json` schema, including the
 /// bounded-cache memory fields, the banded-skew sharding fields, the
-/// streaming-ingest fields, the ingest-scaling fields, and the
-/// watch-scaling continuous-probe fields. `repro check-bench` (the CI
-/// perf-smoke gate) fails when any goes missing, so snapshot consumers
-/// can rely on them across commits.
-const REQUIRED_SNAPSHOT_KEYS: [&str; 55] = [
+/// streaming-ingest fields, the ingest-scaling fields, the
+/// watch-scaling continuous-probe fields, and the serving round-trip
+/// fields. `repro check-bench` (the CI perf-smoke gate) fails when any
+/// goes missing, so snapshot consumers can rely on them across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 62] = [
     "benchmark",
     "cores",
     "sketching",
@@ -915,6 +1065,13 @@ const REQUIRED_SNAPSHOT_KEYS: [&str; 55] = [
     "per_epoch_delta_ns",
     "per_epoch_delta_pairs",
     "total_delta_pairs",
+    "serving",
+    "requests",
+    "requests_per_sec",
+    "attach_mean_us",
+    "probe_mean_us",
+    "ingest_mean_us",
+    "memory_stats_mean_us",
 ];
 
 /// Validates a `BENCH_apss.json` document against the snapshot schema:
@@ -1038,6 +1195,14 @@ mod tests {
                 per_epoch_delta_pairs: vec![300, 410, 520],
                 total_delta_pairs: 1230,
             },
+            serving: ServingRates {
+                requests: 64,
+                requests_per_sec: 2400.0,
+                attach_mean_us: 180.5,
+                probe_mean_us: 95.25,
+                ingest_mean_us: 1200.0,
+                memory_stats_mean_us: 60.0,
+            },
         };
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
@@ -1071,6 +1236,13 @@ mod tests {
         assert!(json.contains("\"per_epoch_delta_ns\": [70000, 72000, 71000]"));
         assert!(json.contains("\"per_epoch_delta_pairs\": [300, 410, 520]"));
         assert!(json.contains("\"total_delta_pairs\": 1230"));
+        assert!(json.contains("\"serving\": {"));
+        assert!(json.contains("\"requests\": 64"));
+        assert!(json.contains("\"requests_per_sec\": 2400.0"));
+        assert!(json.contains("\"attach_mean_us\": 180.5"));
+        assert!(json.contains("\"probe_mean_us\": 95.2"));
+        assert!(json.contains("\"ingest_mean_us\": 1200.0"));
+        assert!(json.contains("\"memory_stats_mean_us\": 60.0"));
         assert!((snap.banded_skew.speedup() - 3.0).abs() < 1e-9);
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
@@ -1103,6 +1275,12 @@ mod tests {
         assert!(problems.iter().any(|p| p.contains("watch_scaling")));
         assert!(problems.iter().any(|p| p.contains("per_epoch_delta_ns")));
         assert!(problems.iter().any(|p| p.contains("total_delta_pairs")));
+        assert!(problems.iter().any(|p| p.contains("\"serving\"")));
+        assert!(problems.iter().any(|p| p.contains("requests_per_sec")));
+        assert!(problems.iter().any(|p| p.contains("attach_mean_us")));
+        assert!(problems.iter().any(|p| p.contains("probe_mean_us")));
+        assert!(problems.iter().any(|p| p.contains("ingest_mean_us")));
+        assert!(problems.iter().any(|p| p.contains("memory_stats_mean_us")));
         // Unbalanced structure is flagged even with all keys present.
         let mut json = String::from("{");
         for key in REQUIRED_SNAPSHOT_KEYS {
@@ -1269,5 +1447,19 @@ mod tests {
             solo.cache_hit_rate
         );
         assert!(solo.mean_probe_ms > 0.0 && solo.probes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn serving_measurement_round_trips_over_tcp() {
+        // Small sizing so the smoke measurement stays fast in tests; the
+        // shape is the real one — a live loopback server, every timed
+        // number a full request→reply cycle.
+        let rates = measure_serving_sized(40, 10, 2, 3);
+        assert!(rates.requests > 0);
+        assert!(rates.requests_per_sec > 0.0);
+        assert!(rates.attach_mean_us > 0.0);
+        assert!(rates.probe_mean_us > 0.0);
+        assert!(rates.ingest_mean_us > 0.0);
+        assert!(rates.memory_stats_mean_us > 0.0);
     }
 }

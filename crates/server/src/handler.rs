@@ -1,0 +1,819 @@
+//! The transport-agnostic serving core: `Request -> Response` dispatch.
+//!
+//! Nothing in this module touches a socket. A [`ProbeService`] holds the
+//! published corpora (each a [`plasma_core::StreamingSession`] master
+//! multiplexed onto one [`SharedKnowledgeCache`]); a [`Connection`] is
+//! one client's view — at most one attached session plus its watches —
+//! and [`Connection::handle`] maps each decoded [`Request`] to an
+//! [`Interaction`]: one response frame plus any event frames the request
+//! produced. The TCP layer ([`crate::server`]), the trace recorder
+//! ([`crate::trace`]), and any future framing all drive this same entry
+//! point, which is what makes recorded traces replayable across
+//! transports.
+//!
+//! # Panic → error boundary
+//!
+//! The engine guards invariants with panics: probing a grown cache from
+//! a stale pinned snapshot, attaching across hash families, seed
+//! mismatches. A server must outlive all of them, so every engine call
+//! sits behind the crate-private `catch_engine`: the panic is caught at the handler
+//! boundary, its message is mapped to a structured [`ErrorCode`]
+//! (`stale_session` for the stale-prefix guard, `engine_panic`
+//! otherwise), and the connection keeps serving. A thread-local shield
+//! suppresses the default panic hook's stderr spew for these *expected*
+//! panics while leaving genuine bugs loud.
+//!
+//! # Determinism
+//!
+//! Everything a response carries is deterministic for a given operation
+//! history (timing fields never cross the protocol boundary), and watch
+//! deltas produced by a connection's own ingest are drained
+//! synchronously inside [`Connection::handle`] — so a sequential script
+//! against a fresh service produces one exact frame sequence, which the
+//! trace harness pins bit-for-bit against direct library calls.
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, RwLock};
+use std::time::Duration;
+
+use plasma_core::{ApssConfig, CacheRegistry, Session, SharedKnowledgeCache, StreamingSession};
+use plasma_data::similarity::Similarity;
+
+use crate::protocol::{fingerprint_hex, fingerprint_parse, ErrorCode, Request, Response};
+
+/// One handled request: the response frame plus any event frames it
+/// produced (watch registration answers, own-ingest deltas), in delivery
+/// order.
+#[derive(Debug)]
+pub struct Interaction {
+    /// The reply to the request.
+    pub response: Response,
+    /// Event frames to push after the reply, in order.
+    pub events: Vec<Response>,
+}
+
+impl Interaction {
+    fn reply(response: Response) -> Self {
+        Interaction {
+            response,
+            events: Vec::new(),
+        }
+    }
+
+    fn error(code: ErrorCode, message: impl Into<String>) -> Self {
+        Interaction::reply(Response::Error {
+            code,
+            message: message.into(),
+        })
+    }
+}
+
+/// One published corpus: a master streaming session whose forks serve
+/// every attached connection, all sharing one knowledge cache and one
+/// watch registry.
+struct ServedCorpus {
+    name: String,
+    measure: Similarity,
+    cfg: ApssConfig,
+    /// Forked per attach; also the corpus-wide watch/epoch vantage
+    /// point. The mutex guards only fork/inspect — probes and ingests
+    /// run on the forks, serialized by the corpus's own record lock.
+    master: Mutex<StreamingSession>,
+}
+
+/// The shared serving state: published corpora over one cache registry.
+pub struct ProbeService {
+    registry: CacheRegistry,
+    corpora: RwLock<BTreeMap<String, Arc<ServedCorpus>>>,
+    /// Bumped (and broadcast) after every adopted ingest; connection
+    /// pusher threads wait on it to deliver cross-connection watch
+    /// deltas promptly.
+    ingest_signal: (Mutex<u64>, Condvar),
+    active_sessions: AtomicUsize,
+    draining: AtomicBool,
+}
+
+impl Default for ProbeService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeService {
+    /// An empty service.
+    pub fn new() -> Self {
+        ProbeService {
+            registry: CacheRegistry::new(),
+            corpora: RwLock::new(BTreeMap::new()),
+            ingest_signal: (Mutex::new(0), Condvar::new()),
+            active_sessions: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// True once a drain was requested; the transport stops accepting
+    /// and the handler refuses new publishes/attaches.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a drain and wakes every ingest-signal waiter so pusher
+    /// threads can observe the flag.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.bump_ingest_signal();
+    }
+
+    /// The current ingest-signal stamp; pass to
+    /// [`wait_ingest_signal`](Self::wait_ingest_signal).
+    pub fn ingest_stamp(&self) -> u64 {
+        *self.ingest_signal.0.lock().expect("ingest signal lock")
+    }
+
+    /// Blocks until the stamp moves past `seen`, the timeout lapses, or
+    /// a drain begins; returns the current stamp.
+    pub fn wait_ingest_signal(&self, seen: u64, timeout: Duration) -> u64 {
+        let (lock, cvar) = &self.ingest_signal;
+        let guard = lock.lock().expect("ingest signal lock");
+        let (guard, _) = cvar
+            .wait_timeout_while(guard, timeout, |stamp| *stamp == seen && !self.draining())
+            .expect("ingest signal lock");
+        *guard
+    }
+
+    fn bump_ingest_signal(&self) {
+        let (lock, cvar) = &self.ingest_signal;
+        *lock.lock().expect("ingest signal lock") += 1;
+        cvar.notify_all();
+    }
+
+    fn corpus(&self, fingerprint: &str) -> Option<Arc<ServedCorpus>> {
+        self.corpora
+            .read()
+            .expect("corpora lock")
+            .get(fingerprint)
+            .cloned()
+    }
+
+    /// Live attached sessions across all connections.
+    pub fn session_count(&self) -> usize {
+        self.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Live watches across all corpora.
+    pub fn watch_count(&self) -> usize {
+        let corpora = self.corpora.read().expect("corpora lock");
+        corpora
+            .values()
+            .map(|c| c.master.lock().expect("master lock").watch_count())
+            .sum()
+    }
+}
+
+/// Session state of one connection.
+enum SessionKind {
+    /// A fork of the corpus master: may probe, ingest, and watch. The
+    /// fork shares the corpus records, cache, and watch registry, so the
+    /// session alone keeps the served state alive.
+    Stream { session: StreamingSession },
+    /// A probe-only snapshot of the corpus at attach time; goes stale
+    /// (structured `stale_session` error) once the corpus grows.
+    Pinned { session: Session },
+}
+
+struct ConnState {
+    session: Option<SessionKind>,
+    /// Live watches in registration order, keyed by the
+    /// connection-scoped id echoed on delta frames.
+    watches: Vec<(u64, plasma_core::WatchHandle)>,
+    next_watch_id: u64,
+}
+
+/// One client's view of the service. The transport owns exactly one per
+/// connection and must call [`close`](Connection::close) (or drop) when
+/// the peer goes away: that releases the session slot and the watch
+/// handles, whose registry entries auto-cancel.
+pub struct Connection {
+    service: Arc<ProbeService>,
+    state: Mutex<ConnState>,
+}
+
+impl Connection {
+    /// Opens a connection against the service.
+    pub fn new(service: Arc<ProbeService>) -> Self {
+        Connection {
+            service,
+            state: Mutex::new(ConnState {
+                session: None,
+                watches: Vec::new(),
+                next_watch_id: 0,
+            }),
+        }
+    }
+
+    /// The service this connection serves.
+    pub fn service(&self) -> &Arc<ProbeService> {
+        &self.service
+    }
+
+    /// Handles one request, returning the response plus any event
+    /// frames it produced.
+    pub fn handle(&self, request: Request) -> Interaction {
+        match request {
+            Request::Publish {
+                name,
+                measure,
+                records,
+                cfg,
+            } => self.handle_publish(name, measure, records, cfg.to_apss_config()),
+            Request::Attach {
+                fingerprint,
+                pinned,
+                declared_measure,
+            } => self.handle_attach(&fingerprint, pinned, declared_measure),
+            Request::Probe { threshold } => self.handle_probe(threshold),
+            Request::Ingest { records } => self.handle_ingest(&records),
+            Request::Watch { threshold } => self.handle_watch(threshold),
+            Request::MemoryStats => self.handle_memory_stats(),
+            Request::Health => {
+                let status = if self.service.draining() {
+                    "draining"
+                } else {
+                    "ok"
+                };
+                Interaction::reply(Response::Health {
+                    status: status.to_string(),
+                    corpora: self.service.corpora.read().expect("corpora lock").len(),
+                    sessions: self.service.session_count(),
+                    watches: self.service.watch_count(),
+                })
+            }
+            Request::Ready => Interaction::reply(Response::Ready {
+                ready: !self.service.draining(),
+            }),
+            Request::Detach => {
+                self.release_session();
+                Interaction::reply(Response::Detached)
+            }
+            Request::Shutdown => {
+                self.service.begin_drain();
+                Interaction::reply(Response::ShuttingDown)
+            }
+        }
+    }
+
+    fn handle_publish(
+        &self,
+        name: String,
+        measure: Similarity,
+        records: Vec<plasma_data::vector::SparseVector>,
+        cfg: ApssConfig,
+    ) -> Interaction {
+        if self.service.draining() {
+            return Interaction::error(ErrorCode::Draining, "server is draining");
+        }
+        let fp = fingerprint_hex(CacheRegistry::fingerprint(&records, measure, &cfg));
+        let mut corpora = self.service.corpora.write().expect("corpora lock");
+        if let Some(existing) = corpora.get(&fp) {
+            // Idempotent re-publish: answer with the corpus as it stands
+            // (it may have grown since the original publish).
+            let master = existing.master.lock().expect("master lock");
+            return Interaction::reply(Response::Published {
+                fingerprint: fp.clone(),
+                records: master.len(),
+                epoch: master.epoch(),
+            });
+        }
+        let built = catch_engine(|| {
+            let cache = self.service.registry.get_or_build(&records, measure, &cfg);
+            StreamingSession::from_records(records, measure, cfg).with_shared_cache(cache)
+        });
+        match built {
+            Ok(master) => {
+                let response = Response::Published {
+                    fingerprint: fp.clone(),
+                    records: master.len(),
+                    epoch: master.epoch(),
+                };
+                corpora.insert(
+                    fp,
+                    Arc::new(ServedCorpus {
+                        name,
+                        measure,
+                        cfg,
+                        master: Mutex::new(master),
+                    }),
+                );
+                Interaction::reply(response)
+            }
+            Err(msg) => Interaction::error(ErrorCode::EnginePanic, msg),
+        }
+    }
+
+    fn handle_attach(
+        &self,
+        fingerprint: &str,
+        pinned: bool,
+        declared_measure: Option<Similarity>,
+    ) -> Interaction {
+        if self.service.draining() {
+            return Interaction::error(ErrorCode::Draining, "server is draining");
+        }
+        if fingerprint_parse(fingerprint).is_none() {
+            return Interaction::error(
+                ErrorCode::BadRequest,
+                "'fingerprint' must be 32 hex digits",
+            );
+        }
+        let mut state = self.state.lock().expect("connection state lock");
+        if state.session.is_some() {
+            return Interaction::error(
+                ErrorCode::AlreadyAttached,
+                "this connection already holds a session; detach first",
+            );
+        }
+        let Some(corpus) = self.service.corpus(fingerprint) else {
+            return Interaction::error(
+                ErrorCode::UnknownFingerprint,
+                format!("no published corpus has fingerprint {fingerprint}"),
+            );
+        };
+        if !pinned {
+            if let Some(declared) = declared_measure {
+                if declared != corpus.measure {
+                    return Interaction::error(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "corpus '{}' was published with a different measure",
+                            corpus.name
+                        ),
+                    );
+                }
+            }
+            let master = corpus.master.lock().expect("master lock");
+            let session = master.fork();
+            let (records, epoch) = (master.len(), master.epoch());
+            drop(master);
+            state.session = Some(SessionKind::Stream { session });
+            self.service.active_sessions.fetch_add(1, Ordering::SeqCst);
+            return Interaction::reply(Response::Attached {
+                fingerprint: fingerprint.to_string(),
+                pinned: false,
+                records,
+                epoch,
+            });
+        }
+        // Pinned: snapshot the corpus and open a batch session over the
+        // shared cache. The declared measure (defaulting to the corpus's)
+        // flows into the session so the engine's hash-family guard fires
+        // on a mismatch — surfaced as a structured error, not a crash.
+        let measure = declared_measure.unwrap_or(corpus.measure);
+        let mut last_err = String::new();
+        // A concurrent ingest can land between the snapshot and the
+        // cache-length assertion; retry against the fresh epoch.
+        for _ in 0..3 {
+            let master = corpus.master.lock().expect("master lock");
+            let snapshot = master.records_snapshot();
+            let cache = master.shared_cache().expect("published corpus has a cache");
+            let epoch = master.epoch();
+            drop(master);
+            let records = snapshot.len();
+            let built = catch_engine(|| {
+                Session::from_records(snapshot, measure, corpus.cfg).with_shared_cache(cache)
+            });
+            match built {
+                Ok(session) => {
+                    state.session = Some(SessionKind::Pinned { session });
+                    self.service.active_sessions.fetch_add(1, Ordering::SeqCst);
+                    return Interaction::reply(Response::Attached {
+                        fingerprint: fingerprint.to_string(),
+                        pinned: true,
+                        records,
+                        epoch,
+                    });
+                }
+                Err(msg) => {
+                    let raced = msg.contains("shared cache sketches") && measure == corpus.measure;
+                    last_err = msg;
+                    if !raced {
+                        break;
+                    }
+                }
+            }
+        }
+        Interaction::error(ErrorCode::EnginePanic, last_err)
+    }
+
+    fn handle_probe(&self, threshold: f64) -> Interaction {
+        let mut state = self.state.lock().expect("connection state lock");
+        match state.session.as_mut() {
+            None => Interaction::error(ErrorCode::NoSession, "attach to a corpus first"),
+            Some(SessionKind::Stream { session, .. }) => {
+                // The probe pins one consistent epoch internally, but the
+                // session can only report its epoch after the pin is
+                // released — a concurrent ingest in that gap would mislabel
+                // the frame. Epoch-stable across the probe ⇒ that is the
+                // epoch the probe saw; retry the rare races.
+                match catch_engine(AssertUnwindSafe(|| {
+                    for _ in 0..16 {
+                        let before = session.epoch();
+                        let report = session.probe(threshold);
+                        if session.epoch() == before {
+                            return (report, before);
+                        }
+                    }
+                    let report = session.probe(threshold);
+                    let epoch = session.epoch();
+                    (report, epoch)
+                })) {
+                    Ok((report, epoch)) => Interaction::reply(Response::from_probe(&report, epoch)),
+                    Err(msg) => Interaction::error(classify_panic(&msg), msg),
+                }
+            }
+            Some(SessionKind::Pinned { session, .. }) => {
+                let epoch = session
+                    .shared_cache()
+                    .map(|c| c.epoch())
+                    .unwrap_or_default();
+                match catch_engine(AssertUnwindSafe(|| session.probe(threshold))) {
+                    Ok(report) => Interaction::reply(Response::from_probe(&report, epoch)),
+                    Err(msg) => Interaction::error(classify_panic(&msg), msg),
+                }
+            }
+        }
+    }
+
+    fn handle_ingest(&self, records: &[plasma_data::vector::SparseVector]) -> Interaction {
+        let mut state = self.state.lock().expect("connection state lock");
+        match state.session.as_mut() {
+            None => Interaction::error(ErrorCode::NoSession, "attach to a corpus first"),
+            Some(SessionKind::Pinned { .. }) => Interaction::error(
+                ErrorCode::BadRequest,
+                "pinned sessions are probe-only; attach with pinned=false to ingest",
+            ),
+            Some(SessionKind::Stream { session, .. }) => {
+                match catch_engine(AssertUnwindSafe(|| session.ingest(records))) {
+                    Ok(report) => {
+                        let response = Response::Ingested {
+                            records_added: report.records_added,
+                            total_records: report.total_records,
+                            epoch: report.epoch,
+                            carried_memos: report.carried_memos,
+                        };
+                        // Our own watches drain synchronously — the
+                        // deltas ride right behind the receipt, in
+                        // registration order, making the frame sequence
+                        // deterministic for traces. Other connections'
+                        // pushers are then woken to drain theirs.
+                        let events = drain_watches(&mut state);
+                        if report.records_added > 0 {
+                            self.service.bump_ingest_signal();
+                        }
+                        Interaction { response, events }
+                    }
+                    Err(msg) => Interaction::error(classify_panic(&msg), msg),
+                }
+            }
+        }
+    }
+
+    fn handle_watch(&self, threshold: f64) -> Interaction {
+        let mut state = self.state.lock().expect("connection state lock");
+        match state.session.as_mut() {
+            None => Interaction::error(ErrorCode::NoSession, "attach to a corpus first"),
+            Some(SessionKind::Pinned { .. }) => Interaction::error(
+                ErrorCode::BadRequest,
+                "pinned sessions are probe-only; attach with pinned=false to watch",
+            ),
+            Some(SessionKind::Stream { session, .. }) => {
+                match catch_engine(AssertUnwindSafe(|| session.watch(threshold))) {
+                    Ok(handle) => {
+                        let watch_id = state.next_watch_id;
+                        state.next_watch_id += 1;
+                        state.watches.push((watch_id, handle));
+                        // The registration delta (the full answer at the
+                        // current epoch) is already queued; deliver it
+                        // right behind the ack.
+                        let events = drain_watches(&mut state);
+                        Interaction {
+                            response: Response::WatchAck {
+                                watch_id,
+                                threshold,
+                            },
+                            events,
+                        }
+                    }
+                    Err(msg) => Interaction::error(classify_panic(&msg), msg),
+                }
+            }
+        }
+    }
+
+    fn handle_memory_stats(&self) -> Interaction {
+        let state = self.state.lock().expect("connection state lock");
+        let (scope, stats) = match &state.session {
+            Some(kind) => {
+                let cache = match kind {
+                    SessionKind::Stream { session, .. } => session.shared_cache(),
+                    SessionKind::Pinned { session, .. } => session.shared_cache(),
+                };
+                match cache {
+                    Some(cache) => ("corpus", vec![cache]),
+                    None => ("corpus", Vec::new()),
+                }
+            }
+            None => {
+                let corpora = self.service.corpora.read().expect("corpora lock");
+                let caches: Vec<Arc<SharedKnowledgeCache>> = corpora
+                    .values()
+                    .filter_map(|c| c.master.lock().expect("master lock").shared_cache())
+                    .collect();
+                ("registry", caches)
+            }
+        };
+        let mut response = Response::MemoryStatsResult {
+            scope: scope.to_string(),
+            entries: 0,
+            memo_bytes: 0,
+            sketch_bytes: 0,
+            bucket_cache_bytes: 0,
+            bucket_build_records: 0,
+            capacity_bytes: None,
+            evicted_entries: 0,
+            cache_hits: 0,
+        };
+        if let Response::MemoryStatsResult {
+            entries,
+            memo_bytes,
+            sketch_bytes,
+            bucket_cache_bytes,
+            bucket_build_records,
+            capacity_bytes,
+            evicted_entries,
+            cache_hits,
+            ..
+        } = &mut response
+        {
+            for cache in stats {
+                let s = cache.memory_stats();
+                *entries += s.entries;
+                *memo_bytes += s.memo_bytes;
+                *sketch_bytes += s.sketch_bytes;
+                *bucket_cache_bytes += s.bucket_cache_bytes;
+                *bucket_build_records += s.bucket_build_records;
+                *capacity_bytes = match (*capacity_bytes, s.capacity_bytes) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    (a, b) => a.or(b),
+                };
+                *evicted_entries += s.evicted_entries;
+                *cache_hits += s.cache_hits;
+            }
+        }
+        Interaction::reply(response)
+    }
+
+    /// Event frames other connections' ingests have queued on this
+    /// connection's watches, in watch-registration order. The transport's
+    /// pusher calls this when the service's ingest signal fires.
+    pub fn drain_watch_frames(&self) -> Vec<Response> {
+        let mut state = self.state.lock().expect("connection state lock");
+        drain_watches(&mut state)
+    }
+
+    /// Live watches on this connection.
+    pub fn watch_count(&self) -> usize {
+        self.state
+            .lock()
+            .expect("connection state lock")
+            .watches
+            .len()
+    }
+
+    /// Drops the session and every watch (auto-cancelling their registry
+    /// entries). Idempotent; called by the transport on peer disconnect.
+    pub fn close(&self) {
+        self.release_session();
+    }
+
+    fn release_session(&self) {
+        let mut state = self.state.lock().expect("connection state lock");
+        state.watches.clear();
+        if state.session.take().is_some() {
+            self.service.active_sessions.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn drain_watches(state: &mut ConnState) -> Vec<Response> {
+    let mut events = Vec::new();
+    for (watch_id, handle) in &state.watches {
+        for delta in handle.drain() {
+            events.push(Response::WatchDeltaEvent {
+                watch_id: *watch_id,
+                delta,
+            });
+        }
+    }
+    events
+}
+
+/// Maps an engine panic message to the protocol error code.
+fn classify_panic(message: &str) -> ErrorCode {
+    if message.contains("re-sync the corpus") || message.contains("stale prefix") {
+        ErrorCode::StaleSession
+    } else {
+        ErrorCode::EnginePanic
+    }
+}
+
+thread_local! {
+    /// True while this thread runs an engine call under [`catch_engine`];
+    /// the shield hook swallows panic output for exactly that window.
+    static CAPTURING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static SHIELD: Once = Once::new();
+
+fn install_shield() {
+    SHIELD.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs an engine call, converting a panic into its message. Guards
+/// (mutexes) must be acquired *outside* the closure so an unwinding
+/// engine call cannot poison them.
+fn catch_engine<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_shield();
+    CAPTURING.with(|c| c.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "engine panicked with a non-string payload".to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::PublishCfg;
+    use plasma_data::vector::SparseVector;
+
+    fn corpus(n: usize) -> Vec<SparseVector> {
+        (0..n)
+            .map(|i| {
+                SparseVector::from_pairs(vec![
+                    ((i % 7) as u32, 1.0),
+                    ((i % 5 + 10) as u32, 0.5),
+                    ((i % 3 + 20) as u32, 2.0),
+                ])
+            })
+            .collect()
+    }
+
+    fn publish(conn: &Connection, n: usize) -> String {
+        let outcome = conn.handle(Request::Publish {
+            name: "t".into(),
+            measure: Similarity::Jaccard,
+            records: corpus(n),
+            cfg: PublishCfg {
+                parallelism: Some(1),
+                ..PublishCfg::default()
+            },
+        });
+        match outcome.response {
+            Response::Published { fingerprint, .. } => fingerprint,
+            other => panic!("publish failed: {}", other.encode()),
+        }
+    }
+
+    #[test]
+    fn publish_attach_probe_round_trip() {
+        let service = Arc::new(ProbeService::new());
+        let conn = Connection::new(service.clone());
+        let fp = publish(&conn, 24);
+        let attached = conn.handle(Request::Attach {
+            fingerprint: fp.clone(),
+            pinned: false,
+            declared_measure: None,
+        });
+        assert!(matches!(attached.response, Response::Attached { .. }));
+        let probed = conn.handle(Request::Probe { threshold: 0.5 });
+        match probed.response {
+            Response::ProbeResult { epoch, .. } => assert_eq!(epoch, 0),
+            other => panic!("probe failed: {}", other.encode()),
+        }
+        assert_eq!(service.session_count(), 1);
+        conn.close();
+        assert_eq!(service.session_count(), 0);
+    }
+
+    #[test]
+    fn publish_is_idempotent_by_fingerprint() {
+        let service = Arc::new(ProbeService::new());
+        let conn = Connection::new(service);
+        let fp1 = publish(&conn, 16);
+        let fp2 = publish(&conn, 16);
+        assert_eq!(fp1, fp2);
+        assert_eq!(
+            conn.service().corpora.read().expect("corpora lock").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn stale_pinned_probe_is_a_structured_error() {
+        let service = Arc::new(ProbeService::new());
+        let writer = Connection::new(service.clone());
+        let fp = publish(&writer, 16);
+        writer.handle(Request::Attach {
+            fingerprint: fp.clone(),
+            pinned: false,
+            declared_measure: None,
+        });
+        let reader = Connection::new(service);
+        reader.handle(Request::Attach {
+            fingerprint: fp,
+            pinned: true,
+            declared_measure: None,
+        });
+        // Grow the corpus under the pinned reader.
+        writer.handle(Request::Ingest { records: corpus(4) });
+        let outcome = reader.handle(Request::Probe { threshold: 0.5 });
+        match outcome.response {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::StaleSession),
+            other => panic!("expected stale_session, got {}", other.encode()),
+        }
+        // The connection survives and can re-attach.
+        reader.handle(Request::Detach);
+        let again = reader.handle(Request::Probe { threshold: 0.5 });
+        match again.response {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSession),
+            other => panic!("expected no_session, got {}", other.encode()),
+        }
+    }
+
+    #[test]
+    fn measure_mismatch_surfaces_engine_guard() {
+        let service = Arc::new(ProbeService::new());
+        let conn = Connection::new(service);
+        let fp = publish(&conn, 12);
+        let outcome = conn.handle(Request::Attach {
+            fingerprint: fp,
+            pinned: true,
+            declared_measure: Some(Similarity::Cosine),
+        });
+        match outcome.response {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::EnginePanic);
+                assert!(message.contains("hash family"), "{message}");
+            }
+            other => panic!("expected engine_panic, got {}", other.encode()),
+        }
+    }
+
+    #[test]
+    fn own_ingest_drains_watch_deltas_synchronously() {
+        let service = Arc::new(ProbeService::new());
+        let conn = Connection::new(service);
+        let fp = publish(&conn, 20);
+        conn.handle(Request::Attach {
+            fingerprint: fp,
+            pinned: false,
+            declared_measure: None,
+        });
+        let watched = conn.handle(Request::Watch { threshold: 0.5 });
+        assert!(matches!(
+            watched.response,
+            Response::WatchAck { watch_id: 0, .. }
+        ));
+        assert_eq!(watched.events.len(), 1, "registration delta rides the ack");
+        let ingested = conn.handle(Request::Ingest { records: corpus(6) });
+        assert!(matches!(ingested.response, Response::Ingested { .. }));
+        assert_eq!(ingested.events.len(), 1, "own ingest drains own watches");
+        match &ingested.events[0] {
+            Response::WatchDeltaEvent { watch_id, delta } => {
+                assert_eq!(*watch_id, 0);
+                assert_eq!(delta.epoch, 1);
+            }
+            other => panic!("expected watch delta, got {}", other.encode()),
+        }
+    }
+}

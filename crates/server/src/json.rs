@@ -1,0 +1,446 @@
+//! A minimal JSON value, writer, and parser.
+//!
+//! The offline build container carries no serde, so the wire protocol
+//! hand-rolls its serialization over this module. Two properties matter
+//! more than generality:
+//!
+//! * **Exact `f64` round-trips.** Floats are written with Rust's shortest
+//!   round-trip formatting (`{}`), which [`str::parse::<f64>`] inverts bit
+//!   for bit for every finite value — the foundation of the serving
+//!   layer's "replayed responses are bit-identical" guarantee. Non-finite
+//!   floats (which no engine output produces) degrade to `null`.
+//! * **Hostile-input safety.** The parser is recursion-depth-bounded and
+//!   rejects trailing garbage, so a malformed frame becomes a structured
+//!   protocol error, never a stack overflow or a silent partial parse.
+//!
+//! Numbers keep their integer-ness: a token without `.`/`e` parses to
+//! [`Json::Int`], everything else to [`Json::Float`]. Readers that expect
+//! a float accept either ([`Json::as_f64`]), so `1.0` surviving a trip as
+//! `1` still decodes exactly.
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number token without fraction or exponent.
+    Int(i64),
+    /// A number token with fraction or exponent (finite).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved (the writer is canonical).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (exact for `Int` up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `usize`, when integral and in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace). The encoding is
+    /// canonical for a given value: field order is the construction
+    /// order, floats use shortest round-trip formatting.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{}` is Rust's shortest exact round-trip form; it may
+                    // drop the fraction ("1"), which decodes as Int — readers
+                    // accept both, so the value survives unchanged.
+                    out.push_str(&format!("{f}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (n, item) in items.iter().enumerate() {
+                    if n > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (n, (k, v)) in fields.iter().enumerate() {
+                    if n > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting depth past which the parser refuses a document (a hostile
+/// frame cannot drive the recursive parser off the stack).
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document, rejecting trailing non-whitespace.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos, depth + 1)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        // Run of plain UTF-8 bytes, appended in one slice.
+        while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+            *pos += 1;
+        }
+        out.push_str(
+            std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid UTF-8".to_string())?,
+        );
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        // Surrogate pair?
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            let hex2 = bytes
+                                .get(*pos + 3..*pos + 7)
+                                .ok_or("truncated \\u escape")?;
+                            let hex2 = std::str::from_utf8(hex2).map_err(|_| "bad \\u escape")?;
+                            let lo = u32::from_str_radix(hex2, 16).map_err(|_| "bad \\u escape")?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            *pos += 6;
+                            char::from_u32(0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00))
+                                .ok_or("bad surrogate pair")?
+                        } else {
+                            char::from_u32(cp).ok_or("bad \\u codepoint")?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => unreachable!("loop stops only at quote or backslash"),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    if token.is_empty() || token == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    // "-0" must stay a float: as an i64 it would lose the sign bit the
+    // exact round-trip promises to keep.
+    if fractional || token == "-0" {
+        token
+            .parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("invalid number '{token}'"))
+    } else {
+        match token.parse::<i64>() {
+            Ok(i) => Ok(Json::Int(i)),
+            // Integer tokens beyond i64 fall back to f64 (lossy past 2^53;
+            // no protocol field gets near that).
+            Err(_) => token
+                .parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("invalid number '{token}'")),
+        }
+    }
+}
+
+/// Shorthand for building an object.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x\n\"y\"","d":true,"e":null}}"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(parse(&v.encode()).expect("re-parses"), v);
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -0.0,
+            std::f64::consts::FRAC_1_SQRT_2,
+            1.000000123e8,
+        ] {
+            let enc = Json::Float(x).encode();
+            let back = parse(&enc).expect("parses").as_f64().expect("number");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} → {enc} → {back}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let v = parse("[0,-7,9007199254740993]").expect("parses");
+        let items = v.as_arr().expect("array");
+        assert_eq!(items[0], Json::Int(0));
+        assert_eq!(items[1], Json::Int(-7));
+        // Beyond 2^53 still parses (as the closest representable).
+        assert!(items[2].as_f64().is_some() || items[2].as_u64().is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "{\"a\":1}extra",
+            "",
+            "-",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_bound_refuses_hostile_nesting() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""Aé😀""#).expect("parses");
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        // Control characters are escaped on the way out.
+        assert_eq!(Json::Str("\u{1}".into()).encode(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,37 @@
+//! The PLASMA-HD probe service: the engine, served.
+//!
+//! PLASMA-HD's interactive loop — an analyst continuously re-probing a
+//! growing corpus at shifting thresholds — only matters if the engine
+//! can be *served*, not just linked. This crate stands the streaming
+//! engine up behind a socket with zero new dependencies:
+//!
+//! * [`protocol`] — newline-delimited JSON frames over a hand-rolled
+//!   [`json`] value (no serde in the offline container), with exact
+//!   `f64` round-trips so served numbers are the library's numbers.
+//! * [`handler`] — the transport-agnostic core: [`handler::ProbeService`]
+//!   holds published corpora (one [`plasma_core::SharedKnowledgeCache`]
+//!   each), [`handler::Connection`] maps `Request -> Response` and
+//!   catches engine panics into structured errors.
+//! * [`server`] — thread-per-connection TCP transport with pushed
+//!   watch-delta frames and graceful drain.
+//! * [`client`] / [`trace`] — a blocking client, and the trace
+//!   capture/replay harness that pins every served frame bit-identical
+//!   to direct library execution.
+//!
+//! The serving guarantee is the engine's determinism carried across the
+//! wire: a recorded script replayed against a fresh server reproduces
+//! every response and watch-delta frame byte for byte
+//! (`crates/server/tests/trace_replay.rs`).
+
+pub mod client;
+pub mod handler;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod trace;
+
+pub use client::{Frame, ProbeClient};
+pub use handler::{Connection, Interaction, ProbeService};
+pub use protocol::{ErrorCode, PublishCfg, Request, Response};
+pub use server::ProbeServer;
+pub use trace::{Trace, TraceEntry, TraceRecorder};

@@ -1,0 +1,177 @@
+//! `plasma-serve`: the PLASMA-HD probe service over TCP.
+//!
+//! ```text
+//! plasma-serve [--addr HOST:PORT] [--self-check]
+//! ```
+//!
+//! Without flags, binds `--addr` (default `127.0.0.1:7171`) and serves
+//! until a client sends `shutdown`. With `--self-check`, boots on an
+//! ephemeral port, runs a scripted client through every verb (publish,
+//! attach, watch, probe, ingest, memory_stats, health, shutdown),
+//! verifies each reply, and exits non-zero on any failure — the CI
+//! smoke test.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_server::{ProbeClient, ProbeServer, ProbeService, PublishCfg, Request};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut self_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return usage("--addr needs a HOST:PORT value"),
+            },
+            "--self-check" => self_check = true,
+            "--help" | "-h" => {
+                println!("usage: plasma-serve [--addr HOST:PORT] [--self-check]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    if self_check {
+        return match run_self_check() {
+            Ok(()) => {
+                println!("self-check: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-check: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let service = Arc::new(ProbeService::new());
+    let server = match ProbeServer::start(service, &addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("plasma-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("plasma-serve: listening on {}", server.local_addr());
+    server.wait();
+    println!("plasma-serve: drained, bye");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("plasma-serve: {msg}\nusage: plasma-serve [--addr HOST:PORT] [--self-check]");
+    ExitCode::FAILURE
+}
+
+/// A deterministic little corpus for the scripted client.
+fn demo_records(n: usize, offset: usize) -> Vec<SparseVector> {
+    (0..n)
+        .map(|i| {
+            let i = i + offset;
+            SparseVector::from_pairs(vec![
+                ((i % 11) as u32, 1.0),
+                ((i % 7 + 16) as u32, 0.5 + (i % 3) as f64),
+                ((i % 5 + 32) as u32, 2.0),
+            ])
+        })
+        .collect()
+}
+
+/// Boots a server on an ephemeral port and runs every verb through it.
+fn run_self_check() -> Result<(), String> {
+    let service = Arc::new(ProbeService::new());
+    let server =
+        ProbeServer::start(service, "127.0.0.1:0").map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    let mut client = ProbeClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    let step = |what: &str,
+                client: &mut ProbeClient,
+                req: Request,
+                want_type: &str|
+     -> Result<plasma_server::Frame, String> {
+        let frame = client
+            .request(&req)
+            .map_err(|e| format!("{what}: transport failed: {e}"))?;
+        if frame.frame_type() != want_type {
+            return Err(format!("{what}: expected '{want_type}', got {}", frame.raw));
+        }
+        Ok(frame)
+    };
+
+    let published = step(
+        "publish",
+        &mut client,
+        Request::Publish {
+            name: "self-check".into(),
+            measure: Similarity::Jaccard,
+            records: demo_records(32, 0),
+            cfg: PublishCfg::default(),
+        },
+        "published",
+    )?;
+    let fingerprint = published
+        .json
+        .get("fingerprint")
+        .and_then(|f| f.as_str().map(str::to_string))
+        .ok_or("publish reply carries no fingerprint")?;
+    step(
+        "attach",
+        &mut client,
+        Request::Attach {
+            fingerprint,
+            pinned: false,
+            declared_measure: Some(Similarity::Jaccard),
+        },
+        "attached",
+    )?;
+    step(
+        "watch",
+        &mut client,
+        Request::Watch { threshold: 0.6 },
+        "watch_ack",
+    )?;
+    let registration = client
+        .poll_event(Duration::from_secs(5))
+        .map_err(|e| format!("watch: event read failed: {e}"))?
+        .ok_or("watch: registration delta never arrived")?;
+    if registration.frame_type() != "watch_delta" {
+        return Err(format!("watch: expected delta, got {}", registration.raw));
+    }
+    step(
+        "probe",
+        &mut client,
+        Request::Probe { threshold: 0.6 },
+        "probe_result",
+    )?;
+    step(
+        "ingest",
+        &mut client,
+        Request::Ingest {
+            records: demo_records(8, 32),
+        },
+        "ingested",
+    )?;
+    let delta = client
+        .poll_event(Duration::from_secs(5))
+        .map_err(|e| format!("ingest: event read failed: {e}"))?
+        .ok_or("ingest: watch delta never arrived")?;
+    if delta.json.get("epoch").and_then(|e| e.as_u64()) != Some(1) {
+        return Err(format!("ingest: delta at wrong epoch: {}", delta.raw));
+    }
+    step(
+        "memory_stats",
+        &mut client,
+        Request::MemoryStats,
+        "memory_stats",
+    )?;
+    step("health", &mut client, Request::Health, "health")?;
+    step("shutdown", &mut client, Request::Shutdown, "shutting_down")?;
+    drop(client);
+    server.wait();
+    Ok(())
+}

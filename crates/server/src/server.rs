@@ -1,0 +1,266 @@
+//! The TCP transport: newline-delimited frames over `std::net`.
+//!
+//! This layer owns everything the handler must not know about: sockets,
+//! framing, per-connection threads, and shutdown. Each accepted
+//! connection gets two threads —
+//!
+//! * a **reader** that extracts frames (a manual buffer over 50 ms read
+//!   timeouts, so shutdown is observed even on a silent socket), decodes
+//!   them, and drives [`Connection::handle`];
+//! * a **pusher** that waits on the service's ingest signal and delivers
+//!   watch-delta event frames queued by *other* connections' ingests.
+//!
+//! Both write through one per-connection mutex held across
+//! handle-then-write, so a connection's frames never interleave and the
+//! response-then-events order the handler produces is exactly the order
+//! on the wire — the property the trace replay harness asserts.
+//!
+//! Disconnect at any point (mid-ingest, mid-watch-stream, half-sent
+//! frame) lands in the reader's exit path: [`Connection::close`] drops
+//! the session and watch handles, whose registry entries auto-cancel,
+//! leaving survivors' outputs untouched. Shutdown (the `shutdown` verb
+//! or [`ProbeServer::shutdown`]) drains: the acceptor stops, in-flight
+//! requests complete, idle connections close after a short grace.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::handler::{Connection, Interaction, ProbeService};
+use crate::protocol::{Request, Response, MAX_FRAME_BYTES};
+
+/// Polling interval for the nonblocking acceptor and the socket read
+/// timeout: shutdown latency is a small multiple of this.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Read-timeout ticks a silent connection survives after a drain begins
+/// before the server closes it.
+const DRAIN_GRACE_TICKS: u32 = 4;
+
+/// A running probe server bound to one TCP address.
+pub struct ProbeServer {
+    service: Arc<ProbeService>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ProbeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting.
+    pub fn start(service: Arc<ProbeService>, addr: &str) -> std::io::Result<ProbeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let service = service.clone();
+            let connections = connections.clone();
+            thread::spawn(move || loop {
+                if service.draining() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let service = service.clone();
+                        let handle = thread::spawn(move || serve_connection(service, stream));
+                        connections
+                            .lock()
+                            .expect("connection list lock")
+                            .push(handle);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL / 10),
+                    Err(_) => return,
+                }
+            })
+        };
+        Ok(ProbeServer {
+            service,
+            addr,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<ProbeService> {
+        &self.service
+    }
+
+    /// Requests a drain (idempotent; the `shutdown` verb does the same).
+    pub fn shutdown(&self) {
+        self.service.begin_drain();
+    }
+
+    /// Blocks until the acceptor and every connection thread exit. With
+    /// a drain requested, idle connections close after a short grace and
+    /// in-flight requests finish first.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut list = self.connections.lock().expect("connection list lock");
+                list.drain(..).collect()
+            };
+            if batch.is_empty() {
+                return;
+            }
+            for handle in batch {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Shuts down and waits.
+    pub fn stop(self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+/// Runs one accepted connection to completion: spawns the pusher, runs
+/// the read loop inline, then tears both down.
+fn serve_connection(service: Arc<ProbeService>, stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Connection::new(service.clone()));
+    let writer = Arc::new(Mutex::new(write_half));
+    let closed = Arc::new(AtomicBool::new(false));
+
+    let pusher = {
+        let service = service.clone();
+        let conn = conn.clone();
+        let writer = writer.clone();
+        let closed = closed.clone();
+        thread::spawn(move || {
+            let mut seen = service.ingest_stamp();
+            while !closed.load(Ordering::SeqCst) {
+                seen = service.wait_ingest_signal(seen, POLL);
+                // Lock order is writer → connection state, same as the
+                // reader's handle-then-write path.
+                let mut sink = writer.lock().expect("writer lock");
+                for frame in conn.drain_watch_frames() {
+                    if write_frame(&mut sink, &frame).is_err() {
+                        return;
+                    }
+                }
+            }
+        })
+    };
+
+    read_loop(&service, &conn, stream, &writer);
+
+    conn.close();
+    closed.store(true, Ordering::SeqCst);
+    let _ = pusher.join();
+}
+
+/// Reads frames until EOF, error, or post-drain grace expiry.
+fn read_loop(
+    service: &Arc<ProbeService>,
+    conn: &Arc<Connection>,
+    mut stream: TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut drain_ticks = 0u32;
+    loop {
+        // Serve every complete frame already buffered.
+        while let Some(line) = take_line(&mut buf) {
+            let interaction = match Request::decode(&line) {
+                Ok(request) => conn.handle_locked(writer, request),
+                Err((code, message)) => {
+                    let mut sink = writer.lock().expect("writer lock");
+                    let frame = Response::Error { code, message };
+                    if write_frame(&mut sink, &frame).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if interaction.is_err() {
+                return;
+            }
+        }
+        if buf.len() > MAX_FRAME_BYTES {
+            // A peer streaming an endless line: answer once, hang up.
+            let mut sink = writer.lock().expect("writer lock");
+            let _ = write_frame(
+                &mut sink,
+                &Response::Error {
+                    code: crate::protocol::ErrorCode::MalformedFrame,
+                    message: format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                },
+            );
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                drain_ticks = 0;
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if service.draining() {
+                    drain_ticks += 1;
+                    if drain_ticks > DRAIN_GRACE_TICKS {
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Splits the oldest complete line out of `buf`, if any.
+fn take_line(buf: &mut Vec<u8>) -> Option<String> {
+    let idx = buf.iter().position(|&b| b == b'\n')?;
+    let line: Vec<u8> = buf.drain(..=idx).collect();
+    // Invalid UTF-8 degrades lossily; the JSON decode then reports a
+    // structured malformed_frame rather than the connection dying.
+    Some(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned())
+}
+
+fn write_frame(sink: &mut TcpStream, frame: &Response) -> std::io::Result<()> {
+    let mut bytes = frame.encode().into_bytes();
+    bytes.push(b'\n');
+    sink.write_all(&bytes)?;
+    sink.flush()
+}
+
+impl Connection {
+    /// Handles one request with the connection's writer lock held across
+    /// handle-then-write, so pushed frames never interleave with the
+    /// response+events sequence. Returns `Err(())` when the peer is gone.
+    fn handle_locked(
+        self: &Arc<Self>,
+        writer: &Arc<Mutex<TcpStream>>,
+        request: Request,
+    ) -> Result<(), ()> {
+        let mut sink = writer.lock().expect("writer lock");
+        let Interaction { response, events } = self.handle(request);
+        write_frame(&mut sink, &response).map_err(|_| ())?;
+        for event in &events {
+            write_frame(&mut sink, event).map_err(|_| ())?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,178 @@
+//! Trace capture and replay: the differential discipline for the wire.
+//!
+//! A [`TraceRecorder`] drives the transport-agnostic handler directly
+//! (no socket) and records, per request, the **canonically encoded**
+//! response frame and event frames. The recorded [`Trace`] can then be
+//! replayed through a live TCP server ([`Trace::replay_over_tcp`]):
+//! every frame that comes back must equal its recorded counterpart as a
+//! raw string — which, because the encoding round-trips `f64` exactly,
+//! pins pairs, estimates, and work counters bit for bit.
+//!
+//! Replay only makes sense against a server in an equivalent state
+//! (normally: a fresh service, since work counters reflect cache
+//! warmth). Record against a fresh [`ProbeService`], replay against a
+//! fresh server, and the two histories are identical by construction.
+//!
+//! Traces serialize to JSON-lines ([`Trace::to_jsonl`]) with each frame
+//! embedded as a *string* — so the round-trip preserves the recorded
+//! bytes exactly and a stored trace is a regression artifact.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::client::ProbeClient;
+use crate::handler::{Connection, Interaction, ProbeService};
+use crate::json::{self, obj, Json};
+use crate::protocol::Request;
+
+/// One recorded interaction: the request and the exact frames it
+/// produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The request, as its encoded frame.
+    pub request: String,
+    /// The canonical response frame.
+    pub response: String,
+    /// The event frames pushed behind the response, in order.
+    pub events: Vec<String>,
+}
+
+/// A recorded client script.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Interactions in script order.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// Records a script by running it against the handler in-process.
+pub struct TraceRecorder {
+    conn: Connection,
+    trace: Trace,
+}
+
+impl TraceRecorder {
+    /// Opens a recording connection against `service`.
+    pub fn new(service: Arc<ProbeService>) -> TraceRecorder {
+        TraceRecorder {
+            conn: Connection::new(service),
+            trace: Trace::default(),
+        }
+    }
+
+    /// Handles `request`, records the interaction, and returns the
+    /// entry just recorded.
+    pub fn apply(&mut self, request: Request) -> &TraceEntry {
+        let encoded = request.encode();
+        let Interaction { response, events } = self.conn.handle(request);
+        self.trace.entries.push(TraceEntry {
+            request: encoded,
+            response: response.encode(),
+            events: events.iter().map(|e| e.encode()).collect(),
+        });
+        self.trace.entries.last().expect("just pushed")
+    }
+
+    /// The recording connection (e.g. to inspect watch state).
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+
+    /// Finishes recording.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+impl Trace {
+    /// Serializes to JSON-lines, one entry per line, frames embedded as
+    /// strings so the stored bytes are exactly the recorded bytes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let line = obj(vec![
+                ("request", Json::Str(entry.request.clone())),
+                ("response", Json::Str(entry.response.clone())),
+                (
+                    "events",
+                    Json::Arr(entry.events.iter().cloned().map(Json::Str).collect()),
+                ),
+            ]);
+            out.push_str(&line.encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`to_jsonl`](Self::to_jsonl) form.
+    pub fn from_jsonl(text: &str) -> Result<Trace, String> {
+        let mut entries = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+            let field = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing '{key}'", n + 1))
+            };
+            let events = value
+                .get("events")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("line {}: missing 'events'", n + 1))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("line {}: non-string event", n + 1))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            entries.push(TraceEntry {
+                request: field("request")?,
+                response: field("response")?,
+                events,
+            });
+        }
+        Ok(Trace { entries })
+    }
+
+    /// Replays the script over a live TCP server on one connection,
+    /// asserting every response and event frame equals its recording
+    /// byte for byte. Returns the first mismatch as an error.
+    pub fn replay_over_tcp(&self, addr: impl std::net::ToSocketAddrs) -> Result<(), String> {
+        let mut client = ProbeClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+        for (n, entry) in self.entries.iter().enumerate() {
+            client
+                .send_raw(&entry.request)
+                .map_err(|e| format!("entry {n}: send failed: {e}"))?;
+            // The handler emits response first, then events; the writer
+            // lock guarantees that order survives the wire verbatim.
+            let reply = client
+                .read_reply(Duration::from_secs(10))
+                .map_err(|e| format!("entry {n}: read failed: {e}"))?
+                .ok_or_else(|| format!("entry {n}: no reply within 10s"))?
+                .raw;
+            if reply != entry.response {
+                return Err(format!(
+                    "entry {n} ({}): response diverged\n  recorded: {}\n  replayed: {}",
+                    entry.request, entry.response, reply
+                ));
+            }
+            for (k, expected) in entry.events.iter().enumerate() {
+                let frame = client
+                    .poll_event(Duration::from_secs(10))
+                    .map_err(|e| format!("entry {n} event {k}: read failed: {e}"))?
+                    .ok_or_else(|| format!("entry {n} event {k}: no frame arrived"))?;
+                if &frame.raw != expected {
+                    return Err(format!(
+                        "entry {n} event {k}: frame diverged\n  recorded: {expected}\n  replayed: {}",
+                        frame.raw
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

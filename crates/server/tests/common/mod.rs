@@ -1,0 +1,88 @@
+//! Shared fixtures for the server integration suites.
+
+// Each test binary compiles its own copy and uses its own subset.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use plasma_data::similarity::Similarity;
+use plasma_data::vector::SparseVector;
+use plasma_server::{Frame, ProbeClient, ProbeServer, ProbeService, PublishCfg, Request};
+
+/// A deterministic corpus slice with real similarity structure: records
+/// share dimension clusters, so probes at mid thresholds find pairs and
+/// prune others. `offset` continues the same stream (for ingest
+/// batches).
+pub fn corpus(n: usize, offset: usize) -> Vec<SparseVector> {
+    (0..n)
+        .map(|k| {
+            let i = k + offset;
+            // Three overlapping dimension groups; every ~4th record is a
+            // near-duplicate of its predecessor.
+            let base = if i % 4 == 3 { i - 1 } else { i };
+            SparseVector::from_pairs(vec![
+                ((base % 9) as u32, 1.0),
+                ((base % 6 + 12) as u32, 1.0),
+                ((base % 4 + 24) as u32, 1.0),
+                ((i % 13 + 32) as u32, 1.0),
+            ])
+        })
+        .collect()
+}
+
+/// Boots a fresh service and TCP server on an ephemeral port.
+pub fn boot() -> (Arc<ProbeService>, ProbeServer) {
+    let service = Arc::new(ProbeService::new());
+    let server = ProbeServer::start(service.clone(), "127.0.0.1:0").expect("bind ephemeral port");
+    (service, server)
+}
+
+/// The publish request every suite uses unless it needs overrides:
+/// `parallelism: None` inherits the `PLASMA_PARALLELISM` CI matrix.
+pub fn publish_request(records: Vec<SparseVector>, cfg: PublishCfg) -> Request {
+    Request::Publish {
+        name: "it-corpus".into(),
+        measure: Similarity::Jaccard,
+        records,
+        cfg,
+    }
+}
+
+/// Publishes over `client` and returns the fingerprint.
+pub fn publish(client: &mut ProbeClient, records: Vec<SparseVector>, cfg: PublishCfg) -> String {
+    let reply = client
+        .request(&publish_request(records, cfg))
+        .expect("publish transport");
+    assert_eq!(reply.frame_type(), "published", "{}", reply.raw);
+    reply
+        .json
+        .get("fingerprint")
+        .and_then(|f| f.as_str().map(str::to_string))
+        .expect("publish reply carries a fingerprint")
+}
+
+/// Attaches `client` as a streaming session.
+pub fn attach(client: &mut ProbeClient, fingerprint: &str) -> Frame {
+    let reply = client
+        .request(&Request::Attach {
+            fingerprint: fingerprint.to_string(),
+            pinned: false,
+            declared_measure: None,
+        })
+        .expect("attach transport");
+    assert_eq!(reply.frame_type(), "attached", "{}", reply.raw);
+    reply
+}
+
+/// Polls `probe` until it returns true or the deadline lapses.
+pub fn wait_until(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}

@@ -1,0 +1,225 @@
+//! Satellite 2 — concurrent-connection determinism.
+//!
+//! N clients running interleaved probe scripts against one shared
+//! corpus must produce responses bit-identical to a single sequential
+//! client. The engine's per-pair estimates are canonical regardless of
+//! cache warmth, and once every watched threshold has been probed once,
+//! identical re-probes are answered *entirely* from the shared memo
+//! pool — zero new hashes — so even the work counters are deterministic
+//! under arbitrary interleaving. The suite runs at explicit
+//! `parallelism` 1 and 4 (and inherits the `PLASMA_PARALLELISM` CI
+//! matrix through the env default in the warm-up publish).
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Duration;
+
+use common::{attach, corpus, publish};
+use plasma_server::{ProbeClient, PublishCfg, Request};
+
+const THRESHOLDS: [f64; 5] = [0.4, 0.5, 0.6, 0.7, 0.8];
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 3;
+
+/// One sequential client warms every threshold, then records the warmed
+/// responses; N interleaved clients must reproduce them byte for byte.
+fn run_at(parallelism: Option<usize>) {
+    let (_service, server) = common::boot();
+    let addr = server.local_addr();
+
+    let mut sequential = ProbeClient::connect(addr).expect("connect");
+    let fingerprint = publish(
+        &mut sequential,
+        corpus(48, 0),
+        PublishCfg {
+            parallelism,
+            ..PublishCfg::default()
+        },
+    );
+    attach(&mut sequential, &fingerprint);
+
+    // Pass 1 warms the memo pool; pass 2 records the reference frame per
+    // threshold — from here on, every probe at these thresholds is a
+    // pure cache hit and thus fully deterministic.
+    for &t in &THRESHOLDS {
+        let reply = sequential
+            .request(&Request::Probe { threshold: t })
+            .expect("warming probe");
+        assert_eq!(reply.frame_type(), "probe_result", "{}", reply.raw);
+    }
+    let mut reference: BTreeMap<String, String> = BTreeMap::new();
+    for &t in &THRESHOLDS {
+        let reply = sequential
+            .request(&Request::Probe { threshold: t })
+            .expect("reference probe");
+        assert_eq!(
+            reply.json.get("hashes_compared").and_then(|v| v.as_u64()),
+            Some(0),
+            "warmed re-probe must be a pure cache hit: {}",
+            reply.raw
+        );
+        reference.insert(format!("{t}"), reply.raw);
+    }
+
+    // N clients, each probing every threshold in a client-specific
+    // rotation, several rounds, all interleaved on one shared corpus.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|who| {
+            let reference = reference.clone();
+            let fingerprint = fingerprint.clone();
+            thread::spawn(move || {
+                let mut client = ProbeClient::connect(addr).expect("connect");
+                attach(&mut client, &fingerprint);
+                for round in 0..ROUNDS {
+                    for k in 0..THRESHOLDS.len() {
+                        let t = THRESHOLDS[(k + who + round) % THRESHOLDS.len()];
+                        let reply = client
+                            .request(&Request::Probe { threshold: t })
+                            .expect("interleaved probe");
+                        let expected = &reference[&format!("{t}")];
+                        assert_eq!(
+                            &reply.raw, expected,
+                            "client {who} round {round}: interleaved probe diverged \
+                             from the sequential client at threshold {t}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // The sequential client, interleaved with no one anymore, still sees
+    // the same frames.
+    for (key, expected) in &reference {
+        let t: f64 = key.parse().expect("threshold key");
+        let reply = sequential
+            .request(&Request::Probe { threshold: t })
+            .expect("post-concurrency probe");
+        assert_eq!(&reply.raw, expected, "sequential client drifted at {t}");
+    }
+    server.stop();
+}
+
+#[test]
+fn interleaved_clients_match_sequential_at_parallelism_1() {
+    run_at(Some(1));
+}
+
+#[test]
+fn interleaved_clients_match_sequential_at_parallelism_4() {
+    run_at(Some(4));
+}
+
+/// The env-matrix shape: `parallelism: None` resolves through
+/// `PLASMA_PARALLELISM`, so the CI matrix exercises this path at 1 and
+/// 4 workers without any per-call override.
+#[test]
+fn interleaved_clients_match_sequential_at_env_parallelism() {
+    run_at(None);
+}
+
+/// Interleaved *ingest* + probe: concurrent clients race probes against
+/// a growing corpus; every response must match one of the per-epoch
+/// reference frames a sequential client recorded for that threshold —
+/// the corpus passes through the same epochs for everyone.
+#[test]
+fn probes_during_growth_land_on_exact_epoch_frames() {
+    let (_service, server) = common::boot();
+    let addr = server.local_addr();
+    let mut writer = ProbeClient::connect(addr).expect("connect");
+    let fingerprint = publish(&mut writer, corpus(32, 0), PublishCfg::default());
+    attach(&mut writer, &fingerprint);
+
+    // Sequential reference: probe 0.6 warm at epoch 0 and epoch 1.
+    let t = 0.6;
+    for _ in 0..2 {
+        writer
+            .request(&Request::Probe { threshold: t })
+            .expect("warm");
+    }
+    let epoch0 = writer
+        .request(&Request::Probe { threshold: t })
+        .expect("reference")
+        .raw;
+    writer
+        .request(&Request::Ingest {
+            records: corpus(8, 32),
+        })
+        .expect("grow");
+    for _ in 0..2 {
+        writer
+            .request(&Request::Probe { threshold: t })
+            .expect("warm");
+    }
+    let epoch1 = writer
+        .request(&Request::Probe { threshold: t })
+        .expect("reference")
+        .raw;
+
+    // A second server replays the same growth while readers hammer the
+    // same threshold: every frame must be exactly the epoch-0 or the
+    // epoch-1 reference — no torn epochs, no counter drift.
+    let (_service2, server2) = common::boot();
+    let addr2 = server2.local_addr();
+    let mut writer2 = ProbeClient::connect(addr2).expect("connect");
+    let fingerprint2 = publish(&mut writer2, corpus(32, 0), PublishCfg::default());
+    attach(&mut writer2, &fingerprint2);
+    for _ in 0..3 {
+        writer2
+            .request(&Request::Probe { threshold: t })
+            .expect("warm");
+    }
+    let readers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let fingerprint2 = fingerprint2.clone();
+            let epoch0 = epoch0.clone();
+            let epoch1 = epoch1.clone();
+            thread::spawn(move || {
+                let mut client = ProbeClient::connect(addr2).expect("connect");
+                attach(&mut client, &fingerprint2);
+                let mut saw_epoch1 = false;
+                while !saw_epoch1 {
+                    let reply = client
+                        .request(&Request::Probe { threshold: t })
+                        .expect("racing probe");
+                    let hashes = reply
+                        .json
+                        .get("hashes_compared")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(u64::MAX);
+                    if hashes == 0 {
+                        assert!(
+                            reply.raw == epoch0 || reply.raw == epoch1,
+                            "warm probe matches neither epoch reference: {}",
+                            reply.raw
+                        );
+                    }
+                    saw_epoch1 = reply.raw == epoch1;
+                    thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+    // Let the readers land on epoch 0 first, then grow.
+    thread::sleep(Duration::from_millis(50));
+    writer2
+        .request(&Request::Ingest {
+            records: corpus(8, 32),
+        })
+        .expect("grow");
+    // Warm epoch 1 so racing probes can reach the pure-hit reference.
+    for _ in 0..2 {
+        writer2
+            .request(&Request::Probe { threshold: t })
+            .expect("warm");
+    }
+    for reader in readers {
+        reader.join().expect("reader thread");
+    }
+    server2.stop();
+}

@@ -1,0 +1,287 @@
+//! Satellite 4 — protocol error paths.
+//!
+//! Every failure mode must come back as a structured
+//! `{"type":"error","code":...}` frame on a connection that keeps
+//! serving — never a panic, never a silent close. The suite walks the
+//! closed set of error codes over a live TCP server and, after every
+//! error, proves the same connection still answers `health`.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{attach, corpus, publish};
+use plasma_server::{Frame, ProbeClient, PublishCfg, Request};
+
+/// Asserts the next reply is an error frame with `code`, and that the
+/// connection still serves afterwards.
+fn expect_error(client: &mut ProbeClient, sent: &str, code: &str) -> Frame {
+    let reply = client
+        .read_reply(Duration::from_secs(10))
+        .expect("transport alive")
+        .unwrap_or_else(|| panic!("connection silently closed after {sent}"));
+    assert_eq!(reply.frame_type(), "error", "after {sent}: {}", reply.raw);
+    assert_eq!(
+        reply.error_code(),
+        Some(code),
+        "after {sent}: {}",
+        reply.raw
+    );
+    assert!(
+        reply.json.get("message").is_some(),
+        "errors carry a message: {}",
+        reply.raw
+    );
+    let health = client
+        .request(&Request::Health)
+        .expect("health after error");
+    assert_eq!(
+        health.frame_type(),
+        "health",
+        "connection must keep serving after {sent}"
+    );
+    reply
+}
+
+fn send_expect_error(client: &mut ProbeClient, frame: &str, code: &str) -> Frame {
+    client.send_raw(frame).expect("send");
+    expect_error(client, frame, code)
+}
+
+#[test]
+fn malformed_frames_and_unknown_verbs() {
+    let (_service, server) = common::boot();
+    let mut client = ProbeClient::connect(server.local_addr()).expect("connect");
+
+    send_expect_error(&mut client, "this is not json", "malformed_frame");
+    send_expect_error(&mut client, "[1,2,3]", "malformed_frame");
+    send_expect_error(&mut client, "{\"no\":\"verb\"}", "malformed_frame");
+    send_expect_error(
+        &mut client,
+        "{\"verb\":\"probe\"} trailing",
+        "malformed_frame",
+    );
+    // A deeply nested bomb is refused by the depth bound, not the stack.
+    let bomb = format!("{}1{}", "[".repeat(4000), "]".repeat(4000));
+    send_expect_error(&mut client, &bomb, "malformed_frame");
+    send_expect_error(&mut client, "{\"verb\":\"frobnicate\"}", "unknown_verb");
+    server.stop();
+}
+
+#[test]
+fn bad_arguments_are_bad_request() {
+    let (_service, server) = common::boot();
+    let mut client = ProbeClient::connect(server.local_addr()).expect("connect");
+
+    send_expect_error(&mut client, "{\"verb\":\"probe\"}", "bad_request");
+    send_expect_error(
+        &mut client,
+        "{\"verb\":\"probe\",\"threshold\":1.5}",
+        "bad_request",
+    );
+    send_expect_error(
+        &mut client,
+        "{\"verb\":\"ingest\",\"records\":[[[0]]]}",
+        "bad_request",
+    );
+    send_expect_error(
+        &mut client,
+        "{\"verb\":\"publish\",\"measure\":\"euclidean\",\"records\":[]}",
+        "bad_request",
+    );
+    send_expect_error(
+        &mut client,
+        "{\"verb\":\"attach\",\"fingerprint\":\"tooshort\"}",
+        "bad_request",
+    );
+    server.stop();
+}
+
+#[test]
+fn session_state_errors() {
+    let (_service, server) = common::boot();
+    let addr = server.local_addr();
+    let mut client = ProbeClient::connect(addr).expect("connect");
+
+    // Session verbs before attach.
+    for req in [
+        Request::Probe { threshold: 0.5 },
+        Request::Ingest {
+            records: corpus(2, 0),
+        },
+        Request::Watch { threshold: 0.5 },
+    ] {
+        client.send_raw(&req.encode()).expect("send");
+        expect_error(&mut client, &req.encode(), "no_session");
+    }
+
+    // Attach to a fingerprint nothing published.
+    let ghost = "0123456789abcdef0123456789abcdef";
+    client
+        .send_raw(
+            &Request::Attach {
+                fingerprint: ghost.into(),
+                pinned: false,
+                declared_measure: None,
+            }
+            .encode(),
+        )
+        .expect("send");
+    expect_error(&mut client, "attach(ghost)", "unknown_fingerprint");
+
+    // Double attach.
+    let fingerprint = publish(&mut client, corpus(20, 0), PublishCfg::default());
+    attach(&mut client, &fingerprint);
+    client
+        .send_raw(
+            &Request::Attach {
+                fingerprint: fingerprint.clone(),
+                pinned: false,
+                declared_measure: None,
+            }
+            .encode(),
+        )
+        .expect("send");
+    expect_error(&mut client, "second attach", "already_attached");
+
+    // Pinned sessions are probe-only.
+    let mut pinned = ProbeClient::connect(addr).expect("connect");
+    let reply = pinned
+        .request(&Request::Attach {
+            fingerprint: fingerprint.clone(),
+            pinned: true,
+            declared_measure: None,
+        })
+        .expect("pinned attach");
+    assert_eq!(reply.frame_type(), "attached", "{}", reply.raw);
+    for req in [
+        Request::Ingest {
+            records: corpus(2, 0),
+        },
+        Request::Watch { threshold: 0.5 },
+    ] {
+        pinned.send_raw(&req.encode()).expect("send");
+        expect_error(&mut pinned, &req.encode(), "bad_request");
+    }
+    server.stop();
+}
+
+/// The engine's stale-prefix guard, over the wire: a pinned session
+/// probing a corpus another connection has grown gets `stale_session` —
+/// a structured error on a live connection, not a dead server.
+#[test]
+fn stale_pinned_probe_is_stale_session() {
+    let (_service, server) = common::boot();
+    let addr = server.local_addr();
+    let mut writer = ProbeClient::connect(addr).expect("connect");
+    let fingerprint = publish(&mut writer, corpus(20, 0), PublishCfg::default());
+    attach(&mut writer, &fingerprint);
+
+    let mut pinned = ProbeClient::connect(addr).expect("connect");
+    pinned
+        .request(&Request::Attach {
+            fingerprint: fingerprint.clone(),
+            pinned: true,
+            declared_measure: None,
+        })
+        .expect("pinned attach");
+
+    // Sanity: the pinned session probes fine before growth.
+    let ok = pinned
+        .request(&Request::Probe { threshold: 0.5 })
+        .expect("fresh pinned probe");
+    assert_eq!(ok.frame_type(), "probe_result", "{}", ok.raw);
+
+    writer
+        .request(&Request::Ingest {
+            records: corpus(4, 20),
+        })
+        .expect("grow");
+    pinned
+        .send_raw(&Request::Probe { threshold: 0.5 }.encode())
+        .expect("send");
+    let stale = expect_error(&mut pinned, "stale pinned probe", "stale_session");
+    assert!(
+        stale
+            .json
+            .get("message")
+            .and_then(|m| m.as_str())
+            .is_some_and(|m| m.contains("re-sync")),
+        "the engine's guidance survives the boundary: {}",
+        stale.raw
+    );
+
+    // The connection recovers by re-attaching.
+    let detached = pinned.request(&Request::Detach).expect("detach");
+    assert_eq!(detached.frame_type(), "detached");
+    let again = pinned
+        .request(&Request::Attach {
+            fingerprint,
+            pinned: true,
+            declared_measure: None,
+        })
+        .expect("re-attach");
+    assert_eq!(again.frame_type(), "attached", "{}", again.raw);
+    let reprobe = pinned
+        .request(&Request::Probe { threshold: 0.5 })
+        .expect("re-probe");
+    assert_eq!(reprobe.frame_type(), "probe_result", "{}", reprobe.raw);
+    server.stop();
+}
+
+/// A measure mismatch against the shared cache trips the engine's
+/// hash-family assertion; the handler returns it as `engine_panic`.
+#[test]
+fn measure_mismatch_is_engine_panic() {
+    let (_service, server) = common::boot();
+    let mut client = ProbeClient::connect(server.local_addr()).expect("connect");
+    let fingerprint = publish(&mut client, corpus(16, 0), PublishCfg::default());
+    client
+        .send_raw(
+            &Request::Attach {
+                fingerprint,
+                pinned: true,
+                declared_measure: Some(plasma_data::similarity::Similarity::Cosine),
+            }
+            .encode(),
+        )
+        .expect("send");
+    let reply = expect_error(&mut client, "cross-measure attach", "engine_panic");
+    assert!(
+        reply
+            .json
+            .get("message")
+            .and_then(|m| m.as_str())
+            .is_some_and(|m| m.contains("hash family")),
+        "{}",
+        reply.raw
+    );
+    server.stop();
+}
+
+/// Draining refuses new work but answers the refusal in-protocol.
+#[test]
+fn draining_rejects_new_publishes() {
+    let (_service, server) = common::boot();
+    let addr = server.local_addr();
+    let mut client = ProbeClient::connect(addr).expect("connect");
+    let shutting = client.request(&Request::Shutdown).expect("shutdown");
+    assert_eq!(shutting.frame_type(), "shutting_down");
+    client
+        .send_raw(&common::publish_request(corpus(8, 0), PublishCfg::default()).encode())
+        .expect("send");
+    let reply = client
+        .read_reply(Duration::from_secs(10))
+        .expect("transport alive")
+        .expect("an answer even while draining");
+    assert_eq!(reply.error_code(), Some("draining"), "{}", reply.raw);
+    let ready = client.request(&Request::Ready).expect("ready");
+    assert_eq!(
+        ready.json.get("ready").and_then(|r| r.as_bool()),
+        Some(false),
+        "{}",
+        ready.raw
+    );
+    drop(client);
+    server.wait();
+}
