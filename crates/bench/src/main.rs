@@ -19,12 +19,15 @@
 //! every ingest, recording per-epoch delta nanoseconds and delta pair
 //! counts, and the serving scenario: attach/probe/ingest/memory-stats
 //! round trips through the `plasma-serve` wire protocol against an
-//! in-process loopback server); with `--json` it also writes the
+//! in-process loopback server, and the recovery scenario: a
+//! snapshotted, WAL-logged corpus recovered warm, recording snapshot
+//! bytes, WAL-replay records/sec, and the warm-restart vs cold-build
+//! ratio); with `--json` it also writes the
 //! snapshot to `BENCH_apss.json` for CI perf tracking.
 //! `repro check-bench [PATH]` validates a written snapshot against the
 //! expected schema (including the bounded-cache memory, `streaming`,
-//! `ingest_scaling`, `watch_scaling`, and `serving` fields) and exits
-//! non-zero on violations — the CI perf-smoke gate.
+//! `ingest_scaling`, `watch_scaling`, `serving`, and `recovery` fields)
+//! and exits non-zero on violations — the CI perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;

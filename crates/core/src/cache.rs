@@ -729,9 +729,10 @@ impl SharedKnowledgeCache {
     /// from scratch when the probe's `(bands, width)` shape differs from
     /// the cached one, is bypassed when the caller pinned a sketch
     /// snapshot *older* than the cache covers (possible under a
-    /// concurrent [`grow`](Self::grow)), and is dropped whole when its
-    /// estimated footprint alone would exceed the [`CacheCapacity`] cap —
-    /// it is recomputable knowledge, so dropping trades speed, never
+    /// concurrent [`grow`](Self::grow)), and walks the eviction ladder
+    /// ([`enforce_bucket_capacity`](Self::enforce_bucket_capacity)) when
+    /// its estimated footprint exceeds the [`CacheCapacity`] cap — it is
+    /// recomputable knowledge, so eviction trades speed, never
     /// correctness.
     fn generate_candidates_cached(
         &self,
@@ -749,13 +750,7 @@ impl SharedKnowledgeCache {
                 let pairs = cache.extend_and_generate(sketches);
                 self.bucket_build_records
                     .fetch_add(built as u64, Ordering::Relaxed);
-                let bytes = cache.byte_size();
-                if self.capacity.max_bytes().is_some_and(|cap| bytes > cap) {
-                    *guard = None;
-                    self.bucket_bytes.store(0, Ordering::Relaxed);
-                } else {
-                    self.bucket_bytes.store(bytes, Ordering::Relaxed);
-                }
+                self.enforce_bucket_capacity(&mut guard);
                 return pairs;
             }
             // This prober's snapshot predates the cache's watermark; the
@@ -763,6 +758,35 @@ impl SharedKnowledgeCache {
             // and leave the cache for up-to-date probers.
         }
         Arc::new(crate::apss::generate_candidates(sketches, cfg))
+    }
+
+    /// Applies the byte cap to the bucket cache after an extension — the
+    /// two-rung eviction ladder. Rung 1: partial eviction clears the
+    /// *coldest* bands' maps ([`BandBuckets::evict_coldest_bands`]),
+    /// keeping warm bands and the canonical pair/delta sets, so a corpus
+    /// under memory pressure keeps its incremental probe path. Rung 2,
+    /// only when even an all-maps-cleared cache cannot fit (the pair
+    /// sets alone exceed the cap): drop the whole cache. Either rung
+    /// trades rebuild work, never outputs — an evicted band's prefix
+    /// re-buckets silently on the next growth. Refreshes the
+    /// `bucket_bytes` mirror on every path.
+    fn enforce_bucket_capacity(&self, slot: &mut Option<BandBuckets>) {
+        let Some(cache) = slot.as_mut() else {
+            self.bucket_bytes.store(0, Ordering::Relaxed);
+            return;
+        };
+        if let Some(cap) = self.capacity.max_bytes() {
+            if cache.byte_size() > cap {
+                cache.evict_coldest_bands(cap);
+                if cache.byte_size() > cap {
+                    *slot = None;
+                    self.bucket_bytes.store(0, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        let bytes = slot.as_ref().map_or(0, BandBuckets::byte_size);
+        self.bucket_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// Generates the *delta* candidate set of a corpus growth: every pair
@@ -816,16 +840,10 @@ impl SharedKnowledgeCache {
                             self.bucket_build_records
                                 .fetch_add((n - from) as u64, Ordering::Relaxed);
                             cache.extend_and_generate(sketches);
-                            let bytes = cache.byte_size();
                             let delta = cache
                                 .delta_covering(from, n)
                                 .expect("extension covered exactly [from, n)");
-                            if self.capacity.max_bytes().is_some_and(|cap| bytes > cap) {
-                                *guard = None;
-                                self.bucket_bytes.store(0, Ordering::Relaxed);
-                            } else {
-                                self.bucket_bytes.store(bytes, Ordering::Relaxed);
-                            }
+                            self.enforce_bucket_capacity(&mut guard);
                             return delta;
                         }
                         if cache.covered() == n {
@@ -1511,6 +1529,39 @@ impl CacheRegistry {
         );
         self.enforce_capacity(fp);
         cache
+    }
+
+    /// Registers an already-built cache under an explicit fingerprint —
+    /// the durable-recovery entry point: a cache restored warm from a
+    /// snapshot re-enters the registry under its *publish-time* (epoch-0)
+    /// fingerprint, so subsequent [`get_or_build`](Self::get_or_build)
+    /// lookups for the original corpus find the recovered lineage instead
+    /// of cold-building a duplicate. Returns the cache registered under
+    /// the fingerprint — the existing one when it was already latched
+    /// (first registration wins, the same race rule `get_or_build`
+    /// applies to concurrent builders).
+    pub fn install(
+        &self,
+        fingerprint: u128,
+        cache: Arc<SharedKnowledgeCache>,
+    ) -> Arc<SharedKnowledgeCache> {
+        let latch = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            inner.clock += 1;
+            let stamp = inner.clock;
+            let entry = inner
+                .caches
+                .entry(fingerprint)
+                .or_insert_with(|| RegistryEntry {
+                    latch: Arc::default(),
+                    last_used: stamp,
+                });
+            entry.last_used = stamp;
+            entry.latch.clone()
+        };
+        let installed = latch.get_or_init(|| cache).clone();
+        self.enforce_capacity(fingerprint);
+        installed
     }
 
     /// Drops least-recently-used caches until the registry fits its

@@ -30,6 +30,12 @@
 //!   receive only the per-epoch *delta* on every ingest ([`WatchDelta`]),
 //!   with concatenated deltas bit-identical to a cold probe at every
 //!   epoch.
+//! * [`durable`] — snapshot + ingest-WAL persistence: a serving process
+//!   restarts *warm* (sketch words restored, memos and buckets rebuilt by
+//!   replaying the log through the normal ingest path), with
+//!   `SketchSet::is_prefix_of` as the recovery integrity gate. Recovery
+//!   either reproduces the exact live state or refuses with a structured
+//!   [`durable::DurableError`] — it can never change probe outputs.
 //! * [`cues`] — dimensionless visual cues: triangle vertex-cover histogram
 //!   and clique/triangle density plots (Fig. 2.5).
 //! * [`session`] — the interactive driver tying it all together.
@@ -61,6 +67,7 @@ pub mod apss;
 pub mod cache;
 pub mod cues;
 pub mod cumulative;
+pub mod durable;
 pub mod incremental;
 pub mod plot;
 pub mod session;
@@ -74,6 +81,7 @@ pub use cache::{
     RegistryCapacity, SharedKnowledgeCache,
 };
 pub use cumulative::CumulativeCurve;
+pub use durable::{CorpusStore, DurableError, RecoveredCorpus, WAL_HEADER_BYTES};
 pub use plasma_lsh::ShardPolicy;
 pub use session::{ProbeReport, Session};
 pub use streaming::{IngestReport, StreamingSession};

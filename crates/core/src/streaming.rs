@@ -464,6 +464,19 @@ impl StreamingSession {
         self.corpus.records.read().expect("corpus lock").clone()
     }
 
+    /// One consistent `(records, sketches, epoch)` view for persistence,
+    /// taken under a single corpus read guard. Because
+    /// [`ingest`](Self::ingest) holds the *write* guard across its whole
+    /// mutation (sketch extension, cache growth, record append), this
+    /// view can never observe a half-applied batch — exactly what the
+    /// durable snapshot writer needs. `None` until the cache exists (no
+    /// ingest or probe has run and no shared cache was attached).
+    pub fn persist_view(&self) -> Option<(Vec<SparseVector>, Arc<SketchSet>, u64)> {
+        let records = self.corpus.records.read().expect("corpus lock");
+        let cache = self.corpus.cache.get()?;
+        Some((records.clone(), cache.sketches(), cache.epoch()))
+    }
+
     /// The shared knowledge cache, once built (by the first ingest/probe
     /// or [`with_shared_cache`](Self::with_shared_cache)).
     pub fn shared_cache(&self) -> Option<Arc<SharedKnowledgeCache>> {

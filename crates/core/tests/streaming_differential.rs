@@ -391,6 +391,98 @@ fn bucket_cache_accounting_and_capacity_drop() {
     }
 }
 
+/// The middle rung of the eviction ladder, explicitly: a byte cap
+/// *between* "fits everything" and "fits nothing" triggers partial
+/// coldest-bands-first eviction — the bucket cache stays resident under
+/// its cap (warm bands survive memory pressure instead of the old
+/// whole-cache drop), and every probe output stays bit-identical to the
+/// cold reference while bands come and go.
+#[test]
+fn partial_eviction_ladder_rung_survives_memory_pressure() {
+    use plasma_core::cache::CacheCapacity;
+    use plasma_core::Session;
+
+    // Many small clusters: the candidate pair set (not evictable — it is
+    // the cache's canonical answer) stays small, so the cap pressure
+    // lands on the per-band bucket maps partial eviction can actually
+    // shed. The heavily-clustered `dataset()` corpus would be pair-set
+    // dominated and bottom out on the whole-drop rung instead.
+    let records = GaussianSpec {
+        spread: 0.8,
+        ..GaussianSpec::new("pressure", 90, 8, 30)
+    }
+    .generate(31)
+    .records;
+    let bounds = [30usize, 60, 90];
+    let cfg = ApssConfig {
+        candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+        ..ApssConfig::default()
+    };
+
+    // Measure the unbounded footprint first; the partial rung's cap must
+    // sit strictly inside the ladder.
+    let mut unbounded =
+        StreamingSession::from_records(records[..bounds[0]].to_vec(), Similarity::Cosine, cfg);
+    let mut prev = bounds[0];
+    for &hi in &bounds {
+        if hi > prev {
+            unbounded.ingest(&records[prev..hi]);
+            prev = hi;
+        }
+        for &t in &LADDER {
+            unbounded.probe(t);
+        }
+    }
+    let full_bytes = unbounded
+        .shared_cache()
+        .expect("built")
+        .memory_stats()
+        .bucket_cache_bytes;
+    assert!(full_bytes > 0);
+
+    let cap = full_bytes * 3 / 4;
+    let mut partial =
+        StreamingSession::from_records(records[..bounds[0]].to_vec(), Similarity::Cosine, cfg)
+            .with_cache_capacity(CacheCapacity::bounded(cap));
+    let mut prev = bounds[0];
+    for (e, &hi) in bounds.iter().enumerate() {
+        if hi > prev {
+            partial.ingest(&records[prev..hi]);
+            prev = hi;
+        }
+        for &t in &LADDER {
+            let warm = partial.probe(t);
+            let mut cold = Session::from_records(records[..hi].to_vec(), Similarity::Cosine, cfg);
+            let cold_report = cold.probe(t);
+            assert_eq!(warm.pairs, cold_report.pairs, "epoch {e} t={t}");
+            assert_eq!(warm.candidates, cold_report.candidates, "epoch {e}");
+            assert_eq!(warm.pruned, cold_report.pruned, "epoch {e}");
+        }
+        let bytes = partial
+            .shared_cache()
+            .expect("built")
+            .memory_stats()
+            .bucket_cache_bytes;
+        assert!(
+            bytes <= cap,
+            "epoch {e}: cap must be honored ({bytes} > {cap})"
+        );
+    }
+    let bytes = partial
+        .shared_cache()
+        .expect("built")
+        .memory_stats()
+        .bucket_cache_bytes;
+    assert!(
+        bytes > 0,
+        "partial eviction must keep the cache resident, not drop it whole"
+    );
+    assert!(
+        bytes < full_bytes,
+        "memory pressure must actually evict something ({bytes} vs {full_bytes})"
+    );
+}
+
 /// Driver-level pin: `StreamingSession::probe` reports (the user-facing
 /// surface) agree with a cold batch `Session` at every epoch, for both
 /// forks of a two-session corpus.

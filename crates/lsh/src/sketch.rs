@@ -607,6 +607,67 @@ impl SketchSet {
         self.records += k;
     }
 
+    /// Sketch words per record for a `(family, n_hashes)` shape — the
+    /// flat-storage stride. Exposed so serializers (the durable snapshot
+    /// writer) can size and validate word payloads without poking at
+    /// storage internals.
+    pub fn words_per_record(family: LshFamily, n_hashes: usize) -> usize {
+        Self::stride_for(family, n_hashes)
+    }
+
+    /// The store's word runs in flat record-major order: every sealed
+    /// segment, then the mutable tail. Concatenating the yielded slices
+    /// reproduces exactly `len() · words_per_record` words — the byte
+    /// payload a durable snapshot persists, and the input
+    /// [`from_words`](Self::from_words) restores from.
+    pub fn word_segments(&self) -> impl Iterator<Item = &[u64]> {
+        self.sealed
+            .iter()
+            .map(|s| &s[..])
+            .chain(std::iter::once(&self.tail[..]))
+    }
+
+    /// Restores a set from its flat record-major words — the durable
+    /// snapshot loader. The result is byte-identical to the set whose
+    /// [`word_segments`](Self::word_segments) produced `words`, including
+    /// its growth `epoch` and segment geometry, so lineage checks
+    /// ([`is_prefix_of`](Self::is_prefix_of)) and epoch-gated cache growth
+    /// behave exactly as they would against the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words.len()` is not exactly
+    /// `records · words_per_record(family, n_hashes)`; callers restoring
+    /// untrusted bytes must validate the length first (the durable loader
+    /// does, returning a structured error instead).
+    pub fn from_words(
+        family: LshFamily,
+        n_hashes: usize,
+        seed: u64,
+        segment_records: usize,
+        epoch: u64,
+        records: usize,
+        words: &[u64],
+    ) -> SketchSet {
+        let stride = Self::stride_for(family, n_hashes);
+        assert_eq!(
+            words.len(),
+            records * stride,
+            "snapshot words mismatch: {} words cannot hold {records} records \
+             of stride {stride}",
+            words.len()
+        );
+        let mut set = Self::with_segments(
+            family,
+            n_hashes,
+            seed,
+            resolve_segment_records(Some(segment_records)).trailing_zeros(),
+        );
+        set.append_words(words, records);
+        set.epoch = epoch;
+        set
+    }
+
     /// Number of sketched records.
     pub fn len(&self) -> usize {
         self.records
@@ -1280,6 +1341,42 @@ mod tests {
         assert_eq!(grown.len(), 31);
         assert!(set.is_prefix_of(&grown));
         assert!(!grown.is_prefix_of(&set));
+    }
+
+    #[test]
+    fn word_round_trip_restores_bit_identical_sets() {
+        let mut rng = seeded(404);
+        let records: Vec<SparseVector> = (0..13).map(|_| random_set(&mut rng, 400, 25)).collect();
+        for fam in [LshFamily::MinHash, LshFamily::SimHash] {
+            let mut set = Sketcher::new(fam, 48, 9)
+                .with_segment_records(4)
+                .sketch_all(&records);
+            Sketcher::new(fam, 48, 9).extend_batch(&records[..3], &mut set);
+            let words: Vec<u64> = set.word_segments().flatten().copied().collect();
+            assert_eq!(
+                words.len(),
+                set.len() * SketchSet::words_per_record(fam, 48)
+            );
+            // Same geometry: byte-identical restore, epoch carried over.
+            let same = SketchSet::from_words(fam, 48, 9, 4, set.epoch(), set.len(), &words);
+            assert_eq!(same.epoch(), set.epoch());
+            assert_eq!(same.len(), set.len());
+            assert!(same.is_prefix_of(&set) && set.is_prefix_of(&same));
+            for i in 0..set.len() {
+                assert_eq!(same.sketch(i), set.sketch(i), "{fam:?} record {i}");
+            }
+            // Restoring under a different segment geometry still yields
+            // the same sketch bytes (lineage checks cross geometries).
+            let regrouped = SketchSet::from_words(fam, 48, 9, 64, set.epoch(), set.len(), &words);
+            assert!(regrouped.is_prefix_of(&set) && set.is_prefix_of(&regrouped));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot words mismatch")]
+    fn from_words_rejects_wrong_payload_length() {
+        let words = vec![0u64; 7];
+        let _ = SketchSet::from_words(LshFamily::MinHash, 16, 1, 4, 0, 1, &words);
     }
 
     #[test]

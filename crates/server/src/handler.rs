@@ -34,14 +34,21 @@
 
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Once, RwLock};
 use std::time::Duration;
 
-use plasma_core::{ApssConfig, CacheRegistry, Session, SharedKnowledgeCache, StreamingSession};
+use plasma_core::durable::{self, CorpusStore};
+use plasma_core::{
+    ApssConfig, CacheCapacity, CacheRegistry, Session, SharedKnowledgeCache, StreamingSession,
+};
 use plasma_data::similarity::Similarity;
 
-use crate::protocol::{fingerprint_hex, fingerprint_parse, ErrorCode, Request, Response};
+use crate::persist::{self, CorpusMeta};
+use crate::protocol::{
+    fingerprint_hex, fingerprint_parse, ErrorCode, PublishCfg, Request, Response,
+};
 
 /// One handled request: the response frame plus any event frames it
 /// produced (watch registration answers, own-ingest deltas), in delivery
@@ -70,6 +77,59 @@ impl Interaction {
     }
 }
 
+/// The per-corpus ingest broadcast. Pushers of connections attached to
+/// this corpus block here, and only an ingest adopted *into this corpus*
+/// (or a service drain) wakes them. A single service-wide signal — the
+/// previous design — woke every pusher on every ingest regardless of
+/// corpus, a thundering herd that scaled with corpora × connections and
+/// made each wakeup drain nothing; the per-corpus split is the fix, and
+/// `wakeups` counts signalled (non-timeout) returns so tests can pin the
+/// behaviour.
+struct IngestSignal {
+    stamp: Mutex<u64>,
+    cvar: Condvar,
+    wakeups: AtomicU64,
+}
+
+impl IngestSignal {
+    fn new() -> Self {
+        IngestSignal {
+            stamp: Mutex::new(0),
+            cvar: Condvar::new(),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    fn stamp(&self) -> u64 {
+        *self.stamp.lock().expect("ingest signal lock")
+    }
+
+    fn bump(&self) {
+        *self.stamp.lock().expect("ingest signal lock") += 1;
+        self.cvar.notify_all();
+    }
+
+    fn notify_all(&self) {
+        self.cvar.notify_all();
+    }
+
+    /// Blocks until the stamp moves past `seen`, the timeout lapses, or
+    /// `draining` turns true; returns the current stamp and whether this
+    /// was a signalled wakeup (the stamp moved) rather than a timeout.
+    fn wait(&self, seen: u64, timeout: Duration, draining: impl Fn() -> bool) -> (u64, bool) {
+        let guard = self.stamp.lock().expect("ingest signal lock");
+        let (guard, _) = self
+            .cvar
+            .wait_timeout_while(guard, timeout, |stamp| *stamp == seen && !draining())
+            .expect("ingest signal lock");
+        let woken = *guard != seen;
+        if woken {
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+        (*guard, woken)
+    }
+}
+
 /// One published corpus: a master streaming session whose forks serve
 /// every attached connection, all sharing one knowledge cache and one
 /// watch registry.
@@ -81,16 +141,71 @@ struct ServedCorpus {
     /// point. The mutex guards only fork/inspect — probes and ingests
     /// run on the forks, serialized by the corpus's own record lock.
     master: Mutex<StreamingSession>,
+    /// Bumped after every adopted ingest into *this* corpus.
+    signal: IngestSignal,
+    /// The corpus's durable half (snapshot files + ingest WAL) when the
+    /// service runs with a data directory; `None` means volatile.
+    store: Option<CorpusStore>,
+    /// Serializes engine-mutate + WAL-append (ingest) against
+    /// snapshot-write + WAL-truncate (the snapshotter), so a snapshot's
+    /// `(records, sketches)` view can never interleave with a
+    /// half-persisted ingest. Lock order: `persist` before `master`.
+    persist: Mutex<()>,
+}
+
+impl ServedCorpus {
+    fn new(
+        name: String,
+        measure: Similarity,
+        cfg: ApssConfig,
+        master: StreamingSession,
+        store: Option<CorpusStore>,
+    ) -> Self {
+        ServedCorpus {
+            name,
+            measure,
+            cfg,
+            master: Mutex::new(master),
+            signal: IngestSignal::new(),
+            store,
+            persist: Mutex::new(()),
+        }
+    }
+}
+
+/// One corpus directory's recovery outcome at service boot.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The corpus fingerprint (32 hex digits — also its directory name).
+    pub fingerprint: String,
+    /// `Ok` with provenance when the corpus is being served warm; `Err`
+    /// with the structured refusal otherwise. A refused corpus is
+    /// skipped — the service still boots and serves the others.
+    pub outcome: Result<RecoveredStats, String>,
+}
+
+/// Provenance of one warm-restarted corpus.
+#[derive(Debug, Clone)]
+pub struct RecoveredStats {
+    /// The corpus's publish-time name.
+    pub name: String,
+    /// Records served after recovery.
+    pub records: usize,
+    /// Epoch served after recovery (snapshot epoch + replayed entries).
+    pub epoch: u64,
+    /// WAL entries replayed past the snapshot.
+    pub replayed_entries: usize,
+    /// True when a torn (never-acked) WAL tail was discarded.
+    pub wal_tail_discarded: bool,
 }
 
 /// The shared serving state: published corpora over one cache registry.
 pub struct ProbeService {
     registry: CacheRegistry,
     corpora: RwLock<BTreeMap<String, Arc<ServedCorpus>>>,
-    /// Bumped (and broadcast) after every adopted ingest; connection
-    /// pusher threads wait on it to deliver cross-connection watch
-    /// deltas promptly.
-    ingest_signal: (Mutex<u64>, Condvar),
+    /// When set, every publish persists (meta + snapshot + WAL) under
+    /// `data_dir/<fingerprint>/` and boot recovers what it finds there.
+    data_dir: Option<PathBuf>,
     active_sessions: AtomicUsize,
     draining: AtomicBool,
 }
@@ -102,15 +217,95 @@ impl Default for ProbeService {
 }
 
 impl ProbeService {
-    /// An empty service.
+    /// An empty, volatile service.
     pub fn new() -> Self {
         ProbeService {
             registry: CacheRegistry::new(),
             corpora: RwLock::new(BTreeMap::new()),
-            ingest_signal: (Mutex::new(0), Condvar::new()),
+            data_dir: None,
             active_sessions: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
+    }
+
+    /// A durable service over `dir`: every corpus directory found there
+    /// is recovered warm (snapshot + WAL replay through the normal
+    /// ingest path) and re-served under its original fingerprint, and
+    /// every future publish/ingest persists. Recovery failures are
+    /// per-corpus and structured — a corrupt corpus is reported and
+    /// skipped, never silently re-served cold.
+    pub fn with_data_dir(
+        dir: impl Into<PathBuf>,
+    ) -> std::io::Result<(ProbeService, Vec<RecoveryReport>)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut service = ProbeService::new();
+        service.data_dir = Some(dir.clone());
+        let mut names: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if fingerprint_parse(&name).is_some() {
+                names.push(name);
+            }
+        }
+        names.sort();
+        let mut reports = Vec::new();
+        for name in names {
+            let fp = fingerprint_parse(&name).expect("names were filtered");
+            let outcome = service.recover_corpus(&dir.join(&name), fp);
+            reports.push(RecoveryReport {
+                fingerprint: name,
+                outcome,
+            });
+        }
+        Ok((service, reports))
+    }
+
+    /// Recovers one corpus directory into the service.
+    fn recover_corpus(&self, dir: &Path, fp: u128) -> Result<RecoveredStats, String> {
+        let meta = persist::read_meta(dir)?;
+        let cfg = meta.cfg.to_apss_config();
+        let recovered = durable::recover(dir, meta.measure, cfg, CacheCapacity::unbounded())
+            .map_err(|e| e.to_string())?;
+        if recovered.fingerprint != fp {
+            return Err(format!(
+                "directory is named {} but its snapshot carries fingerprint {}",
+                fingerprint_hex(fp),
+                fingerprint_hex(recovered.fingerprint)
+            ));
+        }
+        let store = CorpusStore::open(dir, fp).map_err(|e| e.to_string())?;
+        let stats = RecoveredStats {
+            name: meta.name.clone(),
+            records: recovered.session.len(),
+            epoch: recovered.epoch,
+            replayed_entries: recovered.replayed_entries,
+            wal_tail_discarded: recovered.wal_tail_discarded,
+        };
+        // Future attaches and re-publishes of the same records find the
+        // warm cache by fingerprint, exactly as if this process had
+        // built it.
+        self.registry.install(fp, recovered.cache);
+        self.corpora.write().expect("corpora lock").insert(
+            fingerprint_hex(fp),
+            Arc::new(ServedCorpus::new(
+                meta.name,
+                meta.measure,
+                cfg,
+                recovered.session,
+                Some(store),
+            )),
+        );
+        Ok(stats)
+    }
+
+    /// The data directory, when the service is durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
     }
 
     /// True once a drain was requested; the transport stops accepting
@@ -119,34 +314,50 @@ impl ProbeService {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Requests a drain and wakes every ingest-signal waiter so pusher
-    /// threads can observe the flag.
+    /// Requests a drain and wakes every corpus's ingest-signal waiters
+    /// so pusher threads can observe the flag.
     pub fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
-        self.bump_ingest_signal();
+        let corpora = self.corpora.read().expect("corpora lock");
+        for corpus in corpora.values() {
+            corpus.signal.notify_all();
+        }
     }
 
-    /// The current ingest-signal stamp; pass to
-    /// [`wait_ingest_signal`](Self::wait_ingest_signal).
-    pub fn ingest_stamp(&self) -> u64 {
-        *self.ingest_signal.0.lock().expect("ingest signal lock")
+    /// Snapshots every persisted corpus whose WAL holds more than
+    /// `min_wal_bytes` of entries (beyond the fixed header), truncating
+    /// its log. Returns `(fingerprint, snapshot bytes)` per corpus
+    /// written. Lock order is persist → master (view only), the same
+    /// order ingest uses, so the snapshot view is always a consistent
+    /// acked prefix.
+    pub fn snapshot_corpora(&self, min_wal_bytes: u64) -> Vec<(String, Result<u64, String>)> {
+        let corpora: Vec<(String, Arc<ServedCorpus>)> = {
+            let guard = self.corpora.read().expect("corpora lock");
+            guard.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = Vec::new();
+        for (fp, corpus) in corpora {
+            let Some(store) = &corpus.store else { continue };
+            if store.wal_bytes() <= durable::WAL_HEADER_BYTES + min_wal_bytes {
+                continue;
+            }
+            let _persist = corpus.persist.lock().expect("persist lock");
+            let view = corpus.master.lock().expect("master lock").persist_view();
+            let result = match view {
+                Some((records, sketches, _epoch)) => store
+                    .write_snapshot(&records, &sketches)
+                    .map_err(|e| e.to_string()),
+                None => Err("corpus has no cache to snapshot".to_string()),
+            };
+            out.push((fp, result));
+        }
+        out
     }
 
-    /// Blocks until the stamp moves past `seen`, the timeout lapses, or
-    /// a drain begins; returns the current stamp.
-    pub fn wait_ingest_signal(&self, seen: u64, timeout: Duration) -> u64 {
-        let (lock, cvar) = &self.ingest_signal;
-        let guard = lock.lock().expect("ingest signal lock");
-        let (guard, _) = cvar
-            .wait_timeout_while(guard, timeout, |stamp| *stamp == seen && !self.draining())
-            .expect("ingest signal lock");
-        *guard
-    }
-
-    fn bump_ingest_signal(&self) {
-        let (lock, cvar) = &self.ingest_signal;
-        *lock.lock().expect("ingest signal lock") += 1;
-        cvar.notify_all();
+    /// Snapshots every persisted corpus with any logged entries at all
+    /// (e.g. at drain, so the next boot needs no WAL replay).
+    pub fn snapshot_now(&self) -> Vec<(String, Result<u64, String>)> {
+        self.snapshot_corpora(0)
     }
 
     fn corpus(&self, fingerprint: &str) -> Option<Arc<ServedCorpus>> {
@@ -176,8 +387,13 @@ impl ProbeService {
 enum SessionKind {
     /// A fork of the corpus master: may probe, ingest, and watch. The
     /// fork shares the corpus records, cache, and watch registry, so the
-    /// session alone keeps the served state alive.
-    Stream { session: StreamingSession },
+    /// session alone keeps the served state alive. The corpus handle
+    /// carries the ingest signal and durable store this session's
+    /// ingests must reach.
+    Stream {
+        session: StreamingSession,
+        corpus: Arc<ServedCorpus>,
+    },
     /// A probe-only snapshot of the corpus at attach time; goes stale
     /// (structured `stale_session` error) once the corpus grows.
     Pinned { session: Session },
@@ -189,6 +405,17 @@ struct ConnState {
     /// connection-scoped id echoed on delta frames.
     watches: Vec<(u64, plasma_core::WatchHandle)>,
     next_watch_id: u64,
+}
+
+/// A pusher thread's position on its connection's corpus ingest signal.
+/// Opaque: created by [`Connection::ingest_cursor`], advanced by
+/// [`Connection::wait_ingest_signal`]. It remembers which corpus the
+/// connection was attached to at the last wait, so a detach/re-attach
+/// re-anchors on the new corpus's signal instead of sleeping on a stale
+/// stamp.
+pub struct IngestCursor {
+    corpus: Option<Arc<ServedCorpus>>,
+    seen: u64,
 }
 
 /// One client's view of the service. The transport owns exactly one per
@@ -227,7 +454,7 @@ impl Connection {
                 measure,
                 records,
                 cfg,
-            } => self.handle_publish(name, measure, records, cfg.to_apss_config()),
+            } => self.handle_publish(name, measure, records, cfg),
             Request::Attach {
                 fingerprint,
                 pinned,
@@ -236,6 +463,7 @@ impl Connection {
             Request::Probe { threshold } => self.handle_probe(threshold),
             Request::Ingest { records } => self.handle_ingest(&records),
             Request::Watch { threshold } => self.handle_watch(threshold),
+            Request::Unwatch { watch_id } => self.handle_unwatch(watch_id),
             Request::MemoryStats => self.handle_memory_stats(),
             Request::Health => {
                 let status = if self.service.draining() {
@@ -269,16 +497,19 @@ impl Connection {
         name: String,
         measure: Similarity,
         records: Vec<plasma_data::vector::SparseVector>,
-        cfg: ApssConfig,
+        publish_cfg: PublishCfg,
     ) -> Interaction {
         if self.service.draining() {
             return Interaction::error(ErrorCode::Draining, "server is draining");
         }
-        let fp = fingerprint_hex(CacheRegistry::fingerprint(&records, measure, &cfg));
+        let cfg = publish_cfg.to_apss_config();
+        let fp_raw = CacheRegistry::fingerprint(&records, measure, &cfg);
+        let fp = fingerprint_hex(fp_raw);
         let mut corpora = self.service.corpora.write().expect("corpora lock");
         if let Some(existing) = corpora.get(&fp) {
             // Idempotent re-publish: answer with the corpus as it stands
-            // (it may have grown since the original publish).
+            // (it may have grown since the original publish, or been
+            // recovered warm from the data directory at boot).
             let master = existing.master.lock().expect("master lock");
             return Interaction::reply(Response::Published {
                 fingerprint: fp.clone(),
@@ -292,6 +523,25 @@ impl Connection {
         });
         match built {
             Ok(master) => {
+                // Persist before serving: with a data directory, a corpus
+                // that cannot reach disk is refused loudly rather than
+                // served volatile.
+                let store = match self.open_corpus_store(
+                    &fp,
+                    fp_raw,
+                    &name,
+                    measure,
+                    &publish_cfg,
+                    &master,
+                ) {
+                    Ok(store) => store,
+                    Err(msg) => {
+                        return Interaction::error(
+                            ErrorCode::EnginePanic,
+                            format!("cannot persist corpus: {msg}"),
+                        )
+                    }
+                };
                 let response = Response::Published {
                     fingerprint: fp.clone(),
                     records: master.len(),
@@ -299,17 +549,45 @@ impl Connection {
                 };
                 corpora.insert(
                     fp,
-                    Arc::new(ServedCorpus {
-                        name,
-                        measure,
-                        cfg,
-                        master: Mutex::new(master),
-                    }),
+                    Arc::new(ServedCorpus::new(name, measure, cfg, master, store)),
                 );
                 Interaction::reply(response)
             }
             Err(msg) => Interaction::error(ErrorCode::EnginePanic, msg),
         }
+    }
+
+    /// Creates (or re-opens) the corpus directory and writes the
+    /// publish-time metadata and epoch-0 snapshot; `None` when the
+    /// service is volatile.
+    fn open_corpus_store(
+        &self,
+        fp_hex: &str,
+        fp: u128,
+        name: &str,
+        measure: Similarity,
+        publish_cfg: &PublishCfg,
+        master: &StreamingSession,
+    ) -> Result<Option<CorpusStore>, String> {
+        let Some(data_dir) = &self.service.data_dir else {
+            return Ok(None);
+        };
+        let dir = data_dir.join(fp_hex);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let meta = CorpusMeta {
+            name: name.to_string(),
+            measure,
+            cfg: publish_cfg.clone(),
+        };
+        persist::write_meta(&dir, &meta).map_err(|e| e.to_string())?;
+        let store = CorpusStore::open(&dir, fp).map_err(|e| e.to_string())?;
+        let (records, sketches, _epoch) = master
+            .persist_view()
+            .ok_or("published corpus has no cache")?;
+        store
+            .write_snapshot(&records, &sketches)
+            .map_err(|e| e.to_string())?;
+        Ok(Some(store))
     }
 
     fn handle_attach(
@@ -356,7 +634,10 @@ impl Connection {
             let session = master.fork();
             let (records, epoch) = (master.len(), master.epoch());
             drop(master);
-            state.session = Some(SessionKind::Stream { session });
+            state.session = Some(SessionKind::Stream {
+                session,
+                corpus: corpus.clone(),
+            });
             self.service.active_sessions.fetch_add(1, Ordering::SeqCst);
             return Interaction::reply(Response::Attached {
                 fingerprint: fingerprint.to_string(),
@@ -453,9 +734,34 @@ impl Connection {
                 ErrorCode::BadRequest,
                 "pinned sessions are probe-only; attach with pinned=false to ingest",
             ),
-            Some(SessionKind::Stream { session, .. }) => {
+            Some(SessionKind::Stream { session, corpus }) => {
+                let corpus = corpus.clone();
+                // Engine-mutate + WAL-append is one atomic unit versus
+                // the snapshotter (lock order persist → engine), so a
+                // snapshot can never capture the in-memory half of an
+                // ingest whose log entry hasn't landed.
+                let _persist = corpus.persist.lock().expect("persist lock");
                 match catch_engine(AssertUnwindSafe(|| session.ingest(records))) {
                     Ok(report) => {
+                        if report.records_added > 0 {
+                            if let Some(store) = &corpus.store {
+                                // Append *before* acking: every acked
+                                // batch survives a crash. On failure the
+                                // batch is in memory but unacked — the
+                                // client must treat it as lost, and the
+                                // error says a restart will drop it.
+                                let start = report.total_records - report.records_added;
+                                if let Err(e) = store.append_ingest(report.epoch, start, records) {
+                                    return Interaction::error(
+                                        ErrorCode::EnginePanic,
+                                        format!(
+                                            "ingest adopted in memory but its WAL append \
+                                             failed (a restart will lose it): {e}"
+                                        ),
+                                    );
+                                }
+                            }
+                        }
                         let response = Response::Ingested {
                             records_added: report.records_added,
                             total_records: report.total_records,
@@ -466,10 +772,11 @@ impl Connection {
                         // deltas ride right behind the receipt, in
                         // registration order, making the frame sequence
                         // deterministic for traces. Other connections'
-                        // pushers are then woken to drain theirs.
+                        // pushers on *this corpus* are then woken to
+                        // drain theirs.
                         let events = drain_watches(&mut state);
                         if report.records_added > 0 {
-                            self.service.bump_ingest_signal();
+                            corpus.signal.bump();
                         }
                         Interaction { response, events }
                     }
@@ -508,6 +815,25 @@ impl Connection {
                     Err(msg) => Interaction::error(classify_panic(&msg), msg),
                 }
             }
+        }
+    }
+
+    fn handle_unwatch(&self, watch_id: u64) -> Interaction {
+        let mut state = self.state.lock().expect("connection state lock");
+        if state.session.is_none() {
+            return Interaction::error(ErrorCode::NoSession, "attach to a corpus first");
+        }
+        match state.watches.iter().position(|(id, _)| *id == watch_id) {
+            Some(idx) => {
+                // Dropping the handle auto-cancels its registry entry;
+                // queued-but-undelivered deltas die with it.
+                state.watches.remove(idx);
+                Interaction::reply(Response::Unwatched { watch_id })
+            }
+            None => Interaction::error(
+                ErrorCode::UnknownWatch,
+                format!("this connection has no watch with id {watch_id}"),
+            ),
         }
     }
 
@@ -574,9 +900,56 @@ impl Connection {
         Interaction::reply(response)
     }
 
+    /// A fresh cursor for [`wait_ingest_signal`](Self::wait_ingest_signal).
+    pub fn ingest_cursor(&self) -> IngestCursor {
+        IngestCursor {
+            corpus: None,
+            seen: 0,
+        }
+    }
+
+    /// Blocks until the *attached* corpus adopts an ingest, the timeout
+    /// lapses, or a drain begins; returns true exactly when the corpus's
+    /// signal moved (a signalled wakeup, not a timeout). A connection
+    /// without a streaming session sleeps out the timeout — there is
+    /// nothing to watch, and no other corpus's ingests can wake it. The
+    /// cursor re-anchors itself when the connection switches corpora
+    /// (detach/re-attach), returning true once so the caller drains
+    /// anything queued in the gap.
+    pub fn wait_ingest_signal(&self, cursor: &mut IngestCursor, timeout: Duration) -> bool {
+        let attached: Option<Arc<ServedCorpus>> = {
+            let state = self.state.lock().expect("connection state lock");
+            match &state.session {
+                Some(SessionKind::Stream { corpus, .. }) => Some(corpus.clone()),
+                _ => None,
+            }
+        };
+        let Some(corpus) = attached else {
+            cursor.corpus = None;
+            if !self.service.draining() {
+                std::thread::sleep(timeout);
+            }
+            return false;
+        };
+        let rebase = match &cursor.corpus {
+            Some(held) => !Arc::ptr_eq(held, &corpus),
+            None => true,
+        };
+        if rebase {
+            cursor.seen = corpus.signal.stamp();
+            cursor.corpus = Some(corpus);
+            return true;
+        }
+        let (stamp, woken) = corpus
+            .signal
+            .wait(cursor.seen, timeout, || self.service.draining());
+        cursor.seen = stamp;
+        woken
+    }
+
     /// Event frames other connections' ingests have queued on this
     /// connection's watches, in watch-registration order. The transport's
-    /// pusher calls this when the service's ingest signal fires.
+    /// pusher calls this when the attached corpus's ingest signal fires.
     pub fn drain_watch_frames(&self) -> Vec<Response> {
         let mut state = self.state.lock().expect("connection state lock");
         drain_watches(&mut state)
@@ -787,6 +1160,103 @@ mod tests {
             }
             other => panic!("expected engine_panic, got {}", other.encode()),
         }
+    }
+
+    #[test]
+    fn unwatch_cancels_delivery_and_unknown_ids_are_structured() {
+        let service = Arc::new(ProbeService::new());
+        let lone = Connection::new(service.clone());
+        match lone.handle(Request::Unwatch { watch_id: 0 }).response {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSession),
+            other => panic!("expected no_session, got {}", other.encode()),
+        }
+        let conn = Connection::new(service);
+        let fp = publish(&conn, 20);
+        conn.handle(Request::Attach {
+            fingerprint: fp,
+            pinned: false,
+            declared_measure: None,
+        });
+        let watched = conn.handle(Request::Watch { threshold: 0.5 });
+        assert!(matches!(
+            watched.response,
+            Response::WatchAck { watch_id: 0, .. }
+        ));
+        match conn.handle(Request::Unwatch { watch_id: 7 }).response {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::UnknownWatch);
+                assert!(message.contains('7'), "{message}");
+            }
+            other => panic!("expected unknown_watch, got {}", other.encode()),
+        }
+        assert_eq!(conn.watch_count(), 1, "failed unwatch cancels nothing");
+        let ok = conn.handle(Request::Unwatch { watch_id: 0 });
+        assert!(matches!(ok.response, Response::Unwatched { watch_id: 0 }));
+        assert_eq!(conn.watch_count(), 0);
+        // The watch is gone end to end: an ingest that would have
+        // produced a delta produces no event frames.
+        let ingested = conn.handle(Request::Ingest { records: corpus(6) });
+        assert!(matches!(ingested.response, Response::Ingested { .. }));
+        assert!(ingested.events.is_empty(), "cancelled watch still fired");
+        // Unwatching the same id again is the structured error.
+        match conn.handle(Request::Unwatch { watch_id: 0 }).response {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownWatch),
+            other => panic!("expected unknown_watch, got {}", other.encode()),
+        }
+        // Ids are not reused: the next watch gets a fresh id.
+        let again = conn.handle(Request::Watch { threshold: 0.6 });
+        assert!(matches!(
+            again.response,
+            Response::WatchAck { watch_id: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn ingest_signal_is_per_corpus_not_global() {
+        let service = Arc::new(ProbeService::new());
+        let conn_a = Connection::new(service.clone());
+        let fp_a = publish(&conn_a, 16);
+        conn_a.handle(Request::Attach {
+            fingerprint: fp_a.clone(),
+            pinned: false,
+            declared_measure: None,
+        });
+        let conn_b = Connection::new(service.clone());
+        let fp_b = publish(&conn_b, 24);
+        assert_ne!(fp_a, fp_b, "distinct corpora");
+        conn_b.handle(Request::Attach {
+            fingerprint: fp_b,
+            pinned: false,
+            declared_measure: None,
+        });
+        let mut cursor = conn_a.ingest_cursor();
+        // The first wait anchors the cursor on corpus A (returns true by
+        // contract so the pusher drains the attach gap).
+        assert!(conn_a.wait_ingest_signal(&mut cursor, Duration::from_millis(1)));
+        let corpus_a = service.corpus(&fp_a).expect("corpus A");
+        let baseline = corpus_a.signal.wakeups.load(Ordering::Relaxed);
+        // An ingest into corpus B must NOT wake a pusher on corpus A —
+        // this was the global-signal bug.
+        let ingested = conn_b.handle(Request::Ingest { records: corpus(4) });
+        assert!(matches!(ingested.response, Response::Ingested { .. }));
+        assert!(
+            !conn_a.wait_ingest_signal(&mut cursor, Duration::from_millis(25)),
+            "corpus B's ingest woke corpus A's pusher"
+        );
+        assert_eq!(
+            corpus_a.signal.wakeups.load(Ordering::Relaxed),
+            baseline,
+            "corpus A recorded a signalled wakeup it should not have"
+        );
+        // An ingest into corpus A itself does wake it, exactly once.
+        conn_a.handle(Request::Ingest { records: corpus(5) });
+        assert!(conn_a.wait_ingest_signal(&mut cursor, Duration::from_secs(5)));
+        assert_eq!(
+            corpus_a.signal.wakeups.load(Ordering::Relaxed),
+            baseline + 1
+        );
+        // Caught up: the next wait times out quietly.
+        assert!(!conn_a.wait_ingest_signal(&mut cursor, Duration::from_millis(5)));
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   each), [`handler::Connection`] maps `Request -> Response` and
 //!   catches engine panics into structured errors.
 //! * [`server`] — thread-per-connection TCP transport with pushed
-//!   watch-delta frames and graceful drain.
+//!   watch-delta frames, graceful drain, and (with `--data-dir`) a
+//!   background snapshotter.
+//! * [`persist`] — the serving half of durability: per-corpus
+//!   `meta.json` beside the engine's snapshot + WAL
+//!   ([`plasma_core::durable`]), so `ProbeService::with_data_dir`
+//!   restarts every published corpus *warm* and bit-identical.
 //! * [`client`] / [`trace`] — a blocking client, and the trace
 //!   capture/replay harness that pins every served frame bit-identical
 //!   to direct library execution.
@@ -26,12 +31,16 @@
 pub mod client;
 pub mod handler;
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod trace;
 
 pub use client::{Frame, ProbeClient};
-pub use handler::{Connection, Interaction, ProbeService};
+pub use handler::{
+    Connection, IngestCursor, Interaction, ProbeService, RecoveredStats, RecoveryReport,
+};
+pub use persist::CorpusMeta;
 pub use protocol::{ErrorCode, PublishCfg, Request, Response};
 pub use server::ProbeServer;
 pub use trace::{Trace, TraceEntry, TraceRecorder};

@@ -1,15 +1,18 @@
 //! `plasma-serve`: the PLASMA-HD probe service over TCP.
 //!
 //! ```text
-//! plasma-serve [--addr HOST:PORT] [--self-check]
+//! plasma-serve [--addr HOST:PORT] [--data-dir PATH] [--self-check]
 //! ```
 //!
 //! Without flags, binds `--addr` (default `127.0.0.1:7171`) and serves
-//! until a client sends `shutdown`. With `--self-check`, boots on an
-//! ephemeral port, runs a scripted client through every verb (publish,
-//! attach, watch, probe, ingest, memory_stats, health, shutdown),
-//! verifies each reply, and exits non-zero on any failure — the CI
-//! smoke test.
+//! until a client sends `shutdown`. With `--data-dir`, every published
+//! corpus persists (snapshot + ingest WAL) under `PATH/<fingerprint>/`
+//! and a restart re-serves each one *warm* — same fingerprint, same
+//! epoch, bit-identical probe and watch frames. With `--self-check`,
+//! boots on an ephemeral port, runs a scripted client through every
+//! verb (publish, attach, watch, probe, ingest, unwatch, memory_stats,
+//! health, shutdown), verifies each reply, and exits non-zero on any
+//! failure — the CI smoke test.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -21,6 +24,7 @@ use plasma_server::{ProbeClient, ProbeServer, ProbeService, PublishCfg, Request}
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
+    let mut data_dir: Option<String> = None;
     let mut self_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,9 +33,13 @@ fn main() -> ExitCode {
                 Some(a) => addr = a,
                 None => return usage("--addr needs a HOST:PORT value"),
             },
+            "--data-dir" => match args.next() {
+                Some(d) => data_dir = Some(d),
+                None => return usage("--data-dir needs a PATH value"),
+            },
             "--self-check" => self_check = true,
             "--help" | "-h" => {
-                println!("usage: plasma-serve [--addr HOST:PORT] [--self-check]");
+                println!("usage: plasma-serve [--addr HOST:PORT] [--data-dir PATH] [--self-check]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown flag '{other}'")),
@@ -49,7 +57,41 @@ fn main() -> ExitCode {
             }
         };
     }
-    let service = Arc::new(ProbeService::new());
+    let service = match data_dir {
+        Some(dir) => {
+            let (service, reports) = match ProbeService::with_data_dir(&dir) {
+                Ok(booted) => booted,
+                Err(e) => {
+                    eprintln!("plasma-serve: cannot open data dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for report in &reports {
+                match &report.outcome {
+                    Ok(stats) => println!(
+                        "plasma-serve: recovered '{}' ({}) warm: {} records at epoch {} \
+                         ({} WAL entries replayed{})",
+                        stats.name,
+                        report.fingerprint,
+                        stats.records,
+                        stats.epoch,
+                        stats.replayed_entries,
+                        if stats.wal_tail_discarded {
+                            ", torn tail discarded"
+                        } else {
+                            ""
+                        },
+                    ),
+                    Err(e) => eprintln!(
+                        "plasma-serve: NOT serving corpus {}: {e}",
+                        report.fingerprint
+                    ),
+                }
+            }
+            Arc::new(service)
+        }
+        None => Arc::new(ProbeService::new()),
+    };
     let server = match ProbeServer::start(service, &addr) {
         Ok(server) => server,
         Err(e) => {
@@ -64,7 +106,10 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("plasma-serve: {msg}\nusage: plasma-serve [--addr HOST:PORT] [--self-check]");
+    eprintln!(
+        "plasma-serve: {msg}\n\
+         usage: plasma-serve [--addr HOST:PORT] [--data-dir PATH] [--self-check]"
+    );
     ExitCode::FAILURE
 }
 
@@ -162,6 +207,29 @@ fn run_self_check() -> Result<(), String> {
         .ok_or("ingest: watch delta never arrived")?;
     if delta.json.get("epoch").and_then(|e| e.as_u64()) != Some(1) {
         return Err(format!("ingest: delta at wrong epoch: {}", delta.raw));
+    }
+    let unwatched = step(
+        "unwatch",
+        &mut client,
+        Request::Unwatch { watch_id: 0 },
+        "unwatched",
+    )?;
+    if unwatched.json.get("watch_id").and_then(|w| w.as_u64()) != Some(0) {
+        return Err(format!("unwatch: wrong id echoed: {}", unwatched.raw));
+    }
+    let unknown = step(
+        "unwatch (unknown id)",
+        &mut client,
+        Request::Unwatch { watch_id: 99 },
+        "error",
+    )?;
+    if unknown
+        .json
+        .get("code")
+        .and_then(|c| c.as_str().map(str::to_string))
+        != Some("unknown_watch".to_string())
+    {
+        return Err(format!("unwatch: wrong error code: {}", unknown.raw));
     }
     step(
         "memory_stats",

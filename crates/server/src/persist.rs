@@ -1,0 +1,170 @@
+//! Serving-layer persistence metadata: one `meta.json` per corpus
+//! directory.
+//!
+//! The engine's durable layer ([`plasma_core::durable`]) persists what
+//! the *engine* needs — sketch words, records, epoch, fingerprint. The
+//! serving layer additionally needs what the *server* knew at publish
+//! time: the human-readable name, the similarity measure, and the
+//! client's [`PublishCfg`] overrides. Recovery resolves that `PublishCfg`
+//! against the engine defaults exactly as `publish` did, so the
+//! reconstructed [`plasma_core::ApssConfig`] — and therefore every
+//! sketch word an ingest replay produces — is identical to the original
+//! process's. The durable layer's own config guard (`n_hashes`, `seed`,
+//! family) then cross-checks that against the snapshot META, so a
+//! hand-edited `meta.json` is a structured refusal, not silent
+//! divergence.
+//!
+//! The file is hand-rolled JSON over [`crate::json`] (no serde in the
+//! offline container), written temp-file-then-rename like the engine's
+//! snapshots.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+use plasma_data::similarity::Similarity;
+
+use crate::json::{self, obj, Json};
+use crate::protocol::{measure_from, measure_str, PublishCfg};
+
+/// What `publish` knew about a corpus, persisted alongside its snapshot
+/// and WAL so a restarted server can re-serve it under the same name and
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusMeta {
+    /// Human-readable corpus label (diagnostics only).
+    pub name: String,
+    /// Similarity family the corpus was published under.
+    pub measure: Similarity,
+    /// The publish-time configuration overrides; unset fields resolve
+    /// against engine defaults exactly as the original publish did.
+    pub cfg: PublishCfg,
+}
+
+impl CorpusMeta {
+    /// Encodes the metadata as one canonical JSON document.
+    pub fn encode(&self) -> String {
+        let cfg = &self.cfg;
+        let mut cfg_fields = Vec::new();
+        if let Some(n) = cfg.n_hashes {
+            cfg_fields.push(("n_hashes", Json::Int(n as i64)));
+        }
+        if let Some(seed) = cfg.seed {
+            cfg_fields.push(("seed", Json::Int(seed as i64)));
+        }
+        if let Some((bands, width)) = cfg.bands {
+            cfg_fields.push((
+                "bands",
+                Json::Arr(vec![Json::Int(bands as i64), Json::Int(width as i64)]),
+            ));
+        }
+        if let Some(p) = cfg.parallelism {
+            cfg_fields.push(("parallelism", Json::Int(p as i64)));
+        }
+        if let Some(x) = cfg.exact_on_accept {
+            cfg_fields.push(("exact_on_accept", Json::Bool(x)));
+        }
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("measure", Json::Str(measure_str(self.measure).into())),
+            ("cfg", obj(cfg_fields)),
+        ])
+        .encode()
+    }
+
+    /// Decodes a `meta.json` document.
+    pub fn decode(text: &str) -> Result<CorpusMeta, String> {
+        let value = json::parse(text).map_err(|e| format!("invalid meta.json: {e}"))?;
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("meta.json: missing 'name'")?
+            .to_string();
+        let measure = value
+            .get("measure")
+            .and_then(Json::as_str)
+            .and_then(measure_from)
+            .ok_or("meta.json: 'measure' must be \"cosine\" or \"jaccard\"")?;
+        let mut cfg = PublishCfg::default();
+        if let Some(c) = value.get("cfg") {
+            cfg.n_hashes = c.get("n_hashes").and_then(Json::as_usize);
+            cfg.seed = c.get("seed").and_then(Json::as_u64);
+            cfg.bands = c.get("bands").and_then(Json::as_arr).and_then(|b| {
+                match (b.first()?.as_usize(), b.get(1)?.as_usize()) {
+                    (Some(bands), Some(width)) => Some((bands, width)),
+                    _ => None,
+                }
+            });
+            cfg.parallelism = c.get("parallelism").and_then(Json::as_usize);
+            cfg.exact_on_accept = c.get("exact_on_accept").and_then(Json::as_bool);
+        }
+        Ok(CorpusMeta { name, measure, cfg })
+    }
+}
+
+/// Writes `dir/meta.json` atomically (temp file, sync, rename).
+pub fn write_meta(dir: &Path, meta: &CorpusMeta) -> std::io::Result<()> {
+    let tmp = dir.join("meta.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(meta.encode().as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join("meta.json"))
+}
+
+/// Reads and decodes `dir/meta.json`.
+pub fn read_meta(dir: &Path) -> Result<CorpusMeta, String> {
+    let path = dir.join("meta.json");
+    let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    CorpusMeta::decode(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("plasma-meta-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let meta = CorpusMeta {
+            name: "demo".into(),
+            measure: Similarity::Jaccard,
+            cfg: PublishCfg {
+                n_hashes: Some(64),
+                seed: None,
+                bands: Some((8, 8)),
+                parallelism: Some(1),
+                exact_on_accept: None,
+            },
+        };
+        write_meta(&dir, &meta).expect("write");
+        let back = read_meta(&dir).expect("read");
+        assert_eq!(back, meta);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unset_cfg_fields_stay_unset() {
+        let meta = CorpusMeta {
+            name: String::new(),
+            measure: Similarity::Cosine,
+            cfg: PublishCfg::default(),
+        };
+        let back = CorpusMeta::decode(&meta.encode()).expect("decodes");
+        assert_eq!(back.cfg, PublishCfg::default());
+    }
+
+    #[test]
+    fn garbage_meta_is_a_structured_refusal() {
+        for bad in [
+            "",
+            "not json",
+            "{\"name\":\"x\"}",
+            "{\"measure\":\"jaccard\"}",
+        ] {
+            assert!(CorpusMeta::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

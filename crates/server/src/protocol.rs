@@ -51,6 +51,9 @@ pub enum ErrorCode {
     /// A pinned session probed a corpus that has since grown — the
     /// engine's stale-prefix guard fired.
     StaleSession,
+    /// `unwatch` named a watch id this connection never registered (or
+    /// already cancelled).
+    UnknownWatch,
     /// The engine panicked for any other reason (e.g. seed or measure
     /// mismatch against the shared cache); the message carries the
     /// panic text.
@@ -70,6 +73,7 @@ impl ErrorCode {
             ErrorCode::NoSession => "no_session",
             ErrorCode::AlreadyAttached => "already_attached",
             ErrorCode::StaleSession => "stale_session",
+            ErrorCode::UnknownWatch => "unknown_watch",
             ErrorCode::EnginePanic => "engine_panic",
             ErrorCode::Draining => "draining",
         }
@@ -165,6 +169,13 @@ pub enum Request {
         /// Similarity threshold in `[0, 1]`.
         threshold: f64,
     },
+    /// Cancels one of this connection's watches; no further deltas are
+    /// delivered for it. An unknown id is a structured `unknown_watch`
+    /// error.
+    Unwatch {
+        /// The id `watch_ack` reported.
+        watch_id: u64,
+    },
     /// Memory accounting for the attached corpus (or the registry when
     /// unattached).
     MemoryStats,
@@ -239,6 +250,11 @@ pub enum Response {
         /// Echoed threshold.
         threshold: f64,
     },
+    /// `unwatch` succeeded; the watch's registry entry is cancelled.
+    Unwatched {
+        /// Echoed watch id.
+        watch_id: u64,
+    },
     /// One epoch's delta at one watched threshold (pushed; marked
     /// `"event": true` on the wire).
     WatchDeltaEvent {
@@ -297,14 +313,14 @@ pub enum Response {
     },
 }
 
-fn measure_str(m: Similarity) -> &'static str {
+pub(crate) fn measure_str(m: Similarity) -> &'static str {
     match m {
         Similarity::Cosine => "cosine",
         Similarity::Jaccard => "jaccard",
     }
 }
 
-fn measure_from(s: &str) -> Option<Similarity> {
+pub(crate) fn measure_from(s: &str) -> Option<Similarity> {
     match s {
         "cosine" => Some(Similarity::Cosine),
         "jaccard" => Some(Similarity::Jaccard),
@@ -461,6 +477,10 @@ impl Request {
                 ("verb", Json::Str("watch".into())),
                 ("threshold", Json::Float(*threshold)),
             ]),
+            Request::Unwatch { watch_id } => obj(vec![
+                ("verb", Json::Str("unwatch".into())),
+                ("watch_id", Json::Int(*watch_id as i64)),
+            ]),
             Request::MemoryStats => obj(vec![("verb", Json::Str("memory_stats".into()))]),
             Request::Health => obj(vec![("verb", Json::Str("health".into()))]),
             Request::Ready => obj(vec![("verb", Json::Str("ready".into()))]),
@@ -563,6 +583,13 @@ impl Request {
                     Request::Watch { threshold }
                 })
             }
+            "unwatch" => {
+                let watch_id = value
+                    .get("watch_id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing integer 'watch_id'"))?;
+                Ok(Request::Unwatch { watch_id })
+            }
             "ingest" => {
                 let records = records_from(
                     value
@@ -647,6 +674,10 @@ impl Response {
                 ("type", Json::Str("watch_ack".into())),
                 ("watch_id", Json::Int(*watch_id as i64)),
                 ("threshold", Json::Float(*threshold)),
+            ]),
+            Response::Unwatched { watch_id } => obj(vec![
+                ("type", Json::Str("unwatched".into())),
+                ("watch_id", Json::Int(*watch_id as i64)),
             ]),
             Response::WatchDeltaEvent { watch_id, delta } => obj(vec![
                 ("type", Json::Str("watch_delta".into())),
@@ -797,6 +828,7 @@ mod tests {
                 records: vecs(&[&[(9, 1.0)]]),
             },
             Request::Watch { threshold: 0.5 },
+            Request::Unwatch { watch_id: 3 },
             Request::MemoryStats,
             Request::Health,
             Request::Ready,
@@ -827,6 +859,11 @@ mod tests {
             ),
             (
                 "{\"verb\":\"ingest\",\"records\":[[[0]]]}",
+                ErrorCode::BadRequest,
+            ),
+            ("{\"verb\":\"unwatch\"}", ErrorCode::BadRequest),
+            (
+                "{\"verb\":\"unwatch\",\"watch_id\":-1}",
                 ErrorCode::BadRequest,
             ),
         ];

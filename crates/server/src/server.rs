@@ -7,8 +7,14 @@
 //! * a **reader** that extracts frames (a manual buffer over 50 ms read
 //!   timeouts, so shutdown is observed even on a silent socket), decodes
 //!   them, and drives [`Connection::handle`];
-//! * a **pusher** that waits on the service's ingest signal and delivers
-//!   watch-delta event frames queued by *other* connections' ingests.
+//! * a **pusher** that waits on the attached corpus's ingest signal
+//!   (via an [`crate::handler::IngestCursor`]) and delivers watch-delta event
+//!   frames queued by *other* connections' ingests into that corpus.
+//!
+//! On a durable service (one booted with a data directory) a third,
+//! server-wide **snapshotter** thread periodically snapshots corpora
+//! whose WALs have grown and truncates their logs, and takes a final
+//! snapshot at drain.
 //!
 //! Both write through one per-connection mutex held across
 //! handle-then-write, so a connection's frames never interleave and the
@@ -40,11 +46,20 @@ const POLL: Duration = Duration::from_millis(50);
 /// before the server closes it.
 const DRAIN_GRACE_TICKS: u32 = 4;
 
+/// POLL ticks between background snapshot sweeps (durable servers only).
+const SNAPSHOT_TICKS: u32 = 20;
+
+/// WAL bytes (beyond the header) a corpus must accumulate before the
+/// background sweep snapshots it; small logs are cheap to replay and not
+/// worth rewriting a snapshot for. Drain always snapshots regardless.
+const SNAPSHOT_MIN_WAL_BYTES: u64 = 64 * 1024;
+
 /// A running probe server bound to one TCP address.
 pub struct ProbeServer {
     service: Arc<ProbeService>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -77,10 +92,31 @@ impl ProbeServer {
                 }
             })
         };
+        // Durable servers run a background snapshotter: once a corpus's
+        // WAL grows past the threshold, its state is snapshotted and the
+        // log truncated, bounding both replay time at the next boot and
+        // disk growth. At drain it takes one final full snapshot so a
+        // clean restart needs no replay at all.
+        let snapshotter = if service.data_dir().is_some() {
+            let service = service.clone();
+            Some(thread::spawn(move || loop {
+                for _ in 0..SNAPSHOT_TICKS {
+                    if service.draining() {
+                        service.snapshot_now();
+                        return;
+                    }
+                    thread::sleep(POLL);
+                }
+                service.snapshot_corpora(SNAPSHOT_MIN_WAL_BYTES);
+            }))
+        } else {
+            None
+        };
         Ok(ProbeServer {
             service,
             addr,
             acceptor: Some(acceptor),
+            snapshotter,
             connections,
         })
     }
@@ -106,6 +142,9 @@ impl ProbeServer {
     pub fn wait(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            let _ = snapshotter.join();
         }
         loop {
             let batch: Vec<JoinHandle<()>> = {
@@ -143,14 +182,17 @@ fn serve_connection(service: Arc<ProbeService>, stream: TcpStream) {
     let closed = Arc::new(AtomicBool::new(false));
 
     let pusher = {
-        let service = service.clone();
         let conn = conn.clone();
         let writer = writer.clone();
         let closed = closed.clone();
         thread::spawn(move || {
-            let mut seen = service.ingest_stamp();
+            // The cursor follows whichever corpus this connection is
+            // attached to; only that corpus's ingests (or a drain) wake
+            // the thread, so idle connections and connections on other
+            // corpora sleep through unrelated ingest storms.
+            let mut cursor = conn.ingest_cursor();
             while !closed.load(Ordering::SeqCst) {
-                seen = service.wait_ingest_signal(seen, POLL);
+                conn.wait_ingest_signal(&mut cursor, POLL);
                 // Lock order is writer → connection state, same as the
                 // reader's handle-then-write path.
                 let mut sink = writer.lock().expect("writer lock");

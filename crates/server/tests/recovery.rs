@@ -1,0 +1,346 @@
+//! Warm-restart recovery, pinned at the serving layer.
+//!
+//! The durability contract is stronger than "the data survives": a
+//! restarted server must be *indistinguishable* from one that never
+//! died. These suites build an ingest history against a durable service
+//! (publish + WAL-logged ingests + optional mid-history snapshot), kill
+//! it, boot a fresh service from the same data directory, and require
+//! every served frame — probe results, watch acks, registration deltas,
+//! ingest receipts and their watch deltas — to be byte-identical to a
+//! cold-built server that replayed the same operations in memory.
+//! Refusals are pinned too: a corpus whose persisted state cannot be
+//! verified is reported with a structured error and skipped, while the
+//! rest of the directory still serves.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use common::corpus;
+use plasma_data::similarity::Similarity;
+use plasma_server::{
+    Connection, ProbeClient, ProbeServer, ProbeService, PublishCfg, Request, Response,
+};
+
+/// A self-cleaning temp directory under the system temp root.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "plasma-serve-{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn test_cfg() -> PublishCfg {
+    PublishCfg {
+        n_hashes: Some(64),
+        bands: Some((8, 8)),
+        ..PublishCfg::default()
+    }
+}
+
+fn publish(
+    conn: &Connection,
+    name: &str,
+    records: Vec<plasma_data::vector::SparseVector>,
+) -> String {
+    let outcome = conn.handle(Request::Publish {
+        name: name.into(),
+        measure: Similarity::Jaccard,
+        records,
+        cfg: test_cfg(),
+    });
+    match outcome.response {
+        Response::Published { fingerprint, .. } => fingerprint,
+        other => panic!("publish failed: {}", other.encode()),
+    }
+}
+
+fn attach(conn: &Connection, fingerprint: &str) -> String {
+    let outcome = conn.handle(Request::Attach {
+        fingerprint: fingerprint.to_string(),
+        pinned: false,
+        declared_measure: None,
+    });
+    match &outcome.response {
+        Response::Attached { .. } => outcome.response.encode(),
+        other => panic!("attach failed: {}", other.encode()),
+    }
+}
+
+fn ingest_ok(conn: &Connection, records: Vec<plasma_data::vector::SparseVector>) {
+    let outcome = conn.handle(Request::Ingest { records });
+    assert!(
+        matches!(outcome.response, Response::Ingested { .. }),
+        "ingest failed: {}",
+        outcome.response.encode()
+    );
+}
+
+/// Runs the same client script against both connections and asserts
+/// every frame — responses and pushed events alike — is byte-identical.
+fn assert_script_is_bit_identical(warm: &Connection, cold: &Connection, label: &str) {
+    let script = vec![
+        Request::Probe { threshold: 0.8 },
+        Request::Probe { threshold: 0.5 },
+        Request::Watch { threshold: 0.6 },
+        Request::Ingest {
+            records: corpus(8, 1000),
+        },
+        Request::Probe { threshold: 0.6 },
+        Request::Unwatch { watch_id: 0 },
+        Request::MemoryStats,
+    ];
+    for request in script {
+        let w = warm.handle(request.clone());
+        let c = cold.handle(request.clone());
+        assert_eq!(
+            w.response.encode(),
+            c.response.encode(),
+            "{label}: response diverged on {}",
+            request.encode()
+        );
+        let w_events: Vec<String> = w.events.iter().map(Response::encode).collect();
+        let c_events: Vec<String> = c.events.iter().map(Response::encode).collect();
+        assert_eq!(
+            w_events,
+            c_events,
+            "{label}: event frames diverged on {}",
+            request.encode()
+        );
+    }
+}
+
+#[test]
+fn restarted_server_serves_bit_identical_frames_at_every_epoch() {
+    for stage in 0..=2usize {
+        let dir = TempDir::new("stages");
+        let batches: Vec<_> = (0..stage).map(|i| corpus(8, 32 + 8 * i)).collect();
+
+        // Life 1: durable service accumulates the history, snapshotting
+        // mid-way at stage 2 so recovery exercises snapshot + WAL tail.
+        let fingerprint = {
+            let (service, reports) =
+                ProbeService::with_data_dir(&dir.0).expect("boot durable service");
+            assert!(reports.is_empty(), "fresh directory has nothing to recover");
+            let service = Arc::new(service);
+            let conn = Connection::new(service.clone());
+            let fp = publish(&conn, "stages", corpus(32, 0));
+            attach(&conn, &fp);
+            for (i, batch) in batches.iter().enumerate() {
+                ingest_ok(&conn, batch.clone());
+                if i == 0 && stage == 2 {
+                    for (_, outcome) in service.snapshot_now() {
+                        outcome.expect("mid-history snapshot");
+                    }
+                }
+            }
+            fp
+            // Everything dropped here: the "crash".
+        };
+
+        // Life 2: a fresh process over the same directory.
+        let (warm_service, reports) =
+            ProbeService::with_data_dir(&dir.0).expect("boot recovered service");
+        let warm_service = Arc::new(warm_service);
+        assert_eq!(reports.len(), 1, "stage {stage}: one corpus to recover");
+        let report = &reports[0];
+        assert_eq!(report.fingerprint, fingerprint);
+        let stats = report.outcome.as_ref().expect("recovery succeeds");
+        assert_eq!(stats.name, "stages");
+        assert_eq!(stats.records, 32 + 8 * stage);
+        assert_eq!(stats.epoch, stage as u64);
+
+        // Reference: a cold server that never died, same history.
+        let cold_service = Arc::new(ProbeService::new());
+        let cold_setup = Connection::new(cold_service.clone());
+        let cold_fp = publish(&cold_setup, "stages", corpus(32, 0));
+        assert_eq!(cold_fp, fingerprint, "fingerprint is lineage-stable");
+        attach(&cold_setup, &cold_fp);
+        for batch in &batches {
+            ingest_ok(&cold_setup, batch.clone());
+        }
+        cold_setup.close();
+
+        let warm = Connection::new(warm_service.clone());
+        let cold = Connection::new(cold_service.clone());
+        assert_eq!(
+            attach(&warm, &fingerprint),
+            attach(&cold, &fingerprint),
+            "stage {stage}: attach frames diverged"
+        );
+        assert_script_is_bit_identical(&warm, &cold, &format!("stage {stage}"));
+    }
+}
+
+#[test]
+fn batch_logged_but_never_acked_survives_the_restart() {
+    let dir = TempDir::new("unacked");
+    let fingerprint = {
+        let (service, _) = ProbeService::with_data_dir(&dir.0).expect("boot durable service");
+        let service = Arc::new(service);
+        let conn = Connection::new(service.clone());
+        let fp = publish(&conn, "unacked", corpus(24, 0));
+        attach(&conn, &fp);
+        // The ingest is handled — WAL append happens before the ack is
+        // even built — but the "server" dies before the Interaction
+        // would reach the client. The client never saw an ack; the
+        // batch must still be there after restart, because the append
+        // preceded it.
+        let _unsent = conn.handle(Request::Ingest {
+            records: corpus(8, 24),
+        });
+        fp
+    };
+    let (service, reports) = ProbeService::with_data_dir(&dir.0).expect("boot recovered service");
+    let stats = reports[0].outcome.as_ref().expect("recovery succeeds");
+    assert_eq!(stats.records, 32, "the logged-but-unacked batch is served");
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.replayed_entries, 1);
+    assert!(!stats.wal_tail_discarded, "the entry was fully written");
+
+    // And the recovered corpus is the cold-built one, frame for frame.
+    let cold_service = Arc::new(ProbeService::new());
+    let cold_setup = Connection::new(cold_service.clone());
+    let fp = publish(&cold_setup, "unacked", corpus(24, 0));
+    assert_eq!(fp, fingerprint);
+    attach(&cold_setup, &fp);
+    ingest_ok(&cold_setup, corpus(8, 24));
+    cold_setup.close();
+    let warm = Connection::new(Arc::new(service));
+    let cold = Connection::new(cold_service);
+    attach(&warm, &fingerprint);
+    attach(&cold, &fingerprint);
+    assert_script_is_bit_identical(&warm, &cold, "unacked batch");
+}
+
+#[test]
+fn recovery_refusals_are_structured_and_per_corpus() {
+    let dir = TempDir::new("refusal");
+    let (fp_a, fp_b) = {
+        let (service, _) = ProbeService::with_data_dir(&dir.0).expect("boot durable service");
+        let service = Arc::new(service);
+        let conn = Connection::new(service.clone());
+        let fp_a = publish(&conn, "corpus-a", corpus(32, 0));
+        conn.handle(Request::Detach);
+        let conn_b = Connection::new(service.clone());
+        let fp_b = publish(&conn_b, "corpus-b", corpus(20, 500));
+        (fp_a, fp_b)
+    };
+    assert_ne!(fp_a, fp_b);
+    // Sabotage corpus A's meta: a different seed means recovery would
+    // re-sketch replays differently, so the config guard must refuse.
+    let meta_path = dir.0.join(&fp_a).join("meta.json");
+    let meta = std::fs::read_to_string(&meta_path).expect("read meta");
+    assert!(
+        meta.contains("\"cfg\":{"),
+        "fixture meta shape changed: {meta}"
+    );
+    let sabotaged = meta.replace("\"cfg\":{", "\"cfg\":{\"seed\":12345,");
+    std::fs::write(&meta_path, sabotaged).expect("write sabotaged meta");
+
+    let (service, reports) = ProbeService::with_data_dir(&dir.0).expect("service still boots");
+    let service = Arc::new(service);
+    assert_eq!(reports.len(), 2);
+    for report in &reports {
+        if report.fingerprint == fp_a {
+            let err = report
+                .outcome
+                .as_ref()
+                .expect_err("sabotaged corpus refused");
+            assert!(err.contains("seed"), "refusal names the mismatch: {err}");
+        } else {
+            assert_eq!(report.fingerprint, fp_b);
+            assert!(report.outcome.is_ok(), "healthy corpus still recovers");
+        }
+    }
+    // The refused corpus is not served; the healthy one is.
+    let conn = Connection::new(service);
+    let refused = conn.handle(Request::Attach {
+        fingerprint: fp_a,
+        pinned: false,
+        declared_measure: None,
+    });
+    match refused.response {
+        Response::Error { code, .. } => {
+            assert_eq!(code, plasma_server::ErrorCode::UnknownFingerprint)
+        }
+        other => panic!("expected unknown_fingerprint, got {}", other.encode()),
+    }
+    attach(&conn, &fp_b);
+}
+
+#[test]
+fn tcp_drain_snapshots_so_the_next_boot_replays_nothing() {
+    let dir = TempDir::new("tcp");
+    let fingerprint = {
+        let (service, _) = ProbeService::with_data_dir(&dir.0).expect("boot durable service");
+        let server =
+            ProbeServer::start(Arc::new(service), "127.0.0.1:0").expect("bind ephemeral port");
+        let mut client = ProbeClient::connect(server.local_addr()).expect("connect");
+        let reply = client
+            .request(&Request::Publish {
+                name: "tcp".into(),
+                measure: Similarity::Jaccard,
+                records: corpus(24, 0),
+                cfg: test_cfg(),
+            })
+            .expect("publish");
+        assert_eq!(reply.frame_type(), "published", "{}", reply.raw);
+        let fingerprint = reply
+            .json
+            .get("fingerprint")
+            .and_then(|f| f.as_str().map(str::to_string))
+            .expect("fingerprint");
+        let attached = client
+            .request(&Request::Attach {
+                fingerprint: fingerprint.clone(),
+                pinned: false,
+                declared_measure: None,
+            })
+            .expect("attach");
+        assert_eq!(attached.frame_type(), "attached", "{}", attached.raw);
+        let ingested = client
+            .request(&Request::Ingest {
+                records: corpus(8, 24),
+            })
+            .expect("ingest");
+        assert_eq!(ingested.frame_type(), "ingested", "{}", ingested.raw);
+        let bye = client.request(&Request::Shutdown).expect("shutdown");
+        assert_eq!(bye.frame_type(), "shutting_down", "{}", bye.raw);
+        drop(client);
+        // wait() joins the snapshotter, whose drain path takes the
+        // final snapshot and truncates the WAL.
+        server.wait();
+        fingerprint
+    };
+    let wal = std::fs::read(dir.0.join(&fingerprint).join("wal.bin")).expect("wal exists");
+    assert_eq!(
+        wal.len() as u64,
+        plasma_core::WAL_HEADER_BYTES,
+        "drain snapshot truncated the log"
+    );
+    let (_service, reports) = ProbeService::with_data_dir(&dir.0).expect("boot recovered service");
+    let stats = reports[0].outcome.as_ref().expect("recovery succeeds");
+    assert_eq!(stats.records, 32);
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.replayed_entries, 0, "nothing left to replay");
+
+    // Second drop: the directory is intact for yet another boot (the
+    // `_service` above held open WAL handles; closing is clean).
+}
