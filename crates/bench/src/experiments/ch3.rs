@@ -327,7 +327,7 @@ pub fn fig3_18(opts: &Opts) {
             sims.len().to_string(),
             f(stats::mean(&sims)),
             f(stats::std_dev(&sims)),
-            f(stats::percentile(&sims, 0.9)),
+            f(stats::percentile(&sims, 0.9).unwrap_or(f64::NAN)),
         ]);
     }
     t.print();

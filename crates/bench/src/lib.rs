@@ -7,6 +7,7 @@
 //! `results/`.
 
 pub mod experiments;
+pub mod loadgen;
 pub mod perf;
 pub mod report;
 

@@ -1,0 +1,1461 @@
+//! `plasma-loadgen`: the open-loop load harness behind `repro loadgen`.
+//!
+//! Closed-loop drivers (issue request, await reply, issue next) measure
+//! the server's convenience, not its latency: when the server stalls,
+//! the driver stops offering load, and the stall never shows up in the
+//! numbers (coordinated omission). This harness is open-loop: a plan of
+//! `(tick, verb)` pairs is generated up front from a seed, a dispatcher
+//! releases each request at its scheduled tick whether or not earlier
+//! requests have finished, and every latency sample is measured from the
+//! *scheduled* tick to completion — queueing delay under backpressure is
+//! part of the number, exactly as a real client would feel it. When a
+//! tick finds no idle worker, the dispatcher spawns another client
+//! (up to a cap) instead of waiting: the offered rate never bends to the
+//! achieved rate, and the `offered_per_sec` vs `achieved_per_sec` gap is
+//! the saturation measurement.
+//!
+//! Three scenarios drive the real serving stack (the handler layer
+//! in-process by default, the TCP loopback path with `--tcp`):
+//!
+//! * `probe_mix` — N sessions over one published corpus, thresholds
+//!   drawn Zipf-style from a ladder (analysts re-probe a few favorite
+//!   thresholds far more than the tail).
+//! * `ingest_probe_watch` — concurrent ingest + probe + memory-stats
+//!   against one *durable* corpus (scratch `--data-dir`), with threshold
+//!   watches registered before the run: every WAL append and group-commit
+//!   fsync sits on the measured path, and pushed watch-delta frames are
+//!   counted against their deterministic expectation.
+//! * `tenant_churn` — publish/attach/probe/detach cycles across more
+//!   tenants than the cache registry's `max_caches` cap admits, so
+//!   registry eviction churns under load.
+//!
+//! Everything gateable is deterministic from the seed: the plan (and so
+//! every per-verb count), the watch-delta total, the WAL acked-append
+//! count, and the registry-eviction count. Only durations and the
+//! group-commit coalescing ratio vary run to run, which is why the
+//! `repro check-bench --against` gate compares counters exactly and
+//! never compares absolute throughput. Latencies land in a fixed-bucket
+//! [`Log2Histogram`]; the reporter *refuses* to emit percentiles over
+//! zero samples rather than fabricating a phantom `0.0`.
+//!
+//! Determinism is testable because the clock is abstracted: the replay
+//! suite runs plans serially under [`LoadClock::fake`], where every
+//! observation advances virtual time by a fixed step, so two fresh runs
+//! produce bit-identical histograms and counters
+//! (`crates/bench/tests/loadgen_determinism.rs`).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use plasma_core::cache::RegistryCapacity;
+use plasma_data::datasets::gaussian::GaussianSpec;
+use plasma_data::rng::substream;
+use plasma_data::similarity::Similarity;
+use plasma_data::stats::Log2Histogram;
+use plasma_data::vector::SparseVector;
+use plasma_data::zipf::Zipf;
+use plasma_server::{
+    InProcClient, ProbeClient, ProbeServer, ProbeService, PublishCfg, Request, Response,
+};
+use rand::Rng;
+
+/// The probe-threshold ladder verbs draw from (rank 0 most popular).
+pub const THRESHOLD_LADDER: [f64; 9] = [0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55, 0.5];
+
+/// Virtual nanoseconds each clock observation advances under
+/// [`LoadClock::fake`].
+pub const FAKE_TICK_NS: u64 = 1_000;
+
+/// The three load shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Zipf-distributed threshold probes over one shared corpus.
+    ProbeMix,
+    /// Ingest + probe + memory-stats against one durable corpus, with
+    /// watches registered — WAL fsyncs on the measured path.
+    IngestProbeWatch,
+    /// Publish/attach/probe/detach churn across more tenants than the
+    /// registry cap admits.
+    TenantChurn,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in report order.
+    pub fn all() -> [ScenarioKind; 3] {
+        [
+            ScenarioKind::ProbeMix,
+            ScenarioKind::IngestProbeWatch,
+            ScenarioKind::TenantChurn,
+        ]
+    }
+
+    /// The snapshot-stable scenario name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::ProbeMix => "probe_mix",
+            ScenarioKind::IngestProbeWatch => "ingest_probe_watch",
+            ScenarioKind::TenantChurn => "tenant_churn",
+        }
+    }
+
+    fn stream_base(&self) -> u64 {
+        match self {
+            ScenarioKind::ProbeMix => 0x100,
+            ScenarioKind::IngestProbeWatch => 0x200,
+            ScenarioKind::TenantChurn => 0x300,
+        }
+    }
+}
+
+/// One request the plan will offer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verb {
+    /// `Probe { threshold }` on the shared corpus.
+    Probe { threshold: f64 },
+    /// Ingest the pre-generated batch with this index.
+    Ingest { batch: usize },
+    /// A `memory_stats` round trip.
+    MemoryStats,
+    /// One full publish→attach→probe→detach cycle for this tenant.
+    Churn { tenant: usize },
+}
+
+impl Verb {
+    /// The snapshot-stable verb name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verb::Probe { .. } => "probe",
+            Verb::Ingest { .. } => "ingest",
+            Verb::MemoryStats => "memory_stats",
+            Verb::Churn { .. } => "churn",
+        }
+    }
+}
+
+/// One planned request: fire at `at_ns` (relative to the step start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Planned {
+    /// Scheduled tick, nanoseconds from step start.
+    pub at_ns: u64,
+    /// What to send.
+    pub verb: Verb,
+}
+
+/// Generates the deterministic request plan for one rate step.
+///
+/// Everything downstream that the regression gate compares exactly —
+/// per-verb counts, ingest batch count, distinct churned tenants —
+/// derives from this plan, so it must be a pure function of
+/// `(kind, seed, stream, requests, interval_ns, tenants)`.
+pub fn plan_for(
+    kind: ScenarioKind,
+    seed: u64,
+    stream: u64,
+    requests: usize,
+    interval_ns: u64,
+    tenants: usize,
+) -> Vec<Planned> {
+    let mut rng = substream(seed, kind.stream_base() + stream);
+    let ladder = Zipf::new(THRESHOLD_LADDER.len(), 1.1);
+    let tenant_zipf = Zipf::new(tenants.max(1), 1.0);
+    let mut next_batch = 0usize;
+    (0..requests)
+        .map(|i| {
+            let verb = match kind {
+                ScenarioKind::ProbeMix => Verb::Probe {
+                    threshold: THRESHOLD_LADDER[ladder.sample(&mut rng)],
+                },
+                ScenarioKind::IngestProbeWatch => match rng.gen_range(0..10u32) {
+                    0..=6 => Verb::Probe {
+                        threshold: THRESHOLD_LADDER[ladder.sample(&mut rng)],
+                    },
+                    7 | 8 => {
+                        let batch = next_batch;
+                        next_batch += 1;
+                        Verb::Ingest { batch }
+                    }
+                    _ => Verb::MemoryStats,
+                },
+                ScenarioKind::TenantChurn => Verb::Churn {
+                    tenant: tenant_zipf.sample(&mut rng),
+                },
+            };
+            Planned {
+                at_ns: i as u64 * interval_ns.max(1),
+                verb,
+            }
+        })
+        .collect()
+}
+
+/// Per-verb request counts of a plan.
+pub fn verb_counts(plan: &[Planned]) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for p in plan {
+        *counts.entry(p.verb.name()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Number of ingest verbs in a plan.
+pub fn ingests_in(plan: &[Planned]) -> u64 {
+    plan.iter()
+        .filter(|p| matches!(p.verb, Verb::Ingest { .. }))
+        .count() as u64
+}
+
+/// Number of distinct tenants a churn plan will publish.
+pub fn distinct_tenants_in(plan: &[Planned]) -> u64 {
+    plan.iter()
+        .filter_map(|p| match p.verb {
+            Verb::Churn { tenant } => Some(tenant),
+            _ => None,
+        })
+        .collect::<BTreeSet<_>>()
+        .len() as u64
+}
+
+/// Harness knobs. `smoke` sizing finishes in a couple of seconds per
+/// scenario on one core; `full` sizing draws real saturation curves.
+#[derive(Debug, Clone)]
+pub struct LoadgenOpts {
+    /// Master seed: the plan, the corpora, and every gateable counter
+    /// derive from it.
+    pub seed: u64,
+    /// True for the CI-sized run.
+    pub smoke: bool,
+    /// Drive the TCP loopback path instead of the in-process handler.
+    pub tcp: bool,
+    /// Requests per rate step — a fixed count, not a duration, so the
+    /// plan (and every per-verb count) stays deterministic.
+    pub step_requests: usize,
+    /// Offered rate of the `1.0` multiplier step.
+    pub base_rate_hz: f64,
+    /// Offered-rate multipliers, one step each — the saturation curve.
+    pub rate_multipliers: Vec<f64>,
+    /// Initial client sessions per step.
+    pub sessions: usize,
+    /// Sessions that also register a threshold watch
+    /// (`ingest_probe_watch` only).
+    pub watchers: usize,
+    /// Tenant corpora for `tenant_churn`.
+    pub tenants: usize,
+    /// Registry cache cap for `tenant_churn` — below `tenants`, so
+    /// publishes evict.
+    pub max_caches: usize,
+    /// Hard cap on spawned clients (initial sessions included).
+    pub max_clients: usize,
+    /// Records in the shared corpus published for `probe_mix` /
+    /// `ingest_probe_watch`.
+    pub initial_records: usize,
+    /// Records per ingest batch.
+    pub ingest_batch_records: usize,
+    /// Records per tenant corpus.
+    pub tenant_records: usize,
+}
+
+impl LoadgenOpts {
+    /// CI sizing: three short rate steps per scenario.
+    pub fn smoke(seed: u64) -> Self {
+        LoadgenOpts {
+            seed,
+            smoke: true,
+            tcp: false,
+            step_requests: 45,
+            base_rate_hz: 200.0,
+            rate_multipliers: vec![0.5, 1.0, 2.0],
+            sessions: 3,
+            watchers: 2,
+            tenants: 5,
+            max_caches: 2,
+            max_clients: 12,
+            initial_records: 96,
+            ingest_batch_records: 3,
+            tenant_records: 24,
+        }
+    }
+
+    /// Developer sizing: a wider rate sweep with more clients.
+    pub fn full(seed: u64) -> Self {
+        LoadgenOpts {
+            seed,
+            smoke: false,
+            tcp: false,
+            step_requests: 300,
+            base_rate_hz: 400.0,
+            rate_multipliers: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            sessions: 6,
+            watchers: 4,
+            tenants: 8,
+            max_caches: 3,
+            max_clients: 32,
+            initial_records: 240,
+            ingest_batch_records: 5,
+            tenant_records: 48,
+        }
+    }
+
+    /// Transport name for the snapshot.
+    pub fn transport(&self) -> &'static str {
+        if self.tcp {
+            "tcp"
+        } else {
+            "inproc"
+        }
+    }
+}
+
+/// The harness clock: real monotonic time for measurement runs, a
+/// deterministic virtual clock for the replay suite. Under `fake`,
+/// every [`now_ns`](Self::now_ns) observation advances time by
+/// [`FAKE_TICK_NS`] and `sleep_until_ns` jumps straight to the target,
+/// so a serially executed plan reads an identical timestamp sequence on
+/// every run.
+pub enum LoadClock {
+    /// Wall clock, nanoseconds since construction.
+    Real(Instant),
+    /// Virtual clock; the atomic holds "now" in nanoseconds.
+    Fake(AtomicU64),
+}
+
+impl LoadClock {
+    /// A wall clock starting at zero now.
+    pub fn real() -> Self {
+        LoadClock::Real(Instant::now())
+    }
+
+    /// A deterministic virtual clock starting at zero.
+    pub fn fake() -> Self {
+        LoadClock::Fake(AtomicU64::new(0))
+    }
+
+    /// Current time in nanoseconds. Observing the fake clock advances it.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            LoadClock::Real(start) => start.elapsed().as_nanos() as u64,
+            LoadClock::Fake(now) => now.fetch_add(FAKE_TICK_NS, Ordering::SeqCst) + FAKE_TICK_NS,
+        }
+    }
+
+    /// Blocks (real) or jumps (fake) until `target_ns`.
+    pub fn sleep_until_ns(&self, target_ns: u64) {
+        match self {
+            LoadClock::Real(start) => {
+                let now = start.elapsed().as_nanos() as u64;
+                if target_ns > now {
+                    std::thread::sleep(Duration::from_nanos(target_ns - now));
+                }
+            }
+            LoadClock::Fake(now) => {
+                now.fetch_max(target_ns, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Everything a worker needs to execute verbs: the service (and its
+/// loopback address under `--tcp`), the published corpus fingerprint,
+/// and the pre-generated record pools.
+pub struct Workload {
+    service: Arc<ProbeService>,
+    addr: Option<SocketAddr>,
+    fingerprint: Option<String>,
+    measure: Similarity,
+    ingest_batches: Vec<Vec<SparseVector>>,
+    tenants: Vec<(String, Vec<SparseVector>)>,
+}
+
+static SCRATCH_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One rate step's serving stack: the workload plus the lifecycle bits
+/// (loopback server, scratch data directory) torn down on drop.
+pub struct StepHarness {
+    workload: Arc<Workload>,
+    server: Option<ProbeServer>,
+    data_dir: Option<PathBuf>,
+}
+
+impl StepHarness {
+    /// Builds the serving stack for one `(scenario, plan)` step: a fresh
+    /// service (durable for `ingest_probe_watch`, eviction-capped for
+    /// `tenant_churn`), the published corpus, and record pools sized to
+    /// the plan.
+    pub fn build(kind: ScenarioKind, opts: &LoadgenOpts, plan: &[Planned]) -> Result<Self, String> {
+        let mut data_dir = None;
+        let service = match kind {
+            ScenarioKind::ProbeMix => Arc::new(ProbeService::new()),
+            ScenarioKind::IngestProbeWatch => {
+                let dir = std::env::temp_dir().join(format!(
+                    "plasma-loadgen-{}-{}",
+                    std::process::id(),
+                    SCRATCH_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let (service, reports) = ProbeService::with_data_dir(&dir)
+                    .map_err(|e| format!("cannot open scratch data dir: {e}"))?;
+                if !reports.is_empty() {
+                    return Err("scratch data dir was not empty".into());
+                }
+                data_dir = Some(dir);
+                Arc::new(service)
+            }
+            ScenarioKind::TenantChurn => Arc::new(ProbeService::with_registry_capacity(
+                RegistryCapacity::unbounded().with_max_caches(opts.max_caches),
+            )),
+        };
+
+        let measure = Similarity::Cosine;
+        let mut fingerprint = None;
+        let mut ingest_batches = Vec::new();
+        let mut tenants = Vec::new();
+        match kind {
+            ScenarioKind::ProbeMix | ScenarioKind::IngestProbeWatch => {
+                let batches = ingests_in(plan) as usize;
+                let total = opts.initial_records + batches * opts.ingest_batch_records;
+                let records = GaussianSpec {
+                    separation: 3.0,
+                    spread: 0.8,
+                    ..GaussianSpec::new("loadgen", total, 8, 3)
+                }
+                .generate(opts.seed.wrapping_add(kind.stream_base()))
+                .records;
+                let (head, tail) = records.split_at(opts.initial_records);
+                ingest_batches = tail
+                    .chunks(opts.ingest_batch_records)
+                    .map(<[SparseVector]>::to_vec)
+                    .collect();
+                let mut setup = InProcClient::new(service.clone());
+                let fp = match setup.request(Request::Publish {
+                    name: "loadgen".into(),
+                    measure,
+                    records: head.to_vec(),
+                    cfg: PublishCfg::default(),
+                }) {
+                    Response::Published { fingerprint, .. } => fingerprint,
+                    other => return Err(format!("setup publish failed: {other:?}")),
+                };
+                fingerprint = Some(fp);
+            }
+            ScenarioKind::TenantChurn => {
+                for t in 0..opts.tenants {
+                    // Distinct seeds give each tenant a distinct corpus
+                    // (and so a distinct fingerprint to publish).
+                    let records = GaussianSpec {
+                        separation: 3.0,
+                        spread: 0.8,
+                        ..GaussianSpec::new("loadgen-tenant", opts.tenant_records, 8, 2)
+                    }
+                    .generate(opts.seed.wrapping_add(0x1000 + t as u64))
+                    .records;
+                    tenants.push((format!("tenant-{t}"), records));
+                }
+            }
+        }
+
+        let mut server = None;
+        let mut addr = None;
+        if opts.tcp {
+            let s = ProbeServer::start(service.clone(), "127.0.0.1:0")
+                .map_err(|e| format!("cannot bind loopback server: {e}"))?;
+            addr = Some(s.local_addr());
+            server = Some(s);
+        }
+
+        Ok(StepHarness {
+            workload: Arc::new(Workload {
+                service,
+                addr,
+                fingerprint,
+                measure,
+                ingest_batches,
+                tenants,
+            }),
+            server,
+            data_dir,
+        })
+    }
+
+    /// The service under load (for counter reads).
+    pub fn service(&self) -> &Arc<ProbeService> {
+        &self.workload.service
+    }
+}
+
+impl Drop for StepHarness {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.stop();
+        }
+        if let Some(dir) = self.data_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// One client connection, over either transport. The in-process client
+/// is boxed: it embeds the session state inline and dwarfs the socket
+/// handle, and connections are opened per worker, never in bulk.
+enum Conn {
+    InProc(Box<InProcClient>),
+    Tcp(ProbeClient),
+}
+
+impl Conn {
+    fn open(workload: &Workload) -> Result<Conn, String> {
+        match workload.addr {
+            None => Ok(Conn::InProc(Box::new(InProcClient::new(
+                workload.service.clone(),
+            )))),
+            Some(addr) => Ok(Conn::Tcp(
+                ProbeClient::connect(addr).map_err(|e| format!("connect: {e}"))?,
+            )),
+        }
+    }
+
+    fn call(&mut self, request: Request) -> Result<(), String> {
+        match self {
+            Conn::InProc(c) => match c.request(request) {
+                Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+                _ => Ok(()),
+            },
+            Conn::Tcp(c) => {
+                let frame = c.request(&request).map_err(|e| format!("io: {e}"))?;
+                match frame.error_code() {
+                    Some(code) => Err(format!("{code}: {}", frame.raw.trim())),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    fn publish(&mut self, request: Request) -> Result<String, String> {
+        match self {
+            Conn::InProc(c) => match c.request(request) {
+                Response::Published { fingerprint, .. } => Ok(fingerprint),
+                Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+                other => Err(format!("unexpected publish reply: {other:?}")),
+            },
+            Conn::Tcp(c) => {
+                let frame = c.request(&request).map_err(|e| format!("io: {e}"))?;
+                if let Some(code) = frame.error_code() {
+                    return Err(format!("{code}: {}", frame.raw.trim()));
+                }
+                frame
+                    .json
+                    .get("fingerprint")
+                    .and_then(|f| f.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| "publish reply lacks a fingerprint".to_string())
+            }
+        }
+    }
+
+    /// Counts watch-delta frames delivered so far (own-ingest events and
+    /// frames queued by other connections' ingests).
+    fn drain_watch_deltas(&mut self) -> u64 {
+        match self {
+            Conn::InProc(c) => {
+                c.pump_watch_frames();
+                c.take_events()
+                    .iter()
+                    .filter(|e| matches!(e, Response::WatchDeltaEvent { .. }))
+                    .count() as u64
+            }
+            Conn::Tcp(c) => c
+                .take_events()
+                .iter()
+                .filter(|f| f.frame_type() == "watch_delta")
+                .count() as u64,
+        }
+    }
+
+    /// Final drain: on TCP, frames may still be in flight from the
+    /// pusher thread, so poll until the stream goes quiet.
+    fn drain_watch_deltas_final(&mut self) -> u64 {
+        let mut n = self.drain_watch_deltas();
+        if let Conn::Tcp(c) = self {
+            while let Ok(Some(frame)) = c.poll_event(Duration::from_millis(100)) {
+                if frame.frame_type() == "watch_delta" {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn close(self) {
+        match self {
+            Conn::InProc(c) => c.close(),
+            Conn::Tcp(c) => drop(c),
+        }
+    }
+}
+
+/// Executes one verb on one connection. Churn cycles count as a single
+/// request: one latency sample covers the whole
+/// publish→attach→probe→detach round.
+fn execute_verb(conn: &mut Conn, workload: &Workload, verb: &Verb) -> Result<(), String> {
+    match verb {
+        Verb::Probe { threshold } => conn.call(Request::Probe {
+            threshold: *threshold,
+        }),
+        Verb::Ingest { batch } => conn.call(Request::Ingest {
+            records: workload.ingest_batches[*batch].clone(),
+        }),
+        Verb::MemoryStats => conn.call(Request::MemoryStats),
+        Verb::Churn { tenant } => {
+            let (name, records) = &workload.tenants[*tenant];
+            let fp = conn.publish(Request::Publish {
+                name: name.clone(),
+                measure: workload.measure,
+                records: records.clone(),
+                cfg: PublishCfg::default(),
+            })?;
+            conn.call(Request::Attach {
+                fingerprint: fp,
+                pinned: false,
+                declared_measure: None,
+            })?;
+            conn.call(Request::Probe { threshold: 0.7 })?;
+            conn.call(Request::Detach)
+        }
+    }
+}
+
+/// Attaches (and optionally watches) before a worker takes load.
+fn setup_conn(conn: &mut Conn, workload: &Workload, watch: bool) -> Result<(), String> {
+    if let Some(fp) = &workload.fingerprint {
+        conn.call(Request::Attach {
+            fingerprint: fp.clone(),
+            pinned: false,
+            declared_measure: None,
+        })?;
+        if watch {
+            conn.call(Request::Watch { threshold: 0.7 })?;
+        }
+    }
+    Ok(())
+}
+
+/// What one plan execution produced, merged across workers.
+#[derive(Debug, Default)]
+pub struct ExecutionOut {
+    /// Per-request latency (ns from scheduled tick to completion).
+    pub hist: Log2Histogram,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that returned an error (still latency-sampled).
+    pub errors: u64,
+    /// First error message seen, for diagnostics.
+    pub first_error: Option<String>,
+    /// Executed requests per verb name.
+    pub verbs: BTreeMap<&'static str, u64>,
+    /// Watch-delta frames delivered across all connections.
+    pub watch_deltas: u64,
+    /// Clients alive at dispatch start.
+    pub clients_started: usize,
+    /// Extra clients spawned on backpressure.
+    pub clients_spawned: usize,
+    /// Wall seconds from first tick to last completion.
+    pub wall_seconds: f64,
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    hist: Log2Histogram,
+    completed: u64,
+    errors: u64,
+    first_error: Option<String>,
+    verbs: BTreeMap<&'static str, u64>,
+    watch_deltas: u64,
+}
+
+impl WorkerOut {
+    fn absorb_result(&mut self, verb: &Verb, latency_ns: u64, res: Result<(), String>) {
+        self.hist.record(latency_ns);
+        *self.verbs.entry(verb.name()).or_insert(0) += 1;
+        match res {
+            Ok(()) => self.completed += 1,
+            Err(msg) => {
+                self.errors += 1;
+                self.first_error.get_or_insert(msg);
+            }
+        }
+    }
+}
+
+struct Job {
+    verb: Verb,
+    sched_ns: u64,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    idle: usize,
+}
+
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    cvar: Condvar,
+}
+
+fn worker_loop(
+    queue: Arc<SharedQueue>,
+    workload: Arc<Workload>,
+    watch: bool,
+    clock: Arc<LoadClock>,
+    ready: Option<Arc<(Mutex<usize>, Condvar)>>,
+) -> Result<(WorkerOut, Conn), String> {
+    let mut conn = Conn::open(&workload)?;
+    let setup = setup_conn(&mut conn, &workload, watch);
+    if let Some(ready) = &ready {
+        let (count, cvar) = &**ready;
+        *count.lock().expect("ready lock") -= 1;
+        cvar.notify_all();
+    }
+    setup?;
+    let mut out = WorkerOut::default();
+    loop {
+        let job = {
+            let mut state = queue.state.lock().expect("queue lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return Ok((out, conn));
+                }
+                state.idle += 1;
+                state = queue.cvar.wait(state).expect("queue wait");
+                state.idle -= 1;
+            }
+        };
+        let res = execute_verb(&mut conn, &workload, &job.verb);
+        let done_ns = clock.now_ns();
+        out.absorb_result(&job.verb, done_ns.saturating_sub(job.sched_ns), res);
+        out.watch_deltas += conn.drain_watch_deltas();
+    }
+}
+
+/// Runs a plan open-loop: a ticker dispatches each request at its
+/// scheduled time into a shared queue; `opts.sessions` workers consume;
+/// a tick that finds every worker busy spawns another client (up to
+/// `opts.max_clients`). The ticker never waits for responses, so offered
+/// load is independent of service speed.
+pub fn run_plan_open_loop(
+    harness: &StepHarness,
+    kind: ScenarioKind,
+    opts: &LoadgenOpts,
+    plan: &[Planned],
+) -> Result<ExecutionOut, String> {
+    let workload = harness.workload.clone();
+    let clock = Arc::new(LoadClock::real());
+    let queue = Arc::new(SharedQueue {
+        state: Mutex::new(QueueState {
+            jobs: VecDeque::new(),
+            closed: false,
+            idle: 0,
+        }),
+        cvar: Condvar::new(),
+    });
+
+    let initial = opts.sessions.max(1).min(opts.max_clients.max(1));
+    let ready = Arc::new((Mutex::new(initial), Condvar::new()));
+    let mut handles = Vec::new();
+    for i in 0..initial {
+        let watch = kind == ScenarioKind::IngestProbeWatch && i < opts.watchers;
+        let (q, w, c, r) = (
+            queue.clone(),
+            workload.clone(),
+            clock.clone(),
+            ready.clone(),
+        );
+        handles.push(std::thread::spawn(move || {
+            worker_loop(q, w, watch, c, Some(r))
+        }));
+    }
+    // Watch registration must finish before the first tick, so the
+    // watch-delta total stays deterministic.
+    {
+        let (count, cvar) = &*ready;
+        let mut count = count.lock().expect("ready lock");
+        while *count > 0 {
+            count = cvar.wait(count).expect("ready wait");
+        }
+    }
+
+    let started = Instant::now();
+    let mut spawned = 0usize;
+    for planned in plan {
+        clock.sleep_until_ns(planned.at_ns);
+        let all_busy = {
+            let mut state = queue.state.lock().expect("queue lock");
+            state.jobs.push_back(Job {
+                verb: planned.verb.clone(),
+                sched_ns: planned.at_ns,
+            });
+            queue.cvar.notify_one();
+            state.idle == 0
+        };
+        if all_busy && initial + spawned < opts.max_clients {
+            // Backpressure: spawn another client rather than slow the
+            // offered rate. Spawned clients never watch, so expectation
+            // counts stay plan-derived.
+            spawned += 1;
+            let (q, w, c) = (queue.clone(), workload.clone(), clock.clone());
+            handles.push(std::thread::spawn(move || {
+                worker_loop(q, w, false, c, None)
+            }));
+        }
+    }
+    {
+        let mut state = queue.state.lock().expect("queue lock");
+        state.closed = true;
+        queue.cvar.notify_all();
+    }
+
+    let mut out = ExecutionOut {
+        clients_started: initial,
+        clients_spawned: spawned,
+        ..ExecutionOut::default()
+    };
+    let mut conns = Vec::new();
+    for handle in handles {
+        let (worker, conn) = handle
+            .join()
+            .map_err(|_| "a load worker panicked".to_string())??;
+        out.hist.merge(&worker.hist);
+        out.completed += worker.completed;
+        out.errors += worker.errors;
+        if out.first_error.is_none() {
+            out.first_error = worker.first_error;
+        }
+        for (verb, n) in worker.verbs {
+            *out.verbs.entry(verb).or_insert(0) += n;
+        }
+        out.watch_deltas += worker.watch_deltas;
+        conns.push(conn);
+    }
+    out.wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    // Deltas from the final ingests may have been queued after a
+    // worker's last drain; collect them before closing.
+    for mut conn in conns {
+        out.watch_deltas += conn.drain_watch_deltas_final();
+        conn.close();
+    }
+    Ok(out)
+}
+
+/// Runs a plan serially on one connection — the deterministic-replay
+/// path. With [`LoadClock::fake`], two fresh runs of the same plan
+/// produce bit-identical histograms and counters.
+pub fn run_plan_serial(
+    harness: &StepHarness,
+    kind: ScenarioKind,
+    watch: bool,
+    plan: &[Planned],
+    clock: &LoadClock,
+) -> Result<ExecutionOut, String> {
+    let workload = &harness.workload;
+    let mut conn = Conn::open(workload)?;
+    setup_conn(
+        &mut conn,
+        workload,
+        watch && kind == ScenarioKind::IngestProbeWatch,
+    )?;
+    let mut worker = WorkerOut::default();
+    let started = Instant::now();
+    for planned in plan {
+        clock.sleep_until_ns(planned.at_ns);
+        let res = execute_verb(&mut conn, workload, &planned.verb);
+        let done_ns = clock.now_ns();
+        worker.absorb_result(&planned.verb, done_ns.saturating_sub(planned.at_ns), res);
+        worker.watch_deltas += conn.drain_watch_deltas();
+    }
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    worker.watch_deltas += conn.drain_watch_deltas_final();
+    conn.close();
+    Ok(ExecutionOut {
+        hist: worker.hist,
+        completed: worker.completed,
+        errors: worker.errors,
+        first_error: worker.first_error,
+        verbs: worker.verbs,
+        watch_deltas: worker.watch_deltas,
+        clients_started: 1,
+        clients_spawned: 0,
+        wall_seconds,
+    })
+}
+
+const NS_PER_MS: f64 = 1e6;
+
+/// One rate step's report: the offered-vs-achieved point on the
+/// saturation curve plus the latency distribution.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Offered request rate (the plan's tick rate).
+    pub offered_per_sec: f64,
+    /// Completed requests per wall second.
+    pub achieved_per_sec: f64,
+    /// `achieved / offered` — 1.0 means the stack kept up.
+    pub saturation: f64,
+    /// Requests in the plan.
+    pub planned: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// Clients alive at dispatch start.
+    pub clients_started: usize,
+    /// Clients spawned on backpressure.
+    pub clients_spawned: usize,
+    /// Latency percentiles in milliseconds (scheduled tick → completion).
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Largest recorded latency.
+    pub max_ms: f64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Latency samples recorded (== planned for an open-loop run).
+    pub samples: u64,
+}
+
+impl StepReport {
+    /// Builds the report. Refuses a zero-sample execution outright —
+    /// a percentile over nothing is a phantom number, and the old
+    /// `percentile -> 0.0` convention let exactly that reach dashboards.
+    pub fn from_execution(
+        offered_per_sec: f64,
+        planned: u64,
+        out: &ExecutionOut,
+    ) -> Result<StepReport, String> {
+        let pct = |q: f64| -> Result<f64, String> {
+            out.hist
+                .percentile(q)
+                .map(|ns| ns as f64 / NS_PER_MS)
+                .ok_or_else(|| {
+                    "refusing to report percentiles over zero latency samples".to_string()
+                })
+        };
+        Ok(StepReport {
+            offered_per_sec,
+            achieved_per_sec: out.completed as f64 / out.wall_seconds,
+            saturation: (out.completed as f64 / out.wall_seconds) / offered_per_sec.max(1e-9),
+            planned,
+            completed: out.completed,
+            errors: out.errors,
+            clients_started: out.clients_started,
+            clients_spawned: out.clients_spawned,
+            p50_ms: pct(0.50)?,
+            p99_ms: pct(0.99)?,
+            p999_ms: pct(0.999)?,
+            max_ms: out.hist.max() as f64 / NS_PER_MS,
+            mean_ms: out
+                .hist
+                .mean()
+                .ok_or_else(|| "refusing to report a mean over zero latency samples".to_string())?
+                / NS_PER_MS,
+            samples: out.hist.total(),
+        })
+    }
+}
+
+/// One scenario's report: the saturation curve plus every deterministic
+/// counter the regression gate compares.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Which scenario.
+    pub kind: ScenarioKind,
+    /// Initial sessions per step.
+    pub sessions: usize,
+    /// Watch-registering sessions per step.
+    pub watchers: usize,
+    /// Tenant corpora (churn scenario).
+    pub tenants: usize,
+    /// One report per rate step.
+    pub steps: Vec<StepReport>,
+    /// Total requests planned across steps (seed-deterministic).
+    pub planned_requests: u64,
+    /// Total requests completed.
+    pub completed_requests: u64,
+    /// Total requests errored.
+    pub error_requests: u64,
+    /// Executed requests per verb (seed-deterministic).
+    pub verbs: BTreeMap<&'static str, u64>,
+    /// Watch-delta frames delivered.
+    pub watch_deltas: u64,
+    /// Plan-derived expectation: watchers × (registration + ingests).
+    pub watch_deltas_expected: u64,
+    /// WAL appends acknowledged durable (== ingests on a fresh corpus).
+    pub wal_acked_appends: u64,
+    /// Group-commit fsyncs that covered them (`<= wal_acked_appends`).
+    pub wal_syncs: u64,
+    /// Caches evicted from the capped registry.
+    pub registry_evictions: u64,
+    /// Plan-derived expectation: distinct tenants − registry cap.
+    pub registry_evictions_expected: u64,
+    /// Signalled pusher wakeups (reported, not gated: timing-dependent).
+    pub ingest_wakeups: u64,
+}
+
+/// The whole harness run, renderable into `BENCH_apss.json`'s `loadgen`
+/// member.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Master seed the run derived from.
+    pub seed: u64,
+    /// True for CI sizing.
+    pub smoke: bool,
+    /// `"inproc"` or `"tcp"`.
+    pub transport: String,
+    /// `probe_mix`, `ingest_probe_watch`, `tenant_churn`.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+fn service_counters(harness: &StepHarness) -> (u64, u64, u64, u64) {
+    let service = harness.service();
+    let (mut acked, mut syncs) = (0u64, 0u64);
+    for (_, stats) in service.wal_sync_stats() {
+        acked += stats.acked_appends;
+        syncs += stats.syncs;
+    }
+    (
+        acked,
+        syncs,
+        service.registry_evictions(),
+        service.ingest_wakeups(),
+    )
+}
+
+/// Runs one scenario across every rate step (fresh serving stack per
+/// step, so counters are per-step deterministic and summable).
+pub fn run_scenario(opts: &LoadgenOpts, kind: ScenarioKind) -> Result<ScenarioReport, String> {
+    let mut report = ScenarioReport {
+        kind,
+        sessions: opts.sessions,
+        watchers: if kind == ScenarioKind::IngestProbeWatch {
+            opts.watchers
+        } else {
+            0
+        },
+        tenants: if kind == ScenarioKind::TenantChurn {
+            opts.tenants
+        } else {
+            0
+        },
+        steps: Vec::new(),
+        planned_requests: 0,
+        completed_requests: 0,
+        error_requests: 0,
+        verbs: BTreeMap::new(),
+        watch_deltas: 0,
+        watch_deltas_expected: 0,
+        wal_acked_appends: 0,
+        wal_syncs: 0,
+        registry_evictions: 0,
+        registry_evictions_expected: 0,
+        ingest_wakeups: 0,
+    };
+    for (si, mult) in opts.rate_multipliers.iter().enumerate() {
+        let rate = opts.base_rate_hz * mult;
+        let interval_ns = (1e9 / rate.max(1e-9)).round() as u64;
+        let plan = plan_for(
+            kind,
+            opts.seed,
+            si as u64,
+            opts.step_requests,
+            interval_ns,
+            opts.tenants,
+        );
+        let harness = StepHarness::build(kind, opts, &plan)?;
+        let out = run_plan_open_loop(&harness, kind, opts, &plan)?;
+        let (acked, syncs, evictions, wakeups) = service_counters(&harness);
+        drop(harness);
+        if kind == ScenarioKind::IngestProbeWatch {
+            report.watch_deltas_expected += opts.watchers as u64 * (1 + ingests_in(&plan));
+        }
+        if kind == ScenarioKind::TenantChurn {
+            report.registry_evictions_expected +=
+                distinct_tenants_in(&plan).saturating_sub(opts.max_caches as u64);
+        }
+        report.planned_requests += plan.len() as u64;
+        report.completed_requests += out.completed;
+        report.error_requests += out.errors;
+        if let Some(err) = &out.first_error {
+            eprintln!("  [loadgen] {}: first error: {err}", kind.name());
+        }
+        for (verb, n) in &out.verbs {
+            *report.verbs.entry(verb).or_insert(0) += n;
+        }
+        report.watch_deltas += out.watch_deltas;
+        report.wal_acked_appends += acked;
+        report.wal_syncs += syncs;
+        report.registry_evictions += evictions;
+        report.ingest_wakeups += wakeups;
+        report
+            .steps
+            .push(StepReport::from_execution(rate, plan.len() as u64, &out)?);
+    }
+    Ok(report)
+}
+
+/// Runs all three scenarios.
+pub fn run(opts: &LoadgenOpts) -> Result<LoadgenReport, String> {
+    let mut scenarios = Vec::new();
+    for kind in ScenarioKind::all() {
+        scenarios.push(run_scenario(opts, kind)?);
+    }
+    Ok(LoadgenReport {
+        seed: opts.seed,
+        smoke: opts.smoke,
+        transport: opts.transport().to_string(),
+        scenarios,
+    })
+}
+
+impl LoadgenReport {
+    /// Renders the `loadgen` JSON member (hand-rolled; no serde in the
+    /// offline container).
+    pub fn to_json(&self) -> String {
+        let scenarios: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let steps: Vec<String> = s
+                    .steps
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{{\"offered_per_sec\": {:.1}, \"achieved_per_sec\": {:.1}, \"saturation\": {:.4}, \"planned\": {}, \"completed\": {}, \"errors\": {}, \"clients_started\": {}, \"clients_spawned\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}, \"mean_ms\": {:.3}, \"samples\": {}}}",
+                            t.offered_per_sec,
+                            t.achieved_per_sec,
+                            t.saturation,
+                            t.planned,
+                            t.completed,
+                            t.errors,
+                            t.clients_started,
+                            t.clients_spawned,
+                            t.p50_ms,
+                            t.p99_ms,
+                            t.p999_ms,
+                            t.max_ms,
+                            t.mean_ms,
+                            t.samples
+                        )
+                    })
+                    .collect();
+                let verbs: Vec<String> = s
+                    .verbs
+                    .iter()
+                    .map(|(verb, n)| format!("\"{verb}\": {n}"))
+                    .collect();
+                format!(
+                    "{{\n      \"scenario\": \"{}\", \"sessions\": {}, \"watchers\": {}, \"tenants\": {},\n      \"planned_requests\": {}, \"completed_requests\": {}, \"error_requests\": {},\n      \"verbs\": {{{}}},\n      \"watch_deltas\": {}, \"watch_deltas_expected\": {},\n      \"wal_acked_appends\": {}, \"wal_syncs\": {},\n      \"registry_evictions\": {}, \"registry_evictions_expected\": {}, \"ingest_wakeups\": {},\n      \"steps\": [\n        {}\n      ]\n    }}",
+                    s.kind.name(),
+                    s.sessions,
+                    s.watchers,
+                    s.tenants,
+                    s.planned_requests,
+                    s.completed_requests,
+                    s.error_requests,
+                    verbs.join(", "),
+                    s.watch_deltas,
+                    s.watch_deltas_expected,
+                    s.wal_acked_appends,
+                    s.wal_syncs,
+                    s.registry_evictions,
+                    s.registry_evictions_expected,
+                    s.ingest_wakeups,
+                    steps.join(",\n        ")
+                )
+            })
+            .collect();
+        format!(
+            "{{\n    \"seed\": {}, \"smoke\": {}, \"transport\": \"{}\",\n    \"scenarios\": [{}\n    ]\n  }}",
+            self.seed,
+            self.smoke,
+            self.transport,
+            scenarios.join(",")
+        )
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen ({} transport, seed {}{})\n",
+            self.transport,
+            self.seed,
+            if self.smoke { ", smoke" } else { "" }
+        ));
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "  {:<18} {} planned, {} completed, {} errors",
+                s.kind.name(),
+                s.planned_requests,
+                s.completed_requests,
+                s.error_requests
+            ));
+            match s.kind {
+                ScenarioKind::IngestProbeWatch => out.push_str(&format!(
+                    ", {} watch deltas (expect {}), {} wal syncs / {} acks\n",
+                    s.watch_deltas, s.watch_deltas_expected, s.wal_syncs, s.wal_acked_appends
+                )),
+                ScenarioKind::TenantChurn => out.push_str(&format!(
+                    ", {} evictions (expect {})\n",
+                    s.registry_evictions, s.registry_evictions_expected
+                )),
+                ScenarioKind::ProbeMix => out.push('\n'),
+            }
+            for t in &s.steps {
+                out.push_str(&format!(
+                    "    offered {:>7.1}/s   achieved {:>7.1}/s   sat {:>5.2}   p50 {:>8.3} ms   p99 {:>8.3} ms   p999 {:>8.3} ms   +{} clients\n",
+                    t.offered_per_sec,
+                    t.achieved_per_sec,
+                    t.saturation,
+                    t.p50_ms,
+                    t.p99_ms,
+                    t.p999_ms,
+                    t.clients_spawned
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Splices a rendered `loadgen` object into a `BENCH_apss.json`
+/// document as its `"loadgen"` member, replacing any existing one.
+///
+/// Works textually (brace matching) because the snapshot format never
+/// puts braces inside strings; this keeps `repro loadgen --json` able
+/// to refresh just its own member without re-measuring the whole
+/// snapshot.
+pub fn splice_into_snapshot(snapshot: &str, loadgen_json: &str) -> String {
+    let mut doc = snapshot.trim_end().to_string();
+    if let Some(key) = doc.find("\"loadgen\":") {
+        let start = doc[..key].rfind(',').unwrap_or(key);
+        let open = key + doc[key..].find('{').expect("loadgen member is an object");
+        let mut depth = 0usize;
+        let mut end = doc.len();
+        for (i, ch) in doc[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        doc.replace_range(start..end, "");
+    }
+    let close = doc.rfind('}').expect("snapshot document is an object");
+    doc.replace_range(
+        close..,
+        &format!(",\n  \"loadgen\": {}\n}}\n", loadgen_json),
+    );
+    doc
+}
+
+/// A fixture report with internally consistent counters, for schema and
+/// gate tests (no measurement run needed).
+pub fn fixture_report() -> LoadgenReport {
+    let step = |offered: f64, planned: u64| StepReport {
+        offered_per_sec: offered,
+        achieved_per_sec: offered * 0.9,
+        saturation: 0.9,
+        planned,
+        completed: planned,
+        errors: 0,
+        clients_started: 3,
+        clients_spawned: 1,
+        p50_ms: 0.5,
+        p99_ms: 2.0,
+        p999_ms: 4.0,
+        max_ms: 4.5,
+        mean_ms: 0.8,
+        samples: planned,
+    };
+    let scenario = |kind: ScenarioKind| {
+        let verbs: BTreeMap<&'static str, u64> = match kind {
+            ScenarioKind::ProbeMix => [("probe", 90u64)].into_iter().collect(),
+            ScenarioKind::IngestProbeWatch => {
+                [("probe", 62u64), ("ingest", 19), ("memory_stats", 9)]
+                    .into_iter()
+                    .collect()
+            }
+            ScenarioKind::TenantChurn => [("churn", 90u64)].into_iter().collect(),
+        };
+        ScenarioReport {
+            kind,
+            sessions: 3,
+            watchers: if kind == ScenarioKind::IngestProbeWatch {
+                2
+            } else {
+                0
+            },
+            tenants: if kind == ScenarioKind::TenantChurn {
+                5
+            } else {
+                0
+            },
+            steps: vec![step(100.0, 45), step(200.0, 45)],
+            planned_requests: 90,
+            completed_requests: 90,
+            error_requests: 0,
+            verbs,
+            watch_deltas: if kind == ScenarioKind::IngestProbeWatch {
+                42
+            } else {
+                0
+            },
+            watch_deltas_expected: if kind == ScenarioKind::IngestProbeWatch {
+                42
+            } else {
+                0
+            },
+            wal_acked_appends: if kind == ScenarioKind::IngestProbeWatch {
+                19
+            } else {
+                0
+            },
+            wal_syncs: if kind == ScenarioKind::IngestProbeWatch {
+                11
+            } else {
+                0
+            },
+            registry_evictions: if kind == ScenarioKind::TenantChurn {
+                6
+            } else {
+                0
+            },
+            registry_evictions_expected: if kind == ScenarioKind::TenantChurn {
+                6
+            } else {
+                0
+            },
+            ingest_wakeups: 0,
+        }
+    };
+    LoadgenReport {
+        seed: 42,
+        smoke: true,
+        transport: "inproc".to_string(),
+        scenarios: ScenarioKind::all().map(scenario).to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        for kind in ScenarioKind::all() {
+            let a = plan_for(kind, 7, 2, 80, 5_000_000, 5);
+            let b = plan_for(kind, 7, 2, 80, 5_000_000, 5);
+            assert_eq!(a, b, "{kind:?} plan must replay bit-identically");
+            let c = plan_for(kind, 8, 2, 80, 5_000_000, 5);
+            assert_ne!(a, c, "{kind:?} plan must actually use the seed");
+            assert_eq!(a.len(), 80);
+            for (i, p) in a.iter().enumerate() {
+                assert_eq!(p.at_ns, i as u64 * 5_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_plan_covers_every_verb_and_numbers_batches_sequentially() {
+        let plan = plan_for(ScenarioKind::IngestProbeWatch, 42, 0, 200, 1000, 5);
+        let counts = verb_counts(&plan);
+        assert!(counts["probe"] > 0 && counts["ingest"] > 0 && counts["memory_stats"] > 0);
+        assert_eq!(counts.values().sum::<u64>(), 200);
+        let batches: Vec<usize> = plan
+            .iter()
+            .filter_map(|p| match p.verb {
+                Verb::Ingest { batch } => Some(batch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, (0..batches.len()).collect::<Vec<_>>());
+        assert_eq!(ingests_in(&plan), batches.len() as u64);
+    }
+
+    #[test]
+    fn fake_clock_replays_an_identical_timestamp_sequence() {
+        let observe = || {
+            let clock = LoadClock::fake();
+            let mut seen = Vec::new();
+            for t in [0u64, 500, 10_000, 10_100] {
+                clock.sleep_until_ns(t);
+                seen.push(clock.now_ns());
+            }
+            seen
+        };
+        assert_eq!(observe(), observe());
+        let clock = LoadClock::fake();
+        clock.sleep_until_ns(5_000);
+        assert!(clock.now_ns() >= 5_000, "sleep must advance virtual time");
+        let before = clock.now_ns();
+        clock.sleep_until_ns(0);
+        assert!(clock.now_ns() > before, "sleep never rewinds");
+    }
+
+    #[test]
+    fn zero_sample_execution_is_refused_not_reported_as_zero() {
+        let out = ExecutionOut {
+            wall_seconds: 1.0,
+            ..ExecutionOut::default()
+        };
+        let err = StepReport::from_execution(100.0, 0, &out).expect_err("no samples, no report");
+        assert!(err.contains("zero latency samples"), "{err}");
+    }
+
+    #[test]
+    fn splice_inserts_and_replaces_the_loadgen_member() {
+        let base = "{\n  \"benchmark\": \"apss\",\n  \"cores\": 1\n}\n";
+        let first = splice_into_snapshot(base, "{\"seed\": 1}");
+        assert!(first.contains("\"loadgen\": {\"seed\": 1}"));
+        assert!(first.contains("\"cores\": 1"));
+        assert_eq!(
+            first.matches('{').count(),
+            first.matches('}').count(),
+            "{first}"
+        );
+        let second = splice_into_snapshot(&first, "{\"seed\": 2, \"scenarios\": []}");
+        assert!(!second.contains("\"seed\": 1"), "{second}");
+        assert!(second.contains("\"seed\": 2"));
+        assert_eq!(second.matches("\"loadgen\":").count(), 1);
+        assert_eq!(second.matches('{').count(), second.matches('}').count());
+    }
+
+    #[test]
+    fn fixture_report_renders_balanced_consistent_json() {
+        let report = fixture_report();
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"scenario\": \"probe_mix\""));
+        assert!(json.contains("\"scenario\": \"ingest_probe_watch\""));
+        assert!(json.contains("\"scenario\": \"tenant_churn\""));
+        assert!(json.contains("\"wal_acked_appends\": 19"));
+        let parsed = plasma_server::json::parse(&json).expect("fixture json parses");
+        let scenarios = parsed
+            .get("scenarios")
+            .and_then(|s| s.as_arr())
+            .expect("scenarios array");
+        assert_eq!(scenarios.len(), 3);
+        assert!(!report.summary().is_empty());
+    }
+}

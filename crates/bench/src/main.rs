@@ -4,8 +4,9 @@
 //! index). Usage:
 //!
 //! ```text
-//! repro <experiment-id | all | list | bench | check-bench [PATH]>
-//!       [--scale S] [--seed N] [--out DIR] [--json]
+//! repro <experiment-id | all | list | bench | loadgen
+//!        | check-bench [PATH] [--against BASELINE]>
+//!       [--scale S] [--seed N] [--out DIR] [--json] [--smoke] [--tcp]
 //! ```
 //!
 //! `repro bench` runs the quick APSS perf smoke (sequential vs parallel
@@ -24,10 +25,23 @@
 //! bytes, WAL-replay records/sec, and the warm-restart vs cold-build
 //! ratio); with `--json` it also writes the
 //! snapshot to `BENCH_apss.json` for CI perf tracking.
-//! `repro check-bench [PATH]` validates a written snapshot against the
-//! expected schema (including the bounded-cache memory, `streaming`,
-//! `ingest_scaling`, `watch_scaling`, `serving`, and `recovery` fields)
-//! and exits non-zero on violations — the CI perf-smoke gate.
+//! `repro loadgen [--smoke] [--tcp] [--json]` runs the open-loop load
+//! harness (`plasma_bench::loadgen`): three scenarios — Zipf threshold
+//! probe mix, concurrent ingest+probe+watch against a durable corpus,
+//! and multi-tenant publish/attach/detach churn under registry-capacity
+//! pressure — each swept across offered-rate steps, reporting
+//! p50/p99/p999 latency and the offered-vs-achieved saturation curve;
+//! with `--json` it refreshes the `loadgen` member of `BENCH_apss.json`
+//! in place. `repro bench --json` runs the smoke-sized harness too, so
+//! the written snapshot always carries the `loadgen` member.
+//! `repro check-bench [PATH] [--against BASELINE]` validates a written
+//! snapshot against the expected schema (including the bounded-cache
+//! memory, `streaming`, `ingest_scaling`, `watch_scaling`, `serving`,
+//! `recovery`, and `loadgen` fields) and exits non-zero on violations;
+//! with `--against` it additionally compares deterministic counters
+//! exactly and structural ratios within tolerance bands against the
+//! committed baseline snapshot — never absolute throughput — and fails
+//! non-zero on drift. That pair is the CI perf-smoke gate.
 
 use plasma_bench::experiments::registry;
 use plasma_bench::Opts;
@@ -37,7 +51,10 @@ fn main() {
     let mut opts = Opts::default();
     let mut command: Option<String> = None;
     let mut snapshot_path: Option<String> = None;
+    let mut against: Option<String> = None;
     let mut json = false;
+    let mut smoke = false;
+    let mut tcp = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +80,16 @@ fn main() {
                     .unwrap_or_else(|| die("--out needs a directory"));
             }
             "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--tcp" => tcp = true,
+            "--against" => {
+                i += 1;
+                against = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--against needs a baseline snapshot path")),
+                );
+            }
             arg if command.is_none() => command = Some(arg.to_string()),
             arg if command.as_deref() == Some("check-bench") && snapshot_path.is_none() => {
                 snapshot_path = Some(arg.to_string());
@@ -85,7 +112,11 @@ fn main() {
                 "bench"
             );
             println!(
-                "  {:<10} validate a BENCH_apss.json against the snapshot schema",
+                "  {:<10} open-loop load harness (--smoke, --tcp; --json refreshes BENCH_apss.json)",
+                "loadgen"
+            );
+            println!(
+                "  {:<10} validate a BENCH_apss.json against the snapshot schema (--against BASELINE gates counters)",
                 "check-bench"
             );
             println!(
@@ -101,9 +132,47 @@ fn main() {
             let snapshot = plasma_bench::perf::measure();
             print!("{}", snapshot.summary());
             if json {
+                // The written snapshot must satisfy the full schema,
+                // loadgen member included, so the smoke harness rides
+                // along.
+                let mut lopts = plasma_bench::loadgen::LoadgenOpts::smoke(opts.seed);
+                lopts.tcp = tcp;
+                let report = plasma_bench::loadgen::run(&lopts)
+                    .unwrap_or_else(|e| die(&format!("loadgen smoke failed: {e}")));
+                print!("{}", report.summary());
+                let doc = plasma_bench::loadgen::splice_into_snapshot(
+                    &snapshot.to_json(),
+                    &report.to_json(),
+                );
                 let path = "BENCH_apss.json";
-                std::fs::write(path, snapshot.to_json()).expect("write perf snapshot");
+                std::fs::write(path, doc).expect("write perf snapshot");
                 println!("  [artifact] {path}");
+            }
+        }
+        Some("loadgen") => {
+            banner(
+                "loadgen",
+                "open-loop load harness: latency percentiles + saturation curves",
+            );
+            let mut lopts = if smoke {
+                plasma_bench::loadgen::LoadgenOpts::smoke(opts.seed)
+            } else {
+                plasma_bench::loadgen::LoadgenOpts::full(opts.seed)
+            };
+            lopts.tcp = tcp;
+            let report = plasma_bench::loadgen::run(&lopts)
+                .unwrap_or_else(|e| die(&format!("loadgen: {e}")));
+            print!("{}", report.summary());
+            if json {
+                let path = "BENCH_apss.json";
+                let base = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    die(&format!(
+                        "cannot read {path} ({e}); run `repro bench --json` first"
+                    ))
+                });
+                let doc = plasma_bench::loadgen::splice_into_snapshot(&base, &report.to_json());
+                std::fs::write(path, doc).expect("write perf snapshot");
+                println!("  [artifact] {path} (loadgen member refreshed)");
             }
         }
         Some("check-bench") => {
@@ -118,6 +187,20 @@ fn main() {
                         eprintln!("  - {p}");
                     }
                     std::process::exit(1);
+                }
+            }
+            if let Some(baseline_path) = against {
+                let baseline = std::fs::read_to_string(&baseline_path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {baseline_path}: {e}")));
+                match plasma_bench::perf::compare_snapshots(&json, &baseline) {
+                    Ok(()) => println!("{path}: no regression against {baseline_path}"),
+                    Err(problems) => {
+                        eprintln!("{path}: regressions against {baseline_path}:");
+                        for p in &problems {
+                            eprintln!("  - {p}");
+                        }
+                        std::process::exit(1);
+                    }
                 }
             }
         }

@@ -49,6 +49,7 @@ use plasma_lsh::candidates::{
 };
 use plasma_lsh::family::LshFamily;
 use plasma_lsh::sketch::Sketcher;
+use plasma_server::json::{self, Json};
 use plasma_server::{ProbeClient, ProbeServer, ProbeService, PublishCfg, Request};
 
 /// One kernel's sequential-vs-parallel rates (work units per second).
@@ -1175,10 +1176,12 @@ impl ApssPerfSnapshot {
 /// bounded-cache memory fields, the banded-skew sharding fields, the
 /// streaming-ingest fields, the ingest-scaling fields, the
 /// watch-scaling continuous-probe fields, the serving round-trip
-/// fields, and the recovery warm-restart fields. `repro check-bench`
-/// (the CI perf-smoke gate) fails when any goes missing, so snapshot
-/// consumers can rely on them across commits.
-const REQUIRED_SNAPSHOT_KEYS: [&str; 69] = [
+/// fields, the recovery warm-restart fields, and the open-loop
+/// `loadgen` harness fields (per-scenario counters, latency
+/// percentiles, and the offered-vs-achieved saturation curve).
+/// `repro check-bench` (the CI perf-smoke gate) fails when any goes
+/// missing, so snapshot consumers can rely on them across commits.
+const REQUIRED_SNAPSHOT_KEYS: [&str; 103] = [
     "benchmark",
     "cores",
     "sketching",
@@ -1248,6 +1251,40 @@ const REQUIRED_SNAPSHOT_KEYS: [&str; 69] = [
     "cold_start_ms",
     "warm_restart_ms",
     "warm_cold_ratio",
+    "loadgen",
+    "seed",
+    "smoke",
+    "transport",
+    "scenarios",
+    "scenario",
+    "watchers",
+    "tenants",
+    "planned_requests",
+    "completed_requests",
+    "error_requests",
+    "verbs",
+    "watch_deltas",
+    "watch_deltas_expected",
+    "wal_acked_appends",
+    "wal_syncs",
+    "registry_evictions",
+    "registry_evictions_expected",
+    "ingest_wakeups",
+    "steps",
+    "offered_per_sec",
+    "achieved_per_sec",
+    "saturation",
+    "planned",
+    "completed",
+    "errors",
+    "clients_started",
+    "clients_spawned",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+    "max_ms",
+    "mean_ms",
+    "samples",
 ];
 
 /// Validates a `BENCH_apss.json` document against the snapshot schema:
@@ -1283,13 +1320,315 @@ pub fn validate_snapshot_json(json: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// Walks a dotted path with optional indices (`multi_session[1].probes`).
+fn lookup<'a>(root: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut cur = root;
+    for part in path.split('.') {
+        let (name, index) = match part.find('[') {
+            Some(open) => (
+                &part[..open],
+                Some(part[open + 1..part.len() - 1].parse::<usize>().ok()?),
+            ),
+            None => (part, None),
+        };
+        cur = cur.get(name)?;
+        if let Some(i) = index {
+            cur = cur.as_arr()?.get(i)?;
+        }
+    }
+    Some(cur)
+}
+
+fn num_at(doc: &Json, which: &str, path: &str, problems: &mut Vec<String>) -> Option<f64> {
+    match lookup(doc, path).and_then(Json::as_f64) {
+        Some(v) => Some(v),
+        None => {
+            problems.push(format!("{which} snapshot lacks numeric field {path}"));
+            None
+        }
+    }
+}
+
+fn check_exact(fresh: &Json, committed: &Json, path: &str, problems: &mut Vec<String>) {
+    let a = num_at(fresh, "fresh", path, problems);
+    let b = num_at(committed, "committed", path, problems);
+    if let (Some(a), Some(b)) = (a, b) {
+        if (a - b).abs() > 1e-9 {
+            problems.push(format!(
+                "{path}: fresh {a} != committed {b} (deterministic counter drifted)"
+            ));
+        }
+    }
+}
+
+fn check_abs_tol(fresh: &Json, committed: &Json, path: &str, tol: f64, problems: &mut Vec<String>) {
+    let a = num_at(fresh, "fresh", path, problems);
+    let b = num_at(committed, "committed", path, problems);
+    if let (Some(a), Some(b)) = (a, b) {
+        if (a - b).abs() > tol {
+            problems.push(format!(
+                "{path}: fresh {a} outside tolerance band ±{tol} around committed {b}"
+            ));
+        }
+    }
+}
+
+/// Deterministic counters compared exactly against the committed
+/// baseline. Everything here is a pure function of the benchmark's
+/// seeded inputs — pair totals, record counts, epochs — never a rate.
+const EXACT_GATES: &[&str] = &[
+    "banded_skew.records",
+    "banded_skew.total_pairs",
+    "banded_skew.hot_bucket_pairs",
+    "banded_skew.candidates",
+    "banded_skew.shards",
+    "banded_skew.largest_shard_pairs",
+    "streaming.batches",
+    "streaming.batch_records",
+    "streaming.final_records",
+    "streaming.final_epoch",
+    "ingest_scaling.batches",
+    "ingest_scaling.batch_records",
+    "ingest_scaling.initial_records",
+    "ingest_scaling.final_records",
+    "ingest_scaling.corpus_bytes",
+    "watch_scaling.watches",
+    "watch_scaling.batches",
+    "watch_scaling.final_records",
+    "watch_scaling.total_delta_pairs",
+    "recovery.initial_records",
+    "recovery.batches",
+    "recovery.final_records",
+    "recovery.wal_replay_records",
+];
+
+/// Ratio gates with absolute tolerance bands: structural ratios that
+/// are stable run to run but not bit-exact across parallelism modes.
+const RATIO_GATES: &[(&str, f64)] = &[
+    ("streaming.carried_hit_rate", 0.05),
+    ("multi_session[0].cache_hit_rate", 0.05),
+];
+
+/// Per-scenario loadgen counters compared exactly (all plan-derived,
+/// so deterministic from the seed).
+const LOADGEN_SCENARIO_EXACT: &[&str] = &[
+    "planned_requests",
+    "completed_requests",
+    "error_requests",
+    "watch_deltas_expected",
+    "registry_evictions_expected",
+    "wal_acked_appends",
+];
+
+/// Compares a fresh `BENCH_apss.json` against the committed baseline —
+/// the CI regression gate behind `repro check-bench --against`.
+///
+/// The gate never compares absolute throughput (machines differ); it
+/// compares what determinism promises: exact counters that derive from
+/// seeded inputs, ratio invariants within tolerance bands, and
+/// intra-snapshot invariants of the fresh run (completed == planned,
+/// watch deltas matching their plan-derived expectation, group-commit
+/// syncs never exceeding acked appends, ordered latency percentiles).
+/// Geometry-dependent counters (`sealed_segments`) are gated only when
+/// both snapshots were measured under the same segment geometry, since
+/// CI sweeps `PLASMA_SEGMENT_RECORDS` across matrix cells.
+pub fn compare_snapshots(fresh_json: &str, committed_json: &str) -> Result<(), Vec<String>> {
+    let fresh = match json::parse(fresh_json) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("fresh snapshot does not parse: {e}")]),
+    };
+    let committed = match json::parse(committed_json) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("committed snapshot does not parse: {e}")]),
+    };
+    let mut problems = Vec::new();
+
+    for path in EXACT_GATES {
+        check_exact(&fresh, &committed, path, &mut problems);
+    }
+    for (path, tol) in RATIO_GATES {
+        check_abs_tol(&fresh, &committed, path, *tol, &mut problems);
+    }
+
+    // Segment geometry is a CI matrix axis; sealing counts only compare
+    // within one geometry.
+    let seg = |doc: &Json| lookup(doc, "ingest_scaling.segment_records").and_then(Json::as_u64);
+    if seg(&fresh).is_some() && seg(&fresh) == seg(&committed) {
+        check_exact(
+            &fresh,
+            &committed,
+            "ingest_scaling.sealed_segments",
+            &mut problems,
+        );
+    }
+
+    // The session ladder itself (probe counts per rung) is fixed.
+    let rungs = |doc: &Json| {
+        lookup(doc, "multi_session")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len)
+    };
+    let fresh_rungs = rungs(&fresh);
+    if fresh_rungs != rungs(&committed) {
+        problems.push(format!(
+            "multi_session ladder length drifted: fresh {fresh_rungs} vs committed {}",
+            rungs(&committed)
+        ));
+    } else {
+        for i in 0..fresh_rungs {
+            check_exact(
+                &fresh,
+                &committed,
+                &format!("multi_session[{i}].probes"),
+                &mut problems,
+            );
+            check_exact(
+                &fresh,
+                &committed,
+                &format!("multi_session[{i}].sessions"),
+                &mut problems,
+            );
+        }
+    }
+
+    compare_loadgen(&fresh, &committed, &mut problems);
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+fn str_at<'a>(doc: &'a Json, path: &str) -> Option<&'a str> {
+    lookup(doc, path).and_then(Json::as_str)
+}
+
+fn compare_loadgen(fresh: &Json, committed: &Json, problems: &mut Vec<String>) {
+    // Plan-derived loadgen counters only compare when both runs derive
+    // from the same plan: same seed, sizing, and transport.
+    for path in ["loadgen.seed", "loadgen.smoke"] {
+        let a = lookup(fresh, path).map(Json::encode);
+        let b = lookup(committed, path).map(Json::encode);
+        if a.is_none() || a != b {
+            problems.push(format!(
+                "loadgen baselines not comparable: {path} fresh {a:?} vs committed {b:?}"
+            ));
+            return;
+        }
+    }
+    if str_at(fresh, "loadgen.transport") != str_at(committed, "loadgen.transport") {
+        problems.push("loadgen baselines not comparable: transport differs".to_string());
+        return;
+    }
+
+    let arr = |doc: &Json, which: &str, problems: &mut Vec<String>| -> usize {
+        match lookup(doc, "loadgen.scenarios").and_then(Json::as_arr) {
+            Some(scenarios) => scenarios.len(),
+            None => {
+                problems.push(format!("{which} snapshot lacks loadgen.scenarios"));
+                0
+            }
+        }
+    };
+    let n = arr(fresh, "fresh", problems);
+    if n != arr(committed, "committed", problems) || n == 0 {
+        problems.push("loadgen scenario lists differ in length".to_string());
+        return;
+    }
+
+    for i in 0..n {
+        let prefix = format!("loadgen.scenarios[{i}]");
+        let name = str_at(fresh, &format!("{prefix}.scenario"));
+        if name != str_at(committed, &format!("{prefix}.scenario")) {
+            problems.push(format!("{prefix}.scenario name drifted"));
+            continue;
+        }
+        for field in LOADGEN_SCENARIO_EXACT {
+            check_exact(fresh, committed, &format!("{prefix}.{field}"), problems);
+        }
+        // Verb mixes render sorted from a BTreeMap, so deterministic
+        // plans give byte-equal objects.
+        let verbs = |doc: &Json| lookup(doc, &format!("{prefix}.verbs")).map(Json::encode);
+        if verbs(fresh) != verbs(committed) {
+            problems.push(format!(
+                "{prefix}.verbs mix drifted: fresh {:?} vs committed {:?}",
+                verbs(fresh),
+                verbs(committed)
+            ));
+        }
+
+        // Intra-snapshot invariants of the fresh run.
+        let fresh_num =
+            |path: &str, problems: &mut Vec<String>| num_at(fresh, "fresh", path, problems);
+        let pairs = [
+            ("completed_requests", "planned_requests"),
+            ("watch_deltas", "watch_deltas_expected"),
+            ("registry_evictions", "registry_evictions_expected"),
+        ];
+        for (got, want) in pairs {
+            let a = fresh_num(&format!("{prefix}.{got}"), problems);
+            let b = fresh_num(&format!("{prefix}.{want}"), problems);
+            if let (Some(a), Some(b)) = (a, b) {
+                if (a - b).abs() > 1e-9 {
+                    problems.push(format!(
+                        "{prefix}: {got} ({a}) != {want} ({b}) — open-loop invariant broken"
+                    ));
+                }
+            }
+        }
+        let acked = fresh_num(&format!("{prefix}.wal_acked_appends"), problems);
+        let syncs = fresh_num(&format!("{prefix}.wal_syncs"), problems);
+        if let (Some(acked), Some(syncs)) = (acked, syncs) {
+            if syncs > acked {
+                problems.push(format!(
+                    "{prefix}: wal_syncs ({syncs}) exceeds wal_acked_appends ({acked})"
+                ));
+            }
+            if acked > 0.0 && syncs < 1.0 {
+                problems.push(format!(
+                    "{prefix}: appends were acked without a single sync"
+                ));
+            }
+        }
+        if let Some(steps) = lookup(fresh, &format!("{prefix}.steps")).and_then(Json::as_arr) {
+            for (si, _) in steps.iter().enumerate() {
+                let sp = format!("{prefix}.steps[{si}]");
+                let p50 = fresh_num(&format!("{sp}.p50_ms"), problems);
+                let p99 = fresh_num(&format!("{sp}.p99_ms"), problems);
+                let p999 = fresh_num(&format!("{sp}.p999_ms"), problems);
+                let max = fresh_num(&format!("{sp}.max_ms"), problems);
+                if let (Some(p50), Some(p99), Some(p999), Some(max)) = (p50, p99, p999, max) {
+                    if !(p50 <= p99 && p99 <= p999 && p999 <= max + 1e-9) {
+                        problems.push(format!(
+                            "{sp}: percentiles out of order (p50 {p50}, p99 {p99}, p999 {p999}, max {max})"
+                        ));
+                    }
+                }
+                let planned = fresh_num(&format!("{sp}.planned"), problems);
+                let samples = fresh_num(&format!("{sp}.samples"), problems);
+                if let (Some(planned), Some(samples)) = (planned, samples) {
+                    if (planned - samples).abs() > 1e-9 {
+                        problems.push(format!(
+                            "{sp}: {samples} latency samples for {planned} planned requests — open-loop runs sample every request"
+                        ));
+                    }
+                }
+            }
+        } else {
+            problems.push(format!("{prefix}.steps missing"));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_shape_is_parseable_by_eye_and_machine() {
-        let snap = ApssPerfSnapshot {
+    /// A fully populated snapshot with internally consistent values,
+    /// shared by the schema and regression-gate tests.
+    fn test_snapshot() -> ApssPerfSnapshot {
+        ApssPerfSnapshot {
             cores: 4,
             sketch_minhash: KernelRates {
                 units: 200,
@@ -1390,7 +1729,21 @@ mod tests {
                 cold_start_ms: 8.0,
                 warm_restart_ms: 2.0,
             },
-        };
+        }
+    }
+
+    /// The full document CI writes: the snapshot with the loadgen
+    /// member spliced in.
+    fn test_document() -> String {
+        crate::loadgen::splice_into_snapshot(
+            &test_snapshot().to_json(),
+            &crate::loadgen::fixture_report().to_json(),
+        )
+    }
+
+    #[test]
+    fn json_shape_is_parseable_by_eye_and_machine() {
+        let snap = test_snapshot();
         let json = snap.to_json();
         assert!(json.contains("\"benchmark\": \"apss\""));
         assert!(json.contains("\"cores\": 4"));
@@ -1442,8 +1795,104 @@ mod tests {
         // Balanced braces — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
         assert!((snap.pair_evaluation.speedup() - 4.2).abs() < 1e-9);
-        // The rendered snapshot is exactly what the CI schema gate wants.
-        validate_snapshot_json(&json).expect("rendered snapshot validates");
+        // With the loadgen member spliced in, the document is exactly
+        // what the CI schema gate wants.
+        let doc = test_document();
+        assert!(doc.contains("\"loadgen\": {"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        validate_snapshot_json(&doc).expect("rendered snapshot validates");
+    }
+
+    #[test]
+    fn compare_accepts_a_faithful_rerun_of_the_baseline() {
+        let doc = test_document();
+        compare_snapshots(&doc, &doc).expect("a snapshot is never a regression of itself");
+    }
+
+    #[test]
+    fn compare_flags_a_deliberate_counter_regression() {
+        // The negative test the gate's wiring is judged by: perturb one
+        // deterministic counter and the comparison must fail non-zero.
+        let doc = test_document();
+        let tampered = doc.replace("\"total_pairs\": 1600000", "\"total_pairs\": 1599998");
+        assert_ne!(tampered, doc, "perturbation must hit the document");
+        let problems = compare_snapshots(&tampered, &doc).expect_err("drift must be flagged");
+        assert!(
+            problems.iter().any(|p| p.contains("total_pairs")),
+            "{problems:?}"
+        );
+
+        // Loadgen plan-derived counters are gated the same way.
+        let tampered = doc.replace("\"wal_acked_appends\": 19", "\"wal_acked_appends\": 18");
+        let problems = compare_snapshots(&tampered, &doc).expect_err("loadgen drift flagged");
+        assert!(
+            problems.iter().any(|p| p.contains("wal_acked_appends")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn compare_tolerates_ratio_jitter_inside_the_band_only() {
+        let doc = test_document();
+        let nudged = doc.replace(
+            "\"carried_hit_rate\": 0.7300",
+            "\"carried_hit_rate\": 0.7150",
+        );
+        assert_ne!(nudged, doc);
+        compare_snapshots(&nudged, &doc).expect("±0.015 sits inside the ±0.05 band");
+        let broken = doc.replace(
+            "\"carried_hit_rate\": 0.7300",
+            "\"carried_hit_rate\": 0.5000",
+        );
+        let problems = compare_snapshots(&broken, &doc).expect_err("a hit-rate collapse is real");
+        assert!(
+            problems.iter().any(|p| p.contains("carried_hit_rate")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn compare_enforces_intra_snapshot_invariants_of_the_fresh_run() {
+        let doc = test_document();
+        // A fresh run whose watch deltas miss their plan-derived
+        // expectation is broken even if the committed baseline agrees.
+        let short = doc.replace("\"watch_deltas\": 42,", "\"watch_deltas\": 40,");
+        let problems = compare_snapshots(&short, &short).expect_err("lost deltas must be flagged");
+        assert!(
+            problems.iter().any(|p| p.contains("watch_deltas")),
+            "{problems:?}"
+        );
+        // Group commit can never sync more often than it acks.
+        let oversync = doc.replace("\"wal_syncs\": 11,", "\"wal_syncs\": 25,");
+        let problems = compare_snapshots(&oversync, &oversync).expect_err("syncs > acks");
+        assert!(
+            problems.iter().any(|p| p.contains("wal_syncs")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn compare_refuses_baselines_from_a_different_plan() {
+        let doc = test_document();
+        let reseeded = doc.replace("\"seed\": 42,", "\"seed\": 43,");
+        let problems =
+            compare_snapshots(&reseeded, &doc).expect_err("different seeds are not comparable");
+        assert!(
+            problems.iter().any(|p| p.contains("not comparable")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn compare_ignores_segment_geometry_drift_across_matrix_cells() {
+        let doc = test_document();
+        // A different PLASMA_SEGMENT_RECORDS cell: sealing counts differ
+        // legitimately, so the gate must stay quiet about them.
+        let other_geometry = doc
+            .replace("\"segment_records\": 512", "\"segment_records\": 8")
+            .replace("\"sealed_segments\": 1", "\"sealed_segments\": 100");
+        compare_snapshots(&other_geometry, &doc)
+            .expect("cross-geometry sealing counts are not comparable, not regressions");
     }
 
     #[test]

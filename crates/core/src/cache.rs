@@ -376,6 +376,11 @@ pub struct SharedKnowledgeCache {
     /// Lifetime records hashed into the band-bucket cache (see
     /// [`CacheMemoryStats::bucket_build_records`]).
     bucket_build_records: AtomicU64,
+    /// Lifetime delta-candidate generations (calls that actually built or
+    /// fetched a fresh-candidate slice). The work-counter proof that K
+    /// watches on one corpus share one slice per epoch instead of
+    /// re-deriving it K times.
+    delta_builds: AtomicU64,
 }
 
 impl SharedKnowledgeCache {
@@ -430,6 +435,7 @@ impl SharedKnowledgeCache {
             band_buckets: Mutex::new(None),
             bucket_bytes: AtomicUsize::new(0),
             bucket_build_records: AtomicU64::new(0),
+            delta_builds: AtomicU64::new(0),
         }
     }
 
@@ -524,6 +530,14 @@ impl SharedKnowledgeCache {
     /// exactly the batch size. Exhaustive probes never touch it.
     pub fn bucket_build_records(&self) -> u64 {
         self.bucket_build_records.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime delta-candidate generations — one per `probe_delta`
+    /// (the crate-private one-shot path) plus one per epoch×shape in the
+    /// registry's single-pass multi-watch notification, however many
+    /// watches share the slice.
+    pub fn delta_builds(&self) -> u64 {
+        self.delta_builds.load(Ordering::Relaxed)
     }
 
     /// Total accounted footprint: sketch bytes (of the current epoch's
@@ -809,12 +823,13 @@ impl SharedKnowledgeCache {
     /// [`plasma_lsh::candidates::banded_delta`], which never touches the
     /// shared cache — so the delta is bit-identical whether or not the
     /// bucket cache survived.
-    fn generate_delta_candidates(
+    pub(crate) fn generate_delta_candidates(
         &self,
         sketches: &SketchSet,
         cfg: &ApssConfig,
         from: usize,
     ) -> Arc<Vec<(u32, u32)>> {
+        self.delta_builds.fetch_add(1, Ordering::Relaxed);
         let n = sketches.len();
         match cfg.candidates {
             crate::apss::CandidateStrategy::Exhaustive => {
@@ -932,6 +947,10 @@ impl SharedKnowledgeCache {
     /// `crates/core/tests/watch_differential.rs`. Like
     /// [`probe_silent`](Self::probe_silent), it leaves the probe history
     /// untouched.
+    // Production watches go through the shared-slice path
+    // (`probe_delta_with`); this one-shot composition is kept as the
+    // reference implementation their bit-identity is tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn probe_delta(
         &self,
         records: &[SparseVector],
@@ -946,6 +965,33 @@ impl SharedKnowledgeCache {
         self.evaluate_candidates(records, measure, threshold, cfg, &sketches, cands, start)
     }
 
+    /// The evaluation half of [`probe_delta`](Self::probe_delta) against
+    /// an already-generated candidate slice — the registry's single-pass
+    /// multi-watch path generates each epoch's slice once per candidate
+    /// shape and evaluates every watch from it. Bit-identical to
+    /// `probe_delta` with the same `cfg`: the slice is exactly what
+    /// [`generate_delta_candidates`](Self::generate_delta_candidates)
+    /// would return, and evaluation reads nothing else.
+    pub(crate) fn probe_delta_with(
+        &self,
+        records: &[SparseVector],
+        measure: Similarity,
+        threshold: f64,
+        cfg: &ApssConfig,
+        sketches: &Arc<SketchSet>,
+        cands: Arc<Vec<(u32, u32)>>,
+    ) -> ApssResult {
+        let start = std::time::Instant::now();
+        assert_eq!(
+            records.len(),
+            sketches.len(),
+            "delta evaluation supplied {} records but the pinned snapshot sketches {}",
+            records.len(),
+            sketches.len()
+        );
+        self.evaluate_candidates(records, measure, threshold, cfg, sketches, cands, start)
+    }
+
     /// Pins one corpus epoch for a whole evaluation: a concurrent `grow`
     /// swaps the shared snapshot but cannot change what this evaluation
     /// reads.
@@ -956,7 +1002,7 @@ impl SharedKnowledgeCache {
     /// instead: a grown cache must be probed with the grown corpus
     /// (drive growth through `crate::streaming::StreamingSession`,
     /// whose forks stay in sync by construction).
-    fn pin_snapshot(&self, records: &[SparseVector]) -> Arc<SketchSet> {
+    pub(crate) fn pin_snapshot(&self, records: &[SparseVector]) -> Arc<SketchSet> {
         let sketches = self.sketches();
         assert_eq!(
             records.len(),
@@ -1665,6 +1711,35 @@ mod tests {
         }
         .generate(21)
         .records
+    }
+
+    #[test]
+    fn shared_slice_delta_is_bit_identical_to_probe_delta() {
+        let all = dataset();
+        let cfg = ApssConfig {
+            candidates: crate::apss::CandidateStrategy::Banded { bands: 8, width: 8 },
+            parallelism: Some(1),
+            ..ApssConfig::default()
+        };
+        // Two cold caches over the same sketches, so work counters (not
+        // just outputs) are comparable between the two delta paths.
+        let (sketches, _) = build_sketches(&all, Similarity::Cosine, &cfg);
+        let a_cache = SharedKnowledgeCache::new(sketches.clone());
+        let b_cache = SharedKnowledgeCache::new(sketches);
+
+        let a = a_cache.probe_delta(&all, Similarity::Cosine, 0.6, &cfg, 40);
+        let pinned = b_cache.pin_snapshot(&all);
+        let slice = b_cache.generate_delta_candidates(&pinned, &cfg, 40);
+        let b = b_cache.probe_delta_with(&all, Similarity::Cosine, 0.6, &cfg, &pinned, slice);
+
+        assert_same_output(&a, &b, "shared-slice delta");
+        assert_eq!(a.stats.candidates, b.stats.candidates);
+        assert_eq!(a.stats.pruned, b.stats.pruned);
+        assert_eq!(a.stats.accepted, b.stats.accepted);
+        assert_eq!(a.stats.hashes_compared, b.stats.hashes_compared);
+        assert_eq!(a.stats.cache_hits, b.stats.cache_hits);
+        assert_eq!(a_cache.delta_builds(), 1);
+        assert_eq!(b_cache.delta_builds(), 1);
     }
 
     fn assert_same_output(a: &ApssResult, b: &ApssResult, label: &str) {

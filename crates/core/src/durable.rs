@@ -39,7 +39,8 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use plasma_data::similarity::Similarity;
 use plasma_data::vector::SparseVector;
@@ -544,11 +545,44 @@ pub struct CorpusStore {
     dir: PathBuf,
     fingerprint: u128,
     wal: Mutex<WalHandle>,
+    /// Duplicate handle to `wal.bin` (same file description) used for
+    /// `sync_data` *outside* the append lock, so a leader's fsync never
+    /// blocks concurrent appenders from writing into the page cache.
+    sync_file: File,
+    sync: Mutex<SyncProgress>,
+    synced_cv: Condvar,
+    acked_appends: AtomicU64,
+    append_syncs: AtomicU64,
 }
 
 struct WalHandle {
     file: File,
     bytes: u64,
+}
+
+/// Group-commit bookkeeping: monotone byte marks independent of WAL
+/// truncation, so a snapshot restarting the log cannot confuse a waiter.
+struct SyncProgress {
+    /// Total WAL entry bytes ever appended (never reset).
+    appended: u64,
+    /// Prefix of `appended` known durable — covered by an fsync or by a
+    /// snapshot that subsumed the log.
+    synced: u64,
+    /// A leader's fsync is in flight; late arrivals wait instead of
+    /// issuing their own.
+    leader: bool,
+}
+
+/// Group-commit counters: how many ingest batches were acked durable and
+/// how many `sync_data` calls paid for them. Coalescing shows up as
+/// `syncs < acked_appends` under concurrent writers; a strictly serial
+/// writer sees them equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalSyncStats {
+    /// Ingest batches acked after a covering sync.
+    pub acked_appends: u64,
+    /// `sync_data` calls issued on behalf of those acks.
+    pub syncs: u64,
 }
 
 impl CorpusStore {
@@ -585,10 +619,20 @@ impl CorpusStore {
                 });
             }
         }
+        let sync_file = file.try_clone()?;
         Ok(Self {
             dir,
             fingerprint,
             wal: Mutex::new(WalHandle { file, bytes }),
+            sync_file,
+            sync: Mutex::new(SyncProgress {
+                appended: 0,
+                synced: 0,
+                leader: false,
+            }),
+            synced_cv: Condvar::new(),
+            acked_appends: AtomicU64::new(0),
+            append_syncs: AtomicU64::new(0),
         })
     }
 
@@ -608,15 +652,37 @@ impl CorpusStore {
         self.wal.lock().expect("wal lock").bytes
     }
 
-    /// Appends one adopted ingest batch to the WAL and syncs it to disk.
-    /// The serving layer calls this *before* acking the ingest, so every
-    /// acked batch survives a crash.
+    /// Appends one adopted ingest batch to the WAL and waits until a sync
+    /// covers it. The serving layer calls this *before* acking the
+    /// ingest, so every acked batch survives a crash.
+    ///
+    /// Concurrent appenders **group-commit**: the first waiter becomes
+    /// the sync leader and issues one `sync_data` covering every byte
+    /// appended so far; the rest wait on the synced offset instead of
+    /// paying their own fsync. [`Self::sync_stats`] exposes the
+    /// coalescing ratio.
     pub fn append_ingest(
         &self,
         epoch: u64,
         start_record: usize,
         batch: &[SparseVector],
     ) -> Result<(), DurableError> {
+        let mark = self.log_ingest(epoch, start_record, batch)?;
+        self.wait_durable(mark)
+    }
+
+    /// Writes one ingest entry into the WAL *without* syncing, returning
+    /// a mark to hand to [`Self::wait_durable`]. Split out so a caller
+    /// holding a broader exclusion (the serving layer's per-corpus
+    /// persist lock) can log under the lock but wait for the covering
+    /// sync outside it — which is what lets concurrent ingests coalesce
+    /// into one fsync at all.
+    pub fn log_ingest(
+        &self,
+        epoch: u64,
+        start_record: usize,
+        batch: &[SparseVector],
+    ) -> Result<u64, DurableError> {
         let mut payload = Vec::new();
         push_u64(&mut payload, epoch);
         push_u64(&mut payload, start_record as u64);
@@ -627,9 +693,50 @@ impl CorpusStore {
         entry.extend_from_slice(&payload);
         let mut wal = self.wal.lock().expect("wal lock");
         wal.file.write_all(&entry)?;
-        wal.file.sync_data()?;
         wal.bytes += entry.len() as u64;
-        Ok(())
+        // Count the bytes into the monotone append mark while still
+        // holding the append lock, so `appended` only ever covers bytes
+        // already written into the page cache.
+        let mut sync = self.sync.lock().expect("wal sync state");
+        sync.appended += entry.len() as u64;
+        Ok(sync.appended)
+    }
+
+    /// Blocks until every byte up to `mark` (from [`Self::log_ingest`])
+    /// is durable: covered by an fsync — ours or a concurrent leader's —
+    /// or subsumed by a snapshot that truncated the log.
+    pub fn wait_durable(&self, mark: u64) -> Result<(), DurableError> {
+        let mut sync = self.sync.lock().expect("wal sync state");
+        loop {
+            if sync.synced >= mark {
+                self.acked_appends.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if !sync.leader {
+                sync.leader = true;
+                let target = sync.appended;
+                drop(sync);
+                let res = self.sync_file.sync_data();
+                self.append_syncs.fetch_add(1, Ordering::Relaxed);
+                sync = self.sync.lock().expect("wal sync state");
+                sync.leader = false;
+                if res.is_ok() {
+                    sync.synced = sync.synced.max(target);
+                }
+                self.synced_cv.notify_all();
+                res?;
+            } else {
+                sync = self.synced_cv.wait(sync).expect("wal sync state poisoned");
+            }
+        }
+    }
+
+    /// Group-commit counters accumulated over this store's lifetime.
+    pub fn sync_stats(&self) -> WalSyncStats {
+        WalSyncStats {
+            acked_appends: self.acked_appends.load(Ordering::Relaxed),
+            syncs: self.append_syncs.load(Ordering::Relaxed),
+        }
     }
 
     /// Writes a snapshot of `(records, sketches)` — temp file, sync,
@@ -663,6 +770,15 @@ impl CorpusStore {
         wal.file.write_all(&header)?;
         wal.file.sync_data()?;
         wal.bytes = header.len() as u64;
+        // Every byte logged so far is now durable via the snapshot; wake
+        // any appender still waiting on a covering sync. (Under the
+        // documented caller contract the view passed in was taken under
+        // the same exclusion, so no unacked entry can be truncated away.)
+        {
+            let mut sync = self.sync.lock().expect("wal sync state");
+            sync.synced = sync.appended;
+            self.synced_cv.notify_all();
+        }
         drop(wal);
         // Keep the newest two snapshots: the one just written plus one
         // fallback for a corrupt-newest recovery.

@@ -81,7 +81,7 @@ pub use cache::{
     RegistryCapacity, SharedKnowledgeCache,
 };
 pub use cumulative::CumulativeCurve;
-pub use durable::{CorpusStore, DurableError, RecoveredCorpus, WAL_HEADER_BYTES};
+pub use durable::{CorpusStore, DurableError, RecoveredCorpus, WalSyncStats, WAL_HEADER_BYTES};
 pub use plasma_lsh::ShardPolicy;
 pub use session::{ProbeReport, Session};
 pub use streaming::{IngestReport, StreamingSession};

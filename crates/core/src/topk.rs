@@ -360,7 +360,7 @@ mod tests {
             .collect();
         assert!(!kths.is_empty());
         // In clustered data, most nodes' 4th neighbor is still similar.
-        let median = plasma_data::stats::median(&kths);
+        let median = plasma_data::stats::median(&kths).expect("non-empty kth similarities");
         assert!(median > 0.3, "median kth similarity {median}");
     }
 }

@@ -154,6 +154,10 @@ pub struct WatchRegistry {
     next_id: AtomicU64,
 }
 
+/// One epoch's fresh-candidate slice, keyed by the candidate shape that
+/// generated it and shared by every watch pinned to that shape.
+type ShapeSlice = (crate::apss::CandidateStrategy, Arc<Vec<(u32, u32)>>);
+
 impl WatchRegistry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -220,6 +224,14 @@ impl WatchRegistry {
     /// memos. Call with the post-growth `(cache, records)` pair — the
     /// streaming layer does so inside `ingest`, while still holding the
     /// corpus write guard, so every watch sees each epoch exactly once.
+    ///
+    /// The fresh-candidate slice is generated **once per candidate shape
+    /// per epoch** and shared across every watch pinned to that shape (a
+    /// single pass, pinned by the `delta_builds` counter in
+    /// `watch_differential.rs`); per-watch evaluation from a shared slice
+    /// is bit-identical to each watch running its own `probe_delta`,
+    /// because candidate generation depends only on the strategy, the
+    /// sketches, and the growth range — never on the threshold.
     pub fn notify_ingest(
         &self,
         cache: &SharedKnowledgeCache,
@@ -230,12 +242,37 @@ impl WatchRegistry {
         let mut entries = self.entries.lock().expect("watch registry lock");
         let epoch = cache.epoch();
         let mut notified = 0;
+        // One pinned snapshot and one candidate slice per distinct
+        // candidate shape, shared by every watch in this pass. Watches
+        // are few; a linear scan over the shape list beats hashing.
+        let mut snapshot: Option<Arc<plasma_lsh::SketchSet>> = None;
+        let mut slices: Vec<ShapeSlice> = Vec::new();
         entries.retain(|(_, weak)| {
             let Some(shared) = weak.upgrade() else {
                 return false;
             };
-            let result =
-                cache.probe_delta(records, measure, shared.threshold, &shared.cfg, old_len);
+            let sketches = snapshot
+                .get_or_insert_with(|| cache.pin_snapshot(records))
+                .clone();
+            let cands = match slices
+                .iter()
+                .find(|(shape, _)| *shape == shared.cfg.candidates)
+            {
+                Some((_, slice)) => slice.clone(),
+                None => {
+                    let slice = cache.generate_delta_candidates(&sketches, &shared.cfg, old_len);
+                    slices.push((shared.cfg.candidates, slice.clone()));
+                    slice
+                }
+            };
+            let result = cache.probe_delta_with(
+                records,
+                measure,
+                shared.threshold,
+                &shared.cfg,
+                &sketches,
+                cands,
+            );
             shared
                 .deltas
                 .lock()

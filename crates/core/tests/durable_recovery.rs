@@ -11,6 +11,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use plasma_core::apss::{ApssConfig, CandidateStrategy};
 use plasma_core::cache::{CacheCapacity, CacheRegistry};
@@ -357,6 +358,143 @@ fn empty_directory_refuses_with_missing_snapshot() {
         Err(other) => panic!("wrong refusal: {other}"),
         Ok(_) => panic!("an empty directory has nothing to recover"),
     }
+}
+
+#[test]
+fn group_commit_coalesces_queued_appends_into_one_sync() {
+    let tmp = TempDir::new("group-det");
+    let all = dataset(44, 13);
+    let (store, mut live, _) = seed_store(tmp.path(), &all[..26], &[]);
+
+    // Log three batches without waiting, then wait on the *last* mark:
+    // one sync must cover all three, and the earlier waits must ride it.
+    let mut marks = Vec::new();
+    for (lo, hi) in [(26, 32), (32, 38), (38, 44)] {
+        let report = live.ingest(&all[lo..hi]);
+        let mark = store
+            .log_ingest(report.epoch, lo, &all[lo..hi])
+            .expect("log entry");
+        marks.push(mark);
+    }
+    store.wait_durable(marks[2]).expect("leader sync");
+    store.wait_durable(marks[0]).expect("covered follower");
+    store.wait_durable(marks[1]).expect("covered follower");
+
+    let stats = store.sync_stats();
+    assert_eq!(stats.acked_appends, 3, "all three batches acked");
+    assert_eq!(stats.syncs, 1, "one covering sync paid for all acks");
+    assert!(
+        stats.syncs < stats.acked_appends,
+        "group commit must coalesce: {} syncs for {} acks",
+        stats.syncs,
+        stats.acked_appends
+    );
+
+    // The coalesced log recovers bit-identically to a cold build.
+    drop(store);
+    let rec = recover(tmp.path()).expect("recovery succeeds");
+    assert_eq!(rec.epoch, 3);
+    let mut warm = rec.session;
+    let mut cold = cold_session(&all);
+    assert_same_probe(&warm.probe(0.65), &cold.probe(0.65), "group commit");
+}
+
+#[test]
+fn concurrent_multi_writer_ingest_group_commits_and_recovers() {
+    use std::sync::atomic::AtomicUsize;
+
+    let tmp = TempDir::new("group-mt");
+    let all = dataset(74, 17);
+    let (store, live, _) = seed_store(tmp.path(), &all[..26], &[]);
+
+    // 4 writers race over 24 two-record batches, each reproducing the
+    // serving layer's split: engine-mutate + WAL-log under one exclusion,
+    // covering-sync wait outside it — which is what lets syncs coalesce.
+    let batches: Vec<&[SparseVector]> = all[26..74].chunks(2).collect();
+    let engine = Mutex::new(live);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= batches.len() {
+                    break;
+                }
+                let mark = {
+                    let mut session = engine.lock().expect("engine lock");
+                    let report = session.ingest(batches[i]);
+                    store
+                        .log_ingest(
+                            report.epoch,
+                            report.total_records - report.records_added,
+                            batches[i],
+                        )
+                        .expect("log entry")
+                };
+                store.wait_durable(mark).expect("covering sync");
+            });
+        }
+    });
+
+    let stats = store.sync_stats();
+    assert_eq!(stats.acked_appends, 24, "every batch acked durable");
+    assert!(
+        stats.syncs <= stats.acked_appends,
+        "syncs ({}) can never exceed acks ({})",
+        stats.syncs,
+        stats.acked_appends
+    );
+
+    // Whatever the interleaving, recovery is bit-identical to cold.
+    drop(store);
+    let rec = recover(tmp.path()).expect("recovery succeeds");
+    assert_eq!(rec.epoch, 24);
+    let mut warm = rec.session;
+    assert_eq!(warm.len(), 74);
+    let mut cold = cold_session(&all);
+    for threshold in [0.85, 0.65] {
+        assert_same_probe(
+            &warm.probe(threshold),
+            &cold.probe(threshold),
+            &format!("multi-writer threshold {threshold}"),
+        );
+    }
+}
+
+#[test]
+fn never_synced_tail_is_discarded_and_reported() {
+    let tmp = TempDir::new("unsynced-tail");
+    let all = dataset(44, 29);
+    let b1 = &all[26..34];
+    let b2 = &all[34..44];
+    let (store, mut live, _) = seed_store(tmp.path(), &all[..26], &[b1]);
+
+    // Batch 2 is logged but the process "crashes" before any covering
+    // sync: no wait_durable, so it was never acked. Tear its entry the
+    // way an unflushed page-cache tail would be lost.
+    let report = live.ingest(b2);
+    store
+        .log_ingest(report.epoch, 34, b2)
+        .expect("log unsynced entry");
+    assert_eq!(store.sync_stats().acked_appends, 1, "batch 2 never acked");
+    drop(store);
+    let wal = tmp.path().join("wal.bin");
+    let len = std::fs::metadata(&wal).expect("wal meta").len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .expect("open wal");
+    f.set_len(len - 5).expect("tear unsynced tail");
+
+    // Recovery discards the tail, says so, and serves exactly the acked
+    // prefix — bit-identical to a cold build of those records.
+    let rec = recover(tmp.path()).expect("recovery succeeds");
+    assert!(rec.wal_tail_discarded, "discard must be reported");
+    assert_eq!(rec.epoch, 1, "only the acked epoch survives");
+    let mut warm = rec.session;
+    assert_eq!(warm.len(), 34);
+    let mut cold = cold_session(&all[..34]);
+    assert_same_probe(&warm.probe(0.65), &cold.probe(0.65), "unsynced tail");
 }
 
 #[test]

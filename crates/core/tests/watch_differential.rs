@@ -557,6 +557,56 @@ fn dropped_handles_cancel_without_disturbing_survivors() {
     assert_merged_equals_cold(&merged, &cold(&records, WATCHED[0], &cfg), "survivor");
 }
 
+/// Satellite pin: K watches on one corpus are a **single evaluation
+/// pass** per epoch — the fresh-candidate slice is generated once and
+/// shared, however many watches consume it, and the deltas each watch
+/// receives are still bit-identical to cold probes.
+#[test]
+fn k_watches_share_one_candidate_generation_per_epoch() {
+    let records = dataset(60, 19);
+    let cfg = ApssConfig {
+        candidates: CandidateStrategy::Banded { bands: 8, width: 8 },
+        parallelism: Some(1),
+        ..ApssConfig::default()
+    };
+    let mut session =
+        StreamingSession::from_records(records[..30].to_vec(), Similarity::Cosine, cfg);
+    let thresholds = [0.9, 0.8, 0.7, 0.6, 0.5];
+    let watches: Vec<_> = thresholds.iter().map(|&t| session.watch(t)).collect();
+    let cache = session.shared_cache().expect("built by registration");
+    assert_eq!(cache.delta_builds(), 0, "registrations are full probes");
+
+    session.ingest(&records[30..45]);
+    assert_eq!(
+        cache.delta_builds(),
+        1,
+        "epoch 1: one candidate generation feeds all {} watches",
+        watches.len()
+    );
+    session.ingest(&records[45..60]);
+    assert_eq!(
+        cache.delta_builds(),
+        2,
+        "epoch 2: still one generation per epoch"
+    );
+    assert_eq!(
+        cache.bucket_build_records(),
+        60,
+        "each record bucketed exactly once, however many watches"
+    );
+
+    // The shared slice changes no output: every watch's merged history
+    // still equals a cold probe of the full corpus at its threshold.
+    for (t, handle) in thresholds.iter().zip(&watches) {
+        let merged = merge_deltas(&handle.drain(), 3, &format!("k-watch t={t}"));
+        assert_merged_equals_cold(
+            &merged,
+            &cold(&records, *t, &cfg),
+            &format!("k-watch t={t}"),
+        );
+    }
+}
+
 /// Satellite pin: batch (non-streaming) sessions sharing a cache ride
 /// the same epoch-persistent bucket cache — a second identical-shape
 /// probe builds zero buckets, from this or any other session, and the

@@ -24,26 +24,30 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Linear-interpolation percentile, `q` in `[0, 1]`. Sorts a copy.
-pub fn percentile(xs: &[f64], q: f64) -> f64 {
+///
+/// Returns `None` for an empty slice: a percentile of nothing is not a
+/// number, and the old `0.0` fallback let empty latency sets publish a
+/// fake p99 into benchmark reports.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1]");
     if xs.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut v: Vec<f64> = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         v[lo]
     } else {
         let frac = pos - lo as f64;
         v[lo] * (1.0 - frac) + v[hi] * frac
-    }
+    })
 }
 
-/// Median (50th percentile).
-pub fn median(xs: &[f64]) -> f64 {
+/// Median (50th percentile); `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
     percentile(xs, 0.5)
 }
 
@@ -109,6 +113,136 @@ impl Histogram {
     }
 }
 
+/// Number of buckets in a [`Log2Histogram`]; covers the full `u64` range.
+pub const LOG2_BUCKETS: usize = 64;
+
+/// Fixed-bucket base-2 histogram over `u64` observations (latency
+/// nanoseconds in the load harness).
+///
+/// Bucket `0` covers `{0, 1}`; bucket `i ≥ 1` covers `[2^i, 2^(i+1))`.
+/// Recording is a single increment — no allocation, no sort — so one
+/// sample per request stays cheap on the measured path, and bucket
+/// counts are exact integers that replay bit-identically under a fixed
+/// schedule (unlike any representation that stores raw timestamps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; LOG2_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index holding `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            v.ilog2() as usize
+        }
+    }
+
+    /// Inclusive lower edge of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Inclusive upper edge of bucket `i` (the largest value it holds).
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i >= LOG2_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket counts, low to high.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation recorded; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of all observations; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// Nearest-rank percentile estimate, `q` in `[0, 1]`; `None` when
+    /// empty.
+    ///
+    /// Walks the cumulative counts to the bucket holding the rank
+    /// `ceil(q·total)` observation and returns that bucket's upper edge
+    /// (clamped to the recorded maximum), so the estimate lands in the
+    /// same bucket as the true nearest-rank sample — i.e. it is accurate
+    /// to within one bucket width.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(Self::bucket_hi(i).min(self.max));
+            }
+        }
+        unreachable!("cumulative count covers total")
+    }
+}
+
 /// Mean relative error of `pred` vs `truth`: mean(|p−t| / max(|t|, eps)).
 pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
@@ -149,20 +283,77 @@ mod tests {
     fn empty_stats_are_zero() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(variance(&[]), 0.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_empty() {
+        // An empty set has no percentiles — the old 0.0 fallback would
+        // publish a phantom p99 into benchmark snapshots.
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[], 0.99), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(Log2Histogram::new().percentile(0.99), None);
+        assert_eq!(Log2Histogram::new().mean(), None);
     }
 
     #[test]
     fn percentile_interpolates() {
         let xs = [0.0, 10.0];
-        assert!((percentile(&xs, 0.5) - 5.0).abs() < 1e-12);
-        assert_eq!(percentile(&xs, 0.0), 0.0);
-        assert_eq!(percentile(&xs, 1.0), 10.0);
+        assert!((percentile(&xs, 0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), Some(0.0));
+        assert_eq!(percentile(&xs, 1.0), Some(10.0));
     }
 
     #[test]
     fn median_odd() {
-        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn log2_histogram_bucket_edges() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 0);
+        assert_eq!(Log2Histogram::bucket_index(2), 1);
+        assert_eq!(Log2Histogram::bucket_index(3), 1);
+        assert_eq!(Log2Histogram::bucket_index(4), 2);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 63);
+        for i in 0..LOG2_BUCKETS {
+            assert_eq!(Log2Histogram::bucket_index(Log2Histogram::bucket_lo(i)), i);
+            assert_eq!(Log2Histogram::bucket_index(Log2Histogram::bucket_hi(i)), i);
+        }
+    }
+
+    #[test]
+    fn log2_histogram_percentile_hits_nearest_rank_bucket() {
+        let samples: Vec<u64> = vec![3, 5, 9, 17, 33, 65, 129, 1025];
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        assert_eq!(h.total(), samples.len() as u64);
+        assert_eq!(h.max(), 1025);
+        for &(q, want) in &[(0.0, 3u64), (0.5, 17), (0.99, 1025), (1.0, 1025)] {
+            let rank_bucket = Log2Histogram::bucket_index(want);
+            let est = h.percentile(q).unwrap();
+            assert_eq!(
+                Log2Histogram::bucket_index(est),
+                rank_bucket,
+                "q={q}: estimate {est} not in bucket of nearest-rank sample {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn log2_histogram_merge_sums_counts() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(10);
+        a.record(100);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.max(), 1000);
+        assert!((a.mean().unwrap() - (10.0 + 100.0 + 1000.0) / 3.0).abs() < 1e-9);
     }
 
     #[test]

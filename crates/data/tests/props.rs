@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use plasma_data::similarity::{cosine, jaccard};
-use plasma_data::stats::{mean, percentile, std_dev, Histogram};
+use plasma_data::stats::{mean, percentile, std_dev, Histogram, Log2Histogram};
 use plasma_data::vector::SparseVector;
 
 fn sparse_vec() -> impl Strategy<Value = SparseVector> {
@@ -89,11 +89,40 @@ proptest! {
 
     #[test]
     fn percentile_is_monotone_in_q(values in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
-        let p25 = percentile(&values, 0.25);
-        let p50 = percentile(&values, 0.5);
-        let p75 = percentile(&values, 0.75);
+        let p25 = percentile(&values, 0.25).unwrap();
+        let p50 = percentile(&values, 0.5).unwrap();
+        let p75 = percentile(&values, 0.75).unwrap();
         prop_assert!(p25 <= p50 + 1e-12);
         prop_assert!(p50 <= p75 + 1e-12);
+    }
+
+    #[test]
+    fn log2_histogram_percentiles_match_raw_within_one_bucket(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..120),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let est = h.percentile(q).unwrap();
+        // The true nearest-rank sample: rank ceil(q·n) in the sorted order.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let raw = sorted[rank - 1];
+        // Same log2 bucket == within one bucket width of the raw value.
+        prop_assert_eq!(
+            Log2Histogram::bucket_index(est),
+            Log2Histogram::bucket_index(raw),
+            "estimate {} vs raw nearest-rank {}", est, raw
+        );
+        // And the interpolating float percentile on the raw samples lies
+        // within the same bucket's span (its two bracketing samples both
+        // bound the bucket edge by construction of nearest rank).
+        let floats: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        let interp = percentile(&floats, q).unwrap();
+        prop_assert!(interp <= Log2Histogram::bucket_hi(Log2Histogram::bucket_index(sorted[sorted.len() - 1])) as f64);
     }
 
     #[test]

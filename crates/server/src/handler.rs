@@ -41,7 +41,8 @@ use std::time::Duration;
 
 use plasma_core::durable::{self, CorpusStore};
 use plasma_core::{
-    ApssConfig, CacheCapacity, CacheRegistry, Session, SharedKnowledgeCache, StreamingSession,
+    ApssConfig, CacheCapacity, CacheRegistry, RegistryCapacity, Session, SharedKnowledgeCache,
+    StreamingSession, WalSyncStats,
 };
 use plasma_data::similarity::Similarity;
 
@@ -226,6 +227,47 @@ impl ProbeService {
             active_sessions: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
+    }
+
+    /// A volatile service whose cache registry enforces `capacity` —
+    /// the multi-tenant churn shape: publishes beyond the cap evict
+    /// least-recently-used caches from the registry (served corpora keep
+    /// their own `Arc`s; see [`CacheRegistry`] eviction semantics).
+    pub fn with_registry_capacity(capacity: RegistryCapacity) -> Self {
+        ProbeService {
+            registry: CacheRegistry::with_capacity(capacity, CacheCapacity::unbounded()),
+            corpora: RwLock::new(BTreeMap::new()),
+            data_dir: None,
+            active_sessions: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Whole caches evicted from the registry over its lifetime — the
+    /// churn counter the load harness reports under registry pressure.
+    pub fn registry_evictions(&self) -> u64 {
+        self.registry.evicted_caches()
+    }
+
+    /// Per-corpus WAL group-commit counters `(fingerprint, stats)`,
+    /// persisted corpora only. Acked-appends is exact for a quiesced
+    /// service; the sync count tells how far concurrent ingests
+    /// coalesced (`syncs <= acked_appends` always).
+    pub fn wal_sync_stats(&self) -> Vec<(String, WalSyncStats)> {
+        let corpora = self.corpora.read().expect("corpora lock");
+        corpora
+            .iter()
+            .filter_map(|(fp, c)| c.store.as_ref().map(|s| (fp.clone(), s.sync_stats())))
+            .collect()
+    }
+
+    /// Signalled (non-timeout) pusher wakeups summed across corpora.
+    pub fn ingest_wakeups(&self) -> u64 {
+        let corpora = self.corpora.read().expect("corpora lock");
+        corpora
+            .values()
+            .map(|c| c.signal.wakeups.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// A durable service over `dir`: every corpus directory found there
@@ -740,48 +782,67 @@ impl Connection {
                 // the snapshotter (lock order persist → engine), so a
                 // snapshot can never capture the in-memory half of an
                 // ingest whose log entry hasn't landed.
-                let _persist = corpus.persist.lock().expect("persist lock");
-                match catch_engine(AssertUnwindSafe(|| session.ingest(records))) {
-                    Ok(report) => {
-                        if report.records_added > 0 {
-                            if let Some(store) = &corpus.store {
-                                // Append *before* acking: every acked
-                                // batch survives a crash. On failure the
-                                // batch is in memory but unacked — the
-                                // client must treat it as lost, and the
-                                // error says a restart will drop it.
-                                let start = report.total_records - report.records_added;
-                                if let Err(e) = store.append_ingest(report.epoch, start, records) {
-                                    return Interaction::error(
-                                        ErrorCode::EnginePanic,
-                                        format!(
-                                            "ingest adopted in memory but its WAL append \
-                                             failed (a restart will lose it): {e}"
-                                        ),
-                                    );
-                                }
+                let persist = corpus.persist.lock().expect("persist lock");
+                let report = match catch_engine(AssertUnwindSafe(|| session.ingest(records))) {
+                    Ok(report) => report,
+                    Err(msg) => return Interaction::error(classify_panic(&msg), msg),
+                };
+                let mut mark = None;
+                if report.records_added > 0 {
+                    if let Some(store) = &corpus.store {
+                        // Log *before* acking: every acked batch
+                        // survives a crash. On failure the batch is in
+                        // memory but unacked — the client must treat it
+                        // as lost, and the error says a restart will
+                        // drop it.
+                        let start = report.total_records - report.records_added;
+                        match store.log_ingest(report.epoch, start, records) {
+                            Ok(m) => mark = Some(m),
+                            Err(e) => {
+                                return Interaction::error(
+                                    ErrorCode::EnginePanic,
+                                    format!(
+                                        "ingest adopted in memory but its WAL append \
+                                         failed (a restart will lose it): {e}"
+                                    ),
+                                );
                             }
                         }
-                        let response = Response::Ingested {
-                            records_added: report.records_added,
-                            total_records: report.total_records,
-                            epoch: report.epoch,
-                            carried_memos: report.carried_memos,
-                        };
-                        // Our own watches drain synchronously — the
-                        // deltas ride right behind the receipt, in
-                        // registration order, making the frame sequence
-                        // deterministic for traces. Other connections'
-                        // pushers on *this corpus* are then woken to
-                        // drain theirs.
-                        let events = drain_watches(&mut state);
-                        if report.records_added > 0 {
-                            corpus.signal.bump();
-                        }
-                        Interaction { response, events }
                     }
-                    Err(msg) => Interaction::error(classify_panic(&msg), msg),
                 }
+                // The log entry is in; the covering fsync needs no
+                // snapshotter exclusion. Waiting *outside* the persist
+                // lock lets concurrent ingests on this corpus
+                // group-commit into one sync (or be subsumed by a
+                // snapshot truncation) instead of serializing fsyncs.
+                drop(persist);
+                if let (Some(mark), Some(store)) = (mark, &corpus.store) {
+                    if let Err(e) = store.wait_durable(mark) {
+                        return Interaction::error(
+                            ErrorCode::EnginePanic,
+                            format!(
+                                "ingest adopted in memory but its WAL sync \
+                                 failed (a restart may lose it): {e}"
+                            ),
+                        );
+                    }
+                }
+                let response = Response::Ingested {
+                    records_added: report.records_added,
+                    total_records: report.total_records,
+                    epoch: report.epoch,
+                    carried_memos: report.carried_memos,
+                };
+                // Our own watches drain synchronously — the deltas ride
+                // right behind the receipt, in registration order,
+                // making the frame sequence deterministic for traces.
+                // Other connections' pushers on *this corpus* are then
+                // woken to drain theirs.
+                let events = drain_watches(&mut state);
+                if report.records_added > 0 {
+                    corpus.signal.bump();
+                }
+                Interaction { response, events }
             }
         }
     }

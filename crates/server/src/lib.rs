@@ -30,6 +30,7 @@
 
 pub mod client;
 pub mod handler;
+pub mod inproc;
 pub mod json;
 pub mod persist;
 pub mod protocol;
@@ -40,6 +41,7 @@ pub use client::{Frame, ProbeClient};
 pub use handler::{
     Connection, IngestCursor, Interaction, ProbeService, RecoveredStats, RecoveryReport,
 };
+pub use inproc::InProcClient;
 pub use persist::CorpusMeta;
 pub use protocol::{ErrorCode, PublishCfg, Request, Response};
 pub use server::ProbeServer;

@@ -46,9 +46,9 @@ fn main() {
         .collect();
     println!(
         "\nkth-neighbor similarity: median {:.3}, p10 {:.3}, p90 {:.3}",
-        plasma_hd::data::stats::median(&kths),
-        plasma_hd::data::stats::percentile(&kths, 0.1),
-        plasma_hd::data::stats::percentile(&kths, 0.9),
+        plasma_hd::data::stats::median(&kths).unwrap_or(f64::NAN),
+        plasma_hd::data::stats::percentile(&kths, 0.1).unwrap_or(f64::NAN),
+        plasma_hd::data::stats::percentile(&kths, 0.9).unwrap_or(f64::NAN),
     );
     println!("→ a global threshold near the median reproduces this connectivity");
 
